@@ -1,0 +1,38 @@
+//! Criterion benches for the front end: lexing/parsing/printing and the
+//! regex engine (the substrates every pipeline stage leans on).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_frontend(c: &mut Criterion) {
+    let source = comfort_corpus::training_corpus(1, 20).join("\n");
+    let program = comfort_syntax::parse(&source).expect("corpus parses");
+
+    let mut group = c.benchmark_group("frontend");
+    group.bench_function("parse_corpus_20", |b| {
+        b.iter(|| comfort_syntax::parse(black_box(&source)).expect("parses"));
+    });
+    group.bench_function("print_corpus_20", |b| {
+        b.iter(|| black_box(comfort_syntax::print_program(black_box(&program))));
+    });
+    group.bench_function("lint_valid", |b| {
+        b.iter(|| comfort_syntax::lint(black_box(&source)).is_ok());
+    });
+    group.bench_function("regex_find_iter", |b| {
+        let re = comfort_regex::Regex::new(r"Let (\w+) be To(\w+)\((\w+)\)").expect("valid");
+        let text = comfort_ecma262::spec_text::SPEC_CORPUS;
+        b.iter(|| black_box(re.find_iter(black_box(text)).count()));
+    });
+    group.bench_function("spec_db_parse", |b| {
+        b.iter(|| {
+            black_box(comfort_ecma262::parse_corpus(black_box(
+                comfort_ecma262::spec_text::SPEC_CORPUS,
+            )))
+            .len()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_frontend);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion benches for the engine substrate: interpreter throughput on
+//! the workload classes the campaign executes constantly.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use comfort_interp::{hooks::SpecProfile, run_source, RunOptions};
+
+fn run(src: &str) {
+    let r = run_source(black_box(src), &SpecProfile, &RunOptions::default())
+        .expect("bench source parses");
+    black_box(r.output);
+}
+
+fn bench_interp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interp");
+    group.bench_function("startup_and_trivial", |b| {
+        b.iter(|| run("print(1);"));
+    });
+    group.bench_function("fib_18", |b| {
+        b.iter(|| {
+            run("function fib(n) { return n < 2 ? n : fib(n-1) + fib(n-2); } print(fib(18));")
+        });
+    });
+    group.bench_function("string_apis", |b| {
+        b.iter(|| {
+            run(
+                "var s = 'Name: Albert'; var t = ''; for (var i = 0; i < 50; i++) { t = s.substr(3, 6).toUpperCase().split(':').join('-'); } print(t);",
+            )
+        });
+    });
+    group.bench_function("array_pipeline", |b| {
+        b.iter(|| {
+            run(
+                "var a = []; for (var i = 0; i < 200; i++) a.push(i); print(a.filter(function(x){return x % 3 === 0;}).map(function(x){return x * 2;}).reduce(function(p, q){return p + q;}, 0));",
+            )
+        });
+    });
+    group.bench_function("regex_split_replace", |b| {
+        b.iter(|| {
+            run("var s = 'a1b22c333d'; for (var i = 0; i < 20; i++) { s.split(/[0-9]+/); s.replace(/[a-z]/g, '#'); } print(s.length);")
+        });
+    });
+    group.bench_function("json_roundtrip", |b| {
+        b.iter(|| {
+            run("var o = {a: [1, 2, 3], b: 'text', c: {d: true}}; for (var i = 0; i < 20; i++) { JSON.parse(JSON.stringify(o)); } print('ok');")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_interp);
+criterion_main!(benches);

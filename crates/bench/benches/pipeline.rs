@@ -1,0 +1,91 @@
+//! Criterion benches for the COMFORT pipeline stages (Figure 3): program
+//! generation, Algorithm-1 data mutation, the differential harness,
+//! reduction, and the dedup filter. Together these bound campaign
+//! throughput (the paper's 250k cases / 200 h).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use comfort_core::datagen::{DataGen, DataGenConfig};
+use comfort_core::differential::run_differential;
+use comfort_core::filter::{BugKey, BugTree};
+use comfort_core::reduce::reduce;
+use comfort_engines::latest_testbeds;
+use comfort_lm::{Generator, GeneratorConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let corpus = comfort_corpus::training_corpus(1, 200);
+    let generator = Generator::train(
+        &corpus,
+        GeneratorConfig { order: 10, bpe_merges: 300, top_k: 10, max_tokens: 1200 },
+    );
+    let testbeds = latest_testbeds();
+
+    let mut group = c.benchmark_group("pipeline");
+
+    group.bench_function("lm_generate_program", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| black_box(generator.generate(&mut rng)));
+    });
+
+    group.bench_function("datagen_algorithm1", |b| {
+        let program = comfort_syntax::parse(
+            "function foo(str, start, len) { return str.substr(start, len); }\nvar s = 'Name: Albert';\nvar r = foo(s, 6, 3);\nprint(r);",
+        )
+        .expect("parses");
+        let datagen = DataGen::new(comfort_ecma262::spec_db(), DataGenConfig::default());
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| {
+            let mut next = 0;
+            black_box(datagen.mutate(&program, 0, &mut next, &mut rng)).len()
+        });
+    });
+
+    group.bench_function("differential_10_engines", |b| {
+        let program =
+            comfort_syntax::parse("print('Name: Albert'.substr(6, undefined));").expect("parses");
+        b.iter(|| black_box(run_differential(&program, &testbeds, 100_000)));
+    });
+
+    group.bench_function("reduce_figure2_case", |b| {
+        let program = comfort_syntax::parse(
+            "var a = [1,2,3].join('-');\nprint(a);\nvar s = 'Name: Albert';\nvar len = undefined;\nprint(s.substr(6, len));",
+        )
+        .expect("parses");
+        b.iter(|| {
+            let beds = &testbeds;
+            black_box(reduce(&program, &mut |p| {
+                matches!(
+                    run_differential(p, beds, 100_000),
+                    comfort_core::differential::CaseOutcome::Deviations(d)
+                        if d.iter().any(|r| r.engine == comfort_engines::EngineName::Rhino)
+                )
+            }))
+        });
+    });
+
+    group.bench_function("bugtree_observe_1000", |b| {
+        b.iter_batched(
+            BugTree::new,
+            |mut tree| {
+                for i in 0..1000u32 {
+                    let key = BugKey {
+                        engine: comfort_engines::EngineName::ALL[(i % 10) as usize],
+                        api: Some(format!("api{}", i % 97)),
+                        behavior: "WrongOutput".to_string(),
+                    };
+                    black_box(tree.observe(&key));
+                }
+                tree.leaf_count()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

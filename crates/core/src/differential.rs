@@ -1,0 +1,283 @@
+//! Differential testing with majority voting (§3.4, Figure 5).
+//!
+//! A test case runs on every testbed; per *mode group* (normal testbeds are
+//! compared with normal testbeds, strict with strict — the two groups have
+//! different legal semantics), results collapse to a signature and the
+//! majority signature defines expected behaviour. Engines whose signature
+//! deviates from a strict majority are flagged.
+
+use comfort_engines::{EngineName, Testbed};
+use comfort_interp::{ErrorKind, RunStatus};
+use comfort_syntax::Program;
+
+/// Canonicalized result of one run: the comparison key for voting.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Signature {
+    /// Completed with this output.
+    Completed(String),
+    /// Threw an error of this kind (message excluded: engines word their
+    /// diagnostics differently even when conforming).
+    Threw(Option<ErrorKind>),
+    /// Deterministic timeout (fuel exhaustion).
+    Timeout,
+    /// Engine crash.
+    Crash,
+}
+
+impl Signature {
+    /// Builds the signature of a run result.
+    pub fn of(status: &RunStatus, output: &str) -> Signature {
+        match status {
+            RunStatus::Completed => Signature::Completed(output.to_string()),
+            RunStatus::Threw { kind, .. } => Signature::Threw(*kind),
+            RunStatus::OutOfFuel => Signature::Timeout,
+            RunStatus::Crashed(_) => Signature::Crash,
+        }
+    }
+
+    /// Short human-readable rendering (for reports and the bug filter).
+    pub fn describe(&self) -> String {
+        match self {
+            Signature::Completed(out) => {
+                let trimmed: String = out.chars().take(80).collect();
+                format!("output {trimmed:?}")
+            }
+            Signature::Threw(Some(kind)) => kind.name().to_string(),
+            Signature::Threw(None) => "throw".to_string(),
+            Signature::Timeout => "Timeout".to_string(),
+            Signature::Crash => "Crash".to_string(),
+        }
+    }
+}
+
+/// How an engine deviated from the majority (the Figure 5 buggy outcomes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DeviationKind {
+    /// Completed but with different output.
+    WrongOutput,
+    /// Threw where the majority completed (or threw a different kind).
+    UnexpectedError,
+    /// Completed where the majority threw.
+    MissingError,
+    /// Crashed.
+    Crash,
+    /// Timed out while the majority terminated.
+    Timeout,
+}
+
+impl DeviationKind {
+    /// Classifies a deviating signature against the majority's.
+    pub fn classify(deviant: &Signature, majority: &Signature) -> DeviationKind {
+        match (deviant, majority) {
+            (Signature::Crash, _) => DeviationKind::Crash,
+            (Signature::Timeout, _) => DeviationKind::Timeout,
+            (Signature::Threw(_), Signature::Threw(_)) => DeviationKind::UnexpectedError,
+            (Signature::Threw(_), _) => DeviationKind::UnexpectedError,
+            (_, Signature::Threw(_)) => DeviationKind::MissingError,
+            _ => DeviationKind::WrongOutput,
+        }
+    }
+
+    /// Label used in reports and the bug-filter tree.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DeviationKind::WrongOutput => "WrongOutput",
+            DeviationKind::UnexpectedError => "UnexpectedError",
+            DeviationKind::MissingError => "MissingError",
+            DeviationKind::Crash => "Crash",
+            DeviationKind::Timeout => "TimeOut",
+        }
+    }
+}
+
+/// One engine's deviation on one test case.
+#[derive(Debug, Clone)]
+pub struct DeviationRecord {
+    /// Deviating engine.
+    pub engine: EngineName,
+    /// Version label (`"Rhino v1.7.12"`).
+    pub version: String,
+    /// `true` when observed on the strict testbed group.
+    pub strict: bool,
+    /// Classification.
+    pub kind: DeviationKind,
+    /// The deviating signature.
+    pub actual: Signature,
+    /// The majority signature.
+    pub expected: Signature,
+}
+
+/// Outcome of running one test case across the testbeds (Figure 5).
+#[derive(Debug, Clone)]
+pub enum CaseOutcome {
+    /// All testbeds rejected the program (consistent parsing error).
+    ParseError,
+    /// Every engine timed out (ignored per §3.4 — a huge/infinite loop).
+    AllTimeout,
+    /// All testbeds agreed.
+    Pass,
+    /// At least one engine deviates from a strict majority.
+    Deviations(Vec<DeviationRecord>),
+}
+
+impl CaseOutcome {
+    /// `true` for [`CaseOutcome::Deviations`].
+    pub fn is_deviating(&self) -> bool {
+        matches!(self, CaseOutcome::Deviations(_))
+    }
+}
+
+/// Runs `program` on `testbeds` and applies majority voting per mode group.
+///
+/// The program must already have parsed (a shared front end means a parse
+/// error is consistent across engines; the caller classifies those as
+/// [`CaseOutcome::ParseError`] without spending engine time).
+pub fn run_differential(program: &Program, testbeds: &[Testbed], fuel: u64) -> CaseOutcome {
+    let mut deviations = Vec::new();
+    let mut all_timeout = true;
+    let mut any_group = false;
+
+    for strict in [false, true] {
+        let group: Vec<&Testbed> = testbeds.iter().filter(|t| t.strict == strict).collect();
+        if group.is_empty() {
+            continue;
+        }
+        // With one or two voters, `majority_signature` can never flag a
+        // deviation (a strict majority requires agreement), so small groups
+        // degrade gracefully rather than producing false positives.
+        any_group = true;
+        let results: Vec<Signature> = group
+            .iter()
+            .map(|t| {
+                let r = t.run(program, fuel, false);
+                Signature::of(&r.status, &r.output)
+            })
+            .collect();
+        if results.iter().any(|s| !matches!(s, Signature::Timeout)) {
+            all_timeout = false;
+        }
+        let Some(majority) = majority_signature(&results) else {
+            continue; // no strict majority: ambiguous, skip (paper does too)
+        };
+        for (bed, sig) in group.iter().zip(&results) {
+            if *sig != majority {
+                deviations.push(DeviationRecord {
+                    engine: bed.engine.name(),
+                    version: bed.engine.version().label(),
+                    strict,
+                    kind: DeviationKind::classify(sig, &majority),
+                    actual: sig.clone(),
+                    expected: majority.clone(),
+                });
+            }
+        }
+    }
+
+    if !any_group {
+        return CaseOutcome::Pass;
+    }
+    if all_timeout {
+        return CaseOutcome::AllTimeout;
+    }
+    if deviations.is_empty() {
+        CaseOutcome::Pass
+    } else {
+        CaseOutcome::Deviations(deviations)
+    }
+}
+
+/// The signature shared by more than half the voters, if any.
+pub fn majority_signature(results: &[Signature]) -> Option<Signature> {
+    let mut counts: Vec<(usize, &Signature)> = Vec::new();
+    for sig in results {
+        match counts.iter_mut().find(|(_, s)| *s == sig) {
+            Some((n, _)) => *n += 1,
+            None => counts.push((1, sig)),
+        }
+    }
+    counts
+        .into_iter()
+        .max_by_key(|(n, _)| *n)
+        .filter(|(n, _)| *n * 2 > results.len())
+        .map(|(_, s)| s.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comfort_engines::latest_testbeds;
+    use comfort_syntax::parse;
+
+    #[test]
+    fn conforming_program_passes() {
+        let program = parse("print(1 + 1);").expect("parses");
+        let outcome = run_differential(&program, &latest_testbeds(), 100_000);
+        assert!(matches!(outcome, CaseOutcome::Pass));
+    }
+
+    #[test]
+    fn figure2_case_flags_rhino_only() {
+        let program = parse(
+            "var s = 'Name: Albert'; var len = undefined; print(s.substr(6, len));",
+        )
+        .expect("parses");
+        let outcome = run_differential(&program, &latest_testbeds(), 100_000);
+        let CaseOutcome::Deviations(devs) = outcome else {
+            panic!("expected deviations, got {outcome:?}");
+        };
+        assert_eq!(devs.len(), 1);
+        assert_eq!(devs[0].engine, EngineName::Rhino);
+        assert_eq!(devs[0].kind, DeviationKind::WrongOutput);
+    }
+
+    #[test]
+    fn listing9_crash_is_classified() {
+        let program = parse("''.normalize(true);").expect("parses");
+        let outcome = run_differential(&program, &latest_testbeds(), 100_000);
+        let CaseOutcome::Deviations(devs) = outcome else {
+            panic!("expected deviations, got {outcome:?}");
+        };
+        assert!(devs
+            .iter()
+            .any(|d| d.engine == EngineName::QuickJs && d.kind == DeviationKind::Crash));
+    }
+
+    #[test]
+    fn all_engines_looping_is_ignored() {
+        let program = parse("while (true) {}").expect("parses");
+        let outcome = run_differential(&program, &latest_testbeds(), 5_000);
+        assert!(matches!(outcome, CaseOutcome::AllTimeout));
+    }
+
+    #[test]
+    fn majority_requires_strict_majority() {
+        use Signature::*;
+        let even = vec![
+            Completed("a".into()),
+            Completed("a".into()),
+            Completed("b".into()),
+            Completed("b".into()),
+        ];
+        assert_eq!(majority_signature(&even), None);
+        let clear = vec![
+            Completed("a".into()),
+            Completed("a".into()),
+            Completed("a".into()),
+            Completed("b".into()),
+        ];
+        assert_eq!(majority_signature(&clear), Some(Completed("a".into())));
+    }
+
+    #[test]
+    fn classification_matrix() {
+        use DeviationKind as K;
+        use Signature as S;
+        let done = S::Completed("x".into());
+        let threw = S::Threw(Some(ErrorKind::Type));
+        assert_eq!(K::classify(&S::Crash, &done), K::Crash);
+        assert_eq!(K::classify(&S::Timeout, &done), K::Timeout);
+        assert_eq!(K::classify(&threw, &done), K::UnexpectedError);
+        assert_eq!(K::classify(&done, &threw), K::MissingError);
+        assert_eq!(K::classify(&S::Completed("y".into()), &done), K::WrongOutput);
+    }
+}

@@ -1,0 +1,227 @@
+//! Extensions the paper sketches as future work, implemented here:
+//!
+//! * [`InvalidSelector`] — §3.2: *"A better approach for choosing
+//!   syntax-incorrect programs for testing would consider program
+//!   characteristics like API coverage and code length."* Instead of keeping
+//!   a random 20 % of invalid generations, score them by API mentions and
+//!   length and keep the most promising.
+//! * [`BugSeedMutator`] — §6 (vs AutoTest): *"extending COMFORT to mutate
+//!   bug-exposing test cases could be valuable."* A LangFuzz-style feedback
+//!   loop that re-mutates reduced bug-exposing cases to hunt for sibling
+//!   bugs on the same or neighbouring APIs.
+
+use comfort_syntax::parse;
+use rand::rngs::StdRng;
+
+use crate::campaign::BugReport;
+use crate::datagen::{DataGen, DataGenConfig};
+use crate::testcase::TestCase;
+
+/// Scores syntactically invalid generations (§3.2 future work).
+#[derive(Debug, Clone)]
+pub struct InvalidSelector {
+    /// Keep the top fraction by score (paper keeps 20 % at random).
+    pub keep_fraction: f64,
+}
+
+impl Default for InvalidSelector {
+    fn default() -> Self {
+        InvalidSelector { keep_fraction: 0.2 }
+    }
+}
+
+impl InvalidSelector {
+    /// Score of an invalid program: API-name mentions (parser stress with
+    /// realistic shape) weighted above raw length, with over-long garbage
+    /// penalized.
+    pub fn score(&self, source: &str) -> f64 {
+        let db = comfort_ecma262::spec_db();
+        let api_mentions = db
+            .iter()
+            .filter(|spec| source.contains(spec.short_name()))
+            .count() as f64;
+        let len = source.len() as f64;
+        let length_term = if len > 4000.0 { -1.0 } else { (len / 400.0).min(2.0) };
+        api_mentions * 3.0 + length_term
+    }
+
+    /// Selects the invalid programs worth running: the top
+    /// `keep_fraction` of `candidates` by score.
+    pub fn select<'a>(&self, candidates: &'a [String]) -> Vec<&'a String> {
+        let mut scored: Vec<(f64, &String)> =
+            candidates.iter().map(|c| (self.score(c), c)).collect();
+        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        let keep = ((candidates.len() as f64 * self.keep_fraction).ceil() as usize)
+            .min(candidates.len());
+        scored.into_iter().take(keep).map(|(_, c)| c).collect()
+    }
+}
+
+/// LangFuzz-style feedback: mutate reduced bug-exposing cases (§6).
+#[derive(Debug)]
+pub struct BugSeedMutator {
+    datagen_config: DataGenConfig,
+}
+
+impl BugSeedMutator {
+    /// Creates the mutator with the standard Algorithm-1 configuration.
+    pub fn new(datagen_config: DataGenConfig) -> Self {
+        BugSeedMutator { datagen_config }
+    }
+
+    /// Derives fresh test cases from the reduced test cases of already
+    /// discovered bugs. The reduced cases are minimal bug triggers, so their
+    /// mutants probe the *neighbourhood* of a confirmed defect — where
+    /// sibling defects cluster.
+    pub fn derive(&self, bugs: &[BugReport], rng: &mut StdRng) -> Vec<TestCase> {
+        let datagen = DataGen::new(comfort_ecma262::spec_db(), self.datagen_config.clone());
+        let mut out = Vec::new();
+        let mut next_id = 1_000_000; // distinct id space from the main campaign
+        for (i, bug) in bugs.iter().enumerate() {
+            let Ok(program) = parse(&bug.test_case) else { continue };
+            let mutants = datagen.mutate(&program, i as u64, &mut next_id, rng);
+            out.extend(mutants);
+        }
+        out
+    }
+}
+
+impl Default for BugSeedMutator {
+    fn default() -> Self {
+        BugSeedMutator::new(DataGenConfig { max_mutants_per_program: 8, random_mutants: 2 })
+    }
+}
+
+/// Runs one feedback round on top of a finished campaign: mutate the
+/// discovered bugs' reduced cases and count how many *new* unique deviations
+/// the neighbourhood probing yields.
+pub fn feedback_round(
+    bugs: &[BugReport],
+    testbeds: &[comfort_engines::Testbed],
+    fuel: u64,
+    seed: u64,
+) -> Vec<crate::filter::BugKey> {
+    use crate::differential::{run_differential, CaseOutcome};
+    use rand::SeedableRng;
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mutator = BugSeedMutator::default();
+    let mut tree = crate::filter::BugTree::new();
+    // Pre-seed the tree with the known bugs so only *new* paths count.
+    for bug in bugs {
+        tree.observe(&bug.key);
+    }
+    let mut fresh = Vec::new();
+    for case in mutator.derive(bugs, &mut rng) {
+        if let CaseOutcome::Deviations(devs) = run_differential(&case.program, testbeds, fuel) {
+            for d in devs {
+                let key = crate::filter::BugKey {
+                    engine: d.engine,
+                    api: crate::campaign::dominant_api(&case.program),
+                    behavior: match d.kind {
+                        crate::differential::DeviationKind::UnexpectedError => {
+                            d.actual.describe()
+                        }
+                        other => other.as_str().to_string(),
+                    },
+                };
+                if tree.observe(&key) {
+                    fresh.push(key);
+                }
+            }
+        }
+    }
+    fresh
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn invalid_selector_prefers_api_rich_programs() {
+        let sel = InvalidSelector::default();
+        let garbage = "var var var {{{".to_string();
+        let api_rich = "var x = s.substr(1, ; x.toFixed(".to_string();
+        assert!(sel.score(&api_rich) > sel.score(&garbage));
+        let candidates = vec![garbage.clone(), api_rich.clone()];
+        let kept = sel.select(&candidates);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0], &api_rich);
+    }
+
+    #[test]
+    fn selector_keeps_requested_fraction() {
+        let sel = InvalidSelector { keep_fraction: 0.5 };
+        let candidates: Vec<String> =
+            (0..10).map(|i| format!("broken program {i} substr(")).collect();
+        assert_eq!(sel.select(&candidates).len(), 5);
+    }
+
+    #[test]
+    fn bug_seed_mutants_parse_and_probe_the_same_api() {
+        use crate::campaign::Adjudication;
+        use crate::differential::DeviationKind;
+        use crate::filter::BugKey;
+        use comfort_engines::{ApiType, Component, EngineName};
+
+        let bug = BugReport {
+            key: BugKey {
+                engine: EngineName::Rhino,
+                api: Some("substr".into()),
+                behavior: "WrongOutput".into(),
+            },
+            sim_hours: 0.0,
+            test_case: "var s = 'Name: Albert';\nvar len = 3;\nprint(s.substr(6, len));".into(),
+            origin: crate::testcase::Origin::EcmaMutation,
+            earliest_version: "Rhino v1.7R3".into(),
+            kind: DeviationKind::WrongOutput,
+            strict_only: false,
+            component: Component::Implementation,
+            api_type: ApiType::String,
+            matched_bug: None,
+            adjudication: Adjudication {
+                verified: true,
+                fixed: false,
+                rejected: false,
+                accepted_test262: false,
+                novel: true,
+            },
+        };
+        let mutator = BugSeedMutator::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let derived = mutator.derive(&[bug], &mut rng);
+        assert!(!derived.is_empty());
+        for case in &derived {
+            parse(&case.source).expect("feedback mutants are valid JS");
+            assert!(case.source.contains("substr"));
+        }
+    }
+
+    #[test]
+    fn feedback_round_only_reports_new_keys() {
+        use crate::campaign::{Campaign, CampaignConfig};
+        use comfort_lm::GeneratorConfig;
+        let mut campaign = Campaign::new(CampaignConfig {
+            seed: 77,
+            corpus_programs: 80,
+            lm: GeneratorConfig { order: 8, bpe_merges: 200, top_k: 10, max_tokens: 700 },
+            max_cases: 80,
+            include_strict: false,
+            include_legacy: false,
+            reduce_cases: true,
+            ..CampaignConfig::default()
+        });
+        let report = campaign.run();
+        let beds = comfort_engines::latest_testbeds();
+        let fresh = feedback_round(&report.bugs, &beds, 300_000, 9);
+        // Every returned key must be genuinely new.
+        for key in &fresh {
+            assert!(
+                !report.bugs.iter().any(|b| &b.key == key),
+                "feedback returned a known bug: {key}"
+            );
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! The fuzzer interface used by the comparison experiments (§4.4, Figures
+//! 8–9). COMFORT itself and the five baselines in `comfort-baselines` all
+//! implement [`Fuzzer`], so the harness treats them identically.
+
+use rand::rngs::StdRng;
+
+use comfort_lm::{Generator, GeneratorConfig};
+
+use crate::datagen::{DataGen, DataGenConfig};
+use crate::testcase::Origin;
+
+/// A test-case producer.
+pub trait Fuzzer {
+    /// Display name (`"COMFORT"`, `"DeepSmith"`, …).
+    fn name(&self) -> &'static str;
+
+    /// Produces the next test-case source.
+    fn next_case(&mut self, rng: &mut StdRng) -> String;
+
+    /// Provenance label for cases produced right now (COMFORT alternates
+    /// between generated programs and ECMA-guided mutants).
+    fn current_origin(&self) -> Origin {
+        Origin::ProgramGen
+    }
+}
+
+/// COMFORT as a [`Fuzzer`]: the LM generator + the Algorithm-1 data mutator,
+/// emitting a base case followed by its boundary-value mutants.
+pub struct ComfortFuzzer {
+    generator: Generator,
+    datagen_config: DataGenConfig,
+    queue: Vec<(String, Origin)>,
+    last_origin: Origin,
+    next_id: u64,
+    base_counter: u64,
+}
+
+impl ComfortFuzzer {
+    /// Trains COMFORT's generator on the standard corpus.
+    pub fn new(seed: u64, corpus_programs: usize, lm: GeneratorConfig) -> Self {
+        let corpus = comfort_corpus::training_corpus(seed, corpus_programs);
+        let generator = Generator::train(&corpus, lm);
+        ComfortFuzzer {
+            generator,
+            datagen_config: DataGenConfig::default(),
+            queue: Vec::new(),
+            last_origin: Origin::ProgramGen,
+            next_id: 0,
+            base_counter: 0,
+        }
+    }
+
+    /// Wraps an already-trained generator.
+    pub fn with_generator(generator: Generator, datagen_config: DataGenConfig) -> Self {
+        ComfortFuzzer {
+            generator,
+            datagen_config,
+            queue: Vec::new(),
+            last_origin: Origin::ProgramGen,
+            next_id: 0,
+            base_counter: 0,
+        }
+    }
+
+    /// Disables the ECMA-guided mutation stage (the DESIGN.md §4 ablation:
+    /// program generation with purely random data).
+    pub fn without_ecma_mutation(mut self) -> Self {
+        self.datagen_config.max_mutants_per_program = 0;
+        self
+    }
+}
+
+impl Fuzzer for ComfortFuzzer {
+    fn name(&self) -> &'static str {
+        "COMFORT"
+    }
+
+    fn next_case(&mut self, rng: &mut StdRng) -> String {
+        if let Some((source, origin)) = self.queue.pop() {
+            self.last_origin = origin;
+            return source;
+        }
+        let datagen = DataGen::new(comfort_ecma262::spec_db(), self.datagen_config.clone());
+        let source = self.generator.generate(rng);
+        self.base_counter += 1;
+        self.last_origin = Origin::ProgramGen;
+        let Ok(program) = comfort_syntax::parse(&source) else {
+            // Invalid generation: emit as-is (it exercises the parsers).
+            return source;
+        };
+        let base = datagen.base_case(&program, self.base_counter, &mut self.next_id, rng);
+        for m in datagen.mutate(&base.program, self.base_counter, &mut self.next_id, rng) {
+            self.queue.push((m.source, Origin::EcmaMutation));
+        }
+        base.source
+    }
+
+    fn current_origin(&self) -> Origin {
+        self.last_origin
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn comfort() -> ComfortFuzzer {
+        ComfortFuzzer::new(
+            21,
+            80,
+            GeneratorConfig { order: 8, bpe_merges: 200, top_k: 10, max_tokens: 800 },
+        )
+    }
+
+    #[test]
+    fn emits_base_then_mutants() {
+        let mut f = comfort();
+        let mut rng = StdRng::seed_from_u64(1);
+        let first = f.next_case(&mut rng);
+        assert!(!first.is_empty());
+        assert_eq!(f.current_origin(), Origin::ProgramGen);
+        // A run of subsequent cases should include ECMA mutants.
+        let mut saw_mutant = false;
+        for _ in 0..40 {
+            let _ = f.next_case(&mut rng);
+            if f.current_origin() == Origin::EcmaMutation {
+                saw_mutant = true;
+                break;
+            }
+        }
+        assert!(saw_mutant, "COMFORT should emit ECMA-guided mutants");
+    }
+
+    #[test]
+    fn ablated_fuzzer_never_emits_mutants() {
+        let mut f = comfort().without_ecma_mutation();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..30 {
+            let _ = f.next_case(&mut rng);
+            assert_eq!(f.current_origin(), Origin::ProgramGen);
+        }
+    }
+}

@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+
+//! The COMFORT pipeline (Figure 3).
+//!
+//! This crate assembles the paper's system out of the workspace substrates:
+//!
+//! * [`datagen`] — **Algorithm 1**, ECMA-262-guided test-data generation,
+//! * [`differential`] — the §3.4 differential harness with Figure 5's
+//!   outcome classification and majority voting,
+//! * [`reduce`] — the §3.5 AST-traversal test-case reducer,
+//! * [`filter`] — the §3.6 three-layer identical-bug filter tree,
+//! * [`campaign`] — the §4–5 evaluation loop with version attribution and a
+//!   calibrated developer model,
+//! * [`compare`] / [`quality`] — the Figure 8 and Figure 9 harnesses,
+//! * [`report`] — renders every table and figure,
+//! * [`pipeline`] — the `Comfort` facade for downstream users.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use comfort_core::pipeline::{Comfort, ComfortConfig};
+//!
+//! let mut comfort = Comfort::new(ComfortConfig::default());
+//! let report = comfort.run_budgeted(200);
+//! for bug in &report.deviations {
+//!     println!("{} — {}", bug.key, bug.earliest_version);
+//! }
+//! ```
+
+pub mod campaign;
+pub mod compare;
+pub mod datagen;
+pub mod differential;
+pub mod extensions;
+pub mod filter;
+pub mod fuzzer;
+pub mod pipeline;
+pub mod quality;
+pub mod reduce;
+pub mod report;
+pub mod test262;
+pub mod testcase;
+
+pub use campaign::{BugReport, Campaign, CampaignConfig, CampaignReport, DeveloperModel};
+pub use differential::{run_differential, CaseOutcome, DeviationKind, DeviationRecord, Signature};
+pub use filter::{BugKey, BugTree};
+pub use fuzzer::{ComfortFuzzer, Fuzzer};
+pub use pipeline::{Comfort, ComfortConfig, PipelineReport};
+pub use reduce::reduce as reduce_case;
+pub use testcase::{Origin, TestCase};

@@ -1,0 +1,110 @@
+//! The user-facing COMFORT facade.
+//!
+//! [`Comfort`] wires the whole pipeline of Figure 3 together: GPT-2-style
+//! program generation → ECMA-262-guided test data → differential testing →
+//! reduction → identical-bug filtering, behind one small API.
+
+use comfort_lm::GeneratorConfig;
+
+use crate::campaign::{BugReport, Campaign, CampaignConfig};
+use crate::datagen::DataGenConfig;
+
+/// Facade configuration (a curated subset of [`CampaignConfig`]).
+#[derive(Debug, Clone)]
+pub struct ComfortConfig {
+    /// Master seed.
+    pub seed: u64,
+    /// LM training-corpus size.
+    pub corpus_programs: usize,
+    /// Language-model configuration.
+    pub lm: GeneratorConfig,
+    /// Fuel per engine run.
+    pub fuel: u64,
+    /// Run the strict testbed group too.
+    pub strict_testbeds: bool,
+    /// Reduce bug-exposing cases before reporting.
+    pub reduce: bool,
+}
+
+impl Default for ComfortConfig {
+    fn default() -> Self {
+        ComfortConfig {
+            seed: 42,
+            corpus_programs: 120,
+            lm: GeneratorConfig { order: 8, bpe_merges: 250, top_k: 10, max_tokens: 1000 },
+            fuel: 300_000,
+            strict_testbeds: false,
+            reduce: true,
+        }
+    }
+}
+
+/// Result of a budgeted run.
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// Test cases executed.
+    pub cases_run: u64,
+    /// Unique deviations reported (post-reduction, post-dedup).
+    pub deviations: Vec<BugReport>,
+    /// Simulated testing hours consumed.
+    pub sim_hours: f64,
+    /// Observations discarded as duplicates of known bugs.
+    pub duplicates_filtered: u64,
+}
+
+/// The COMFORT pipeline, ready to fuzz.
+pub struct Comfort {
+    config: ComfortConfig,
+    runs: u64,
+}
+
+impl Comfort {
+    /// Builds the pipeline (does not train yet; training happens per run so
+    /// each budgeted run is a pure function of the seed and budget).
+    pub fn new(config: ComfortConfig) -> Self {
+        Comfort { config, runs: 0 }
+    }
+
+    /// Runs a `cases`-sized fuzzing budget and reports unique deviations.
+    pub fn run_budgeted(&mut self, cases: usize) -> PipelineReport {
+        let campaign_config = CampaignConfig {
+            seed: self.config.seed.wrapping_add(self.runs),
+            corpus_programs: self.config.corpus_programs,
+            lm: self.config.lm.clone(),
+            datagen: DataGenConfig::default(),
+            max_cases: cases,
+            fuel: self.config.fuel,
+            sim_seconds_per_case: 2.88,
+            include_strict: self.config.strict_testbeds,
+            include_legacy: false,
+            reduce_cases: self.config.reduce,
+            keep_invalid_fraction: 0.2,
+        };
+        self.runs += 1;
+        let report = Campaign::new(campaign_config).run();
+        PipelineReport {
+            cases_run: report.cases_run,
+            deviations: report.bugs,
+            sim_hours: report.sim_hours,
+            duplicates_filtered: report.duplicates_filtered,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facade_runs_a_small_budget() {
+        let mut comfort = Comfort::new(ComfortConfig {
+            corpus_programs: 80,
+            lm: GeneratorConfig { order: 8, bpe_merges: 150, top_k: 10, max_tokens: 600 },
+            reduce: false,
+            ..ComfortConfig::default()
+        });
+        let report = comfort.run_budgeted(60);
+        assert_eq!(report.cases_run, 60);
+        assert!(report.sim_hours > 0.0);
+    }
+}

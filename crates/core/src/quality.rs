@@ -1,0 +1,134 @@
+//! Test-case quality metrics (§5.3.3, Figure 9): syntax passing rate and
+//! statement/function/branch coverage of generated test programs.
+
+use comfort_interp::{hooks::SpecProfile, run_program, RunOptions, Universe};
+use comfort_syntax::parse;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::fuzzer::Fuzzer;
+
+/// Figure 9 metrics for one fuzzer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QualityReport {
+    /// Fuzzer name.
+    pub fuzzer: String,
+    /// Programs generated for the validity measurement.
+    pub generated: usize,
+    /// Fraction accepted by the static parser (the JSHint check).
+    pub syntax_pass_rate: f64,
+    /// Fraction of *valid* programs that throw at runtime (the paper reports
+    /// ~18% semantic-error rate for COMFORT).
+    pub runtime_error_rate: f64,
+    /// Mean statement coverage over programs that have statements.
+    pub stmt_coverage: f64,
+    /// Mean function coverage over programs that define functions (`NaN`
+    /// when no sampled program does).
+    pub func_coverage: f64,
+    /// Mean branch coverage over programs that have branch points (`NaN`
+    /// when no sampled program does).
+    pub branch_coverage: f64,
+}
+
+/// Measures a fuzzer: generate `n` programs, compute the passing rate, then
+/// run up to `coverage_sample` valid ones on the conforming reference engine
+/// with coverage instrumentation.
+pub fn measure(
+    fuzzer: &mut dyn Fuzzer,
+    seed: u64,
+    n: usize,
+    coverage_sample: usize,
+) -> QualityReport {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut valid = Vec::new();
+    let mut generated = 0;
+    for _ in 0..n {
+        let src = fuzzer.next_case(&mut rng);
+        generated += 1;
+        if let Ok(program) = parse(&src) {
+            valid.push(program);
+        }
+    }
+    let syntax_pass_rate = valid.len() as f64 / generated.max(1) as f64;
+
+    // Coverage is averaged per metric over the programs that *have* that
+    // metric's targets — a program with no branches says nothing about
+    // branch coverage (Istanbul reports these as n/a too).
+    let mut stmt = (0.0, 0usize);
+    let mut func = (0.0, 0usize);
+    let mut branch = (0.0, 0usize);
+    let mut errors = 0usize;
+    let sample = valid.iter().take(coverage_sample).collect::<Vec<_>>();
+    for program in &sample {
+        let universe = Universe::of(program);
+        let result = run_program(
+            program,
+            &SpecProfile,
+            &RunOptions { coverage: true, fuel: 300_000, ..RunOptions::default() },
+        );
+        if !result.status.is_completed() {
+            errors += 1;
+        }
+        if let Some(cov) = result.coverage {
+            if !universe.stmts.is_empty() {
+                stmt = (stmt.0 + cov.stmt_ratio(&universe), stmt.1 + 1);
+            }
+            if !universe.funcs.is_empty() {
+                func = (func.0 + cov.func_ratio(&universe), func.1 + 1);
+            }
+            if !universe.branches.is_empty() {
+                branch = (branch.0 + cov.branch_ratio(&universe), branch.1 + 1);
+            }
+        }
+    }
+    let mean = |(sum, n): (f64, usize)| if n == 0 { f64::NAN } else { sum / n as f64 };
+    QualityReport {
+        fuzzer: fuzzer.name().to_string(),
+        generated,
+        syntax_pass_rate,
+        runtime_error_rate: errors as f64 / sample.len().max(1) as f64,
+        stmt_coverage: mean(stmt),
+        func_coverage: mean(func),
+        branch_coverage: mean(branch),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed(&'static str);
+    impl Fuzzer for Fixed {
+        fn name(&self) -> &'static str {
+            "fixed"
+        }
+        fn next_case(&mut self, _rng: &mut StdRng) -> String {
+            self.0.to_string()
+        }
+    }
+
+    #[test]
+    fn valid_program_scores_full_pass_rate() {
+        let mut f = Fixed("var x = 1; if (x) { print(x); } else { print(0); }");
+        let q = measure(&mut f, 1, 10, 10);
+        assert_eq!(q.syntax_pass_rate, 1.0);
+        assert!(q.stmt_coverage > 0.5);
+        assert!(q.branch_coverage > 0.0 && q.branch_coverage <= 1.0);
+        assert_eq!(q.runtime_error_rate, 0.0);
+    }
+
+    #[test]
+    fn invalid_program_scores_zero() {
+        let mut f = Fixed("var x = ;");
+        let q = measure(&mut f, 1, 10, 10);
+        assert_eq!(q.syntax_pass_rate, 0.0);
+    }
+
+    #[test]
+    fn runtime_errors_counted() {
+        let mut f = Fixed("undefinedVariable.method();");
+        let q = measure(&mut f, 1, 4, 4);
+        assert_eq!(q.syntax_pass_rate, 1.0);
+        assert_eq!(q.runtime_error_rate, 1.0);
+    }
+}

@@ -1,0 +1,334 @@
+//! Table/figure rendering: regenerates every table and figure of the
+//! paper's evaluation section from campaign data (see DESIGN.md §3 for the
+//! experiment index).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use comfort_engines::{all_versions, quota, ApiType, Component, EngineName};
+
+use crate::campaign::CampaignReport;
+use crate::compare::FuzzerSeries;
+use crate::quality::QualityReport;
+use crate::testcase::Origin;
+
+fn row(out: &mut String, cells: &[&str], widths: &[usize]) {
+    for (cell, w) in cells.iter().zip(widths) {
+        let _ = write!(out, "{cell:<w$}  ");
+    }
+    out.push('\n');
+}
+
+/// **Table 1** — the engine/version inventory.
+pub fn table1() -> String {
+    let mut out = String::from("Table 1: JS engines under test\n");
+    let widths = [14, 24, 16, 12, 10];
+    row(&mut out, &["Engine", "Version", "Build", "Released", "ES spec"], &widths);
+    for v in all_versions() {
+        row(
+            &mut out,
+            &[v.engine.as_str(), v.version, v.build, v.release, v.edition.as_str()],
+            &widths,
+        );
+    }
+    let _ = writeln!(out, "total configurations: {}", all_versions().len());
+    out
+}
+
+/// **Table 2** — per-engine bug statistics.
+pub fn table2(report: &CampaignReport) -> String {
+    let mut out = String::from("Table 2: bug statistics per tested JS engine\n");
+    let widths = [14, 10, 10, 8, 16, 14];
+    row(
+        &mut out,
+        &["Engine", "#Submitted", "#Verified", "#Fixed", "#Acc. by Test262", "(paper #Subm.)"],
+        &widths,
+    );
+    let mut totals = (0usize, 0usize, 0usize, 0usize);
+    for engine in EngineName::ALL {
+        let bugs: Vec<_> = report.bugs.iter().filter(|b| b.key.engine == engine).collect();
+        let submitted = bugs.len();
+        let verified = bugs.iter().filter(|b| b.adjudication.verified).count();
+        let fixed = bugs.iter().filter(|b| b.adjudication.fixed).count();
+        let t262 = bugs.iter().filter(|b| b.adjudication.accepted_test262).count();
+        totals.0 += submitted;
+        totals.1 += verified;
+        totals.2 += fixed;
+        totals.3 += t262;
+        row(
+            &mut out,
+            &[
+                engine.as_str(),
+                &submitted.to_string(),
+                &verified.to_string(),
+                &fixed.to_string(),
+                &t262.to_string(),
+                &quota(engine).to_string(),
+            ],
+            &widths,
+        );
+    }
+    row(
+        &mut out,
+        &[
+            "Total",
+            &totals.0.to_string(),
+            &totals.1.to_string(),
+            &totals.2.to_string(),
+            &totals.3.to_string(),
+            "158",
+        ],
+        &widths,
+    );
+    out
+}
+
+/// **Table 3** — bugs per engine *version* (earliest-version attribution).
+pub fn table3(report: &CampaignReport) -> String {
+    let mut out = String::from("Table 3: bugs found per JS engine version\n");
+    let widths = [14, 28, 10, 10, 8, 6];
+    row(&mut out, &["Engine", "Version", "#Submitted", "#Verified", "#Fixed", "#New"], &widths);
+    let mut by_version: BTreeMap<(EngineName, String), Vec<&crate::campaign::BugReport>> =
+        BTreeMap::new();
+    for b in &report.bugs {
+        by_version
+            .entry((b.key.engine, b.earliest_version.clone()))
+            .or_default()
+            .push(b);
+    }
+    let mut total = 0;
+    for engine in EngineName::ALL {
+        for ((_, version), bugs) in by_version.iter().filter(|((e, _), _)| *e == engine) {
+            let verified = bugs.iter().filter(|b| b.adjudication.verified).count();
+            let fixed = bugs.iter().filter(|b| b.adjudication.fixed).count();
+            let new = bugs.iter().filter(|b| b.adjudication.novel).count();
+            total += bugs.len();
+            let version_label =
+                version.strip_prefix(&format!("{engine} ")).unwrap_or(version);
+            row(
+                &mut out,
+                &[
+                    engine.as_str(),
+                    version_label,
+                    &bugs.len().to_string(),
+                    &verified.to_string(),
+                    &fixed.to_string(),
+                    &new.to_string(),
+                ],
+                &widths,
+            );
+        }
+    }
+    let _ = writeln!(out, "total: {total}");
+    out
+}
+
+/// **Table 4** — bugs by discovery mechanism.
+pub fn table4(report: &CampaignReport) -> String {
+    let mut out = String::from("Table 4: bug statistics per generation mechanism\n");
+    let widths = [28, 10, 10, 8, 16];
+    row(&mut out, &["Category", "#Submitted", "#Confirmed", "#Fixed", "#Acc. by Test262"], &widths);
+    for origin in [Origin::ProgramGen, Origin::EcmaMutation] {
+        let bugs: Vec<_> = report.bugs.iter().filter(|b| b.origin == origin).collect();
+        let confirmed = bugs.iter().filter(|b| b.adjudication.verified).count();
+        let fixed = bugs.iter().filter(|b| b.adjudication.fixed).count();
+        let t262 = bugs.iter().filter(|b| b.adjudication.accepted_test262).count();
+        row(
+            &mut out,
+            &[
+                origin.as_str(),
+                &bugs.len().to_string(),
+                &confirmed.to_string(),
+                &fixed.to_string(),
+                &t262.to_string(),
+            ],
+            &widths,
+        );
+    }
+    out
+}
+
+/// **Table 5** — top buggy object types.
+pub fn table5(report: &CampaignReport) -> String {
+    let mut out = String::from("Table 5: statistics on buggy object types\n");
+    let widths = [14, 10, 10, 8];
+    row(&mut out, &["API Type", "#Submitted", "#Confirmed", "#Fixed"], &widths);
+    let mut counts: BTreeMap<&'static str, (usize, usize, usize)> = BTreeMap::new();
+    for b in &report.bugs {
+        if b.api_type == ApiType::NonApi {
+            continue;
+        }
+        let slot = counts.entry(b.api_type.as_str()).or_default();
+        slot.0 += 1;
+        if b.adjudication.verified {
+            slot.1 += 1;
+        }
+        if b.adjudication.fixed {
+            slot.2 += 1;
+        }
+    }
+    let mut rows: Vec<_> = counts.into_iter().collect();
+    rows.sort_by_key(|(_, (s, _, _))| std::cmp::Reverse(*s));
+    let mut totals = (0, 0, 0);
+    for (ty, (s, c, f)) in rows.iter().take(10) {
+        totals.0 += s;
+        totals.1 += c;
+        totals.2 += f;
+        row(&mut out, &[ty, &s.to_string(), &c.to_string(), &f.to_string()], &widths);
+    }
+    row(
+        &mut out,
+        &["Total", &totals.0.to_string(), &totals.1.to_string(), &totals.2.to_string()],
+        &widths,
+    );
+    out
+}
+
+/// **Figure 7** — bugs per affected compiler component (plus strict-only).
+pub fn figure7(report: &CampaignReport) -> String {
+    let mut out = String::from("Figure 7: bugs per compiler component\n");
+    let widths = [16, 10, 10, 8];
+    row(&mut out, &["Component", "#Submitted", "#Confirmed", "#Fixed"], &widths);
+    for component in Component::ALL {
+        let bugs: Vec<_> = report.bugs.iter().filter(|b| b.component == component).collect();
+        let confirmed = bugs.iter().filter(|b| b.adjudication.verified).count();
+        let fixed = bugs.iter().filter(|b| b.adjudication.fixed).count();
+        row(
+            &mut out,
+            &[
+                component.as_str(),
+                &bugs.len().to_string(),
+                &confirmed.to_string(),
+                &fixed.to_string(),
+            ],
+            &widths,
+        );
+    }
+    let strict_only = report.bugs.iter().filter(|b| b.strict_only).count();
+    let _ = writeln!(out, "Strict-mode-only bugs: {strict_only}");
+    out
+}
+
+/// **Figure 8** — fuzzer comparison over the testing budget.
+pub fn figure8(series: &[FuzzerSeries]) -> String {
+    let mut out = String::from(
+        "Figure 8: unique bugs per fuzzer (equal budgets; confirm/fix window applied)\n",
+    );
+    let widths = [16, 8, 10, 8, 10];
+    row(&mut out, &["Fuzzer", "#Bugs", "#Confirmed", "#Fixed", "#Exclusive"], &widths);
+    for s in series {
+        row(
+            &mut out,
+            &[
+                &s.name,
+                &s.unique_bugs.to_string(),
+                &s.confirmed.to_string(),
+                &s.fixed.to_string(),
+                &s.exclusive.to_string(),
+            ],
+            &widths,
+        );
+    }
+    out.push_str("\nDiscovery timeline (hours → cumulative unique bugs):\n");
+    for s in series {
+        let pts: Vec<String> =
+            s.discoveries.iter().map(|(h, n)| format!("{h:.1}h:{n}")).collect();
+        let _ = writeln!(out, "  {:<16} {}", s.name, pts.join(" "));
+    }
+    out
+}
+
+/// **Figure 9** — syntax validity + coverage per fuzzer.
+pub fn figure9(reports: &[QualityReport]) -> String {
+    let mut out = String::from("Figure 9: test-case quality per fuzzer\n");
+    let widths = [16, 12, 12, 10, 10, 10];
+    row(
+        &mut out,
+        &["Fuzzer", "#Generated", "Syntax pass", "Stmt cov", "Func cov", "Branch cov"],
+        &widths,
+    );
+    let pct = |v: f64| if v.is_nan() { "n/a".to_string() } else { format!("{:.1}%", v * 100.0) };
+    for q in reports {
+        row(
+            &mut out,
+            &[
+                &q.fuzzer,
+                &q.generated.to_string(),
+                &pct(q.syntax_pass_rate),
+                &pct(q.stmt_coverage),
+                &pct(q.func_coverage),
+                &pct(q.branch_coverage),
+            ],
+            &widths,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{Adjudication, BugReport};
+    use crate::differential::DeviationKind;
+    use crate::filter::BugKey;
+
+    fn fake_report() -> CampaignReport {
+        let mk = |engine: EngineName, api: &str, origin: Origin| BugReport {
+            key: BugKey {
+                engine,
+                api: Some(api.to_string()),
+                behavior: "WrongOutput".into(),
+            },
+            sim_hours: 1.0,
+            test_case: "print(1);".into(),
+            origin,
+            earliest_version: "v1".into(),
+            kind: DeviationKind::WrongOutput,
+            strict_only: false,
+            component: Component::Implementation,
+            api_type: ApiType::String,
+            matched_bug: None,
+            adjudication: Adjudication {
+                verified: true,
+                fixed: true,
+                rejected: false,
+                accepted_test262: false,
+                novel: true,
+            },
+        };
+        CampaignReport {
+            cases_run: 10,
+            bugs: vec![
+                mk(EngineName::Rhino, "substr", Origin::EcmaMutation),
+                mk(EngineName::V8, "slice", Origin::ProgramGen),
+            ],
+            ..CampaignReport::default()
+        }
+    }
+
+    #[test]
+    fn table1_lists_51_rows() {
+        let t = table1();
+        assert!(t.contains("total configurations: 51"));
+        assert!(t.contains("Rhino"));
+        assert!(t.contains("ES2015"));
+    }
+
+    #[test]
+    fn table2_has_all_engines_and_totals() {
+        let t = table2(&fake_report());
+        for e in EngineName::ALL {
+            assert!(t.contains(e.as_str()), "missing {e}");
+        }
+        assert!(t.contains("Total"));
+    }
+
+    #[test]
+    fn tables_render_without_panicking() {
+        let r = fake_report();
+        assert!(table3(&r).contains("Rhino"));
+        assert!(table4(&r).contains("ECMA-262"));
+        assert!(table5(&r).contains("String"));
+        assert!(figure7(&r).contains("Implementation"));
+    }
+}

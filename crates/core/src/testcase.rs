@@ -1,0 +1,45 @@
+//! Test cases and their provenance.
+
+use comfort_syntax::Program;
+
+/// How the bug-triggering input of a test case was produced (Table 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Origin {
+    /// The raw generated program (program generation, §3.2).
+    ProgramGen,
+    /// An ECMA-262-guided data mutation of a generated program (§3.3).
+    EcmaMutation,
+}
+
+impl Origin {
+    /// Table 4 row label.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Origin::ProgramGen => "Test program generation",
+            Origin::EcmaMutation => "ECMA-262 guided mutation",
+        }
+    }
+}
+
+/// A runnable test case: a program plus one input assignment (§1: "a test
+/// program and one of its datasets form a test case").
+#[derive(Debug, Clone)]
+pub struct TestCase {
+    /// Unique id within a campaign.
+    pub id: u64,
+    /// Source text (what would be attached to a bug report).
+    pub source: String,
+    /// Parsed form.
+    pub program: Program,
+    /// Provenance of the triggering data.
+    pub origin: Origin,
+    /// Id of the base generated program this was derived from.
+    pub base: u64,
+}
+
+impl TestCase {
+    /// Wraps a parsed program.
+    pub fn new(id: u64, source: String, program: Program, origin: Origin, base: u64) -> Self {
+        TestCase { id, source, program, origin, base }
+    }
+}

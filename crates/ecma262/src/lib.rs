@@ -1,0 +1,73 @@
+#![warn(missing_docs)]
+
+//! ECMA-262 specification extraction for COMFORT (§3.1).
+//!
+//! The paper parses the HTML ECMA-262 document with Apache Tika plus
+//! hand-written regexes, stores the extracted per-API rules as an AST, and
+//! serializes them to JSON (Figure 4). This crate reproduces that pipeline on
+//! an embedded pseudo-code corpus ([`spec_text::SPEC_CORPUS`]):
+//!
+//! * [`parser::parse_corpus`] — regex-driven rule extraction (built on
+//!   `comfort-regex`),
+//! * [`SpecDb`] / [`ApiSpec`] — the structured database,
+//! * [`BoundaryValue`] — the per-parameter probe values that drive the
+//!   ECMA-guided test-data generation of Algorithm 1 (in `comfort-core`).
+//!
+//! # Examples
+//!
+//! ```
+//! let db = comfort_ecma262::spec_db();
+//! let substr = db.get("String.prototype.substr").expect("in corpus");
+//! assert_eq!(substr.params[1].name, "length");
+//! // Figure 1, step 6: `If length is undefined …` became a boundary value.
+//! assert!(substr.params[1]
+//!     .values
+//!     .contains(&comfort_ecma262::BoundaryValue::Undefined));
+//! ```
+
+pub mod db;
+pub mod parser;
+pub mod spec_text;
+
+pub use db::{ApiSpec, BoundaryValue, ParamSpec, ParamType, SpecDb};
+pub use parser::parse_corpus;
+
+use std::sync::OnceLock;
+
+/// The shared database parsed from the embedded corpus.
+pub fn spec_db() -> &'static SpecDb {
+    static DB: OnceLock<SpecDb> = OnceLock::new();
+    DB.get_or_init(|| parse_corpus(spec_text::SPEC_CORPUS))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_db_is_populated() {
+        let db = spec_db();
+        assert!(db.len() >= 60);
+        assert!(!db.is_empty());
+    }
+
+    #[test]
+    fn every_spec_has_probe_values_for_each_param() {
+        for spec in spec_db().iter() {
+            for p in &spec.params {
+                assert!(
+                    !p.values.is_empty(),
+                    "{}.{} has no boundary values",
+                    spec.name,
+                    p.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn step_counts_recorded() {
+        let substr = spec_db().get("String.prototype.substr").expect("present");
+        assert!(substr.step_count >= 10);
+    }
+}

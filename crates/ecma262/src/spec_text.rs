@@ -1,0 +1,511 @@
+//! The embedded ECMA-262 pseudo-code corpus.
+//!
+//! The paper parses the HTML ECMA-262 document with Tika + hand-written
+//! regexes (§3.1). This reproduction has no network access, so the relevant
+//! API algorithms are embedded here, authored in the spec's own pseudo-code
+//! register (compare Figure 1). Only *pseudo-code* definitions appear — the
+//! natural-language-only definitions the paper cannot extract (its §5.3.2
+//! DIE example) are deliberately absent, reproducing that limitation.
+
+/// The spec corpus: one section per API, in ECMA-262 algorithm style.
+pub const SPEC_CORPUS: &str = r#"
+String.prototype.substr ( start, length )
+  1. Let O be RequireObjectCoercible(this value).
+  2. Let S be ToString(O).
+  3. ReturnIfAbrupt(S).
+  4. Let intStart be ToInteger(start).
+  5. ReturnIfAbrupt(intStart).
+  6. If length is undefined, let end be +Infinity; else let end be ToInteger(length).
+  7. ReturnIfAbrupt(end).
+  8. Let size be the number of code units in S.
+  9. If intStart < 0, let intStart be max(size + intStart, 0).
+  10. Let resultLength be min(max(end, 0), size - intStart).
+  11. If resultLength <= 0, return the empty String "".
+  12. Return a String containing resultLength consecutive code units from S.
+
+String.prototype.substring ( start, end )
+  1. Let O be RequireObjectCoercible(this value).
+  2. Let S be ToString(O).
+  3. Let intStart be ToInteger(start).
+  4. If end is undefined, let intEnd be len; else let intEnd be ToInteger(end).
+  5. Let finalStart be min(max(intStart, 0), len).
+  6. Let finalEnd be min(max(intEnd, 0), len).
+  7. Return the substring between min and max of finalStart and finalEnd.
+
+String.prototype.slice ( start, end )
+  1. Let O be RequireObjectCoercible(this value).
+  2. Let S be ToString(O).
+  3. Let intStart be ToInteger(start).
+  4. If end is undefined, let intEnd be len; else let intEnd be ToInteger(end).
+  5. If intStart < 0, let from be max(len + intStart, 0).
+  6. If intEnd < 0, let to be max(len + intEnd, 0).
+  7. Return the substring from from to to.
+
+String.prototype.indexOf ( searchString, position )
+  1. Let O be RequireObjectCoercible(this value).
+  2. Let S be ToString(O).
+  3. Let searchStr be ToString(searchString).
+  4. Let pos be ToInteger(position).
+  5. Let start be min(max(pos, 0), len).
+  6. Return the smallest index at which searchStr occurs at or after start, or -1.
+
+String.prototype.lastIndexOf ( searchString, position )
+  1. Let O be RequireObjectCoercible(this value).
+  2. Let S be ToString(O).
+  3. Let searchStr be ToString(searchString).
+  4. Let numPos be ToNumber(position).
+  5. If numPos is NaN, let pos be +Infinity; else let pos be ToInteger(numPos).
+  6. Return the largest index not exceeding pos at which searchStr occurs, or -1.
+
+String.prototype.charAt ( pos )
+  1. Let O be RequireObjectCoercible(this value).
+  2. Let S be ToString(O).
+  3. Let position be ToInteger(pos).
+  4. If position < 0 or position >= size, return the empty String "".
+  5. Return the single code unit at index position.
+
+String.prototype.charCodeAt ( pos )
+  1. Let O be RequireObjectCoercible(this value).
+  2. Let S be ToString(O).
+  3. Let position be ToInteger(pos).
+  4. If position < 0 or position >= size, return NaN.
+  5. Return the numeric code unit value at index position.
+
+String.prototype.codePointAt ( pos )
+  1. Let O be RequireObjectCoercible(this value).
+  2. Let S be ToString(O).
+  3. Let position be ToInteger(pos).
+  4. If position < 0 or position >= size, return undefined.
+  5. Return the code point at index position.
+
+String.prototype.split ( separator, limit )
+  1. Let O be RequireObjectCoercible(this value).
+  2. Let S be ToString(O).
+  3. If limit is undefined, let lim be 4294967295; else let lim be ToUint32(limit).
+  4. Let R be ToString(separator).
+  5. If lim = 0, return an empty array.
+  6. If separator is undefined, return an array containing S.
+  7. Return the substrings of S delimited by R, at most lim of them.
+
+String.prototype.replace ( searchValue, replaceValue )
+  1. Let O be RequireObjectCoercible(this value).
+  2. Let string be ToString(O).
+  3. Let searchString be ToString(searchValue).
+  4. If replaceValue is undefined, let replStr be the string "undefined"; else let replStr be ToString(replaceValue).
+  5. Let pos be the first occurrence of searchString in string.
+  6. Return string with the match at pos replaced by replStr.
+
+String.prototype.repeat ( count )
+  1. Let O be RequireObjectCoercible(this value).
+  2. Let S be ToString(O).
+  3. Let n be ToInteger(count).
+  4. If n < 0, throw a RangeError exception.
+  5. If n is +Infinity, throw a RangeError exception.
+  6. Return the String value consisting of n copies of S.
+
+String.prototype.padStart ( maxLength, fillString )
+  1. Let O be RequireObjectCoercible(this value).
+  2. Let S be ToString(O).
+  3. Let intMaxLength be ToLength(maxLength).
+  4. If fillString is undefined, let filler be the single space string; else let filler be ToString(fillString).
+  5. If intMaxLength <= stringLength, return S.
+  6. If filler is the empty String "", return S.
+  7. Return the concatenation of truncated filler and S.
+
+String.prototype.padEnd ( maxLength, fillString )
+  1. Let O be RequireObjectCoercible(this value).
+  2. Let S be ToString(O).
+  3. Let intMaxLength be ToLength(maxLength).
+  4. If fillString is undefined, let filler be the single space string; else let filler be ToString(fillString).
+  5. If intMaxLength <= stringLength, return S.
+  6. If filler is the empty String "", return S.
+  7. Return the concatenation of S and truncated filler.
+
+String.prototype.trim ( )
+  1. Let O be RequireObjectCoercible(this value).
+  2. Let S be ToString(O).
+  3. Return a String with leading and trailing white space removed.
+
+String.prototype.startsWith ( searchString, position )
+  1. Let O be RequireObjectCoercible(this value).
+  2. Let S be ToString(O).
+  3. Let searchStr be ToString(searchString).
+  4. Let pos be ToInteger(position).
+  5. Let start be min(max(pos, 0), len).
+  6. If searchLength + start > len, return false.
+  7. Return true if the sequence matches at start.
+
+String.prototype.endsWith ( searchString, endPosition )
+  1. Let O be RequireObjectCoercible(this value).
+  2. Let S be ToString(O).
+  3. Let searchStr be ToString(searchString).
+  4. If endPosition is undefined, let pos be len; else let pos be ToInteger(endPosition).
+  5. Let end be min(max(pos, 0), len).
+  6. If end - searchLength < 0, return false.
+  7. Return true if the sequence matches ending at end.
+
+String.prototype.includes ( searchString, position )
+  1. Let O be RequireObjectCoercible(this value).
+  2. Let S be ToString(O).
+  3. Let searchStr be ToString(searchString).
+  4. Let pos be ToInteger(position).
+  5. Return true if searchStr occurs at or after pos.
+
+String.prototype.concat ( arg1, arg2 )
+  1. Let O be RequireObjectCoercible(this value).
+  2. Let S be ToString(O).
+  3. Let R be S concatenated with ToString(arg1) and ToString(arg2).
+  4. Return R.
+
+String.prototype.normalize ( form )
+  1. Let O be RequireObjectCoercible(this value).
+  2. Let S be ToString(O).
+  3. If form is undefined, let f be "NFC"; else let f be ToString(form).
+  4. If f is not one of "NFC", "NFD", "NFKC", or "NFKD", throw a RangeError exception.
+  5. Return the String value that is the result of normalizing S into f.
+
+String.prototype.localeCompare ( that )
+  1. Let O be RequireObjectCoercible(this value).
+  2. Let S be ToString(O).
+  3. Let That be ToString(that).
+  4. Return a number indicating the sort order of S relative to That.
+
+String.fromCharCode ( code1, code2 )
+  1. Let codeUnits be a new empty List.
+  2. Let next be ToUint16(code1).
+  3. Let next be ToUint16(code2).
+  4. If next > 65535, the value wraps modulo 65536.
+  5. Return the String value whose code units are codeUnits.
+
+Number.prototype.toFixed ( fractionDigits )
+  1. Let x be thisNumberValue.
+  2. Let f be ToInteger(fractionDigits).
+  3. If f < 0 or f > 20, throw a RangeError exception.
+  4. If x is NaN, return the String "NaN".
+  5. If x >= 1e21, return ToString(x).
+  6. Return the fixed-notation String of x with f fraction digits.
+
+Number.prototype.toPrecision ( precision )
+  1. Let x be thisNumberValue.
+  2. If precision is undefined, return ToString(x).
+  3. Let p be ToInteger(precision).
+  4. If p < 1 or p > 100, throw a RangeError exception.
+  5. Return the String of x with p significant digits.
+
+Number.prototype.toString ( radix )
+  1. Let x be thisNumberValue.
+  2. If radix is undefined, let radixNumber be 10; else let radixNumber be ToInteger(radix).
+  3. If radixNumber < 2 or radixNumber > 36, throw a RangeError exception.
+  4. Return the String representation of x in radix radixNumber.
+
+Number.isInteger ( number )
+  1. If Type(number) is not Number, return false.
+  2. If number is NaN, +Infinity, or -Infinity, return false.
+  3. Let integer be ToInteger(number).
+  4. If integer is not equal to number, return false.
+  5. Return true.
+
+parseInt ( string, radix )
+  1. Let inputString be ToString(string).
+  2. Let R be ToInt32(radix).
+  3. If R is not 0 and R < 2 or R > 36, return NaN.
+  4. Return the integer value of the longest prefix of inputString in radix R, or NaN.
+
+parseFloat ( string )
+  1. Let inputString be ToString(string).
+  2. Let trimmedString be a substring of inputString with leading white space removed.
+  3. If trimmedString is the empty String "", return NaN.
+  4. Return the Number value of the longest decimal-literal prefix of trimmedString, or NaN.
+
+eval ( x )
+  1. If Type(x) is not String, return x.
+  2. Let script be the result of parsing x as a Script.
+  3. If the parse fails, throw a SyntaxError exception.
+  4. Return the result of evaluating script.
+
+Array ( len )
+  1. If len is a Number and ToUint32(len) is not equal to len, throw a RangeError exception.
+  2. If len < 0, throw a RangeError exception.
+  3. Return a new Array exotic object with length ToUint32(len).
+
+Array.isArray ( arg )
+  1. If Type(arg) is not Object, return false.
+  2. If arg is an Array exotic object, return true.
+  3. Return false.
+
+Array.from ( items, mapfn )
+  1. If mapfn is undefined, let mapping be false; else let mapping be true.
+  2. Let usingIterator be GetMethod(items).
+  3. Let len be ToLength(items.length).
+  4. Return an Array containing the mapped items.
+
+Array.prototype.join ( separator )
+  1. Let O be ToObject(this value).
+  2. Let len be ToLength(O.length).
+  3. If separator is undefined, let sep be the String ",".
+  4. Let sep be ToString(separator).
+  5. Return the elements of O converted to String and joined by sep.
+
+Array.prototype.indexOf ( searchElement, fromIndex )
+  1. Let O be ToObject(this value).
+  2. Let len be ToLength(O.length).
+  3. Let n be ToInteger(fromIndex).
+  4. If n >= len, return -1.
+  5. If n < 0, let k be max(len + n, 0).
+  6. Return the first index k at which searchElement compares strictly equal, or -1.
+
+Array.prototype.lastIndexOf ( searchElement, fromIndex )
+  1. Let O be ToObject(this value).
+  2. Let len be ToLength(O.length).
+  3. Let n be ToInteger(fromIndex).
+  4. If n < 0, let k be len + n.
+  5. Return the last index k at which searchElement compares strictly equal, or -1.
+
+Array.prototype.includes ( searchElement, fromIndex )
+  1. Let O be ToObject(this value).
+  2. Let len be ToLength(O.length).
+  3. Let n be ToInteger(fromIndex).
+  4. If searchElement is NaN, SameValueZero treats NaN as equal to NaN.
+  5. Return true if searchElement is found, else false.
+
+Array.prototype.slice ( start, end )
+  1. Let O be ToObject(this value).
+  2. Let len be ToLength(O.length).
+  3. Let relativeStart be ToInteger(start).
+  4. If relativeStart < 0, let k be max(len + relativeStart, 0).
+  5. If end is undefined, let relativeEnd be len; else let relativeEnd be ToInteger(end).
+  6. Return a new Array containing the elements from k to final.
+
+Array.prototype.splice ( start, deleteCount )
+  1. Let O be ToObject(this value).
+  2. Let len be ToLength(O.length).
+  3. Let relativeStart be ToInteger(start).
+  4. If relativeStart < 0, let actualStart be max(len + relativeStart, 0).
+  5. Let dc be ToInteger(deleteCount).
+  6. Let actualDeleteCount be min(max(dc, 0), len - actualStart).
+  7. Return an Array of the removed elements.
+
+Array.prototype.fill ( value, start, end )
+  1. Let O be ToObject(this value).
+  2. Let len be ToLength(O.length).
+  3. Let relativeStart be ToInteger(start).
+  4. If relativeStart < 0, let k be max(len + relativeStart, 0).
+  5. If end is undefined, let relativeEnd be len; else let relativeEnd be ToInteger(end).
+  6. Set all elements from k to final to value.
+  7. Return O.
+
+Array.prototype.flat ( depth )
+  1. Let O be ToObject(this value).
+  2. Let sourceLen be ToLength(O.length).
+  3. If depth is undefined, let depthNum be 1; else let depthNum be ToInteger(depth).
+  4. Return a new Array with sub-array elements flattened to depthNum.
+
+Array.prototype.push ( item1, item2 )
+  1. Let O be ToObject(this value).
+  2. Let len be ToLength(O.length).
+  3. Append item1 and item2 to O.
+  4. Return the new length of O.
+
+Array.prototype.concat ( arg1, arg2 )
+  1. Let O be ToObject(this value).
+  2. Let A be a new Array.
+  3. Spread array arguments arg1 and arg2 into A, append others.
+  4. Return A.
+
+Array.prototype.sort ( comparefn )
+  1. Let obj be ToObject(this value).
+  2. If comparefn is undefined, elements compare as Strings.
+  3. Let len be ToLength(obj.length).
+  4. Sort the elements of obj; undefined elements sort to the end.
+  5. Return obj.
+
+Object.keys ( O )
+  1. Let obj be ToObject(O).
+  2. Let nameList be EnumerableOwnNames(obj).
+  3. Return CreateArrayFromList(nameList).
+
+Object.assign ( target, source )
+  1. Let to be ToObject(target).
+  2. If source is undefined or null, skip it.
+  3. Copy all enumerable own properties of source to to.
+  4. Return to.
+
+Object.defineProperty ( O, P, Attributes )
+  1. If Type(O) is not Object, throw a TypeError exception.
+  2. Let key be ToPropertyKey(P).
+  3. Let desc be ToPropertyDescriptor(Attributes).
+  4. If O is an Array exotic object and key is "length" and Desc.[[Configurable]] is true, throw a TypeError exception.
+  5. Perform DefinePropertyOrThrow(O, key, desc).
+  6. Return O.
+
+Object.prototype.hasOwnProperty ( V )
+  1. Let P be ToPropertyKey(V).
+  2. Let O be ToObject(this value).
+  3. Return HasOwnProperty(O, P).
+
+Object.setPrototypeOf ( O, proto )
+  1. Let O be RequireObjectCoercible(O).
+  2. If Type(proto) is not Object and proto is not null, throw a TypeError exception.
+  3. Set the prototype of O to proto.
+  4. Return O.
+
+Object.create ( O, Properties )
+  1. If Type(O) is not Object and O is not null, throw a TypeError exception.
+  2. Let obj be a new object with prototype O.
+  3. If Properties is not undefined, define its properties on obj.
+  4. Return obj.
+
+Object.getOwnPropertyDescriptor ( O, P )
+  1. Let obj be ToObject(O).
+  2. Let key be ToPropertyKey(P).
+  3. Let desc be OrdinaryGetOwnProperty(obj, key).
+  4. Return FromPropertyDescriptor(desc).
+
+Uint32Array ( length )
+  1. If length is undefined, return a zero-length view.
+  2. Let elementLength be ToInteger(length).
+  3. If elementLength < 0, throw a RangeError exception.
+  4. Return a new typed array of elementLength elements.
+
+Uint8Array ( length )
+  1. If length is undefined, return a zero-length view.
+  2. Let elementLength be ToInteger(length).
+  3. If elementLength < 0, throw a RangeError exception.
+  4. Return a new typed array of elementLength elements.
+
+Int32Array ( length )
+  1. If length is undefined, return a zero-length view.
+  2. Let elementLength be ToInteger(length).
+  3. If elementLength < 0, throw a RangeError exception.
+  4. Return a new typed array of elementLength elements.
+
+Float64Array ( length )
+  1. If length is undefined, return a zero-length view.
+  2. Let elementLength be ToInteger(length).
+  3. If elementLength < 0, throw a RangeError exception.
+  4. Return a new typed array of elementLength elements.
+
+%TypedArray%.prototype.set ( source, offset )
+  1. Let target be the this value.
+  2. Let targetOffset be ToInteger(offset).
+  3. If targetOffset < 0, throw a RangeError exception.
+  4. Let src be ToObject(source).
+  5. Let srcLength be ToLength(src.length).
+  6. If srcLength + targetOffset > targetLength, throw a RangeError exception.
+  7. Set the elements of target from the numeric values of src.
+
+%TypedArray%.prototype.subarray ( begin, end )
+  1. Let O be the this value.
+  2. Let relativeBegin be ToInteger(begin).
+  3. If relativeBegin < 0, let beginIndex be max(srcLength + relativeBegin, 0).
+  4. If end is undefined, let relativeEnd be srcLength; else let relativeEnd be ToInteger(end).
+  5. Return a new view on the same buffer from beginIndex to endIndex.
+
+%TypedArray%.prototype.fill ( value, start, end )
+  1. Let O be the this value.
+  2. Let numValue be ToNumber(value).
+  3. Let relativeStart be ToInteger(start).
+  4. If end is undefined, let relativeEnd be len; else let relativeEnd be ToInteger(end).
+  5. Set all elements from k to final to numValue.
+  6. Return O.
+
+DataView ( buffer, byteOffset, byteLength )
+  1. If Type(buffer) is not Object, throw a TypeError exception.
+  2. Let offset be ToInteger(byteOffset).
+  3. If offset < 0, throw a RangeError exception.
+  4. If byteLength is undefined, the view extends to the end of buffer; else let viewByteLength be ToLength(byteLength).
+  5. Return a new DataView on buffer.
+
+DataView.prototype.getUint32 ( byteOffset )
+  1. Let v be the this value.
+  2. Let getIndex be ToInteger(byteOffset).
+  3. If getIndex < 0, throw a RangeError exception.
+  4. Return the 4-byte unsigned integer at getIndex.
+
+DataView.prototype.setUint32 ( byteOffset, value )
+  1. Let v be the this value.
+  2. Let setIndex be ToInteger(byteOffset).
+  3. If setIndex < 0, throw a RangeError exception.
+  4. Let numValue be ToNumber(value).
+  5. Store numValue as a 4-byte unsigned integer at setIndex.
+
+JSON.stringify ( value, replacer, space )
+  1. Let stack be a new empty List.
+  2. If value is undefined, return undefined.
+  3. If Type(space) is Number, let gap be min(10, ToInteger(space)) spaces.
+  4. Return the JSON text for value.
+
+JSON.parse ( text, reviver )
+  1. Let jsonString be ToString(text).
+  2. If jsonString is the empty String "", throw a SyntaxError exception.
+  3. Parse jsonString as JSON; if the parse fails, throw a SyntaxError exception.
+  4. Return the parsed value.
+
+RegExp.prototype.exec ( string )
+  1. Let R be the this value.
+  2. Let S be ToString(string).
+  3. Let lastIndex be ToLength(R.lastIndex).
+  4. Return the match Array, or null if no match.
+
+RegExp.prototype.test ( S )
+  1. Let R be the this value.
+  2. Let string be ToString(S).
+  3. Let match be RegExpExec(R, string).
+  4. If match is not null, return true; else return false.
+
+Math.round ( x )
+  1. Let n be ToNumber(x).
+  2. If n is NaN, return NaN.
+  3. If the fractional part of n is exactly 0.5, return the smallest integer greater than n.
+  4. Return the integer closest to n.
+
+Math.min ( value1, value2 )
+  1. Let n1 be ToNumber(value1).
+  2. Let n2 be ToNumber(value2).
+  3. If any value is NaN, return NaN.
+  4. If no arguments are given, return +Infinity.
+  5. Return the smallest of the values.
+
+Math.max ( value1, value2 )
+  1. Let n1 be ToNumber(value1).
+  2. Let n2 be ToNumber(value2).
+  3. If any value is NaN, return NaN.
+  4. If no arguments are given, return -Infinity.
+  5. Return the largest of the values.
+
+Math.pow ( base, exponent )
+  1. Let b be ToNumber(base).
+  2. Let e be ToNumber(exponent).
+  3. If e is 0, return 1 even if b is NaN.
+  4. Return b raised to the power e.
+
+Math.sign ( x )
+  1. Let n be ToNumber(x).
+  2. If n is NaN, return NaN.
+  3. If n is 0, return 0.
+  4. If n < 0, return -1; else return 1.
+
+Function.prototype.apply ( thisArg, argArray )
+  1. Let func be the this value.
+  2. If argArray is undefined or null, call func with no arguments.
+  3. Let argList be CreateListFromArrayLike(argArray).
+  4. If Type(argArray) is not Object, throw a TypeError exception.
+  5. Return Call(func, thisArg, argList).
+
+Function.prototype.call ( thisArg, arg1, arg2 )
+  1. Let func be the this value.
+  2. Let argList be the remaining arguments arg1 and arg2.
+  3. Return Call(func, thisArg, argList).
+
+Boolean.prototype.valueOf ( )
+  1. Let b be thisBooleanValue.
+  2. Return b.
+
+Date.prototype.getFullYear ( )
+  1. Let t be thisTimeValue.
+  2. If t is NaN, return NaN.
+  3. Return YearFromTime(LocalTime(t)).
+
+Date.now ( )
+  1. Return the Number of milliseconds since the epoch.
+"#;

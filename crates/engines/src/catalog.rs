@@ -1,0 +1,788 @@
+//! The seeded conformance-bug catalog.
+//!
+//! Every simulated engine bug is a [`SeededBug`]: an engine + version range,
+//! a target API, a **trigger** (predicate over the call site), and an
+//! **effect** (the deviation applied when the trigger fires). The catalog
+//! contains
+//!
+//! * the ten concrete bugs from the paper's listings (Figure 2, Listings
+//!   1–9), hand-written below with their documented version ranges, and
+//! * a deterministic template-derived population that reproduces the paper's
+//!   per-engine bug counts (Table 2), per-version attribution (Table 3),
+//!   discovery-mechanism split (Table 4), buggy-API-type distribution
+//!   (Table 5), and per-component distribution (Figure 7).
+//!
+//! A bug is *hidden*: it only manifests when a test case calls the right API
+//! with trigger-satisfying arguments on an affected engine version — which is
+//! exactly the discovery problem COMFORT's spec-guided test-data generation
+//! is designed to solve.
+
+use comfort_interp::hooks::{ValuePreview, ValueRecipe};
+use comfort_interp::ErrorKind;
+
+use crate::registry::{version_count, EngineName};
+
+/// Unique id of a seeded bug.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BugId(pub u32);
+
+impl std::fmt::Display for BugId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "B{:03}", self.0)
+    }
+}
+
+/// Engine component the bug lives in (Figure 7 grouping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Component {
+    /// Back-end code generation.
+    CodeGen,
+    /// API / library implementation.
+    Implementation,
+    /// Front-end parser.
+    Parser,
+    /// Regular-expression engine.
+    RegexEngine,
+    /// Optimizing tier.
+    Optimizer,
+}
+
+impl Component {
+    /// All components, Figure 7 order.
+    pub const ALL: [Component; 5] = [
+        Component::CodeGen,
+        Component::Implementation,
+        Component::Parser,
+        Component::RegexEngine,
+        Component::Optimizer,
+    ];
+
+    /// Display label.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Component::CodeGen => "CodeGen",
+            Component::Implementation => "Implementation",
+            Component::Parser => "Parser",
+            Component::RegexEngine => "Regex Engine",
+            Component::Optimizer => "Optimizer",
+        }
+    }
+}
+
+/// Receiver/object type of the buggy API (Table 5 grouping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum ApiType {
+    Object,
+    String,
+    Array,
+    TypedArray,
+    Number,
+    Eval,
+    DataView,
+    Json,
+    RegExp,
+    Date,
+    /// Bug not tied to a standard API (language-construct bugs).
+    NonApi,
+}
+
+impl ApiType {
+    /// Display label as in Table 5.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ApiType::Object => "Object",
+            ApiType::String => "String",
+            ApiType::Array => "Array",
+            ApiType::TypedArray => "TypedArray",
+            ApiType::Number => "Number",
+            ApiType::Eval => "eval function",
+            ApiType::DataView => "DataView",
+            ApiType::Json => "JSON",
+            ApiType::RegExp => "RegExp",
+            ApiType::Date => "Date",
+            ApiType::NonApi => "(non-API)",
+        }
+    }
+}
+
+/// How the bug can be discovered (Table 4 grouping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Discovery {
+    /// Any program exercising the API with ordinary values can expose it.
+    ProgramGen,
+    /// Requires boundary-condition test *data* from the ECMA-262 rules
+    /// (`undefined`, `NaN`, negative, out-of-range, …).
+    EcmaGuided,
+}
+
+/// Predicate over one builtin call site.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Trigger {
+    /// Fires on every call.
+    Always,
+    /// Argument `i` is present and `undefined`.
+    ArgUndefined(usize),
+    /// Argument `i` is absent (fewer args than `i + 1`).
+    ArgMissing(usize),
+    /// Argument `i` is a negative number.
+    ArgNegative(usize),
+    /// Argument `i` is `NaN`.
+    ArgNaN(usize),
+    /// Argument `i` is a non-integral finite number.
+    ArgNonInteger(usize),
+    /// Argument `i` is a number strictly below the bound.
+    ArgBelow(usize, f64),
+    /// Argument `i` is a number strictly above the bound.
+    ArgAbove(usize, f64),
+    /// Argument `i` is `±Infinity`.
+    ArgInfinite(usize),
+    /// Argument `i` is exactly `0`.
+    ArgZero(usize),
+    /// Argument `i` is a boolean.
+    ArgIsBool(usize),
+    /// Argument `i` is a string.
+    ArgIsString(usize),
+    /// Argument `i` is the empty string.
+    ArgEmptyString(usize),
+    /// The receiver is the empty string.
+    ReceiverEmptyString,
+    /// The receiver has this class name.
+    ReceiverClass(&'static str),
+    /// At least `n` arguments were passed.
+    ArgCountAtLeast(usize),
+}
+
+impl Trigger {
+    /// Evaluates the predicate against previews of receiver and arguments.
+    pub fn matches(&self, receiver: &ValuePreview, args: &[ValuePreview]) -> bool {
+        let num = |i: usize| args.get(i).and_then(ValuePreview::as_number);
+        match *self {
+            Trigger::Always => true,
+            Trigger::ArgUndefined(i) => args.get(i).is_some_and(ValuePreview::is_undefined),
+            Trigger::ArgMissing(i) => args.len() <= i,
+            Trigger::ArgNegative(i) => num(i).is_some_and(|n| n < 0.0),
+            Trigger::ArgNaN(i) => num(i).is_some_and(f64::is_nan),
+            Trigger::ArgNonInteger(i) => num(i).is_some_and(|n| n.is_finite() && n.fract() != 0.0),
+            Trigger::ArgBelow(i, b) => num(i).is_some_and(|n| n < b),
+            Trigger::ArgAbove(i, b) => num(i).is_some_and(|n| n > b),
+            Trigger::ArgInfinite(i) => num(i).is_some_and(f64::is_infinite),
+            Trigger::ArgZero(i) => num(i).is_some_and(|n| n == 0.0),
+            Trigger::ArgIsBool(i) => matches!(args.get(i), Some(ValuePreview::Bool(_))),
+            Trigger::ArgIsString(i) => matches!(args.get(i), Some(ValuePreview::Str(_))),
+            Trigger::ArgEmptyString(i) => {
+                matches!(args.get(i), Some(ValuePreview::Str(s)) if s.is_empty())
+            }
+            Trigger::ReceiverEmptyString => {
+                matches!(receiver, ValuePreview::Str(s) if s.is_empty())
+            }
+            Trigger::ReceiverClass(c) => match receiver {
+                ValuePreview::Object { class } => *class == c,
+                ValuePreview::Array { .. } => c == "Array",
+                _ => false,
+            },
+            Trigger::ArgCountAtLeast(n) => args.len() >= n,
+        }
+    }
+}
+
+/// The deviation a bug applies when triggered.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Effect {
+    /// Skip the spec algorithm and return this value.
+    WrongValue(ValueRecipe),
+    /// Throw an error the spec does not call for.
+    WrongThrow(ErrorKind),
+    /// Swallow the spec-mandated error; return the recipe instead.
+    MissingThrow(ValueRecipe),
+    /// Simulated memory-safety crash (Listing 9).
+    Crash,
+    /// Performance bug: burn this much extra fuel per triggering call.
+    Perf(u64),
+    /// `eval` accepts a headless `for(…)` (Listing 7).
+    EvalHeadlessFor,
+    /// `split` regex engine mishandles a leading `^` anchor (Listing 8).
+    SplitAnchor,
+    /// `array[true] = v` appends an element (Listing 6).
+    ArrayBoolKeyAppend,
+    /// O(n) relocation per reverse-order array fill (Listing 2).
+    ArrayReverseFill,
+    /// `defineProperty` on array `length` misses the TypeError (Listing 1).
+    DefinePropLengthSuppress,
+}
+
+/// One seeded conformance bug.
+#[derive(Debug, Clone)]
+pub struct SeededBug {
+    /// Stable id.
+    pub id: BugId,
+    /// Affected engine.
+    pub engine: EngineName,
+    /// First version ordinal that has the bug.
+    pub introduced: u32,
+    /// Version ordinal where the bug was fixed upstream (exclusive), if any.
+    pub fixed_in: Option<u32>,
+    /// Canonical API name the bug hooks (`None` for construct-level bugs
+    /// dispatched through the special hooks).
+    pub api: Option<&'static str>,
+    /// All triggers must match (conjunction).
+    pub triggers: Vec<Trigger>,
+    /// The deviation.
+    pub effect: Effect,
+    /// Figure 7 component.
+    pub component: Component,
+    /// Table 5 object type.
+    pub api_type: ApiType,
+    /// Table 4 discovery mechanism.
+    pub discovery: Discovery,
+    /// `true` if the violated rule is written as ECMA-262 pseudo-code (and
+    /// is therefore in the `comfort-ecma262` database); the paper's DIE
+    /// Listing-12 class has `false`.
+    pub pseudocode_rule: bool,
+    /// Bug only manifests in strict mode.
+    pub strict_only: bool,
+}
+
+impl SeededBug {
+    /// `true` if the bug exists in version `ordinal` of its engine.
+    pub fn active_in(&self, ordinal: u32) -> bool {
+        ordinal >= self.introduced && self.fixed_in.is_none_or(|f| ordinal < f)
+    }
+}
+
+/// A template from which engine-specific bugs are stamped out.
+struct Template {
+    api: &'static str,
+    triggers: &'static [Trigger],
+    effect: Effect,
+    api_type: ApiType,
+    discovery: Discovery,
+    component: Component,
+    strict_only: bool,
+}
+
+macro_rules! tpl {
+    ($api:literal, [$($t:expr),*], $e:expr, $ty:ident, $d:ident, $c:ident) => {
+        Template {
+            api: $api,
+            triggers: &[$($t),*],
+            effect: $e,
+            api_type: ApiType::$ty,
+            discovery: Discovery::$d,
+            component: Component::$c,
+            strict_only: false,
+        }
+    };
+    ($api:literal, [$($t:expr),*], $e:expr, $ty:ident, $d:ident, $c:ident, strict) => {
+        Template {
+            api: $api,
+            triggers: &[$($t),*],
+            effect: $e,
+            api_type: ApiType::$ty,
+            discovery: Discovery::$d,
+            component: Component::$c,
+            strict_only: true,
+        }
+    };
+}
+
+/// The template pool. Ordered so that stamping engines' quotas out of it
+/// reproduces the Table 5 object-type distribution (Object and String
+/// dominate) and the Figure 7 component distribution.
+fn templates() -> Vec<Template> {
+    use Effect::*;
+    use Trigger::*;
+    use ValueRecipe as R;
+    vec![
+        // --- Object (Table 5 row 1) -------------------------------------------------
+        tpl!("Object.keys", [ArgCountAtLeast(1), ReceiverClass("Object")], WrongValue(R::Undefined), Object, ProgramGen, CodeGen),
+        tpl!("Object.assign", [ArgMissing(1)], WrongThrow(ErrorKind::Type), Object, EcmaGuided, Implementation),
+        tpl!("Object.freeze", [Always], WrongValue(R::Undefined), Object, ProgramGen, Implementation),
+        tpl!("Object.defineProperty", [ArgCountAtLeast(3)], MissingThrow(R::Arg(0)), Object, EcmaGuided, CodeGen, strict),
+        tpl!("Object.getOwnPropertyNames", [Always], WrongValue(R::Undefined), Object, ProgramGen, Implementation),
+        tpl!("Object.values", [Always], WrongValue(R::Str(String::new())), Object, ProgramGen, CodeGen),
+        tpl!("Object.entries", [Always], WrongValue(R::Undefined), Object, ProgramGen, CodeGen),
+        tpl!("Object.prototype.hasOwnProperty", [ArgMissing(0)], WrongValue(R::Bool(true)), Object, EcmaGuided, Implementation),
+        tpl!("Object.seal", [Always], WrongValue(R::Undefined), Object, ProgramGen, Optimizer),
+        tpl!("Object.isFrozen", [Always], WrongValue(R::Bool(true)), Object, ProgramGen, Implementation),
+        tpl!("Object.create", [ArgCountAtLeast(1)], WrongThrow(ErrorKind::Type), Object, ProgramGen, CodeGen),
+        tpl!("Object.getPrototypeOf", [Always], WrongValue(R::Null), Object, ProgramGen, Optimizer),
+        tpl!("Object.prototype.toString", [ReceiverClass("Array")], WrongValue(R::Str("[object Object]".into())), Object, ProgramGen, Implementation),
+        tpl!("Object.setPrototypeOf", [ArgCountAtLeast(2)], MissingThrow(R::Arg(0)), Object, EcmaGuided, Implementation, strict),
+        // --- String (Table 5 row 2) -------------------------------------------------
+        tpl!("String.prototype.replace", [ArgMissing(1)], WrongValue(R::Receiver), String, EcmaGuided, Implementation),
+        tpl!("String.prototype.replace", [ArgIsBool(1)], WrongThrow(ErrorKind::Type), String, EcmaGuided, Implementation),
+        tpl!("String.prototype.replace", [ArgCountAtLeast(3)], WrongValue(R::Receiver), String, EcmaGuided, Implementation),
+        tpl!("String.prototype.indexOf", [ArgNegative(1)], WrongValue(R::Number(-1.0)), String, EcmaGuided, CodeGen),
+        tpl!("String.prototype.slice", [ArgInfinite(1)], WrongValue(R::Str(String::new())), String, EcmaGuided, CodeGen),
+        tpl!("String.prototype.substring", [ArgNaN(0)], WrongThrow(ErrorKind::Range), String, EcmaGuided, Implementation),
+        tpl!("String.prototype.charAt", [ArgNonInteger(0)], WrongValue(R::Str(String::new())), String, EcmaGuided, CodeGen),
+        tpl!("String.prototype.charCodeAt", [ArgMissing(0)], WrongValue(R::Number(0.0)), String, EcmaGuided, Implementation),
+        tpl!("String.prototype.split", [ArgEmptyString(0)], WrongValue(R::Receiver), String, EcmaGuided, Implementation),
+        tpl!("String.prototype.concat", [ArgCountAtLeast(2)], WrongValue(R::Receiver), String, ProgramGen, CodeGen),
+        tpl!("String.prototype.repeat", [ArgZero(0)], WrongValue(R::Receiver), String, EcmaGuided, Implementation),
+        tpl!("String.prototype.padStart", [ArgNegative(0)], WrongThrow(ErrorKind::Range), String, EcmaGuided, Implementation),
+        tpl!("String.prototype.padEnd", [ArgEmptyString(1)], WrongValue(R::Receiver), String, EcmaGuided, CodeGen),
+        tpl!("String.prototype.trim", [ReceiverEmptyString], WrongThrow(ErrorKind::Type), String, EcmaGuided, Implementation),
+        tpl!("String.prototype.toUpperCase", [Always], WrongValue(R::Receiver), String, ProgramGen, Optimizer),
+        tpl!("String.prototype.startsWith", [ArgMissing(0)], WrongValue(R::Bool(true)), String, EcmaGuided, Implementation),
+        tpl!("String.prototype.endsWith", [ArgZero(1)], WrongValue(R::Bool(true)), String, EcmaGuided, Implementation),
+        tpl!("String.prototype.includes", [ArgEmptyString(0)], WrongValue(R::Bool(false)), String, EcmaGuided, CodeGen),
+        tpl!("String.prototype.lastIndexOf", [Always], WrongValue(R::Number(-1.0)), String, ProgramGen, CodeGen),
+        tpl!("String.fromCharCode", [ArgAbove(0, 65535.0)], WrongThrow(ErrorKind::Range), String, EcmaGuided, Implementation),
+        // --- Array (Table 5 row 3) --------------------------------------------------
+        tpl!("Array.prototype.splice", [ArgNegative(0)], WrongValue(R::Undefined), Array, EcmaGuided, Implementation),
+        tpl!("Array.prototype.slice", [ArgInfinite(0)], WrongThrow(ErrorKind::Range), Array, EcmaGuided, CodeGen),
+        tpl!("Array.prototype.indexOf", [ArgNaN(1)], WrongValue(R::Number(0.0)), Array, EcmaGuided, Implementation),
+        tpl!("Array.prototype.join", [ArgUndefined(0)], WrongValue(R::Str(String::new())), Array, EcmaGuided, Implementation),
+        tpl!("Array.prototype.fill", [ArgNegative(1)], WrongValue(R::Receiver), Array, EcmaGuided, CodeGen),
+        tpl!("Array.prototype.concat", [Always], WrongValue(R::Receiver), Array, ProgramGen, Optimizer),
+        tpl!("Array.prototype.push", [ArgCountAtLeast(2)], WrongValue(R::Number(1.0)), Array, ProgramGen, CodeGen),
+        tpl!("Array.prototype.unshift", [Always], WrongValue(R::Number(0.0)), Array, ProgramGen, CodeGen),
+        tpl!("Array.prototype.reverse", [Always], WrongValue(R::Receiver), Array, ProgramGen, Optimizer),
+        tpl!("Array.prototype.sort", [ArgCountAtLeast(1)], WrongValue(R::Receiver), Array, ProgramGen, Implementation),
+        tpl!("Array.isArray", [ArgIsString(0)], WrongValue(R::Bool(true)), Array, EcmaGuided, Implementation),
+        tpl!("Array.from", [ArgEmptyString(0)], WrongThrow(ErrorKind::Type), Array, EcmaGuided, Implementation),
+        tpl!("Array.prototype.includes", [ArgNaN(0)], WrongValue(R::Bool(false)), Array, EcmaGuided, Implementation),
+        tpl!("Array.prototype.flat", [ArgInfinite(0)], WrongThrow(ErrorKind::Range), Array, EcmaGuided, Implementation),
+        // --- TypedArray (Table 5 row 4) ----------------------------------------------
+        tpl!("Uint8Array", [ArgNegative(0)], MissingThrow(R::Undefined), TypedArray, EcmaGuided, Implementation),
+        tpl!("Int32Array", [ArgNonInteger(0)], WrongThrow(ErrorKind::Type), TypedArray, EcmaGuided, Implementation),
+        tpl!("Float64Array", [ArgIsString(0)], WrongThrow(ErrorKind::Type), TypedArray, EcmaGuided, CodeGen),
+        tpl!("%TypedArray%.prototype.fill", [ArgNaN(0)], WrongValue(R::Receiver), TypedArray, EcmaGuided, Implementation),
+        tpl!("%TypedArray%.prototype.subarray", [ArgNegative(0)], WrongThrow(ErrorKind::Range), TypedArray, EcmaGuided, Implementation),
+        tpl!("%TypedArray%.prototype.set", [ArgCountAtLeast(2)], WrongThrow(ErrorKind::Range), TypedArray, EcmaGuided, CodeGen),
+        // --- Number (Table 5 row 5) ---------------------------------------------------
+        tpl!("Number.prototype.toPrecision", [ArgZero(0)], MissingThrow(R::ReceiverToString), Number, EcmaGuided, Implementation),
+        tpl!("Number.prototype.toString", [ArgAbove(0, 36.0)], MissingThrow(R::ReceiverToString), Number, EcmaGuided, Implementation),
+        tpl!("parseInt", [ArgAbove(1, 36.0)], WrongValue(R::Number(f64::NAN)), Number, EcmaGuided, Implementation),
+        tpl!("parseFloat", [ArgEmptyString(0)], WrongValue(R::Number(0.0)), Number, EcmaGuided, CodeGen),
+        tpl!("Number.isInteger", [ArgIsString(0)], WrongValue(R::Bool(true)), Number, EcmaGuided, Implementation),
+        // --- eval (Table 5 row 6) -------------------------------------------------------
+        tpl!("eval", [ArgEmptyString(0)], WrongThrow(ErrorKind::Syntax), Eval, EcmaGuided, Parser),
+        tpl!("eval", [ArgIsBool(0)], WrongThrow(ErrorKind::Type), Eval, EcmaGuided, Parser),
+        // --- DataView (Table 5 row 7) ----------------------------------------------------
+        tpl!("DataView.prototype.getUint32", [ArgNegative(0)], WrongValue(R::Number(0.0)), DataView, EcmaGuided, Implementation),
+        tpl!("DataView.prototype.setUint32", [ArgNaN(1)], WrongThrow(ErrorKind::Type), DataView, EcmaGuided, Implementation),
+        tpl!("DataView", [ArgMissing(0)], WrongValue(R::Undefined), DataView, EcmaGuided, CodeGen),
+        // --- JSON (Table 5 row 8) ----------------------------------------------------------
+        tpl!("JSON.stringify", [ArgUndefined(0)], WrongValue(R::Str("null".into())), Json, EcmaGuided, Implementation),
+        tpl!("JSON.parse", [ArgEmptyString(0)], WrongValue(R::Null), Json, EcmaGuided, Parser),
+        tpl!("JSON.stringify", [ArgCountAtLeast(3)], WrongValue(R::Str(String::new())), Json, ProgramGen, Implementation),
+        // --- RegExp (Table 5 row 9) ----------------------------------------------------------
+        tpl!("RegExp.prototype.exec", [ArgEmptyString(0)], WrongValue(R::Null), RegExp, EcmaGuided, RegexEngine),
+        tpl!("RegExp.prototype.test", [ArgMissing(0)], WrongValue(R::Bool(true)), RegExp, EcmaGuided, RegexEngine),
+        tpl!("String.prototype.match", [Always], WrongValue(R::Null), RegExp, ProgramGen, RegexEngine),
+        tpl!("String.prototype.search", [Always], WrongValue(R::Number(-1.0)), RegExp, ProgramGen, RegexEngine),
+        // --- Date (Table 5 row 10) --------------------------------------------------------------
+        tpl!("Date.prototype.getFullYear", [Always], WrongValue(R::Number(1970.0)), Date, ProgramGen, Implementation),
+        tpl!("Date.now", [Always], WrongValue(R::Number(0.0)), Date, ProgramGen, Implementation),
+        // --- extra long-tail (keeps template overlap between engines low) -------------
+        tpl!("Math.round", [ArgNonInteger(0)], WrongValue(R::Number(0.0)), NonApi, EcmaGuided, CodeGen),
+        tpl!("Math.min", [ArgNaN(0)], WrongValue(R::Number(0.0)), NonApi, EcmaGuided, CodeGen),
+        tpl!("Math.max", [ArgMissing(0)], WrongValue(R::Number(0.0)), NonApi, EcmaGuided, CodeGen),
+        tpl!("Math.pow", [ArgZero(1)], WrongValue(R::Number(0.0)), NonApi, EcmaGuided, Optimizer),
+        tpl!("isNaN", [ArgIsString(0)], WrongValue(R::Bool(false)), NonApi, ProgramGen, CodeGen),
+        tpl!("isFinite", [ArgInfinite(0)], WrongValue(R::Bool(true)), NonApi, ProgramGen, CodeGen),
+        tpl!("Function.prototype.call", [ArgCountAtLeast(3)], WrongThrow(ErrorKind::Type), NonApi, ProgramGen, CodeGen),
+        tpl!("Function.prototype.apply", [ArgMissing(1)], WrongThrow(ErrorKind::Type), NonApi, EcmaGuided, CodeGen),
+        tpl!("String.prototype.big", [Always], WrongValue(R::Receiver), String, ProgramGen, Implementation),
+        tpl!("Array.prototype.pop", [Always], WrongValue(R::Undefined), Array, ProgramGen, Optimizer),
+        tpl!("Array.prototype.shift", [Always], WrongValue(R::Undefined), Array, ProgramGen, Optimizer),
+        tpl!("String.prototype.localeCompare", [Always], WrongValue(R::Number(0.0)), String, ProgramGen, Implementation),
+        tpl!("Number.parseFloat", [Always], WrongValue(R::Number(f64::NAN)), Number, ProgramGen, CodeGen),
+        tpl!("Object.isExtensible", [Always], WrongValue(R::Bool(false)), Object, ProgramGen, Optimizer),
+        tpl!("Object.getOwnPropertyDescriptor", [ArgCountAtLeast(2)], WrongValue(R::Undefined), Object, ProgramGen, Implementation),
+        tpl!("Object.preventExtensions", [Always], WrongValue(R::Undefined), Object, ProgramGen, Optimizer, strict),
+        tpl!("String.prototype.substr", [ArgNegative(0)], WrongValue(R::Receiver), String, EcmaGuided, CodeGen),
+        tpl!("String.prototype.substring", [ArgCountAtLeast(2), ArgAbove(0, 0.0)], WrongValue(R::Receiver), String, ProgramGen, Optimizer),
+        tpl!("Array.prototype.lastIndexOf", [ArgNegative(1)], WrongValue(R::Number(-1.0)), Array, EcmaGuided, Implementation),
+        tpl!("Math.sign", [ArgZero(0)], WrongValue(R::Number(1.0)), NonApi, EcmaGuided, CodeGen),
+        tpl!("Object.prototype.propertyIsEnumerable", [Always], WrongValue(R::Bool(true)), Object, ProgramGen, Implementation),
+        tpl!("Object.prototype.isPrototypeOf", [Always], WrongValue(R::Bool(false)), Object, ProgramGen, Implementation),
+        tpl!("String.prototype.codePointAt", [ArgMissing(0)], WrongValue(R::Undefined), String, EcmaGuided, Implementation),
+        tpl!("Number.prototype.toFixed", [ArgAbove(0, 20.0)], MissingThrow(R::ReceiverToString), Number, EcmaGuided, Implementation),
+        tpl!("Array.of", [Always], WrongValue(R::Undefined), Array, ProgramGen, CodeGen),
+        tpl!("String.prototype.trimStart", [Always], WrongValue(R::Receiver), String, ProgramGen, CodeGen),
+        tpl!("String.prototype.trimEnd", [Always], WrongValue(R::Receiver), String, ProgramGen, CodeGen),
+        tpl!("Boolean.prototype.valueOf", [Always], WrongValue(R::Bool(false)), NonApi, ProgramGen, Implementation),
+    ]
+}
+
+/// Per-engine submitted-bug quota (Table 2).
+pub fn quota(engine: EngineName) -> usize {
+    match engine {
+        EngineName::V8 => 4,
+        EngineName::ChakraCore => 7,
+        EngineName::Jsc => 12,
+        EngineName::SpiderMonkey => 3,
+        EngineName::Rhino => 44,
+        EngineName::Nashorn => 18,
+        EngineName::Hermes => 16,
+        EngineName::JerryScript => 35,
+        EngineName::QuickJs => 17,
+        EngineName::GraalJs => 2,
+    }
+}
+
+/// Per-engine version-introduction distribution, mirroring Table 3:
+/// `(ordinal, how many template bugs introduced at that version)`.
+fn intro_distribution(engine: EngineName) -> Vec<(u32, usize)> {
+    use EngineName::*;
+    match engine {
+        V8 => vec![(0, 3)],
+        ChakraCore => vec![(3, 3), (2, 1), (1, 1), (0, 1)],
+        Jsc => vec![(3, 1), (2, 2), (1, 7), (0, 1)],
+        SpiderMonkey => vec![(1, 1), (0, 1)],
+        Rhino => vec![(6, 24), (5, 16), (4, 2)],
+        Nashorn => vec![(4, 4), (3, 14)],
+        Hermes => vec![(3, 2), (2, 1), (1, 5), (0, 7)],
+        JerryScript => vec![(8, 2), (6, 17), (4, 6), (1, 8), (0, 1)],
+        QuickJs => vec![(5, 1), (4, 2), (3, 4), (2, 3), (1, 3), (0, 2)],
+        GraalJs => vec![],
+    }
+}
+
+/// Builds the full catalog: paper-listing bugs + template-derived bugs.
+///
+/// The construction is deterministic, so bug ids are stable across runs.
+pub fn build_catalog() -> Vec<SeededBug> {
+    let mut out = paper_listing_bugs();
+    let pool = templates();
+    let mut next_id = out.len() as u32;
+
+    // Each engine reads the pool starting at its own offset so that any one
+    // template is shared by only a couple of engines (keeps every deviation a
+    // strict minority across the ten-engine testbed matrix, which majority
+    // voting requires).
+    for (idx, engine) in EngineName::ALL.into_iter().enumerate() {
+        let handwritten = out.iter().filter(|b| b.engine == engine).count();
+        let need = quota(engine).saturating_sub(handwritten);
+        let mut intro = intro_distribution(engine);
+        let nv = version_count(engine);
+        let mut offset = idx * 11;
+        for _ in 0..need {
+            let t = &pool[offset % pool.len()];
+            offset += 1;
+            let introduced = match intro.iter_mut().find(|(_, n)| *n > 0) {
+                Some((ord, n)) => {
+                    *n -= 1;
+                    *ord
+                }
+                None => (offset as u32 * 7) % nv,
+            };
+            out.push(SeededBug {
+                id: BugId(next_id),
+                engine,
+                introduced,
+                fixed_in: None,
+                api: Some(t.api),
+                triggers: t.triggers.to_vec(),
+                effect: t.effect.clone(),
+                component: t.component,
+                api_type: t.api_type,
+                discovery: t.discovery,
+                pseudocode_rule: t.discovery == Discovery::EcmaGuided,
+                strict_only: t.strict_only,
+            });
+            next_id += 1;
+        }
+    }
+    out
+}
+
+/// The ten concrete bugs from the paper's figures/listings.
+pub fn paper_listing_bugs() -> Vec<SeededBug> {
+    use EngineName::*;
+    let mut id = 0;
+    let mut mk = |engine: EngineName,
+                  introduced: u32,
+                  fixed_in: Option<u32>,
+                  api: Option<&'static str>,
+                  triggers: Vec<Trigger>,
+                  effect: Effect,
+                  component: Component,
+                  api_type: ApiType,
+                  discovery: Discovery,
+                  pseudocode_rule: bool| {
+        let bug = SeededBug {
+            id: BugId(id),
+            engine,
+            introduced,
+            fixed_in,
+            api,
+            triggers,
+            effect,
+            component,
+            api_type,
+            discovery,
+            pseudocode_rule,
+            strict_only: false,
+        };
+        id += 1;
+        bug
+    };
+    vec![
+        // Figure 2: Rhino substr(start, undefined) → "".
+        mk(
+            Rhino,
+            0,
+            None,
+            Some("String.prototype.substr"),
+            vec![Trigger::ArgUndefined(1)],
+            Effect::WrongValue(ValueRecipe::Str(String::new())),
+            Component::Implementation,
+            ApiType::String,
+            Discovery::EcmaGuided,
+            true,
+        ),
+        // Listing 1: V8 misses the TypeError on redefining array length.
+        mk(
+            V8,
+            0,
+            None,
+            None,
+            vec![],
+            Effect::DefinePropLengthSuppress,
+            Component::CodeGen,
+            ApiType::Object,
+            Discovery::EcmaGuided,
+            true,
+        ),
+        // Listing 1 (same root cause) in Graaljs.
+        mk(
+            GraalJs,
+            0,
+            None,
+            None,
+            vec![],
+            Effect::DefinePropLengthSuppress,
+            Component::CodeGen,
+            ApiType::Object,
+            Discovery::EcmaGuided,
+            true,
+        ),
+        // Listing 2: Hermes reverse-fill reallocation, fixed in v0.3.0.
+        mk(
+            Hermes,
+            0,
+            Some(1),
+            None,
+            vec![],
+            Effect::ArrayReverseFill,
+            Component::CodeGen,
+            ApiType::Array,
+            Discovery::ProgramGen,
+            false,
+        ),
+        // Listing 3: SpiderMonkey TypeError on Uint32Array(3.14), fixed v52.9.
+        mk(
+            SpiderMonkey,
+            0,
+            Some(2),
+            Some("Uint32Array"),
+            vec![Trigger::ArgNonInteger(0)],
+            Effect::WrongThrow(ErrorKind::Type),
+            Component::Implementation,
+            ApiType::TypedArray,
+            Discovery::EcmaGuided,
+            true,
+        ),
+        // Listing 4: Rhino toFixed(-2) returns the string instead of RangeError.
+        mk(
+            Rhino,
+            0,
+            None,
+            Some("Number.prototype.toFixed"),
+            vec![Trigger::ArgNegative(0)],
+            Effect::MissingThrow(ValueRecipe::ReceiverToString),
+            Component::Implementation,
+            ApiType::Number,
+            Discovery::EcmaGuided,
+            true,
+        ),
+        // Listing 5: JSC TypeError on TypedArray.set('123'), fixed in 261782.
+        mk(
+            Jsc,
+            0,
+            Some(3),
+            Some("%TypedArray%.prototype.set"),
+            vec![Trigger::ArgIsString(0)],
+            Effect::WrongThrow(ErrorKind::Type),
+            Component::Implementation,
+            ApiType::TypedArray,
+            Discovery::EcmaGuided,
+            true,
+        ),
+        // Listing 5 in Graaljs too.
+        mk(
+            GraalJs,
+            0,
+            None,
+            Some("%TypedArray%.prototype.set"),
+            vec![Trigger::ArgIsString(0)],
+            Effect::WrongThrow(ErrorKind::Type),
+            Component::Implementation,
+            ApiType::TypedArray,
+            Discovery::EcmaGuided,
+            true,
+        ),
+        // Listing 6: QuickJS appends obj[true] as an array element.
+        mk(
+            QuickJs,
+            0,
+            None,
+            None,
+            vec![],
+            Effect::ArrayBoolKeyAppend,
+            Component::CodeGen,
+            ApiType::Array,
+            Discovery::EcmaGuided,
+            true,
+        ),
+        // Listing 7: ChakraCore accepts a headless for(…) inside eval.
+        mk(
+            ChakraCore,
+            0,
+            None,
+            None,
+            vec![],
+            Effect::EvalHeadlessFor,
+            Component::Parser,
+            ApiType::Eval,
+            Discovery::EcmaGuided,
+            true,
+        ),
+        // Listing 8: JerryScript split(/^A/) anchor bug.
+        mk(
+            JerryScript,
+            0,
+            None,
+            None,
+            vec![],
+            Effect::SplitAnchor,
+            Component::RegexEngine,
+            ApiType::String,
+            Discovery::ProgramGen,
+            false,
+        ),
+        // Listing 9: QuickJS crash on ''.normalize(true).
+        mk(
+            QuickJs,
+            0,
+            None,
+            Some("String.prototype.normalize"),
+            vec![Trigger::ReceiverEmptyString, Trigger::ArgIsBool(0)],
+            Effect::Crash,
+            Component::Implementation,
+            ApiType::String,
+            Discovery::ProgramGen,
+            false,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_matches_table2_quotas() {
+        let catalog = build_catalog();
+        for e in EngineName::ALL {
+            let n = catalog.iter().filter(|b| b.engine == e).count();
+            assert_eq!(n, quota(e), "engine {e}");
+        }
+        assert_eq!(catalog.len(), 158);
+    }
+
+    #[test]
+    fn bug_ids_unique() {
+        let catalog = build_catalog();
+        let mut ids: Vec<u32> = catalog.iter().map(|b| b.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), catalog.len());
+    }
+
+    #[test]
+    fn table4_mechanism_split_shape() {
+        let catalog = build_catalog();
+        let ecma = catalog.iter().filter(|b| b.discovery == Discovery::EcmaGuided).count();
+        let pgen = catalog.len() - ecma;
+        // Paper: 97 program-generation vs 61 ECMA-guided. Require the same
+        // shape: both present, ECMA-guided a large minority.
+        assert!((40..=100).contains(&ecma), "ecma={ecma}");
+        assert!(pgen >= 40, "pgen={pgen}");
+    }
+
+    #[test]
+    fn version_ranges_valid() {
+        for bug in build_catalog() {
+            let nv = version_count(bug.engine);
+            assert!(bug.introduced < nv, "{}: introduced out of range", bug.id);
+            if let Some(f) = bug.fixed_in {
+                assert!(f > bug.introduced && f <= nv, "{}: bad fixed_in", bug.id);
+            }
+        }
+    }
+
+    #[test]
+    fn active_in_respects_ranges() {
+        let bug = &paper_listing_bugs()[4]; // SpiderMonkey Uint32Array, fixed at 2
+        assert!(bug.active_in(0));
+        assert!(bug.active_in(1));
+        assert!(!bug.active_in(2));
+        assert!(!bug.active_in(6));
+    }
+
+    #[test]
+    fn triggers_match_expected_sites() {
+        use comfort_interp::hooks::ValuePreview as P;
+        let t = Trigger::ArgUndefined(1);
+        assert!(t.matches(&P::Str("x".into()), &[P::Number(0.0), P::Undefined]));
+        assert!(!t.matches(&P::Str("x".into()), &[P::Number(0.0)])); // absent ≠ undefined
+        assert!(Trigger::ArgMissing(1).matches(&P::Undefined, &[P::Number(0.0)]));
+        assert!(Trigger::ArgNonInteger(0).matches(&P::Undefined, &[P::Number(2.75)]));
+        assert!(!Trigger::ArgNonInteger(0).matches(&P::Undefined, &[P::Number(3.0)]));
+        assert!(Trigger::ReceiverEmptyString.matches(&P::Str(String::new()), &[]));
+        assert!(Trigger::ReceiverClass("Array").matches(&P::Array { len: 2 }, &[]));
+    }
+
+    #[test]
+    fn every_engine_has_a_bug_in_its_latest_version() {
+        // Table 3: COMFORT found 38 new bugs in latest versions — at minimum
+        // every engine must have ≥1 bug alive in its newest release.
+        let catalog = build_catalog();
+        for e in EngineName::ALL {
+            let latest = version_count(e) - 1;
+            assert!(
+                catalog.iter().any(|b| b.engine == e && b.active_in(latest)),
+                "engine {e} has no bug in latest version"
+            );
+        }
+    }
+
+    #[test]
+    fn template_overlap_is_a_minority_per_api_trigger() {
+        // Majority voting requires that no identical deviation exists in five
+        // or more of the ten engines.
+        use std::collections::HashMap;
+        let catalog = build_catalog();
+        let mut by_key: HashMap<(Option<&str>, String), std::collections::HashSet<EngineName>> =
+            HashMap::new();
+        for b in &catalog {
+            by_key
+                .entry((b.api, format!("{:?}{:?}", b.triggers, b.effect)))
+                .or_default()
+                .insert(b.engine);
+        }
+        for ((api, _), engines) in by_key {
+            assert!(
+                engines.len() <= 4,
+                "bug template on {api:?} shared by {} engines",
+                engines.len()
+            );
+        }
+    }
+}

@@ -1,0 +1,326 @@
+#![warn(missing_docs)]
+
+//! Simulated JavaScript engines for the COMFORT reproduction.
+//!
+//! The paper tests ten production engines across 51 version configurations
+//! and 102 testbeds (normal + strict per configuration, §4.1–4.2). This crate
+//! simulates that matrix: every engine version is the reference interpreter
+//! (`comfort-interp`) configured with the *seeded conformance bugs* of
+//! [`catalog`], so engines deviate from ECMA-262 in hidden, input-dependent
+//! ways — exactly the kind of defect differential conformance testing must
+//! surface.
+//!
+//! # Examples
+//!
+//! Running the paper's Figure 2 test case on conforming engines and on
+//! Rhino (which carries the `substr(start, undefined)` bug):
+//!
+//! ```
+//! use comfort_engines::{Engine, EngineName};
+//!
+//! let program = comfort_syntax::parse(
+//!     "var s = 'Name: Albert'; print(s.substr(6, undefined));",
+//! ).expect("valid JS");
+//!
+//! let v8 = Engine::latest(EngineName::V8);
+//! let rhino = Engine::latest(EngineName::Rhino);
+//! assert_eq!(v8.run(&program).output, "Albert\n");
+//! assert_eq!(rhino.run(&program).output, "\n"); // the seeded Figure-2 bug
+//! ```
+
+pub mod catalog;
+mod profile;
+pub mod registry;
+
+pub use catalog::{quota, ApiType, BugId, Component, Discovery, Effect, SeededBug, Trigger};
+pub use profile::EngineProfile;
+pub use registry::{all_versions, versions_of, EngineName, EngineVersion, EsEdition};
+
+use comfort_interp::{run_program, RunOptions, RunResult};
+use comfort_syntax::Program;
+use std::sync::OnceLock;
+
+/// The shared, lazily-built bug catalog (deterministic; see [`catalog`]).
+pub fn shared_catalog() -> &'static [SeededBug] {
+    static CATALOG: OnceLock<Vec<SeededBug>> = OnceLock::new();
+    CATALOG.get_or_init(catalog::build_catalog)
+}
+
+/// One runnable engine version.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    profile: EngineProfile,
+}
+
+impl Engine {
+    /// Builds the engine for a specific [`EngineVersion`].
+    pub fn new(version: EngineVersion) -> Self {
+        Engine { profile: EngineProfile::new(version, shared_catalog()) }
+    }
+
+    /// The latest version of `name` (the trunk build in Table 1).
+    pub fn latest(name: EngineName) -> Self {
+        let version = *versions_of(name).last().expect("every engine has versions");
+        Engine::new(version)
+    }
+
+    /// The oldest version of `name`.
+    pub fn oldest(name: EngineName) -> Self {
+        let version = versions_of(name)[0];
+        Engine::new(version)
+    }
+
+    /// Engine name.
+    pub fn name(&self) -> EngineName {
+        self.profile.engine()
+    }
+
+    /// Version metadata.
+    pub fn version(&self) -> &EngineVersion {
+        self.profile.version()
+    }
+
+    /// Seeded bugs active in this version (test/debug introspection).
+    pub fn active_bugs(&self) -> &[SeededBug] {
+        self.profile.bugs()
+    }
+
+    /// Runs `program` in normal mode with default options.
+    pub fn run(&self, program: &Program) -> RunResult {
+        run_program(program, &self.profile, &RunOptions::default())
+    }
+
+    /// Runs `program` with explicit options (strict testbed, fuel, coverage).
+    pub fn run_with(&self, program: &Program, options: &RunOptions) -> RunResult {
+        run_program(program, &self.profile, options)
+    }
+}
+
+/// A testbed = engine version × mode (§4.2). 51 versions × 2 modes = 102.
+#[derive(Debug, Clone)]
+pub struct Testbed {
+    /// The engine version.
+    pub engine: Engine,
+    /// `true` for the strict-mode testbed.
+    pub strict: bool,
+}
+
+impl Testbed {
+    /// Display label, e.g. `"Rhino v1.7.12 [strict]"`.
+    pub fn label(&self) -> String {
+        if self.strict {
+            format!("{} [strict]", self.engine.version().label())
+        } else {
+            self.engine.version().label()
+        }
+    }
+
+    /// Runs a program on this testbed.
+    pub fn run(&self, program: &Program, fuel: u64, coverage: bool) -> RunResult {
+        self.engine
+            .run_with(program, &RunOptions { fuel, force_strict: self.strict, coverage })
+    }
+}
+
+/// All 102 testbeds (Table 1 × {normal, strict}).
+pub fn all_testbeds() -> Vec<Testbed> {
+    let mut out = Vec::with_capacity(102);
+    for version in all_versions() {
+        for strict in [false, true] {
+            out.push(Testbed { engine: Engine::new(version), strict });
+        }
+    }
+    out
+}
+
+/// The *latest-version* testbeds only (one normal testbed per engine), the
+/// default comparison set for differential runs.
+pub fn latest_testbeds() -> Vec<Testbed> {
+    EngineName::ALL
+        .into_iter()
+        .map(|name| Testbed { engine: Engine::latest(name), strict: false })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comfort_interp::{ErrorKind, RunStatus};
+    use comfort_syntax::parse;
+
+    fn run_on(engine: &Engine, src: &str) -> RunResult {
+        engine.run(&parse(src).expect("test source parses"))
+    }
+
+    #[test]
+    fn testbed_matrix_size() {
+        assert_eq!(all_testbeds().len(), 102);
+        assert_eq!(latest_testbeds().len(), 10);
+    }
+
+    #[test]
+    fn figure2_rhino_substr_bug() {
+        let src = r#"
+function foo(str, start, len) { var ret = str.substr(start, len); return ret; }
+var name = foo("Name: Albert", 6, undefined);
+print(name);
+"#;
+        assert_eq!(run_on(&Engine::latest(EngineName::V8), src).output, "Albert\n");
+        assert_eq!(run_on(&Engine::latest(EngineName::Rhino), src).output, "\n");
+    }
+
+    #[test]
+    fn listing1_v8_defineproperty_bug() {
+        let src = r#"
+var arrobj = [0, 1];
+Object.defineProperty(arrobj, "length", { value: 1, configurable: true });
+print("no error");
+"#;
+        // V8 and Graaljs silently accept; conforming engines throw TypeError.
+        assert_eq!(run_on(&Engine::latest(EngineName::V8), src).output, "no error\n");
+        assert_eq!(run_on(&Engine::latest(EngineName::GraalJs), src).output, "no error\n");
+        let jsc = run_on(&Engine::latest(EngineName::Jsc), src);
+        assert!(
+            matches!(jsc.status, RunStatus::Threw { kind: Some(ErrorKind::Type), .. }),
+            "JSC should throw, got {:?}",
+            jsc.status
+        );
+    }
+
+    #[test]
+    fn listing2_hermes_perf_bug() {
+        let src = r#"
+var foo = function(size) {
+  var array = new Array(size);
+  while (size--) { array[size] = 0; }
+}
+var parameter = 300000;
+foo(parameter);
+print("done");
+"#;
+        // Hermes v0.1.1 times out; v0.3.0+ (fixed) completes.
+        let old = Engine::oldest(EngineName::Hermes);
+        assert_eq!(run_on(&old, src).status, RunStatus::OutOfFuel);
+        let new = Engine::latest(EngineName::Hermes);
+        assert_eq!(run_on(&new, src).output, "done\n");
+        let v8 = Engine::latest(EngineName::V8);
+        assert_eq!(run_on(&v8, src).output, "done\n");
+    }
+
+    #[test]
+    fn listing3_spidermonkey_uint32array_bug() {
+        let src = "var a = new Uint32Array(3.14); print(a.length);";
+        let old = Engine::oldest(EngineName::SpiderMonkey); // v1.7, bug present
+        assert!(matches!(
+            run_on(&old, src).status,
+            RunStatus::Threw { kind: Some(ErrorKind::Type), .. }
+        ));
+        let new = Engine::latest(EngineName::SpiderMonkey); // ≥ v52.9, fixed
+        assert_eq!(run_on(&new, src).output, "3\n");
+    }
+
+    #[test]
+    fn listing4_rhino_tofixed_bug() {
+        let src = "var p = (-634619).toFixed(-2); print(p);";
+        assert_eq!(run_on(&Engine::latest(EngineName::Rhino), src).output, "-634619\n");
+        assert!(matches!(
+            run_on(&Engine::latest(EngineName::V8), src).status,
+            RunStatus::Threw { kind: Some(ErrorKind::Range), .. }
+        ));
+    }
+
+    #[test]
+    fn listing5_jsc_typedarray_set_bug() {
+        let src = "var e = '123'; var A = new Uint8Array(5); A.set(e); print(A);";
+        // JSC trunk builds prior to 261782 threw; 261782 is fixed.
+        let old = Engine::new(versions_of(EngineName::Jsc)[2]);
+        assert!(matches!(
+            run_on(&old, src).status,
+            RunStatus::Threw { kind: Some(ErrorKind::Type), .. }
+        ));
+        let fixed = Engine::latest(EngineName::Jsc);
+        assert_eq!(run_on(&fixed, src).output, "1,2,3,0,0\n");
+        // Graaljs carries the same bug (unfixed).
+        assert!(matches!(
+            run_on(&Engine::latest(EngineName::GraalJs), src).status,
+            RunStatus::Threw { .. }
+        ));
+    }
+
+    #[test]
+    fn listing6_quickjs_array_key_bug() {
+        let src = r#"
+var property = true;
+var obj = [1,2,5];
+obj[property] = 10;
+print(obj);
+print(obj[property]);
+"#;
+        let quickjs = run_on(&Engine::latest(EngineName::QuickJs), src);
+        assert_eq!(quickjs.output, "1,2,5,10\nundefined\n");
+        let v8 = run_on(&Engine::latest(EngineName::V8), src);
+        assert_eq!(v8.output, "1,2,5\n10\n");
+    }
+
+    #[test]
+    fn listing7_chakracore_eval_bug() {
+        let src = "var a = eval(\"for(var i = 0; i < 1; ++i)\"); print('ran');";
+        assert_eq!(run_on(&Engine::latest(EngineName::ChakraCore), src).output, "ran\n");
+        assert!(matches!(
+            run_on(&Engine::latest(EngineName::V8), src).status,
+            RunStatus::Threw { kind: Some(ErrorKind::Syntax), .. }
+        ));
+    }
+
+    #[test]
+    fn listing8_jerryscript_split_bug() {
+        let src = "var a = \"anA\".split(/^A/); print(a);";
+        assert_eq!(run_on(&Engine::latest(EngineName::JerryScript), src).output, "an\n");
+        assert_eq!(run_on(&Engine::latest(EngineName::V8), src).output, "anA\n");
+    }
+
+    #[test]
+    fn listing9_quickjs_normalize_crash() {
+        let src = "var s = ''; s.normalize(true);";
+        let r = run_on(&Engine::latest(EngineName::QuickJs), src);
+        assert!(matches!(r.status, RunStatus::Crashed(_)), "got {:?}", r.status);
+        // Conforming engines throw a RangeError for the invalid form.
+        assert!(matches!(
+            run_on(&Engine::latest(EngineName::V8), src).status,
+            RunStatus::Threw { kind: Some(ErrorKind::Range), .. }
+        ));
+    }
+
+    #[test]
+    fn strict_testbed_differs_from_normal() {
+        let bed_normal = Testbed { engine: Engine::latest(EngineName::V8), strict: false };
+        let bed_strict = Testbed { engine: Engine::latest(EngineName::V8), strict: true };
+        let program = parse("x = 1; print(x);").expect("parses");
+        assert!(bed_normal.run(&program, 100_000, false).status.is_completed());
+        assert!(!bed_strict.run(&program, 100_000, false).status.is_completed());
+        assert!(bed_strict.label().contains("[strict]"));
+    }
+
+    #[test]
+    fn engines_agree_on_conforming_programs() {
+        // A program exercising no seeded bug must be identical on all ten.
+        let program = parse(
+            "var a = [5, 3, 9]; var t = 0; for (var i = 0; i < a.length; i++) { t += a[i]; } print(t);",
+        )
+        .expect("parses");
+        let outputs: Vec<String> = latest_testbeds()
+            .iter()
+            .map(|t| t.run(&program, 1_000_000, false).output)
+            .collect();
+        assert!(outputs.iter().all(|o| o == "17\n"), "{outputs:?}");
+    }
+
+    #[test]
+    fn active_bug_counts_follow_catalog() {
+        let rhino = Engine::latest(EngineName::Rhino);
+        // Rhino's latest version carries the lion's share of its 44 bugs.
+        assert!(rhino.active_bugs().len() >= 40, "{}", rhino.active_bugs().len());
+        let sm = Engine::latest(EngineName::SpiderMonkey);
+        assert!(sm.active_bugs().len() <= 3);
+    }
+}

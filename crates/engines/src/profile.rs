@@ -1,0 +1,117 @@
+//! [`EngineProfile`] — glues a seeded-bug catalog slice to the interpreter's
+//! [`ConformanceProfile`] hook interface.
+
+use comfort_interp::hooks::{
+    ArraySetBehavior, BuiltinSite, ConformanceProfile, Deviation, ValuePreview, ValueRecipe,
+};
+
+use crate::catalog::{Effect, SeededBug};
+use crate::registry::{EngineName, EngineVersion};
+
+/// The behaviour of one engine *version*: the reference interpreter plus the
+/// catalog bugs active in that version.
+#[derive(Debug, Clone)]
+pub struct EngineProfile {
+    version: EngineVersion,
+    bugs: Vec<SeededBug>,
+}
+
+impl EngineProfile {
+    /// Builds the profile for `version` from the full `catalog`.
+    pub fn new(version: EngineVersion, catalog: &[SeededBug]) -> Self {
+        let bugs = catalog
+            .iter()
+            .filter(|b| b.engine == version.engine && b.active_in(version.ordinal))
+            .cloned()
+            .collect();
+        EngineProfile { version, bugs }
+    }
+
+    /// The engine this profile simulates.
+    pub fn engine(&self) -> EngineName {
+        self.version.engine
+    }
+
+    /// The version row this profile simulates.
+    pub fn version(&self) -> &EngineVersion {
+        &self.version
+    }
+
+    /// The seeded bugs active in this version.
+    pub fn bugs(&self) -> &[SeededBug] {
+        &self.bugs
+    }
+
+    /// The bug whose trigger matches `site`, if any (first catalog order).
+    fn matching_bug(&self, site: &BuiltinSite) -> Option<&SeededBug> {
+        self.bugs.iter().find(|b| {
+            b.api == Some(site.api)
+                && (!b.strict_only || site.strict)
+                && b.triggers.iter().all(|t| t.matches(&site.receiver, &site.args))
+        })
+    }
+}
+
+impl ConformanceProfile for EngineProfile {
+    fn on_builtin(&self, site: &BuiltinSite) -> Deviation {
+        match self.matching_bug(site).map(|b| &b.effect) {
+            None => Deviation::None,
+            Some(Effect::WrongValue(recipe)) => Deviation::ReturnValue(recipe.clone()),
+            Some(Effect::WrongThrow(kind)) => Deviation::ThrowError(
+                *kind,
+                format!("invalid argument to {} ({})", site.api, self.version.engine),
+            ),
+            Some(Effect::MissingThrow(recipe)) => Deviation::SuppressThrow(recipe.clone()),
+            Some(Effect::Crash) => Deviation::Crash(format!(
+                "Segmentation fault (core dumped) in {}",
+                site.api
+            )),
+            Some(Effect::Perf(extra)) => Deviation::Slowdown(*extra),
+            // Special-hook effects never route through `on_builtin`.
+            Some(
+                Effect::EvalHeadlessFor
+                | Effect::SplitAnchor
+                | Effect::ArrayBoolKeyAppend
+                | Effect::ArrayReverseFill
+                | Effect::DefinePropLengthSuppress,
+            ) => Deviation::None,
+        }
+    }
+
+    fn on_define_property(&self, target_class: &'static str, key: &str, _strict: bool) -> Deviation {
+        if target_class == "Array"
+            && key == "length"
+            && self.bugs.iter().any(|b| b.effect == Effect::DefinePropLengthSuppress)
+        {
+            Deviation::SuppressThrow(ValueRecipe::Arg(0))
+        } else {
+            Deviation::None
+        }
+    }
+
+    fn on_array_key_set(&self, key: &ValuePreview) -> ArraySetBehavior {
+        if matches!(key, ValuePreview::Bool(true))
+            && self.bugs.iter().any(|b| b.effect == Effect::ArrayBoolKeyAppend)
+        {
+            ArraySetBehavior::AppendElement
+        } else {
+            ArraySetBehavior::Normal
+        }
+    }
+
+    fn eval_tolerates_headless_for(&self) -> bool {
+        self.bugs.iter().any(|b| b.effect == Effect::EvalHeadlessFor)
+    }
+
+    fn split_anchor_broken(&self) -> bool {
+        self.bugs.iter().any(|b| b.effect == Effect::SplitAnchor)
+    }
+
+    fn array_reverse_fill_penalty(&self) -> u64 {
+        if self.bugs.iter().any(|b| b.effect == Effect::ArrayReverseFill) {
+            48
+        } else {
+            0
+        }
+    }
+}

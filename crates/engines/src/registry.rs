@@ -1,0 +1,307 @@
+//! The engine/version inventory — Table 1 of the paper.
+//!
+//! Ten engines, 51 engine-version configurations. Each version has an
+//! *ordinal* (0 = oldest) used by the bug catalog's introduced/fixed ranges.
+
+/// The ten simulated JS engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EngineName {
+    /// Google V8 (Chrome).
+    V8,
+    /// Microsoft ChakraCore (Edge).
+    ChakraCore,
+    /// Apple JavaScriptCore (Safari).
+    Jsc,
+    /// Mozilla SpiderMonkey (Firefox).
+    SpiderMonkey,
+    /// Mozilla Rhino (JVM).
+    Rhino,
+    /// Oracle Nashorn (JDK).
+    Nashorn,
+    /// Facebook Hermes (React Native).
+    Hermes,
+    /// JerryScript (IoT).
+    JerryScript,
+    /// Fabrice Bellard's QuickJS.
+    QuickJs,
+    /// Oracle GraalJS.
+    GraalJs,
+}
+
+impl EngineName {
+    /// All ten engines, in Table 1 order.
+    pub const ALL: [EngineName; 10] = [
+        EngineName::V8,
+        EngineName::ChakraCore,
+        EngineName::Jsc,
+        EngineName::SpiderMonkey,
+        EngineName::Rhino,
+        EngineName::Nashorn,
+        EngineName::Hermes,
+        EngineName::JerryScript,
+        EngineName::QuickJs,
+        EngineName::GraalJs,
+    ];
+
+    /// Display name as used in the paper's tables.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EngineName::V8 => "V8",
+            EngineName::ChakraCore => "ChakraCore",
+            EngineName::Jsc => "JSC",
+            EngineName::SpiderMonkey => "SpiderMonkey",
+            EngineName::Rhino => "Rhino",
+            EngineName::Nashorn => "Nashorn",
+            EngineName::Hermes => "Hermes",
+            EngineName::JerryScript => "JerryScript",
+            EngineName::QuickJs => "QuickJS",
+            EngineName::GraalJs => "Graaljs",
+        }
+    }
+}
+
+impl std::fmt::Display for EngineName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The ECMA-262 edition an engine version claims to support (§4.1). Programs
+/// that use later-edition APIs are excluded when fuzzing that engine (§2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EsEdition {
+    /// ES5.1 (2011).
+    Es2011,
+    /// ES6 (2015).
+    Es2015,
+    /// ES2018.
+    Es2018,
+    /// ES2019.
+    Es2019,
+    /// ES2020.
+    Es2020,
+}
+
+impl EsEdition {
+    /// Short label (`"ES2015"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EsEdition::Es2011 => "ES2011",
+            EsEdition::Es2015 => "ES2015",
+            EsEdition::Es2018 => "ES2018",
+            EsEdition::Es2019 => "ES2019",
+            EsEdition::Es2020 => "ES2020",
+        }
+    }
+
+    /// `true` if `api` (canonical name) exists in this edition.
+    ///
+    /// Only APIs that were actually added after ES5 need gating; the list
+    /// covers the surface our generators emit.
+    pub fn supports_api(self, api: &str) -> bool {
+        let min = match api {
+            // ES2015 additions.
+            "String.prototype.normalize"
+            | "String.prototype.repeat"
+            | "String.prototype.startsWith"
+            | "String.prototype.endsWith"
+            | "String.prototype.codePointAt"
+            | "Array.from"
+            | "Array.of"
+            | "Array.prototype.find"
+            | "Array.prototype.findIndex"
+            | "Array.prototype.fill"
+            | "Number.isInteger"
+            | "Number.isSafeInteger"
+            | "Number.isFinite"
+            | "Number.isNaN"
+            | "Object.assign"
+            | "Object.setPrototypeOf" => EsEdition::Es2015,
+            // Typed arrays standardised in ES2015 too.
+            "Uint8Array" | "Int8Array" | "Uint8ClampedArray" | "Uint16Array" | "Int16Array"
+            | "Uint32Array" | "Int32Array" | "Float32Array" | "Float64Array" | "DataView"
+            | "ArrayBuffer" | "%TypedArray%.prototype.set" | "%TypedArray%.prototype.subarray"
+            | "%TypedArray%.prototype.fill" | "%TypedArray%.prototype.slice" => EsEdition::Es2015,
+            // ES2016/2017 (folded into the 2018 tier we model).
+            "Array.prototype.includes"
+            | "String.prototype.padStart"
+            | "String.prototype.padEnd"
+            | "Object.values"
+            | "Object.entries" => EsEdition::Es2018,
+            // ES2019.
+            "Array.prototype.flat"
+            | "String.prototype.trimStart"
+            | "String.prototype.trimEnd" => EsEdition::Es2019,
+            // ES2020+ (and `at` is ES2022; Graaljs-only in our matrix).
+            "String.prototype.at" => EsEdition::Es2020,
+            _ => return true,
+        };
+        self >= min
+    }
+}
+
+/// One engine version row from Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineVersion {
+    /// Engine.
+    pub engine: EngineName,
+    /// Version string as printed in Table 1.
+    pub version: &'static str,
+    /// Build number.
+    pub build: &'static str,
+    /// Release date string.
+    pub release: &'static str,
+    /// Ordinal within the engine's version list (0 = oldest).
+    pub ordinal: u32,
+    /// Supported ECMA-262 edition.
+    pub edition: EsEdition,
+}
+
+impl EngineVersion {
+    /// `"Rhino v1.7.12"`.
+    pub fn label(&self) -> String {
+        format!("{} {}", self.engine, self.version)
+    }
+}
+
+macro_rules! versions {
+    ($engine:expr, $edition:expr; $( ($v:literal, $b:literal, $r:literal) ),+ $(,)?) => {{
+        let mut out = Vec::new();
+        for (v, b, r) in [ $( ($v, $b, $r) ),+ ] {
+            let ordinal = out.len() as u32;
+            out.push(EngineVersion {
+                engine: $engine,
+                version: v,
+                build: b,
+                release: r,
+                ordinal,
+                edition: $edition,
+            });
+        }
+        out
+    }};
+}
+
+/// Version list for one engine, **oldest first** (ordinal order).
+pub fn versions_of(engine: EngineName) -> Vec<EngineVersion> {
+    use EngineName::*;
+    match engine {
+        V8 => versions![V8, EsEdition::Es2019;
+            ("V8.5 (0e44fef)", "0e44fef", "Apr. 2019"),
+            ("V8.5 (e39c701)", "e39c701", "Aug. 2019"),
+            ("V8.5 (d891c59)", "d891c59", "Jun. 2020"),
+        ],
+        ChakraCore => versions![ChakraCore, EsEdition::Es2019;
+            ("v1.11.8", "dbfb5bd", "Apr. 2019"),
+            ("v1.11.12", "e1f5b03", "Aug. 2019"),
+            ("v1.11.13", "8fcb0f1", "Aug. 2019"),
+            ("v1.11.16", "eaaf7ac", "Nov. 2019"),
+            ("v1.11.19", "5ed2985", "May 2020"),
+        ],
+        Jsc => versions![Jsc, EsEdition::Es2019;
+            ("244445", "b3fa4c5", "Apr. 2019"),
+            ("246135", "d940b47", "Jun. 2019"),
+            ("251631", "b96bf75", "Oct. 2019"),
+            ("261782", "dbae081", "May 2020"),
+        ],
+        SpiderMonkey => versions![SpiderMonkey, EsEdition::Es2018;
+            ("v1.7.0", "js-1.7.0", "2007"),
+            ("v38.3.0", "mozjs38.3.0", "2015"),
+            ("v52.9", "mozjs52.9.1pre", "2017"),
+            ("v60.1.1", "mozjs60.1.1pre", "2018"),
+            ("gecko-dev (201255a)", "201255a", "2019"),
+            ("gecko-dev (2c619e2)", "2c619e2", "2020"),
+            ("v78.0", "C69.0a1", "2020"),
+        ],
+        Rhino => versions![Rhino, EsEdition::Es2015;
+            ("v1.7R3", "d1a8338", "Apr. 2011"),
+            ("v1.7R4", "82ffb8f", "Jun. 2012"),
+            ("v1.7R5", "584e7ec", "Jan. 2015"),
+            ("v1.7.9", "3ee580e", "Mar. 2018"),
+            ("v1.7.10", "1692f5f", "May 2019"),
+            ("v1.7.11", "f0e1c63", "May 2019"),
+            ("v1.7.12", "d4021ee", "Jan. 2020"),
+        ],
+        Nashorn => versions![Nashorn, EsEdition::Es2011;
+            ("v1.7.6", "JDK7u65", "May 2014"),
+            ("v1.8.0_201", "JDK8u201", "Jan. 2019"),
+            ("v11.0.3", "JDK11.0.3", "Mar. 2019"),
+            ("v12.0.1", "JDK12.0.1", "Apr. 2019"),
+            ("v13.0.1", "JDK13.0.1", "Sep. 2019"),
+        ],
+        Hermes => versions![Hermes, EsEdition::Es2015;
+            ("v0.1.1", "3ed8340", "Jul. 2019"),
+            ("v0.3.0", "3826084", "Sep. 2019"),
+            ("v0.4.0", "044cf4b", "Dec. 2019"),
+            ("v0.6.0", "b6530ae", "May 2020"),
+        ],
+        JerryScript => versions![JerryScript, EsEdition::Es2015;
+            ("v1.0", "e944cda", "Apr. 2019"),
+            ("v2.0 (40f7b1c)", "40f7b1c", "Apr. 2019"),
+            ("v2.0 (b6fc4e1)", "b6fc4e1", "May 2019"),
+            ("v2.0 (351acdf)", "351acdf", "Jun. 2019"),
+            ("v2.1.0 (9ab4872)", "9ab4872", "Sep. 2019"),
+            ("v2.1.0 (84a56ef)", "84a56ef", "Oct. 2019"),
+            ("v2.2.0 (7df87b7)", "7df87b7", "Oct. 2019"),
+            ("v2.2.0 (996bf76)", "996bf76", "Nov. 2019"),
+            ("v2.3.0", "bd1c4df", "May 2020"),
+        ],
+        QuickJs => versions![QuickJs, EsEdition::Es2019;
+            ("2019-07-09", "9ccefbf", "Jul. 2019"),
+            ("2019-09-01", "3608b16", "Sep. 2019"),
+            ("2019-09-18", "6e76fd9", "Sep. 2019"),
+            ("2019-10-27", "eb34626", "Oct. 2019"),
+            ("2020-01-05", "91459fb", "Jan. 2020"),
+            ("2020-04-12", "1722758", "Apr. 2020"),
+        ],
+        GraalJs => versions![GraalJs, EsEdition::Es2020;
+            ("v20.1.0", "299f61f", "May 2020"),
+        ],
+    }
+}
+
+/// All 51 engine-version configurations (Table 1).
+pub fn all_versions() -> Vec<EngineVersion> {
+    EngineName::ALL.iter().flat_map(|&e| versions_of(e)).collect()
+}
+
+/// Number of versions of `engine`.
+pub fn version_count(engine: EngineName) -> u32 {
+    versions_of(engine).len() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifty_one_configurations() {
+        assert_eq!(all_versions().len(), 51);
+    }
+
+    #[test]
+    fn ordinals_are_dense_and_oldest_first() {
+        for e in EngineName::ALL {
+            let vs = versions_of(e);
+            for (i, v) in vs.iter().enumerate() {
+                assert_eq!(v.ordinal, i as u32);
+                assert_eq!(v.engine, e);
+            }
+        }
+    }
+
+    #[test]
+    fn edition_gating() {
+        assert!(!EsEdition::Es2011.supports_api("String.prototype.repeat"));
+        assert!(EsEdition::Es2015.supports_api("String.prototype.repeat"));
+        assert!(!EsEdition::Es2015.supports_api("Array.prototype.flat"));
+        assert!(EsEdition::Es2019.supports_api("Array.prototype.flat"));
+        assert!(EsEdition::Es2011.supports_api("String.prototype.substr"));
+    }
+
+    #[test]
+    fn labels_match_paper_names() {
+        assert_eq!(EngineName::Jsc.as_str(), "JSC");
+        assert_eq!(versions_of(EngineName::GraalJs)[0].label(), "Graaljs v20.1.0");
+    }
+}

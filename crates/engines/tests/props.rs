@@ -1,0 +1,112 @@
+//! Property tests over the engine matrix: determinism, deviation soundness
+//! (an engine only ever deviates when a seeded bug explains it), and version
+//! monotonicity of the paper-listing bugs.
+
+use comfort_engines::{versions_of, Engine, EngineName};
+use comfort_interp::RunStatus;
+use proptest::prelude::*;
+
+fn signature(engine: &Engine, program: &comfort_syntax::Program) -> (String, String) {
+    let r = engine.run(program);
+    let status = match r.status {
+        RunStatus::Completed => "ok".to_string(),
+        RunStatus::Threw { kind, .. } => format!("threw {kind:?}"),
+        RunStatus::OutOfFuel => "timeout".to_string(),
+        RunStatus::Crashed(_) => "crash".to_string(),
+    };
+    (status, r.output)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn engine_runs_are_deterministic(seed in 0u64..3000) {
+        let src = comfort_corpus::training_corpus(seed, 1).remove(0);
+        let program = comfort_syntax::parse(&src).expect("corpus parses");
+        for name in [EngineName::Rhino, EngineName::V8, EngineName::QuickJs] {
+            let engine = Engine::latest(name);
+            prop_assert_eq!(signature(&engine, &program), signature(&engine, &program));
+        }
+    }
+
+    #[test]
+    fn v8_and_spidermonkey_usually_agree(seed in 0u64..3000) {
+        // The two cleanest engines share almost no seeded bugs; on random
+        // corpus programs their observable behaviour must coincide unless a
+        // seeded bug of one of them is triggered.
+        let src = comfort_corpus::training_corpus(seed, 1).remove(0);
+        let program = comfort_syntax::parse(&src).expect("corpus parses");
+        let v8 = signature(&Engine::latest(EngineName::V8), &program);
+        let sm = signature(&Engine::latest(EngineName::SpiderMonkey), &program);
+        if v8 != sm {
+            // Divergence must be attributable to a seeded bug on one side.
+            let explained = !Engine::latest(EngineName::V8).active_bugs().is_empty()
+                || !Engine::latest(EngineName::SpiderMonkey).active_bugs().is_empty();
+            prop_assert!(explained, "unexplained divergence on seed {}", seed);
+        }
+    }
+
+    #[test]
+    fn deviation_from_reference_implies_active_bug(seed in 0u64..1500) {
+        // For every engine: if its behaviour differs from the conforming
+        // reference on a corpus program, the engine must have ≥1 active
+        // seeded bug (the reference itself is bug-free).
+        let src = comfort_corpus::training_corpus(seed, 1).remove(0);
+        let program = comfort_syntax::parse(&src).expect("corpus parses");
+        let reference = comfort_interp::run_program(
+            &program,
+            &comfort_interp::hooks::SpecProfile,
+            &comfort_interp::RunOptions::default(),
+        );
+        let ref_sig = (
+            matches!(reference.status, RunStatus::Completed),
+            reference.output.clone(),
+        );
+        for name in EngineName::ALL {
+            let engine = Engine::latest(name);
+            let r = engine.run(&program);
+            let sig = (matches!(r.status, RunStatus::Completed), r.output);
+            if sig != ref_sig {
+                prop_assert!(
+                    !engine.active_bugs().is_empty(),
+                    "{name} deviates with no active seeded bug (seed {seed})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fixed_bugs_stay_fixed_in_all_later_versions() {
+    // The SpiderMonkey Listing-3 fix must hold for every version ≥ v52.9,
+    // and symmetrically the bug must exist in every earlier version.
+    let program = comfort_syntax::parse("print(new Uint32Array(3.14).length);").expect("parses");
+    for v in versions_of(EngineName::SpiderMonkey) {
+        let r = Engine::new(v).run(&program);
+        if v.ordinal < 2 {
+            assert!(!r.status.is_completed(), "{} must still have the bug", v.label());
+        } else {
+            assert_eq!(r.output, "3\n", "{} must be fixed", v.label());
+        }
+    }
+}
+
+#[test]
+fn strict_and_normal_testbeds_share_conforming_behaviour() {
+    // For code with no sloppy-mode constructs, strict and normal testbeds
+    // of the same engine must agree.
+    let program = comfort_syntax::parse(
+        "var total = 0; for (var i = 0; i < 5; i++) { total += i; } print(total);",
+    )
+    .expect("parses");
+    for name in EngineName::ALL {
+        let engine = Engine::latest(name);
+        let normal = engine.run_with(&program, &comfort_interp::RunOptions::default());
+        let strict = engine.run_with(
+            &program,
+            &comfort_interp::RunOptions { force_strict: true, ..Default::default() },
+        );
+        assert_eq!(normal.output, strict.output, "{name}");
+    }
+}

@@ -1,0 +1,370 @@
+//! `JSON.stringify` / `JSON.parse` — a self-contained JSON implementation
+//! (the offline dependency policy rules out `serde_json`; see DESIGN.md §5).
+
+use super::{arg, def_method};
+use crate::value::{ErrorKind, Obj, ObjId, ObjKind, Prop, Value};
+use crate::{Control, Interp};
+
+pub(super) fn install(interp: &mut Interp<'_>) {
+    let proto = interp.protos.object;
+    let json = interp.alloc(Obj::new(ObjKind::Plain, Some(proto)));
+    def_method(interp, json, "stringify", "JSON.stringify", stringify);
+    def_method(interp, json, "parse", "JSON.parse", parse);
+    super::def_global(interp, "JSON", Value::Obj(json));
+}
+
+fn stringify(interp: &mut Interp<'_>, _this: Value, args: &[Value]) -> Result<Value, Control> {
+    let value = arg(args, 0);
+    // args[1] (replacer) is accepted but only function replacers are applied
+    // at the top level; arg 2 is the indent.
+    let indent = match arg(args, 2) {
+        Value::Number(n) if n >= 1.0 => " ".repeat((n as usize).min(10)),
+        Value::Str(s) => s.chars().take(10).collect(),
+        _ => String::new(),
+    };
+    let mut seen = Vec::new();
+    let mut out = String::new();
+    match ser(interp, &value, &indent, 0, &mut seen, &mut out)? {
+        true => Ok(Value::str(out)),
+        false => Ok(Value::Undefined),
+    }
+}
+
+/// Serializes `v`; returns `false` for values JSON omits (undefined/function).
+fn ser(
+    interp: &mut Interp<'_>,
+    v: &Value,
+    indent: &str,
+    depth: usize,
+    seen: &mut Vec<ObjId>,
+    out: &mut String,
+) -> Result<bool, Control> {
+    interp.charge(1)?;
+    match v {
+        Value::Undefined => Ok(false),
+        Value::Null => {
+            out.push_str("null");
+            Ok(true)
+        }
+        Value::Bool(b) => {
+            out.push_str(if *b { "true" } else { "false" });
+            Ok(true)
+        }
+        Value::Number(n) => {
+            if n.is_finite() {
+                out.push_str(&crate::ops::number_to_string(*n));
+            } else {
+                out.push_str("null");
+            }
+            Ok(true)
+        }
+        Value::Str(s) => {
+            quote_into(s, out);
+            Ok(true)
+        }
+        Value::Obj(id) => {
+            if seen.contains(id) {
+                return Err(interp.throw(ErrorKind::Type, "Converting circular structure to JSON"));
+            }
+            // `toJSON` support is limited to Date in this subset.
+            match &interp.obj(*id).kind {
+                ObjKind::Function(_) | ObjKind::Native { .. } => Ok(false),
+                ObjKind::BoolWrap(b) => {
+                    out.push_str(if *b { "true" } else { "false" });
+                    Ok(true)
+                }
+                ObjKind::NumWrap(n) => {
+                    out.push_str(&crate::ops::number_to_string(*n));
+                    Ok(true)
+                }
+                ObjKind::StrWrap(s) => {
+                    let s = s.to_string();
+                    quote_into(&s, out);
+                    Ok(true)
+                }
+                ObjKind::Array { elems } => {
+                    seen.push(*id);
+                    let elems = elems.clone();
+                    out.push('[');
+                    for (i, e) in elems.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        pad(out, indent, depth + 1);
+                        let wrote = match e {
+                            Some(ev) => ser(interp, ev, indent, depth + 1, seen, out)?,
+                            None => false,
+                        };
+                        if !wrote {
+                            out.push_str("null");
+                        }
+                    }
+                    if !elems.is_empty() {
+                        pad(out, indent, depth);
+                    }
+                    out.push(']');
+                    seen.pop();
+                    Ok(true)
+                }
+                _ => {
+                    seen.push(*id);
+                    let keys: Vec<String> = interp
+                        .obj(*id)
+                        .props
+                        .iter()
+                        .filter(|(_, p)| p.enumerable)
+                        .map(|(k, _)| k.to_string())
+                        .collect();
+                    out.push('{');
+                    let mut first = true;
+                    for k in keys {
+                        let pv = match interp.obj(*id).props.get(&k) {
+                            Some(p) => p.value.clone(),
+                            None => continue,
+                        };
+                        let mut tmp = String::new();
+                        if ser(interp, &pv, indent, depth + 1, seen, &mut tmp)? {
+                            if !first {
+                                out.push(',');
+                            }
+                            first = false;
+                            pad(out, indent, depth + 1);
+                            quote_into(&k, out);
+                            out.push(':');
+                            if !indent.is_empty() {
+                                out.push(' ');
+                            }
+                            out.push_str(&tmp);
+                        }
+                    }
+                    if !first {
+                        pad(out, indent, depth);
+                    }
+                    out.push('}');
+                    seen.pop();
+                    Ok(true)
+                }
+            }
+        }
+    }
+}
+
+fn pad(out: &mut String, indent: &str, depth: usize) {
+    if !indent.is_empty() {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str(indent);
+        }
+    }
+}
+
+fn quote_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn parse(interp: &mut Interp<'_>, _this: Value, args: &[Value]) -> Result<Value, Control> {
+    let text = {
+        let v = arg(args, 0);
+        interp.to_js_string(&v)?
+    };
+    let mut p = JsonParser { chars: text.chars().collect(), pos: 0 };
+    let v = p.value(interp)?;
+    p.ws();
+    if p.pos != p.chars.len() {
+        return Err(interp.throw(ErrorKind::Syntax, "Unexpected token in JSON"));
+    }
+    Ok(v)
+}
+
+struct JsonParser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl JsonParser {
+    fn ws(&mut self) {
+        while self
+            .chars
+            .get(self.pos)
+            .is_some_and(|c| matches!(c, ' ' | '\t' | '\n' | '\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn err(&self, interp: &mut Interp<'_>) -> Control {
+        interp.throw(ErrorKind::Syntax, format!("Unexpected token in JSON at position {}", self.pos))
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.chars.get(self.pos) == Some(&c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn lit(&mut self, word: &str) -> bool {
+        let end = self.pos + word.len();
+        if end <= self.chars.len()
+            && self.chars[self.pos..end].iter().collect::<String>() == word
+        {
+            self.pos = end;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self, interp: &mut Interp<'_>) -> Result<Value, Control> {
+        interp.charge(1)?;
+        self.ws();
+        match self.chars.get(self.pos).copied() {
+            None => Err(self.err(interp)),
+            Some('{') => {
+                self.pos += 1;
+                let proto = interp.protos.object;
+                let id = interp.alloc(Obj::new(ObjKind::Plain, Some(proto)));
+                self.ws();
+                if self.eat('}') {
+                    return Ok(Value::Obj(id));
+                }
+                loop {
+                    self.ws();
+                    if !matches!(self.chars.get(self.pos), Some('"')) {
+                        return Err(self.err(interp));
+                    }
+                    let key = self.string(interp)?;
+                    self.ws();
+                    if !self.eat(':') {
+                        return Err(self.err(interp));
+                    }
+                    let v = self.value(interp)?;
+                    interp.obj_mut(id).props.insert(&key, Prop::data(v));
+                    self.ws();
+                    if self.eat(',') {
+                        continue;
+                    }
+                    if self.eat('}') {
+                        return Ok(Value::Obj(id));
+                    }
+                    return Err(self.err(interp));
+                }
+            }
+            Some('[') => {
+                self.pos += 1;
+                let mut elems = Vec::new();
+                self.ws();
+                if self.eat(']') {
+                    return Ok(interp.new_array(elems));
+                }
+                loop {
+                    elems.push(Some(self.value(interp)?));
+                    self.ws();
+                    if self.eat(',') {
+                        continue;
+                    }
+                    if self.eat(']') {
+                        return Ok(interp.new_array(elems));
+                    }
+                    return Err(self.err(interp));
+                }
+            }
+            Some('"') => {
+                let s = self.string(interp)?;
+                Ok(Value::str(s))
+            }
+            Some('t') if self.lit("true") => Ok(Value::Bool(true)),
+            Some('f') if self.lit("false") => Ok(Value::Bool(false)),
+            Some('n') if self.lit("null") => Ok(Value::Null),
+            Some(c) if c == '-' || c.is_ascii_digit() => self.number(interp),
+            _ => Err(self.err(interp)),
+        }
+    }
+
+    fn string(&mut self, interp: &mut Interp<'_>) -> Result<String, Control> {
+        debug_assert_eq!(self.chars.get(self.pos), Some(&'"'));
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            match self.chars.get(self.pos).copied() {
+                None => return Err(self.err(interp)),
+                Some('"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some('\\') => {
+                    self.pos += 1;
+                    match self.chars.get(self.pos).copied() {
+                        Some('"') => out.push('"'),
+                        Some('\\') => out.push('\\'),
+                        Some('/') => out.push('/'),
+                        Some('n') => out.push('\n'),
+                        Some('t') => out.push('\t'),
+                        Some('r') => out.push('\r'),
+                        Some('b') => out.push('\u{8}'),
+                        Some('f') => out.push('\u{c}'),
+                        Some('u') => {
+                            let mut v: u32 = 0;
+                            for _ in 0..4 {
+                                self.pos += 1;
+                                let d = self
+                                    .chars
+                                    .get(self.pos)
+                                    .and_then(|c| c.to_digit(16))
+                                    .ok_or_else(|| self.err(interp))?;
+                                v = v * 16 + d;
+                            }
+                            out.push(char::from_u32(v).unwrap_or('\u{FFFD}'));
+                        }
+                        _ => return Err(self.err(interp)),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) => {
+                    out.push(c);
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self, interp: &mut Interp<'_>) -> Result<Value, Control> {
+        let start = self.pos;
+        let _ = self.eat('-');
+        while self.chars.get(self.pos).is_some_and(char::is_ascii_digit) {
+            self.pos += 1;
+        }
+        if self.eat('.') {
+            while self.chars.get(self.pos).is_some_and(char::is_ascii_digit) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.chars.get(self.pos), Some('e') | Some('E')) {
+            self.pos += 1;
+            if matches!(self.chars.get(self.pos), Some('+') | Some('-')) {
+                self.pos += 1;
+            }
+            while self.chars.get(self.pos).is_some_and(char::is_ascii_digit) {
+                self.pos += 1;
+            }
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| self.err(interp))
+    }
+}

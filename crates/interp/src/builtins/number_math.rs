@@ -1,0 +1,276 @@
+//! `Number`, `Number.prototype`, `Boolean`, and `Math`.
+//!
+//! `Math.random` is deterministic (a per-interpreter LCG with a fixed seed):
+//! all simulated engines see the same stream, so differential testing never
+//! flags it — mirroring the paper's requirement that test programs have
+//! deterministic expected behaviour (§3.4).
+
+use super::{arg, def_method, def_value, this_number};
+use crate::ops;
+use crate::value::{ErrorKind, Obj, ObjKind, Value};
+use crate::{Control, Interp};
+
+pub(super) fn install(interp: &mut Interp<'_>) {
+    let proto = interp.protos.number;
+    let ctor = super::def_ctor(interp, "Number", proto, number_ctor);
+    def_method(interp, ctor, "isInteger", "Number.isInteger", is_integer);
+    def_method(interp, ctor, "isFinite", "Number.isFinite", number_is_finite);
+    def_method(interp, ctor, "isNaN", "Number.isNaN", number_is_nan);
+    def_method(interp, ctor, "isSafeInteger", "Number.isSafeInteger", is_safe_integer);
+    def_method(interp, ctor, "parseFloat", "Number.parseFloat", parse_float);
+    def_method(interp, ctor, "parseInt", "Number.parseInt", parse_int);
+    def_value(interp, ctor, "MAX_SAFE_INTEGER", Value::Number(9007199254740991.0));
+    def_value(interp, ctor, "MIN_SAFE_INTEGER", Value::Number(-9007199254740991.0));
+    def_value(interp, ctor, "MAX_VALUE", Value::Number(f64::MAX));
+    def_value(interp, ctor, "MIN_VALUE", Value::Number(f64::MIN_POSITIVE));
+    def_value(interp, ctor, "EPSILON", Value::Number(f64::EPSILON));
+    def_value(interp, ctor, "POSITIVE_INFINITY", Value::Number(f64::INFINITY));
+    def_value(interp, ctor, "NEGATIVE_INFINITY", Value::Number(f64::NEG_INFINITY));
+    def_value(interp, ctor, "NaN", Value::Number(f64::NAN));
+
+    def_method(interp, proto, "toFixed", "Number.prototype.toFixed", to_fixed);
+    def_method(interp, proto, "toPrecision", "Number.prototype.toPrecision", to_precision);
+    def_method(interp, proto, "toString", "Number.prototype.toString", number_to_string);
+    def_method(interp, proto, "valueOf", "Number.prototype.valueOf", value_of);
+
+    let bool_proto = interp.protos.boolean;
+    super::def_ctor(interp, "Boolean", bool_proto, boolean_ctor);
+    def_method(interp, bool_proto, "toString", "Boolean.prototype.toString", bool_to_string);
+    def_method(interp, bool_proto, "valueOf", "Boolean.prototype.valueOf", bool_value_of);
+
+    install_math(interp);
+}
+
+fn number_ctor(interp: &mut Interp<'_>, _this: Value, args: &[Value]) -> Result<Value, Control> {
+    let n = match args.first() {
+        None => 0.0,
+        Some(v) => interp.to_number(v)?,
+    };
+    if interp.is_constructing() {
+        let proto = interp.protos.number;
+        Ok(Value::Obj(interp.alloc(Obj::new(ObjKind::NumWrap(n), Some(proto)))))
+    } else {
+        Ok(Value::Number(n))
+    }
+}
+
+fn boolean_ctor(interp: &mut Interp<'_>, _this: Value, args: &[Value]) -> Result<Value, Control> {
+    let b = interp.to_boolean(&arg(args, 0));
+    if interp.is_constructing() {
+        let proto = interp.protos.boolean;
+        Ok(Value::Obj(interp.alloc(Obj::new(ObjKind::BoolWrap(b), Some(proto)))))
+    } else {
+        Ok(Value::Bool(b))
+    }
+}
+
+fn is_integer(_interp: &mut Interp<'_>, _this: Value, args: &[Value]) -> Result<Value, Control> {
+    Ok(Value::Bool(matches!(arg(args, 0), Value::Number(n) if n.is_finite() && n.fract() == 0.0)))
+}
+
+fn number_is_finite(_i: &mut Interp<'_>, _this: Value, args: &[Value]) -> Result<Value, Control> {
+    Ok(Value::Bool(matches!(arg(args, 0), Value::Number(n) if n.is_finite())))
+}
+
+fn number_is_nan(_i: &mut Interp<'_>, _this: Value, args: &[Value]) -> Result<Value, Control> {
+    Ok(Value::Bool(matches!(arg(args, 0), Value::Number(n) if n.is_nan())))
+}
+
+fn is_safe_integer(_i: &mut Interp<'_>, _this: Value, args: &[Value]) -> Result<Value, Control> {
+    Ok(Value::Bool(matches!(
+        arg(args, 0),
+        Value::Number(n) if n.is_finite() && n.fract() == 0.0 && n.abs() <= 9007199254740991.0
+    )))
+}
+
+fn parse_float(interp: &mut Interp<'_>, _this: Value, args: &[Value]) -> Result<Value, Control> {
+    let s = {
+        let v = arg(args, 0);
+        interp.to_js_string(&v)?
+    };
+    Ok(Value::Number(ops::parse_float(&s)))
+}
+
+fn parse_int(interp: &mut Interp<'_>, _this: Value, args: &[Value]) -> Result<Value, Control> {
+    let s = {
+        let v = arg(args, 0);
+        interp.to_js_string(&v)?
+    };
+    let radix = interp.to_number(&arg(args, 1))?;
+    Ok(Value::Number(ops::parse_int(&s, radix)))
+}
+
+/// `Number.prototype.toFixed(digits)` — ECMA-262 requires a `RangeError` for
+/// digits outside `[0, 100]` (20 before ES2018; the paper's Listing-4 Rhino
+/// bug returns the plain string instead, seeded via the profile).
+fn to_fixed(interp: &mut Interp<'_>, this: Value, args: &[Value]) -> Result<Value, Control> {
+    let n = this_number(interp, &this)?;
+    let digits = ops::to_integer(interp.to_number(&arg(args, 0))?);
+    if !(0.0..=100.0).contains(&digits) {
+        return Err(interp.throw(ErrorKind::Range, "toFixed() digits argument must be between 0 and 100"));
+    }
+    if n.is_nan() {
+        return Ok(Value::str("NaN"));
+    }
+    if n.abs() >= 1e21 {
+        return Ok(Value::str(ops::number_to_string(n)));
+    }
+    Ok(Value::str(format!("{:.*}", digits as usize, n)))
+}
+
+fn to_precision(interp: &mut Interp<'_>, this: Value, args: &[Value]) -> Result<Value, Control> {
+    let n = this_number(interp, &this)?;
+    let p = match arg(args, 0) {
+        Value::Undefined => return Ok(Value::str(ops::number_to_string(n))),
+        v => ops::to_integer(interp.to_number(&v)?),
+    };
+    if !(1.0..=100.0).contains(&p) {
+        return Err(interp.throw(ErrorKind::Range, "toPrecision() argument must be between 1 and 100"));
+    }
+    if n.is_nan() || n.is_infinite() {
+        return Ok(Value::str(ops::number_to_string(n)));
+    }
+    let formatted = format!("{:.*e}", p as usize - 1, n);
+    // Prefer fixed notation when the exponent is in a reasonable range.
+    let (mantissa, exp) = formatted.split_once('e').expect("e-notation has exponent");
+    let exp: i32 = exp.parse().expect("exponent is integral");
+    if exp >= -6 && (exp as f64) < p {
+        let digits = (p as i64 - 1 - exp as i64).max(0) as usize;
+        Ok(Value::str(format!("{:.*}", digits, n)))
+    } else {
+        Ok(Value::str(format!("{mantissa}e{}{}", if exp >= 0 { "+" } else { "" }, exp)))
+    }
+}
+
+fn number_to_string(interp: &mut Interp<'_>, this: Value, args: &[Value]) -> Result<Value, Control> {
+    let n = this_number(interp, &this)?;
+    let radix = match arg(args, 0) {
+        Value::Undefined => 10.0,
+        v => ops::to_integer(interp.to_number(&v)?),
+    };
+    if !(2.0..=36.0).contains(&radix) {
+        return Err(interp.throw(ErrorKind::Range, "toString() radix must be between 2 and 36"));
+    }
+    Ok(Value::str(ops::number_to_string_radix(n, radix as u32)))
+}
+
+fn value_of(interp: &mut Interp<'_>, this: Value, _args: &[Value]) -> Result<Value, Control> {
+    let n = this_number(interp, &this)?;
+    Ok(Value::Number(n))
+}
+
+fn bool_to_string(interp: &mut Interp<'_>, this: Value, _args: &[Value]) -> Result<Value, Control> {
+    match &this {
+        Value::Bool(b) => Ok(Value::str(b.to_string())),
+        Value::Obj(id) => match interp.obj(*id).kind {
+            ObjKind::BoolWrap(b) => Ok(Value::str(b.to_string())),
+            _ => Err(interp.throw(ErrorKind::Type, "not a Boolean object")),
+        },
+        _ => Err(interp.throw(ErrorKind::Type, "not a Boolean object")),
+    }
+}
+
+fn bool_value_of(interp: &mut Interp<'_>, this: Value, _args: &[Value]) -> Result<Value, Control> {
+    match &this {
+        Value::Bool(_) => Ok(this),
+        Value::Obj(id) => match interp.obj(*id).kind {
+            ObjKind::BoolWrap(b) => Ok(Value::Bool(b)),
+            _ => Err(interp.throw(ErrorKind::Type, "not a Boolean object")),
+        },
+        _ => Err(interp.throw(ErrorKind::Type, "not a Boolean object")),
+    }
+}
+
+// -- Math ---------------------------------------------------------------------
+
+fn install_math(interp: &mut Interp<'_>) {
+    let proto = interp.protos.object;
+    let math = interp.alloc(Obj::new(ObjKind::Plain, Some(proto)));
+    def_value(interp, math, "PI", Value::Number(std::f64::consts::PI));
+    def_value(interp, math, "E", Value::Number(std::f64::consts::E));
+    def_value(interp, math, "LN2", Value::Number(std::f64::consts::LN_2));
+    def_value(interp, math, "LN10", Value::Number(std::f64::consts::LN_10));
+    def_value(interp, math, "SQRT2", Value::Number(std::f64::consts::SQRT_2));
+
+    macro_rules! unary {
+        ($key:literal, $api:literal, $f:expr) => {
+            def_method(interp, math, $key, $api, |i, _t, a| {
+                let n = i.to_number(&arg(a, 0))?;
+                let f: fn(f64) -> f64 = $f;
+                Ok(Value::Number(f(n)))
+            });
+        };
+    }
+    unary!("abs", "Math.abs", f64::abs);
+    unary!("floor", "Math.floor", f64::floor);
+    unary!("ceil", "Math.ceil", f64::ceil);
+    unary!("trunc", "Math.trunc", f64::trunc);
+    unary!("sqrt", "Math.sqrt", f64::sqrt);
+    unary!("cbrt", "Math.cbrt", f64::cbrt);
+    unary!("exp", "Math.exp", f64::exp);
+    unary!("log", "Math.log", f64::ln);
+    unary!("log2", "Math.log2", f64::log2);
+    unary!("log10", "Math.log10", f64::log10);
+    unary!("sin", "Math.sin", f64::sin);
+    unary!("cos", "Math.cos", f64::cos);
+    unary!("tan", "Math.tan", f64::tan);
+    unary!("asin", "Math.asin", f64::asin);
+    unary!("acos", "Math.acos", f64::acos);
+    unary!("atan", "Math.atan", f64::atan);
+    unary!("sign", "Math.sign", |n: f64| {
+        if n.is_nan() || n == 0.0 {
+            n
+        } else if n > 0.0 {
+            1.0
+        } else {
+            -1.0
+        }
+    });
+    // `Math.round` — JS rounds .5 toward +∞ (unlike Rust's round).
+    unary!("round", "Math.round", |n: f64| (n + 0.5).floor());
+
+    def_method(interp, math, "pow", "Math.pow", |i, _t, a| {
+        let x = i.to_number(&arg(a, 0))?;
+        let y = i.to_number(&arg(a, 1))?;
+        Ok(Value::Number(x.powf(y)))
+    });
+    def_method(interp, math, "atan2", "Math.atan2", |i, _t, a| {
+        let y = i.to_number(&arg(a, 0))?;
+        let x = i.to_number(&arg(a, 1))?;
+        Ok(Value::Number(y.atan2(x)))
+    });
+    def_method(interp, math, "hypot", "Math.hypot", |i, _t, a| {
+        let mut sum = 0.0;
+        for v in a {
+            let n = i.to_number(v)?;
+            sum += n * n;
+        }
+        Ok(Value::Number(sum.sqrt()))
+    });
+    def_method(interp, math, "min", "Math.min", |i, _t, a| {
+        let mut best = f64::INFINITY;
+        for v in a {
+            let n = i.to_number(v)?;
+            if n.is_nan() {
+                return Ok(Value::Number(f64::NAN));
+            }
+            best = best.min(n);
+        }
+        Ok(Value::Number(best))
+    });
+    def_method(interp, math, "max", "Math.max", |i, _t, a| {
+        let mut best = f64::NEG_INFINITY;
+        for v in a {
+            let n = i.to_number(v)?;
+            if n.is_nan() {
+                return Ok(Value::Number(f64::NAN));
+            }
+            best = best.max(n);
+        }
+        Ok(Value::Number(best))
+    });
+    def_method(interp, math, "random", "Math.random", |i, _t, _a| {
+        Ok(Value::Number(i.next_random()))
+    });
+    super::def_global(interp, "Math", Value::Obj(math));
+}

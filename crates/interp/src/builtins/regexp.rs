@@ -1,0 +1,137 @@
+//! `RegExp` constructor and `RegExp.prototype` (`test`, `exec`, `toString`).
+
+use super::{arg, def_method};
+use crate::ops;
+use crate::value::{ErrorKind, ObjKind, Prop, Value};
+use crate::{Control, Interp};
+
+pub(super) fn install(interp: &mut Interp<'_>) {
+    let proto = interp.protos.regexp;
+    super::def_ctor(interp, "RegExp", proto, regexp_ctor);
+    def_method(interp, proto, "test", "RegExp.prototype.test", test);
+    def_method(interp, proto, "exec", "RegExp.prototype.exec", exec);
+    def_method(interp, proto, "toString", "RegExp.prototype.toString", to_string);
+}
+
+fn regexp_ctor(interp: &mut Interp<'_>, _this: Value, args: &[Value]) -> Result<Value, Control> {
+    let (pattern, flags) = match (arg(args, 0), arg(args, 1)) {
+        (Value::Obj(id), f) => match &interp.obj(id).kind {
+            ObjKind::Regex { source, flags } => {
+                let source = source.clone();
+                let flags = flags.clone();
+                let flags = match f {
+                    Value::Undefined => flags,
+                    other => interp.to_js_string(&other)?,
+                };
+                (source, flags)
+            }
+            _ => {
+                let p = interp.to_js_string(&Value::Obj(id))?;
+                let f = match f {
+                    Value::Undefined => String::new(),
+                    other => interp.to_js_string(&other)?,
+                };
+                (p, f)
+            }
+        },
+        (Value::Undefined, f) => {
+            let f = match f {
+                Value::Undefined => String::new(),
+                other => interp.to_js_string(&other)?,
+            };
+            ("(?:)".to_string(), f)
+        }
+        (p, f) => {
+            let p = interp.to_js_string(&p)?;
+            let f = match f {
+                Value::Undefined => String::new(),
+                other => interp.to_js_string(&other)?,
+            };
+            (p, f)
+        }
+    };
+    interp.new_regex(&pattern, &flags)
+}
+
+/// Compiles the regex held by a `RegExp` object value.
+pub(crate) fn regex_from_value(
+    interp: &mut Interp<'_>,
+    v: &Value,
+) -> Result<(comfort_regex::Regex, bool), Control> {
+    let Value::Obj(id) = v else {
+        return Err(interp.throw(ErrorKind::Type, "Method called on non-RegExp"));
+    };
+    let (source, flags) = match &interp.obj(*id).kind {
+        ObjKind::Regex { source, flags } => (source.clone(), flags.clone()),
+        _ => return Err(interp.throw(ErrorKind::Type, "Method called on non-RegExp")),
+    };
+    let global = flags.contains('g');
+    let f = comfort_regex::Flags::parse(&flags)
+        .map_err(|e| interp.throw(ErrorKind::Syntax, e.to_string()))?;
+    let re = comfort_regex::Regex::with_flags(&source, f)
+        .map_err(|e| interp.throw(ErrorKind::Syntax, e.to_string()))?;
+    Ok((re, global))
+}
+
+fn last_index(interp: &mut Interp<'_>, v: &Value) -> Result<usize, Control> {
+    let li = interp.get_property(v, "lastIndex")?;
+    Ok(ops::to_length(interp.to_number(&li)?) as usize)
+}
+
+fn test(interp: &mut Interp<'_>, this: Value, args: &[Value]) -> Result<Value, Control> {
+    let r = exec(interp, this, args)?;
+    Ok(Value::Bool(!matches!(r, Value::Null)))
+}
+
+fn exec(interp: &mut Interp<'_>, this: Value, args: &[Value]) -> Result<Value, Control> {
+    let (re, global) = regex_from_value(interp, &this)?;
+    let text = {
+        let v = arg(args, 0);
+        interp.to_js_string(&v)?
+    };
+    let start = if global { last_index(interp, &this)? } else { 0 };
+    let caps = re.captures_at(&text, start);
+    match caps {
+        None => {
+            if global {
+                interp.set_property(&this, "lastIndex", Value::Number(0.0))?;
+            }
+            Ok(Value::Null)
+        }
+        Some(caps) => {
+            if global {
+                interp.set_property(
+                    &this,
+                    "lastIndex",
+                    Value::Number(caps.whole.end as f64),
+                )?;
+            }
+            let mut elems: Vec<Option<Value>> = vec![Some(Value::str(caps.whole.text))];
+            for i in 1..=caps.len() {
+                elems.push(Some(match caps.get(i) {
+                    Some(t) => Value::str(t),
+                    None => Value::Undefined,
+                }));
+            }
+            let arr = interp.new_array(elems);
+            if let Value::Obj(id) = &arr {
+                interp
+                    .obj_mut(*id)
+                    .props
+                    .insert("index", Prop::data(Value::Number(caps.whole.start as f64)));
+                interp.obj_mut(*id).props.insert("input", Prop::data(Value::str(&text)));
+            }
+            Ok(arr)
+        }
+    }
+}
+
+fn to_string(interp: &mut Interp<'_>, this: Value, _args: &[Value]) -> Result<Value, Control> {
+    let Value::Obj(id) = &this else {
+        return Err(interp.throw(ErrorKind::Type, "RegExp.prototype.toString called on non-RegExp"));
+    };
+    match &interp.obj(*id).kind {
+        ObjKind::Regex { source, flags } => Ok(Value::str(format!("/{source}/{flags}"))),
+        _ => Err(interp.throw(ErrorKind::Type, "RegExp.prototype.toString called on non-RegExp")),
+    }
+}

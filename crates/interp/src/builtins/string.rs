@@ -1,0 +1,636 @@
+//! `String` constructor and `String.prototype`.
+//!
+//! `substr` follows the exact ECMA-262 algorithm reproduced in the paper's
+//! Figure 1; the seeded Rhino bug (Figure 2) deviates from step 6 via the
+//! engine profile, not here.
+
+use super::{arg, def_method, this_string};
+use crate::ops;
+use crate::value::{ErrorKind, ObjKind, Value};
+use crate::{Control, Interp};
+
+pub(super) fn install(interp: &mut Interp<'_>) {
+    let proto = interp.protos.string;
+    let ctor = super::def_ctor(interp, "String", proto, string_ctor);
+    def_method(interp, ctor, "fromCharCode", "String.fromCharCode", from_char_code);
+
+    def_method(interp, proto, "charAt", "String.prototype.charAt", char_at);
+    def_method(interp, proto, "charCodeAt", "String.prototype.charCodeAt", char_code_at);
+    def_method(interp, proto, "codePointAt", "String.prototype.codePointAt", code_point_at);
+    def_method(interp, proto, "indexOf", "String.prototype.indexOf", index_of);
+    def_method(interp, proto, "lastIndexOf", "String.prototype.lastIndexOf", last_index_of);
+    def_method(interp, proto, "includes", "String.prototype.includes", includes);
+    def_method(interp, proto, "startsWith", "String.prototype.startsWith", starts_with);
+    def_method(interp, proto, "endsWith", "String.prototype.endsWith", ends_with);
+    def_method(interp, proto, "slice", "String.prototype.slice", slice);
+    def_method(interp, proto, "substring", "String.prototype.substring", substring);
+    def_method(interp, proto, "substr", "String.prototype.substr", substr);
+    def_method(interp, proto, "toUpperCase", "String.prototype.toUpperCase", to_upper);
+    def_method(interp, proto, "toLowerCase", "String.prototype.toLowerCase", to_lower);
+    def_method(interp, proto, "trim", "String.prototype.trim", trim);
+    def_method(interp, proto, "trimStart", "String.prototype.trimStart", trim_start);
+    def_method(interp, proto, "trimEnd", "String.prototype.trimEnd", trim_end);
+    def_method(interp, proto, "split", "String.prototype.split", split);
+    def_method(interp, proto, "replace", "String.prototype.replace", replace);
+    def_method(interp, proto, "concat", "String.prototype.concat", concat);
+    def_method(interp, proto, "repeat", "String.prototype.repeat", repeat);
+    def_method(interp, proto, "padStart", "String.prototype.padStart", pad_start);
+    def_method(interp, proto, "padEnd", "String.prototype.padEnd", pad_end);
+    def_method(interp, proto, "normalize", "String.prototype.normalize", normalize);
+    def_method(interp, proto, "match", "String.prototype.match", match_);
+    def_method(interp, proto, "search", "String.prototype.search", search);
+    def_method(interp, proto, "toString", "String.prototype.toString", to_string);
+    def_method(interp, proto, "valueOf", "String.prototype.valueOf", to_string);
+    def_method(
+        interp,
+        proto,
+        "localeCompare",
+        "String.prototype.localeCompare",
+        locale_compare,
+    );
+    def_method(interp, proto, "big", "String.prototype.big", big);
+    def_method(interp, proto, "at", "String.prototype.at", at);
+}
+
+fn string_ctor(interp: &mut Interp<'_>, _this: Value, args: &[Value]) -> Result<Value, Control> {
+    let s = match args.first() {
+        None => String::new(),
+        Some(v) => interp.to_js_string(v)?,
+    };
+    if interp.is_constructing() {
+        let proto = interp.protos.string;
+        let id = interp.alloc(crate::value::Obj::new(
+            ObjKind::StrWrap(std::rc::Rc::from(s.as_str())),
+            Some(proto),
+        ));
+        Ok(Value::Obj(id))
+    } else {
+        Ok(Value::str(s))
+    }
+}
+
+fn from_char_code(interp: &mut Interp<'_>, _this: Value, args: &[Value]) -> Result<Value, Control> {
+    let mut out = String::new();
+    for a in args {
+        let code = ops::to_uint32(interp.to_number(a)?) as u16;
+        out.push(char::from_u32(code as u32).unwrap_or('\u{FFFD}'));
+    }
+    Ok(Value::str(out))
+}
+
+fn chars_of(s: &str) -> Vec<char> {
+    s.chars().collect()
+}
+
+fn char_at(interp: &mut Interp<'_>, this: Value, args: &[Value]) -> Result<Value, Control> {
+    let s = this_string(interp, &this)?;
+    let i = ops::to_integer(interp.to_number(&arg(args, 0))?);
+    let cs = chars_of(&s);
+    Ok(if i >= 0.0 && (i as usize) < cs.len() {
+        Value::str(cs[i as usize].to_string())
+    } else {
+        Value::str("")
+    })
+}
+
+fn char_code_at(interp: &mut Interp<'_>, this: Value, args: &[Value]) -> Result<Value, Control> {
+    let s = this_string(interp, &this)?;
+    let i = ops::to_integer(interp.to_number(&arg(args, 0))?);
+    let cs = chars_of(&s);
+    Ok(if i >= 0.0 && (i as usize) < cs.len() {
+        Value::Number(cs[i as usize] as u32 as f64)
+    } else {
+        Value::Number(f64::NAN)
+    })
+}
+
+fn code_point_at(interp: &mut Interp<'_>, this: Value, args: &[Value]) -> Result<Value, Control> {
+    let s = this_string(interp, &this)?;
+    let i = ops::to_integer(interp.to_number(&arg(args, 0))?);
+    let cs = chars_of(&s);
+    Ok(if i >= 0.0 && (i as usize) < cs.len() {
+        Value::Number(cs[i as usize] as u32 as f64)
+    } else {
+        Value::Undefined
+    })
+}
+
+fn at(interp: &mut Interp<'_>, this: Value, args: &[Value]) -> Result<Value, Control> {
+    let s = this_string(interp, &this)?;
+    let cs = chars_of(&s);
+    let mut i = ops::to_integer(interp.to_number(&arg(args, 0))?);
+    if i < 0.0 {
+        i += cs.len() as f64;
+    }
+    Ok(if i >= 0.0 && (i as usize) < cs.len() {
+        Value::str(cs[i as usize].to_string())
+    } else {
+        Value::Undefined
+    })
+}
+
+fn find_sub(hay: &[char], needle: &[char], from: usize) -> Option<usize> {
+    if needle.is_empty() {
+        return Some(from.min(hay.len()));
+    }
+    if needle.len() > hay.len() {
+        return None;
+    }
+    (from..=hay.len().saturating_sub(needle.len()))
+        .find(|&i| hay[i..i + needle.len()] == *needle)
+}
+
+fn index_of(interp: &mut Interp<'_>, this: Value, args: &[Value]) -> Result<Value, Control> {
+    let s = this_string(interp, &this)?;
+    let needle = {
+        let v = arg(args, 0);
+        interp.to_js_string(&v)?
+    };
+    let from = ops::to_integer(interp.to_number(&arg(args, 1))?).max(0.0) as usize;
+    let hay = chars_of(&s);
+    Ok(Value::Number(match find_sub(&hay, &chars_of(&needle), from) {
+        Some(i) => i as f64,
+        None => -1.0,
+    }))
+}
+
+fn last_index_of(interp: &mut Interp<'_>, this: Value, args: &[Value]) -> Result<Value, Control> {
+    let s = this_string(interp, &this)?;
+    let needle = {
+        let v = arg(args, 0);
+        interp.to_js_string(&v)?
+    };
+    let hay = chars_of(&s);
+    let nd = chars_of(&needle);
+    let mut best: f64 = -1.0;
+    let mut from = 0;
+    while let Some(i) = find_sub(&hay, &nd, from) {
+        best = i as f64;
+        from = i + 1;
+        if nd.is_empty() {
+            best = hay.len() as f64;
+            break;
+        }
+    }
+    Ok(Value::Number(best))
+}
+
+fn includes(interp: &mut Interp<'_>, this: Value, args: &[Value]) -> Result<Value, Control> {
+    let s = this_string(interp, &this)?;
+    let needle = {
+        let v = arg(args, 0);
+        interp.to_js_string(&v)?
+    };
+    Ok(Value::Bool(find_sub(&chars_of(&s), &chars_of(&needle), 0).is_some()))
+}
+
+fn starts_with(interp: &mut Interp<'_>, this: Value, args: &[Value]) -> Result<Value, Control> {
+    let s = this_string(interp, &this)?;
+    let needle = {
+        let v = arg(args, 0);
+        interp.to_js_string(&v)?
+    };
+    let from = ops::to_integer(interp.to_number(&arg(args, 1))?).max(0.0) as usize;
+    let hay = chars_of(&s);
+    let nd = chars_of(&needle);
+    Ok(Value::Bool(hay.len() >= from + nd.len() && hay[from..from + nd.len()] == nd[..]))
+}
+
+fn ends_with(interp: &mut Interp<'_>, this: Value, args: &[Value]) -> Result<Value, Control> {
+    let s = this_string(interp, &this)?;
+    let needle = {
+        let v = arg(args, 0);
+        interp.to_js_string(&v)?
+    };
+    let hay = chars_of(&s);
+    let end = match arg(args, 1) {
+        Value::Undefined => hay.len(),
+        v => (ops::to_integer(interp.to_number(&v)?).max(0.0) as usize).min(hay.len()),
+    };
+    let nd = chars_of(&needle);
+    Ok(Value::Bool(end >= nd.len() && hay[end - nd.len()..end] == nd[..]))
+}
+
+fn slice(interp: &mut Interp<'_>, this: Value, args: &[Value]) -> Result<Value, Control> {
+    let s = this_string(interp, &this)?;
+    let cs = chars_of(&s);
+    let len = cs.len() as f64;
+    let rel = |n: f64| -> usize {
+        if n < 0.0 {
+            (len + n).max(0.0) as usize
+        } else {
+            n.min(len) as usize
+        }
+    };
+    let start = rel(ops::to_integer(interp.to_number(&arg(args, 0))?));
+    let end = match arg(args, 1) {
+        Value::Undefined => len as usize,
+        v => rel(ops::to_integer(interp.to_number(&v)?)),
+    };
+    Ok(Value::str(if start < end { cs[start..end].iter().collect::<String>() } else { String::new() }))
+}
+
+fn substring(interp: &mut Interp<'_>, this: Value, args: &[Value]) -> Result<Value, Control> {
+    let s = this_string(interp, &this)?;
+    let cs = chars_of(&s);
+    let len = cs.len() as f64;
+    let clamp = |n: f64| n.max(0.0).min(len) as usize;
+    let a = clamp(ops::to_integer(interp.to_number(&arg(args, 0))?));
+    let b = match arg(args, 1) {
+        Value::Undefined => len as usize,
+        v => clamp(ops::to_integer(interp.to_number(&v)?)),
+    };
+    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+    Ok(Value::str(cs[lo..hi].iter().collect::<String>()))
+}
+
+/// `String.prototype.substr(start, length)` — the Figure 1 algorithm.
+fn substr(interp: &mut Interp<'_>, this: Value, args: &[Value]) -> Result<Value, Control> {
+    // 1-3. Let S be ToString(O).
+    let s = this_string(interp, &this)?;
+    let cs = chars_of(&s);
+    let size = cs.len() as f64;
+    // 4-5. Let intStart be ToInteger(start).
+    let mut int_start = ops::to_integer(interp.to_number(&arg(args, 0))?);
+    // 6-7. If length is undefined, let end be +∞; else ToInteger(length).
+    let end = match arg(args, 1) {
+        Value::Undefined => f64::INFINITY,
+        v => ops::to_integer(interp.to_number(&v)?),
+    };
+    // 9. If intStart < 0, let intStart be max(size + intStart, 0).
+    if int_start < 0.0 {
+        int_start = (size + int_start).max(0.0);
+    }
+    // 10. Let resultLength be min(max(end, 0), size - intStart).
+    let result_length = end.max(0.0).min(size - int_start);
+    // 11. If resultLength <= 0, return "".
+    if result_length <= 0.0 {
+        return Ok(Value::str(""));
+    }
+    let start = int_start as usize;
+    let n = result_length as usize;
+    Ok(Value::str(cs[start..start + n].iter().collect::<String>()))
+}
+
+fn to_upper(interp: &mut Interp<'_>, this: Value, _args: &[Value]) -> Result<Value, Control> {
+    let s = this_string(interp, &this)?;
+    Ok(Value::str(s.to_uppercase()))
+}
+
+fn to_lower(interp: &mut Interp<'_>, this: Value, _args: &[Value]) -> Result<Value, Control> {
+    let s = this_string(interp, &this)?;
+    Ok(Value::str(s.to_lowercase()))
+}
+
+fn trim(interp: &mut Interp<'_>, this: Value, _args: &[Value]) -> Result<Value, Control> {
+    let s = this_string(interp, &this)?;
+    Ok(Value::str(s.trim()))
+}
+
+fn trim_start(interp: &mut Interp<'_>, this: Value, _args: &[Value]) -> Result<Value, Control> {
+    let s = this_string(interp, &this)?;
+    Ok(Value::str(s.trim_start()))
+}
+
+fn trim_end(interp: &mut Interp<'_>, this: Value, _args: &[Value]) -> Result<Value, Control> {
+    let s = this_string(interp, &this)?;
+    Ok(Value::str(s.trim_end()))
+}
+
+/// `String.prototype.split(separator, limit)` with regex separators — the
+/// JerryScript Listing-8 anchor bug hooks in via the profile.
+fn split(interp: &mut Interp<'_>, this: Value, args: &[Value]) -> Result<Value, Control> {
+    let s = this_string(interp, &this)?;
+    let sep = arg(args, 0);
+    let limit = match arg(args, 1) {
+        Value::Undefined => u32::MAX as usize,
+        v => ops::to_uint32(interp.to_number(&v)?) as usize,
+    };
+    if sep.is_undefined() {
+        let whole = interp.new_array(vec![Some(Value::str(&s))]);
+        return Ok(whole);
+    }
+
+    // Regex separator.
+    if let Some((mut pattern, flags)) = regex_source(interp, &sep) {
+        let anchor_bug = interp.split_anchor_broken();
+        if anchor_bug && pattern.starts_with('^') {
+            pattern.remove(0);
+        }
+        let re = compile(interp, &pattern, &flags)?;
+        let mut parts: Vec<String> = Vec::new();
+        let chars: Vec<char> = s.chars().collect();
+        let mut last = 0usize;
+        for m in re.find_iter(&s) {
+            if m.start > chars.len() || parts.len() >= limit {
+                break;
+            }
+            // A match at/overlapping the very end yields a trailing "".
+            parts.push(chars[last..m.start].iter().collect());
+            last = m.end;
+        }
+        if parts.len() < limit {
+            parts.push(chars[last.min(chars.len())..].iter().collect());
+        }
+        if anchor_bug {
+            // The buggy engine also drops trailing empty fragments.
+            while parts.last().is_some_and(String::is_empty) {
+                parts.pop();
+            }
+        }
+        let elems = parts.into_iter().map(|p| Some(Value::str(p))).collect();
+        return Ok(interp.new_array(elems));
+    }
+
+    // String separator.
+    let sep_s = interp.to_js_string(&sep)?;
+    let parts: Vec<String> = if sep_s.is_empty() {
+        s.chars().map(|c| c.to_string()).take(limit).collect()
+    } else {
+        s.split(&sep_s).map(str::to_string).take(limit).collect()
+    };
+    let elems = parts.into_iter().map(|p| Some(Value::str(p))).collect();
+    Ok(interp.new_array(elems))
+}
+
+/// Extracts `(source, flags)` if `v` is a RegExp object.
+fn regex_source(interp: &Interp<'_>, v: &Value) -> Option<(String, String)> {
+    if let Value::Obj(id) = v {
+        if let ObjKind::Regex { source, flags } = &interp.obj(*id).kind {
+            return Some((source.clone(), flags.clone()));
+        }
+    }
+    None
+}
+
+fn compile(
+    interp: &mut Interp<'_>,
+    pattern: &str,
+    flags: &str,
+) -> Result<comfort_regex::Regex, Control> {
+    let f = comfort_regex::Flags::parse(flags)
+        .map_err(|e| interp.throw(ErrorKind::Syntax, e.to_string()))?;
+    comfort_regex::Regex::with_flags(pattern, f)
+        .map_err(|e| interp.throw(ErrorKind::Syntax, e.to_string()))
+}
+
+/// `String.prototype.replace(search, replacement)` — first match only unless
+/// the regex has the `g` flag; supports `$&`, `$1`-`$9`, `$$` and function
+/// replacements.
+fn replace(interp: &mut Interp<'_>, this: Value, args: &[Value]) -> Result<Value, Control> {
+    let s = this_string(interp, &this)?;
+    let search = arg(args, 0);
+    let replacement = arg(args, 1);
+
+    let expand = |interp: &mut Interp<'_>, caps: &comfort_regex::Captures<'_>, rep: &str| {
+        let _ = interp;
+        let mut out = String::new();
+        let mut it = rep.chars().peekable();
+        while let Some(c) = it.next() {
+            if c != '$' {
+                out.push(c);
+                continue;
+            }
+            match it.peek() {
+                Some('$') => {
+                    out.push('$');
+                    it.next();
+                }
+                Some('&') => {
+                    out.push_str(caps.get(0).unwrap_or(""));
+                    it.next();
+                }
+                Some(d) if d.is_ascii_digit() => {
+                    let idx = d.to_digit(10).expect("digit") as usize;
+                    out.push_str(caps.get(idx).unwrap_or(""));
+                    it.next();
+                }
+                _ => out.push('$'),
+            }
+        }
+        out
+    };
+
+    if let Some((pattern, flags)) = regex_source(interp, &search) {
+        let global = flags.contains('g');
+        let re = compile(interp, &pattern, &flags)?;
+        let chars: Vec<char> = s.chars().collect();
+        let mut out = String::new();
+        let mut last = 0usize;
+        let mut pos = 0usize;
+        while let Some(caps) = re.captures_at(&s, pos) {
+            let m = caps.whole;
+            out.extend(&chars[last..m.start]);
+            let rep_str = if matches!(
+                &replacement,
+                Value::Obj(id) if matches!(interp.obj(*id).kind, ObjKind::Function(_) | ObjKind::Native { .. })
+            ) {
+                let mut cargs: Vec<Value> = vec![Value::str(m.text)];
+                for i in 1..=caps.len() {
+                    cargs.push(match caps.get(i) {
+                        Some(t) => Value::str(t),
+                        None => Value::Undefined,
+                    });
+                }
+                cargs.push(Value::Number(m.start as f64));
+                cargs.push(Value::str(&s));
+                let r = interp.call_value(&replacement, Value::Undefined, &cargs)?;
+                interp.to_js_string(&r)?
+            } else {
+                let rep = interp.to_js_string(&replacement)?;
+                expand(interp, &caps, &rep)
+            };
+            out.push_str(&rep_str);
+            last = m.end;
+            pos = if m.end == m.start { m.end + 1 } else { m.end };
+            if !global || pos > chars.len() {
+                break;
+            }
+        }
+        out.extend(&chars[last.min(chars.len())..]);
+        return Ok(Value::str(out));
+    }
+
+    // Plain-string search: replace the first occurrence only.
+    let search_s = interp.to_js_string(&search)?;
+    match s.find(&search_s) {
+        None => Ok(Value::str(s)),
+        Some(at) => {
+            let rep_str = if matches!(
+                &replacement,
+                Value::Obj(id) if matches!(interp.obj(*id).kind, ObjKind::Function(_) | ObjKind::Native { .. })
+            ) {
+                let char_at = s[..at].chars().count();
+                let r = interp.call_value(
+                    &replacement,
+                    Value::Undefined,
+                    &[Value::str(&search_s), Value::Number(char_at as f64), Value::str(&s)],
+                )?;
+                interp.to_js_string(&r)?
+            } else {
+                let rep = interp.to_js_string(&replacement)?;
+                rep.replace("$&", &search_s).replace("$$", "$")
+            };
+            let mut out = String::with_capacity(s.len());
+            out.push_str(&s[..at]);
+            out.push_str(&rep_str);
+            out.push_str(&s[at + search_s.len()..]);
+            Ok(Value::str(out))
+        }
+    }
+}
+
+fn concat(interp: &mut Interp<'_>, this: Value, args: &[Value]) -> Result<Value, Control> {
+    let mut s = this_string(interp, &this)?;
+    for a in args {
+        s.push_str(&interp.to_js_string(a)?);
+    }
+    Ok(Value::str(s))
+}
+
+fn repeat(interp: &mut Interp<'_>, this: Value, args: &[Value]) -> Result<Value, Control> {
+    let s = this_string(interp, &this)?;
+    let n = ops::to_integer(interp.to_number(&arg(args, 0))?);
+    if n < 0.0 || n.is_infinite() {
+        return Err(interp.throw(ErrorKind::Range, "Invalid count value"));
+    }
+    if (n as usize).saturating_mul(s.len()) > 1 << 22 {
+        return Err(interp.throw(ErrorKind::Range, "Invalid string length"));
+    }
+    interp.charge(n as u64 + 1)?;
+    Ok(Value::str(s.repeat(n as usize)))
+}
+
+fn pad(interp: &mut Interp<'_>, this: Value, args: &[Value], start: bool) -> Result<Value, Control> {
+    let s = this_string(interp, &this)?;
+    let target = ops::to_length(interp.to_number(&arg(args, 0))?) as usize;
+    if target > 1 << 22 {
+        return Err(interp.throw(ErrorKind::Range, "Invalid string length"));
+    }
+    let filler = match arg(args, 1) {
+        Value::Undefined => " ".to_string(),
+        v => interp.to_js_string(&v)?,
+    };
+    let len = s.chars().count();
+    if target <= len || filler.is_empty() {
+        return Ok(Value::str(s));
+    }
+    let need = target - len;
+    let pad: String = filler.chars().cycle().take(need).collect();
+    Ok(Value::str(if start { format!("{pad}{s}") } else { format!("{s}{pad}") }))
+}
+
+fn pad_start(interp: &mut Interp<'_>, this: Value, args: &[Value]) -> Result<Value, Control> {
+    pad(interp, this, args, true)
+}
+
+fn pad_end(interp: &mut Interp<'_>, this: Value, args: &[Value]) -> Result<Value, Control> {
+    pad(interp, this, args, false)
+}
+
+/// `String.prototype.normalize(form)` — the QuickJS Listing-9 crash is seeded
+/// through the profile's `on_builtin` (this implementation validates `form`
+/// per spec).
+fn normalize(interp: &mut Interp<'_>, this: Value, args: &[Value]) -> Result<Value, Control> {
+    let s = this_string(interp, &this)?;
+    let form = match arg(args, 0) {
+        Value::Undefined => "NFC".to_string(),
+        v => interp.to_js_string(&v)?,
+    };
+    if !matches!(form.as_str(), "NFC" | "NFD" | "NFKC" | "NFKD") {
+        return Err(interp.throw(
+            ErrorKind::Range,
+            "The normalization form should be one of NFC, NFD, NFKC, NFKD.",
+        ));
+    }
+    // Our strings are already NFC-ish for the generated corpus; identity is a
+    // faithful simplification (documented in DESIGN.md).
+    Ok(Value::str(s))
+}
+
+fn match_(interp: &mut Interp<'_>, this: Value, args: &[Value]) -> Result<Value, Control> {
+    let s = this_string(interp, &this)?;
+    let search = arg(args, 0);
+    let (pattern, flags) = match regex_source(interp, &search) {
+        Some(p) => p,
+        None => (interp.to_js_string(&search)?, String::new()),
+    };
+    let re = compile(interp, &pattern, &flags)?;
+    if flags.contains('g') {
+        let all: Vec<Option<Value>> =
+            re.find_iter(&s).map(|m| Some(Value::str(m.text))).collect();
+        if all.is_empty() {
+            return Ok(Value::Null);
+        }
+        return Ok(interp.new_array(all));
+    }
+    match re.captures(&s) {
+        None => Ok(Value::Null),
+        Some(caps) => {
+            let mut elems: Vec<Option<Value>> = vec![Some(Value::str(caps.whole.text))];
+            for i in 1..=caps.len() {
+                elems.push(Some(match caps.get(i) {
+                    Some(t) => Value::str(t),
+                    None => Value::Undefined,
+                }));
+            }
+            let arr = interp.new_array(elems);
+            if let Value::Obj(id) = &arr {
+                interp.obj_mut(*id).props.insert(
+                    "index",
+                    crate::value::Prop::data(Value::Number(caps.whole.start as f64)),
+                );
+                interp
+                    .obj_mut(*id)
+                    .props
+                    .insert("input", crate::value::Prop::data(Value::str(&s)));
+            }
+            Ok(arr)
+        }
+    }
+}
+
+fn search(interp: &mut Interp<'_>, this: Value, args: &[Value]) -> Result<Value, Control> {
+    let s = this_string(interp, &this)?;
+    let target = arg(args, 0);
+    let (pattern, flags) = match regex_source(interp, &target) {
+        Some(p) => p,
+        None => (interp.to_js_string(&target)?, String::new()),
+    };
+    let re = compile(interp, &pattern, &flags)?;
+    Ok(Value::Number(match re.find(&s) {
+        Some(m) => m.start as f64,
+        None => -1.0,
+    }))
+}
+
+fn to_string(interp: &mut Interp<'_>, this: Value, _args: &[Value]) -> Result<Value, Control> {
+    match &this {
+        Value::Str(_) => Ok(this),
+        Value::Obj(id) => match &interp.obj(*id).kind {
+            ObjKind::StrWrap(s) => Ok(Value::Str(s.clone())),
+            _ => Err(interp.throw(ErrorKind::Type, "String.prototype.toString requires a string")),
+        },
+        _ => Err(interp.throw(ErrorKind::Type, "String.prototype.toString requires a string")),
+    }
+}
+
+fn locale_compare(interp: &mut Interp<'_>, this: Value, args: &[Value]) -> Result<Value, Control> {
+    let a = this_string(interp, &this)?;
+    let b = {
+        let v = arg(args, 0);
+        interp.to_js_string(&v)?
+    };
+    Ok(Value::Number(match a.cmp(&b) {
+        std::cmp::Ordering::Less => -1.0,
+        std::cmp::Ordering::Equal => 0.0,
+        std::cmp::Ordering::Greater => 1.0,
+    }))
+}
+
+/// Legacy `String.prototype.big` (Annex B) — present because the paper's
+/// CodeAlchemist comparison (Listing 10) exercises it via `.call(null)`.
+fn big(interp: &mut Interp<'_>, this: Value, _args: &[Value]) -> Result<Value, Control> {
+    let s = this_string(interp, &this)?;
+    Ok(Value::str(format!("<big>{s}</big>")))
+}

@@ -1,0 +1,445 @@
+//! `ArrayBuffer`, the nine typed-array constructors, and `DataView`.
+//!
+//! `%TypedArray%.prototype.set` implements the spec path the JSC Listing-5
+//! bug deviates from: a string source is treated as an array-like of
+//! characters (each `ToNumber`ed), not rejected.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use super::{arg, def_method, typed_load, typed_store};
+use crate::ops;
+use crate::value::{BufferData, ErrorKind, Obj, ObjId, ObjKind, TaKind, Value};
+use crate::{Control, Interp};
+
+pub(super) fn install(interp: &mut Interp<'_>) {
+    let buf_proto = interp.protos.array_buffer;
+    super::def_ctor(interp, "ArrayBuffer", buf_proto, array_buffer_ctor);
+
+    let ta_proto = interp.protos.typed_array;
+    def_method(interp, ta_proto, "set", "%TypedArray%.prototype.set", ta_set);
+    def_method(interp, ta_proto, "subarray", "%TypedArray%.prototype.subarray", ta_subarray);
+    def_method(interp, ta_proto, "fill", "%TypedArray%.prototype.fill", ta_fill);
+    def_method(interp, ta_proto, "slice", "%TypedArray%.prototype.slice", ta_slice);
+    def_method(interp, ta_proto, "indexOf", "%TypedArray%.prototype.indexOf", ta_index_of);
+    def_method(interp, ta_proto, "join", "%TypedArray%.prototype.join", ta_join);
+    def_method(interp, ta_proto, "toString", "%TypedArray%.prototype.toString", ta_to_string);
+
+    // The nine concrete constructors share the prototype.
+    ctor(interp, "Int8Array", TaKind::I8);
+    ctor(interp, "Uint8Array", TaKind::U8);
+    ctor(interp, "Uint8ClampedArray", TaKind::U8Clamped);
+    ctor(interp, "Int16Array", TaKind::I16);
+    ctor(interp, "Uint16Array", TaKind::U16);
+    ctor(interp, "Int32Array", TaKind::I32);
+    ctor(interp, "Uint32Array", TaKind::U32);
+    ctor(interp, "Float32Array", TaKind::F32);
+    ctor(interp, "Float64Array", TaKind::F64);
+
+    let dv_proto = interp.protos.data_view;
+    super::def_ctor(interp, "DataView", dv_proto, data_view_ctor);
+    def_method(interp, dv_proto, "getUint8", "DataView.prototype.getUint8", dv_get(TaKind::U8));
+    def_method(interp, dv_proto, "getInt8", "DataView.prototype.getInt8", dv_get(TaKind::I8));
+    def_method(interp, dv_proto, "getUint16", "DataView.prototype.getUint16", dv_get(TaKind::U16));
+    def_method(interp, dv_proto, "getInt16", "DataView.prototype.getInt16", dv_get(TaKind::I16));
+    def_method(interp, dv_proto, "getUint32", "DataView.prototype.getUint32", dv_get(TaKind::U32));
+    def_method(interp, dv_proto, "getInt32", "DataView.prototype.getInt32", dv_get(TaKind::I32));
+    def_method(
+        interp,
+        dv_proto,
+        "getFloat64",
+        "DataView.prototype.getFloat64",
+        dv_get(TaKind::F64),
+    );
+    def_method(interp, dv_proto, "setUint8", "DataView.prototype.setUint8", dv_set(TaKind::U8));
+    def_method(interp, dv_proto, "setInt8", "DataView.prototype.setInt8", dv_set(TaKind::I8));
+    def_method(interp, dv_proto, "setUint16", "DataView.prototype.setUint16", dv_set(TaKind::U16));
+    def_method(interp, dv_proto, "setInt16", "DataView.prototype.setInt16", dv_set(TaKind::I16));
+    def_method(interp, dv_proto, "setUint32", "DataView.prototype.setUint32", dv_set(TaKind::U32));
+    def_method(interp, dv_proto, "setInt32", "DataView.prototype.setInt32", dv_set(TaKind::I32));
+    def_method(
+        interp,
+        dv_proto,
+        "setFloat64",
+        "DataView.prototype.setFloat64",
+        dv_set(TaKind::F64),
+    );
+}
+
+fn array_buffer_ctor(interp: &mut Interp<'_>, _this: Value, args: &[Value]) -> Result<Value, Control> {
+    let len = ops::to_length(interp.to_number(&arg(args, 0))?) as usize;
+    if len > 1 << 26 {
+        return Err(interp.throw(ErrorKind::Range, "Array buffer allocation failed"));
+    }
+    interp.charge(len as u64 / 64 + 1)?;
+    let proto = interp.protos.array_buffer;
+    let data: BufferData = Rc::new(RefCell::new(vec![0; len]));
+    Ok(Value::Obj(interp.alloc(Obj::new(ObjKind::ArrayBuffer { data }, Some(proto)))))
+}
+
+fn ctor(interp: &mut Interp<'_>, name: &'static str, kind: TaKind) {
+    // Each constructor closes over its element kind via a monomorphized shim.
+    macro_rules! shim {
+        ($k:expr) => {
+            |i: &mut Interp<'_>, t: Value, a: &[Value]| construct_typed(i, t, a, $k)
+        };
+    }
+    let func: crate::value::NativeFn = match kind {
+        TaKind::I8 => shim!(TaKind::I8),
+        TaKind::U8 => shim!(TaKind::U8),
+        TaKind::U8Clamped => shim!(TaKind::U8Clamped),
+        TaKind::I16 => shim!(TaKind::I16),
+        TaKind::U16 => shim!(TaKind::U16),
+        TaKind::I32 => shim!(TaKind::I32),
+        TaKind::U32 => shim!(TaKind::U32),
+        TaKind::F32 => shim!(TaKind::F32),
+        TaKind::F64 => shim!(TaKind::F64),
+    };
+    let proto = interp.protos.typed_array;
+    super::def_ctor(interp, name, proto, func);
+}
+
+/// `new Uint32Array(…)` & friends. Per ES2015 §22.2.4, a numeric length is
+/// `ToIndex`ed (so `3.14` → `RangeError` in ES2017+, but ES2015's
+/// `ToInteger` truncated — we follow the truncating behaviour the paper's
+/// Listing-3 calls conforming, since the engines under test claim ES2015+).
+fn construct_typed(
+    interp: &mut Interp<'_>,
+    _this: Value,
+    args: &[Value],
+    kind: TaKind,
+) -> Result<Value, Control> {
+    let proto = interp.protos.typed_array;
+    let make = |interp: &mut Interp<'_>, data: Vec<u8>, len: usize| -> Value {
+        let buf: BufferData = Rc::new(RefCell::new(data));
+        Value::Obj(interp.alloc(Obj::new(
+            ObjKind::TypedArray { kind, buf, offset: 0, len },
+            Some(proto),
+        )))
+    };
+    match arg(args, 0) {
+        Value::Undefined => Ok(make(interp, Vec::new(), 0)),
+        Value::Number(n) => {
+            let len = ops::to_integer(n);
+            if len < 0.0 || len > (1 << 24) as f64 {
+                return Err(interp.throw(ErrorKind::Range, "Invalid typed array length"));
+            }
+            let len = len as usize;
+            interp.charge(len as u64 / 64 + 1)?;
+            Ok(make(interp, vec![0; len * kind.size()], len))
+        }
+        Value::Obj(id) => match &interp.obj(id).kind {
+            ObjKind::Array { elems } => {
+                let elems = elems.clone();
+                let len = elems.len();
+                let mut data = vec![0u8; len * kind.size()];
+                for (i, e) in elems.iter().enumerate() {
+                    let n = match e {
+                        Some(v) => interp.to_number(v)?,
+                        None => 0.0,
+                    };
+                    typed_store(&mut data, kind, i * kind.size(), n);
+                }
+                Ok(make(interp, data, len))
+            }
+            ObjKind::TypedArray { kind: sk, buf, offset, len } => {
+                let (sk, buf, offset, len) = (*sk, Rc::clone(buf), *offset, *len);
+                let mut data = vec![0u8; len * kind.size()];
+                let src = buf.borrow();
+                for i in 0..len {
+                    let v = typed_load(&src, sk, offset + i * sk.size());
+                    typed_store(&mut data, kind, i * kind.size(), v);
+                }
+                drop(src);
+                Ok(make(interp, data, len))
+            }
+            ObjKind::ArrayBuffer { data } => {
+                let data = Rc::clone(data);
+                let byte_len = data.borrow().len();
+                let offset = ops::to_length(interp.to_number(&arg(args, 1))?) as usize;
+                if !offset.is_multiple_of(kind.size()) || offset > byte_len {
+                    return Err(interp.throw(ErrorKind::Range, "start offset is out of bounds"));
+                }
+                let len = match arg(args, 2) {
+                    Value::Undefined => (byte_len - offset) / kind.size(),
+                    v => ops::to_length(interp.to_number(&v)?) as usize,
+                };
+                if offset + len * kind.size() > byte_len {
+                    return Err(interp.throw(ErrorKind::Range, "Invalid typed array length"));
+                }
+                Ok(Value::Obj(interp.alloc(Obj::new(
+                    ObjKind::TypedArray { kind, buf: data, offset, len },
+                    Some(proto),
+                ))))
+            }
+            _ => {
+                // Other objects coerce like an ES5 array-like of length 0.
+                Ok(make(interp, Vec::new(), 0))
+            }
+        },
+        other => {
+            // ES2015: ToInteger on primitives (a string like "3" works).
+            let n = interp.to_number(&other)?;
+            let len = ops::to_integer(n).max(0.0) as usize;
+            if len > 1 << 24 {
+                return Err(interp.throw(ErrorKind::Range, "Invalid typed array length"));
+            }
+            Ok(make(interp, vec![0; len * kind.size()], len))
+        }
+    }
+}
+
+fn this_typed(
+    interp: &mut Interp<'_>,
+    this: &Value,
+) -> Result<(ObjId, TaKind, BufferData, usize, usize), Control> {
+    if let Value::Obj(id) = this {
+        if let ObjKind::TypedArray { kind, buf, offset, len } = &interp.obj(*id).kind {
+            return Ok((*id, *kind, Rc::clone(buf), *offset, *len));
+        }
+    }
+    Err(interp.throw(ErrorKind::Type, "method called on incompatible receiver"))
+}
+
+/// `%TypedArray%.prototype.set(source, offset)`.
+fn ta_set(interp: &mut Interp<'_>, this: Value, args: &[Value]) -> Result<Value, Control> {
+    let (_, kind, buf, byte_offset, len) = this_typed(interp, &this)?;
+    let dst_offset = ops::to_length(interp.to_number(&arg(args, 1))?) as usize;
+    // Source as an array-like: arrays, typed arrays, strings (Listing 5),
+    // and generic objects with a length.
+    let src = arg(args, 0);
+    let values: Vec<f64> = match &src {
+        Value::Str(s) => {
+            // ECMA-262: ToObject(string) is an array-like of single chars;
+            // each char `ToNumber`s (digits work, letters become NaN).
+            s.chars().map(|c| ops::string_to_number(&c.to_string())).collect()
+        }
+        Value::Obj(id) => match &interp.obj(*id).kind {
+            ObjKind::Array { elems } => {
+                let elems = elems.clone();
+                let mut out = Vec::with_capacity(elems.len());
+                for e in elems {
+                    out.push(match e {
+                        Some(v) => interp.to_number(&v)?,
+                        None => f64::NAN,
+                    });
+                }
+                out
+            }
+            ObjKind::TypedArray { kind: sk, buf: sb, offset: so, len: sl } => {
+                let (sk, sb, so, sl) = (*sk, Rc::clone(sb), *so, *sl);
+                let b = sb.borrow();
+                (0..sl).map(|i| typed_load(&b, sk, so + i * sk.size())).collect()
+            }
+            ObjKind::StrWrap(s) => {
+                s.chars().map(|c| ops::string_to_number(&c.to_string())).collect()
+            }
+            _ => {
+                let length = interp.get_property(&src, "length")?;
+                let n = ops::to_length(interp.to_number(&length)?) as usize;
+                let mut out = Vec::with_capacity(n.min(1 << 20));
+                for i in 0..n {
+                    let v = interp.get_property(&src, &i.to_string())?;
+                    out.push(interp.to_number(&v)?);
+                }
+                out
+            }
+        },
+        _ => {
+            return Err(interp.throw(ErrorKind::Type, "invalid_argument"));
+        }
+    };
+    if dst_offset + values.len() > len {
+        return Err(interp.throw(ErrorKind::Range, "offset is out of bounds"));
+    }
+    let mut b = buf.borrow_mut();
+    for (i, v) in values.iter().enumerate() {
+        typed_store(&mut b, kind, byte_offset + (dst_offset + i) * kind.size(), *v);
+    }
+    Ok(Value::Undefined)
+}
+
+fn ta_subarray(interp: &mut Interp<'_>, this: Value, args: &[Value]) -> Result<Value, Control> {
+    let (_, kind, buf, byte_offset, len) = this_typed(interp, &this)?;
+    let rel = |n: f64| -> usize {
+        if n < 0.0 {
+            ((len as f64) + n).max(0.0) as usize
+        } else {
+            (n as usize).min(len)
+        }
+    };
+    let start = rel(ops::to_integer(interp.to_number(&arg(args, 0))?));
+    let end = match arg(args, 1) {
+        Value::Undefined => len,
+        v => rel(ops::to_integer(interp.to_number(&v)?)),
+    };
+    let new_len = end.saturating_sub(start);
+    let proto = interp.protos.typed_array;
+    Ok(Value::Obj(interp.alloc(Obj::new(
+        ObjKind::TypedArray {
+            kind,
+            buf,
+            offset: byte_offset + start * kind.size(),
+            len: new_len,
+        },
+        Some(proto),
+    ))))
+}
+
+fn ta_fill(interp: &mut Interp<'_>, this: Value, args: &[Value]) -> Result<Value, Control> {
+    let (_, kind, buf, byte_offset, len) = this_typed(interp, &this)?;
+    let v = interp.to_number(&arg(args, 0))?;
+    let mut b = buf.borrow_mut();
+    for i in 0..len {
+        typed_store(&mut b, kind, byte_offset + i * kind.size(), v);
+    }
+    drop(b);
+    Ok(this)
+}
+
+fn ta_slice(interp: &mut Interp<'_>, this: Value, args: &[Value]) -> Result<Value, Control> {
+    let sub = ta_subarray(interp, this, args)?;
+    // slice copies; subarray shares. Rebuild with a fresh buffer.
+    let (_, kind, buf, offset, len) = this_typed(interp, &sub)?;
+    let b = buf.borrow();
+    let mut data = vec![0u8; len * kind.size()];
+    data.copy_from_slice(&b[offset..offset + len * kind.size()]);
+    drop(b);
+    let proto = interp.protos.typed_array;
+    Ok(Value::Obj(interp.alloc(Obj::new(
+        ObjKind::TypedArray { kind, buf: Rc::new(RefCell::new(data)), offset: 0, len },
+        Some(proto),
+    ))))
+}
+
+fn ta_index_of(interp: &mut Interp<'_>, this: Value, args: &[Value]) -> Result<Value, Control> {
+    let (_, kind, buf, offset, len) = this_typed(interp, &this)?;
+    let needle = interp.to_number(&arg(args, 0))?;
+    let b = buf.borrow();
+    for i in 0..len {
+        if typed_load(&b, kind, offset + i * kind.size()) == needle {
+            return Ok(Value::Number(i as f64));
+        }
+    }
+    Ok(Value::Number(-1.0))
+}
+
+fn ta_join(interp: &mut Interp<'_>, this: Value, args: &[Value]) -> Result<Value, Control> {
+    let (_, kind, buf, offset, len) = this_typed(interp, &this)?;
+    let sep = match arg(args, 0) {
+        Value::Undefined => ",".to_string(),
+        v => interp.to_js_string(&v)?,
+    };
+    let b = buf.borrow();
+    let parts: Vec<String> = (0..len)
+        .map(|i| ops::number_to_string(typed_load(&b, kind, offset + i * kind.size())))
+        .collect();
+    Ok(Value::str(parts.join(&sep)))
+}
+
+fn ta_to_string(interp: &mut Interp<'_>, this: Value, _args: &[Value]) -> Result<Value, Control> {
+    ta_join(interp, this, &[])
+}
+
+// -- DataView -------------------------------------------------------------------
+
+fn data_view_ctor(interp: &mut Interp<'_>, _this: Value, args: &[Value]) -> Result<Value, Control> {
+    let Value::Obj(id) = arg(args, 0) else {
+        return Err(interp.throw(ErrorKind::Type, "First argument to DataView constructor must be an ArrayBuffer"));
+    };
+    let data = match &interp.obj(id).kind {
+        ObjKind::ArrayBuffer { data } => Rc::clone(data),
+        _ => {
+            return Err(interp.throw(
+                ErrorKind::Type,
+                "First argument to DataView constructor must be an ArrayBuffer",
+            ))
+        }
+    };
+    let byte_len = data.borrow().len();
+    let offset = ops::to_length(interp.to_number(&arg(args, 1))?) as usize;
+    if offset > byte_len {
+        return Err(interp.throw(ErrorKind::Range, "Start offset is outside the bounds of the buffer"));
+    }
+    let len = match arg(args, 2) {
+        Value::Undefined => byte_len - offset,
+        v => ops::to_length(interp.to_number(&v)?) as usize,
+    };
+    if offset + len > byte_len {
+        return Err(interp.throw(ErrorKind::Range, "Invalid DataView length"));
+    }
+    let proto = interp.protos.data_view;
+    Ok(Value::Obj(interp.alloc(Obj::new(
+        ObjKind::DataView { buf: data, offset, len },
+        Some(proto),
+    ))))
+}
+
+fn this_view(
+    interp: &mut Interp<'_>,
+    this: &Value,
+) -> Result<(BufferData, usize, usize), Control> {
+    if let Value::Obj(id) = this {
+        if let ObjKind::DataView { buf, offset, len } = &interp.obj(*id).kind {
+            return Ok((Rc::clone(buf), *offset, *len));
+        }
+    }
+    Err(interp.throw(ErrorKind::Type, "method called on incompatible receiver"))
+}
+
+/// Makes a `DataView.prototype.get*` native for `kind`.
+fn dv_get(kind: TaKind) -> crate::value::NativeFn {
+    macro_rules! shim {
+        ($k:expr) => {
+            |i: &mut Interp<'_>, t: Value, a: &[Value]| {
+                let (buf, base, len) = this_view(i, &t)?;
+                let at = ops::to_length(i.to_number(&arg(a, 0))?) as usize;
+                if at + $k.size() > len {
+                    return Err(i.throw(ErrorKind::Range, "Offset is outside the bounds of the DataView"));
+                }
+                let v = typed_load(&buf.borrow(), $k, base + at);
+                Ok(Value::Number(v))
+            }
+        };
+    }
+    match kind {
+        TaKind::I8 => shim!(TaKind::I8),
+        TaKind::U8 => shim!(TaKind::U8),
+        TaKind::U8Clamped => shim!(TaKind::U8Clamped),
+        TaKind::I16 => shim!(TaKind::I16),
+        TaKind::U16 => shim!(TaKind::U16),
+        TaKind::I32 => shim!(TaKind::I32),
+        TaKind::U32 => shim!(TaKind::U32),
+        TaKind::F32 => shim!(TaKind::F32),
+        TaKind::F64 => shim!(TaKind::F64),
+    }
+}
+
+/// Makes a `DataView.prototype.set*` native for `kind`.
+fn dv_set(kind: TaKind) -> crate::value::NativeFn {
+    macro_rules! shim {
+        ($k:expr) => {
+            |i: &mut Interp<'_>, t: Value, a: &[Value]| {
+                let (buf, base, len) = this_view(i, &t)?;
+                let at = ops::to_length(i.to_number(&arg(a, 0))?) as usize;
+                let v = i.to_number(&arg(a, 1))?;
+                if at + $k.size() > len {
+                    return Err(i.throw(ErrorKind::Range, "Offset is outside the bounds of the DataView"));
+                }
+                typed_store(&mut buf.borrow_mut(), $k, base + at, v);
+                Ok(Value::Undefined)
+            }
+        };
+    }
+    match kind {
+        TaKind::I8 => shim!(TaKind::I8),
+        TaKind::U8 => shim!(TaKind::U8),
+        TaKind::U8Clamped => shim!(TaKind::U8Clamped),
+        TaKind::I16 => shim!(TaKind::I16),
+        TaKind::U16 => shim!(TaKind::U16),
+        TaKind::I32 => shim!(TaKind::I32),
+        TaKind::U32 => shim!(TaKind::U32),
+        TaKind::F32 => shim!(TaKind::F32),
+        TaKind::F64 => shim!(TaKind::F64),
+    }
+}

@@ -1,0 +1,352 @@
+//! Abstract operations on primitives (ECMA-262 §7): conversions, equality,
+//! and number formatting.
+//!
+//! Operations that can call back into JS (`ToPrimitive` on objects, `ToString`
+//! of objects) live on [`crate::Interp`]; everything here is pure.
+
+/// `ToBoolean` for primitives; objects are always `true` (handled by caller).
+pub fn to_boolean_prim(v: &crate::Value) -> bool {
+    use crate::Value;
+    match v {
+        Value::Undefined | Value::Null => false,
+        Value::Bool(b) => *b,
+        Value::Number(n) => *n != 0.0 && !n.is_nan(),
+        Value::Str(s) => !s.is_empty(),
+        Value::Obj(_) => true,
+    }
+}
+
+/// `ToNumber` for a string (`StringToNumber`, §7.1.4.1).
+pub fn string_to_number(s: &str) -> f64 {
+    let t = s.trim();
+    if t.is_empty() {
+        return 0.0;
+    }
+    if let Some(hex) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        return u64::from_str_radix(hex, 16).map(|v| v as f64).unwrap_or(f64::NAN);
+    }
+    if let Some(bin) = t.strip_prefix("0b").or_else(|| t.strip_prefix("0B")) {
+        return u64::from_str_radix(bin, 2).map(|v| v as f64).unwrap_or(f64::NAN);
+    }
+    if let Some(oct) = t.strip_prefix("0o").or_else(|| t.strip_prefix("0O")) {
+        return u64::from_str_radix(oct, 8).map(|v| v as f64).unwrap_or(f64::NAN);
+    }
+    match t {
+        "Infinity" | "+Infinity" => return f64::INFINITY,
+        "-Infinity" => return f64::NEG_INFINITY,
+        _ => {}
+    }
+    t.parse::<f64>().unwrap_or(f64::NAN)
+}
+
+/// `ToInteger` (§7.1.5 in ES2015): truncates toward zero, NaN → 0.
+pub fn to_integer(n: f64) -> f64 {
+    if n.is_nan() {
+        0.0
+    } else if n == 0.0 || n.is_infinite() {
+        n
+    } else {
+        n.trunc()
+    }
+}
+
+/// `ToInt32` (§7.1.6).
+pub fn to_int32(n: f64) -> i32 {
+    to_uint32(n) as i32
+}
+
+/// `ToUint32` (§7.1.7).
+pub fn to_uint32(n: f64) -> u32 {
+    if !n.is_finite() || n == 0.0 {
+        return 0;
+    }
+    let m = n.trunc();
+    let modulus = 2f64.powi(32);
+    let r = m.rem_euclid(modulus);
+    r as u32
+}
+
+/// `ToLength` (§7.1.15): clamps to `[0, 2^53 - 1]`.
+pub fn to_length(n: f64) -> u64 {
+    let i = to_integer(n);
+    if i <= 0.0 {
+        0
+    } else {
+        i.min(9007199254740991.0) as u64
+    }
+}
+
+/// Number → string exactly as [`comfort_syntax::printer::fmt_number`]
+/// (JS `ToString(Number)` for the values we deal in).
+pub fn number_to_string(n: f64) -> String {
+    comfort_syntax::printer::fmt_number(n)
+}
+
+/// Number → string in an arbitrary radix (2–36), for
+/// `Number.prototype.toString(radix)`. Fractions are emitted to a bounded
+/// number of digits, like real engines do.
+pub fn number_to_string_radix(n: f64, radix: u32) -> String {
+    assert!((2..=36).contains(&radix));
+    if radix == 10 {
+        return number_to_string(n);
+    }
+    if n.is_nan() {
+        return "NaN".to_string();
+    }
+    if n.is_infinite() {
+        return if n > 0.0 { "Infinity".into() } else { "-Infinity".into() };
+    }
+    let neg = n < 0.0;
+    let n = n.abs();
+    let mut int = n.trunc();
+    let mut frac = n.fract();
+    let digits = b"0123456789abcdefghijklmnopqrstuvwxyz";
+    let mut int_part = Vec::new();
+    if int == 0.0 {
+        int_part.push(b'0');
+    }
+    while int >= 1.0 {
+        let d = (int % radix as f64) as usize;
+        int_part.push(digits[d]);
+        int = (int / radix as f64).trunc();
+    }
+    int_part.reverse();
+    let mut out = String::new();
+    if neg {
+        out.push('-');
+    }
+    out.push_str(std::str::from_utf8(&int_part).expect("ascii digits"));
+    if frac > 0.0 {
+        out.push('.');
+        for _ in 0..20 {
+            frac *= radix as f64;
+            let d = frac.trunc() as usize;
+            out.push(digits[d.min(35)] as char);
+            frac -= frac.trunc();
+            if frac == 0.0 {
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Is `key` a canonical array index string (`"0"`, `"42"`, …)?
+pub fn array_index(key: &str) -> Option<usize> {
+    if key.is_empty() || (key.len() > 1 && key.starts_with('0')) {
+        return None;
+    }
+    let idx: usize = key.parse().ok()?;
+    // 2^32 - 1 is not a valid array index.
+    if (idx as u64) < u32::MAX as u64 {
+        Some(idx)
+    } else {
+        None
+    }
+}
+
+/// Numeric comparison result for the abstract relational comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ordering3 {
+    /// Left is smaller.
+    Less,
+    /// Values are equal.
+    Equal,
+    /// Left is greater.
+    Greater,
+    /// At least one side is NaN.
+    Undefined,
+}
+
+/// Abstract relational comparison for numbers.
+pub fn compare_numbers(a: f64, b: f64) -> Ordering3 {
+    if a.is_nan() || b.is_nan() {
+        Ordering3::Undefined
+    } else if a < b {
+        Ordering3::Less
+    } else if a > b {
+        Ordering3::Greater
+    } else {
+        Ordering3::Equal
+    }
+}
+
+/// `parseInt` (§18.2.5).
+pub fn parse_int(s: &str, radix: f64) -> f64 {
+    let mut t = s.trim_start();
+    let mut sign = 1.0;
+    if let Some(rest) = t.strip_prefix('-') {
+        sign = -1.0;
+        t = rest;
+    } else if let Some(rest) = t.strip_prefix('+') {
+        t = rest;
+    }
+    let mut radix = to_int32(radix);
+    let mut strip_prefix = true;
+    if radix != 0 {
+        if !(2..=36).contains(&radix) {
+            return f64::NAN;
+        }
+        if radix != 16 {
+            strip_prefix = false;
+        }
+    } else {
+        radix = 10;
+    }
+    if strip_prefix && (t.starts_with("0x") || t.starts_with("0X")) {
+        t = &t[2..];
+        radix = 16;
+    }
+    let mut value = 0f64;
+    let mut any = false;
+    for c in t.chars() {
+        match c.to_digit(36) {
+            Some(d) if (d as i32) < radix => {
+                value = value * radix as f64 + d as f64;
+                any = true;
+            }
+            _ => break,
+        }
+    }
+    if any {
+        sign * value
+    } else {
+        f64::NAN
+    }
+}
+
+/// `parseFloat` (§18.2.4): parses the longest valid decimal-literal prefix.
+pub fn parse_float(s: &str) -> f64 {
+    let t = s.trim_start();
+    let bytes = t.as_bytes();
+    let mut i = 0;
+    if i < bytes.len() && (bytes[i] == b'+' || bytes[i] == b'-') {
+        i += 1;
+    }
+    if t[i..].starts_with("Infinity") {
+        return if t.starts_with('-') { f64::NEG_INFINITY } else { f64::INFINITY };
+    }
+    let mut end = 0;
+    let mut seen_digit = false;
+    while i < bytes.len() && bytes[i].is_ascii_digit() {
+        i += 1;
+        seen_digit = true;
+        end = i;
+    }
+    if i < bytes.len() && bytes[i] == b'.' {
+        i += 1;
+        if seen_digit {
+            end = i; // "1." is a valid literal
+        }
+        while i < bytes.len() && bytes[i].is_ascii_digit() {
+            i += 1;
+            seen_digit = true;
+            end = i;
+        }
+    }
+    if seen_digit && i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+        let mut j = i + 1;
+        if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+            j += 1;
+        }
+        if j < bytes.len() && bytes[j].is_ascii_digit() {
+            while j < bytes.len() && bytes[j].is_ascii_digit() {
+                j += 1;
+            }
+            end = j;
+        }
+    }
+    if !seen_digit {
+        return f64::NAN;
+    }
+    t[..end].parse::<f64>().unwrap_or(f64::NAN)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn to_boolean_primitives() {
+        use crate::Value;
+        assert!(!to_boolean_prim(&Value::Undefined));
+        assert!(!to_boolean_prim(&Value::Null));
+        assert!(!to_boolean_prim(&Value::Number(0.0)));
+        assert!(!to_boolean_prim(&Value::Number(f64::NAN)));
+        assert!(!to_boolean_prim(&Value::str("")));
+        assert!(to_boolean_prim(&Value::Number(-1.0)));
+        assert!(to_boolean_prim(&Value::str("0")));
+    }
+
+    #[test]
+    fn string_to_number_cases() {
+        assert_eq!(string_to_number(""), 0.0);
+        assert_eq!(string_to_number("  42  "), 42.0);
+        assert_eq!(string_to_number("0x10"), 16.0);
+        assert_eq!(string_to_number("-Infinity"), f64::NEG_INFINITY);
+        assert!(string_to_number("12abc").is_nan());
+        assert_eq!(string_to_number("3.5e2"), 350.0);
+    }
+
+    #[test]
+    fn uint32_wrapping() {
+        assert_eq!(to_uint32(-1.0), u32::MAX);
+        assert_eq!(to_int32(2147483648.0), i32::MIN);
+        assert_eq!(to_uint32(f64::NAN), 0);
+        assert_eq!(to_uint32(4294967296.0), 0);
+        assert_eq!(to_int32(-4294967297.0), -1);
+    }
+
+    #[test]
+    fn to_integer_cases() {
+        assert_eq!(to_integer(3.99), 3.0);
+        assert_eq!(to_integer(-3.99), -3.0);
+        assert_eq!(to_integer(f64::NAN), 0.0);
+        assert_eq!(to_integer(f64::INFINITY), f64::INFINITY);
+    }
+
+    #[test]
+    fn radix_formatting() {
+        assert_eq!(number_to_string_radix(255.0, 16), "ff");
+        assert_eq!(number_to_string_radix(-8.0, 2), "-1000");
+        assert_eq!(number_to_string_radix(0.5, 2), "0.1");
+        assert_eq!(number_to_string_radix(10.0, 10), "10");
+    }
+
+    #[test]
+    fn array_index_detection() {
+        assert_eq!(array_index("0"), Some(0));
+        assert_eq!(array_index("42"), Some(42));
+        assert_eq!(array_index("007"), None);
+        assert_eq!(array_index("-1"), None);
+        assert_eq!(array_index("4294967295"), None);
+        assert_eq!(array_index("x"), None);
+        assert_eq!(array_index(""), None);
+    }
+
+    #[test]
+    fn parse_int_cases() {
+        assert_eq!(parse_int("42px", 0.0), 42.0);
+        assert_eq!(parse_int("0x1f", 0.0), 31.0);
+        assert_eq!(parse_int("ff", 16.0), 255.0);
+        assert_eq!(parse_int("-10", 0.0), -10.0);
+        assert!(parse_int("zz", 10.0).is_nan());
+        assert!(parse_int("10", 1.0).is_nan());
+    }
+
+    #[test]
+    fn parse_float_cases() {
+        assert_eq!(parse_float("2.75abc"), 2.75);
+        assert_eq!(parse_float("  -2.5e1x"), -25.0);
+        assert!(parse_float("abc").is_nan());
+        assert_eq!(parse_float("-Infinity!"), f64::NEG_INFINITY);
+        assert_eq!(parse_float(".5"), 0.5);
+    }
+
+    #[test]
+    fn compare_handles_nan() {
+        assert_eq!(compare_numbers(1.0, 2.0), Ordering3::Less);
+        assert_eq!(compare_numbers(f64::NAN, 2.0), Ordering3::Undefined);
+        assert_eq!(compare_numbers(2.0, 2.0), Ordering3::Equal);
+    }
+}

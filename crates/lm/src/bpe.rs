@@ -1,0 +1,248 @@
+//! Byte-Pair-Encoding tokenizer (§3.2).
+//!
+//! Implements the same scheme the paper describes: count word frequencies,
+//! break words into subword chunks by iteratively merging the most frequent
+//! adjacent pair, and map each subword to an integer in a vocabulary table.
+//! Common keywords (`var`, `for`, `if`) end up as whole tokens while rare
+//! identifiers decompose into a few characters — allowing an unbounded
+//! identifier space over a finite vocabulary.
+
+use std::collections::HashMap;
+
+/// Marker prefixed to space-separated word starts (the `Ġ` of GPT-2's BPE).
+const SPACE_MARK: char = '\u{2581}'; // ▁
+
+/// A trained BPE tokenizer.
+#[derive(Debug, Clone)]
+pub struct Bpe {
+    /// Learned merges in priority order: `(left, right) -> merged`.
+    merges: Vec<(String, String)>,
+    token_to_id: HashMap<String, u32>,
+    id_to_token: Vec<String>,
+}
+
+impl Bpe {
+    /// Trains on `corpus` with at most `n_merges` merge operations.
+    pub fn train(corpus: &[String], n_merges: usize) -> Self {
+        // Word frequency table over pre-tokens.
+        let mut word_freq: HashMap<Vec<String>, u64> = HashMap::new();
+        for text in corpus {
+            for word in pre_tokenize(text) {
+                let symbols: Vec<String> = word.chars().map(|c| c.to_string()).collect();
+                *word_freq.entry(symbols).or_insert(0) += 1;
+            }
+        }
+
+        let mut merges = Vec::with_capacity(n_merges);
+        for _ in 0..n_merges {
+            // Count adjacent pairs, weighted by word frequency.
+            let mut pair_freq: HashMap<(String, String), u64> = HashMap::new();
+            for (symbols, freq) in &word_freq {
+                for w in symbols.windows(2) {
+                    *pair_freq.entry((w[0].clone(), w[1].clone())).or_insert(0) += freq;
+                }
+            }
+            // Deterministic best pair: max count, ties broken lexicographically.
+            let Some((best, count)) = pair_freq
+                .into_iter()
+                .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
+            else {
+                break;
+            };
+            if count < 2 {
+                break;
+            }
+            let merged = format!("{}{}", best.0, best.1);
+            // Apply the merge to every word.
+            let mut new_freq: HashMap<Vec<String>, u64> = HashMap::with_capacity(word_freq.len());
+            for (symbols, freq) in word_freq {
+                let mut out = Vec::with_capacity(symbols.len());
+                let mut i = 0;
+                while i < symbols.len() {
+                    if i + 1 < symbols.len() && symbols[i] == best.0 && symbols[i + 1] == best.1 {
+                        out.push(merged.clone());
+                        i += 2;
+                    } else {
+                        out.push(symbols[i].clone());
+                        i += 1;
+                    }
+                }
+                *new_freq.entry(out).or_insert(0) += freq;
+            }
+            word_freq = new_freq;
+            merges.push(best);
+        }
+
+        // Vocabulary: all residual symbols plus all single characters.
+        // Collected into an ordered set first so token ids are deterministic
+        // (HashMap iteration order would leak into generation otherwise).
+        let mut all: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+        for symbols in word_freq.keys() {
+            for s in symbols {
+                for c in s.chars() {
+                    all.insert(c.to_string());
+                }
+                all.insert(s.clone());
+            }
+        }
+        for (l, r) in &merges {
+            all.insert(format!("{l}{r}"));
+        }
+        let mut token_to_id = HashMap::new();
+        let mut id_to_token = Vec::new();
+        for tok in all {
+            token_to_id.insert(tok.clone(), id_to_token.len() as u32);
+            id_to_token.push(tok);
+        }
+
+        Bpe { merges, token_to_id, id_to_token }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab_size(&self) -> usize {
+        self.id_to_token.len()
+    }
+
+    /// Number of merge operations learned during training.
+    pub fn merge_count(&self) -> usize {
+        self.merges.len()
+    }
+
+    /// Encodes `text` to token ids.
+    ///
+    /// Segmentation is greedy longest-match against the learned vocabulary —
+    /// equivalent in coverage to replaying the merge sequence, but linear in
+    /// practice (merge replay is O(merges × word) per word).
+    pub fn encode(&self, text: &str) -> Vec<u32> {
+        let mut out = Vec::new();
+        for word in pre_tokenize(text) {
+            let chars: Vec<char> = word.chars().collect();
+            let mut i = 0;
+            while i < chars.len() {
+                let mut best: Option<(usize, u32)> = None;
+                let mut probe = String::new();
+                for (j, &c) in chars.iter().enumerate().skip(i) {
+                    probe.push(c);
+                    if let Some(&id) = self.token_to_id.get(&probe) {
+                        best = Some((j + 1, id));
+                    }
+                }
+                match best {
+                    Some((next, id)) => {
+                        out.push(id);
+                        i = next;
+                    }
+                    None => i += 1, // unknown character: skip
+                }
+            }
+        }
+        out
+    }
+
+    /// Decodes ids back to text.
+    pub fn decode(&self, ids: &[u32]) -> String {
+        let mut out = String::new();
+        for &id in ids {
+            if let Some(tok) = self.id_to_token.get(id as usize) {
+                out.push_str(tok);
+            }
+        }
+        out.replace(SPACE_MARK, " ")
+    }
+
+    /// Decodes a single token id.
+    pub fn token_text(&self, id: u32) -> &str {
+        self.id_to_token.get(id as usize).map(String::as_str).unwrap_or("")
+    }
+}
+
+/// Splits source text into pre-tokens: identifier/number runs, single
+/// punctuation characters, and explicit newlines. A leading space folds into
+/// the following token as the `▁` marker.
+fn pre_tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut chars = text.chars().peekable();
+    let mut pending_space = false;
+    while let Some(&c) = chars.peek() {
+        if c == '\n' {
+            chars.next();
+            out.push("\n".to_string());
+            pending_space = false;
+            continue;
+        }
+        if c == ' ' || c == '\t' {
+            chars.next();
+            pending_space = true;
+            continue;
+        }
+        let mut word = String::new();
+        if pending_space {
+            word.push(SPACE_MARK);
+            pending_space = false;
+        }
+        if c.is_alphanumeric() || c == '_' || c == '$' {
+            while let Some(&c2) = chars.peek() {
+                if c2.is_alphanumeric() || c2 == '_' || c2 == '$' || c2 == '.' && word.chars().last().is_some_and(|p| p.is_ascii_digit()) {
+                    word.push(c2);
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+        } else {
+            word.push(c);
+            chars.next();
+        }
+        out.push(word);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Vec<String> {
+        vec![
+            "var x = foo(1);\nvar y = foo(2);\n".to_string(),
+            "var z = foo(3);\nfunction foo(n) { return n; }\n".to_string(),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_preserves_text() {
+        let bpe = Bpe::train(&corpus(), 50);
+        let text = "var x = foo(1);";
+        assert_eq!(bpe.decode(&bpe.encode(text)), text);
+    }
+
+    #[test]
+    fn newlines_survive() {
+        let bpe = Bpe::train(&corpus(), 20);
+        let text = "var x = 1;\nvar y = 2;";
+        assert_eq!(bpe.decode(&bpe.encode(text)), text);
+    }
+
+    #[test]
+    fn common_words_become_single_tokens() {
+        let bpe = Bpe::train(&corpus(), 200);
+        // `var` appears often; after enough merges it is one token (with its
+        // space/newline context variants).
+        let ids = bpe.encode("var");
+        assert_eq!(ids.len(), 1, "`var` should be a single token");
+    }
+
+    #[test]
+    fn unknown_chars_are_skipped_not_panicked() {
+        let bpe = Bpe::train(&corpus(), 10);
+        let ids = bpe.encode("本");
+        assert!(ids.is_empty());
+    }
+
+    #[test]
+    fn vocab_is_finite_and_bounded() {
+        let bpe = Bpe::train(&corpus(), 30);
+        assert!(bpe.vocab_size() > 10);
+        assert!(bpe.vocab_size() < 200);
+    }
+}

@@ -1,0 +1,449 @@
+#![warn(missing_docs)]
+
+//! A small backtracking regular-expression engine.
+//!
+//! This crate is one of the substrates of the COMFORT reproduction: the
+//! ECMA-262 rule parser (`comfort-ecma262`) uses it to extract pseudo-code
+//! specification rules, and the JS interpreter (`comfort-interp`) uses it to
+//! implement the `RegExp` builtin and the regex-accepting `String` methods
+//! (`split`, `replace`, `match`, `search`).
+//!
+//! The supported syntax is the common core of ECMAScript regular expressions:
+//!
+//! * literals, `.`, escapes (`\d \D \w \W \s \S \b \B \n \t \r \0 \xHH \uHHHH`)
+//! * character classes `[a-z]`, negated classes `[^…]`, ranges
+//! * anchors `^` and `$` (multiline-aware)
+//! * greedy and lazy quantifiers `* + ? {m} {m,} {m,n}` (with `?` suffix)
+//! * alternation `|`, capturing groups `(…)`, non-capturing groups `(?:…)`
+//! * lookahead `(?=…)` and negative lookahead `(?!…)`
+//! * back-references `\1`..`\9`
+//!
+//! Matching is performed by a classic recursive backtracking walk over the
+//! parsed pattern AST, which is more than fast enough for the pattern sizes
+//! COMFORT generates, and — unlike an NFA simulation — supports back-references
+//! directly.
+//!
+//! # Examples
+//!
+//! ```
+//! # use comfort_regex::Regex;
+//! # fn main() -> Result<(), comfort_regex::ParseRegexError> {
+//! let re = Regex::new(r"Let (\w+) be (\w+)\(")?;
+//! let caps = re.captures("4. Let intStart be ToInteger(start).").unwrap();
+//! assert_eq!(caps.get(1), Some("intStart"));
+//! assert_eq!(caps.get(2), Some("ToInteger"));
+//! # Ok(())
+//! # }
+//! ```
+
+mod matcher;
+mod parser;
+
+pub use matcher::{Captures, Match};
+pub use parser::ParseRegexError;
+
+use parser::Node;
+
+/// Regex evaluation flags.
+///
+/// These mirror the subset of ECMAScript flags the COMFORT pipeline needs.
+/// The `g` (global) flag is a property of the *iteration*, not the matcher,
+/// and is therefore handled by callers (see [`Regex::find_iter`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Flags {
+    /// Case-insensitive matching (`i`).
+    pub ignore_case: bool,
+    /// `^`/`$` match at line boundaries (`m`).
+    pub multiline: bool,
+    /// `.` also matches `\n` (`s`).
+    pub dot_all: bool,
+}
+
+impl Flags {
+    /// Parses a JS-style flag string such as `"gi"`.
+    ///
+    /// The `g`, `u` and `y` flags are accepted and ignored (their semantics
+    /// live in the caller). Unknown flag letters are an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseRegexError`] on an unrecognised flag character.
+    pub fn parse(s: &str) -> Result<Self, ParseRegexError> {
+        let mut f = Flags::default();
+        for c in s.chars() {
+            match c {
+                'i' => f.ignore_case = true,
+                'm' => f.multiline = true,
+                's' => f.dot_all = true,
+                'g' | 'u' | 'y' => {}
+                other => return Err(ParseRegexError::new(format!("unknown flag `{other}`"))),
+            }
+        }
+        Ok(f)
+    }
+}
+
+/// A compiled regular expression.
+///
+/// # Examples
+///
+/// ```
+/// # use comfort_regex::Regex;
+/// # fn main() -> Result<(), comfort_regex::ParseRegexError> {
+/// let re = Regex::new(r"\d+")?;
+/// assert!(re.is_match("abc 123"));
+/// assert_eq!(re.find("abc 123").map(|m| m.text), Some("123"));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Regex {
+    node: Node,
+    flags: Flags,
+    group_count: usize,
+    pattern: String,
+}
+
+impl Regex {
+    /// Compiles `pattern` with default flags.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseRegexError`] if the pattern is syntactically invalid.
+    pub fn new(pattern: &str) -> Result<Self, ParseRegexError> {
+        Self::with_flags(pattern, Flags::default())
+    }
+
+    /// Compiles `pattern` with explicit [`Flags`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseRegexError`] if the pattern is syntactically invalid.
+    pub fn with_flags(pattern: &str, flags: Flags) -> Result<Self, ParseRegexError> {
+        let (node, group_count) = parser::parse(pattern)?;
+        Ok(Regex { node, flags, group_count, pattern: pattern.to_string() })
+    }
+
+    /// The source pattern this regex was compiled from.
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+
+    /// The flags this regex was compiled with.
+    pub fn flags(&self) -> Flags {
+        self.flags
+    }
+
+    /// Number of capturing groups (excluding the implicit whole-match group 0).
+    pub fn group_count(&self) -> usize {
+        self.group_count
+    }
+
+    /// Returns `true` if the pattern matches anywhere in `text`.
+    pub fn is_match(&self, text: &str) -> bool {
+        self.find_at(text, 0).is_some()
+    }
+
+    /// Finds the leftmost match in `text`.
+    pub fn find<'t>(&self, text: &'t str) -> Option<Match<'t>> {
+        self.find_at(text, 0)
+    }
+
+    /// Finds the leftmost match starting at or after char index `start`.
+    ///
+    /// `start` is a **character** index (the interpreter operates on code
+    /// points, not bytes), consistent with how ECMAScript `lastIndex` works
+    /// for the simulated engines.
+    pub fn find_at<'t>(&self, text: &'t str, start: usize) -> Option<Match<'t>> {
+        self.captures_at(text, start).map(|c| c.whole)
+    }
+
+    /// Finds the leftmost match and its capture groups.
+    pub fn captures<'t>(&self, text: &'t str) -> Option<Captures<'t>> {
+        self.captures_at(text, 0)
+    }
+
+    /// Finds the leftmost match at or after char index `start`, with captures.
+    pub fn captures_at<'t>(&self, text: &'t str, start: usize) -> Option<Captures<'t>> {
+        matcher::search(&self.node, self.flags, self.group_count, text, start)
+    }
+
+    /// Iterates over all non-overlapping matches (the `g`-flag iteration).
+    pub fn find_iter<'r, 't>(&'r self, text: &'t str) -> FindIter<'r, 't> {
+        FindIter { regex: self, text, pos: 0, done: false }
+    }
+
+    /// Replaces the first match with `rep` (no `$n` expansion; see
+    /// `comfort-interp` for ECMAScript-style replacement semantics).
+    pub fn replace_first(&self, text: &str, rep: &str) -> String {
+        match self.find(text) {
+            None => text.to_string(),
+            Some(m) => {
+                let chars: Vec<char> = text.chars().collect();
+                let mut out: String = chars[..m.start].iter().collect();
+                out.push_str(rep);
+                out.extend(&chars[m.end..]);
+                out
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Regex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "/{}/", self.pattern)
+    }
+}
+
+/// Iterator over non-overlapping matches, created by [`Regex::find_iter`].
+#[derive(Debug)]
+pub struct FindIter<'r, 't> {
+    regex: &'r Regex,
+    text: &'t str,
+    pos: usize,
+    done: bool,
+}
+
+impl<'t> Iterator for FindIter<'_, 't> {
+    type Item = Match<'t>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        let m = self.regex.find_at(self.text, self.pos)?;
+        // Advance past the match; an empty match must advance by one char to
+        // guarantee progress (ECMAScript `RegExpExec` does the same).
+        self.pos = if m.end == m.start { m.end + 1 } else { m.end };
+        if self.pos > self.text.chars().count() {
+            self.done = true;
+        }
+        Some(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(re: &str, text: &str) -> Option<(usize, usize)> {
+        Regex::new(re).unwrap().find(text).map(|m| (m.start, m.end))
+    }
+
+    #[test]
+    fn literal_match() {
+        assert_eq!(m("abc", "xxabcxx"), Some((2, 5)));
+        assert_eq!(m("abc", "ab"), None);
+    }
+
+    #[test]
+    fn dot_matches_non_newline() {
+        assert_eq!(m("a.c", "abc"), Some((0, 3)));
+        assert_eq!(m("a.c", "a\nc"), None);
+    }
+
+    #[test]
+    fn dot_all_flag() {
+        let re = Regex::with_flags("a.c", Flags { dot_all: true, ..Flags::default() }).unwrap();
+        assert!(re.is_match("a\nc"));
+    }
+
+    #[test]
+    fn star_greedy() {
+        assert_eq!(m("ab*c", "abbbc"), Some((0, 5)));
+        assert_eq!(m("ab*c", "ac"), Some((0, 2)));
+    }
+
+    #[test]
+    fn plus_requires_one() {
+        assert_eq!(m("ab+c", "ac"), None);
+        assert_eq!(m("ab+c", "abc"), Some((0, 3)));
+    }
+
+    #[test]
+    fn optional() {
+        assert_eq!(m("colou?r", "color"), Some((0, 5)));
+        assert_eq!(m("colou?r", "colour"), Some((0, 6)));
+    }
+
+    #[test]
+    fn bounded_repeat() {
+        assert_eq!(m("a{2,3}", "aaaa"), Some((0, 3)));
+        assert_eq!(m("a{2}", "a"), None);
+        assert_eq!(m("a{2,}", "aaaaa"), Some((0, 5)));
+    }
+
+    #[test]
+    fn lazy_quantifier() {
+        assert_eq!(m("<.+?>", "<a><b>"), Some((0, 3)));
+        assert_eq!(m("<.+>", "<a><b>"), Some((0, 6)));
+    }
+
+    #[test]
+    fn alternation_prefers_left() {
+        assert_eq!(m("ab|a", "ab"), Some((0, 2)));
+        assert_eq!(m("a|ab", "ab"), Some((0, 1)));
+    }
+
+    #[test]
+    fn char_class() {
+        assert_eq!(m("[a-c]+", "zzabcz"), Some((2, 5)));
+        assert_eq!(m("[^a-c]+", "abXYa"), Some((2, 4)));
+        assert_eq!(m("[-x]", "-"), Some((0, 1)));
+        assert_eq!(m("[]a]", "]"), None); // `[]` is an empty class start in our dialect? no: error
+    }
+
+    #[test]
+    fn escapes() {
+        assert_eq!(m(r"\d+", "ab12cd"), Some((2, 4)));
+        assert_eq!(m(r"\w+", "!hi_9!"), Some((1, 5)));
+        assert_eq!(m(r"\s", "a b"), Some((1, 2)));
+        assert_eq!(m(r"\S+", "  ab "), Some((2, 4)));
+        assert_eq!(m(r"a\.b", "a.b"), Some((0, 3)));
+        assert_eq!(m(r"a\.b", "axb"), None);
+    }
+
+    #[test]
+    fn hex_and_unicode_escapes() {
+        assert_eq!(m(r"\x41", "A"), Some((0, 1)));
+        assert_eq!(m(r"A", "A"), Some((0, 1)));
+    }
+
+    #[test]
+    fn anchors() {
+        assert_eq!(m("^ab", "abc"), Some((0, 2)));
+        assert_eq!(m("^b", "abc"), None);
+        assert_eq!(m("bc$", "abc"), Some((1, 3)));
+        assert_eq!(m("ab$", "abc"), None);
+    }
+
+    #[test]
+    fn multiline_anchors() {
+        let re = Regex::with_flags("^b", Flags { multiline: true, ..Flags::default() }).unwrap();
+        assert!(re.is_match("a\nb"));
+        let re = Regex::new("^b").unwrap();
+        assert!(!re.is_match("a\nb"));
+    }
+
+    #[test]
+    fn word_boundary() {
+        assert_eq!(m(r"\bcat\b", "a cat!"), Some((2, 5)));
+        assert_eq!(m(r"\bcat\b", "scatter"), None);
+        assert_eq!(m(r"\Bat", "cat"), Some((1, 3)));
+    }
+
+    #[test]
+    fn groups_and_captures() {
+        let re = Regex::new(r"(\w+)@(\w+)").unwrap();
+        let caps = re.captures("mail me: bob@host now").unwrap();
+        assert_eq!(caps.whole.text, "bob@host");
+        assert_eq!(caps.get(1), Some("bob"));
+        assert_eq!(caps.get(2), Some("host"));
+    }
+
+    #[test]
+    fn non_capturing_group() {
+        let re = Regex::new(r"(?:ab)+(c)").unwrap();
+        let caps = re.captures("ababc").unwrap();
+        assert_eq!(caps.get(1), Some("c"));
+        assert_eq!(re.group_count(), 1);
+    }
+
+    #[test]
+    fn backreference() {
+        let re = Regex::new(r"^(\w+) \1$").unwrap();
+        assert!(re.is_match("hey hey"));
+        assert!(!re.is_match("hey you"));
+    }
+
+    #[test]
+    fn lookahead() {
+        let re = Regex::new(r"foo(?=bar)").unwrap();
+        let m = re.find("foobar").unwrap();
+        assert_eq!((m.start, m.end), (0, 3));
+        assert!(!re.is_match("foobaz"));
+    }
+
+    #[test]
+    fn negative_lookahead() {
+        let re = Regex::new(r"foo(?!bar)").unwrap();
+        assert!(!re.is_match("foobar"));
+        assert!(re.is_match("foobaz"));
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let re = Regex::with_flags("abc", Flags { ignore_case: true, ..Flags::default() }).unwrap();
+        assert!(re.is_match("xxABCxx"));
+        let re =
+            Regex::with_flags("[a-z]+", Flags { ignore_case: true, ..Flags::default() }).unwrap();
+        assert_eq!(re.find("HELLO").map(|m| m.text), Some("HELLO"));
+    }
+
+    #[test]
+    fn find_iter_non_overlapping() {
+        let re = Regex::new(r"\d+").unwrap();
+        let all: Vec<&str> = re.find_iter("a1b22c333").map(|m| m.text).collect();
+        assert_eq!(all, vec!["1", "22", "333"]);
+    }
+
+    #[test]
+    fn find_iter_empty_match_progress() {
+        let re = Regex::new("a*").unwrap();
+        // Must terminate even though it can match the empty string everywhere.
+        let count = re.find_iter("bab").count();
+        assert!((2..=4).contains(&count));
+    }
+
+    #[test]
+    fn unicode_text() {
+        assert_eq!(m("é+", "café été"), Some((3, 4)));
+        let re = Regex::new(".").unwrap();
+        assert_eq!(re.find("日本").map(|m| m.text), Some("日"));
+    }
+
+    #[test]
+    fn anchored_split_pattern_from_paper() {
+        // The JerryScript bug in the paper (Listing 8): "anA".split(/^A/)
+        // must NOT match because ^ anchors to the string start.
+        let re = Regex::new("^A").unwrap();
+        assert!(!re.is_match("anA") || re.find("anA").unwrap().start == 0);
+        assert!(re.find("anA").is_none());
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Regex::new("a{2,1}").is_err());
+        assert!(Regex::new("(a").is_err());
+        assert!(Regex::new("a)").is_err());
+        assert!(Regex::new("[a").is_err());
+        assert!(Regex::new("*a").is_err());
+        assert!(Regex::new(r"\q").is_ok()); // unknown escape = literal, as in JS
+    }
+
+    #[test]
+    fn flags_parse() {
+        let f = Flags::parse("gim").unwrap();
+        assert!(f.ignore_case && f.multiline);
+        assert!(Flags::parse("z").is_err());
+    }
+
+    #[test]
+    fn replace_first() {
+        let re = Regex::new(r"\d+").unwrap();
+        assert_eq!(re.replace_first("a1b2", "#"), "a#b2");
+        assert_eq!(re.replace_first("abc", "#"), "abc");
+    }
+
+    #[test]
+    fn class_range_error() {
+        assert!(Regex::new("[z-a]").is_err());
+    }
+
+    #[test]
+    fn display_and_pattern() {
+        let re = Regex::new("a+").unwrap();
+        assert_eq!(re.to_string(), "/a+/");
+        assert_eq!(re.pattern(), "a+");
+    }
+}

@@ -1,0 +1,347 @@
+//! Backtracking matcher over the parsed pattern tree.
+
+use crate::parser::{ClassItem, Node};
+use crate::Flags;
+
+/// A single match: `[start, end)` in **character** indices, plus the matched
+/// text slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Match<'t> {
+    /// Start offset in characters.
+    pub start: usize,
+    /// End offset in characters (exclusive).
+    pub end: usize,
+    /// The matched text.
+    pub text: &'t str,
+}
+
+/// A whole-pattern match together with its capture groups.
+#[derive(Debug, Clone)]
+pub struct Captures<'t> {
+    /// Group 0: the whole match.
+    pub whole: Match<'t>,
+    groups: Vec<Option<Match<'t>>>,
+}
+
+impl<'t> Captures<'t> {
+    /// Text of capture group `i` (1-based; `0` is the whole match), or `None`
+    /// if the group did not participate in the match.
+    pub fn get(&self, i: usize) -> Option<&'t str> {
+        if i == 0 {
+            Some(self.whole.text)
+        } else {
+            self.groups.get(i - 1).copied().flatten().map(|m| m.text)
+        }
+    }
+
+    /// The [`Match`] for group `i`, if it participated.
+    pub fn group(&self, i: usize) -> Option<Match<'t>> {
+        if i == 0 {
+            Some(self.whole)
+        } else {
+            self.groups.get(i - 1).copied().flatten()
+        }
+    }
+
+    /// Number of capture groups (excluding group 0).
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// `true` if the pattern has no capture groups.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+}
+
+struct Ctx<'t> {
+    text: &'t [char],
+    flags: Flags,
+    /// `caps[i]` is the (start, end) of group `i + 1` in char indices.
+    caps: Vec<Option<(usize, usize)>>,
+    /// Backtracking fuel: bounds pathological patterns.
+    fuel: u64,
+}
+
+/// Searches for the leftmost match at or after char index `start`.
+pub(crate) fn search<'t>(
+    node: &Node,
+    flags: Flags,
+    group_count: usize,
+    text: &'t str,
+    start: usize,
+) -> Option<Captures<'t>> {
+    let chars: Vec<char> = text.chars().collect();
+    // Byte offset of each char index, plus the final text length, so matches
+    // can be sliced out of the original `&str`.
+    let mut offsets: Vec<usize> = Vec::with_capacity(chars.len() + 1);
+    let mut b = 0;
+    for c in &chars {
+        offsets.push(b);
+        b += c.len_utf8();
+    }
+    offsets.push(b);
+
+    if start > chars.len() {
+        return None;
+    }
+    let mut ctx =
+        Ctx { text: &chars, flags, caps: vec![None; group_count], fuel: 2_000_000 };
+    for at in start..=chars.len() {
+        ctx.caps.iter_mut().for_each(|c| *c = None);
+        ctx.fuel = 2_000_000;
+        let mut end_pos = None;
+        if match_node(node, at, &mut ctx, &mut |pos, _| {
+            end_pos = Some(pos);
+            true
+        }) {
+            let end = end_pos.expect("continuation stored end");
+            let slice = |s: usize, e: usize| Match {
+                start: s,
+                end: e,
+                text: &text[offsets[s]..offsets[e]],
+            };
+            let groups = ctx.caps.iter().map(|c| c.map(|(s, e)| slice(s, e))).collect();
+            return Some(Captures { whole: slice(at, end), groups });
+        }
+    }
+    None
+}
+
+fn fold(flags: Flags, c: char) -> char {
+    if flags.ignore_case {
+        c.to_lowercase().next().unwrap_or(c)
+    } else {
+        c
+    }
+}
+
+fn is_word(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+fn class_item_matches(item: &ClassItem, c: char, flags: Flags) -> bool {
+    match *item {
+        ClassItem::Char(x) => fold(flags, x) == fold(flags, c),
+        ClassItem::Range(lo, hi) => {
+            (lo..=hi).contains(&c)
+                || (flags.ignore_case && {
+                    let f = fold(flags, c);
+                    (fold(flags, lo)..=fold(flags, hi)).contains(&f)
+                })
+        }
+        ClassItem::Digit(neg) => c.is_ascii_digit() != neg,
+        ClassItem::Word(neg) => is_word(c) != neg,
+        ClassItem::Space(neg) => c.is_whitespace() != neg,
+    }
+}
+
+/// Matches `node` at `pos`; on success calls `k` with the end position.
+/// Returns whatever `k` returns, backtracking if `k` rejects.
+fn match_node(
+    node: &Node,
+    pos: usize,
+    ctx: &mut Ctx<'_>,
+    k: &mut dyn FnMut(usize, &mut Ctx<'_>) -> bool,
+) -> bool {
+    if ctx.fuel == 0 {
+        return false;
+    }
+    ctx.fuel -= 1;
+    match node {
+        Node::Empty => k(pos, ctx),
+        Node::Char(c) => {
+            if ctx.text.get(pos).is_some_and(|&t| fold(ctx.flags, t) == fold(ctx.flags, *c)) {
+                k(pos + 1, ctx)
+            } else {
+                false
+            }
+        }
+        Node::AnyChar => {
+            if ctx.text.get(pos).is_some_and(|&t| ctx.flags.dot_all || t != '\n') {
+                k(pos + 1, ctx)
+            } else {
+                false
+            }
+        }
+        Node::Class { negated, items } => {
+            let Some(&t) = ctx.text.get(pos) else { return false };
+            let flags = ctx.flags;
+            let hit = items.iter().any(|i| class_item_matches(i, t, flags));
+            if hit != *negated {
+                k(pos + 1, ctx)
+            } else {
+                false
+            }
+        }
+        Node::Start => {
+            let at_start =
+                pos == 0 || (ctx.flags.multiline && ctx.text.get(pos - 1) == Some(&'\n'));
+            at_start && k(pos, ctx)
+        }
+        Node::End => {
+            let at_end = pos == ctx.text.len()
+                || (ctx.flags.multiline && ctx.text.get(pos) == Some(&'\n'));
+            at_end && k(pos, ctx)
+        }
+        Node::WordBoundary { negated } => {
+            let before = pos > 0 && ctx.text.get(pos - 1).copied().is_some_and(is_word);
+            let after = ctx.text.get(pos).copied().is_some_and(is_word);
+            ((before != after) != *negated) && k(pos, ctx)
+        }
+        Node::Group { index, inner } => match index {
+            None => match_node(inner, pos, ctx, k),
+            Some(idx) => {
+                let slot = idx - 1;
+                let saved = ctx.caps[slot];
+                let start = pos;
+                let ok = match_node(inner, pos, ctx, &mut |end, ctx| {
+                    let prev = ctx.caps[slot];
+                    ctx.caps[slot] = Some((start, end));
+                    if k(end, ctx) {
+                        true
+                    } else {
+                        ctx.caps[slot] = prev;
+                        false
+                    }
+                });
+                if !ok {
+                    ctx.caps[slot] = saved;
+                }
+                ok
+            }
+        },
+        Node::Backref(idx) => {
+            let Some(Some((s, e))) = ctx.caps.get(idx - 1).copied() else {
+                // Unset group: matches the empty string (ECMAScript semantics).
+                return k(pos, ctx);
+            };
+            let len = e - s;
+            if pos + len > ctx.text.len() {
+                return false;
+            }
+            let flags = ctx.flags;
+            let equal = (0..len)
+                .all(|i| fold(flags, ctx.text[s + i]) == fold(flags, ctx.text[pos + i]));
+            equal && k(pos + len, ctx)
+        }
+        Node::Lookahead { negated, inner } => {
+            let saved = ctx.caps.clone();
+            let hit = match_node(inner, pos, ctx, &mut |_, _| true);
+            if hit == *negated {
+                ctx.caps = saved;
+                false
+            } else {
+                if *negated {
+                    ctx.caps = saved;
+                }
+                k(pos, ctx)
+            }
+        }
+        Node::Concat(items) => match_seq(items, pos, ctx, k),
+        Node::Alt(branches) => {
+            for b in branches {
+                let saved = ctx.caps.clone();
+                if match_node(b, pos, ctx, k) {
+                    return true;
+                }
+                ctx.caps = saved;
+            }
+            false
+        }
+        Node::Repeat { inner, min, max, lazy } => {
+            match_repeat(inner, *min, *max, *lazy, 0, pos, ctx, k)
+        }
+    }
+}
+
+fn match_seq(
+    items: &[Node],
+    pos: usize,
+    ctx: &mut Ctx<'_>,
+    k: &mut dyn FnMut(usize, &mut Ctx<'_>) -> bool,
+) -> bool {
+    match items.split_first() {
+        None => k(pos, ctx),
+        Some((first, rest)) => {
+            match_node(first, pos, ctx, &mut |next, ctx| match_seq(rest, next, ctx, k))
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments, clippy::if_same_then_else)]
+fn match_repeat(
+    inner: &Node,
+    min: u32,
+    max: Option<u32>,
+    lazy: bool,
+    count: u32,
+    pos: usize,
+    ctx: &mut Ctx<'_>,
+    k: &mut dyn FnMut(usize, &mut Ctx<'_>) -> bool,
+) -> bool {
+    let can_stop = count >= min;
+    let can_continue = max.is_none_or(|m| count < m);
+
+    let try_more = |ctx: &mut Ctx<'_>, k: &mut dyn FnMut(usize, &mut Ctx<'_>) -> bool| {
+        match_node(inner, pos, ctx, &mut |next, ctx| {
+            // Zero-width iteration: further repeats make no progress, so the
+            // quantifier loop must terminate here (ECMAScript forbids infinite
+            // empty-body loops the same way).
+            if next == pos {
+                count + 1 >= min && k(next, ctx)
+            } else {
+                match_repeat(inner, min, max, lazy, count + 1, next, ctx, k)
+            }
+        })
+    };
+
+    if lazy {
+        (can_stop && k(pos, ctx)) || (can_continue && try_more(ctx, k))
+    } else {
+        (can_continue && try_more(ctx, k)) || (can_stop && k(pos, ctx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Regex;
+
+    #[test]
+    fn captures_backtrack_correctly() {
+        let re = Regex::new("(a+)(a)").unwrap();
+        let caps = re.captures("aaa").unwrap();
+        assert_eq!(caps.get(1), Some("aa"));
+        assert_eq!(caps.get(2), Some("a"));
+    }
+
+    #[test]
+    fn alternation_resets_captures() {
+        let re = Regex::new("(x)y|(a)b").unwrap();
+        let caps = re.captures("ab").unwrap();
+        assert_eq!(caps.get(1), None);
+        assert_eq!(caps.get(2), Some("a"));
+    }
+
+    #[test]
+    fn repeated_group_keeps_last_iteration() {
+        let re = Regex::new("(?:(a)|(b))+").unwrap();
+        let caps = re.captures("ab").unwrap();
+        assert_eq!(caps.get(2), Some("b"));
+    }
+
+    #[test]
+    fn fuel_bounds_pathological_backtracking() {
+        // (a+)+b against a long run of a's with no b: must return (no match)
+        // rather than hang.
+        let re = Regex::new("(a+)+b").unwrap();
+        let text = "a".repeat(60);
+        assert!(!re.is_match(&text));
+    }
+
+    #[test]
+    fn empty_class_never_matches() {
+        let re = Regex::new("[]").unwrap();
+        assert!(!re.is_match("anything"));
+    }
+}

@@ -1,0 +1,398 @@
+//! Pattern parser: turns a pattern string into a [`Node`] tree.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when a regular-expression pattern fails to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRegexError {
+    message: String,
+}
+
+impl ParseRegexError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        ParseRegexError { message: message.into() }
+    }
+}
+
+impl fmt::Display for ParseRegexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid regular expression: {}", self.message)
+    }
+}
+
+impl Error for ParseRegexError {}
+
+/// One entry in a character class.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum ClassItem {
+    Char(char),
+    Range(char, char),
+    /// `\d` (`false`) / `\D` (`true`)
+    Digit(bool),
+    /// `\w` / `\W`
+    Word(bool),
+    /// `\s` / `\S`
+    Space(bool),
+}
+
+/// Parsed pattern tree.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Node {
+    Empty,
+    Char(char),
+    AnyChar,
+    Class { negated: bool, items: Vec<ClassItem> },
+    Start,
+    End,
+    WordBoundary { negated: bool },
+    Group { index: Option<usize>, inner: Box<Node> },
+    Backref(usize),
+    Lookahead { negated: bool, inner: Box<Node> },
+    Concat(Vec<Node>),
+    Alt(Vec<Node>),
+    Repeat { inner: Box<Node>, min: u32, max: Option<u32>, lazy: bool },
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+    group_count: usize,
+}
+
+/// Parses `pattern`, returning the tree and the number of capturing groups.
+pub(crate) fn parse(pattern: &str) -> Result<(Node, usize), ParseRegexError> {
+    let mut p = Parser { chars: pattern.chars().collect(), pos: 0, group_count: 0 };
+    let node = p.parse_alt()?;
+    if p.pos != p.chars.len() {
+        return Err(ParseRegexError::new(format!("unexpected `{}`", p.chars[p.pos])));
+    }
+    Ok((node, p.group_count))
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_alt(&mut self) -> Result<Node, ParseRegexError> {
+        let mut branches = vec![self.parse_concat()?];
+        while self.eat('|') {
+            branches.push(self.parse_concat()?);
+        }
+        Ok(if branches.len() == 1 { branches.pop().expect("one branch") } else { Node::Alt(branches) })
+    }
+
+    fn parse_concat(&mut self) -> Result<Node, ParseRegexError> {
+        let mut items = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            items.push(self.parse_repeat()?);
+        }
+        Ok(match items.len() {
+            0 => Node::Empty,
+            1 => items.pop().expect("one item"),
+            _ => Node::Concat(items),
+        })
+    }
+
+    fn parse_repeat(&mut self) -> Result<Node, ParseRegexError> {
+        let atom = self.parse_atom()?;
+        let (min, max) = match self.peek() {
+            Some('*') => {
+                self.pos += 1;
+                (0, None)
+            }
+            Some('+') => {
+                self.pos += 1;
+                (1, None)
+            }
+            Some('?') => {
+                self.pos += 1;
+                (0, Some(1))
+            }
+            Some('{') if self.looks_like_bound() => {
+                self.pos += 1;
+                self.parse_bound()?
+            }
+            _ => return Ok(atom),
+        };
+        if matches!(atom, Node::Start | Node::End | Node::WordBoundary { .. }) {
+            return Err(ParseRegexError::new("quantifier after anchor"));
+        }
+        let lazy = self.eat('?');
+        Ok(Node::Repeat { inner: Box::new(atom), min, max, lazy })
+    }
+
+    /// Distinguishes `a{2,3}` (bound) from a literal `{` as ECMAScript does.
+    fn looks_like_bound(&self) -> bool {
+        let mut i = self.pos + 1;
+        let mut saw_digit = false;
+        while let Some(&c) = self.chars.get(i) {
+            match c {
+                '0'..='9' => {
+                    saw_digit = true;
+                    i += 1;
+                }
+                ',' => i += 1,
+                '}' => return saw_digit,
+                _ => return false,
+            }
+        }
+        false
+    }
+
+    fn parse_bound(&mut self) -> Result<(u32, Option<u32>), ParseRegexError> {
+        let min = self.parse_number()?;
+        let max = if self.eat(',') {
+            if self.peek() == Some('}') {
+                None
+            } else {
+                Some(self.parse_number()?)
+            }
+        } else {
+            Some(min)
+        };
+        if !self.eat('}') {
+            return Err(ParseRegexError::new("unterminated `{` bound"));
+        }
+        if let Some(max) = max {
+            if max < min {
+                return Err(ParseRegexError::new("numbers out of order in `{}` bound"));
+            }
+        }
+        Ok((min, max))
+    }
+
+    fn parse_number(&mut self) -> Result<u32, ParseRegexError> {
+        let mut n: u32 = 0;
+        let mut any = false;
+        while let Some(c) = self.peek() {
+            if let Some(d) = c.to_digit(10) {
+                n = n.saturating_mul(10).saturating_add(d);
+                any = true;
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if any {
+            Ok(n)
+        } else {
+            Err(ParseRegexError::new("expected number"))
+        }
+    }
+
+    fn parse_atom(&mut self) -> Result<Node, ParseRegexError> {
+        match self.bump() {
+            None => Err(ParseRegexError::new("unexpected end of pattern")),
+            Some('(') => self.parse_group(),
+            Some('[') => self.parse_class(),
+            Some('.') => Ok(Node::AnyChar),
+            Some('^') => Ok(Node::Start),
+            Some('$') => Ok(Node::End),
+            Some('\\') => self.parse_escape(),
+            Some(c @ ('*' | '+' | '?')) => {
+                Err(ParseRegexError::new(format!("dangling quantifier `{c}`")))
+            }
+            Some(')') => Err(ParseRegexError::new("unmatched `)`")),
+            Some(c) => Ok(Node::Char(c)),
+        }
+    }
+
+    fn parse_group(&mut self) -> Result<Node, ParseRegexError> {
+        let kind = if self.eat('?') {
+            match self.bump() {
+                Some(':') => GroupKind::NonCapturing,
+                Some('=') => GroupKind::Lookahead { negated: false },
+                Some('!') => GroupKind::Lookahead { negated: true },
+                _ => return Err(ParseRegexError::new("unsupported group modifier")),
+            }
+        } else {
+            GroupKind::Capturing
+        };
+        let index = if kind == GroupKind::Capturing {
+            self.group_count += 1;
+            Some(self.group_count)
+        } else {
+            None
+        };
+        let inner = self.parse_alt()?;
+        if !self.eat(')') {
+            return Err(ParseRegexError::new("unterminated group"));
+        }
+        Ok(match kind {
+            GroupKind::Lookahead { negated } => Node::Lookahead { negated, inner: Box::new(inner) },
+            _ => Node::Group { index, inner: Box::new(inner) },
+        })
+    }
+
+    fn parse_class(&mut self) -> Result<Node, ParseRegexError> {
+        let negated = self.eat('^');
+        let mut items = Vec::new();
+        loop {
+            match self.peek() {
+                None => return Err(ParseRegexError::new("unterminated character class")),
+                Some(']') => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            let lo = self.parse_class_char()?;
+            let item = match lo {
+                ClassChar::Lit(lo_ch) => {
+                    // Possible range: `a-z` (but `a-]` means literal `-`).
+                    if self.peek() == Some('-')
+                        && self.chars.get(self.pos + 1).is_some_and(|&c| c != ']')
+                    {
+                        self.pos += 1; // consume '-'
+                        match self.parse_class_char()? {
+                            ClassChar::Lit(hi_ch) => {
+                                if hi_ch < lo_ch {
+                                    return Err(ParseRegexError::new(
+                                        "range out of order in character class",
+                                    ));
+                                }
+                                ClassItem::Range(lo_ch, hi_ch)
+                            }
+                            ClassChar::Item(_) => {
+                                return Err(ParseRegexError::new(
+                                    "character-class escape in range",
+                                ))
+                            }
+                        }
+                    } else {
+                        ClassItem::Char(lo_ch)
+                    }
+                }
+                ClassChar::Item(item) => item,
+            };
+            items.push(item);
+        }
+        Ok(Node::Class { negated, items })
+    }
+
+    fn parse_class_char(&mut self) -> Result<ClassChar, ParseRegexError> {
+        match self.bump() {
+            None => Err(ParseRegexError::new("unterminated character class")),
+            Some('\\') => match self.bump() {
+                None => Err(ParseRegexError::new("trailing backslash")),
+                Some('d') => Ok(ClassChar::Item(ClassItem::Digit(false))),
+                Some('D') => Ok(ClassChar::Item(ClassItem::Digit(true))),
+                Some('w') => Ok(ClassChar::Item(ClassItem::Word(false))),
+                Some('W') => Ok(ClassChar::Item(ClassItem::Word(true))),
+                Some('s') => Ok(ClassChar::Item(ClassItem::Space(false))),
+                Some('S') => Ok(ClassChar::Item(ClassItem::Space(true))),
+                Some('n') => Ok(ClassChar::Lit('\n')),
+                Some('r') => Ok(ClassChar::Lit('\r')),
+                Some('t') => Ok(ClassChar::Lit('\t')),
+                Some('0') => Ok(ClassChar::Lit('\0')),
+                Some('x') => Ok(ClassChar::Lit(self.parse_hex(2)?)),
+                Some('u') => Ok(ClassChar::Lit(self.parse_hex(4)?)),
+                Some(c) => Ok(ClassChar::Lit(c)),
+            },
+            Some(c) => Ok(ClassChar::Lit(c)),
+        }
+    }
+
+    fn parse_hex(&mut self, digits: usize) -> Result<char, ParseRegexError> {
+        let mut v: u32 = 0;
+        for _ in 0..digits {
+            let c = self
+                .bump()
+                .and_then(|c| c.to_digit(16))
+                .ok_or_else(|| ParseRegexError::new("invalid hex escape"))?;
+            v = v * 16 + c;
+        }
+        char::from_u32(v).ok_or_else(|| ParseRegexError::new("invalid code point"))
+    }
+
+    fn parse_escape(&mut self) -> Result<Node, ParseRegexError> {
+        match self.bump() {
+            None => Err(ParseRegexError::new("trailing backslash")),
+            Some('d') => Ok(Node::Class { negated: false, items: vec![ClassItem::Digit(false)] }),
+            Some('D') => Ok(Node::Class { negated: false, items: vec![ClassItem::Digit(true)] }),
+            Some('w') => Ok(Node::Class { negated: false, items: vec![ClassItem::Word(false)] }),
+            Some('W') => Ok(Node::Class { negated: false, items: vec![ClassItem::Word(true)] }),
+            Some('s') => Ok(Node::Class { negated: false, items: vec![ClassItem::Space(false)] }),
+            Some('S') => Ok(Node::Class { negated: false, items: vec![ClassItem::Space(true)] }),
+            Some('b') => Ok(Node::WordBoundary { negated: false }),
+            Some('B') => Ok(Node::WordBoundary { negated: true }),
+            Some('n') => Ok(Node::Char('\n')),
+            Some('r') => Ok(Node::Char('\r')),
+            Some('t') => Ok(Node::Char('\t')),
+            Some('v') => Ok(Node::Char('\u{b}')),
+            Some('f') => Ok(Node::Char('\u{c}')),
+            Some('0') => Ok(Node::Char('\0')),
+            Some('x') => Ok(Node::Char(self.parse_hex(2)?)),
+            Some('u') => Ok(Node::Char(self.parse_hex(4)?)),
+            Some(c @ '1'..='9') => Ok(Node::Backref(c.to_digit(10).expect("digit") as usize)),
+            Some(c) => Ok(Node::Char(c)),
+        }
+    }
+}
+
+#[derive(PartialEq)]
+enum GroupKind {
+    Capturing,
+    NonCapturing,
+    Lookahead { negated: bool },
+}
+
+enum ClassChar {
+    Lit(char),
+    Item(ClassItem),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_groups() {
+        let (_, n) = parse(r"(a)(?:b)((c))").unwrap();
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn literal_brace_is_allowed() {
+        // `a{` with no digits is a literal `{` like in ECMAScript.
+        assert!(parse("a{").is_ok());
+        assert!(parse("a{x}").is_ok());
+        assert!(parse("a{2,3}").is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_bounds() {
+        assert!(parse("a{3,2}").is_err());
+    }
+
+    #[test]
+    fn class_with_leading_dash() {
+        let (node, _) = parse("[-a]").unwrap();
+        match node {
+            Node::Class { items, .. } => assert_eq!(items.len(), 2),
+            other => panic!("expected class, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests for the regex engine: generated patterns always compile
+//! and match without panicking, matches lie inside the haystack, and the
+//! engine agrees with a naive reference for literal patterns.
+
+use comfort_regex::{Flags, Regex};
+use proptest::prelude::*;
+
+/// Strategy: a syntactically valid "simple" pattern assembled from safe
+/// pieces (literals, classes, quantified atoms, alternation).
+fn pattern_strategy() -> impl Strategy<Value = String> {
+    let atom = prop_oneof![
+        "[a-z]",
+        Just("[0-9]".to_string()),
+        Just("[a-c]".to_string()),
+        Just("\\d".to_string()),
+        Just("\\w".to_string()),
+        Just(".".to_string()),
+    ];
+    let quantified = (atom, prop_oneof![
+        Just("".to_string()),
+        Just("*".to_string()),
+        Just("+".to_string()),
+        Just("?".to_string()),
+        Just("{1,3}".to_string()),
+    ])
+        .prop_map(|(a, q)| format!("{a}{q}"));
+    proptest::collection::vec(quantified, 1..5).prop_map(|parts| parts.join(""))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn generated_patterns_compile_and_search_safely(
+        pattern in pattern_strategy(),
+        hay in "[a-z0-9 ]{0,30}",
+    ) {
+        let re = Regex::new(&pattern).expect("generated pattern is valid");
+        if let Some(m) = re.find(&hay) {
+            let len = hay.chars().count();
+            prop_assert!(m.start <= m.end);
+            prop_assert!(m.end <= len);
+            // The reported text slice matches the reported offsets.
+            let expect: String =
+                hay.chars().skip(m.start).take(m.end - m.start).collect();
+            prop_assert_eq!(m.text, expect.as_str());
+        }
+        // find_iter always terminates and is consistent with is_match.
+        let n = re.find_iter(&hay).count();
+        prop_assert_eq!(n > 0, re.is_match(&hay));
+    }
+
+    #[test]
+    fn literal_search_agrees_with_str_find(
+        needle in "[a-z]{1,5}",
+        hay in "[a-z]{0,40}",
+    ) {
+        let re = Regex::new(&needle).expect("plain letters are a valid pattern");
+        let ours = re.find(&hay).map(|m| m.start);
+        let reference = hay.find(&needle).map(|byte| hay[..byte].chars().count());
+        prop_assert_eq!(ours, reference);
+    }
+
+    #[test]
+    fn case_insensitive_matches_superset(
+        needle in "[a-z]{1,4}",
+        hay in "[a-zA-Z]{0,30}",
+    ) {
+        let cs = Regex::new(&needle).expect("valid");
+        let ci = Regex::with_flags(&needle, Flags { ignore_case: true, ..Flags::default() })
+            .expect("valid");
+        // Everything the case-sensitive engine matches, the insensitive one
+        // must match too.
+        if cs.is_match(&hay) {
+            prop_assert!(ci.is_match(&hay));
+        }
+        prop_assert_eq!(ci.is_match(&hay), ci.is_match(&hay.to_lowercase()));
+    }
+
+    #[test]
+    fn anchored_match_is_prefix(pattern in "[a-z]{1,4}", hay in "[a-z]{0,20}") {
+        let re = Regex::new(&format!("^{pattern}")).expect("valid");
+        match re.find(&hay) {
+            Some(m) => {
+                prop_assert_eq!(m.start, 0usize);
+                prop_assert!(hay.starts_with(pattern.as_str()));
+            }
+            None => prop_assert!(!hay.starts_with(pattern.as_str())),
+        }
+    }
+
+    #[test]
+    fn captures_are_within_the_whole_match(hay in "[ab1-3]{0,24}") {
+        let re = Regex::new(r"([a-b]+)(\d*)").expect("valid");
+        if let Some(caps) = re.captures(&hay) {
+            for i in 1..=caps.len() {
+                if let Some(g) = caps.group(i) {
+                    prop_assert!(g.start >= caps.whole.start);
+                    prop_assert!(g.end <= caps.whole.end);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Syntax error type shared by the lexer and parser.
+
+use std::error::Error;
+use std::fmt;
+
+/// A lexical or parse error with a byte offset into the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyntaxError {
+    message: String,
+    offset: u32,
+}
+
+impl SyntaxError {
+    /// Creates an error at byte `offset`.
+    pub fn at(message: impl Into<String>, offset: u32) -> Self {
+        SyntaxError { message: message.into(), offset }
+    }
+
+    /// Human-readable description (without position).
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// Byte offset into the source where the error was detected.
+    pub fn offset(&self) -> u32 {
+        self.offset
+    }
+
+    /// 1-based (line, column) of the error within `src`.
+    pub fn line_col(&self, src: &str) -> (usize, usize) {
+        let upto = &src[..(self.offset as usize).min(src.len())];
+        let line = upto.matches('\n').count() + 1;
+        let col = upto.rsplit('\n').next().map_or(0, str::len) + 1;
+        (line, col)
+    }
+}
+
+impl fmt::Display for SyntaxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SyntaxError: {} (at byte {})", self.message, self.offset)
+    }
+}
+
+impl Error for SyntaxError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_col() {
+        let err = SyntaxError::at("boom", 6);
+        assert_eq!(err.line_col("ab\ncd\nef"), (3, 1));
+        assert_eq!(SyntaxError::at("x", 1).line_col("abc"), (1, 2));
+    }
+
+    #[test]
+    fn display_mentions_message() {
+        let err = SyntaxError::at("unexpected token", 0);
+        assert!(err.to_string().contains("unexpected token"));
+    }
+}

@@ -1,0 +1,852 @@
+//! Hand-written JavaScript lexer.
+//!
+//! Produces a full token stream up front. The `/`-as-regex-vs-division
+//! ambiguity is resolved with the classic previous-token heuristic: a `/`
+//! begins a regular-expression literal unless the previous significant token
+//! can end an expression (identifier, literal, `)`, `]`, `++`, `--`, or a
+//! keyword operand like `this`).
+
+use crate::error::SyntaxError;
+use crate::ast::Span;
+
+/// Punctuation and operator tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Punct {
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Dot,
+    Colon,
+    Question,
+    Arrow,
+    Plus,
+    Minus,
+    Star,
+    StarStar,
+    Slash,
+    Percent,
+    PlusPlus,
+    MinusMinus,
+    Eq,
+    EqEq,
+    EqEqEq,
+    Bang,
+    BangEq,
+    BangEqEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Shl,
+    Shr,
+    UShr,
+    Amp,
+    AmpAmp,
+    Pipe,
+    PipePipe,
+    Caret,
+    Tilde,
+    PlusEq,
+    MinusEq,
+    StarEq,
+    SlashEq,
+    PercentEq,
+    ShlEq,
+    ShrEq,
+    UShrEq,
+    AmpEq,
+    PipeEq,
+    CaretEq,
+}
+
+/// Reserved words recognised by the lexer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Keyword {
+    Var,
+    Let,
+    Const,
+    Function,
+    Return,
+    If,
+    Else,
+    While,
+    Do,
+    For,
+    In,
+    New,
+    Delete,
+    TypeOf,
+    InstanceOf,
+    Void,
+    This,
+    Null,
+    True,
+    False,
+    Break,
+    Continue,
+    Throw,
+    Try,
+    Catch,
+    Finally,
+    Switch,
+    Case,
+    Default,
+}
+
+impl Keyword {
+    fn from_word(w: &str) -> Option<Keyword> {
+        Some(match w {
+            "var" => Keyword::Var,
+            "let" => Keyword::Let,
+            "const" => Keyword::Const,
+            "function" => Keyword::Function,
+            "return" => Keyword::Return,
+            "if" => Keyword::If,
+            "else" => Keyword::Else,
+            "while" => Keyword::While,
+            "do" => Keyword::Do,
+            "for" => Keyword::For,
+            "in" => Keyword::In,
+            "new" => Keyword::New,
+            "delete" => Keyword::Delete,
+            "typeof" => Keyword::TypeOf,
+            "instanceof" => Keyword::InstanceOf,
+            "void" => Keyword::Void,
+            "this" => Keyword::This,
+            "null" => Keyword::Null,
+            "true" => Keyword::True,
+            "false" => Keyword::False,
+            "break" => Keyword::Break,
+            "continue" => Keyword::Continue,
+            "throw" => Keyword::Throw,
+            "try" => Keyword::Try,
+            "catch" => Keyword::Catch,
+            "finally" => Keyword::Finally,
+            "switch" => Keyword::Switch,
+            "case" => Keyword::Case,
+            "default" => Keyword::Default,
+            _ => return None,
+        })
+    }
+
+    /// Source text of the keyword.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Keyword::Var => "var",
+            Keyword::Let => "let",
+            Keyword::Const => "const",
+            Keyword::Function => "function",
+            Keyword::Return => "return",
+            Keyword::If => "if",
+            Keyword::Else => "else",
+            Keyword::While => "while",
+            Keyword::Do => "do",
+            Keyword::For => "for",
+            Keyword::In => "in",
+            Keyword::New => "new",
+            Keyword::Delete => "delete",
+            Keyword::TypeOf => "typeof",
+            Keyword::InstanceOf => "instanceof",
+            Keyword::Void => "void",
+            Keyword::This => "this",
+            Keyword::Null => "null",
+            Keyword::True => "true",
+            Keyword::False => "false",
+            Keyword::Break => "break",
+            Keyword::Continue => "continue",
+            Keyword::Throw => "throw",
+            Keyword::Try => "try",
+            Keyword::Catch => "catch",
+            Keyword::Finally => "finally",
+            Keyword::Switch => "switch",
+            Keyword::Case => "case",
+            Keyword::Default => "default",
+        }
+    }
+}
+
+/// One part of a template literal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TemplatePart {
+    /// Cooked literal text.
+    Quasi(String),
+    /// Raw source of a `${…}` substitution (parsed later by the parser).
+    ExprSource(String),
+}
+
+/// Token payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier (including contextual keywords like `of`).
+    Ident(String),
+    /// Reserved word.
+    Keyword(Keyword),
+    /// Numeric literal.
+    Number(f64),
+    /// String literal (cooked).
+    String(String),
+    /// Regular-expression literal.
+    Regex {
+        /// Pattern between the slashes.
+        pattern: String,
+        /// Trailing flags.
+        flags: String,
+    },
+    /// Template literal parts.
+    Template(Vec<TemplatePart>),
+    /// Punctuation / operator.
+    Punct(Punct),
+    /// End of input.
+    Eof,
+}
+
+/// A token with position information.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Payload.
+    pub kind: TokenKind,
+    /// Source byte range.
+    pub span: Span,
+    /// `true` if a line terminator appeared before this token (for ASI).
+    pub newline_before: bool,
+}
+
+/// Tokenizes `src` completely.
+///
+/// # Errors
+///
+/// Returns [`SyntaxError`] on any lexical error (unterminated string,
+/// malformed number, invalid character, …).
+pub fn tokenize(src: &str) -> Result<Vec<Token>, SyntaxError> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'s> {
+    src: &'s str,
+    pos: usize,
+    tokens: Vec<Token>,
+    newline_pending: bool,
+}
+
+impl<'s> Lexer<'s> {
+    fn new(src: &'s str) -> Self {
+        Lexer { src, pos: 0, tokens: Vec::new(), newline_pending: false }
+    }
+
+    fn error(&self, msg: impl Into<String>) -> SyntaxError {
+        SyntaxError::at(msg, self.pos as u32)
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        let mut it = self.src[self.pos..].chars();
+        it.next();
+        it.next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += c.len_utf8();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize) {
+        self.tokens.push(Token {
+            kind,
+            span: Span::new(start as u32, self.pos as u32),
+            newline_before: std::mem::take(&mut self.newline_pending),
+        });
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, SyntaxError> {
+        loop {
+            self.skip_trivia()?;
+            let start = self.pos;
+            let Some(c) = self.peek() else {
+                self.push(TokenKind::Eof, start);
+                return Ok(self.tokens);
+            };
+            match c {
+                '0'..='9' => self.lex_number(start)?,
+                '.' if self.peek2().is_some_and(|c| c.is_ascii_digit()) => {
+                    self.lex_number(start)?
+                }
+                '"' | '\'' => self.lex_string(start)?,
+                '`' => self.lex_template(start)?,
+                '/' if self.regex_allowed() => self.lex_regex(start)?,
+                c if is_ident_start(c) => self.lex_word(start),
+                _ => self.lex_punct(start)?,
+            }
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), SyntaxError> {
+        loop {
+            match self.peek() {
+                Some(c) if c == '\n' || c == '\r' || c == '\u{2028}' || c == '\u{2029}' => {
+                    self.newline_pending = true;
+                    self.bump();
+                }
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('/') if self.peek2() == Some('/') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some('/') if self.peek2() == Some('*') => {
+                    self.bump();
+                    self.bump();
+                    let mut closed = false;
+                    while let Some(c) = self.bump() {
+                        if c == '\n' {
+                            self.newline_pending = true;
+                        }
+                        if c == '*' && self.eat('/') {
+                            closed = true;
+                            break;
+                        }
+                    }
+                    if !closed {
+                        return Err(self.error("unterminated block comment"));
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    /// The previous-token heuristic for regex literals.
+    fn regex_allowed(&self) -> bool {
+        match self.tokens.last().map(|t| &t.kind) {
+            None => true,
+            Some(TokenKind::Ident(_))
+            | Some(TokenKind::Number(_))
+            | Some(TokenKind::String(_))
+            | Some(TokenKind::Template(_))
+            | Some(TokenKind::Regex { .. }) => false,
+            Some(TokenKind::Keyword(k)) => {
+                !matches!(k, Keyword::This | Keyword::Null | Keyword::True | Keyword::False)
+            }
+            Some(TokenKind::Punct(p)) => !matches!(
+                p,
+                Punct::RParen | Punct::RBracket | Punct::PlusPlus | Punct::MinusMinus
+            ),
+            Some(TokenKind::Eof) => true,
+        }
+    }
+
+    fn lex_word(&mut self, start: usize) {
+        while self.peek().is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        let word = &self.src[start..self.pos];
+        let kind = match Keyword::from_word(word) {
+            Some(k) => TokenKind::Keyword(k),
+            None => TokenKind::Ident(word.to_string()),
+        };
+        self.push(kind, start);
+    }
+
+    fn lex_number(&mut self, start: usize) -> Result<(), SyntaxError> {
+        #[allow(clippy::needless_late_init)] // two long alternative paths
+        let value;
+        if self.peek() == Some('0')
+            && matches!(self.peek2(), Some('x') | Some('X') | Some('b') | Some('B') | Some('o') | Some('O'))
+        {
+            self.bump();
+            let radix = match self.bump() {
+                Some('x') | Some('X') => 16,
+                Some('b') | Some('B') => 2,
+                _ => 8,
+            };
+            let digits_start = self.pos;
+            while self.peek().is_some_and(|c| c.is_digit(radix)) {
+                self.bump();
+            }
+            if self.pos == digits_start {
+                return Err(self.error("missing digits in numeric literal"));
+            }
+            let digits = &self.src[digits_start..self.pos];
+            value = u64::from_str_radix(digits, radix)
+                .map_err(|_| self.error("numeric literal overflow"))? as f64;
+        } else {
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.bump();
+            }
+            if self.peek() == Some('.') {
+                self.bump();
+                while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    self.bump();
+                }
+            }
+            if matches!(self.peek(), Some('e') | Some('E')) {
+                self.bump();
+                if matches!(self.peek(), Some('+') | Some('-')) {
+                    self.bump();
+                }
+                let exp_start = self.pos;
+                while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    self.bump();
+                }
+                if self.pos == exp_start {
+                    return Err(self.error("missing exponent digits"));
+                }
+            }
+            value = self.src[start..self.pos]
+                .parse::<f64>()
+                .map_err(|_| self.error("malformed numeric literal"))?;
+        }
+        if self.peek().is_some_and(is_ident_start) {
+            return Err(self.error("identifier starts immediately after numeric literal"));
+        }
+        self.push(TokenKind::Number(value), start);
+        Ok(())
+    }
+
+    fn lex_string(&mut self, start: usize) -> Result<(), SyntaxError> {
+        let quote = self.bump().expect("quote present");
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.error("unterminated string literal")),
+                Some(c) if c == quote => break,
+                Some('\n') => return Err(self.error("unterminated string literal")),
+                Some('\\') => match self.bump() {
+                    None => return Err(self.error("unterminated string literal")),
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    Some('r') => out.push('\r'),
+                    Some('b') => out.push('\u{8}'),
+                    Some('f') => out.push('\u{c}'),
+                    Some('v') => out.push('\u{b}'),
+                    Some('0') => out.push('\0'),
+                    Some('x') => out.push(self.hex_escape(2)?),
+                    Some('u') => {
+                        if self.eat('{') {
+                            let mut v: u32 = 0;
+                            while let Some(d) = self.peek().and_then(|c| c.to_digit(16)) {
+                                v = v * 16 + d;
+                                self.bump();
+                            }
+                            if !self.eat('}') {
+                                return Err(self.error("unterminated \\u{...} escape"));
+                            }
+                            out.push(
+                                char::from_u32(v)
+                                    .ok_or_else(|| self.error("invalid code point"))?,
+                            );
+                        } else {
+                            out.push(self.hex_escape(4)?);
+                        }
+                    }
+                    Some('\n') => {} // line continuation
+                    Some(other) => out.push(other),
+                },
+                Some(c) => out.push(c),
+            }
+        }
+        self.push(TokenKind::String(out), start);
+        Ok(())
+    }
+
+    fn hex_escape(&mut self, n: usize) -> Result<char, SyntaxError> {
+        let mut v: u32 = 0;
+        for _ in 0..n {
+            let d = self
+                .bump()
+                .and_then(|c| c.to_digit(16))
+                .ok_or_else(|| self.error("invalid hex escape"))?;
+            v = v * 16 + d;
+        }
+        char::from_u32(v).ok_or_else(|| self.error("invalid code point"))
+    }
+
+    fn lex_template(&mut self, start: usize) -> Result<(), SyntaxError> {
+        self.bump(); // `
+        let mut parts = Vec::new();
+        let mut quasi = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.error("unterminated template literal")),
+                Some('`') => break,
+                Some('\\') => match self.bump() {
+                    None => return Err(self.error("unterminated template literal")),
+                    Some('n') => quasi.push('\n'),
+                    Some('t') => quasi.push('\t'),
+                    Some('r') => quasi.push('\r'),
+                    Some('`') => quasi.push('`'),
+                    Some('$') => quasi.push('$'),
+                    Some(other) => quasi.push(other),
+                },
+                Some('$') if self.peek() == Some('{') => {
+                    self.bump(); // {
+                    parts.push(TemplatePart::Quasi(std::mem::take(&mut quasi)));
+                    let expr_start = self.pos;
+                    let mut depth = 1usize;
+                    loop {
+                        match self.bump() {
+                            None => return Err(self.error("unterminated template substitution")),
+                            Some('{') => depth += 1,
+                            Some('}') => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            Some('"') | Some('\'') => {
+                                // Skip nested string to avoid counting braces in it.
+                                let q = self.src[self.pos - 1..].chars().next().expect("quote");
+                                loop {
+                                    match self.bump() {
+                                        None => {
+                                            return Err(
+                                                self.error("unterminated template substitution")
+                                            )
+                                        }
+                                        Some('\\') => {
+                                            self.bump();
+                                        }
+                                        Some(c) if c == q => break,
+                                        _ => {}
+                                    }
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                    let expr_src = &self.src[expr_start..self.pos - 1];
+                    parts.push(TemplatePart::ExprSource(expr_src.to_string()));
+                }
+                Some(c) => quasi.push(c),
+            }
+        }
+        parts.push(TemplatePart::Quasi(quasi));
+        self.push(TokenKind::Template(parts), start);
+        Ok(())
+    }
+
+    fn lex_regex(&mut self, start: usize) -> Result<(), SyntaxError> {
+        self.bump(); // /
+        let mut pattern = String::new();
+        let mut in_class = false;
+        loop {
+            match self.bump() {
+                None => return Err(self.error("unterminated regular expression")),
+                Some('\n') => return Err(self.error("unterminated regular expression")),
+                Some('\\') => {
+                    pattern.push('\\');
+                    match self.bump() {
+                        None => return Err(self.error("unterminated regular expression")),
+                        Some(c) => pattern.push(c),
+                    }
+                }
+                Some('[') => {
+                    in_class = true;
+                    pattern.push('[');
+                }
+                Some(']') => {
+                    in_class = false;
+                    pattern.push(']');
+                }
+                Some('/') if !in_class => break,
+                Some(c) => pattern.push(c),
+            }
+        }
+        let flags_start = self.pos;
+        while self.peek().is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        let flags = self.src[flags_start..self.pos].to_string();
+        self.push(TokenKind::Regex { pattern, flags }, start);
+        Ok(())
+    }
+
+    fn lex_punct(&mut self, start: usize) -> Result<(), SyntaxError> {
+        use Punct::*;
+        let c = self.bump().expect("char present");
+        let p = match c {
+            '(' => LParen,
+            ')' => RParen,
+            '{' => LBrace,
+            '}' => RBrace,
+            '[' => LBracket,
+            ']' => RBracket,
+            ';' => Semi,
+            ',' => Comma,
+            '.' => Dot,
+            ':' => Colon,
+            '?' => Question,
+            '~' => Tilde,
+            '+' => {
+                if self.eat('+') {
+                    PlusPlus
+                } else if self.eat('=') {
+                    PlusEq
+                } else {
+                    Plus
+                }
+            }
+            '-' => {
+                if self.eat('-') {
+                    MinusMinus
+                } else if self.eat('=') {
+                    MinusEq
+                } else {
+                    Minus
+                }
+            }
+            '*' => {
+                if self.eat('*') {
+                    StarStar
+                } else if self.eat('=') {
+                    StarEq
+                } else {
+                    Star
+                }
+            }
+            '/' => {
+                if self.eat('=') {
+                    SlashEq
+                } else {
+                    Slash
+                }
+            }
+            '%' => {
+                if self.eat('=') {
+                    PercentEq
+                } else {
+                    Percent
+                }
+            }
+            '=' => {
+                if self.eat('=') {
+                    if self.eat('=') {
+                        EqEqEq
+                    } else {
+                        EqEq
+                    }
+                } else if self.eat('>') {
+                    Arrow
+                } else {
+                    Eq
+                }
+            }
+            '!' => {
+                if self.eat('=') {
+                    if self.eat('=') {
+                        BangEqEq
+                    } else {
+                        BangEq
+                    }
+                } else {
+                    Bang
+                }
+            }
+            '<' => {
+                if self.eat('<') {
+                    if self.eat('=') {
+                        ShlEq
+                    } else {
+                        Shl
+                    }
+                } else if self.eat('=') {
+                    LtEq
+                } else {
+                    Lt
+                }
+            }
+            '>' => {
+                if self.eat('>') {
+                    if self.eat('>') {
+                        if self.eat('=') {
+                            UShrEq
+                        } else {
+                            UShr
+                        }
+                    } else if self.eat('=') {
+                        ShrEq
+                    } else {
+                        Shr
+                    }
+                } else if self.eat('=') {
+                    GtEq
+                } else {
+                    Gt
+                }
+            }
+            '&' => {
+                if self.eat('&') {
+                    AmpAmp
+                } else if self.eat('=') {
+                    AmpEq
+                } else {
+                    Amp
+                }
+            }
+            '|' => {
+                if self.eat('|') {
+                    PipePipe
+                } else if self.eat('=') {
+                    PipeEq
+                } else {
+                    Pipe
+                }
+            }
+            '^' => {
+                if self.eat('=') {
+                    CaretEq
+                } else {
+                    Caret
+                }
+            }
+            other => return Err(self.error(format!("unexpected character `{other}`"))),
+        };
+        self.push(TokenKind::Punct(p), start);
+        Ok(())
+    }
+}
+
+/// `true` if `c` may start an identifier.
+pub fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_' || c == '$'
+}
+
+/// `true` if `c` may continue an identifier.
+pub fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_' || c == '$'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        let ks = kinds("var x = 1 + 2;");
+        assert_eq!(ks.len(), 8); // var x = 1 + 2 ; EOF
+        assert!(matches!(ks[0], TokenKind::Keyword(Keyword::Var)));
+        assert!(matches!(&ks[1], TokenKind::Ident(n) if n == "x"));
+        assert!(matches!(ks[3], TokenKind::Number(n) if n == 1.0));
+    }
+
+    #[test]
+    fn numbers() {
+        assert!(matches!(kinds("0x10")[0], TokenKind::Number(n) if n == 16.0));
+        assert!(matches!(kinds("0b101")[0], TokenKind::Number(n) if n == 5.0));
+        assert!(matches!(kinds("0o17")[0], TokenKind::Number(n) if n == 15.0));
+        assert!(matches!(kinds("2.75")[0], TokenKind::Number(n) if (n - 2.75).abs() < 1e-12));
+        assert!(matches!(kinds("1e3")[0], TokenKind::Number(n) if n == 1000.0));
+        assert!(matches!(kinds(".5")[0], TokenKind::Number(n) if n == 0.5));
+        assert!(tokenize("1abc").is_err());
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert!(matches!(&kinds(r#""a\nb""#)[0], TokenKind::String(s) if s == "a\nb"));
+        assert!(matches!(&kinds(r"'it\'s'")[0], TokenKind::String(s) if s == "it's"));
+        assert!(matches!(&kinds(r#""A""#)[0], TokenKind::String(s) if s == "A"));
+        assert!(tokenize("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn comments_are_trivia() {
+        let ks = kinds("a // comment\n/* block */ b");
+        assert_eq!(ks.len(), 3);
+    }
+
+    #[test]
+    fn newline_flag_for_asi() {
+        let toks = tokenize("a\nb").unwrap();
+        assert!(!toks[0].newline_before);
+        assert!(toks[1].newline_before);
+    }
+
+    #[test]
+    fn regex_vs_division() {
+        // After `=`, a `/` is a regex.
+        let ks = kinds("x = /ab/g");
+        assert!(matches!(&ks[2], TokenKind::Regex { pattern, flags } if pattern == "ab" && flags == "g"));
+        // After an identifier it is division.
+        let ks = kinds("x / y");
+        assert!(matches!(ks[1], TokenKind::Punct(Punct::Slash)));
+        // After `)` it is division.
+        let ks = kinds("(a) / 2");
+        assert!(matches!(ks[3], TokenKind::Punct(Punct::Slash)));
+        // After `return` it is a regex.
+        let ks = kinds("return /x/");
+        assert!(matches!(&ks[1], TokenKind::Regex { .. }));
+    }
+
+    #[test]
+    fn regex_with_class_containing_slash() {
+        let ks = kinds("x = /[/]/");
+        assert!(matches!(&ks[2], TokenKind::Regex { pattern, .. } if pattern == "[/]"));
+    }
+
+    #[test]
+    fn template_literal() {
+        let ks = kinds("`a${b}c`");
+        match &ks[0] {
+            TokenKind::Template(parts) => {
+                assert_eq!(parts.len(), 3);
+                assert_eq!(parts[0], TemplatePart::Quasi("a".into()));
+                assert_eq!(parts[1], TemplatePart::ExprSource("b".into()));
+                assert_eq!(parts[2], TemplatePart::Quasi("c".into()));
+            }
+            other => panic!("expected template, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn template_with_nested_braces() {
+        let ks = kinds("`v=${ {a:1}.a }`");
+        match &ks[0] {
+            TokenKind::Template(parts) => {
+                assert_eq!(parts[1], TemplatePart::ExprSource(" {a:1}.a ".into()));
+            }
+            other => panic!("expected template, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_char_operators() {
+        let ks = kinds("a >>>= b === c ** d");
+        assert!(matches!(ks[1], TokenKind::Punct(Punct::UShrEq)));
+        assert!(matches!(ks[3], TokenKind::Punct(Punct::EqEqEq)));
+        assert!(matches!(ks[5], TokenKind::Punct(Punct::StarStar)));
+    }
+
+    #[test]
+    fn error_on_bad_char() {
+        assert!(tokenize("a # b").is_err());
+        assert!(tokenize("/* no end").is_err());
+    }
+}

@@ -1,0 +1,1064 @@
+//! Recursive-descent parser producing the [`crate::ast`] tree.
+//!
+//! Implements the ES2015-era subset COMFORT generates, including restricted
+//! automatic semicolon insertion (a missing `;` is tolerated before `}`, at
+//! end of input, or when the next token sits on a new line — the cases our
+//! generators can produce).
+
+use crate::ast::*;
+use crate::error::SyntaxError;
+use crate::lexer::{tokenize, Keyword, Punct, Token, TokenKind};
+
+/// Parses a full program.
+///
+/// # Errors
+///
+/// Returns [`SyntaxError`] if `src` is not syntactically valid in the
+/// supported subset.
+///
+/// # Examples
+///
+/// ```
+/// let program = comfort_syntax::parse("var x = 1 + 2; print(x);").unwrap();
+/// assert_eq!(program.body.len(), 2);
+/// ```
+pub fn parse(src: &str) -> Result<Program, SyntaxError> {
+    let tokens = tokenize(src)?;
+    let mut parser = Parser { tokens, pos: 0, next_id: 0, depth: 0 };
+    let (body, strict) = parser.parse_body(true)?;
+    parser.expect_eof()?;
+    Ok(Program { body, strict, node_count: parser.next_id })
+}
+
+const MAX_DEPTH: u32 = 200;
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    next_id: u32,
+    depth: u32,
+}
+
+impl Parser {
+    // -- token plumbing ----------------------------------------------------
+
+    fn tok(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn kind(&self) -> &TokenKind {
+        &self.tok().kind
+    }
+
+    fn span_start(&self) -> u32 {
+        self.tok().span.start
+    }
+
+    fn prev_end(&self) -> u32 {
+        if self.pos == 0 {
+            0
+        } else {
+            self.tokens[self.pos - 1].span.end
+        }
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tok().clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn is_punct(&self, p: Punct) -> bool {
+        matches!(self.kind(), TokenKind::Punct(q) if *q == p)
+    }
+
+    fn is_kw(&self, k: Keyword) -> bool {
+        matches!(self.kind(), TokenKind::Keyword(q) if *q == k)
+    }
+
+    fn eat_punct(&mut self, p: Punct) -> bool {
+        if self.is_punct(p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, k: Keyword) -> bool {
+        if self.is_kw(k) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: Punct, what: &str) -> Result<(), SyntaxError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {what}")))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, SyntaxError> {
+        match self.kind() {
+            TokenKind::Ident(name) => {
+                let name = name.clone();
+                self.bump();
+                Ok(name)
+            }
+            _ => Err(self.error("expected identifier")),
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), SyntaxError> {
+        if matches!(self.kind(), TokenKind::Eof) {
+            Ok(())
+        } else {
+            Err(self.error("unexpected token after program"))
+        }
+    }
+
+    fn error(&self, msg: impl Into<String>) -> SyntaxError {
+        SyntaxError::at(msg, self.span_start())
+    }
+
+    fn id(&mut self) -> NodeId {
+        let id = NodeId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    fn enter(&mut self) -> Result<(), SyntaxError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            Err(self.error("nesting too deep"))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn leave(&mut self) {
+        self.depth -= 1;
+    }
+
+    /// Automatic semicolon insertion: a real `;`, or a `}` / EOF / newline.
+    fn expect_semi(&mut self) -> Result<(), SyntaxError> {
+        if self.eat_punct(Punct::Semi) {
+            return Ok(());
+        }
+        if self.is_punct(Punct::RBrace)
+            || matches!(self.kind(), TokenKind::Eof)
+            || self.tok().newline_before
+        {
+            return Ok(());
+        }
+        Err(self.error("expected `;`"))
+    }
+
+    // -- statements --------------------------------------------------------
+
+    /// Parses a statement list up to `}` or EOF; returns (body, strict).
+    fn parse_body(&mut self, _top_level: bool) -> Result<(Vec<Stmt>, bool), SyntaxError> {
+        let mut body = Vec::new();
+        let mut strict = false;
+        let mut in_prologue = true;
+        while !self.is_punct(Punct::RBrace) && !matches!(self.kind(), TokenKind::Eof) {
+            let stmt = self.parse_stmt()?;
+            if in_prologue {
+                if let StmtKind::Directive(d) = &stmt.kind {
+                    if d == "use strict" {
+                        strict = true;
+                    }
+                } else {
+                    in_prologue = false;
+                }
+            }
+            body.push(stmt);
+        }
+        Ok((body, strict))
+    }
+
+    fn parse_stmt(&mut self) -> Result<Stmt, SyntaxError> {
+        self.enter()?;
+        let result = self.parse_stmt_inner();
+        self.leave();
+        result
+    }
+
+    fn parse_stmt_inner(&mut self) -> Result<Stmt, SyntaxError> {
+        let start = self.span_start();
+        let id = self.id();
+        let kind = match self.kind().clone() {
+            TokenKind::Punct(Punct::Semi) => {
+                self.bump();
+                StmtKind::Empty
+            }
+            TokenKind::Punct(Punct::LBrace) => {
+                self.bump();
+                let (body, _) = self.parse_body(false)?;
+                self.expect_punct(Punct::RBrace, "`}`")?;
+                StmtKind::Block(body)
+            }
+            TokenKind::Keyword(Keyword::Var) => self.parse_decl_stmt(DeclKind::Var)?,
+            TokenKind::Keyword(Keyword::Let) => self.parse_decl_stmt(DeclKind::Let)?,
+            TokenKind::Keyword(Keyword::Const) => self.parse_decl_stmt(DeclKind::Const)?,
+            TokenKind::Keyword(Keyword::Function) => {
+                self.bump();
+                let name = self.expect_ident()?;
+                let func = self.parse_function_rest(Some(name), start)?;
+                StmtKind::FunctionDecl(func)
+            }
+            TokenKind::Keyword(Keyword::If) => {
+                self.bump();
+                self.expect_punct(Punct::LParen, "`(`")?;
+                let cond = self.parse_expr(true)?;
+                self.expect_punct(Punct::RParen, "`)`")?;
+                let cons = Box::new(self.parse_stmt()?);
+                let alt = if self.eat_kw(Keyword::Else) {
+                    Some(Box::new(self.parse_stmt()?))
+                } else {
+                    None
+                };
+                StmtKind::If { cond, cons, alt }
+            }
+            TokenKind::Keyword(Keyword::While) => {
+                self.bump();
+                self.expect_punct(Punct::LParen, "`(`")?;
+                let cond = self.parse_expr(true)?;
+                self.expect_punct(Punct::RParen, "`)`")?;
+                let body = Box::new(self.parse_stmt()?);
+                StmtKind::While { cond, body }
+            }
+            TokenKind::Keyword(Keyword::Do) => {
+                self.bump();
+                let body = Box::new(self.parse_stmt()?);
+                if !self.eat_kw(Keyword::While) {
+                    return Err(self.error("expected `while` after do-body"));
+                }
+                self.expect_punct(Punct::LParen, "`(`")?;
+                let cond = self.parse_expr(true)?;
+                self.expect_punct(Punct::RParen, "`)`")?;
+                self.expect_semi()?;
+                StmtKind::DoWhile { body, cond }
+            }
+            TokenKind::Keyword(Keyword::For) => self.parse_for()?,
+            TokenKind::Keyword(Keyword::Return) => {
+                self.bump();
+                let arg = if self.is_punct(Punct::Semi)
+                    || self.is_punct(Punct::RBrace)
+                    || matches!(self.kind(), TokenKind::Eof)
+                    || self.tok().newline_before
+                {
+                    None
+                } else {
+                    Some(self.parse_expr(true)?)
+                };
+                self.expect_semi()?;
+                StmtKind::Return(arg)
+            }
+            TokenKind::Keyword(Keyword::Break) => {
+                self.bump();
+                self.expect_semi()?;
+                StmtKind::Break
+            }
+            TokenKind::Keyword(Keyword::Continue) => {
+                self.bump();
+                self.expect_semi()?;
+                StmtKind::Continue
+            }
+            TokenKind::Keyword(Keyword::Throw) => {
+                self.bump();
+                if self.tok().newline_before {
+                    return Err(self.error("illegal newline after throw"));
+                }
+                let arg = self.parse_expr(true)?;
+                self.expect_semi()?;
+                StmtKind::Throw(arg)
+            }
+            TokenKind::Keyword(Keyword::Try) => {
+                self.bump();
+                self.expect_punct(Punct::LBrace, "`{`")?;
+                let (block, _) = self.parse_body(false)?;
+                self.expect_punct(Punct::RBrace, "`}`")?;
+                let catch = if self.eat_kw(Keyword::Catch) {
+                    let param = if self.eat_punct(Punct::LParen) {
+                        let p = self.expect_ident()?;
+                        self.expect_punct(Punct::RParen, "`)`")?;
+                        Some(p)
+                    } else {
+                        None
+                    };
+                    self.expect_punct(Punct::LBrace, "`{`")?;
+                    let (body, _) = self.parse_body(false)?;
+                    self.expect_punct(Punct::RBrace, "`}`")?;
+                    Some(CatchClause { param, body })
+                } else {
+                    None
+                };
+                let finally = if self.eat_kw(Keyword::Finally) {
+                    self.expect_punct(Punct::LBrace, "`{`")?;
+                    let (body, _) = self.parse_body(false)?;
+                    self.expect_punct(Punct::RBrace, "`}`")?;
+                    Some(body)
+                } else {
+                    None
+                };
+                if catch.is_none() && finally.is_none() {
+                    return Err(self.error("missing catch or finally after try"));
+                }
+                StmtKind::Try { block, catch, finally }
+            }
+            TokenKind::Keyword(Keyword::Switch) => {
+                self.bump();
+                self.expect_punct(Punct::LParen, "`(`")?;
+                let disc = self.parse_expr(true)?;
+                self.expect_punct(Punct::RParen, "`)`")?;
+                self.expect_punct(Punct::LBrace, "`{`")?;
+                let mut cases = Vec::new();
+                let mut saw_default = false;
+                while !self.eat_punct(Punct::RBrace) {
+                    let test = if self.eat_kw(Keyword::Case) {
+                        let t = self.parse_expr(true)?;
+                        Some(t)
+                    } else if self.eat_kw(Keyword::Default) {
+                        if saw_default {
+                            return Err(self.error("multiple default clauses"));
+                        }
+                        saw_default = true;
+                        None
+                    } else {
+                        return Err(self.error("expected `case` or `default`"));
+                    };
+                    self.expect_punct(Punct::Colon, "`:`")?;
+                    let mut body = Vec::new();
+                    while !self.is_kw(Keyword::Case)
+                        && !self.is_kw(Keyword::Default)
+                        && !self.is_punct(Punct::RBrace)
+                    {
+                        body.push(self.parse_stmt()?);
+                    }
+                    cases.push(SwitchCase { test, body });
+                }
+                StmtKind::Switch { disc, cases }
+            }
+            TokenKind::String(s) if self.string_is_directive() => {
+                self.bump();
+                self.expect_semi()?;
+                StmtKind::Directive(s)
+            }
+            _ => {
+                let expr = self.parse_expr(true)?;
+                self.expect_semi()?;
+                StmtKind::Expr(expr)
+            }
+        };
+        Ok(Stmt { id, span: Span::new(start, self.prev_end()), kind })
+    }
+
+    /// A string literal statement is a directive only if followed by a
+    /// statement boundary (so `"a" + f();` stays an expression statement).
+    fn string_is_directive(&self) -> bool {
+        matches!(
+            self.tokens.get(self.pos + 1).map(|t| (&t.kind, t.newline_before)),
+            Some((TokenKind::Punct(Punct::Semi), _))
+                | Some((TokenKind::Punct(Punct::RBrace), _))
+                | Some((TokenKind::Eof, _))
+                | Some((_, true))
+        )
+    }
+
+    fn parse_decl_stmt(&mut self, kind: DeclKind) -> Result<StmtKind, SyntaxError> {
+        self.bump(); // keyword
+        let decls = self.parse_declarators(true)?;
+        self.expect_semi()?;
+        Ok(StmtKind::Decl { kind, decls })
+    }
+
+    fn parse_declarators(&mut self, allow_in: bool) -> Result<Vec<Declarator>, SyntaxError> {
+        let mut decls = Vec::new();
+        loop {
+            let name = self.expect_ident()?;
+            let init = if self.eat_punct(Punct::Eq) {
+                Some(self.parse_assign(allow_in)?)
+            } else {
+                None
+            };
+            decls.push(Declarator { name, init });
+            if !self.eat_punct(Punct::Comma) {
+                break;
+            }
+        }
+        Ok(decls)
+    }
+
+    fn parse_for(&mut self) -> Result<StmtKind, SyntaxError> {
+        self.bump(); // for
+        self.expect_punct(Punct::LParen, "`(`")?;
+
+        // Empty init: `for (;…`.
+        if self.eat_punct(Punct::Semi) {
+            return self.parse_for_rest(None);
+        }
+
+        // Declaration-form init: `for (var x …`.
+        let decl_kind = if self.is_kw(Keyword::Var) {
+            Some(DeclKind::Var)
+        } else if self.is_kw(Keyword::Let) {
+            Some(DeclKind::Let)
+        } else if self.is_kw(Keyword::Const) {
+            Some(DeclKind::Const)
+        } else {
+            None
+        };
+        if let Some(kind) = decl_kind {
+            self.bump();
+            // Might be for-in / for-of with a single undeclared name.
+            if let TokenKind::Ident(name) = self.kind().clone() {
+                let in_of = self.peek_in_of(1);
+                if let Some(io) = in_of {
+                    self.bump(); // name
+                    self.bump(); // in/of
+                    let object = self.parse_expr(true)?;
+                    self.expect_punct(Punct::RParen, "`)`")?;
+                    let body = Box::new(self.parse_stmt()?);
+                    return Ok(StmtKind::ForInOf {
+                        kind: io,
+                        decl: ForTarget::Decl(kind, name),
+                        object,
+                        body,
+                    });
+                }
+            }
+            let decls = self.parse_declarators(false)?;
+            self.expect_punct(Punct::Semi, "`;`")?;
+            return self.parse_for_rest(Some(Box::new(ForInit::Decl { kind, decls })));
+        }
+
+        // Expression-form init; might still be `for (x in o)`.
+        if let TokenKind::Ident(name) = self.kind().clone() {
+            if let Some(io) = self.peek_in_of(1) {
+                self.bump();
+                self.bump();
+                let object = self.parse_expr(true)?;
+                self.expect_punct(Punct::RParen, "`)`")?;
+                let body = Box::new(self.parse_stmt()?);
+                return Ok(StmtKind::ForInOf {
+                    kind: io,
+                    decl: ForTarget::Ident(name),
+                    object,
+                    body,
+                });
+            }
+        }
+        let init = self.parse_expr(false)?;
+        // `for (expr in o)` with a complex target (e.g. member expression) is
+        // not in our subset; `no_in` parsing above prevents ambiguity.
+        self.expect_punct(Punct::Semi, "`;`")?;
+        self.parse_for_rest(Some(Box::new(ForInit::Expr(init))))
+    }
+
+    fn peek_in_of(&self, offset: usize) -> Option<ForInOfKind> {
+        match self.tokens.get(self.pos + offset).map(|t| &t.kind) {
+            Some(TokenKind::Keyword(Keyword::In)) => Some(ForInOfKind::In),
+            Some(TokenKind::Ident(w)) if w == "of" => Some(ForInOfKind::Of),
+            _ => None,
+        }
+    }
+
+    fn parse_for_rest(&mut self, init: Option<Box<ForInit>>) -> Result<StmtKind, SyntaxError> {
+        let test = if self.is_punct(Punct::Semi) { None } else { Some(self.parse_expr(true)?) };
+        self.expect_punct(Punct::Semi, "`;`")?;
+        let update =
+            if self.is_punct(Punct::RParen) { None } else { Some(self.parse_expr(true)?) };
+        self.expect_punct(Punct::RParen, "`)`")?;
+        let body = Box::new(self.parse_stmt()?);
+        Ok(StmtKind::For { init, test, update, body })
+    }
+
+    fn parse_function_rest(
+        &mut self,
+        name: Option<String>,
+        start: u32,
+    ) -> Result<Function, SyntaxError> {
+        let id = self.id();
+        self.expect_punct(Punct::LParen, "`(`")?;
+        let mut params = Vec::new();
+        if !self.is_punct(Punct::RParen) {
+            loop {
+                params.push(self.expect_ident()?);
+                if !self.eat_punct(Punct::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect_punct(Punct::RParen, "`)`")?;
+        self.expect_punct(Punct::LBrace, "`{`")?;
+        let (body, strict) = self.parse_body(false)?;
+        self.expect_punct(Punct::RBrace, "`}`")?;
+        Ok(Function { name, params, body, strict, id, span: Span::new(start, self.prev_end()) })
+    }
+
+    // -- expressions -------------------------------------------------------
+
+    /// Full expression including the comma operator.
+    fn parse_expr(&mut self, allow_in: bool) -> Result<Expr, SyntaxError> {
+        self.enter()?;
+        let result = (|| {
+            let start = self.span_start();
+            let first = self.parse_assign(allow_in)?;
+            if !self.is_punct(Punct::Comma) {
+                return Ok(first);
+            }
+            let mut items = vec![first];
+            while self.eat_punct(Punct::Comma) {
+                items.push(self.parse_assign(allow_in)?);
+            }
+            Ok(Expr {
+                id: self.id(),
+                span: Span::new(start, self.prev_end()),
+                kind: ExprKind::Seq(items),
+            })
+        })();
+        self.leave();
+        result
+    }
+
+    fn parse_assign(&mut self, allow_in: bool) -> Result<Expr, SyntaxError> {
+        self.enter()?;
+        let result = self.parse_assign_inner(allow_in);
+        self.leave();
+        result
+    }
+
+    fn parse_assign_inner(&mut self, allow_in: bool) -> Result<Expr, SyntaxError> {
+        // Arrow function lookahead: `ident =>` or `( params ) =>`.
+        if let Some(expr) = self.try_parse_arrow()? {
+            return Ok(expr);
+        }
+        let start = self.span_start();
+        let left = self.parse_cond(allow_in)?;
+        let op = match self.kind() {
+            TokenKind::Punct(Punct::Eq) => Some(AssignOp::Assign),
+            TokenKind::Punct(Punct::PlusEq) => Some(AssignOp::Add),
+            TokenKind::Punct(Punct::MinusEq) => Some(AssignOp::Sub),
+            TokenKind::Punct(Punct::StarEq) => Some(AssignOp::Mul),
+            TokenKind::Punct(Punct::SlashEq) => Some(AssignOp::Div),
+            TokenKind::Punct(Punct::PercentEq) => Some(AssignOp::Rem),
+            TokenKind::Punct(Punct::ShlEq) => Some(AssignOp::Shl),
+            TokenKind::Punct(Punct::ShrEq) => Some(AssignOp::Shr),
+            TokenKind::Punct(Punct::UShrEq) => Some(AssignOp::UShr),
+            TokenKind::Punct(Punct::AmpEq) => Some(AssignOp::BitAnd),
+            TokenKind::Punct(Punct::PipeEq) => Some(AssignOp::BitOr),
+            TokenKind::Punct(Punct::CaretEq) => Some(AssignOp::BitXor),
+            _ => None,
+        };
+        let Some(op) = op else { return Ok(left) };
+        if !is_assign_target(&left) {
+            return Err(self.error("invalid assignment target"));
+        }
+        self.bump();
+        let value = self.parse_assign(allow_in)?;
+        Ok(Expr {
+            id: self.id(),
+            span: Span::new(start, self.prev_end()),
+            kind: ExprKind::Assign { op, target: Box::new(left), value: Box::new(value) },
+        })
+    }
+
+    fn try_parse_arrow(&mut self) -> Result<Option<Expr>, SyntaxError> {
+        let start = self.span_start();
+        // `x => …`
+        if let TokenKind::Ident(name) = self.kind().clone() {
+            if matches!(
+                self.tokens.get(self.pos + 1).map(|t| &t.kind),
+                Some(TokenKind::Punct(Punct::Arrow))
+            ) {
+                self.bump();
+                self.bump();
+                return Ok(Some(self.parse_arrow_body(vec![name], start)?));
+            }
+            return Ok(None);
+        }
+        // `( a, b ) => …` — requires a simple ident list then `) =>`.
+        if self.is_punct(Punct::LParen) {
+            let snapshot = self.pos;
+            let saved_id = self.next_id;
+            if let Some(params) = self.scan_arrow_params() {
+                return Ok(Some(self.parse_arrow_body(params, start)?));
+            }
+            self.pos = snapshot;
+            self.next_id = saved_id;
+        }
+        Ok(None)
+    }
+
+    /// Attempts to consume `( ident, … ) =>`; returns the params on success.
+    fn scan_arrow_params(&mut self) -> Option<Vec<String>> {
+        let snapshot = self.pos;
+        self.bump(); // (
+        let mut params = Vec::new();
+        if !self.is_punct(Punct::RParen) {
+            loop {
+                match self.kind().clone() {
+                    TokenKind::Ident(name) => {
+                        params.push(name);
+                        self.bump();
+                    }
+                    _ => {
+                        self.pos = snapshot;
+                        return None;
+                    }
+                }
+                if !self.eat_punct(Punct::Comma) {
+                    break;
+                }
+            }
+        }
+        if !self.eat_punct(Punct::RParen) || !self.eat_punct(Punct::Arrow) {
+            self.pos = snapshot;
+            return None;
+        }
+        Some(params)
+    }
+
+    fn parse_arrow_body(&mut self, params: Vec<String>, start: u32) -> Result<Expr, SyntaxError> {
+        let id = self.id();
+        let fid = self.id();
+        if self.eat_punct(Punct::LBrace) {
+            let (body, strict) = self.parse_body(false)?;
+            self.expect_punct(Punct::RBrace, "`}`")?;
+            let span = Span::new(start, self.prev_end());
+            let func = Function { name: None, params, body, strict, id: fid, span };
+            Ok(Expr { id, span, kind: ExprKind::Arrow { func, expr_body: None } })
+        } else {
+            let body_expr = self.parse_assign(true)?;
+            let span = Span::new(start, self.prev_end());
+            let func =
+                Function { name: None, params, body: Vec::new(), strict: false, id: fid, span };
+            Ok(Expr {
+                id,
+                span,
+                kind: ExprKind::Arrow { func, expr_body: Some(Box::new(body_expr)) },
+            })
+        }
+    }
+
+    fn parse_cond(&mut self, allow_in: bool) -> Result<Expr, SyntaxError> {
+        let start = self.span_start();
+        let cond = self.parse_binary(0, allow_in)?;
+        if !self.eat_punct(Punct::Question) {
+            return Ok(cond);
+        }
+        let cons = self.parse_assign(true)?;
+        self.expect_punct(Punct::Colon, "`:`")?;
+        let alt = self.parse_assign(allow_in)?;
+        Ok(Expr {
+            id: self.id(),
+            span: Span::new(start, self.prev_end()),
+            kind: ExprKind::Cond {
+                cond: Box::new(cond),
+                cons: Box::new(cons),
+                alt: Box::new(alt),
+            },
+        })
+    }
+
+    fn binary_op(&self, allow_in: bool) -> Option<(u8, BinOrLogical)> {
+        use BinaryOp::*;
+        let (bp, op) = match self.kind() {
+            TokenKind::Punct(Punct::PipePipe) => (1, BinOrLogical::Logical(LogicalOp::Or)),
+            TokenKind::Punct(Punct::AmpAmp) => (2, BinOrLogical::Logical(LogicalOp::And)),
+            TokenKind::Punct(Punct::Pipe) => (3, BinOrLogical::Binary(BitOr)),
+            TokenKind::Punct(Punct::Caret) => (4, BinOrLogical::Binary(BitXor)),
+            TokenKind::Punct(Punct::Amp) => (5, BinOrLogical::Binary(BitAnd)),
+            TokenKind::Punct(Punct::EqEq) => (6, BinOrLogical::Binary(Eq)),
+            TokenKind::Punct(Punct::BangEq) => (6, BinOrLogical::Binary(NotEq)),
+            TokenKind::Punct(Punct::EqEqEq) => (6, BinOrLogical::Binary(StrictEq)),
+            TokenKind::Punct(Punct::BangEqEq) => (6, BinOrLogical::Binary(StrictNotEq)),
+            TokenKind::Punct(Punct::Lt) => (7, BinOrLogical::Binary(Lt)),
+            TokenKind::Punct(Punct::LtEq) => (7, BinOrLogical::Binary(LtEq)),
+            TokenKind::Punct(Punct::Gt) => (7, BinOrLogical::Binary(Gt)),
+            TokenKind::Punct(Punct::GtEq) => (7, BinOrLogical::Binary(GtEq)),
+            TokenKind::Keyword(Keyword::InstanceOf) => (7, BinOrLogical::Binary(InstanceOf)),
+            TokenKind::Keyword(Keyword::In) if allow_in => (7, BinOrLogical::Binary(In)),
+            TokenKind::Punct(Punct::Shl) => (8, BinOrLogical::Binary(Shl)),
+            TokenKind::Punct(Punct::Shr) => (8, BinOrLogical::Binary(Shr)),
+            TokenKind::Punct(Punct::UShr) => (8, BinOrLogical::Binary(UShr)),
+            TokenKind::Punct(Punct::Plus) => (9, BinOrLogical::Binary(Add)),
+            TokenKind::Punct(Punct::Minus) => (9, BinOrLogical::Binary(Sub)),
+            TokenKind::Punct(Punct::Star) => (10, BinOrLogical::Binary(Mul)),
+            TokenKind::Punct(Punct::Slash) => (10, BinOrLogical::Binary(Div)),
+            TokenKind::Punct(Punct::Percent) => (10, BinOrLogical::Binary(Rem)),
+            TokenKind::Punct(Punct::StarStar) => (11, BinOrLogical::Binary(Pow)),
+            _ => return None,
+        };
+        Some((bp, op))
+    }
+
+    fn parse_binary(&mut self, min_bp: u8, allow_in: bool) -> Result<Expr, SyntaxError> {
+        self.enter()?;
+        let result = (|| {
+            let start = self.span_start();
+            let mut left = self.parse_unary(allow_in)?;
+            while let Some((bp, op)) = self.binary_op(allow_in) {
+                if bp < min_bp {
+                    break;
+                }
+                self.bump();
+                // `**` is right-associative; everything else left.
+                let next_bp = if bp == 11 { bp } else { bp + 1 };
+                let right = self.parse_binary(next_bp, allow_in)?;
+                let kind = match op {
+                    BinOrLogical::Binary(op) => ExprKind::Binary {
+                        op,
+                        left: Box::new(left),
+                        right: Box::new(right),
+                    },
+                    BinOrLogical::Logical(op) => ExprKind::Logical {
+                        op,
+                        left: Box::new(left),
+                        right: Box::new(right),
+                    },
+                };
+                left = Expr { id: self.id(), span: Span::new(start, self.prev_end()), kind };
+            }
+            Ok(left)
+        })();
+        self.leave();
+        result
+    }
+
+    fn parse_unary(&mut self, allow_in: bool) -> Result<Expr, SyntaxError> {
+        self.enter()?;
+        let result = self.parse_unary_inner(allow_in);
+        self.leave();
+        result
+    }
+
+    fn parse_unary_inner(&mut self, allow_in: bool) -> Result<Expr, SyntaxError> {
+        let start = self.span_start();
+        let op = match self.kind() {
+            TokenKind::Punct(Punct::Minus) => Some(UnaryOp::Neg),
+            TokenKind::Punct(Punct::Plus) => Some(UnaryOp::Pos),
+            TokenKind::Punct(Punct::Bang) => Some(UnaryOp::Not),
+            TokenKind::Punct(Punct::Tilde) => Some(UnaryOp::BitNot),
+            TokenKind::Keyword(Keyword::TypeOf) => Some(UnaryOp::TypeOf),
+            TokenKind::Keyword(Keyword::Void) => Some(UnaryOp::Void),
+            TokenKind::Keyword(Keyword::Delete) => Some(UnaryOp::Delete),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let operand = self.parse_unary(allow_in)?;
+            return Ok(Expr {
+                id: self.id(),
+                span: Span::new(start, self.prev_end()),
+                kind: ExprKind::Unary { op, operand: Box::new(operand) },
+            });
+        }
+        if self.is_punct(Punct::PlusPlus) || self.is_punct(Punct::MinusMinus) {
+            let inc = self.is_punct(Punct::PlusPlus);
+            self.bump();
+            let target = self.parse_unary(allow_in)?;
+            if !is_assign_target(&target) {
+                return Err(self.error("invalid increment/decrement target"));
+            }
+            return Ok(Expr {
+                id: self.id(),
+                span: Span::new(start, self.prev_end()),
+                kind: ExprKind::Update { prefix: true, inc, target: Box::new(target) },
+            });
+        }
+        let mut expr = self.parse_postfix(allow_in)?;
+        // Postfix update: no newline allowed between operand and operator.
+        if (self.is_punct(Punct::PlusPlus) || self.is_punct(Punct::MinusMinus))
+            && !self.tok().newline_before
+        {
+            if !is_assign_target(&expr) {
+                return Err(self.error("invalid increment/decrement target"));
+            }
+            let inc = self.is_punct(Punct::PlusPlus);
+            self.bump();
+            expr = Expr {
+                id: self.id(),
+                span: Span::new(start, self.prev_end()),
+                kind: ExprKind::Update { prefix: false, inc, target: Box::new(expr) },
+            };
+        }
+        Ok(expr)
+    }
+
+    /// Member/call chain on top of a primary expression.
+    fn parse_postfix(&mut self, _allow_in: bool) -> Result<Expr, SyntaxError> {
+        let start = self.span_start();
+        let mut expr = if self.is_kw(Keyword::New) {
+            self.parse_new()?
+        } else {
+            self.parse_primary()?
+        };
+        loop {
+            if self.eat_punct(Punct::Dot) {
+                let prop = self.parse_property_name()?;
+                expr = Expr {
+                    id: self.id(),
+                    span: Span::new(start, self.prev_end()),
+                    kind: ExprKind::Member { object: Box::new(expr), prop },
+                };
+            } else if self.eat_punct(Punct::LBracket) {
+                let index = self.parse_expr(true)?;
+                self.expect_punct(Punct::RBracket, "`]`")?;
+                expr = Expr {
+                    id: self.id(),
+                    span: Span::new(start, self.prev_end()),
+                    kind: ExprKind::Index { object: Box::new(expr), index: Box::new(index) },
+                };
+            } else if self.is_punct(Punct::LParen) {
+                let args = self.parse_args()?;
+                expr = Expr {
+                    id: self.id(),
+                    span: Span::new(start, self.prev_end()),
+                    kind: ExprKind::Call { callee: Box::new(expr), args },
+                };
+            } else {
+                break;
+            }
+        }
+        Ok(expr)
+    }
+
+    fn parse_new(&mut self) -> Result<Expr, SyntaxError> {
+        let start = self.span_start();
+        self.bump(); // new
+        self.enter()?;
+        let callee = if self.is_kw(Keyword::New) {
+            self.parse_new()
+        } else {
+            self.parse_primary()
+        };
+        self.leave();
+        let mut callee = callee?;
+        // Member accesses bind tighter than the `new` arguments.
+        loop {
+            if self.eat_punct(Punct::Dot) {
+                let prop = self.parse_property_name()?;
+                callee = Expr {
+                    id: self.id(),
+                    span: Span::new(start, self.prev_end()),
+                    kind: ExprKind::Member { object: Box::new(callee), prop },
+                };
+            } else if self.eat_punct(Punct::LBracket) {
+                let index = self.parse_expr(true)?;
+                self.expect_punct(Punct::RBracket, "`]`")?;
+                callee = Expr {
+                    id: self.id(),
+                    span: Span::new(start, self.prev_end()),
+                    kind: ExprKind::Index { object: Box::new(callee), index: Box::new(index) },
+                };
+            } else {
+                break;
+            }
+        }
+        let args = if self.is_punct(Punct::LParen) { self.parse_args()? } else { Vec::new() };
+        Ok(Expr {
+            id: self.id(),
+            span: Span::new(start, self.prev_end()),
+            kind: ExprKind::New { callee: Box::new(callee), args },
+        })
+    }
+
+    /// `.prop` names may be keywords (`obj.default`, `obj.in`).
+    fn parse_property_name(&mut self) -> Result<String, SyntaxError> {
+        match self.kind().clone() {
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(name)
+            }
+            TokenKind::Keyword(k) => {
+                self.bump();
+                Ok(k.as_str().to_string())
+            }
+            _ => Err(self.error("expected property name")),
+        }
+    }
+
+    fn parse_args(&mut self) -> Result<Vec<Expr>, SyntaxError> {
+        self.expect_punct(Punct::LParen, "`(`")?;
+        let mut args = Vec::new();
+        if !self.is_punct(Punct::RParen) {
+            loop {
+                args.push(self.parse_assign(true)?);
+                if !self.eat_punct(Punct::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect_punct(Punct::RParen, "`)`")?;
+        Ok(args)
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr, SyntaxError> {
+        let start = self.span_start();
+        let id = self.id();
+        let kind = match self.kind().clone() {
+            TokenKind::Number(n) => {
+                self.bump();
+                ExprKind::Lit(Lit::Number(n))
+            }
+            TokenKind::String(s) => {
+                self.bump();
+                ExprKind::Lit(Lit::String(s))
+            }
+            TokenKind::Regex { pattern, flags } => {
+                self.bump();
+                ExprKind::Lit(Lit::Regex { pattern, flags })
+            }
+            TokenKind::Template(parts) => {
+                self.bump();
+                let mut quasis = Vec::new();
+                let mut exprs = Vec::new();
+                for part in parts {
+                    match part {
+                        crate::lexer::TemplatePart::Quasi(q) => quasis.push(q),
+                        crate::lexer::TemplatePart::ExprSource(src) => {
+                            let sub = parse_embedded_expr(&src)
+                                .map_err(|e| self.error(e.message().to_string()))?;
+                            exprs.push(sub);
+                        }
+                    }
+                }
+                ExprKind::Template { quasis, exprs }
+            }
+            TokenKind::Keyword(Keyword::True) => {
+                self.bump();
+                ExprKind::Lit(Lit::Bool(true))
+            }
+            TokenKind::Keyword(Keyword::False) => {
+                self.bump();
+                ExprKind::Lit(Lit::Bool(false))
+            }
+            TokenKind::Keyword(Keyword::Null) => {
+                self.bump();
+                ExprKind::Lit(Lit::Null)
+            }
+            TokenKind::Keyword(Keyword::This) => {
+                self.bump();
+                ExprKind::This
+            }
+            TokenKind::Keyword(Keyword::Function) => {
+                self.bump();
+                let name = match self.kind().clone() {
+                    TokenKind::Ident(n) => {
+                        self.bump();
+                        Some(n)
+                    }
+                    _ => None,
+                };
+                let func = self.parse_function_rest(name, start)?;
+                ExprKind::Function(func)
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                ExprKind::Ident(name)
+            }
+            TokenKind::Punct(Punct::LParen) => {
+                self.bump();
+                let inner = self.parse_expr(true)?;
+                self.expect_punct(Punct::RParen, "`)`")?;
+                ExprKind::Paren(Box::new(inner))
+            }
+            TokenKind::Punct(Punct::LBracket) => {
+                self.bump();
+                let mut items = Vec::new();
+                while !self.is_punct(Punct::RBracket) {
+                    if self.is_punct(Punct::Comma) {
+                        items.push(None); // elision
+                        self.bump();
+                        continue;
+                    }
+                    items.push(Some(self.parse_assign(true)?));
+                    if !self.eat_punct(Punct::Comma) {
+                        break;
+                    }
+                }
+                self.expect_punct(Punct::RBracket, "`]`")?;
+                ExprKind::Array(items)
+            }
+            TokenKind::Punct(Punct::LBrace) => {
+                self.bump();
+                let mut props = Vec::new();
+                while !self.is_punct(Punct::RBrace) {
+                    let key = match self.kind().clone() {
+                        TokenKind::Ident(n) => {
+                            self.bump();
+                            PropKey::Ident(n)
+                        }
+                        TokenKind::Keyword(k) => {
+                            self.bump();
+                            PropKey::Ident(k.as_str().to_string())
+                        }
+                        TokenKind::String(s) => {
+                            self.bump();
+                            PropKey::String(s)
+                        }
+                        TokenKind::Number(n) => {
+                            self.bump();
+                            PropKey::Number(n)
+                        }
+                        TokenKind::Punct(Punct::LBracket) => {
+                            self.bump();
+                            let k = self.parse_assign(true)?;
+                            self.expect_punct(Punct::RBracket, "`]`")?;
+                            PropKey::Computed(Box::new(k))
+                        }
+                        _ => return Err(self.error("expected property key")),
+                    };
+                    let value = if self.eat_punct(Punct::Colon) {
+                        Some(self.parse_assign(true)?)
+                    } else {
+                        // Shorthand `{ x }` — only valid for ident keys.
+                        match &key {
+                            PropKey::Ident(_) => None,
+                            _ => return Err(self.error("expected `:` after property key")),
+                        }
+                    };
+                    props.push(ObjectProp { key, value });
+                    if !self.eat_punct(Punct::Comma) {
+                        break;
+                    }
+                }
+                self.expect_punct(Punct::RBrace, "`}`")?;
+                ExprKind::Object(props)
+            }
+            TokenKind::Eof => return Err(self.error("unexpected end of input")),
+            other => return Err(self.error(format!("unexpected token {other:?}"))),
+        };
+        Ok(Expr { id, span: Span::new(start, self.prev_end()), kind })
+    }
+}
+
+/// Parses the source of a template substitution into an expression.
+fn parse_embedded_expr(src: &str) -> Result<Expr, SyntaxError> {
+    let tokens = tokenize(src)?;
+    let mut parser = Parser { tokens, pos: 0, next_id: 0, depth: 0 };
+    let expr = parser.parse_expr(true)?;
+    parser.expect_eof()?;
+    Ok(expr)
+}
+
+enum BinOrLogical {
+    Binary(BinaryOp),
+    Logical(LogicalOp),
+}
+
+fn is_assign_target(e: &Expr) -> bool {
+    match &e.kind {
+        ExprKind::Ident(_) | ExprKind::Member { .. } | ExprKind::Index { .. } => true,
+        ExprKind::Paren(inner) => is_assign_target(inner),
+        _ => false,
+    }
+}

@@ -1,0 +1,208 @@
+//! Read-only AST visitor.
+//!
+//! Used by the ECMA-guided data generator (to find API call sites), the
+//! identical-bug filter (to extract called API names), and the baselines.
+
+use crate::ast::*;
+
+/// Visitor over statements, expressions, and functions.
+///
+/// Override the hooks you need; each hook is called *before* the walker
+/// descends into the node's children.
+pub trait Visitor {
+    /// Called for every statement.
+    fn visit_stmt(&mut self, _stmt: &Stmt) {}
+    /// Called for every expression.
+    fn visit_expr(&mut self, _expr: &Expr) {}
+    /// Called for every function (declaration, expression, or arrow).
+    fn visit_function(&mut self, _func: &Function) {}
+}
+
+/// Walks an entire program.
+pub fn walk_program<V: Visitor>(program: &Program, v: &mut V) {
+    for stmt in &program.body {
+        walk_stmt(stmt, v);
+    }
+}
+
+/// Walks a statement and its children.
+pub fn walk_stmt<V: Visitor>(stmt: &Stmt, v: &mut V) {
+    v.visit_stmt(stmt);
+    match &stmt.kind {
+        StmtKind::Expr(e) | StmtKind::Throw(e) => walk_expr(e, v),
+        StmtKind::Decl { decls, .. } => {
+            for d in decls {
+                if let Some(init) = &d.init {
+                    walk_expr(init, v);
+                }
+            }
+        }
+        StmtKind::FunctionDecl(f) => walk_function(f, v),
+        StmtKind::Block(body) => body.iter().for_each(|s| walk_stmt(s, v)),
+        StmtKind::If { cond, cons, alt } => {
+            walk_expr(cond, v);
+            walk_stmt(cons, v);
+            if let Some(alt) = alt {
+                walk_stmt(alt, v);
+            }
+        }
+        StmtKind::While { cond, body } => {
+            walk_expr(cond, v);
+            walk_stmt(body, v);
+        }
+        StmtKind::DoWhile { body, cond } => {
+            walk_stmt(body, v);
+            walk_expr(cond, v);
+        }
+        StmtKind::For { init, test, update, body } => {
+            match init.as_deref() {
+                Some(ForInit::Decl { decls, .. }) => {
+                    for d in decls {
+                        if let Some(e) = &d.init {
+                            walk_expr(e, v);
+                        }
+                    }
+                }
+                Some(ForInit::Expr(e)) => walk_expr(e, v),
+                None => {}
+            }
+            if let Some(t) = test {
+                walk_expr(t, v);
+            }
+            if let Some(u) = update {
+                walk_expr(u, v);
+            }
+            walk_stmt(body, v);
+        }
+        StmtKind::ForInOf { object, body, .. } => {
+            walk_expr(object, v);
+            walk_stmt(body, v);
+        }
+        StmtKind::Return(e) => {
+            if let Some(e) = e {
+                walk_expr(e, v);
+            }
+        }
+        StmtKind::Try { block, catch, finally } => {
+            block.iter().for_each(|s| walk_stmt(s, v));
+            if let Some(c) = catch {
+                c.body.iter().for_each(|s| walk_stmt(s, v));
+            }
+            if let Some(f) = finally {
+                f.iter().for_each(|s| walk_stmt(s, v));
+            }
+        }
+        StmtKind::Switch { disc, cases } => {
+            walk_expr(disc, v);
+            for c in cases {
+                if let Some(t) = &c.test {
+                    walk_expr(t, v);
+                }
+                c.body.iter().for_each(|s| walk_stmt(s, v));
+            }
+        }
+        StmtKind::Break | StmtKind::Continue | StmtKind::Empty | StmtKind::Directive(_) => {}
+    }
+}
+
+/// Walks a function: its body statements.
+pub fn walk_function<V: Visitor>(func: &Function, v: &mut V) {
+    v.visit_function(func);
+    func.body.iter().for_each(|s| walk_stmt(s, v));
+}
+
+/// Walks an expression and its children.
+pub fn walk_expr<V: Visitor>(expr: &Expr, v: &mut V) {
+    v.visit_expr(expr);
+    match &expr.kind {
+        ExprKind::Ident(_) | ExprKind::Lit(_) | ExprKind::This => {}
+        ExprKind::Array(items) => items.iter().flatten().for_each(|e| walk_expr(e, v)),
+        ExprKind::Object(props) => {
+            for p in props {
+                if let PropKey::Computed(k) = &p.key {
+                    walk_expr(k, v);
+                }
+                if let Some(val) = &p.value {
+                    walk_expr(val, v);
+                }
+            }
+        }
+        ExprKind::Function(f) => walk_function(f, v),
+        ExprKind::Arrow { func, expr_body } => {
+            v.visit_function(func);
+            func.body.iter().for_each(|s| walk_stmt(s, v));
+            if let Some(e) = expr_body {
+                walk_expr(e, v);
+            }
+        }
+        ExprKind::Unary { operand, .. } => walk_expr(operand, v),
+        ExprKind::Update { target, .. } => walk_expr(target, v),
+        ExprKind::Binary { left, right, .. } | ExprKind::Logical { left, right, .. } => {
+            walk_expr(left, v);
+            walk_expr(right, v);
+        }
+        ExprKind::Cond { cond, cons, alt } => {
+            walk_expr(cond, v);
+            walk_expr(cons, v);
+            walk_expr(alt, v);
+        }
+        ExprKind::Assign { target, value, .. } => {
+            walk_expr(target, v);
+            walk_expr(value, v);
+        }
+        ExprKind::Seq(items) => items.iter().for_each(|e| walk_expr(e, v)),
+        ExprKind::Call { callee, args } | ExprKind::New { callee, args } => {
+            walk_expr(callee, v);
+            args.iter().for_each(|e| walk_expr(e, v));
+        }
+        ExprKind::Member { object, .. } => walk_expr(object, v),
+        ExprKind::Index { object, index } => {
+            walk_expr(object, v);
+            walk_expr(index, v);
+        }
+        ExprKind::Template { exprs, .. } => exprs.iter().for_each(|e| walk_expr(e, v)),
+        ExprKind::Paren(inner) => walk_expr(inner, v),
+    }
+}
+
+/// Collects the names of every API called as `recv.method(...)` or as a bare
+/// `fn(...)` in `program`, e.g. `"substr"` or `"parseInt"`.
+///
+/// Used by the test-data generator (§3.3) and the identical-bug filter (§3.6).
+pub fn called_api_names(program: &Program) -> Vec<String> {
+    struct Collector {
+        names: Vec<String>,
+    }
+    impl Visitor for Collector {
+        fn visit_expr(&mut self, expr: &Expr) {
+            if let ExprKind::Call { callee, .. } = &expr.kind {
+                match &callee.kind {
+                    ExprKind::Member { prop, .. } => self.names.push(prop.clone()),
+                    ExprKind::Ident(name) => self.names.push(name.clone()),
+                    _ => {}
+                }
+            }
+        }
+    }
+    let mut c = Collector { names: Vec::new() };
+    walk_program(program, &mut c);
+    c.names
+}
+
+/// Counts every statement and expression node in `program`.
+pub fn count_nodes(program: &Program) -> usize {
+    struct Counter {
+        n: usize,
+    }
+    impl Visitor for Counter {
+        fn visit_stmt(&mut self, _: &Stmt) {
+            self.n += 1;
+        }
+        fn visit_expr(&mut self, _: &Expr) {
+            self.n += 1;
+        }
+    }
+    let mut c = Counter { n: 0 };
+    walk_program(program, &mut c);
+    c.n
+}

@@ -1,0 +1,179 @@
+//! Printer correctness property: for *arbitrary synthesized expression
+//! trees* (no `Paren` nodes — precedence must be reconstructed purely from
+//! structure), `parse(print(e))` yields the same tree modulo parentheses,
+//! node ids, and spans. This is the invariant the test-data mutator and the
+//! baselines rely on when they synthesize ASTs.
+
+use comfort_syntax::ast::*;
+use comfort_syntax::{parse, print_stmt};
+use proptest::prelude::*;
+
+fn leaf() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        (0u32..50).prop_map(|n| build::num(n as f64)),
+        Just(build::num(0.5)),
+        Just(build::num(-3.0)),
+        "[a-d]".prop_map(|s| build::ident(&s)),
+        "[a-z]{0,6}".prop_map(|s| build::str(&s)),
+        any::<bool>().prop_map(build::bool),
+        Just(build::null()),
+        Just(Expr::synthesized(ExprKind::This)),
+    ]
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    leaf().prop_recursive(4, 64, 4, |inner| {
+        prop_oneof![
+            // Binary operators across the precedence spectrum.
+            (
+                inner.clone(),
+                prop_oneof![
+                    Just(BinaryOp::Add),
+                    Just(BinaryOp::Sub),
+                    Just(BinaryOp::Mul),
+                    Just(BinaryOp::Div),
+                    Just(BinaryOp::Rem),
+                    Just(BinaryOp::Pow),
+                    Just(BinaryOp::Lt),
+                    Just(BinaryOp::StrictEq),
+                    Just(BinaryOp::BitAnd),
+                    Just(BinaryOp::BitOr),
+                    Just(BinaryOp::Shl),
+                ],
+                inner.clone()
+            )
+                .prop_map(|(l, op, r)| Expr::synthesized(ExprKind::Binary {
+                    op,
+                    left: Box::new(l),
+                    right: Box::new(r),
+                })),
+            (inner.clone(), any::<bool>(), inner.clone()).prop_map(|(l, and, r)| {
+                Expr::synthesized(ExprKind::Logical {
+                    op: if and { LogicalOp::And } else { LogicalOp::Or },
+                    left: Box::new(l),
+                    right: Box::new(r),
+                })
+            }),
+            (inner.clone(), inner.clone(), inner.clone()).prop_map(|(c, t, e)| {
+                Expr::synthesized(ExprKind::Cond {
+                    cond: Box::new(c),
+                    cons: Box::new(t),
+                    alt: Box::new(e),
+                })
+            }),
+            (
+                prop_oneof![
+                    Just(UnaryOp::Neg),
+                    Just(UnaryOp::Not),
+                    Just(UnaryOp::TypeOf),
+                    Just(UnaryOp::BitNot),
+                    Just(UnaryOp::Void),
+                ],
+                inner.clone()
+            )
+                .prop_map(|(op, e)| Expr::synthesized(ExprKind::Unary {
+                    op,
+                    operand: Box::new(e),
+                })),
+            (inner.clone(), "[a-z]{1,4}").prop_map(|(o, p)| {
+                Expr::synthesized(ExprKind::Member { object: Box::new(o), prop: p })
+            }),
+            (inner.clone(), inner.clone()).prop_map(|(o, i)| {
+                Expr::synthesized(ExprKind::Index {
+                    object: Box::new(o),
+                    index: Box::new(i),
+                })
+            }),
+            (inner.clone(), proptest::collection::vec(inner.clone(), 0..3)).prop_map(
+                |(callee, args)| Expr::synthesized(ExprKind::Call {
+                    callee: Box::new(callee),
+                    args,
+                })
+            ),
+            proptest::collection::vec(inner.clone().prop_map(Some), 0..4)
+                .prop_map(|items| Expr::synthesized(ExprKind::Array(items))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| {
+                Expr::synthesized(ExprKind::Seq(vec![a, b]))
+            }),
+        ]
+    })
+}
+
+/// Structural equality modulo `Paren` wrappers, ids, spans, and the negative
+/// number representation (JS has no negative literals: a synthesized
+/// `Number(-3)` prints as `-3` and necessarily reparses as `Unary(Neg, 3)`).
+fn strip(e: &Expr) -> Expr {
+    let kind = match &e.kind {
+        ExprKind::Paren(inner) => return strip(inner),
+        ExprKind::Unary { op: UnaryOp::Neg, operand } => {
+            let inner = strip(operand);
+            if let ExprKind::Lit(Lit::Number(n)) = inner.kind {
+                ExprKind::Lit(Lit::Number(-n))
+            } else {
+                ExprKind::Unary { op: UnaryOp::Neg, operand: Box::new(inner) }
+            }
+        }
+        ExprKind::Binary { op, left, right } => ExprKind::Binary {
+            op: *op,
+            left: Box::new(strip(left)),
+            right: Box::new(strip(right)),
+        },
+        ExprKind::Logical { op, left, right } => ExprKind::Logical {
+            op: *op,
+            left: Box::new(strip(left)),
+            right: Box::new(strip(right)),
+        },
+        ExprKind::Cond { cond, cons, alt } => ExprKind::Cond {
+            cond: Box::new(strip(cond)),
+            cons: Box::new(strip(cons)),
+            alt: Box::new(strip(alt)),
+        },
+        ExprKind::Unary { op, operand } => {
+            ExprKind::Unary { op: *op, operand: Box::new(strip(operand)) }
+        }
+        ExprKind::Member { object, prop } => {
+            ExprKind::Member { object: Box::new(strip(object)), prop: prop.clone() }
+        }
+        ExprKind::Index { object, index } => ExprKind::Index {
+            object: Box::new(strip(object)),
+            index: Box::new(strip(index)),
+        },
+        ExprKind::Call { callee, args } => ExprKind::Call {
+            callee: Box::new(strip(callee)),
+            args: args.iter().map(strip).collect(),
+        },
+        ExprKind::Array(items) => {
+            ExprKind::Array(items.iter().map(|i| i.as_ref().map(strip)).collect())
+        }
+        ExprKind::Seq(items) => ExprKind::Seq(items.iter().map(strip).collect()),
+        other => other.clone(),
+    };
+    Expr::synthesized(kind)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn print_parse_preserves_structure(e in expr_strategy()) {
+        // Statement-ify so the parser accepts it; assignment avoids the
+        // expression-statement `{`/`function` ambiguity entirely.
+        let stmt = build::var_decl("probe", e.clone());
+        let printed = print_stmt(&stmt);
+        let program = parse(&printed)
+            .unwrap_or_else(|err| panic!("printed statement failed to parse: {err}\n{printed}"));
+        prop_assert_eq!(program.body.len(), 1);
+        let reparsed = match &program.body[0].kind {
+            StmtKind::Decl { decls, .. } => decls[0].init.clone().expect("has initializer"),
+            other => panic!("expected decl, got {other:?}"),
+        };
+        let lhs = strip(&e);
+        let rhs = strip(&reparsed);
+        prop_assert_eq!(
+            format!("{lhs:?}"),
+            format!("{rhs:?}"),
+            "structure changed through print/parse:\n{}",
+            printed
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! A differential shell: run a JS snippet across all ten simulated engines
+//! (or, with `--all-versions`, all 51 engine versions) and compare.
+//!
+//! ```text
+//! cargo run --release --example engine_diff -- "print('anA'.split(/^A/));"
+//! cargo run --release --example engine_diff -- --all-versions "print((5).toFixed(-1));"
+//! ```
+
+use comfort::core::differential::{run_differential, CaseOutcome, Signature};
+use comfort::engines::{all_testbeds, latest_testbeds};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all_versions = args.iter().any(|a| a == "--all-versions");
+    let source = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "print('Name: Albert'.substr(6, undefined));".to_string());
+
+    let program = match comfort::syntax::parse(&source) {
+        Ok(p) => p,
+        Err(e) => {
+            // A shared front end means a parse error is a consistent parsing
+            // error across the whole matrix (Figure 5's left branch).
+            println!("consistent parse error on every engine: {e}");
+            return;
+        }
+    };
+
+    let testbeds = if all_versions {
+        all_testbeds().into_iter().filter(|t| !t.strict).collect::<Vec<_>>()
+    } else {
+        latest_testbeds()
+    };
+
+    println!("running on {} testbeds:\n", testbeds.len());
+    for bed in &testbeds {
+        let r = bed.run(&program, 20_000_000, false);
+        let sig = Signature::of(&r.status, &r.output);
+        println!("  {:<28} {}", bed.label(), sig.describe());
+    }
+
+    println!();
+    match run_differential(&program, &latest_testbeds(), 20_000_000) {
+        CaseOutcome::Pass => println!("verdict: all latest engines agree"),
+        CaseOutcome::AllTimeout => println!("verdict: every engine timed out (case ignored)"),
+        CaseOutcome::ParseError => println!("verdict: consistent parse error"),
+        CaseOutcome::Deviations(devs) => {
+            println!("verdict: {} deviation(s) among latest versions:", devs.len());
+            for d in devs {
+                println!(
+                    "  {} [{:?}] expected {} got {}",
+                    d.version,
+                    d.kind,
+                    d.expected.describe(),
+                    d.actual.describe()
+                );
+            }
+        }
+    }
+}

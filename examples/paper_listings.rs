@@ -1,0 +1,147 @@
+//! Replays §5.2 of the paper: every concrete bug listing, executed on the
+//! simulated engine matrix, showing which engine deviates and how.
+//!
+//! ```text
+//! cargo run --release --example paper_listings
+//! ```
+
+use comfort::core::differential::{run_differential, CaseOutcome};
+use comfort::engines::latest_testbeds;
+
+const LISTINGS: &[(&str, &str)] = &[
+    (
+        "Figure 2 — Rhino substr(start, undefined)",
+        r#"function foo(str, start, len) {
+  var ret = str.substr(start, len);
+  return ret;
+}
+var s = "Name: Albert";
+var pre = "Name: ";
+var len = undefined;
+var name = foo(s, pre.length, len);
+print(name);"#,
+    ),
+    (
+        "Listing 1 — V8/Graaljs defineProperty on array length",
+        r#"var foo = function() {
+  var arrobj = [0, 1];
+  Object.defineProperty(arrobj, "length", { value: 1, configurable: true });
+};
+foo();
+print("compiled and ran");"#,
+    ),
+    (
+        "Listing 2 — Hermes reverse-fill performance bug (old versions)",
+        r#"var foo = function(size) {
+  var array = new Array(size);
+  while (size--) { array[size] = 0; }
+}
+var parameter = 300000;
+foo(parameter);
+print("done");"#,
+    ),
+    (
+        "Listing 3 — SpiderMonkey Uint32Array(3.14) (old versions)",
+        r#"var foo = function(length) {
+  var array = new Uint32Array(length);
+  print(array.length);
+};
+var parameter = 3.14;
+foo(parameter);"#,
+    ),
+    (
+        "Listing 4 — Rhino toFixed(-2) missing RangeError",
+        r#"var foo = function(num) {
+  var p = num.toFixed(-2);
+  print(p);
+};
+var parameter = -634619;
+foo(parameter);"#,
+    ),
+    (
+        "Listing 5 — JSC/Graaljs TypedArray.set('123')",
+        r#"var foo = function() {
+  var e = '123';
+  A = new Uint8Array(5);
+  A.set(e);
+  print(A);
+};
+foo();"#,
+    ),
+    (
+        "Listing 6 — QuickJS obj[true] array append",
+        r#"var foo = function() {
+  var property = true;
+  var obj = [1,2,5];
+  obj[property] = 10;
+  print(obj);
+  print(obj[property]);
+};
+foo();"#,
+    ),
+    (
+        "Listing 7 — ChakraCore eval headless for(...)",
+        r#"var foo = function() {
+  var a = eval("for(var i = 0; i < 1; ++i)");
+};
+foo();
+print("no SyntaxError");"#,
+    ),
+    (
+        "Listing 8 — JerryScript split(/^A/) anchor bug",
+        r#"var foo = function() {
+  var a = "anA".split(/^A/);
+  print(a);
+};
+foo();"#,
+    ),
+    (
+        "Listing 9 — QuickJS ''.normalize(true) crash",
+        r#"var foo = function(str){
+  str.normalize(true);
+};
+var parameter = "";
+foo(parameter);"#,
+    ),
+];
+
+fn main() {
+    let testbeds = latest_testbeds();
+    for (title, source) in LISTINGS {
+        println!("=== {title} ===");
+        let program = match comfort::syntax::parse(source) {
+            Ok(p) => p,
+            Err(e) => {
+                println!("  parse error: {e}\n");
+                continue;
+            }
+        };
+        // Per-engine raw results.
+        for bed in &testbeds {
+            let r = bed.run(&program, 30_000_000, false);
+            let shown = match &r.status {
+                comfort::interp::RunStatus::Completed => {
+                    format!("ok    → {:?}", r.output.trim_end())
+                }
+                other => format!("{other:?}"),
+            };
+            println!("  {:<22} {shown}", bed.label());
+        }
+        // Differential verdict.
+        match run_differential(&program, &testbeds, 30_000_000) {
+            CaseOutcome::Deviations(devs) => {
+                for d in devs {
+                    println!(
+                        "  >> deviation: {} [{:?}] expected {} got {}",
+                        d.version,
+                        d.kind,
+                        d.expected.describe(),
+                        d.actual.describe()
+                    );
+                }
+            }
+            other => println!("  >> no deviation among latest versions ({other:?})"),
+        }
+        println!();
+    }
+}

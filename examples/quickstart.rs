@@ -1,0 +1,35 @@
+//! Quickstart: fuzz the simulated engine matrix with a small budget and
+//! print every unique conformance bug COMFORT finds.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use comfort::core::pipeline::{Comfort, ComfortConfig};
+
+fn main() {
+    let mut comfort = Comfort::new(ComfortConfig { seed: 2026, ..ComfortConfig::default() });
+
+    println!("training the program generator and fuzzing (300 test cases)…\n");
+    let report = comfort.run_budgeted(300);
+
+    println!(
+        "ran {} test cases ({:.1} simulated hours), filtered {} duplicate deviations\n",
+        report.cases_run, report.sim_hours, report.duplicates_filtered
+    );
+    println!("unique bugs discovered: {}\n", report.deviations.len());
+    for bug in &report.deviations {
+        println!(
+            "[{}] {} — first seen in {} ({:?}, via {})",
+            if bug.adjudication.verified { "confirmed" } else { "submitted" },
+            bug.key,
+            bug.earliest_version,
+            bug.kind,
+            bug.origin.as_str(),
+        );
+        for line in bug.test_case.lines() {
+            println!("    {line}");
+        }
+        println!();
+    }
+}

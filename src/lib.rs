@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! # COMFORT-rs
+//!
+//! A Rust reproduction of *"Automated Conformance Testing for JavaScript
+//! Engines via Deep Compiler Fuzzing"* (Ye et al., PLDI 2021).
+//!
+//! This facade crate re-exports the whole workspace so downstream users can
+//! depend on a single crate. See the individual crates for details:
+//!
+//! * [`regex`] — backtracking regex engine (substrate for spec parsing and
+//!   the JS `RegExp` builtin).
+//! * [`syntax`] — JS lexer, parser, AST, and pretty-printer.
+//! * [`interp`] — the reference JS interpreter with coverage instrumentation.
+//! * [`engines`] — simulated JS engines with a seeded conformance-bug catalog.
+//! * [`ecma262`] — the ECMA-262 pseudo-code rule parser and spec database.
+//! * [`corpus`] — training-corpus synthesizer.
+//! * [`lm`] — BPE tokenizer and n-gram language model (the GPT-2 stand-in).
+//! * [`core`] — the COMFORT pipeline: generation, ECMA-guided mutation,
+//!   differential testing, reduction, deduplication, campaign simulation.
+//! * [`baselines`] — DeepSmith / Fuzzilli / CodeAlchemist / DIE / Montage
+//!   baseline fuzzers.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use comfort::core::pipeline::{Comfort, ComfortConfig};
+//!
+//! let mut comfort = Comfort::new(ComfortConfig { seed: 42, ..ComfortConfig::default() });
+//! let report = comfort.run_budgeted(50);
+//! // Differential testing over the simulated engines produced a report:
+//! println!("{} test cases, {} deviations", report.cases_run, report.deviations.len());
+//! ```
+
+pub use comfort_baselines as baselines;
+pub use comfort_core as core;
+pub use comfort_corpus as corpus;
+pub use comfort_ecma262 as ecma262;
+pub use comfort_engines as engines;
+pub use comfort_interp as interp;
+pub use comfort_lm as lm;
+pub use comfort_regex as regex;
+pub use comfort_syntax as syntax;

@@ -1,0 +1,145 @@
+//! Cross-crate consistency: the seeded-bug catalog, the ECMA-262 spec
+//! database, the interpreter's builtin registry, and the edition gating must
+//! agree with each other — otherwise whole bug classes silently become
+//! undiscoverable.
+
+use std::collections::BTreeSet;
+
+use comfort::ecma262::spec_db;
+use comfort::engines::{shared_catalog, versions_of, Discovery, Engine, EngineName};
+
+/// Every ECMA-guided catalog bug must target an API the spec database knows,
+/// or Algorithm 1 can never synthesize its trigger.
+#[test]
+fn every_ecma_guided_bug_api_is_in_the_spec_db() {
+    let db = spec_db();
+    for bug in shared_catalog() {
+        if bug.discovery != Discovery::EcmaGuided {
+            continue;
+        }
+        let Some(api) = bug.api else { continue }; // special-hook bugs
+        let short = api.rsplit('.').next().expect("api names are non-empty");
+        assert!(
+            db.get(api).is_some() || db.get_by_short_name(short).is_some(),
+            "{}: ECMA-guided bug targets {api}, which the spec DB does not cover",
+            bug.id
+        );
+    }
+}
+
+/// Every catalog API must actually exist as a builtin in the interpreter —
+/// otherwise the trigger can never fire. We verify by executing a probe.
+#[test]
+fn every_catalog_api_is_reachable_in_the_interpreter() {
+    let mut apis: BTreeSet<&str> = BTreeSet::new();
+    for bug in shared_catalog() {
+        if let Some(api) = bug.api {
+            apis.insert(api);
+        }
+    }
+    let engine = Engine::latest(EngineName::V8);
+    for api in apis {
+        // Probe: resolve the API path to a function value.
+        let expr = if let Some(rest) = api.strip_prefix("%TypedArray%.prototype.") {
+            format!("new Uint8Array(1).{rest}")
+        } else if let Some(rest) = api.strip_prefix("String.prototype.") {
+            format!("''.{rest}")
+        } else if let Some(rest) = api.strip_prefix("Number.prototype.") {
+            format!("(0).{rest}")
+        } else if let Some(rest) = api.strip_prefix("Boolean.prototype.") {
+            format!("(true).{rest}")
+        } else if let Some(rest) = api.strip_prefix("Array.prototype.") {
+            format!("[].{rest}")
+        } else if let Some(rest) = api.strip_prefix("Object.prototype.") {
+            format!("({{}}).{rest}")
+        } else if let Some(rest) = api.strip_prefix("RegExp.prototype.") {
+            format!("/x/.{rest}")
+        } else if let Some(rest) = api.strip_prefix("DataView.prototype.") {
+            format!("new DataView(new ArrayBuffer(8)).{rest}")
+        } else if let Some(rest) = api.strip_prefix("Date.prototype.") {
+            format!("new Date().{rest}")
+        } else if let Some(rest) = api.strip_prefix("Function.prototype.") {
+            format!("print.{rest}")
+        } else {
+            api.to_string()
+        };
+        let src = format!("print(typeof ({expr}) === 'function');");
+        let program = comfort::syntax::parse(&src)
+            .unwrap_or_else(|e| panic!("probe for {api} failed to parse: {e}"));
+        let r = engine.run(&program);
+        assert_eq!(
+            r.output, "true\n",
+            "catalog API {api} is not a function in the interpreter (status {:?})",
+            r.status
+        );
+    }
+}
+
+/// Table 2 quota shape: Rhino and JerryScript dominate; V8/SpiderMonkey/
+/// Graaljs have very few bugs; the total is the paper's 158.
+#[test]
+fn catalog_follows_table2_shape() {
+    let catalog = shared_catalog();
+    assert_eq!(catalog.len(), 158);
+    let count = |e: EngineName| catalog.iter().filter(|b| b.engine == e).count();
+    assert!(count(EngineName::Rhino) > count(EngineName::V8) * 5);
+    assert!(count(EngineName::JerryScript) > count(EngineName::SpiderMonkey) * 5);
+    assert!(count(EngineName::GraalJs) <= 3);
+    let newest_heavy = [EngineName::Rhino, EngineName::JerryScript];
+    for engine in newest_heavy {
+        // The ES6-transition spike (§5.1.1): most bugs live in recent versions.
+        let versions = versions_of(engine);
+        let recent_cut = versions.len() as u32 - 3;
+        let recent =
+            catalog.iter().filter(|b| b.engine == engine && b.introduced >= recent_cut).count();
+        let old =
+            catalog.iter().filter(|b| b.engine == engine && b.introduced < recent_cut).count();
+        assert!(recent > old, "{engine}: {recent} recent vs {old} old");
+    }
+}
+
+/// Version gating is internally consistent: a bug is active in at least one
+/// shipped version, and fixed bugs vanish in later versions.
+#[test]
+fn catalog_version_ranges_are_well_formed() {
+    for bug in shared_catalog() {
+        let nv = versions_of(bug.engine).len() as u32;
+        assert!(bug.introduced < nv, "{}", bug.id);
+        assert!((0..nv).any(|o| bug.active_in(o)), "{} never active", bug.id);
+        if let Some(f) = bug.fixed_in {
+            assert!(!bug.active_in(f), "{} active after fix", bug.id);
+            assert!(bug.active_in(f - 1), "{} not active right before fix", bug.id);
+        }
+    }
+}
+
+/// The paper's DIE example (Listing 12): bug classes whose ECMA-262
+/// definition is natural-language-only must not be marked pseudo-code —
+/// COMFORT's parser cannot extract them (§3.1), and DESIGN.md documents
+/// that we preserve this limitation.
+#[test]
+fn natural_language_bugs_are_flagged_unextractable() {
+    let nl_bugs: Vec<_> =
+        shared_catalog().iter().filter(|b| !b.pseudocode_rule).collect();
+    assert!(!nl_bugs.is_empty());
+    for bug in nl_bugs {
+        assert_eq!(
+            bug.discovery,
+            Discovery::ProgramGen,
+            "{}: non-pseudo-code bugs cannot be ECMA-guided",
+            bug.id
+        );
+    }
+}
+
+/// Edition gating matches Table 1: Nashorn (ES2011) must reject ES2015-only
+/// APIs while V8 (ES2019) supports them.
+#[test]
+fn edition_gating_matches_table1() {
+    let nashorn = versions_of(EngineName::Nashorn)[0].edition;
+    let v8 = versions_of(EngineName::V8)[0].edition;
+    assert!(!nashorn.supports_api("String.prototype.repeat"));
+    assert!(v8.supports_api("String.prototype.repeat"));
+    assert!(v8.supports_api("Array.prototype.flat"));
+    assert!(!versions_of(EngineName::Rhino)[0].edition.supports_api("Array.prototype.flat"));
+}

@@ -1,0 +1,182 @@
+//! Integration test: every concrete bug from the paper's §5.2 listings is
+//! discoverable end-to-end through the public API — the engines deviate, the
+//! differential harness flags exactly the right engine, and conforming
+//! engines agree with ECMA-262.
+
+use comfort::core::differential::{run_differential, CaseOutcome, DeviationKind};
+use comfort::engines::{latest_testbeds, versions_of, Engine, EngineName, Testbed};
+use comfort::syntax::parse;
+
+const FUEL: u64 = 30_000_000;
+
+/// Runs `src` differentially on the latest engines and returns the deviating
+/// (engine, kind) pairs.
+fn deviations(src: &str) -> Vec<(EngineName, DeviationKind)> {
+    let program = parse(src).expect("listing parses");
+    match run_differential(&program, &latest_testbeds(), FUEL) {
+        CaseOutcome::Deviations(devs) => devs.into_iter().map(|d| (d.engine, d.kind)).collect(),
+        other => panic!("expected deviations for {src:?}, got {other:?}"),
+    }
+}
+
+#[test]
+fn figure2_rhino_substr() {
+    let devs = deviations(
+        r#"
+function foo(str, start, len) { var ret = str.substr(start, len); return ret; }
+var s = "Name: Albert";
+var pre = "Name: ";
+var len = undefined;
+var name = foo(s, pre.length, len);
+print(name);
+"#,
+    );
+    assert_eq!(devs, vec![(EngineName::Rhino, DeviationKind::WrongOutput)]);
+}
+
+#[test]
+fn listing1_defineproperty_v8_and_graaljs() {
+    let devs = deviations(
+        r#"
+var foo = function() {
+  var arrobj = [0, 1];
+  Object.defineProperty(arrobj, "length", { value: 1, configurable: true });
+};
+foo();
+print("ran");
+"#,
+    );
+    let engines: Vec<EngineName> = devs.iter().map(|(e, _)| *e).collect();
+    assert!(engines.contains(&EngineName::V8));
+    assert!(engines.contains(&EngineName::GraalJs));
+    assert!(devs.iter().all(|(_, k)| *k == DeviationKind::MissingError));
+}
+
+#[test]
+fn listing2_hermes_timeout_only_in_old_versions() {
+    let src = r#"
+var foo = function(size) {
+  var array = new Array(size);
+  while (size--) { array[size] = 0; }
+}
+var parameter = 300000;
+foo(parameter);
+print("done");
+"#;
+    // Latest Hermes is fixed: no deviation among latest engines.
+    let program = parse(src).expect("parses");
+    assert!(matches!(
+        run_differential(&program, &latest_testbeds(), FUEL),
+        CaseOutcome::Pass
+    ));
+    // But a testbed set including Hermes v0.1.1 flags the timeout.
+    let mut beds = latest_testbeds();
+    beds.push(Testbed { engine: Engine::oldest(EngineName::Hermes), strict: false });
+    match run_differential(&program, &beds, FUEL) {
+        CaseOutcome::Deviations(devs) => {
+            assert!(devs
+                .iter()
+                .any(|d| d.engine == EngineName::Hermes && d.kind == DeviationKind::Timeout));
+        }
+        other => panic!("expected Hermes timeout, got {other:?}"),
+    }
+}
+
+#[test]
+fn listing3_spidermonkey_fixed_in_v52() {
+    let src = "var a = new Uint32Array(3.14); print(a.length);";
+    let program = parse(src).expect("parses");
+    // All latest versions conform.
+    assert!(matches!(
+        run_differential(&program, &latest_testbeds(), FUEL),
+        CaseOutcome::Pass
+    ));
+    // Version sweep: the bug exists before ordinal 2 (v52.9), not after.
+    for v in versions_of(EngineName::SpiderMonkey) {
+        let r = Engine::new(v).run(&program);
+        if v.ordinal < 2 {
+            assert!(!r.status.is_completed(), "{} should throw", v.label());
+        } else {
+            assert_eq!(r.output, "3\n", "{} should conform", v.label());
+        }
+    }
+}
+
+#[test]
+fn listing4_rhino_tofixed() {
+    let devs = deviations(
+        "var foo = function(num) { var p = num.toFixed(-2); print(p); };\nvar parameter = -634619;\nfoo(parameter);",
+    );
+    assert_eq!(devs, vec![(EngineName::Rhino, DeviationKind::MissingError)]);
+}
+
+#[test]
+fn listing5_typedarray_set() {
+    let devs = deviations(
+        "var foo = function() { var e = '123'; A = new Uint8Array(5); A.set(e); print(A); };\nfoo();",
+    );
+    // Graaljs carries the unfixed Listing-5 bug; latest JSC is fixed.
+    assert!(devs.contains(&(EngineName::GraalJs, DeviationKind::UnexpectedError)));
+    assert!(!devs.iter().any(|(e, _)| *e == EngineName::Jsc));
+}
+
+#[test]
+fn listing6_quickjs_array_append() {
+    let devs = deviations(
+        r#"
+var foo = function() {
+  var property = true;
+  var obj = [1,2,5];
+  obj[property] = 10;
+  print(obj);
+  print(obj[property]);
+};
+foo();
+"#,
+    );
+    assert_eq!(devs, vec![(EngineName::QuickJs, DeviationKind::WrongOutput)]);
+}
+
+#[test]
+fn listing7_chakracore_eval() {
+    let devs = deviations(
+        "var foo = function() { var a = eval(\"for(var i = 0; i < 1; ++i)\"); };\nfoo();\nprint('ok');",
+    );
+    assert_eq!(devs, vec![(EngineName::ChakraCore, DeviationKind::MissingError)]);
+}
+
+#[test]
+fn listing8_jerryscript_split() {
+    let devs =
+        deviations("var foo = function() { var a = \"anA\".split(/^A/); print(a); };\nfoo();");
+    assert_eq!(devs, vec![(EngineName::JerryScript, DeviationKind::WrongOutput)]);
+}
+
+#[test]
+fn listing9_quickjs_normalize_crash() {
+    let devs = deviations(
+        "var foo = function(str){ str.normalize(true); };\nvar parameter = \"\";\nfoo(parameter);",
+    );
+    assert!(devs.contains(&(EngineName::QuickJs, DeviationKind::Crash)));
+}
+
+#[test]
+fn conforming_listing_outputs_match_the_paper() {
+    // The expected outputs the paper states for conforming engines.
+    let v8 = Engine::latest(EngineName::V8);
+    let cases = [
+        ("print('Name: Albert'.substr(6, undefined));", "Albert\n"),
+        ("var e = '123'; var A = new Uint8Array(5); A.set(e); print(A);", "1,2,3,0,0\n"),
+        ("var a = new Uint32Array(3.14); print(a.length);", "3\n"),
+        (
+            "var property = true; var obj = [1,2,5]; obj[property] = 10; print(obj); print(obj[property]);",
+            "1,2,5\n10\n",
+        ),
+        ("print('anA'.split(/^A/));", "anA\n"),
+    ];
+    for (src, expected) in cases {
+        let program = parse(src).expect("parses");
+        let r = v8.run(&program);
+        assert_eq!(r.output, expected, "case {src:?}");
+    }
+}

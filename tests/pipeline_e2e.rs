@@ -1,0 +1,127 @@
+//! End-to-end pipeline tests: the full Figure 3 flow (generation →
+//! spec-guided data → differential testing → reduction → dedup →
+//! developer model) through the public facade.
+
+use comfort::core::campaign::{Campaign, CampaignConfig};
+use comfort::core::datagen::DataGenConfig;
+use comfort::core::pipeline::{Comfort, ComfortConfig};
+use comfort::core::Origin;
+use comfort::lm::GeneratorConfig;
+
+fn small_config(seed: u64) -> CampaignConfig {
+    CampaignConfig {
+        seed,
+        corpus_programs: 120,
+        lm: GeneratorConfig { order: 8, bpe_merges: 250, top_k: 10, max_tokens: 900 },
+        datagen: DataGenConfig { max_mutants_per_program: 12, random_mutants: 2 },
+        max_cases: 250,
+        include_strict: true,
+        reduce_cases: true,
+        ..CampaignConfig::default()
+    }
+}
+
+#[test]
+fn campaign_discovers_bugs_from_both_mechanisms() {
+    let report = Campaign::new(small_config(2)).run();
+    assert!(report.bugs.len() >= 3, "found only {} bugs", report.bugs.len());
+    // Table 4's two rows must both be populated eventually; with a small
+    // budget require at least the ECMA-guided mechanism (the paper's novel
+    // contribution) to have fired.
+    let ecma = report.bugs.iter().filter(|b| b.origin == Origin::EcmaMutation).count();
+    assert!(ecma >= 1, "no ECMA-guided discoveries among {} bugs", report.bugs.len());
+}
+
+#[test]
+fn campaign_report_fields_are_consistent() {
+    let report = Campaign::new(small_config(3)).run();
+    assert_eq!(report.cases_run, 250);
+    let (submitted, verified, fixed, t262) = report.totals();
+    assert_eq!(submitted, report.bugs.len());
+    assert!(verified <= submitted);
+    assert!(fixed <= verified);
+    assert!(t262 <= verified);
+    assert!(report.sim_hours > 0.0);
+    for bug in &report.bugs {
+        // Reduced cases must be valid JS and still mention an engine-visible
+        // construct.
+        comfort::syntax::parse(&bug.test_case)
+            .unwrap_or_else(|e| panic!("reduced case invalid ({e}):\n{}", bug.test_case));
+        assert!(!bug.earliest_version.is_empty());
+        assert!(bug.sim_hours <= report.sim_hours + 1e-9);
+    }
+}
+
+#[test]
+fn facade_reports_are_deterministic_per_seed() {
+    let mut a = Comfort::new(ComfortConfig {
+        seed: 9,
+        corpus_programs: 100,
+        lm: GeneratorConfig { order: 8, bpe_merges: 200, top_k: 10, max_tokens: 700 },
+        reduce: false,
+        ..ComfortConfig::default()
+    });
+    let mut b = Comfort::new(ComfortConfig {
+        seed: 9,
+        corpus_programs: 100,
+        lm: GeneratorConfig { order: 8, bpe_merges: 200, top_k: 10, max_tokens: 700 },
+        reduce: false,
+        ..ComfortConfig::default()
+    });
+    let ra = a.run_budgeted(120);
+    let rb = b.run_budgeted(120);
+    assert_eq!(ra.cases_run, rb.cases_run);
+    let keys_a: Vec<String> = ra.deviations.iter().map(|d| d.key.to_string()).collect();
+    let keys_b: Vec<String> = rb.deviations.iter().map(|d| d.key.to_string()).collect();
+    assert_eq!(keys_a, keys_b);
+}
+
+#[test]
+fn reduced_cases_still_reproduce_their_deviation() {
+    use comfort::core::differential::{run_differential, CaseOutcome};
+    use comfort::engines::latest_testbeds;
+    let report = Campaign::new(small_config(4)).run();
+    let beds = latest_testbeds();
+    let mut checked = 0;
+    for bug in report.bugs.iter().filter(|b| !b.strict_only).take(5) {
+        let program = comfort::syntax::parse(&bug.test_case).expect("reduced case parses");
+        match run_differential(&program, &beds, 400_000) {
+            CaseOutcome::Deviations(devs) => {
+                assert!(
+                    devs.iter().any(|d| d.engine == bug.key.engine),
+                    "reduced case for {} no longer flags the engine:\n{}",
+                    bug.key,
+                    bug.test_case
+                );
+                checked += 1;
+            }
+            // Strict-only and version-specific bugs may not reproduce on the
+            // normal latest matrix; the filter above should prevent that.
+            other => panic!(
+                "reduced case for {} no longer deviates ({other:?}):\n{}",
+                bug.key, bug.test_case
+            ),
+        }
+    }
+    assert!(checked > 0, "no reducible bugs to check");
+}
+
+#[test]
+fn ablation_spec_guided_beats_random_data() {
+    use comfort::core::compare::{compare, CompareConfig};
+    use comfort::core::fuzzer::{ComfortFuzzer, Fuzzer};
+    let lm = GeneratorConfig { order: 8, bpe_merges: 250, top_k: 10, max_tokens: 900 };
+    let mut with = ComfortFuzzer::new(5, 150, lm.clone());
+    let mut without = ComfortFuzzer::new(5, 150, lm).without_ecma_mutation();
+    let mut fuzzers: Vec<&mut dyn Fuzzer> = vec![&mut with, &mut without];
+    let series = compare(
+        &mut fuzzers,
+        &CompareConfig { seed: 5, cases_each: 220, fuel: 300_000, ..CompareConfig::default() },
+    );
+    assert!(
+        series[0].unique_bugs >= series[1].unique_bugs,
+        "spec-guided ({}) must find at least as many bugs as random-only ({})",
+        series[0].unique_bugs,
+        series[1].unique_bugs
+    );
+}
