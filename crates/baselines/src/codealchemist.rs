@@ -104,18 +104,36 @@ fn brick_of(stmt: &Stmt) -> Option<Brick> {
     let builtin = |n: &str| {
         matches!(
             n,
-            "print" | "console" | "Math" | "JSON" | "Object" | "Array" | "String" | "Number"
-                | "Boolean" | "RegExp" | "Date" | "parseInt" | "parseFloat" | "isNaN"
-                | "isFinite" | "eval" | "undefined" | "NaN" | "Infinity" | "Uint8Array"
-                | "Uint32Array" | "Int32Array" | "Float64Array" | "ArrayBuffer" | "DataView"
+            "print"
+                | "console"
+                | "Math"
+                | "JSON"
+                | "Object"
+                | "Array"
+                | "String"
+                | "Number"
+                | "Boolean"
+                | "RegExp"
+                | "Date"
+                | "parseInt"
+                | "parseFloat"
+                | "isNaN"
+                | "isFinite"
+                | "eval"
+                | "undefined"
+                | "NaN"
+                | "Infinity"
+                | "Uint8Array"
+                | "Uint32Array"
+                | "Int32Array"
+                | "Float64Array"
+                | "ArrayBuffer"
+                | "DataView"
                 | "arguments"
         )
     };
-    let uses: Vec<String> = u
-        .names
-        .into_iter()
-        .filter(|n| !defines.contains(n) && !builtin(n))
-        .collect();
+    let uses: Vec<String> =
+        u.names.into_iter().filter(|n| !defines.contains(n) && !builtin(n)).collect();
     Some(Brick { text: print_stmt(stmt), defines, uses })
 }
 
@@ -143,12 +161,8 @@ impl Fuzzer for CodeAlchemist {
             // inserting *load bricks* whose postcondition provides a value
             // of a plausible type; we guess the type from how the brick
             // uses the variable.
-            let unmet_uses: Vec<String> = brick
-                .uses
-                .iter()
-                .filter(|u| !defined.contains(*u))
-                .cloned()
-                .collect();
+            let unmet_uses: Vec<String> =
+                brick.uses.iter().filter(|u| !defined.contains(*u)).cloned().collect();
             for unmet in &unmet_uses {
                 let load = match guessed_type(&brick.text, unmet, rng) {
                     GuessedType::Str => format!("var {unmet} = \"hello world\";\n"),
@@ -186,11 +200,25 @@ fn guessed_type(text: &str, var: &str, rng: &mut StdRng) -> GuessedType {
     if text.contains(&format!("{var}(")) {
         return GuessedType::Func;
     }
-    let string_methods = [".substr", ".toUpperCase", ".toLowerCase", ".charAt", ".split",
-        ".trim", ".replace", ".indexOf", ".concat", ".repeat", ".padStart", ".padEnd",
-        ".startsWith", ".endsWith", ".normalize"];
-    let array_methods = [".push", ".join", ".sort", ".map", ".filter", ".reduce", ".slice",
-        ".fill", ".reverse"];
+    let string_methods = [
+        ".substr",
+        ".toUpperCase",
+        ".toLowerCase",
+        ".charAt",
+        ".split",
+        ".trim",
+        ".replace",
+        ".indexOf",
+        ".concat",
+        ".repeat",
+        ".padStart",
+        ".padEnd",
+        ".startsWith",
+        ".endsWith",
+        ".normalize",
+    ];
+    let array_methods =
+        [".push", ".join", ".sort", ".map", ".filter", ".reduce", ".slice", ".fill", ".reverse"];
     let dotted = format!("{var}.");
     if text.contains(&dotted) {
         if string_methods.iter().any(|m| text.contains(&format!("{var}{m}"))) {

@@ -40,9 +40,9 @@ impl Fuzzer for DeepSmith {
         // (its OpenCL setup does the same); without a driver a function-only
         // program has no observable behaviour at all.
         match comfort_syntax::parse(&source) {
-            Ok(program) => comfort_syntax::print_program(
-                &comfort_core::datagen::ensure_driver(&program, rng),
-            ),
+            Ok(program) => {
+                comfort_syntax::print_program(&comfort_core::datagen::ensure_driver(&program, rng))
+            }
             Err(_) => source,
         }
     }

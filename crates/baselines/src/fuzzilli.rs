@@ -37,8 +37,22 @@ enum Op {
 }
 
 const METHODS: &[&str] = &[
-    "substr", "slice", "indexOf", "concat", "join", "toString", "charAt", "split", "push",
-    "includes", "trim", "toUpperCase", "sort", "reverse", "fill", "repeat",
+    "substr",
+    "slice",
+    "indexOf",
+    "concat",
+    "join",
+    "toString",
+    "charAt",
+    "split",
+    "push",
+    "includes",
+    "trim",
+    "toUpperCase",
+    "sort",
+    "reverse",
+    "fill",
+    "repeat",
 ];
 
 const BUILTINS: &[&str] =
@@ -77,10 +91,9 @@ impl Fuzzilli {
                     METHODS[rng.random_range(0..METHODS.len())],
                     vec![reg(rng)],
                 ),
-                8 if n > 0 => Op::CallBuiltin(
-                    BUILTINS[rng.random_range(0..BUILTINS.len())],
-                    vec![reg(rng)],
-                ),
+                8 if n > 0 => {
+                    Op::CallBuiltin(BUILTINS[rng.random_range(0..BUILTINS.len())], vec![reg(rng)])
+                }
                 9 if depth == 0 => Op::DefineFunction(self.gen_ops(rng, 4, 1)),
                 10 if n > 0 => Op::CallFunction(reg(rng), vec![reg(rng)]),
                 11 if n > 1 => Op::Ternary(reg(rng), reg(rng), reg(rng)),
@@ -139,11 +152,8 @@ impl Fuzzilli {
                 ),
                 Op::DefineFunction(body) => {
                     let inner = Self::lift(body, &format!("{prefix}{i}_"));
-                    let indented: String =
-                        inner.lines().map(|l| format!("  {l}\n")).collect();
-                    format!(
-                        "var {prefix}{i} = function(a) {{\n{indented}  return a;\n}};"
-                    )
+                    let indented: String = inner.lines().map(|l| format!("  {l}\n")).collect();
+                    format!("var {prefix}{i} = function(a) {{\n{indented}  return a;\n}};")
                 }
                 Op::CallFunction(r, args) => format!(
                     "var {prefix}{i} = {}({});",
@@ -201,9 +211,7 @@ mod tests {
     fn many_programs_define_functions() {
         let mut f = Fuzzilli::new();
         let mut rng = StdRng::seed_from_u64(3);
-        let with_fn = (0..50)
-            .filter(|_| f.next_case(&mut rng).contains("function"))
-            .count();
+        let with_fn = (0..50).filter(|_| f.next_case(&mut rng).contains("function")).count();
         assert!(with_fn > 10, "{with_fn}");
     }
 }

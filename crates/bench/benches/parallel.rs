@@ -1,0 +1,44 @@
+//! Thread-sweep bench for the sharded campaign executor: the same 60-case
+//! budget at 1, 2, and 4 worker threads. The determinism contract makes the
+//! reports bit-identical across the sweep, so any ns/iter difference is pure
+//! scheduling — on a multi-core host the 4-thread row should come in at a
+//! fraction of the serial row (the acceptance bar is ≥2×).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use comfort_core::campaign::CampaignConfig;
+use comfort_core::executor::ShardedCampaign;
+use comfort_lm::GeneratorConfig;
+
+fn campaign_config() -> CampaignConfig {
+    CampaignConfig::builder()
+        .seed(2)
+        .corpus_programs(80)
+        .lm(GeneratorConfig { order: 8, bpe_merges: 200, top_k: 10, max_tokens: 800 })
+        .max_cases(60)
+        .fuel(200_000)
+        .include_strict(false)
+        .include_legacy(false)
+        .reduce_cases(false)
+        .shard_cases(10) // 6 shards, enough to keep 4 workers busy
+        .build()
+        .expect("valid bench config")
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    // Train once outside the timed region: the sweep measures execution,
+    // not LM training (which is identical for every thread count).
+    let executor = ShardedCampaign::new(campaign_config());
+
+    let mut group = c.benchmark_group("sharded_campaign_60_cases");
+    for threads in [1usize, 2, 4] {
+        group.bench_function(&format!("threads_{threads}"), |b| {
+            b.iter(|| black_box(executor.run_with_threads(threads)).cases_run);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel);
+criterion_main!(benches);

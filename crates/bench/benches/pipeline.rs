@@ -10,7 +10,7 @@ use comfort_core::datagen::{DataGen, DataGenConfig};
 use comfort_core::differential::run_differential;
 use comfort_core::filter::{BugKey, BugTree};
 use comfort_core::reduce::reduce;
-use comfort_engines::latest_testbeds;
+use comfort_engines::{latest_testbeds, RunOptions};
 use comfort_lm::{Generator, GeneratorConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -46,7 +46,9 @@ fn bench_pipeline(c: &mut Criterion) {
     group.bench_function("differential_10_engines", |b| {
         let program =
             comfort_syntax::parse("print('Name: Albert'.substr(6, undefined));").expect("parses");
-        b.iter(|| black_box(run_differential(&program, &testbeds, 100_000)));
+        b.iter(|| {
+            black_box(run_differential(&program, &testbeds, &RunOptions::with_fuel(100_000)))
+        });
     });
 
     group.bench_function("reduce_figure2_case", |b| {
@@ -58,7 +60,7 @@ fn bench_pipeline(c: &mut Criterion) {
             let beds = &testbeds;
             black_box(reduce(&program, &mut |p| {
                 matches!(
-                    run_differential(p, beds, 100_000),
+                    run_differential(p, beds, &RunOptions::with_fuel(100_000)),
                     comfort_core::differential::CaseOutcome::Deviations(d)
                         if d.iter().any(|r| r.engine == comfort_engines::EngineName::Rhino)
                 )

@@ -176,10 +176,7 @@ pub fn run_ablation_order(seed: u64, scale: Scale) -> Vec<QualityReport> {
         );
         let mut fuzzer = ComfortFuzzer::with_generator(
             generator,
-            comfort_core::datagen::DataGenConfig {
-                max_mutants_per_program: 0,
-                random_mutants: 0,
-            },
+            comfort_core::datagen::DataGenConfig { max_mutants_per_program: 0, random_mutants: 0 },
         );
         let mut q = measure(&mut fuzzer, seed, scale.quality_programs() / 2, 0);
         q.fuzzer = format!("order-{order}");

@@ -12,7 +12,8 @@ use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 
 use comfort_engines::{
-    shared_catalog, versions_of, ApiType, Component, Engine, EngineName, SeededBug, Testbed,
+    shared_catalog, versions_of, ApiType, Component, Engine, EngineName, RunOptions, SeededBug,
+    Testbed,
 };
 use comfort_lm::{Generator, GeneratorConfig};
 use comfort_syntax::{parse, print_program, Program};
@@ -20,7 +21,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::datagen::{DataGen, DataGenConfig};
-use crate::differential::{run_differential, CaseOutcome, DeviationKind, DeviationRecord, Signature};
+use crate::differential::{
+    run_differential, CaseOutcome, DeviationKind, DeviationRecord, Signature,
+};
 use crate::filter::{BugKey, BugTree};
 use crate::reduce::reduce;
 use crate::testcase::{Origin, TestCase};
@@ -54,6 +57,13 @@ pub struct CampaignConfig {
     /// Fraction of syntactically invalid generations to keep as parser
     /// tests (§3.2 keeps 20%).
     pub keep_invalid_fraction: f64,
+    /// Worker threads (`0` = available parallelism, `1` = serial). Affects
+    /// scheduling only — results are bit-identical at every thread count.
+    pub threads: usize,
+    /// Cases per shard for the sharded executor (`0` = a single shard, which
+    /// reproduces the legacy serial case stream exactly). The shard plan is
+    /// a pure function of this value and `max_cases`, never of the hardware.
+    pub shard_cases: usize,
 }
 
 impl Default for CampaignConfig {
@@ -70,12 +80,169 @@ impl Default for CampaignConfig {
             include_legacy: true,
             reduce_cases: true,
             keep_invalid_fraction: 0.2,
+            threads: 1,
+            shard_cases: 0,
         }
     }
 }
 
+impl CampaignConfig {
+    /// Starts a builder pre-populated with the defaults.
+    pub fn builder() -> CampaignConfigBuilder {
+        CampaignConfigBuilder { config: CampaignConfig::default() }
+    }
+}
+
+/// A configuration rejected by a builder's validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `max_cases` must be positive — a zero-budget campaign is a no-op.
+    ZeroMaxCases,
+    /// `keep_invalid_fraction` is a probability and must lie in `[0, 1]`.
+    InvalidKeepFraction(f64),
+    /// `fuel` must be positive — zero fuel times out every run.
+    ZeroFuel,
+    /// `corpus_programs` must be positive — the LM needs training data.
+    EmptyCorpus,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroMaxCases => write!(f, "max_cases must be > 0"),
+            ConfigError::InvalidKeepFraction(v) => {
+                write!(f, "keep_invalid_fraction must be within [0, 1], got {v}")
+            }
+            ConfigError::ZeroFuel => write!(f, "fuel must be > 0"),
+            ConfigError::EmptyCorpus => write!(f, "corpus_programs must be > 0"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Chainable builder for [`CampaignConfig`] (see [`CampaignConfig::builder`]).
+///
+/// Struct-literal construction remains supported; the builder adds
+/// validation at the boundary.
+///
+/// ```
+/// use comfort_core::campaign::CampaignConfig;
+///
+/// let config = CampaignConfig::builder()
+///     .seed(7)
+///     .max_cases(200)
+///     .include_strict(false)
+///     .build()
+///     .expect("valid config");
+/// assert_eq!(config.max_cases, 200);
+/// assert!(CampaignConfig::builder().max_cases(0).build().is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct CampaignConfigBuilder {
+    config: CampaignConfig,
+}
+
+impl CampaignConfigBuilder {
+    /// Master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Training-corpus size for the LM.
+    pub fn corpus_programs(mut self, n: usize) -> Self {
+        self.config.corpus_programs = n;
+        self
+    }
+
+    /// LM configuration.
+    pub fn lm(mut self, lm: GeneratorConfig) -> Self {
+        self.config.lm = lm;
+        self
+    }
+
+    /// Data-mutation configuration.
+    pub fn datagen(mut self, datagen: DataGenConfig) -> Self {
+        self.config.datagen = datagen;
+        self
+    }
+
+    /// Test-case budget.
+    pub fn max_cases(mut self, n: usize) -> Self {
+        self.config.max_cases = n;
+        self
+    }
+
+    /// Fuel per engine run.
+    pub fn fuel(mut self, fuel: u64) -> Self {
+        self.config.fuel = fuel;
+        self
+    }
+
+    /// Simulated seconds of testing time per test case.
+    pub fn sim_seconds_per_case(mut self, secs: f64) -> Self {
+        self.config.sim_seconds_per_case = secs;
+        self
+    }
+
+    /// Also run the strict-mode testbed group.
+    pub fn include_strict(mut self, yes: bool) -> Self {
+        self.config.include_strict = yes;
+        self
+    }
+
+    /// Also include each engine's oldest version as extra testbeds.
+    pub fn include_legacy(mut self, yes: bool) -> Self {
+        self.config.include_legacy = yes;
+        self
+    }
+
+    /// Reduce each bug-exposing case before reporting.
+    pub fn reduce_cases(mut self, yes: bool) -> Self {
+        self.config.reduce_cases = yes;
+        self
+    }
+
+    /// Fraction of invalid generations kept as parser tests.
+    pub fn keep_invalid_fraction(mut self, fraction: f64) -> Self {
+        self.config.keep_invalid_fraction = fraction;
+        self
+    }
+
+    /// Worker threads (`0` = available parallelism, `1` = serial).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Cases per shard (`0` = single shard / legacy stream).
+    pub fn shard_cases(mut self, cases: usize) -> Self {
+        self.config.shard_cases = cases;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<CampaignConfig, ConfigError> {
+        let c = &self.config;
+        if c.max_cases == 0 {
+            return Err(ConfigError::ZeroMaxCases);
+        }
+        if !(0.0..=1.0).contains(&c.keep_invalid_fraction) {
+            return Err(ConfigError::InvalidKeepFraction(c.keep_invalid_fraction));
+        }
+        if c.fuel == 0 {
+            return Err(ConfigError::ZeroFuel);
+        }
+        if c.corpus_programs == 0 {
+            return Err(ConfigError::EmptyCorpus);
+        }
+        Ok(self.config)
+    }
+}
+
 /// The developer-model verdict on one submitted bug.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Adjudication {
     /// Confirmed by the engine developers.
     pub verified: bool,
@@ -152,13 +319,37 @@ impl CampaignReport {
     }
 }
 
+/// Builds the testbed matrix a config asks for: every engine's latest
+/// version, plus legacy and strict groups when enabled.
+pub fn testbeds_for(config: &CampaignConfig) -> Vec<Testbed> {
+    let mut testbeds = comfort_engines::latest_testbeds();
+    if config.include_legacy {
+        for name in EngineName::ALL {
+            let oldest = Engine::oldest(name);
+            if oldest.version().ordinal != Engine::latest(name).version().ordinal {
+                testbeds.push(Testbed { engine: oldest, strict: false });
+            }
+        }
+    }
+    if config.include_strict {
+        for name in EngineName::ALL {
+            testbeds.push(Testbed { engine: Engine::latest(name), strict: true });
+        }
+    }
+    testbeds
+}
+
 /// The campaign runner.
 pub struct Campaign {
     config: CampaignConfig,
-    generator: Generator,
+    generator: std::sync::Arc<Generator>,
     testbeds: Vec<Testbed>,
     rng: StdRng,
     next_case_id: u64,
+    /// Per-case testbed-matrix parallelism (scheduling only; results are
+    /// identical at every width). The sharded executor budgets this from its
+    /// remaining worker threads.
+    exec_threads: usize,
     /// Base (unmutated) programs of recent generations, for Table 4's
     /// mechanism attribution.
     base_programs: std::collections::HashMap<u64, Program>,
@@ -168,32 +359,36 @@ impl Campaign {
     /// Trains the generator and prepares the testbed matrix.
     pub fn new(config: CampaignConfig) -> Self {
         let corpus = comfort_corpus::training_corpus(config.seed, config.corpus_programs);
-        let generator = Generator::train(&corpus, config.lm.clone());
-        let mut testbeds = comfort_engines::latest_testbeds();
-        if config.include_legacy {
-            for name in EngineName::ALL {
-                let oldest = Engine::oldest(name);
-                if oldest.version().ordinal
-                    != Engine::latest(name).version().ordinal
-                {
-                    testbeds.push(Testbed { engine: oldest, strict: false });
-                }
-            }
-        }
-        if config.include_strict {
-            for name in EngineName::ALL {
-                testbeds.push(Testbed { engine: Engine::latest(name), strict: true });
-            }
-        }
+        let generator = std::sync::Arc::new(Generator::train(&corpus, config.lm.clone()));
+        let testbeds = testbeds_for(&config);
+        Campaign::with_shared(config, generator, testbeds)
+    }
+
+    /// Builds a campaign around an already-trained generator and testbed
+    /// matrix. This is how the sharded executor avoids re-training the LM
+    /// per shard: training depends only on `(seed, corpus_programs, lm)`,
+    /// which shards share — only the case-stream seed differs.
+    pub fn with_shared(
+        config: CampaignConfig,
+        generator: std::sync::Arc<Generator>,
+        testbeds: Vec<Testbed>,
+    ) -> Self {
         let rng = StdRng::seed_from_u64(config.seed ^ 0x5EED);
+        let exec_threads = config.threads.max(1);
         Campaign {
             config,
             generator,
             testbeds,
             rng,
             next_case_id: 0,
+            exec_threads,
             base_programs: std::collections::HashMap::new(),
         }
+    }
+
+    /// Overrides the per-case testbed parallelism (scheduling only).
+    pub fn set_exec_threads(&mut self, threads: usize) {
+        self.exec_threads = threads.max(1);
     }
 
     /// The trained generator (shared with quality measurements).
@@ -218,8 +413,12 @@ impl Campaign {
                 base_counter += 1;
                 match parse(&source) {
                     Ok(program) => {
-                        let base =
-                            datagen.base_case(&program, base_counter, &mut self.next_case_id, &mut self.rng);
+                        let base = datagen.base_case(
+                            &program,
+                            base_counter,
+                            &mut self.next_case_id,
+                            &mut self.rng,
+                        );
                         let mutants = datagen.mutate(
                             &base.program,
                             base_counter,
@@ -250,15 +449,18 @@ impl Campaign {
             report.cases_run += 1;
             report.sim_hours += self.config.sim_seconds_per_case / 3600.0;
 
-            match run_differential(&case.program, &self.testbeds, self.config.fuel) {
+            match crate::differential::run_differential_pooled(
+                &case.program,
+                &self.testbeds,
+                &RunOptions::with_fuel(self.config.fuel),
+                self.exec_threads,
+            ) {
                 CaseOutcome::ParseError | CaseOutcome::AllTimeout => {}
                 CaseOutcome::Pass => report.passes += 1,
                 CaseOutcome::Deviations(devs) => {
                     report.deviations_observed += devs.len() as u64;
                     for dev_rec in devs {
-                        self.process_deviation(
-                            &case, &dev_rec, &mut tree, &dev, &mut report,
-                        );
+                        self.process_deviation(&case, &dev_rec, &mut tree, &dev, &mut report);
                     }
                 }
             }
@@ -292,10 +494,10 @@ impl Campaign {
         let (reduced, reduced_program) = if self.config.reduce_cases {
             let beds = self.testbeds.clone();
             let engine = dev_rec.engine;
-            let fuel = self.config.fuel;
+            let opts = RunOptions::with_fuel(self.config.fuel);
             let program = reduce(&case.program, &mut |p: &Program| {
                 matches!(
-                    run_differential(p, &beds, fuel),
+                    run_differential(p, &beds, &opts),
                     CaseOutcome::Deviations(d) if d.iter().any(|r| r.engine == engine)
                 )
             });
@@ -311,14 +513,18 @@ impl Campaign {
         }
 
         // Earliest-version attribution (Table 3).
-        let earliest_version =
-            earliest_affected_version(dev_rec, &case.program, self.config.fuel);
+        let earliest_version = earliest_affected_version(dev_rec, &case.program, self.config.fuel);
 
         // Strict-only check: does the normal-mode group also deviate?
         let strict_only = dev_rec.strict && {
-            let normal: Vec<Testbed> = self.testbeds.iter().filter(|t| !t.strict).cloned().collect();
+            let normal: Vec<Testbed> =
+                self.testbeds.iter().filter(|t| !t.strict).cloned().collect();
             !matches!(
-                run_differential(&case.program, &normal, self.config.fuel),
+                run_differential(
+                    &case.program,
+                    &normal,
+                    &RunOptions::with_fuel(self.config.fuel),
+                ),
                 CaseOutcome::Deviations(d) if d.iter().any(|r| r.engine == dev_rec.engine)
             )
         };
@@ -329,9 +535,8 @@ impl Campaign {
             DeviationKind::Crash => Component::CodeGen,
             _ => Component::Implementation,
         });
-        let api_type = matched
-            .map(|b| b.api_type)
-            .unwrap_or_else(|| api_type_by_name(api.as_deref()));
+        let api_type =
+            matched.map(|b| b.api_type).unwrap_or_else(|| api_type_by_name(api.as_deref()));
 
         // Table 4 attribution: a bug first seen on a mutant still counts as
         // "test program generation" if the *unmutated* program already
@@ -340,7 +545,11 @@ impl Campaign {
         if origin == Origin::EcmaMutation {
             if let Some(base_program) = self.base_programs.get(&case.base) {
                 let base_deviates = matches!(
-                    run_differential(base_program, &self.testbeds, self.config.fuel),
+                    run_differential(
+                        base_program,
+                        &self.testbeds,
+                        &RunOptions::with_fuel(self.config.fuel),
+                    ),
                     CaseOutcome::Deviations(d)
                         if d.iter().any(|r| r.engine == dev_rec.engine && r.kind == dev_rec.kind)
                 );
@@ -370,17 +579,10 @@ impl Campaign {
 /// Finds the earliest version of the deviating engine that still deviates
 /// from the expected signature (Table 3's attribution rule: "we only
 /// attribute the discovered bugs to the earliest bug-exposing version").
-fn earliest_affected_version(
-    dev_rec: &DeviationRecord,
-    program: &Program,
-    fuel: u64,
-) -> String {
+fn earliest_affected_version(dev_rec: &DeviationRecord, program: &Program, fuel: u64) -> String {
     for version in versions_of(dev_rec.engine) {
         let engine = Engine::new(version);
-        let r = engine.run_with(
-            program,
-            &comfort_interp::RunOptions { fuel, force_strict: dev_rec.strict, coverage: false },
-        );
+        let r = engine.run(program, &RunOptions { fuel, strict: dev_rec.strict, coverage: false });
         let sig = Signature::of(&r.status, &r.output);
         if sig == dev_rec.actual && sig != dev_rec.expected {
             return version.label();
@@ -400,9 +602,9 @@ pub fn dominant_api(program: &Program) -> Option<String> {
         .find(|n| db.get_by_short_name(n).is_some())
         .or_else(|| {
             names.iter().find(|n| {
-                shared_catalog().iter().any(|b| {
-                    b.api.is_some_and(|api| api.rsplit('.').next() == Some(n.as_str()))
-                })
+                shared_catalog()
+                    .iter()
+                    .any(|b| b.api.is_some_and(|api| api.rsplit('.').next() == Some(n.as_str())))
             })
         })
         .cloned()
@@ -426,8 +628,7 @@ fn match_seeded_bug(dev_rec: &DeviationRecord, api: Option<&str>) -> Option<&'st
     // API-specific bugs first.
     if let Some(short) = api {
         if let Some(b) = catalog.iter().find(|b| {
-            b.engine == dev_rec.engine
-                && b.api.is_some_and(|a| a.rsplit('.').next() == Some(short))
+            b.engine == dev_rec.engine && b.api.is_some_and(|a| a.rsplit('.').next() == Some(short))
         }) {
             return Some(b);
         }
@@ -437,9 +638,7 @@ fn match_seeded_bug(dev_rec: &DeviationRecord, api: Option<&str>) -> Option<&'st
         b.engine == dev_rec.engine
             && b.api.is_none()
             && match dev_rec.kind {
-                DeviationKind::Timeout => {
-                    b.effect == comfort_engines::Effect::ArrayReverseFill
-                }
+                DeviationKind::Timeout => b.effect == comfort_engines::Effect::ArrayReverseFill,
                 DeviationKind::Crash => b.effect == comfort_engines::Effect::Crash,
                 _ => matches!(
                     b.effect,
@@ -507,7 +706,7 @@ impl DeveloperModel {
         let verified = rng.random_bool(p_verify);
         let fixed = verified && rng.random_bool(p_fix);
         let rejected = !verified && rng.random_bool(0.3); // 9 of 29 unverified
-        // Table 4: 16/61 ECMA-guided cases reached Test262 vs 5/97 generated.
+                                                          // Table 4: 16/61 ECMA-guided cases reached Test262 vs 5/97 generated.
         let p_262 = match origin {
             Origin::EcmaMutation => 0.26,
             Origin::ProgramGen => 0.05,
@@ -540,24 +739,23 @@ mod tests {
     use super::*;
 
     fn tiny_config() -> CampaignConfig {
-        CampaignConfig {
-            seed: 11,
-            corpus_programs: 80,
-            lm: GeneratorConfig {
-                order: 8,
-                bpe_merges: 200,
-                top_k: 10,
-                max_tokens: 800,
-            },
-            datagen: DataGenConfig { max_mutants_per_program: 10, random_mutants: 2 },
-            max_cases: 120,
-            fuel: 200_000,
-            sim_seconds_per_case: 2.88,
-            include_strict: false,
-            include_legacy: false,
-            reduce_cases: false,
-            keep_invalid_fraction: 0.2,
-        }
+        // Seed chosen so the 120-case stream actually trips seeded engine
+        // bugs; some seeds (e.g. 11, 13) happen to produce a bug-free stream
+        // at this budget, which would make the discovery assertions vacuous.
+        CampaignConfig::builder()
+            .seed(2)
+            .corpus_programs(80)
+            .lm(GeneratorConfig { order: 8, bpe_merges: 200, top_k: 10, max_tokens: 800 })
+            .datagen(DataGenConfig { max_mutants_per_program: 10, random_mutants: 2 })
+            .max_cases(120)
+            .fuel(200_000)
+            .sim_seconds_per_case(2.88)
+            .include_strict(false)
+            .include_legacy(false)
+            .reduce_cases(false)
+            .keep_invalid_fraction(0.2)
+            .build()
+            .expect("valid test config")
     }
 
     #[test]
@@ -640,7 +838,8 @@ mod tests {
         let mut tree = BugTree::new();
         let devmodel = DeveloperModel { seed: 3 };
         let mut report = CampaignReport::default();
-        let outcome = run_differential(&case.program, &campaign.testbeds, 200_000);
+        let outcome =
+            run_differential(&case.program, &campaign.testbeds, &RunOptions::with_fuel(200_000));
         let CaseOutcome::Deviations(devs) = outcome else { panic!("expected deviation") };
         for d in devs {
             campaign.process_deviation(&case, &d, &mut tree, &devmodel, &mut report);

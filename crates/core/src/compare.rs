@@ -29,7 +29,13 @@ pub struct CompareConfig {
 
 impl Default for CompareConfig {
     fn default() -> Self {
-        CompareConfig { seed: 72, cases_each: 400, hours: 72.0, fuel: 300_000, include_strict: false }
+        CompareConfig {
+            seed: 72,
+            cases_each: 400,
+            hours: 72.0,
+            fuel: 300_000,
+            include_strict: false,
+        }
     }
 }
 
@@ -77,14 +83,14 @@ pub fn compare(fuzzers: &mut [&mut dyn Fuzzer], config: &CompareConfig) -> Vec<F
             let source = fuzzer.next_case(&mut rng);
             let Ok(program) = parse(&source) else { continue };
             let origin = fuzzer.current_origin();
-            if let CaseOutcome::Deviations(devs) =
-                run_differential(&program, &testbeds, config.fuel)
-            {
+            if let CaseOutcome::Deviations(devs) = run_differential(
+                &program,
+                &testbeds,
+                &comfort_engines::RunOptions::with_fuel(config.fuel),
+            ) {
                 for d in devs {
                     let behavior = match d.kind {
-                        crate::differential::DeviationKind::UnexpectedError => {
-                            d.actual.describe()
-                        }
+                        crate::differential::DeviationKind::UnexpectedError => d.actual.describe(),
                         other => other.as_str().to_string(),
                     };
                     let provisional = BugKey {
@@ -103,7 +109,7 @@ pub fn compare(fuzzers: &mut [&mut dyn Fuzzer], config: &CompareConfig) -> Vec<F
                     let engine = d.engine;
                     let reduced = crate::reduce::reduce(&program, &mut |p| {
                         matches!(
-                            run_differential(p, &testbeds, config.fuel),
+                            run_differential(p, &testbeds, &comfort_engines::RunOptions::with_fuel(config.fuel)),
                             CaseOutcome::Deviations(dd)
                                 if dd.iter().any(|r| r.engine == engine)
                         )

@@ -89,8 +89,7 @@ impl<'d> DataGen<'d> {
                     if out.len() >= self.config.max_mutants_per_program {
                         return out;
                     }
-                    if let Some(mutant) =
-                        mutate_argument(&driven, site, pi, &boundary_expr(value))
+                    if let Some(mutant) = mutate_argument(&driven, site, pi, &boundary_expr(value))
                     {
                         push_case(&mut out, mutant, Origin::EcmaMutation, base, next_id);
                     }
@@ -227,12 +226,7 @@ fn find_call_sites(program: &Program) -> Vec<CallSite> {
                     _ => None,
                 })
                 .collect();
-            self.sites.push(CallSite {
-                method,
-                call_id: expr.id,
-                argc: args.len(),
-                arg_vars,
-            });
+            self.sites.push(CallSite { method, call_id: expr.id, argc: args.len(), arg_vars });
         }
     }
     let mut f = Finder { sites: Vec::new() };
@@ -651,10 +645,8 @@ print(name);
     fn mutant_cap_respected() {
         let src = "print(\"x\".substr(0, 1)); print(\"y\".slice(0)); print([1].join(\",\"));";
         let program = parse(src).expect("parses");
-        let gen = DataGen::new(
-            db(),
-            DataGenConfig { max_mutants_per_program: 5, random_mutants: 5 },
-        );
+        let gen =
+            DataGen::new(db(), DataGenConfig { max_mutants_per_program: 5, random_mutants: 5 });
         let mut next = 0;
         let mut rng = StdRng::seed_from_u64(7);
         let mutants = gen.mutate(&program, 0, &mut next, &mut rng);

@@ -6,7 +6,7 @@
 //! majority signature defines expected behaviour. Engines whose signature
 //! deviates from a strict majority are flagged.
 
-use comfort_engines::{EngineName, Testbed};
+use comfort_engines::{EngineName, RunOptions, Testbed};
 use comfort_interp::{ErrorKind, RunStatus};
 use comfort_syntax::Program;
 
@@ -132,13 +132,100 @@ impl CaseOutcome {
 /// The program must already have parsed (a shared front end means a parse
 /// error is consistent across engines; the caller classifies those as
 /// [`CaseOutcome::ParseError`] without spending engine time).
-pub fn run_differential(program: &Program, testbeds: &[Testbed], fuel: u64) -> CaseOutcome {
+///
+/// `options` configures every per-testbed run; each testbed still overrides
+/// the strict flag with its own mode (see [`Testbed::run`]).
+pub fn run_differential(
+    program: &Program,
+    testbeds: &[Testbed],
+    options: &RunOptions,
+) -> CaseOutcome {
+    let signatures = testbed_signatures(program, testbeds, options);
+    vote_on_signatures(testbeds, &signatures)
+}
+
+/// Like [`run_differential`], but fans the per-testbed runs out across up
+/// to `threads` workers. Signatures are collected by testbed index before
+/// voting, so the outcome is **bit-identical at every thread count**
+/// (`threads <= 1` is exactly the serial path).
+pub fn run_differential_pooled(
+    program: &Program,
+    testbeds: &[Testbed],
+    options: &RunOptions,
+    threads: usize,
+) -> CaseOutcome {
+    let signatures = if threads <= 1 || testbeds.len() < 2 {
+        testbed_signatures(program, testbeds, options)
+    } else {
+        parallel_signatures(program, testbeds, options, threads)
+    };
+    vote_on_signatures(testbeds, &signatures)
+}
+
+/// Computes the per-testbed signatures on a scoped worker pool. Workers
+/// claim testbed indices from a shared atomic counter and write each
+/// signature into its index's slot, so the result vector is ordered like
+/// the serial path regardless of scheduling.
+fn parallel_signatures(
+    program: &Program,
+    testbeds: &[Testbed],
+    options: &RunOptions,
+    threads: usize,
+) -> Vec<Signature> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let slots: Vec<Mutex<Option<Signature>>> = testbeds.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let workers = threads.min(testbeds.len());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= testbeds.len() {
+                    break;
+                }
+                let r = testbeds[i].run(program, options);
+                *slots[i].lock().expect("signature slot poisoned") =
+                    Some(Signature::of(&r.status, &r.output));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner().expect("signature slot poisoned").expect("every slot was claimed")
+        })
+        .collect()
+}
+
+/// Computes the per-testbed signatures serially, in testbed order.
+pub(crate) fn testbed_signatures(
+    program: &Program,
+    testbeds: &[Testbed],
+    options: &RunOptions,
+) -> Vec<Signature> {
+    testbeds
+        .iter()
+        .map(|t| {
+            let r = t.run(program, options);
+            Signature::of(&r.status, &r.output)
+        })
+        .collect()
+}
+
+/// Majority voting over precomputed signatures (`signatures[i]` must belong
+/// to `testbeds[i]`). Split from [`run_differential`] so the parallel
+/// executor can compute signatures on a worker pool and vote identically.
+pub(crate) fn vote_on_signatures(testbeds: &[Testbed], signatures: &[Signature]) -> CaseOutcome {
+    debug_assert_eq!(testbeds.len(), signatures.len());
     let mut deviations = Vec::new();
     let mut all_timeout = true;
     let mut any_group = false;
 
     for strict in [false, true] {
-        let group: Vec<&Testbed> = testbeds.iter().filter(|t| t.strict == strict).collect();
+        let group: Vec<(&Testbed, &Signature)> =
+            testbeds.iter().zip(signatures).filter(|(t, _)| t.strict == strict).collect();
         if group.is_empty() {
             continue;
         }
@@ -146,27 +233,21 @@ pub fn run_differential(program: &Program, testbeds: &[Testbed], fuel: u64) -> C
         // deviation (a strict majority requires agreement), so small groups
         // degrade gracefully rather than producing false positives.
         any_group = true;
-        let results: Vec<Signature> = group
-            .iter()
-            .map(|t| {
-                let r = t.run(program, fuel, false);
-                Signature::of(&r.status, &r.output)
-            })
-            .collect();
+        let results: Vec<Signature> = group.iter().map(|(_, s)| (*s).clone()).collect();
         if results.iter().any(|s| !matches!(s, Signature::Timeout)) {
             all_timeout = false;
         }
         let Some(majority) = majority_signature(&results) else {
             continue; // no strict majority: ambiguous, skip (paper does too)
         };
-        for (bed, sig) in group.iter().zip(&results) {
-            if *sig != majority {
+        for (bed, sig) in &group {
+            if **sig != majority {
                 deviations.push(DeviationRecord {
                     engine: bed.engine.name(),
                     version: bed.engine.version().label(),
                     strict,
                     kind: DeviationKind::classify(sig, &majority),
-                    actual: sig.clone(),
+                    actual: (*sig).clone(),
                     expected: majority.clone(),
                 });
             }
@@ -211,17 +292,18 @@ mod tests {
     #[test]
     fn conforming_program_passes() {
         let program = parse("print(1 + 1);").expect("parses");
-        let outcome = run_differential(&program, &latest_testbeds(), 100_000);
+        let outcome =
+            run_differential(&program, &latest_testbeds(), &RunOptions::with_fuel(100_000));
         assert!(matches!(outcome, CaseOutcome::Pass));
     }
 
     #[test]
     fn figure2_case_flags_rhino_only() {
-        let program = parse(
-            "var s = 'Name: Albert'; var len = undefined; print(s.substr(6, len));",
-        )
-        .expect("parses");
-        let outcome = run_differential(&program, &latest_testbeds(), 100_000);
+        let program =
+            parse("var s = 'Name: Albert'; var len = undefined; print(s.substr(6, len));")
+                .expect("parses");
+        let outcome =
+            run_differential(&program, &latest_testbeds(), &RunOptions::with_fuel(100_000));
         let CaseOutcome::Deviations(devs) = outcome else {
             panic!("expected deviations, got {outcome:?}");
         };
@@ -233,7 +315,8 @@ mod tests {
     #[test]
     fn listing9_crash_is_classified() {
         let program = parse("''.normalize(true);").expect("parses");
-        let outcome = run_differential(&program, &latest_testbeds(), 100_000);
+        let outcome =
+            run_differential(&program, &latest_testbeds(), &RunOptions::with_fuel(100_000));
         let CaseOutcome::Deviations(devs) = outcome else {
             panic!("expected deviations, got {outcome:?}");
         };
@@ -245,7 +328,7 @@ mod tests {
     #[test]
     fn all_engines_looping_is_ignored() {
         let program = parse("while (true) {}").expect("parses");
-        let outcome = run_differential(&program, &latest_testbeds(), 5_000);
+        let outcome = run_differential(&program, &latest_testbeds(), &RunOptions::with_fuel(5_000));
         assert!(matches!(outcome, CaseOutcome::AllTimeout));
     }
 

@@ -1,0 +1,318 @@
+//! Sharded, deterministic parallel campaign executor.
+//!
+//! The paper's evaluation runs 250k cases over 102 testbeds in a 200-hour
+//! budget; a strictly serial loop cannot approach that. This module splits a
+//! campaign's `max_cases` budget into **shards** — independent
+//! sub-campaigns whose seeds are a pure function of `(master_seed,
+//! shard_index)` — runs them on a `std::thread` worker pool, and merges the
+//! shard reports into one [`CampaignReport`].
+//!
+//! # Determinism contract
+//!
+//! * The shard plan depends only on the configuration (`max_cases`,
+//!   `shard_cases`, `seed`) — never on thread count or hardware.
+//! * `threads` affects scheduling only: shard reports are collected by
+//!   shard index and merged in shard order, so the merged report is
+//!   **bit-identical** at `threads = 1`, `2`, `8`, or any other width.
+//! * A single-shard plan (`shard_cases = 0`, the default) reproduces the
+//!   legacy serial `Campaign::run` case stream exactly.
+//!
+//! Inside each shard, the per-case testbed matrix is fanned out across the
+//! remaining thread budget too (see
+//! [`run_differential_pooled`](crate::differential::run_differential_pooled)),
+//! which keeps the pool busy even when a plan has fewer shards than workers.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use comfort_engines::Testbed;
+use comfort_lm::Generator;
+
+use crate::campaign::{testbeds_for, Campaign, CampaignConfig, CampaignReport};
+use crate::filter::BugTree;
+
+// The executor shares programs, testbeds, and the trained generator across
+// worker threads by reference; these assertions pin the Send/Sync audit of
+// the engine substrate at compile time.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Testbed>();
+    assert_send_sync::<comfort_engines::Engine>();
+    assert_send_sync::<comfort_syntax::Program>();
+    assert_send_sync::<Generator>();
+    assert_send_sync::<CampaignReport>();
+};
+
+/// One shard's slice of the campaign budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Position in the shard plan (merge order).
+    pub index: usize,
+    /// The shard's campaign seed, `mix(master_seed, index)`.
+    pub seed: u64,
+    /// The shard's share of `max_cases`.
+    pub cases: usize,
+}
+
+/// Derives a shard's seed from the master seed (splitmix64-style mixing, so
+/// neighbouring shard indices produce unrelated streams).
+pub fn shard_seed(master_seed: u64, shard_index: u64) -> u64 {
+    let mut z = master_seed
+        .wrapping_add(shard_index.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Splits `config.max_cases` into the shard plan — a pure function of the
+/// configuration. With `shard_cases = 0` (or one shard's worth of budget)
+/// the plan is a single shard carrying the master seed, i.e. exactly the
+/// legacy serial campaign.
+pub fn plan_shards(config: &CampaignConfig) -> Vec<ShardSpec> {
+    let per_shard = if config.shard_cases == 0 { config.max_cases } else { config.shard_cases };
+    let count = config.max_cases.div_ceil(per_shard.max(1)).max(1);
+    if count == 1 {
+        return vec![ShardSpec { index: 0, seed: config.seed, cases: config.max_cases }];
+    }
+    // Even split: the first `max_cases % count` shards carry one extra case,
+    // so the shares always sum to exactly `max_cases`.
+    let base = config.max_cases / count;
+    let extra = config.max_cases % count;
+    (0..count)
+        .map(|i| ShardSpec {
+            index: i,
+            seed: shard_seed(config.seed, i as u64),
+            cases: base + usize::from(i < extra),
+        })
+        .collect()
+}
+
+/// Resolves a `threads` knob: `0` means all available parallelism.
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        threads
+    }
+}
+
+/// Merges per-shard reports (in shard order) into one campaign report.
+///
+/// Counters are summed; each bug's `sim_hours` is re-based by the simulated
+/// time of the preceding shards (shards model consecutive slices of one
+/// testing budget); bugs whose [`BugKey`](crate::filter::BugKey) was already
+/// reported by an earlier shard are counted into `duplicates_filtered`
+/// instead of being reported twice.
+pub fn merge_shard_reports(shard_reports: &[CampaignReport]) -> CampaignReport {
+    let mut merged = CampaignReport::default();
+    let mut tree = BugTree::new();
+    for report in shard_reports {
+        merged.cases_run += report.cases_run;
+        merged.parse_errors += report.parse_errors;
+        merged.passes += report.passes;
+        merged.deviations_observed += report.deviations_observed;
+        merged.duplicates_filtered += report.duplicates_filtered;
+        for bug in &report.bugs {
+            if tree.observe(&bug.key) {
+                let mut rebased = bug.clone();
+                rebased.sim_hours += merged.sim_hours;
+                merged.bugs.push(rebased);
+            } else {
+                merged.duplicates_filtered += 1;
+            }
+        }
+        merged.sim_hours += report.sim_hours;
+    }
+    merged
+}
+
+/// The sharded campaign executor.
+///
+/// Trains the language model **once** (training is a pure function of the
+/// master seed and LM config, which all shards share) and builds the
+/// testbed matrix once; each shard then runs a [`Campaign`] over its slice
+/// of the budget with its derived seed.
+///
+/// ```no_run
+/// use comfort_core::campaign::CampaignConfig;
+/// use comfort_core::executor::ShardedCampaign;
+///
+/// let config = CampaignConfig::builder()
+///     .max_cases(240)
+///     .shard_cases(40) // 6 shards
+///     .threads(0)      // all cores
+///     .build()
+///     .expect("valid config");
+/// let report = ShardedCampaign::new(config).run();
+/// println!("{} bugs", report.bugs.len());
+/// ```
+pub struct ShardedCampaign {
+    config: CampaignConfig,
+    generator: Arc<Generator>,
+    testbeds: Vec<Testbed>,
+}
+
+impl ShardedCampaign {
+    /// Trains the generator and prepares the shared testbed matrix.
+    pub fn new(config: CampaignConfig) -> Self {
+        let corpus = comfort_corpus::training_corpus(config.seed, config.corpus_programs);
+        let generator = Arc::new(Generator::train(&corpus, config.lm.clone()));
+        let testbeds = testbeds_for(&config);
+        ShardedCampaign { config, generator, testbeds }
+    }
+
+    /// The shard plan this executor will run.
+    pub fn plan(&self) -> Vec<ShardSpec> {
+        plan_shards(&self.config)
+    }
+
+    /// Runs the campaign with the configured thread count.
+    pub fn run(&self) -> CampaignReport {
+        self.run_with_threads(resolve_threads(self.config.threads))
+    }
+
+    /// Runs the campaign on exactly `threads` workers (`0` = available
+    /// parallelism). The report is bit-identical for every `threads` value.
+    pub fn run_with_threads(&self, threads: usize) -> CampaignReport {
+        let threads = resolve_threads(threads);
+        let shards = self.plan();
+        // Shard-level workers; whatever parallelism is left over goes to the
+        // per-case testbed fan-out inside each shard.
+        let workers = threads.clamp(1, shards.len());
+        let per_shard_threads = (threads / workers).max(1);
+
+        let slots: Vec<Mutex<Option<CampaignReport>>> =
+            shards.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= shards.len() {
+                        break;
+                    }
+                    let report = self.run_shard(&shards[i], per_shard_threads);
+                    *slots[i].lock().expect("shard slot poisoned") = Some(report);
+                });
+            }
+        });
+        let shard_reports: Vec<CampaignReport> = slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner().expect("shard slot poisoned").expect("every shard was claimed")
+            })
+            .collect();
+        merge_shard_reports(&shard_reports)
+    }
+
+    /// Runs one shard as a plain serial campaign over its budget slice.
+    fn run_shard(&self, spec: &ShardSpec, exec_threads: usize) -> CampaignReport {
+        let mut config = self.config.clone();
+        config.seed = spec.seed;
+        config.max_cases = spec.cases;
+        let mut campaign =
+            Campaign::with_shared(config, Arc::clone(&self.generator), self.testbeds.clone());
+        campaign.set_exec_threads(exec_threads);
+        campaign.run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sharded_config() -> CampaignConfig {
+        CampaignConfig::builder()
+            .seed(11)
+            .corpus_programs(80)
+            .lm(comfort_lm::GeneratorConfig {
+                order: 8,
+                bpe_merges: 200,
+                top_k: 10,
+                max_tokens: 800,
+            })
+            .datagen(crate::datagen::DataGenConfig {
+                max_mutants_per_program: 10,
+                random_mutants: 2,
+            })
+            .max_cases(90)
+            .fuel(200_000)
+            .include_strict(false)
+            .include_legacy(false)
+            .reduce_cases(false)
+            .shard_cases(30)
+            .build()
+            .expect("valid config")
+    }
+
+    #[test]
+    fn shard_plan_is_even_and_exact() {
+        // ceil(100/30) = 4 shards of 25
+        let config =
+            CampaignConfig { max_cases: 100, shard_cases: 30, ..CampaignConfig::default() };
+        let plan = plan_shards(&config);
+        assert_eq!(plan.len(), 4);
+        assert_eq!(plan.iter().map(|s| s.cases).sum::<usize>(), 100);
+        assert!(plan.iter().all(|s| s.cases == 25));
+        // Distinct seeds per shard, all derived from the master seed.
+        let mut seeds: Vec<u64> = plan.iter().map(|s| s.seed).collect();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 4);
+    }
+
+    #[test]
+    fn single_shard_plan_keeps_the_master_seed() {
+        let config = CampaignConfig::default();
+        let plan = plan_shards(&config);
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan[0].seed, config.seed);
+        assert_eq!(plan[0].cases, config.max_cases);
+    }
+
+    #[test]
+    fn uneven_budgets_still_sum_exactly() {
+        // 5 shards: 21,21,21,20,20
+        let config =
+            CampaignConfig { max_cases: 103, shard_cases: 25, ..CampaignConfig::default() };
+        let plan = plan_shards(&config);
+        assert_eq!(plan.len(), 5);
+        assert_eq!(plan.iter().map(|s| s.cases).sum::<usize>(), 103);
+        let max = plan.iter().map(|s| s.cases).max().unwrap();
+        let min = plan.iter().map(|s| s.cases).min().unwrap();
+        assert!(max - min <= 1, "shares must differ by at most one case");
+    }
+
+    #[test]
+    fn sharded_run_matches_across_thread_counts() {
+        let executor = ShardedCampaign::new(sharded_config());
+        let serial = executor.run_with_threads(1);
+        let parallel = executor.run_with_threads(4);
+        assert_eq!(serial.cases_run, parallel.cases_run);
+        assert_eq!(serial.sim_hours, parallel.sim_hours);
+        let ka: Vec<String> = serial.bugs.iter().map(|b| b.key.to_string()).collect();
+        let kb: Vec<String> = parallel.bugs.iter().map(|b| b.key.to_string()).collect();
+        assert_eq!(ka, kb);
+    }
+
+    #[test]
+    fn merge_preserves_counts_and_dedups_keys() {
+        let executor = ShardedCampaign::new(sharded_config());
+        let plan = executor.plan();
+        assert_eq!(plan.len(), 3);
+        let shard_reports: Vec<CampaignReport> =
+            plan.iter().map(|s| executor.run_shard(s, 1)).collect();
+        let merged = merge_shard_reports(&shard_reports);
+        assert_eq!(merged.cases_run, shard_reports.iter().map(|r| r.cases_run).sum::<u64>());
+        let total_bugs: usize = shard_reports.iter().map(|r| r.bugs.len()).sum();
+        let cross_shard_dups: u64 = merged.duplicates_filtered
+            - shard_reports.iter().map(|r| r.duplicates_filtered).sum::<u64>();
+        assert_eq!(merged.bugs.len() + cross_shard_dups as usize, total_bugs);
+        // Every surviving key is unique.
+        let mut keys: Vec<String> = merged.bugs.iter().map(|b| b.key.to_string()).collect();
+        let before = keys.len();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(before, keys.len());
+    }
+}

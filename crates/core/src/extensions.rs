@@ -36,10 +36,8 @@ impl InvalidSelector {
     /// penalized.
     pub fn score(&self, source: &str) -> f64 {
         let db = comfort_ecma262::spec_db();
-        let api_mentions = db
-            .iter()
-            .filter(|spec| source.contains(spec.short_name()))
-            .count() as f64;
+        let api_mentions =
+            db.iter().filter(|spec| source.contains(spec.short_name())).count() as f64;
         let len = source.len() as f64;
         let length_term = if len > 4000.0 { -1.0 } else { (len / 400.0).min(2.0) };
         api_mentions * 3.0 + length_term
@@ -51,8 +49,8 @@ impl InvalidSelector {
         let mut scored: Vec<(f64, &String)> =
             candidates.iter().map(|c| (self.score(c), c)).collect();
         scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
-        let keep = ((candidates.len() as f64 * self.keep_fraction).ceil() as usize)
-            .min(candidates.len());
+        let keep =
+            ((candidates.len() as f64 * self.keep_fraction).ceil() as usize).min(candidates.len());
         scored.into_iter().take(keep).map(|(_, c)| c).collect()
     }
 }
@@ -113,15 +111,15 @@ pub fn feedback_round(
     }
     let mut fresh = Vec::new();
     for case in mutator.derive(bugs, &mut rng) {
-        if let CaseOutcome::Deviations(devs) = run_differential(&case.program, testbeds, fuel) {
+        if let CaseOutcome::Deviations(devs) =
+            run_differential(&case.program, testbeds, &comfort_engines::RunOptions::with_fuel(fuel))
+        {
             for d in devs {
                 let key = crate::filter::BugKey {
                     engine: d.engine,
                     api: crate::campaign::dominant_api(&case.program),
                     behavior: match d.kind {
-                        crate::differential::DeviationKind::UnexpectedError => {
-                            d.actual.describe()
-                        }
+                        crate::differential::DeviationKind::UnexpectedError => d.actual.describe(),
                         other => other.as_str().to_string(),
                     },
                 };

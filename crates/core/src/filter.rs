@@ -22,13 +22,7 @@ pub struct BugKey {
 
 impl std::fmt::Display for BugKey {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "{} / {} / {}",
-            self.engine,
-            self.api.as_deref().unwrap_or("None"),
-            self.behavior
-        )
+        write!(f, "{} / {} / {}", self.engine, self.api.as_deref().unwrap_or("None"), self.behavior)
     }
 }
 
@@ -73,19 +67,12 @@ impl BugTree {
 
     /// Number of leaf decision nodes (distinct bugs).
     pub fn leaf_count(&self) -> usize {
-        self.layers
-            .values()
-            .flat_map(|apis| apis.values())
-            .map(BTreeSet::len)
-            .sum()
+        self.layers.values().flat_map(|apis| apis.values()).map(BTreeSet::len).sum()
     }
 
     /// Leaves under one engine.
     pub fn leaves_for(&self, engine: EngineName) -> usize {
-        self.layers
-            .get(&engine)
-            .map(|apis| apis.values().map(BTreeSet::len).sum())
-            .unwrap_or(0)
+        self.layers.get(&engine).map(|apis| apis.values().map(BTreeSet::len).sum()).unwrap_or(0)
     }
 
     /// Total observations fed to the filter.

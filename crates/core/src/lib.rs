@@ -11,6 +11,7 @@
 //! * [`filter`] — the §3.6 three-layer identical-bug filter tree,
 //! * [`campaign`] — the §4–5 evaluation loop with version attribution and a
 //!   calibrated developer model,
+//! * [`executor`] — the sharded, deterministic parallel campaign executor,
 //! * [`compare`] / [`quality`] — the Figure 8 and Figure 9 harnesses,
 //! * [`report`] — renders every table and figure,
 //! * [`pipeline`] — the `Comfort` facade for downstream users.
@@ -31,6 +32,7 @@ pub mod campaign;
 pub mod compare;
 pub mod datagen;
 pub mod differential;
+pub mod executor;
 pub mod extensions;
 pub mod filter;
 pub mod fuzzer;
@@ -41,8 +43,15 @@ pub mod report;
 pub mod test262;
 pub mod testcase;
 
-pub use campaign::{BugReport, Campaign, CampaignConfig, CampaignReport, DeveloperModel};
-pub use differential::{run_differential, CaseOutcome, DeviationKind, DeviationRecord, Signature};
+pub use campaign::{
+    testbeds_for, BugReport, Campaign, CampaignConfig, CampaignConfigBuilder, CampaignReport,
+    ConfigError, DeveloperModel,
+};
+pub use differential::{
+    run_differential, run_differential_pooled, CaseOutcome, DeviationKind, DeviationRecord,
+    Signature,
+};
+pub use executor::{merge_shard_reports, plan_shards, ShardSpec, ShardedCampaign};
 pub use filter::{BugKey, BugTree};
 pub use fuzzer::{ComfortFuzzer, Fuzzer};
 pub use pipeline::{Comfort, ComfortConfig, PipelineReport};

@@ -2,12 +2,17 @@
 //!
 //! [`Comfort`] wires the whole pipeline of Figure 3 together: GPT-2-style
 //! program generation → ECMA-262-guided test data → differential testing →
-//! reduction → identical-bug filtering, behind one small API.
+//! reduction → identical-bug filtering, behind one small API. Budgets are
+//! executed by the sharded parallel executor
+//! ([`ShardedCampaign`](crate::executor::ShardedCampaign)); with the default
+//! `shard_cases = 0` the plan is a single shard, so reports are bit-identical
+//! to the legacy serial pipeline at every `threads` setting.
 
 use comfort_lm::GeneratorConfig;
 
-use crate::campaign::{BugReport, Campaign, CampaignConfig};
+use crate::campaign::{BugReport, CampaignConfig, ConfigError};
 use crate::datagen::DataGenConfig;
+use crate::executor::ShardedCampaign;
 
 /// Facade configuration (a curated subset of [`CampaignConfig`]).
 #[derive(Debug, Clone)]
@@ -24,6 +29,13 @@ pub struct ComfortConfig {
     pub strict_testbeds: bool,
     /// Reduce bug-exposing cases before reporting.
     pub reduce: bool,
+    /// Worker threads for campaign execution. `0` (the default) uses all
+    /// available parallelism; `1` is the legacy serial executor. Reports are
+    /// bit-identical at every thread count.
+    pub threads: usize,
+    /// Cases per shard. `0` (the default) runs the whole budget as a single
+    /// shard, which reproduces the legacy serial case stream exactly.
+    pub shard_cases: usize,
 }
 
 impl Default for ComfortConfig {
@@ -35,7 +47,95 @@ impl Default for ComfortConfig {
             fuel: 300_000,
             strict_testbeds: false,
             reduce: true,
+            threads: 0,
+            shard_cases: 0,
         }
+    }
+}
+
+impl ComfortConfig {
+    /// Starts a validated builder over the facade configuration.
+    ///
+    /// ```
+    /// use comfort_core::pipeline::ComfortConfig;
+    ///
+    /// let config = ComfortConfig::builder()
+    ///     .seed(7)
+    ///     .threads(4)
+    ///     .shard_cases(50)
+    ///     .build()
+    ///     .expect("valid config");
+    /// assert_eq!(config.seed, 7);
+    /// ```
+    pub fn builder() -> ComfortConfigBuilder {
+        ComfortConfigBuilder { config: ComfortConfig::default() }
+    }
+}
+
+/// Chainable builder for [`ComfortConfig`]; `build` validates the result.
+#[derive(Debug, Clone)]
+pub struct ComfortConfigBuilder {
+    config: ComfortConfig,
+}
+
+impl ComfortConfigBuilder {
+    /// Sets the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Sets the LM training-corpus size.
+    pub fn corpus_programs(mut self, n: usize) -> Self {
+        self.config.corpus_programs = n;
+        self
+    }
+
+    /// Sets the language-model configuration.
+    pub fn lm(mut self, lm: GeneratorConfig) -> Self {
+        self.config.lm = lm;
+        self
+    }
+
+    /// Sets the fuel budget per engine run.
+    pub fn fuel(mut self, fuel: u64) -> Self {
+        self.config.fuel = fuel;
+        self
+    }
+
+    /// Enables or disables the strict testbed group.
+    pub fn strict_testbeds(mut self, on: bool) -> Self {
+        self.config.strict_testbeds = on;
+        self
+    }
+
+    /// Enables or disables test-case reduction.
+    pub fn reduce(mut self, on: bool) -> Self {
+        self.config.reduce = on;
+        self
+    }
+
+    /// Sets the worker-thread count (`0` = available parallelism).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Sets the per-shard case budget (`0` = single shard).
+    pub fn shard_cases(mut self, cases: usize) -> Self {
+        self.config.shard_cases = cases;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<ComfortConfig, ConfigError> {
+        if self.config.fuel == 0 {
+            return Err(ConfigError::ZeroFuel);
+        }
+        if self.config.corpus_programs == 0 {
+            return Err(ConfigError::EmptyCorpus);
+        }
+        Ok(self.config)
     }
 }
 
@@ -66,6 +166,10 @@ impl Comfort {
     }
 
     /// Runs a `cases`-sized fuzzing budget and reports unique deviations.
+    ///
+    /// The budget is split into shards per `shard_cases` and executed on a
+    /// `threads`-wide worker pool; the report is bit-identical regardless of
+    /// thread count.
     pub fn run_budgeted(&mut self, cases: usize) -> PipelineReport {
         let campaign_config = CampaignConfig {
             seed: self.config.seed.wrapping_add(self.runs),
@@ -79,9 +183,11 @@ impl Comfort {
             include_legacy: false,
             reduce_cases: self.config.reduce,
             keep_invalid_fraction: 0.2,
+            threads: self.config.threads,
+            shard_cases: self.config.shard_cases,
         };
         self.runs += 1;
-        let report = Campaign::new(campaign_config).run();
+        let report = ShardedCampaign::new(campaign_config).run();
         PipelineReport {
             cases_run: report.cases_run,
             deviations: report.bugs,
@@ -106,5 +212,16 @@ mod tests {
         let report = comfort.run_budgeted(60);
         assert_eq!(report.cases_run, 60);
         assert!(report.sim_hours > 0.0);
+    }
+
+    #[test]
+    fn facade_builder_validates() {
+        assert!(matches!(ComfortConfig::builder().fuel(0).build(), Err(ConfigError::ZeroFuel)));
+        assert!(matches!(
+            ComfortConfig::builder().corpus_programs(0).build(),
+            Err(ConfigError::EmptyCorpus)
+        ));
+        let config = ComfortConfig::builder().threads(2).build().expect("valid");
+        assert_eq!(config.threads, 2);
     }
 }

@@ -164,10 +164,9 @@ mod tests {
 
     #[test]
     fn removes_irrelevant_statements() {
-        let program = parse(
-            "var junk1 = 1; var keep = 'MARKER'; var junk2 = [1,2,3]; print(keep);",
-        )
-        .expect("parses");
+        let program =
+            parse("var junk1 = 1; var keep = 'MARKER'; var junk2 = [1,2,3]; print(keep);")
+                .expect("parses");
         let reduced = reduce(&program, &mut |p| print_program(p).contains("MARKER"));
         let text = print_program(&reduced);
         assert!(text.contains("MARKER"));
@@ -177,10 +176,9 @@ mod tests {
 
     #[test]
     fn reduces_inside_function_bodies() {
-        let program = parse(
-            "function f() { var a = 1; var b = 'MARKER'; var c = 3; return b; } print(f());",
-        )
-        .expect("parses");
+        let program =
+            parse("function f() { var a = 1; var b = 'MARKER'; var c = 3; return b; } print(f());")
+                .expect("parses");
         let reduced = reduce(&program, &mut |p| print_program(p).contains("MARKER"));
         let text = print_program(&reduced);
         assert!(text.contains("MARKER"));
@@ -227,7 +225,7 @@ mod tests {
         .expect("parses");
         let beds = latest_testbeds();
         let mut oracle = |p: &Program| {
-            matches!(run_differential(p, &beds, 100_000), CaseOutcome::Deviations(d)
+            matches!(run_differential(p, &beds, &comfort_engines::RunOptions::with_fuel(100_000)), CaseOutcome::Deviations(d)
                 if d.iter().any(|r| r.engine == comfort_engines::EngineName::Rhino))
         };
         assert!(oracle(&program), "base case must deviate");

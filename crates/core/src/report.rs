@@ -91,10 +91,7 @@ pub fn table3(report: &CampaignReport) -> String {
     let mut by_version: BTreeMap<(EngineName, String), Vec<&crate::campaign::BugReport>> =
         BTreeMap::new();
     for b in &report.bugs {
-        by_version
-            .entry((b.key.engine, b.earliest_version.clone()))
-            .or_default()
-            .push(b);
+        by_version.entry((b.key.engine, b.earliest_version.clone())).or_default().push(b);
     }
     let mut total = 0;
     for engine in EngineName::ALL {
@@ -103,8 +100,7 @@ pub fn table3(report: &CampaignReport) -> String {
             let fixed = bugs.iter().filter(|b| b.adjudication.fixed).count();
             let new = bugs.iter().filter(|b| b.adjudication.novel).count();
             total += bugs.len();
-            let version_label =
-                version.strip_prefix(&format!("{engine} ")).unwrap_or(version);
+            let version_label = version.strip_prefix(&format!("{engine} ")).unwrap_or(version);
             row(
                 &mut out,
                 &[
@@ -231,8 +227,7 @@ pub fn figure8(series: &[FuzzerSeries]) -> String {
     }
     out.push_str("\nDiscovery timeline (hours → cumulative unique bugs):\n");
     for s in series {
-        let pts: Vec<String> =
-            s.discoveries.iter().map(|(h, n)| format!("{h:.1}h:{n}")).collect();
+        let pts: Vec<String> = s.discoveries.iter().map(|(h, n)| format!("{h:.1}h:{n}")).collect();
         let _ = writeln!(out, "  {:<16} {}", s.name, pts.join(" "));
     }
     out
@@ -274,11 +269,7 @@ mod tests {
 
     fn fake_report() -> CampaignReport {
         let mk = |engine: EngineName, api: &str, origin: Origin| BugReport {
-            key: BugKey {
-                engine,
-                api: Some(api.to_string()),
-                behavior: "WrongOutput".into(),
-            },
+            key: BugKey { engine, api: Some(api.to_string()), behavior: "WrongOutput".into() },
             sim_hours: 1.0,
             test_case: "print(1);".into(),
             origin,

@@ -1,0 +1,213 @@
+//! Integration tests for the sharded parallel campaign executor: the
+//! determinism contract (bit-identical reports at every thread count), the
+//! single-shard/legacy equivalence, and a property test that shard merging
+//! never drops or double-counts observations.
+
+use comfort_core::campaign::{Adjudication, BugReport, Campaign, CampaignConfig, CampaignReport};
+use comfort_core::differential::DeviationKind;
+use comfort_core::executor::{merge_shard_reports, plan_shards, ShardedCampaign};
+use comfort_core::filter::BugKey;
+use comfort_core::testcase::Origin;
+use comfort_engines::{ApiType, Component, EngineName};
+use comfort_lm::GeneratorConfig;
+use proptest::prelude::*;
+
+fn sharded_config(shard_cases: usize) -> CampaignConfig {
+    CampaignConfig::builder()
+        .seed(2)
+        .corpus_programs(80)
+        .lm(GeneratorConfig { order: 8, bpe_merges: 200, top_k: 10, max_tokens: 800 })
+        .max_cases(120)
+        .fuel(200_000)
+        .include_strict(false)
+        .include_legacy(false)
+        .reduce_cases(false)
+        .keep_invalid_fraction(0.2)
+        .shard_cases(shard_cases)
+        .build()
+        .expect("valid test config")
+}
+
+/// Full structural comparison of two campaign reports.
+fn assert_reports_identical(a: &CampaignReport, b: &CampaignReport, label: &str) {
+    assert_eq!(a.cases_run, b.cases_run, "{label}: cases_run");
+    assert_eq!(a.parse_errors, b.parse_errors, "{label}: parse_errors");
+    assert_eq!(a.passes, b.passes, "{label}: passes");
+    assert_eq!(a.deviations_observed, b.deviations_observed, "{label}: deviations");
+    assert_eq!(a.duplicates_filtered, b.duplicates_filtered, "{label}: duplicates");
+    assert_eq!(a.sim_hours.to_bits(), b.sim_hours.to_bits(), "{label}: sim_hours");
+    assert_eq!(a.bugs.len(), b.bugs.len(), "{label}: bug count");
+    for (x, y) in a.bugs.iter().zip(&b.bugs) {
+        assert_eq!(x.key.to_string(), y.key.to_string(), "{label}: bug key");
+        assert_eq!(x.sim_hours.to_bits(), y.sim_hours.to_bits(), "{label}: bug sim_hours");
+        assert_eq!(x.test_case, y.test_case, "{label}: test case");
+        assert_eq!(x.earliest_version, y.earliest_version, "{label}: version");
+        assert_eq!(x.origin, y.origin, "{label}: origin");
+        assert_eq!(x.kind, y.kind, "{label}: kind");
+    }
+}
+
+#[test]
+fn report_is_bit_identical_across_thread_counts() {
+    let executor = ShardedCampaign::new(sharded_config(40)); // 3 shards
+    let t1 = executor.run_with_threads(1);
+    let t2 = executor.run_with_threads(2);
+    let t8 = executor.run_with_threads(8);
+    assert_eq!(t1.cases_run, 120);
+    assert!(!t1.bugs.is_empty(), "the seeded stream must surface bugs");
+    assert_reports_identical(&t1, &t2, "threads 1 vs 2");
+    assert_reports_identical(&t1, &t8, "threads 1 vs 8");
+}
+
+#[test]
+fn fresh_executors_agree_with_each_other() {
+    // Training happens per executor; two independently constructed executors
+    // over the same config must still produce the same report.
+    let a = ShardedCampaign::new(sharded_config(40)).run_with_threads(4);
+    let b = ShardedCampaign::new(sharded_config(40)).run_with_threads(3);
+    assert_reports_identical(&a, &b, "fresh executors");
+}
+
+#[test]
+fn single_shard_executor_matches_legacy_serial_campaign() {
+    // shard_cases = 0 → one shard carrying the master seed: the executor
+    // must reproduce the legacy serial case stream exactly, at any width.
+    let config = sharded_config(0);
+    assert_eq!(plan_shards(&config).len(), 1);
+    let legacy = Campaign::new(config.clone()).run();
+    let sharded = ShardedCampaign::new(config).run_with_threads(8);
+    assert_reports_identical(&legacy, &sharded, "legacy vs single-shard");
+}
+
+// ---------------------------------------------------------------------------
+// Shard-merge property test: merging must conserve every counter and every
+// bug observation — nothing dropped, nothing double-counted.
+// ---------------------------------------------------------------------------
+
+const BEHAVIORS: [&str; 4] = ["wrong-output", "missing-error", "crash", "timeout"];
+
+fn synthetic_bug(engine_idx: usize, behavior_idx: usize, sim_ticks: u32) -> BugReport {
+    BugReport {
+        key: BugKey {
+            engine: EngineName::ALL[engine_idx % EngineName::ALL.len()],
+            api: None,
+            behavior: BEHAVIORS[behavior_idx % BEHAVIORS.len()].to_string(),
+        },
+        sim_hours: f64::from(sim_ticks) / 100.0,
+        test_case: String::new(),
+        origin: Origin::ProgramGen,
+        earliest_version: String::new(),
+        kind: DeviationKind::WrongOutput,
+        strict_only: false,
+        component: Component::Implementation,
+        api_type: ApiType::Object,
+        matched_bug: None,
+        adjudication: Adjudication::default(),
+    }
+}
+
+fn synthetic_report(
+    counters: (u32, u32, u32, u32),
+    bugs: Vec<(usize, usize, u32)>,
+    sim_ticks: u32,
+) -> CampaignReport {
+    let (cases, parses, passes, devs) = counters;
+    CampaignReport {
+        cases_run: u64::from(cases),
+        parse_errors: u64::from(parses),
+        passes: u64::from(passes),
+        deviations_observed: u64::from(devs),
+        duplicates_filtered: u64::from(cases % 3),
+        bugs: bugs.into_iter().map(|(e, b, s)| synthetic_bug(e, b, s)).collect(),
+        sim_hours: f64::from(sim_ticks) / 10.0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merging_conserves_counters_and_bug_observations(
+        shards in proptest::collection::vec(
+            (
+                (0u32..60, 0u32..10, 0u32..50, 0u32..20),
+                proptest::collection::vec((0usize..6, 0usize..5, 0u32..500), 0..6),
+                0u32..1000,
+            ),
+            0..7,
+        )
+    ) {
+        let reports: Vec<CampaignReport> = shards
+            .into_iter()
+            .map(|(counters, bugs, sim)| synthetic_report(counters, bugs, sim))
+            .collect();
+        let merged = merge_shard_reports(&reports);
+
+        // Every additive counter is the exact sum of the shard counters.
+        prop_assert_eq!(merged.cases_run, reports.iter().map(|r| r.cases_run).sum::<u64>());
+        prop_assert_eq!(merged.parse_errors, reports.iter().map(|r| r.parse_errors).sum::<u64>());
+        prop_assert_eq!(merged.passes, reports.iter().map(|r| r.passes).sum::<u64>());
+        prop_assert_eq!(
+            merged.deviations_observed,
+            reports.iter().map(|r| r.deviations_observed).sum::<u64>()
+        );
+        let sim_sum = reports.iter().fold(0.0f64, |acc, r| acc + r.sim_hours);
+        prop_assert_eq!(merged.sim_hours.to_bits(), sim_sum.to_bits());
+
+        // Bug conservation: every shard bug ends up either as a unique merged
+        // report or as exactly one cross-shard duplicate — never both, never
+        // neither.
+        let total_bugs: usize = reports.iter().map(|r| r.bugs.len()).sum();
+        let shard_dups: u64 = reports.iter().map(|r| r.duplicates_filtered).sum();
+        let cross_shard_dups = merged.duplicates_filtered - shard_dups;
+        prop_assert_eq!(merged.bugs.len() as u64 + cross_shard_dups, total_bugs as u64);
+
+        // No double counts: merged keys are unique.
+        let mut keys: Vec<String> = merged.bugs.iter().map(|b| b.key.to_string()).collect();
+        let unique_before = keys.len();
+        keys.sort();
+        keys.dedup();
+        prop_assert_eq!(unique_before, keys.len());
+
+        // No drops: every distinct input key survives the merge.
+        let mut input_keys: Vec<String> =
+            reports.iter().flat_map(|r| r.bugs.iter().map(|b| b.key.to_string())).collect();
+        input_keys.sort();
+        input_keys.dedup();
+        prop_assert_eq!(input_keys, keys);
+
+        // Re-based discovery times never exceed the merged campaign length
+        // (each synthetic bug's local time is within its shard's span... the
+        // merge only adds the simulated time of *preceding* shards).
+        for bug in &merged.bugs {
+            prop_assert!(bug.sim_hours <= sim_sum + 5.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn shard_plans_partition_the_budget_exactly(
+        max_cases in 1usize..5000,
+        shard_cases in 0usize..600,
+        seed in 0u64..u64::MAX,
+    ) {
+        let config =
+            CampaignConfig { max_cases, shard_cases, seed, ..CampaignConfig::default() };
+        let plan = plan_shards(&config);
+        prop_assert!(!plan.is_empty());
+        // The shares always sum to exactly the budget — no case is dropped or
+        // run twice regardless of how unevenly the budget divides.
+        prop_assert_eq!(plan.iter().map(|s| s.cases).sum::<usize>(), max_cases);
+        // Shares are balanced to within one case.
+        let max = plan.iter().map(|s| s.cases).max().unwrap();
+        let min = plan.iter().map(|s| s.cases).min().unwrap();
+        prop_assert!(max - min <= 1);
+        // Indices are the merge order.
+        for (i, spec) in plan.iter().enumerate() {
+            prop_assert_eq!(spec.index, i);
+        }
+        // A single-shard plan preserves the master seed (legacy equivalence).
+        if plan.len() == 1 {
+            prop_assert_eq!(plan[0].seed, seed);
+        }
+    }
+}

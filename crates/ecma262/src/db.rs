@@ -69,7 +69,11 @@ impl BoundaryValue {
             BoundaryValue::NaN => "NaN".into(),
             BoundaryValue::Number(n) => comfort_syntax::printer::fmt_number(*n),
             BoundaryValue::Infinity(pos) => {
-                if *pos { "Infinity".into() } else { "-Infinity".into() }
+                if *pos {
+                    "Infinity".into()
+                } else {
+                    "-Infinity".into()
+                }
             }
             BoundaryValue::Str(s) => format!("{s:?}"),
             BoundaryValue::Bool(b) => b.to_string(),
@@ -84,7 +88,11 @@ impl BoundaryValue {
             BoundaryValue::NaN => "\"NaN\"".into(),
             BoundaryValue::Number(n) => comfort_syntax::printer::fmt_number(*n),
             BoundaryValue::Infinity(pos) => {
-                if *pos { "\"Infinity\"".into() } else { "\"-Infinity\"".into() }
+                if *pos {
+                    "\"Infinity\"".into()
+                } else {
+                    "\"-Infinity\"".into()
+                }
             }
             BoundaryValue::Str(s) => format!("{s:?}"),
             BoundaryValue::Bool(b) => b.to_string(),
@@ -139,11 +147,7 @@ impl ApiSpec {
                 p.name,
                 p.ty.as_str(),
                 p.values.iter().map(|v| v.to_json()).collect::<Vec<_>>().join(", "),
-                p.conditions
-                    .iter()
-                    .map(|c| format!("{c:?}"))
-                    .collect::<Vec<_>>()
-                    .join(", "),
+                p.conditions.iter().map(|c| format!("{c:?}")).collect::<Vec<_>>().join(", "),
             ));
         }
         out.push(']');
@@ -197,8 +201,7 @@ impl SpecDb {
 
     /// Serializes the whole database in the Figure 4(b) JSON shape.
     pub fn to_json(&self) -> String {
-        let body =
-            self.specs.values().map(ApiSpec::to_json).collect::<Vec<_>>().join(",\n  ");
+        let body = self.specs.values().map(ApiSpec::to_json).collect::<Vec<_>>().join(",\n  ");
         format!("{{\n  {body}\n}}")
     }
 }

@@ -55,12 +55,7 @@ mod tests {
     fn every_spec_has_probe_values_for_each_param() {
         for spec in spec_db().iter() {
             for p in &spec.params {
-                assert!(
-                    !p.values.is_empty(),
-                    "{}.{} has no boundary values",
-                    spec.name,
-                    p.name
-                );
+                assert!(!p.values.is_empty(), "{}.{} has no boundary values", spec.name, p.name);
             }
         }
     }

@@ -140,8 +140,7 @@ fn build_spec(rules: &Rules, name: String, params: Vec<String>, steps: Vec<Strin
             // attach to the parameter the local was converted from, if
             // traceable via an earlier `Let f be ToInteger(param)` step.
             let param_name = trace_origin(rules, &steps, &var);
-            if let Some(p) = out_params.iter_mut().find(|p| Some(&p.name) == param_name.as_ref())
-            {
+            if let Some(p) = out_params.iter_mut().find(|p| Some(&p.name) == param_name.as_ref()) {
                 p.conditions.push(format!("{} {} {}", p.name, op, bound));
                 let b: f64 = bound.parse().unwrap_or(0.0);
                 match op.as_str() {

@@ -295,117 +295,722 @@ fn templates() -> Vec<Template> {
     use ValueRecipe as R;
     vec![
         // --- Object (Table 5 row 1) -------------------------------------------------
-        tpl!("Object.keys", [ArgCountAtLeast(1), ReceiverClass("Object")], WrongValue(R::Undefined), Object, ProgramGen, CodeGen),
-        tpl!("Object.assign", [ArgMissing(1)], WrongThrow(ErrorKind::Type), Object, EcmaGuided, Implementation),
-        tpl!("Object.freeze", [Always], WrongValue(R::Undefined), Object, ProgramGen, Implementation),
-        tpl!("Object.defineProperty", [ArgCountAtLeast(3)], MissingThrow(R::Arg(0)), Object, EcmaGuided, CodeGen, strict),
-        tpl!("Object.getOwnPropertyNames", [Always], WrongValue(R::Undefined), Object, ProgramGen, Implementation),
-        tpl!("Object.values", [Always], WrongValue(R::Str(String::new())), Object, ProgramGen, CodeGen),
+        tpl!(
+            "Object.keys",
+            [ArgCountAtLeast(1), ReceiverClass("Object")],
+            WrongValue(R::Undefined),
+            Object,
+            ProgramGen,
+            CodeGen
+        ),
+        tpl!(
+            "Object.assign",
+            [ArgMissing(1)],
+            WrongThrow(ErrorKind::Type),
+            Object,
+            EcmaGuided,
+            Implementation
+        ),
+        tpl!(
+            "Object.freeze",
+            [Always],
+            WrongValue(R::Undefined),
+            Object,
+            ProgramGen,
+            Implementation
+        ),
+        tpl!(
+            "Object.defineProperty",
+            [ArgCountAtLeast(3)],
+            MissingThrow(R::Arg(0)),
+            Object,
+            EcmaGuided,
+            CodeGen,
+            strict
+        ),
+        tpl!(
+            "Object.getOwnPropertyNames",
+            [Always],
+            WrongValue(R::Undefined),
+            Object,
+            ProgramGen,
+            Implementation
+        ),
+        tpl!(
+            "Object.values",
+            [Always],
+            WrongValue(R::Str(String::new())),
+            Object,
+            ProgramGen,
+            CodeGen
+        ),
         tpl!("Object.entries", [Always], WrongValue(R::Undefined), Object, ProgramGen, CodeGen),
-        tpl!("Object.prototype.hasOwnProperty", [ArgMissing(0)], WrongValue(R::Bool(true)), Object, EcmaGuided, Implementation),
+        tpl!(
+            "Object.prototype.hasOwnProperty",
+            [ArgMissing(0)],
+            WrongValue(R::Bool(true)),
+            Object,
+            EcmaGuided,
+            Implementation
+        ),
         tpl!("Object.seal", [Always], WrongValue(R::Undefined), Object, ProgramGen, Optimizer),
-        tpl!("Object.isFrozen", [Always], WrongValue(R::Bool(true)), Object, ProgramGen, Implementation),
-        tpl!("Object.create", [ArgCountAtLeast(1)], WrongThrow(ErrorKind::Type), Object, ProgramGen, CodeGen),
+        tpl!(
+            "Object.isFrozen",
+            [Always],
+            WrongValue(R::Bool(true)),
+            Object,
+            ProgramGen,
+            Implementation
+        ),
+        tpl!(
+            "Object.create",
+            [ArgCountAtLeast(1)],
+            WrongThrow(ErrorKind::Type),
+            Object,
+            ProgramGen,
+            CodeGen
+        ),
         tpl!("Object.getPrototypeOf", [Always], WrongValue(R::Null), Object, ProgramGen, Optimizer),
-        tpl!("Object.prototype.toString", [ReceiverClass("Array")], WrongValue(R::Str("[object Object]".into())), Object, ProgramGen, Implementation),
-        tpl!("Object.setPrototypeOf", [ArgCountAtLeast(2)], MissingThrow(R::Arg(0)), Object, EcmaGuided, Implementation, strict),
+        tpl!(
+            "Object.prototype.toString",
+            [ReceiverClass("Array")],
+            WrongValue(R::Str("[object Object]".into())),
+            Object,
+            ProgramGen,
+            Implementation
+        ),
+        tpl!(
+            "Object.setPrototypeOf",
+            [ArgCountAtLeast(2)],
+            MissingThrow(R::Arg(0)),
+            Object,
+            EcmaGuided,
+            Implementation,
+            strict
+        ),
         // --- String (Table 5 row 2) -------------------------------------------------
-        tpl!("String.prototype.replace", [ArgMissing(1)], WrongValue(R::Receiver), String, EcmaGuided, Implementation),
-        tpl!("String.prototype.replace", [ArgIsBool(1)], WrongThrow(ErrorKind::Type), String, EcmaGuided, Implementation),
-        tpl!("String.prototype.replace", [ArgCountAtLeast(3)], WrongValue(R::Receiver), String, EcmaGuided, Implementation),
-        tpl!("String.prototype.indexOf", [ArgNegative(1)], WrongValue(R::Number(-1.0)), String, EcmaGuided, CodeGen),
-        tpl!("String.prototype.slice", [ArgInfinite(1)], WrongValue(R::Str(String::new())), String, EcmaGuided, CodeGen),
-        tpl!("String.prototype.substring", [ArgNaN(0)], WrongThrow(ErrorKind::Range), String, EcmaGuided, Implementation),
-        tpl!("String.prototype.charAt", [ArgNonInteger(0)], WrongValue(R::Str(String::new())), String, EcmaGuided, CodeGen),
-        tpl!("String.prototype.charCodeAt", [ArgMissing(0)], WrongValue(R::Number(0.0)), String, EcmaGuided, Implementation),
-        tpl!("String.prototype.split", [ArgEmptyString(0)], WrongValue(R::Receiver), String, EcmaGuided, Implementation),
-        tpl!("String.prototype.concat", [ArgCountAtLeast(2)], WrongValue(R::Receiver), String, ProgramGen, CodeGen),
-        tpl!("String.prototype.repeat", [ArgZero(0)], WrongValue(R::Receiver), String, EcmaGuided, Implementation),
-        tpl!("String.prototype.padStart", [ArgNegative(0)], WrongThrow(ErrorKind::Range), String, EcmaGuided, Implementation),
-        tpl!("String.prototype.padEnd", [ArgEmptyString(1)], WrongValue(R::Receiver), String, EcmaGuided, CodeGen),
-        tpl!("String.prototype.trim", [ReceiverEmptyString], WrongThrow(ErrorKind::Type), String, EcmaGuided, Implementation),
-        tpl!("String.prototype.toUpperCase", [Always], WrongValue(R::Receiver), String, ProgramGen, Optimizer),
-        tpl!("String.prototype.startsWith", [ArgMissing(0)], WrongValue(R::Bool(true)), String, EcmaGuided, Implementation),
-        tpl!("String.prototype.endsWith", [ArgZero(1)], WrongValue(R::Bool(true)), String, EcmaGuided, Implementation),
-        tpl!("String.prototype.includes", [ArgEmptyString(0)], WrongValue(R::Bool(false)), String, EcmaGuided, CodeGen),
-        tpl!("String.prototype.lastIndexOf", [Always], WrongValue(R::Number(-1.0)), String, ProgramGen, CodeGen),
-        tpl!("String.fromCharCode", [ArgAbove(0, 65535.0)], WrongThrow(ErrorKind::Range), String, EcmaGuided, Implementation),
+        tpl!(
+            "String.prototype.replace",
+            [ArgMissing(1)],
+            WrongValue(R::Receiver),
+            String,
+            EcmaGuided,
+            Implementation
+        ),
+        tpl!(
+            "String.prototype.replace",
+            [ArgIsBool(1)],
+            WrongThrow(ErrorKind::Type),
+            String,
+            EcmaGuided,
+            Implementation
+        ),
+        tpl!(
+            "String.prototype.replace",
+            [ArgCountAtLeast(3)],
+            WrongValue(R::Receiver),
+            String,
+            EcmaGuided,
+            Implementation
+        ),
+        tpl!(
+            "String.prototype.indexOf",
+            [ArgNegative(1)],
+            WrongValue(R::Number(-1.0)),
+            String,
+            EcmaGuided,
+            CodeGen
+        ),
+        tpl!(
+            "String.prototype.slice",
+            [ArgInfinite(1)],
+            WrongValue(R::Str(String::new())),
+            String,
+            EcmaGuided,
+            CodeGen
+        ),
+        tpl!(
+            "String.prototype.substring",
+            [ArgNaN(0)],
+            WrongThrow(ErrorKind::Range),
+            String,
+            EcmaGuided,
+            Implementation
+        ),
+        tpl!(
+            "String.prototype.charAt",
+            [ArgNonInteger(0)],
+            WrongValue(R::Str(String::new())),
+            String,
+            EcmaGuided,
+            CodeGen
+        ),
+        tpl!(
+            "String.prototype.charCodeAt",
+            [ArgMissing(0)],
+            WrongValue(R::Number(0.0)),
+            String,
+            EcmaGuided,
+            Implementation
+        ),
+        tpl!(
+            "String.prototype.split",
+            [ArgEmptyString(0)],
+            WrongValue(R::Receiver),
+            String,
+            EcmaGuided,
+            Implementation
+        ),
+        tpl!(
+            "String.prototype.concat",
+            [ArgCountAtLeast(2)],
+            WrongValue(R::Receiver),
+            String,
+            ProgramGen,
+            CodeGen
+        ),
+        tpl!(
+            "String.prototype.repeat",
+            [ArgZero(0)],
+            WrongValue(R::Receiver),
+            String,
+            EcmaGuided,
+            Implementation
+        ),
+        tpl!(
+            "String.prototype.padStart",
+            [ArgNegative(0)],
+            WrongThrow(ErrorKind::Range),
+            String,
+            EcmaGuided,
+            Implementation
+        ),
+        tpl!(
+            "String.prototype.padEnd",
+            [ArgEmptyString(1)],
+            WrongValue(R::Receiver),
+            String,
+            EcmaGuided,
+            CodeGen
+        ),
+        tpl!(
+            "String.prototype.trim",
+            [ReceiverEmptyString],
+            WrongThrow(ErrorKind::Type),
+            String,
+            EcmaGuided,
+            Implementation
+        ),
+        tpl!(
+            "String.prototype.toUpperCase",
+            [Always],
+            WrongValue(R::Receiver),
+            String,
+            ProgramGen,
+            Optimizer
+        ),
+        tpl!(
+            "String.prototype.startsWith",
+            [ArgMissing(0)],
+            WrongValue(R::Bool(true)),
+            String,
+            EcmaGuided,
+            Implementation
+        ),
+        tpl!(
+            "String.prototype.endsWith",
+            [ArgZero(1)],
+            WrongValue(R::Bool(true)),
+            String,
+            EcmaGuided,
+            Implementation
+        ),
+        tpl!(
+            "String.prototype.includes",
+            [ArgEmptyString(0)],
+            WrongValue(R::Bool(false)),
+            String,
+            EcmaGuided,
+            CodeGen
+        ),
+        tpl!(
+            "String.prototype.lastIndexOf",
+            [Always],
+            WrongValue(R::Number(-1.0)),
+            String,
+            ProgramGen,
+            CodeGen
+        ),
+        tpl!(
+            "String.fromCharCode",
+            [ArgAbove(0, 65535.0)],
+            WrongThrow(ErrorKind::Range),
+            String,
+            EcmaGuided,
+            Implementation
+        ),
         // --- Array (Table 5 row 3) --------------------------------------------------
-        tpl!("Array.prototype.splice", [ArgNegative(0)], WrongValue(R::Undefined), Array, EcmaGuided, Implementation),
-        tpl!("Array.prototype.slice", [ArgInfinite(0)], WrongThrow(ErrorKind::Range), Array, EcmaGuided, CodeGen),
-        tpl!("Array.prototype.indexOf", [ArgNaN(1)], WrongValue(R::Number(0.0)), Array, EcmaGuided, Implementation),
-        tpl!("Array.prototype.join", [ArgUndefined(0)], WrongValue(R::Str(String::new())), Array, EcmaGuided, Implementation),
-        tpl!("Array.prototype.fill", [ArgNegative(1)], WrongValue(R::Receiver), Array, EcmaGuided, CodeGen),
-        tpl!("Array.prototype.concat", [Always], WrongValue(R::Receiver), Array, ProgramGen, Optimizer),
-        tpl!("Array.prototype.push", [ArgCountAtLeast(2)], WrongValue(R::Number(1.0)), Array, ProgramGen, CodeGen),
-        tpl!("Array.prototype.unshift", [Always], WrongValue(R::Number(0.0)), Array, ProgramGen, CodeGen),
-        tpl!("Array.prototype.reverse", [Always], WrongValue(R::Receiver), Array, ProgramGen, Optimizer),
-        tpl!("Array.prototype.sort", [ArgCountAtLeast(1)], WrongValue(R::Receiver), Array, ProgramGen, Implementation),
-        tpl!("Array.isArray", [ArgIsString(0)], WrongValue(R::Bool(true)), Array, EcmaGuided, Implementation),
-        tpl!("Array.from", [ArgEmptyString(0)], WrongThrow(ErrorKind::Type), Array, EcmaGuided, Implementation),
-        tpl!("Array.prototype.includes", [ArgNaN(0)], WrongValue(R::Bool(false)), Array, EcmaGuided, Implementation),
-        tpl!("Array.prototype.flat", [ArgInfinite(0)], WrongThrow(ErrorKind::Range), Array, EcmaGuided, Implementation),
+        tpl!(
+            "Array.prototype.splice",
+            [ArgNegative(0)],
+            WrongValue(R::Undefined),
+            Array,
+            EcmaGuided,
+            Implementation
+        ),
+        tpl!(
+            "Array.prototype.slice",
+            [ArgInfinite(0)],
+            WrongThrow(ErrorKind::Range),
+            Array,
+            EcmaGuided,
+            CodeGen
+        ),
+        tpl!(
+            "Array.prototype.indexOf",
+            [ArgNaN(1)],
+            WrongValue(R::Number(0.0)),
+            Array,
+            EcmaGuided,
+            Implementation
+        ),
+        tpl!(
+            "Array.prototype.join",
+            [ArgUndefined(0)],
+            WrongValue(R::Str(String::new())),
+            Array,
+            EcmaGuided,
+            Implementation
+        ),
+        tpl!(
+            "Array.prototype.fill",
+            [ArgNegative(1)],
+            WrongValue(R::Receiver),
+            Array,
+            EcmaGuided,
+            CodeGen
+        ),
+        tpl!(
+            "Array.prototype.concat",
+            [Always],
+            WrongValue(R::Receiver),
+            Array,
+            ProgramGen,
+            Optimizer
+        ),
+        tpl!(
+            "Array.prototype.push",
+            [ArgCountAtLeast(2)],
+            WrongValue(R::Number(1.0)),
+            Array,
+            ProgramGen,
+            CodeGen
+        ),
+        tpl!(
+            "Array.prototype.unshift",
+            [Always],
+            WrongValue(R::Number(0.0)),
+            Array,
+            ProgramGen,
+            CodeGen
+        ),
+        tpl!(
+            "Array.prototype.reverse",
+            [Always],
+            WrongValue(R::Receiver),
+            Array,
+            ProgramGen,
+            Optimizer
+        ),
+        tpl!(
+            "Array.prototype.sort",
+            [ArgCountAtLeast(1)],
+            WrongValue(R::Receiver),
+            Array,
+            ProgramGen,
+            Implementation
+        ),
+        tpl!(
+            "Array.isArray",
+            [ArgIsString(0)],
+            WrongValue(R::Bool(true)),
+            Array,
+            EcmaGuided,
+            Implementation
+        ),
+        tpl!(
+            "Array.from",
+            [ArgEmptyString(0)],
+            WrongThrow(ErrorKind::Type),
+            Array,
+            EcmaGuided,
+            Implementation
+        ),
+        tpl!(
+            "Array.prototype.includes",
+            [ArgNaN(0)],
+            WrongValue(R::Bool(false)),
+            Array,
+            EcmaGuided,
+            Implementation
+        ),
+        tpl!(
+            "Array.prototype.flat",
+            [ArgInfinite(0)],
+            WrongThrow(ErrorKind::Range),
+            Array,
+            EcmaGuided,
+            Implementation
+        ),
         // --- TypedArray (Table 5 row 4) ----------------------------------------------
-        tpl!("Uint8Array", [ArgNegative(0)], MissingThrow(R::Undefined), TypedArray, EcmaGuided, Implementation),
-        tpl!("Int32Array", [ArgNonInteger(0)], WrongThrow(ErrorKind::Type), TypedArray, EcmaGuided, Implementation),
-        tpl!("Float64Array", [ArgIsString(0)], WrongThrow(ErrorKind::Type), TypedArray, EcmaGuided, CodeGen),
-        tpl!("%TypedArray%.prototype.fill", [ArgNaN(0)], WrongValue(R::Receiver), TypedArray, EcmaGuided, Implementation),
-        tpl!("%TypedArray%.prototype.subarray", [ArgNegative(0)], WrongThrow(ErrorKind::Range), TypedArray, EcmaGuided, Implementation),
-        tpl!("%TypedArray%.prototype.set", [ArgCountAtLeast(2)], WrongThrow(ErrorKind::Range), TypedArray, EcmaGuided, CodeGen),
+        tpl!(
+            "Uint8Array",
+            [ArgNegative(0)],
+            MissingThrow(R::Undefined),
+            TypedArray,
+            EcmaGuided,
+            Implementation
+        ),
+        tpl!(
+            "Int32Array",
+            [ArgNonInteger(0)],
+            WrongThrow(ErrorKind::Type),
+            TypedArray,
+            EcmaGuided,
+            Implementation
+        ),
+        tpl!(
+            "Float64Array",
+            [ArgIsString(0)],
+            WrongThrow(ErrorKind::Type),
+            TypedArray,
+            EcmaGuided,
+            CodeGen
+        ),
+        tpl!(
+            "%TypedArray%.prototype.fill",
+            [ArgNaN(0)],
+            WrongValue(R::Receiver),
+            TypedArray,
+            EcmaGuided,
+            Implementation
+        ),
+        tpl!(
+            "%TypedArray%.prototype.subarray",
+            [ArgNegative(0)],
+            WrongThrow(ErrorKind::Range),
+            TypedArray,
+            EcmaGuided,
+            Implementation
+        ),
+        tpl!(
+            "%TypedArray%.prototype.set",
+            [ArgCountAtLeast(2)],
+            WrongThrow(ErrorKind::Range),
+            TypedArray,
+            EcmaGuided,
+            CodeGen
+        ),
         // --- Number (Table 5 row 5) ---------------------------------------------------
-        tpl!("Number.prototype.toPrecision", [ArgZero(0)], MissingThrow(R::ReceiverToString), Number, EcmaGuided, Implementation),
-        tpl!("Number.prototype.toString", [ArgAbove(0, 36.0)], MissingThrow(R::ReceiverToString), Number, EcmaGuided, Implementation),
-        tpl!("parseInt", [ArgAbove(1, 36.0)], WrongValue(R::Number(f64::NAN)), Number, EcmaGuided, Implementation),
-        tpl!("parseFloat", [ArgEmptyString(0)], WrongValue(R::Number(0.0)), Number, EcmaGuided, CodeGen),
-        tpl!("Number.isInteger", [ArgIsString(0)], WrongValue(R::Bool(true)), Number, EcmaGuided, Implementation),
+        tpl!(
+            "Number.prototype.toPrecision",
+            [ArgZero(0)],
+            MissingThrow(R::ReceiverToString),
+            Number,
+            EcmaGuided,
+            Implementation
+        ),
+        tpl!(
+            "Number.prototype.toString",
+            [ArgAbove(0, 36.0)],
+            MissingThrow(R::ReceiverToString),
+            Number,
+            EcmaGuided,
+            Implementation
+        ),
+        tpl!(
+            "parseInt",
+            [ArgAbove(1, 36.0)],
+            WrongValue(R::Number(f64::NAN)),
+            Number,
+            EcmaGuided,
+            Implementation
+        ),
+        tpl!(
+            "parseFloat",
+            [ArgEmptyString(0)],
+            WrongValue(R::Number(0.0)),
+            Number,
+            EcmaGuided,
+            CodeGen
+        ),
+        tpl!(
+            "Number.isInteger",
+            [ArgIsString(0)],
+            WrongValue(R::Bool(true)),
+            Number,
+            EcmaGuided,
+            Implementation
+        ),
         // --- eval (Table 5 row 6) -------------------------------------------------------
         tpl!("eval", [ArgEmptyString(0)], WrongThrow(ErrorKind::Syntax), Eval, EcmaGuided, Parser),
         tpl!("eval", [ArgIsBool(0)], WrongThrow(ErrorKind::Type), Eval, EcmaGuided, Parser),
         // --- DataView (Table 5 row 7) ----------------------------------------------------
-        tpl!("DataView.prototype.getUint32", [ArgNegative(0)], WrongValue(R::Number(0.0)), DataView, EcmaGuided, Implementation),
-        tpl!("DataView.prototype.setUint32", [ArgNaN(1)], WrongThrow(ErrorKind::Type), DataView, EcmaGuided, Implementation),
+        tpl!(
+            "DataView.prototype.getUint32",
+            [ArgNegative(0)],
+            WrongValue(R::Number(0.0)),
+            DataView,
+            EcmaGuided,
+            Implementation
+        ),
+        tpl!(
+            "DataView.prototype.setUint32",
+            [ArgNaN(1)],
+            WrongThrow(ErrorKind::Type),
+            DataView,
+            EcmaGuided,
+            Implementation
+        ),
         tpl!("DataView", [ArgMissing(0)], WrongValue(R::Undefined), DataView, EcmaGuided, CodeGen),
         // --- JSON (Table 5 row 8) ----------------------------------------------------------
-        tpl!("JSON.stringify", [ArgUndefined(0)], WrongValue(R::Str("null".into())), Json, EcmaGuided, Implementation),
+        tpl!(
+            "JSON.stringify",
+            [ArgUndefined(0)],
+            WrongValue(R::Str("null".into())),
+            Json,
+            EcmaGuided,
+            Implementation
+        ),
         tpl!("JSON.parse", [ArgEmptyString(0)], WrongValue(R::Null), Json, EcmaGuided, Parser),
-        tpl!("JSON.stringify", [ArgCountAtLeast(3)], WrongValue(R::Str(String::new())), Json, ProgramGen, Implementation),
+        tpl!(
+            "JSON.stringify",
+            [ArgCountAtLeast(3)],
+            WrongValue(R::Str(String::new())),
+            Json,
+            ProgramGen,
+            Implementation
+        ),
         // --- RegExp (Table 5 row 9) ----------------------------------------------------------
-        tpl!("RegExp.prototype.exec", [ArgEmptyString(0)], WrongValue(R::Null), RegExp, EcmaGuided, RegexEngine),
-        tpl!("RegExp.prototype.test", [ArgMissing(0)], WrongValue(R::Bool(true)), RegExp, EcmaGuided, RegexEngine),
-        tpl!("String.prototype.match", [Always], WrongValue(R::Null), RegExp, ProgramGen, RegexEngine),
-        tpl!("String.prototype.search", [Always], WrongValue(R::Number(-1.0)), RegExp, ProgramGen, RegexEngine),
+        tpl!(
+            "RegExp.prototype.exec",
+            [ArgEmptyString(0)],
+            WrongValue(R::Null),
+            RegExp,
+            EcmaGuided,
+            RegexEngine
+        ),
+        tpl!(
+            "RegExp.prototype.test",
+            [ArgMissing(0)],
+            WrongValue(R::Bool(true)),
+            RegExp,
+            EcmaGuided,
+            RegexEngine
+        ),
+        tpl!(
+            "String.prototype.match",
+            [Always],
+            WrongValue(R::Null),
+            RegExp,
+            ProgramGen,
+            RegexEngine
+        ),
+        tpl!(
+            "String.prototype.search",
+            [Always],
+            WrongValue(R::Number(-1.0)),
+            RegExp,
+            ProgramGen,
+            RegexEngine
+        ),
         // --- Date (Table 5 row 10) --------------------------------------------------------------
-        tpl!("Date.prototype.getFullYear", [Always], WrongValue(R::Number(1970.0)), Date, ProgramGen, Implementation),
+        tpl!(
+            "Date.prototype.getFullYear",
+            [Always],
+            WrongValue(R::Number(1970.0)),
+            Date,
+            ProgramGen,
+            Implementation
+        ),
         tpl!("Date.now", [Always], WrongValue(R::Number(0.0)), Date, ProgramGen, Implementation),
         // --- extra long-tail (keeps template overlap between engines low) -------------
-        tpl!("Math.round", [ArgNonInteger(0)], WrongValue(R::Number(0.0)), NonApi, EcmaGuided, CodeGen),
+        tpl!(
+            "Math.round",
+            [ArgNonInteger(0)],
+            WrongValue(R::Number(0.0)),
+            NonApi,
+            EcmaGuided,
+            CodeGen
+        ),
         tpl!("Math.min", [ArgNaN(0)], WrongValue(R::Number(0.0)), NonApi, EcmaGuided, CodeGen),
         tpl!("Math.max", [ArgMissing(0)], WrongValue(R::Number(0.0)), NonApi, EcmaGuided, CodeGen),
         tpl!("Math.pow", [ArgZero(1)], WrongValue(R::Number(0.0)), NonApi, EcmaGuided, Optimizer),
         tpl!("isNaN", [ArgIsString(0)], WrongValue(R::Bool(false)), NonApi, ProgramGen, CodeGen),
         tpl!("isFinite", [ArgInfinite(0)], WrongValue(R::Bool(true)), NonApi, ProgramGen, CodeGen),
-        tpl!("Function.prototype.call", [ArgCountAtLeast(3)], WrongThrow(ErrorKind::Type), NonApi, ProgramGen, CodeGen),
-        tpl!("Function.prototype.apply", [ArgMissing(1)], WrongThrow(ErrorKind::Type), NonApi, EcmaGuided, CodeGen),
-        tpl!("String.prototype.big", [Always], WrongValue(R::Receiver), String, ProgramGen, Implementation),
-        tpl!("Array.prototype.pop", [Always], WrongValue(R::Undefined), Array, ProgramGen, Optimizer),
-        tpl!("Array.prototype.shift", [Always], WrongValue(R::Undefined), Array, ProgramGen, Optimizer),
-        tpl!("String.prototype.localeCompare", [Always], WrongValue(R::Number(0.0)), String, ProgramGen, Implementation),
-        tpl!("Number.parseFloat", [Always], WrongValue(R::Number(f64::NAN)), Number, ProgramGen, CodeGen),
-        tpl!("Object.isExtensible", [Always], WrongValue(R::Bool(false)), Object, ProgramGen, Optimizer),
-        tpl!("Object.getOwnPropertyDescriptor", [ArgCountAtLeast(2)], WrongValue(R::Undefined), Object, ProgramGen, Implementation),
-        tpl!("Object.preventExtensions", [Always], WrongValue(R::Undefined), Object, ProgramGen, Optimizer, strict),
-        tpl!("String.prototype.substr", [ArgNegative(0)], WrongValue(R::Receiver), String, EcmaGuided, CodeGen),
-        tpl!("String.prototype.substring", [ArgCountAtLeast(2), ArgAbove(0, 0.0)], WrongValue(R::Receiver), String, ProgramGen, Optimizer),
-        tpl!("Array.prototype.lastIndexOf", [ArgNegative(1)], WrongValue(R::Number(-1.0)), Array, EcmaGuided, Implementation),
+        tpl!(
+            "Function.prototype.call",
+            [ArgCountAtLeast(3)],
+            WrongThrow(ErrorKind::Type),
+            NonApi,
+            ProgramGen,
+            CodeGen
+        ),
+        tpl!(
+            "Function.prototype.apply",
+            [ArgMissing(1)],
+            WrongThrow(ErrorKind::Type),
+            NonApi,
+            EcmaGuided,
+            CodeGen
+        ),
+        tpl!(
+            "String.prototype.big",
+            [Always],
+            WrongValue(R::Receiver),
+            String,
+            ProgramGen,
+            Implementation
+        ),
+        tpl!(
+            "Array.prototype.pop",
+            [Always],
+            WrongValue(R::Undefined),
+            Array,
+            ProgramGen,
+            Optimizer
+        ),
+        tpl!(
+            "Array.prototype.shift",
+            [Always],
+            WrongValue(R::Undefined),
+            Array,
+            ProgramGen,
+            Optimizer
+        ),
+        tpl!(
+            "String.prototype.localeCompare",
+            [Always],
+            WrongValue(R::Number(0.0)),
+            String,
+            ProgramGen,
+            Implementation
+        ),
+        tpl!(
+            "Number.parseFloat",
+            [Always],
+            WrongValue(R::Number(f64::NAN)),
+            Number,
+            ProgramGen,
+            CodeGen
+        ),
+        tpl!(
+            "Object.isExtensible",
+            [Always],
+            WrongValue(R::Bool(false)),
+            Object,
+            ProgramGen,
+            Optimizer
+        ),
+        tpl!(
+            "Object.getOwnPropertyDescriptor",
+            [ArgCountAtLeast(2)],
+            WrongValue(R::Undefined),
+            Object,
+            ProgramGen,
+            Implementation
+        ),
+        tpl!(
+            "Object.preventExtensions",
+            [Always],
+            WrongValue(R::Undefined),
+            Object,
+            ProgramGen,
+            Optimizer,
+            strict
+        ),
+        tpl!(
+            "String.prototype.substr",
+            [ArgNegative(0)],
+            WrongValue(R::Receiver),
+            String,
+            EcmaGuided,
+            CodeGen
+        ),
+        tpl!(
+            "String.prototype.substring",
+            [ArgCountAtLeast(2), ArgAbove(0, 0.0)],
+            WrongValue(R::Receiver),
+            String,
+            ProgramGen,
+            Optimizer
+        ),
+        tpl!(
+            "Array.prototype.lastIndexOf",
+            [ArgNegative(1)],
+            WrongValue(R::Number(-1.0)),
+            Array,
+            EcmaGuided,
+            Implementation
+        ),
         tpl!("Math.sign", [ArgZero(0)], WrongValue(R::Number(1.0)), NonApi, EcmaGuided, CodeGen),
-        tpl!("Object.prototype.propertyIsEnumerable", [Always], WrongValue(R::Bool(true)), Object, ProgramGen, Implementation),
-        tpl!("Object.prototype.isPrototypeOf", [Always], WrongValue(R::Bool(false)), Object, ProgramGen, Implementation),
-        tpl!("String.prototype.codePointAt", [ArgMissing(0)], WrongValue(R::Undefined), String, EcmaGuided, Implementation),
-        tpl!("Number.prototype.toFixed", [ArgAbove(0, 20.0)], MissingThrow(R::ReceiverToString), Number, EcmaGuided, Implementation),
+        tpl!(
+            "Object.prototype.propertyIsEnumerable",
+            [Always],
+            WrongValue(R::Bool(true)),
+            Object,
+            ProgramGen,
+            Implementation
+        ),
+        tpl!(
+            "Object.prototype.isPrototypeOf",
+            [Always],
+            WrongValue(R::Bool(false)),
+            Object,
+            ProgramGen,
+            Implementation
+        ),
+        tpl!(
+            "String.prototype.codePointAt",
+            [ArgMissing(0)],
+            WrongValue(R::Undefined),
+            String,
+            EcmaGuided,
+            Implementation
+        ),
+        tpl!(
+            "Number.prototype.toFixed",
+            [ArgAbove(0, 20.0)],
+            MissingThrow(R::ReceiverToString),
+            Number,
+            EcmaGuided,
+            Implementation
+        ),
         tpl!("Array.of", [Always], WrongValue(R::Undefined), Array, ProgramGen, CodeGen),
-        tpl!("String.prototype.trimStart", [Always], WrongValue(R::Receiver), String, ProgramGen, CodeGen),
-        tpl!("String.prototype.trimEnd", [Always], WrongValue(R::Receiver), String, ProgramGen, CodeGen),
-        tpl!("Boolean.prototype.valueOf", [Always], WrongValue(R::Bool(false)), NonApi, ProgramGen, Implementation),
+        tpl!(
+            "String.prototype.trimStart",
+            [Always],
+            WrongValue(R::Receiver),
+            String,
+            ProgramGen,
+            CodeGen
+        ),
+        tpl!(
+            "String.prototype.trimEnd",
+            [Always],
+            WrongValue(R::Receiver),
+            String,
+            ProgramGen,
+            CodeGen
+        ),
+        tpl!(
+            "Boolean.prototype.valueOf",
+            [Always],
+            WrongValue(R::Bool(false)),
+            NonApi,
+            ProgramGen,
+            Implementation
+        ),
     ]
 }
 

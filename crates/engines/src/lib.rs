@@ -17,15 +17,17 @@
 //!
 //! ```
 //! use comfort_engines::{Engine, EngineName};
+//! use comfort_interp::RunOptions;
 //!
 //! let program = comfort_syntax::parse(
 //!     "var s = 'Name: Albert'; print(s.substr(6, undefined));",
 //! ).expect("valid JS");
 //!
+//! let opts = RunOptions::default();
 //! let v8 = Engine::latest(EngineName::V8);
 //! let rhino = Engine::latest(EngineName::Rhino);
-//! assert_eq!(v8.run(&program).output, "Albert\n");
-//! assert_eq!(rhino.run(&program).output, "\n"); // the seeded Figure-2 bug
+//! assert_eq!(v8.run(&program, &opts).output, "Albert\n");
+//! assert_eq!(rhino.run(&program, &opts).output, "\n"); // the seeded Figure-2 bug
 //! ```
 
 pub mod catalog;
@@ -36,7 +38,8 @@ pub use catalog::{quota, ApiType, BugId, Component, Discovery, Effect, SeededBug
 pub use profile::EngineProfile;
 pub use registry::{all_versions, versions_of, EngineName, EngineVersion, EsEdition};
 
-use comfort_interp::{run_program, RunOptions, RunResult};
+use comfort_interp::run_program;
+pub use comfort_interp::{RunOptions, RunResult};
 use comfort_syntax::Program;
 use std::sync::OnceLock;
 
@@ -85,13 +88,10 @@ impl Engine {
         self.profile.bugs()
     }
 
-    /// Runs `program` in normal mode with default options.
-    pub fn run(&self, program: &Program) -> RunResult {
-        run_program(program, &self.profile, &RunOptions::default())
-    }
-
-    /// Runs `program` with explicit options (strict testbed, fuel, coverage).
-    pub fn run_with(&self, program: &Program, options: &RunOptions) -> RunResult {
+    /// Runs `program` with the given options. This is the single execution
+    /// entry point: fuel, strict mode, and coverage all travel in
+    /// [`RunOptions`] (`&RunOptions::default()` for a plain normal-mode run).
+    pub fn run(&self, program: &Program, options: &RunOptions) -> RunResult {
         run_program(program, &self.profile, options)
     }
 }
@@ -115,10 +115,12 @@ impl Testbed {
         }
     }
 
-    /// Runs a program on this testbed.
-    pub fn run(&self, program: &Program, fuel: u64, coverage: bool) -> RunResult {
+    /// Runs a program on this testbed. The testbed's mode is merged into the
+    /// options: a strict testbed always runs strict, regardless of
+    /// `options.strict`.
+    pub fn run(&self, program: &Program, options: &RunOptions) -> RunResult {
         self.engine
-            .run_with(program, &RunOptions { fuel, force_strict: self.strict, coverage })
+            .run(program, &RunOptions { strict: self.strict || options.strict, ..options.clone() })
     }
 }
 
@@ -149,7 +151,7 @@ mod tests {
     use comfort_syntax::parse;
 
     fn run_on(engine: &Engine, src: &str) -> RunResult {
-        engine.run(&parse(src).expect("test source parses"))
+        engine.run(&parse(src).expect("test source parses"), &RunOptions::default())
     }
 
     #[test]
@@ -296,8 +298,9 @@ print(obj[property]);
         let bed_normal = Testbed { engine: Engine::latest(EngineName::V8), strict: false };
         let bed_strict = Testbed { engine: Engine::latest(EngineName::V8), strict: true };
         let program = parse("x = 1; print(x);").expect("parses");
-        assert!(bed_normal.run(&program, 100_000, false).status.is_completed());
-        assert!(!bed_strict.run(&program, 100_000, false).status.is_completed());
+        let opts = RunOptions::with_fuel(100_000);
+        assert!(bed_normal.run(&program, &opts).status.is_completed());
+        assert!(!bed_strict.run(&program, &opts).status.is_completed());
         assert!(bed_strict.label().contains("[strict]"));
     }
 
@@ -310,7 +313,7 @@ print(obj[property]);
         .expect("parses");
         let outputs: Vec<String> = latest_testbeds()
             .iter()
-            .map(|t| t.run(&program, 1_000_000, false).output)
+            .map(|t| t.run(&program, &RunOptions::with_fuel(1_000_000)).output)
             .collect();
         assert!(outputs.iter().all(|o| o == "17\n"), "{outputs:?}");
     }

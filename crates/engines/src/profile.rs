@@ -62,10 +62,9 @@ impl ConformanceProfile for EngineProfile {
                 format!("invalid argument to {} ({})", site.api, self.version.engine),
             ),
             Some(Effect::MissingThrow(recipe)) => Deviation::SuppressThrow(recipe.clone()),
-            Some(Effect::Crash) => Deviation::Crash(format!(
-                "Segmentation fault (core dumped) in {}",
-                site.api
-            )),
+            Some(Effect::Crash) => {
+                Deviation::Crash(format!("Segmentation fault (core dumped) in {}", site.api))
+            }
             Some(Effect::Perf(extra)) => Deviation::Slowdown(*extra),
             // Special-hook effects never route through `on_builtin`.
             Some(
@@ -78,7 +77,12 @@ impl ConformanceProfile for EngineProfile {
         }
     }
 
-    fn on_define_property(&self, target_class: &'static str, key: &str, _strict: bool) -> Deviation {
+    fn on_define_property(
+        &self,
+        target_class: &'static str,
+        key: &str,
+        _strict: bool,
+    ) -> Deviation {
         if target_class == "Array"
             && key == "length"
             && self.bugs.iter().any(|b| b.effect == Effect::DefinePropLengthSuppress)

@@ -118,10 +118,21 @@ impl EsEdition {
             | "Object.assign"
             | "Object.setPrototypeOf" => EsEdition::Es2015,
             // Typed arrays standardised in ES2015 too.
-            "Uint8Array" | "Int8Array" | "Uint8ClampedArray" | "Uint16Array" | "Int16Array"
-            | "Uint32Array" | "Int32Array" | "Float32Array" | "Float64Array" | "DataView"
-            | "ArrayBuffer" | "%TypedArray%.prototype.set" | "%TypedArray%.prototype.subarray"
-            | "%TypedArray%.prototype.fill" | "%TypedArray%.prototype.slice" => EsEdition::Es2015,
+            "Uint8Array"
+            | "Int8Array"
+            | "Uint8ClampedArray"
+            | "Uint16Array"
+            | "Int16Array"
+            | "Uint32Array"
+            | "Int32Array"
+            | "Float32Array"
+            | "Float64Array"
+            | "DataView"
+            | "ArrayBuffer"
+            | "%TypedArray%.prototype.set"
+            | "%TypedArray%.prototype.subarray"
+            | "%TypedArray%.prototype.fill"
+            | "%TypedArray%.prototype.slice" => EsEdition::Es2015,
             // ES2016/2017 (folded into the 2018 tier we model).
             "Array.prototype.includes"
             | "String.prototype.padStart"
@@ -129,9 +140,9 @@ impl EsEdition {
             | "Object.values"
             | "Object.entries" => EsEdition::Es2018,
             // ES2019.
-            "Array.prototype.flat"
-            | "String.prototype.trimStart"
-            | "String.prototype.trimEnd" => EsEdition::Es2019,
+            "Array.prototype.flat" | "String.prototype.trimStart" | "String.prototype.trimEnd" => {
+                EsEdition::Es2019
+            }
             // ES2020+ (and `at` is ES2022; Graaljs-only in our matrix).
             "String.prototype.at" => EsEdition::Es2020,
             _ => return true,

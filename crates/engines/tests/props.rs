@@ -2,12 +2,12 @@
 //! (an engine only ever deviates when a seeded bug explains it), and version
 //! monotonicity of the paper-listing bugs.
 
-use comfort_engines::{versions_of, Engine, EngineName};
+use comfort_engines::{versions_of, Engine, EngineName, RunOptions};
 use comfort_interp::RunStatus;
 use proptest::prelude::*;
 
 fn signature(engine: &Engine, program: &comfort_syntax::Program) -> (String, String) {
-    let r = engine.run(program);
+    let r = engine.run(program, &RunOptions::default());
     let status = match r.status {
         RunStatus::Completed => "ok".to_string(),
         RunStatus::Threw { kind, .. } => format!("threw {kind:?}"),
@@ -65,7 +65,7 @@ proptest! {
         );
         for name in EngineName::ALL {
             let engine = Engine::latest(name);
-            let r = engine.run(&program);
+            let r = engine.run(&program, &RunOptions::default());
             let sig = (matches!(r.status, RunStatus::Completed), r.output);
             if sig != ref_sig {
                 prop_assert!(
@@ -83,7 +83,7 @@ fn fixed_bugs_stay_fixed_in_all_later_versions() {
     // and symmetrically the bug must exist in every earlier version.
     let program = comfort_syntax::parse("print(new Uint32Array(3.14).length);").expect("parses");
     for v in versions_of(EngineName::SpiderMonkey) {
-        let r = Engine::new(v).run(&program);
+        let r = Engine::new(v).run(&program, &RunOptions::default());
         if v.ordinal < 2 {
             assert!(!r.status.is_completed(), "{} must still have the bug", v.label());
         } else {
@@ -102,11 +102,8 @@ fn strict_and_normal_testbeds_share_conforming_behaviour() {
     .expect("parses");
     for name in EngineName::ALL {
         let engine = Engine::latest(name);
-        let normal = engine.run_with(&program, &comfort_interp::RunOptions::default());
-        let strict = engine.run_with(
-            &program,
-            &comfort_interp::RunOptions { force_strict: true, ..Default::default() },
-        );
+        let normal = engine.run(&program, &RunOptions::default());
+        let strict = engine.run(&program, &RunOptions { strict: true, ..Default::default() });
         assert_eq!(normal.output, strict.output, "{name}");
     }
 }

@@ -274,7 +274,9 @@ fn includes(interp: &mut Interp<'_>, this: Value, args: &[Value]) -> Result<Valu
     let needle = arg(args, 0);
     let nan_needle = matches!(needle, Value::Number(n) if n.is_nan());
     let found = array_elems(interp, id).iter().any(|e| match e {
-        Some(v) => v.strict_eq(&needle) || (nan_needle && matches!(v, Value::Number(n) if n.is_nan())),
+        Some(v) => {
+            v.strict_eq(&needle) || (nan_needle && matches!(v, Value::Number(n) if n.is_nan()))
+        }
         // `includes` treats holes as undefined (unlike indexOf).
         None => needle.is_undefined(),
     });
@@ -378,7 +380,8 @@ fn reduce_impl(
     let id = this_array(interp, &this)?;
     let cb = arg(args, 0);
     let elems = array_elems(interp, id);
-    let order: Vec<usize> = if right { (0..elems.len()).rev().collect() } else { (0..elems.len()).collect() };
+    let order: Vec<usize> =
+        if right { (0..elems.len()).rev().collect() } else { (0..elems.len()).collect() };
     let mut iter = order.into_iter().filter(|&i| elems[i].is_some());
     let mut acc = if args.len() >= 2 {
         arg(args, 1)
@@ -386,7 +389,9 @@ fn reduce_impl(
         match iter.next() {
             Some(i) => elems[i].clone().expect("filtered to non-holes"),
             None => {
-                return Err(interp.throw(ErrorKind::Type, "Reduce of empty array with no initial value"))
+                return Err(
+                    interp.throw(ErrorKind::Type, "Reduce of empty array with no initial value")
+                )
             }
         }
     };
@@ -422,13 +427,9 @@ fn sort(interp: &mut Interp<'_>, this: Value, args: &[Value]) -> Result<Value, C
     let cmp = arg(args, 0);
     let elems = array_elems(interp, id);
     // Holes and undefineds sort last, per spec.
-    let mut values: Vec<Value> = elems
-        .iter()
-        .filter_map(|e| e.clone())
-        .filter(|v| !v.is_undefined())
-        .collect();
-    let undefined_count =
-        elems.iter().filter(|e| matches!(e, Some(Value::Undefined))).count();
+    let mut values: Vec<Value> =
+        elems.iter().filter_map(|e| e.clone()).filter(|v| !v.is_undefined()).collect();
+    let undefined_count = elems.iter().filter(|e| matches!(e, Some(Value::Undefined))).count();
     let hole_count = elems.iter().filter(|e| e.is_none()).count();
 
     // Insertion sort so the user comparator can throw mid-way.
@@ -494,17 +495,11 @@ fn flat(interp: &mut Interp<'_>, this: Value, args: &[Value]) -> Result<Value, C
         Value::Undefined => 1.0,
         v => ops::to_integer(interp.to_number(&v)?),
     };
-    fn go(
-        interp: &Interp<'_>,
-        elems: &[Option<Value>],
-        depth: f64,
-        out: &mut Vec<Option<Value>>,
-    ) {
+    fn go(interp: &Interp<'_>, elems: &[Option<Value>], depth: f64, out: &mut Vec<Option<Value>>) {
         for e in elems.iter().flatten() {
             match e {
                 Value::Obj(id)
-                    if depth >= 1.0
-                        && matches!(interp.obj(*id).kind, ObjKind::Array { .. }) =>
+                    if depth >= 1.0 && matches!(interp.obj(*id).kind, ObjKind::Array { .. }) =>
                 {
                     let inner = match &interp.obj(*id).kind {
                         ObjKind::Array { elems } => elems.clone(),

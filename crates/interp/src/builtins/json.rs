@@ -195,17 +195,14 @@ struct JsonParser {
 
 impl JsonParser {
     fn ws(&mut self) {
-        while self
-            .chars
-            .get(self.pos)
-            .is_some_and(|c| matches!(c, ' ' | '\t' | '\n' | '\r'))
-        {
+        while self.chars.get(self.pos).is_some_and(|c| matches!(c, ' ' | '\t' | '\n' | '\r')) {
             self.pos += 1;
         }
     }
 
     fn err(&self, interp: &mut Interp<'_>) -> Control {
-        interp.throw(ErrorKind::Syntax, format!("Unexpected token in JSON at position {}", self.pos))
+        interp
+            .throw(ErrorKind::Syntax, format!("Unexpected token in JSON at position {}", self.pos))
     }
 
     fn eat(&mut self, c: char) -> bool {
@@ -219,9 +216,7 @@ impl JsonParser {
 
     fn lit(&mut self, word: &str) -> bool {
         let end = self.pos + word.len();
-        if end <= self.chars.len()
-            && self.chars[self.pos..end].iter().collect::<String>() == word
-        {
+        if end <= self.chars.len() && self.chars[self.pos..end].iter().collect::<String>() == word {
             self.pos = end;
             true
         } else {
@@ -363,8 +358,6 @@ impl JsonParser {
             }
         }
         let text: String = self.chars[start..self.pos].iter().collect();
-        text.parse::<f64>()
-            .map(Value::Number)
-            .map_err(|_| self.err(interp))
+        text.parse::<f64>().map(Value::Number).map_err(|_| self.err(interp))
     }
 }

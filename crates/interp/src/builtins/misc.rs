@@ -77,7 +77,11 @@ fn eval_fn(interp: &mut Interp<'_>, _this: Value, args: &[Value]) -> Result<Valu
     }
 }
 
-fn global_parse_int(interp: &mut Interp<'_>, _this: Value, args: &[Value]) -> Result<Value, Control> {
+fn global_parse_int(
+    interp: &mut Interp<'_>,
+    _this: Value,
+    args: &[Value],
+) -> Result<Value, Control> {
     let s = {
         let v = arg(args, 0);
         interp.to_js_string(&v)?
@@ -103,7 +107,11 @@ fn global_is_nan(interp: &mut Interp<'_>, _this: Value, args: &[Value]) -> Resul
     Ok(Value::Bool(n.is_nan()))
 }
 
-fn global_is_finite(interp: &mut Interp<'_>, _this: Value, args: &[Value]) -> Result<Value, Control> {
+fn global_is_finite(
+    interp: &mut Interp<'_>,
+    _this: Value,
+    args: &[Value],
+) -> Result<Value, Control> {
     let n = interp.to_number(&arg(args, 0))?;
     Ok(Value::Bool(n.is_finite()))
 }
@@ -118,16 +126,19 @@ fn fn_apply(interp: &mut Interp<'_>, this: Value, args: &[Value]) -> Result<Valu
     let list = match arg(args, 1) {
         Value::Undefined | Value::Null => Vec::new(),
         Value::Obj(id) => match &interp.obj(id).kind {
-            ObjKind::Array { elems } => elems
-                .iter()
-                .map(|e| e.clone().unwrap_or(Value::Undefined))
-                .collect(),
+            ObjKind::Array { elems } => {
+                elems.iter().map(|e| e.clone().unwrap_or(Value::Undefined)).collect()
+            }
             _ => {
-                return Err(interp.throw(ErrorKind::Type, "CreateListFromArrayLike called on non-object"))
+                return Err(
+                    interp.throw(ErrorKind::Type, "CreateListFromArrayLike called on non-object")
+                )
             }
         },
         _ => {
-            return Err(interp.throw(ErrorKind::Type, "CreateListFromArrayLike called on non-object"))
+            return Err(
+                interp.throw(ErrorKind::Type, "CreateListFromArrayLike called on non-object")
+            )
         }
     };
     interp.call_value(&this, this_arg, &list)
@@ -136,22 +147,20 @@ fn fn_apply(interp: &mut Interp<'_>, this: Value, args: &[Value]) -> Result<Valu
 fn fn_bind(interp: &mut Interp<'_>, this: Value, args: &[Value]) -> Result<Value, Control> {
     // Represent the bound function as a plain array-backed closure record:
     // [target, boundThis, ...boundArgs], dispatched by a native trampoline.
-    let record = interp.new_array(
-        std::iter::once(Some(this))
-            .chain(args.iter().cloned().map(Some))
-            .collect(),
-    );
+    let record = interp
+        .new_array(std::iter::once(Some(this)).chain(args.iter().cloned().map(Some)).collect());
     let tramp = native(interp, "bound function", bound_trampoline);
     if let (Value::Obj(tid), Value::Obj(_)) = (&tramp, &record) {
-        interp
-            .obj_mut(*tid)
-            .props
-            .insert("__bound__", Prop::frozen(record));
+        interp.obj_mut(*tid).props.insert("__bound__", Prop::frozen(record));
     }
     Ok(tramp)
 }
 
-fn bound_trampoline(interp: &mut Interp<'_>, _this: Value, args: &[Value]) -> Result<Value, Control> {
+fn bound_trampoline(
+    interp: &mut Interp<'_>,
+    _this: Value,
+    args: &[Value],
+) -> Result<Value, Control> {
     // `this` for natives is the receiver of the call, so the record must be
     // read off the function object itself; the interpreter passes the callee
     // as receiver only for method calls. We instead stash the record on the
@@ -177,11 +186,8 @@ fn bound_trampoline(interp: &mut Interp<'_>, _this: Value, args: &[Value]) -> Re
     };
     let target = elems.first().cloned().flatten().unwrap_or(Value::Undefined);
     let bound_this = elems.get(1).cloned().flatten().unwrap_or(Value::Undefined);
-    let mut all: Vec<Value> = elems
-        .iter()
-        .skip(2)
-        .map(|e| e.clone().unwrap_or(Value::Undefined))
-        .collect();
+    let mut all: Vec<Value> =
+        elems.iter().skip(2).map(|e| e.clone().unwrap_or(Value::Undefined)).collect();
     all.extend(args.iter().cloned());
     interp.call_value(&target, bound_this, &all)
 }
@@ -229,14 +235,26 @@ fn error_ctor(
     Ok(Value::Obj(interp.alloc(obj)))
 }
 
-fn error_to_string(interp: &mut Interp<'_>, this: Value, _args: &[Value]) -> Result<Value, Control> {
+fn error_to_string(
+    interp: &mut Interp<'_>,
+    this: Value,
+    _args: &[Value],
+) -> Result<Value, Control> {
     let name = {
         let v = interp.get_property(&this, "name")?;
-        if v.is_undefined() { "Error".to_string() } else { interp.to_js_string(&v)? }
+        if v.is_undefined() {
+            "Error".to_string()
+        } else {
+            interp.to_js_string(&v)?
+        }
     };
     let message = {
         let v = interp.get_property(&this, "message")?;
-        if v.is_undefined() { String::new() } else { interp.to_js_string(&v)? }
+        if v.is_undefined() {
+            String::new()
+        } else {
+            interp.to_js_string(&v)?
+        }
     };
     Ok(Value::str(if message.is_empty() {
         name

@@ -14,7 +14,6 @@ mod regexp;
 mod string;
 mod typedarray;
 
-
 use crate::value::{ErrorKind, NativeFn, Obj, ObjId, ObjKind, Prop, TaKind, Value};
 use crate::{Control, Interp};
 
@@ -96,14 +95,8 @@ pub(crate) fn def_ctor(
 ) -> ObjId {
     let ctor = native(interp, name, func);
     let Value::Obj(ctor_id) = ctor else { unreachable!("native returns object") };
-    interp
-        .obj_mut(ctor_id)
-        .props
-        .insert("prototype", Prop::frozen(Value::Obj(proto)));
-    interp
-        .obj_mut(proto)
-        .props
-        .insert("constructor", Prop::builtin(Value::Obj(ctor_id)));
+    interp.obj_mut(ctor_id).props.insert("prototype", Prop::frozen(Value::Obj(proto)));
+    interp.obj_mut(proto).props.insert("constructor", Prop::builtin(Value::Obj(ctor_id)));
     def_global(interp, name, Value::Obj(ctor_id));
     ctor_id
 }
@@ -113,10 +106,9 @@ pub(crate) fn def_ctor(
 /// `RequireObjectCoercible` + `ToString(this)`.
 pub(crate) fn this_string(interp: &mut Interp<'_>, this: &Value) -> Result<String, Control> {
     if this.is_nullish() {
-        return Err(interp.throw(
-            ErrorKind::Type,
-            "String.prototype method called on null or undefined",
-        ));
+        return Err(
+            interp.throw(ErrorKind::Type, "String.prototype method called on null or undefined")
+        );
     }
     interp.to_js_string(this)
 }
@@ -196,11 +188,7 @@ pub(crate) fn typed_store(buf: &mut [u8], kind: TaKind, at: usize, v: f64) {
     match kind {
         TaKind::I8 | TaKind::U8 => dst[0] = crate::ops::to_uint32(v) as u8,
         TaKind::U8Clamped => {
-            dst[0] = if v.is_nan() {
-                0
-            } else {
-                v.round().clamp(0.0, 255.0) as u8
-            };
+            dst[0] = if v.is_nan() { 0 } else { v.round().clamp(0.0, 255.0) as u8 };
         }
         TaKind::I16 | TaKind::U16 => {
             dst.copy_from_slice(&((crate::ops::to_uint32(v) as u16).to_le_bytes()));

@@ -107,7 +107,9 @@ fn to_fixed(interp: &mut Interp<'_>, this: Value, args: &[Value]) -> Result<Valu
     let n = this_number(interp, &this)?;
     let digits = ops::to_integer(interp.to_number(&arg(args, 0))?);
     if !(0.0..=100.0).contains(&digits) {
-        return Err(interp.throw(ErrorKind::Range, "toFixed() digits argument must be between 0 and 100"));
+        return Err(
+            interp.throw(ErrorKind::Range, "toFixed() digits argument must be between 0 and 100")
+        );
     }
     if n.is_nan() {
         return Ok(Value::str("NaN"));
@@ -125,7 +127,9 @@ fn to_precision(interp: &mut Interp<'_>, this: Value, args: &[Value]) -> Result<
         v => ops::to_integer(interp.to_number(&v)?),
     };
     if !(1.0..=100.0).contains(&p) {
-        return Err(interp.throw(ErrorKind::Range, "toPrecision() argument must be between 1 and 100"));
+        return Err(
+            interp.throw(ErrorKind::Range, "toPrecision() argument must be between 1 and 100")
+        );
     }
     if n.is_nan() || n.is_infinite() {
         return Ok(Value::str(ops::number_to_string(n)));
@@ -142,7 +146,11 @@ fn to_precision(interp: &mut Interp<'_>, this: Value, args: &[Value]) -> Result<
     }
 }
 
-fn number_to_string(interp: &mut Interp<'_>, this: Value, args: &[Value]) -> Result<Value, Control> {
+fn number_to_string(
+    interp: &mut Interp<'_>,
+    this: Value,
+    args: &[Value],
+) -> Result<Value, Control> {
     let n = this_number(interp, &this)?;
     let radix = match arg(args, 0) {
         Value::Undefined => 10.0,

@@ -15,13 +15,7 @@ pub(super) fn install(interp: &mut Interp<'_>) {
         "Object.prototype.hasOwnProperty",
         has_own_property,
     );
-    def_method(
-        interp,
-        proto,
-        "isPrototypeOf",
-        "Object.prototype.isPrototypeOf",
-        is_prototype_of,
-    );
+    def_method(interp, proto, "isPrototypeOf", "Object.prototype.isPrototypeOf", is_prototype_of);
     def_method(
         interp,
         proto,
@@ -39,13 +33,7 @@ pub(super) fn install(interp: &mut Interp<'_>) {
     def_method(interp, ctor, "isFrozen", "Object.isFrozen", is_frozen);
     def_method(interp, ctor, "seal", "Object.seal", seal);
     def_method(interp, ctor, "isSealed", "Object.isSealed", is_sealed);
-    def_method(
-        interp,
-        ctor,
-        "preventExtensions",
-        "Object.preventExtensions",
-        prevent_extensions,
-    );
+    def_method(interp, ctor, "preventExtensions", "Object.preventExtensions", prevent_extensions);
     def_method(interp, ctor, "isExtensible", "Object.isExtensible", is_extensible);
     def_method(interp, ctor, "defineProperty", "Object.defineProperty", define_property);
     def_method(
@@ -125,7 +113,11 @@ fn obj_value_of(interp: &mut Interp<'_>, this: Value, _args: &[Value]) -> Result
     Ok(this)
 }
 
-fn has_own_property(interp: &mut Interp<'_>, this: Value, args: &[Value]) -> Result<Value, Control> {
+fn has_own_property(
+    interp: &mut Interp<'_>,
+    this: Value,
+    args: &[Value],
+) -> Result<Value, Control> {
     let key = {
         let k = arg(args, 0);
         interp.to_js_string(&k)?
@@ -261,8 +253,7 @@ fn is_frozen(interp: &mut Interp<'_>, _this: Value, args: &[Value]) -> Result<Va
     let target = arg(args, 0);
     let Value::Obj(id) = &target else { return Ok(Value::Bool(true)) };
     let obj = interp.obj(*id);
-    let frozen =
-        !obj.extensible && obj.props.iter().all(|(_, p)| !p.writable && !p.configurable);
+    let frozen = !obj.extensible && obj.props.iter().all(|(_, p)| !p.writable && !p.configurable);
     Ok(Value::Bool(frozen))
 }
 
@@ -308,7 +299,11 @@ fn is_extensible(interp: &mut Interp<'_>, _this: Value, args: &[Value]) -> Resul
 
 /// `Object.defineProperty` (§19.1.2.4) — the V8 Listing-1 bug hooks in here
 /// via [`crate::hooks::ConformanceProfile::on_define_property`].
-fn define_property(interp: &mut Interp<'_>, _this: Value, args: &[Value]) -> Result<Value, Control> {
+fn define_property(
+    interp: &mut Interp<'_>,
+    _this: Value,
+    args: &[Value],
+) -> Result<Value, Control> {
     let target = arg(args, 0);
     let id = require_object(interp, &target, "Object.defineProperty")?;
     let key = {
@@ -341,10 +336,7 @@ fn define_property(interp: &mut Interp<'_>, _this: Value, args: &[Value]) -> Res
                 let recipe = recipe.clone();
                 return interp.materialize(&recipe, &target, args);
             }
-            return Err(interp.throw(
-                ErrorKind::Type,
-                "Cannot redefine property: length",
-            ));
+            return Err(interp.throw(ErrorKind::Type, "Cannot redefine property: length"));
         }
         if let Some(v) = value {
             let n = interp.to_number(&v)?;
@@ -423,11 +415,7 @@ fn get_own_property_names(
     let mut names: Vec<String> = Vec::new();
     if let ObjKind::Array { elems } = &interp.obj(id).kind {
         names.extend(
-            elems
-                .iter()
-                .enumerate()
-                .filter(|(_, e)| e.is_some())
-                .map(|(i, _)| i.to_string()),
+            elems.iter().enumerate().filter(|(_, e)| e.is_some()).map(|(i, _)| i.to_string()),
         );
         names.push("length".to_string());
     }
@@ -455,14 +443,15 @@ fn get_own_property_descriptor(
     interp.obj_mut(did).props.insert("value", Prop::data(p.value));
     interp.obj_mut(did).props.insert("writable", Prop::data(Value::Bool(p.writable)));
     interp.obj_mut(did).props.insert("enumerable", Prop::data(Value::Bool(p.enumerable)));
-    interp
-        .obj_mut(did)
-        .props
-        .insert("configurable", Prop::data(Value::Bool(p.configurable)));
+    interp.obj_mut(did).props.insert("configurable", Prop::data(Value::Bool(p.configurable)));
     Ok(Value::Obj(did))
 }
 
-fn get_prototype_of(interp: &mut Interp<'_>, _this: Value, args: &[Value]) -> Result<Value, Control> {
+fn get_prototype_of(
+    interp: &mut Interp<'_>,
+    _this: Value,
+    args: &[Value],
+) -> Result<Value, Control> {
     let target = arg(args, 0);
     let id = require_object(interp, &target, "Object.getPrototypeOf")?;
     Ok(match interp.obj(id).proto {
@@ -471,14 +460,20 @@ fn get_prototype_of(interp: &mut Interp<'_>, _this: Value, args: &[Value]) -> Re
     })
 }
 
-fn set_prototype_of(interp: &mut Interp<'_>, _this: Value, args: &[Value]) -> Result<Value, Control> {
+fn set_prototype_of(
+    interp: &mut Interp<'_>,
+    _this: Value,
+    args: &[Value],
+) -> Result<Value, Control> {
     let target = arg(args, 0);
     let id = require_object(interp, &target, "Object.setPrototypeOf")?;
     match arg(args, 1) {
         Value::Obj(p) => interp.obj_mut(id).proto = Some(p),
         Value::Null => interp.obj_mut(id).proto = None,
         _ => {
-            return Err(interp.throw(ErrorKind::Type, "Object prototype may only be an Object or null"))
+            return Err(
+                interp.throw(ErrorKind::Type, "Object prototype may only be an Object or null")
+            )
         }
     }
     Ok(target)
@@ -489,7 +484,9 @@ fn create(interp: &mut Interp<'_>, _this: Value, args: &[Value]) -> Result<Value
         Value::Obj(p) => Some(p),
         Value::Null => None,
         _ => {
-            return Err(interp.throw(ErrorKind::Type, "Object prototype may only be an Object or null"))
+            return Err(
+                interp.throw(ErrorKind::Type, "Object prototype may only be an Object or null")
+            )
         }
     };
     let id = interp.alloc(Obj::new(ObjKind::Plain, proto));

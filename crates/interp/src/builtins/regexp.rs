@@ -100,11 +100,7 @@ fn exec(interp: &mut Interp<'_>, this: Value, args: &[Value]) -> Result<Value, C
         }
         Some(caps) => {
             if global {
-                interp.set_property(
-                    &this,
-                    "lastIndex",
-                    Value::Number(caps.whole.end as f64),
-                )?;
+                interp.set_property(&this, "lastIndex", Value::Number(caps.whole.end as f64))?;
             }
             let mut elems: Vec<Option<Value>> = vec![Some(Value::str(caps.whole.text))];
             for i in 1..=caps.len() {

@@ -41,13 +41,7 @@ pub(super) fn install(interp: &mut Interp<'_>) {
     def_method(interp, proto, "search", "String.prototype.search", search);
     def_method(interp, proto, "toString", "String.prototype.toString", to_string);
     def_method(interp, proto, "valueOf", "String.prototype.valueOf", to_string);
-    def_method(
-        interp,
-        proto,
-        "localeCompare",
-        "String.prototype.localeCompare",
-        locale_compare,
-    );
+    def_method(interp, proto, "localeCompare", "String.prototype.localeCompare", locale_compare);
     def_method(interp, proto, "big", "String.prototype.big", big);
     def_method(interp, proto, "at", "String.prototype.at", at);
 }
@@ -136,8 +130,7 @@ fn find_sub(hay: &[char], needle: &[char], from: usize) -> Option<usize> {
     if needle.len() > hay.len() {
         return None;
     }
-    (from..=hay.len().saturating_sub(needle.len()))
-        .find(|&i| hay[i..i + needle.len()] == *needle)
+    (from..=hay.len().saturating_sub(needle.len())).find(|&i| hay[i..i + needle.len()] == *needle)
 }
 
 fn index_of(interp: &mut Interp<'_>, this: Value, args: &[Value]) -> Result<Value, Control> {
@@ -227,7 +220,11 @@ fn slice(interp: &mut Interp<'_>, this: Value, args: &[Value]) -> Result<Value, 
         Value::Undefined => len as usize,
         v => rel(ops::to_integer(interp.to_number(&v)?)),
     };
-    Ok(Value::str(if start < end { cs[start..end].iter().collect::<String>() } else { String::new() }))
+    Ok(Value::str(if start < end {
+        cs[start..end].iter().collect::<String>()
+    } else {
+        String::new()
+    }))
 }
 
 fn substring(interp: &mut Interp<'_>, this: Value, args: &[Value]) -> Result<Value, Control> {
@@ -501,7 +498,12 @@ fn repeat(interp: &mut Interp<'_>, this: Value, args: &[Value]) -> Result<Value,
     Ok(Value::str(s.repeat(n as usize)))
 }
 
-fn pad(interp: &mut Interp<'_>, this: Value, args: &[Value], start: bool) -> Result<Value, Control> {
+fn pad(
+    interp: &mut Interp<'_>,
+    this: Value,
+    args: &[Value],
+    start: bool,
+) -> Result<Value, Control> {
     let s = this_string(interp, &this)?;
     let target = ops::to_length(interp.to_number(&arg(args, 0))?) as usize;
     if target > 1 << 22 {
@@ -557,8 +559,7 @@ fn match_(interp: &mut Interp<'_>, this: Value, args: &[Value]) -> Result<Value,
     };
     let re = compile(interp, &pattern, &flags)?;
     if flags.contains('g') {
-        let all: Vec<Option<Value>> =
-            re.find_iter(&s).map(|m| Some(Value::str(m.text))).collect();
+        let all: Vec<Option<Value>> = re.find_iter(&s).map(|m| Some(Value::str(m.text))).collect();
         if all.is_empty() {
             return Ok(Value::Null);
         }
@@ -580,10 +581,7 @@ fn match_(interp: &mut Interp<'_>, this: Value, args: &[Value]) -> Result<Value,
                     "index",
                     crate::value::Prop::data(Value::Number(caps.whole.start as f64)),
                 );
-                interp
-                    .obj_mut(*id)
-                    .props
-                    .insert("input", crate::value::Prop::data(Value::str(&s)));
+                interp.obj_mut(*id).props.insert("input", crate::value::Prop::data(Value::str(&s)));
             }
             Ok(arr)
         }

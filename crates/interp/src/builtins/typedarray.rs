@@ -66,7 +66,11 @@ pub(super) fn install(interp: &mut Interp<'_>) {
     );
 }
 
-fn array_buffer_ctor(interp: &mut Interp<'_>, _this: Value, args: &[Value]) -> Result<Value, Control> {
+fn array_buffer_ctor(
+    interp: &mut Interp<'_>,
+    _this: Value,
+    args: &[Value],
+) -> Result<Value, Control> {
     let len = ops::to_length(interp.to_number(&arg(args, 0))?) as usize;
     if len > 1 << 26 {
         return Err(interp.throw(ErrorKind::Range, "Array buffer allocation failed"));
@@ -112,10 +116,9 @@ fn construct_typed(
     let proto = interp.protos.typed_array;
     let make = |interp: &mut Interp<'_>, data: Vec<u8>, len: usize| -> Value {
         let buf: BufferData = Rc::new(RefCell::new(data));
-        Value::Obj(interp.alloc(Obj::new(
-            ObjKind::TypedArray { kind, buf, offset: 0, len },
-            Some(proto),
-        )))
+        Value::Obj(
+            interp.alloc(Obj::new(ObjKind::TypedArray { kind, buf, offset: 0, len }, Some(proto))),
+        )
     };
     match arg(args, 0) {
         Value::Undefined => Ok(make(interp, Vec::new(), 0)),
@@ -276,12 +279,7 @@ fn ta_subarray(interp: &mut Interp<'_>, this: Value, args: &[Value]) -> Result<V
     let new_len = end.saturating_sub(start);
     let proto = interp.protos.typed_array;
     Ok(Value::Obj(interp.alloc(Obj::new(
-        ObjKind::TypedArray {
-            kind,
-            buf,
-            offset: byte_offset + start * kind.size(),
-            len: new_len,
-        },
+        ObjKind::TypedArray { kind, buf, offset: byte_offset + start * kind.size(), len: new_len },
         Some(proto),
     ))))
 }
@@ -345,7 +343,10 @@ fn ta_to_string(interp: &mut Interp<'_>, this: Value, _args: &[Value]) -> Result
 
 fn data_view_ctor(interp: &mut Interp<'_>, _this: Value, args: &[Value]) -> Result<Value, Control> {
     let Value::Obj(id) = arg(args, 0) else {
-        return Err(interp.throw(ErrorKind::Type, "First argument to DataView constructor must be an ArrayBuffer"));
+        return Err(interp.throw(
+            ErrorKind::Type,
+            "First argument to DataView constructor must be an ArrayBuffer",
+        ));
     };
     let data = match &interp.obj(id).kind {
         ObjKind::ArrayBuffer { data } => Rc::clone(data),
@@ -359,7 +360,9 @@ fn data_view_ctor(interp: &mut Interp<'_>, _this: Value, args: &[Value]) -> Resu
     let byte_len = data.borrow().len();
     let offset = ops::to_length(interp.to_number(&arg(args, 1))?) as usize;
     if offset > byte_len {
-        return Err(interp.throw(ErrorKind::Range, "Start offset is outside the bounds of the buffer"));
+        return Err(
+            interp.throw(ErrorKind::Range, "Start offset is outside the bounds of the buffer")
+        );
     }
     let len = match arg(args, 2) {
         Value::Undefined => byte_len - offset,
@@ -369,16 +372,12 @@ fn data_view_ctor(interp: &mut Interp<'_>, _this: Value, args: &[Value]) -> Resu
         return Err(interp.throw(ErrorKind::Range, "Invalid DataView length"));
     }
     let proto = interp.protos.data_view;
-    Ok(Value::Obj(interp.alloc(Obj::new(
-        ObjKind::DataView { buf: data, offset, len },
-        Some(proto),
-    ))))
+    Ok(Value::Obj(
+        interp.alloc(Obj::new(ObjKind::DataView { buf: data, offset, len }, Some(proto))),
+    ))
 }
 
-fn this_view(
-    interp: &mut Interp<'_>,
-    this: &Value,
-) -> Result<(BufferData, usize, usize), Control> {
+fn this_view(interp: &mut Interp<'_>, this: &Value) -> Result<(BufferData, usize, usize), Control> {
     if let Value::Obj(id) = this {
         if let ObjKind::DataView { buf, offset, len } = &interp.obj(*id).kind {
             return Ok((Rc::clone(buf), *offset, *len));
@@ -395,7 +394,9 @@ fn dv_get(kind: TaKind) -> crate::value::NativeFn {
                 let (buf, base, len) = this_view(i, &t)?;
                 let at = ops::to_length(i.to_number(&arg(a, 0))?) as usize;
                 if at + $k.size() > len {
-                    return Err(i.throw(ErrorKind::Range, "Offset is outside the bounds of the DataView"));
+                    return Err(
+                        i.throw(ErrorKind::Range, "Offset is outside the bounds of the DataView")
+                    );
                 }
                 let v = typed_load(&buf.borrow(), $k, base + at);
                 Ok(Value::Number(v))
@@ -424,7 +425,9 @@ fn dv_set(kind: TaKind) -> crate::value::NativeFn {
                 let at = ops::to_length(i.to_number(&arg(a, 0))?) as usize;
                 let v = i.to_number(&arg(a, 1))?;
                 if at + $k.size() > len {
-                    return Err(i.throw(ErrorKind::Range, "Offset is outside the bounds of the DataView"));
+                    return Err(
+                        i.throw(ErrorKind::Range, "Offset is outside the bounds of the DataView")
+                    );
                 }
                 typed_store(&mut buf.borrow_mut(), $k, base + at, v);
                 Ok(Value::Undefined)

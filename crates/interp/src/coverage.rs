@@ -126,11 +126,7 @@ impl Coverage {
 
     /// Branch coverage in `[0, 1]`; each branch point has two arms.
     pub fn branch_ratio(&self, universe: &Universe) -> f64 {
-        let hit = self
-            .branches_hit
-            .iter()
-            .filter(|(id, _)| universe.branches.contains(id))
-            .count();
+        let hit = self.branches_hit.iter().filter(|(id, _)| universe.branches.contains(id)).count();
         ratio(hit, universe.branches.len() * 2)
     }
 

@@ -12,11 +12,11 @@ use comfort_syntax::ast::*;
 use comfort_syntax::parse;
 
 use crate::coverage::Coverage;
-use crate::hooks::{ArraySetBehavior, BuiltinSite, ConformanceProfile, Deviation, ValuePreview, ValueRecipe};
-use crate::ops;
-use crate::value::{
-    EnvId, ErrorKind, FuncData, Obj, ObjId, ObjKind, Prop, Value,
+use crate::hooks::{
+    ArraySetBehavior, BuiltinSite, ConformanceProfile, Deviation, ValuePreview, ValueRecipe,
 };
+use crate::ops;
+use crate::value::{EnvId, ErrorKind, FuncData, Obj, ObjId, ObjKind, Prop, Value};
 
 /// Non-local control flow during evaluation.
 #[derive(Debug)]
@@ -60,7 +60,9 @@ impl RunStatus {
     }
 }
 
-/// Options for one program run.
+/// Options for one program run — the single knob struct threaded through
+/// every execution entry point (`run_program`, `Engine::run`,
+/// `Testbed::run`, `run_differential`).
 #[derive(Debug, Clone)]
 pub struct RunOptions {
     /// Fuel budget (abstract steps). The default suffices for all generated
@@ -68,14 +70,22 @@ pub struct RunOptions {
     pub fuel: u64,
     /// Force strict mode for the whole program (the paper's second testbed
     /// per engine configuration, §4.2).
-    pub force_strict: bool,
+    pub strict: bool,
     /// Record statement/function/branch coverage of the test program.
     pub coverage: bool,
 }
 
+impl RunOptions {
+    /// Default options with an explicit fuel budget — the most common
+    /// non-default configuration.
+    pub fn with_fuel(fuel: u64) -> Self {
+        RunOptions { fuel, ..RunOptions::default() }
+    }
+}
+
 impl Default for RunOptions {
     fn default() -> Self {
-        RunOptions { fuel: 20_000_000, force_strict: false, coverage: false }
+        RunOptions { fuel: 20_000_000, strict: false, coverage: false }
     }
 }
 
@@ -183,7 +193,7 @@ impl<'p> Interp<'p> {
         self.fuel = options.fuel;
         self.fuel_budget = options.fuel;
         self.coverage = if options.coverage { Some(Coverage::new()) } else { None };
-        let strict = program.strict || options.force_strict;
+        let strict = program.strict || options.strict;
         self.strict = vec![strict];
         self.output.clear();
 
@@ -377,7 +387,11 @@ impl<'p> Interp<'p> {
 
     /// Hoists `var` names (bound to `undefined`) and function declarations.
     fn hoist(&mut self, body: &[Stmt], env: EnvId) -> Result<(), Control> {
-        fn collect_vars<'a>(stmts: &'a [Stmt], out: &mut Vec<&'a str>, funcs: &mut Vec<&'a Function>) {
+        fn collect_vars<'a>(
+            stmts: &'a [Stmt],
+            out: &mut Vec<&'a str>,
+            funcs: &mut Vec<&'a Function>,
+        ) {
             for stmt in stmts {
                 match &stmt.kind {
                     StmtKind::Decl { kind: DeclKind::Var, decls } => {
@@ -391,8 +405,7 @@ impl<'p> Interp<'p> {
                             collect_vars(std::slice::from_ref(alt), out, funcs);
                         }
                     }
-                    StmtKind::While { body, .. }
-                    | StmtKind::DoWhile { body, .. } => {
+                    StmtKind::While { body, .. } | StmtKind::DoWhile { body, .. } => {
                         collect_vars(std::slice::from_ref(body), out, funcs);
                     }
                     StmtKind::For { init, body, .. } => {
@@ -716,19 +729,21 @@ impl<'p> Interp<'p> {
         let proto = self.protos.function;
         let mut obj = Obj::new(ObjKind::Function(Rc::new(data)), Some(proto));
         obj.props.insert("length", Prop::frozen(Value::Number(arity as f64)));
-        obj.props
-            .insert("name", Prop::frozen(Value::str(name.unwrap_or(""))));
+        obj.props.insert("name", Prop::frozen(Value::str(name.unwrap_or(""))));
         let id = self.alloc(obj);
         if !is_arrow {
             // Ordinary functions get a fresh `.prototype` object.
             let proto_obj = Obj::new(ObjKind::Plain, Some(self.protos.object));
             let proto_id = self.alloc(proto_obj);
-            self.obj_mut(proto_id)
-                .props
-                .insert("constructor", Prop::builtin(Value::Obj(id)));
+            self.obj_mut(proto_id).props.insert("constructor", Prop::builtin(Value::Obj(id)));
             self.obj_mut(id).props.insert(
                 "prototype",
-                Prop { value: Value::Obj(proto_id), writable: true, enumerable: false, configurable: false },
+                Prop {
+                    value: Value::Obj(proto_id),
+                    writable: true,
+                    enumerable: false,
+                    configurable: false,
+                },
             );
         }
         Value::Obj(id)
@@ -900,10 +915,8 @@ impl<'p> Interp<'p> {
     /// Deterministic `Math.random`: a 64-bit LCG with a fixed seed, identical
     /// across all simulated engines so it never causes differential noise.
     pub(crate) fn next_random(&mut self) -> f64 {
-        self.rng_state = self
-            .rng_state
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
+        self.rng_state =
+            self.rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
         ((self.rng_state >> 11) as f64) / ((1u64 << 53) as f64)
     }
 
@@ -954,8 +967,10 @@ impl<'p> Interp<'p> {
                             match self.lookup(env, n) {
                                 Some(v) => v,
                                 None => {
-                                    return Err(self
-                                        .throw(ErrorKind::Reference, format!("{n} is not defined")))
+                                    return Err(self.throw(
+                                        ErrorKind::Reference,
+                                        format!("{n} is not defined"),
+                                    ))
                                 }
                             }
                         }
@@ -1236,7 +1251,8 @@ impl<'p> Interp<'p> {
                         && !matches!(k, Value::Number(_) | Value::Str(_))
                     {
                         let preview = self.preview(&k);
-                        if self.profile.on_array_key_set(&preview) == ArraySetBehavior::AppendElement
+                        if self.profile.on_array_key_set(&preview)
+                            == ArraySetBehavior::AppendElement
                         {
                             if let ObjKind::Array { elems } = &mut self.obj_mut(*id).kind {
                                 elems.push(Some(value));
@@ -1303,11 +1319,7 @@ impl<'p> Interp<'p> {
                     return Ok(Value::Number(elems.len() as f64));
                 }
                 if let Some(idx) = ops::array_index(key) {
-                    return Ok(elems
-                        .get(idx)
-                        .cloned()
-                        .flatten()
-                        .unwrap_or(Value::Undefined));
+                    return Ok(elems.get(idx).cloned().flatten().unwrap_or(Value::Undefined));
                 }
             }
             ObjKind::TypedArray { kind, buf, offset, len } => {
@@ -1407,7 +1419,13 @@ impl<'p> Interp<'p> {
         enum Special {
             ArrayLength,
             ArrayIndex(usize),
-            TypedIndex { kind: crate::value::TaKind, buf: crate::value::BufferData, offset: usize, len: usize, idx: usize },
+            TypedIndex {
+                kind: crate::value::TaKind,
+                buf: crate::value::BufferData,
+                offset: usize,
+                len: usize,
+                idx: usize,
+            },
         }
         let special = match &self.obj(id).kind {
             ObjKind::Array { .. } if key == "length" => Some(Special::ArrayLength),
@@ -1482,10 +1500,8 @@ impl<'p> Interp<'p> {
                 p.value = value;
                 Ok(())
             } else if strict {
-                Err(self.throw(
-                    ErrorKind::Type,
-                    format!("Cannot assign to read only property '{key}'"),
-                ))
+                Err(self
+                    .throw(ErrorKind::Type, format!("Cannot assign to read only property '{key}'")))
             } else {
                 Ok(())
             }
@@ -1493,7 +1509,10 @@ impl<'p> Interp<'p> {
             obj.props.insert(key, Prop::data(value));
             Ok(())
         } else if strict {
-            Err(self.throw(ErrorKind::Type, format!("Cannot add property {key}, object is not extensible")))
+            Err(self.throw(
+                ErrorKind::Type,
+                format!("Cannot add property {key}, object is not extensible"),
+            ))
         } else {
             Ok(())
         }
@@ -1539,10 +1558,9 @@ impl<'p> Interp<'p> {
         match v {
             Value::Str(s) => Ok(s.chars().map(|c| Value::str(c.to_string())).collect()),
             Value::Obj(id) => match &self.obj(*id).kind {
-                ObjKind::Array { elems } => Ok(elems
-                    .iter()
-                    .map(|e| e.clone().unwrap_or(Value::Undefined))
-                    .collect()),
+                ObjKind::Array { elems } => {
+                    Ok(elems.iter().map(|e| e.clone().unwrap_or(Value::Undefined)).collect())
+                }
                 ObjKind::TypedArray { kind, buf, offset, len } => {
                     let (kind, offset, len) = (*kind, *offset, *len);
                     let buf = Rc::clone(buf);
@@ -1557,9 +1575,7 @@ impl<'p> Interp<'p> {
                         })
                         .collect())
                 }
-                ObjKind::StrWrap(s) => {
-                    Ok(s.chars().map(|c| Value::str(c.to_string())).collect())
-                }
+                ObjKind::StrWrap(s) => Ok(s.chars().map(|c| Value::str(c.to_string())).collect()),
                 _ => {
                     let shown = self.to_display_string(v);
                     Err(self.throw(ErrorKind::Type, format!("{shown} is not iterable")))
@@ -1590,7 +1606,8 @@ impl<'p> Interp<'p> {
             ObjKind::StrWrap(s) => return Ok(Value::Str(Rc::clone(s))),
             _ => {}
         }
-        let order: [&str; 2] = if hint_string { ["toString", "valueOf"] } else { ["valueOf", "toString"] };
+        let order: [&str; 2] =
+            if hint_string { ["toString", "valueOf"] } else { ["valueOf", "toString"] };
         for method in order {
             let m = self.get_property(v, method)?;
             if matches!(&m, Value::Obj(mid) if matches!(self.obj(*mid).kind, ObjKind::Function(_) | ObjKind::Native { .. }))
@@ -1815,17 +1832,16 @@ impl<'p> Interp<'p> {
             }
             InstanceOf => {
                 let Value::Obj(fid) = &r else {
-                    return Err(
-                        self.throw(ErrorKind::Type, "Right-hand side of 'instanceof' is not callable")
-                    );
+                    return Err(self.throw(
+                        ErrorKind::Type,
+                        "Right-hand side of 'instanceof' is not callable",
+                    ));
                 };
-                if !matches!(
-                    self.obj(*fid).kind,
-                    ObjKind::Function(_) | ObjKind::Native { .. }
-                ) {
-                    return Err(
-                        self.throw(ErrorKind::Type, "Right-hand side of 'instanceof' is not callable")
-                    );
+                if !matches!(self.obj(*fid).kind, ObjKind::Function(_) | ObjKind::Native { .. }) {
+                    return Err(self.throw(
+                        ErrorKind::Type,
+                        "Right-hand side of 'instanceof' is not callable",
+                    ));
                 }
                 let proto = match self.obj(*fid).props.get("prototype").map(|p| p.value.clone()) {
                     Some(Value::Obj(p)) => p,
@@ -1904,22 +1920,24 @@ impl<'p> Interp<'p> {
             ));
         }
         if comfort_regex::Regex::new(pattern).is_err() {
-            return Err(self.throw(
-                ErrorKind::Syntax,
-                format!("Invalid regular expression: /{pattern}/"),
-            ));
+            return Err(
+                self.throw(ErrorKind::Syntax, format!("Invalid regular expression: /{pattern}/"))
+            );
         }
         let proto = self.protos.regexp;
         let mut obj = Obj::new(
             ObjKind::Regex { source: pattern.to_string(), flags: flags.to_string() },
             Some(proto),
         );
-        obj.props.insert("lastIndex", Prop {
-            value: Value::Number(0.0),
-            writable: true,
-            enumerable: false,
-            configurable: false,
-        });
+        obj.props.insert(
+            "lastIndex",
+            Prop {
+                value: Value::Number(0.0),
+                writable: true,
+                enumerable: false,
+                configurable: false,
+            },
+        );
         Ok(Value::Obj(self.alloc(obj)))
     }
 

@@ -156,14 +156,8 @@ mod tests {
         assert_eq!(out("var s = 0; for (var i = 1; i <= 10; i++) s += i; print(s);"), "55\n");
         assert_eq!(out("var n = 0; while (n < 5) n++; print(n);"), "5\n");
         assert_eq!(out("var n = 9; do { n++; } while (false); print(n);"), "10\n");
-        assert_eq!(
-            out("var s = ''; for (var k in {a: 1, b: 2}) s += k; print(s);"),
-            "ab\n"
-        );
-        assert_eq!(
-            out("var s = 0; for (var v of [1, 2, 3]) s += v; print(s);"),
-            "6\n"
-        );
+        assert_eq!(out("var s = ''; for (var k in {a: 1, b: 2}) s += k; print(s);"), "ab\n");
+        assert_eq!(out("var s = 0; for (var v of [1, 2, 3]) s += v; print(s);"), "6\n");
         assert_eq!(
             out("switch (2) { case 1: print('one'); case 2: print('two'); case 3: print('three'); break; default: print('d'); }"),
             "two\nthree\n"
@@ -176,10 +170,7 @@ mod tests {
             out("try { throw new TypeError('boom'); } catch (e) { print(e.message); }"),
             "boom\n"
         );
-        assert_eq!(
-            out("var r; try { r = 'a'; } finally { r += 'b'; } print(r);"),
-            "ab\n"
-        );
+        assert_eq!(out("var r; try { r = 'a'; } finally { r += 'b'; } print(r);"), "ab\n");
         assert_eq!(threw("null.x;"), ErrorKind::Type);
         assert_eq!(threw("undefinedVariable + 1;"), ErrorKind::Reference);
         assert_eq!(threw("var x = 1; x();"), ErrorKind::Type);
@@ -230,7 +221,7 @@ mod tests {
         let r = run_source(
             "z = 1; print(z);",
             &SpecProfile,
-            &RunOptions { force_strict: true, ..RunOptions::default() },
+            &RunOptions { strict: true, ..RunOptions::default() },
         )
         .expect("parses");
         assert!(matches!(r.status, RunStatus::Threw { kind: Some(ErrorKind::Reference), .. }));
@@ -436,10 +427,7 @@ print(obj[property]);
             out("function f(a, b) { return this.x + a + b; } print(f.call({x: 1}, 2, 3));"),
             "6\n"
         );
-        assert_eq!(
-            out("function f(a, b) { return a * b; } print(f.apply(null, [6, 7]));"),
-            "42\n"
-        );
+        assert_eq!(out("function f(a, b) { return a * b; } print(f.apply(null, [6, 7]));"), "42\n");
         assert_eq!(
             out("function f(a, b) { return a + b; } var g = f.bind(null, 10); print(g(5));"),
             "15\n"
@@ -472,21 +460,15 @@ print(obj[property]);
     #[test]
     fn user_defined_to_primitive() {
         assert_eq!(out("var o = { valueOf: function() { return 7; } }; print(o * 2);"), "14\n");
-        assert_eq!(
-            out("var o = { toString: function() { return 'S'; } }; print('' + o);"),
-            "S\n"
-        );
+        assert_eq!(out("var o = { toString: function() { return 'S'; } }; print('' + o);"), "S\n");
     }
 
     #[test]
     fn coverage_recording() {
         let src = "function f(a) { if (a) { return 1; } return 2; } print(f(1));";
-        let r = run_source(
-            src,
-            &SpecProfile,
-            &RunOptions { coverage: true, ..RunOptions::default() },
-        )
-        .expect("parses");
+        let r =
+            run_source(src, &SpecProfile, &RunOptions { coverage: true, ..RunOptions::default() })
+                .expect("parses");
         let cov = r.coverage.expect("coverage requested");
         let prog = comfort_syntax::parse(src).expect("parses");
         let universe = Universe::of(&prog);

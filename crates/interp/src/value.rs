@@ -428,10 +428,7 @@ mod tests {
     #[test]
     fn class_names() {
         assert_eq!(ObjKind::Plain.class_name(), "Object");
-        assert_eq!(
-            ObjKind::Array { elems: Vec::new() }.class_name(),
-            "Array"
-        );
+        assert_eq!(ObjKind::Array { elems: Vec::new() }.class_name(), "Array");
         assert_eq!(TaKind::U32.name(), "Uint32Array");
         assert_eq!(TaKind::F64.size(), 8);
     }

@@ -11,9 +11,7 @@ fn eval_print(expr: &str) -> String {
     let r = run_source(&src, &SpecProfile, &RunOptions::default())
         .unwrap_or_else(|e| panic!("parse error for {expr:?}: {e}"));
     match r.status {
-        RunStatus::Completed => {
-            r.output.strip_suffix('\n').unwrap_or(&r.output).to_string()
-        }
+        RunStatus::Completed => r.output.strip_suffix('\n').unwrap_or(&r.output).to_string(),
         other => format!("{other:?}"),
     }
 }
@@ -150,7 +148,7 @@ fn array_builtin_table() {
         ("[3, 1].sort(function(a, b) { return b - a; }).join(',')", "3,1"),
         ("[1, 2, 3].slice(-2).join(',')", "2,3"),
         ("[1, 2, 3].indexOf(4)", "-1"),
-        ("[1, NaN].indexOf(NaN)", "-1"), // strict equality
+        ("[1, NaN].indexOf(NaN)", "-1"),    // strict equality
         ("[1, NaN].includes(NaN)", "true"), // SameValueZero
         ("[1, 2, 3].lastIndexOf(3)", "2"),
         ("[1, 2, 3, 4].filter(function(x) { return x > 2; }).length", "2"),

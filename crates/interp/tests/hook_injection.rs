@@ -215,7 +215,7 @@ fn strict_flag_is_visible_to_profiles() {
     let r = run_source(
         "print(' x '.trim());",
         &StrictOnly,
-        &RunOptions { force_strict: true, ..RunOptions::default() },
+        &RunOptions { strict: true, ..RunOptions::default() },
     )
     .expect("parses");
     assert_eq!(r.output, "STRICT\n");

@@ -24,19 +24,10 @@ fn threw(src: &str) -> ErrorKind {
 fn var_is_function_scoped_not_block_scoped() {
     assert_eq!(out("{ var x = 2; } print(x);"), "2\n");
     assert_eq!(out("if (true) { var y = 7; } print(y);"), "7\n");
-    assert_eq!(
-        out("function f() { if (true) { var z = 9; } return z; } print(f());"),
-        "9\n"
-    );
-    assert_eq!(
-        out("for (var i = 0; i < 3; i++) { var w = i; } print(w, i);"),
-        "2 3\n"
-    );
+    assert_eq!(out("function f() { if (true) { var z = 9; } return z; } print(f());"), "9\n");
+    assert_eq!(out("for (var i = 0; i < 3; i++) { var w = i; } print(w, i);"), "2 3\n");
     assert_eq!(out("for (var k in {a: 1}) {} print(k);"), "a\n");
-    assert_eq!(
-        out("var n = 0; while (n < 2) { var inner = n; n++; } print(inner);"),
-        "1\n"
-    );
+    assert_eq!(out("var n = 0; while (n < 2) { var inner = n; n++; } print(inner);"), "1\n");
 }
 
 #[test]
@@ -60,10 +51,7 @@ fn function_declarations_hoist_above_use() {
 
 #[test]
 fn closures_capture_bindings_not_values() {
-    assert_eq!(
-        out("var c = 0; function inc() { c++; } inc(); inc(); print(c);"),
-        "2\n"
-    );
+    assert_eq!(out("var c = 0; function inc() { c++; } inc(); inc(); print(c);"), "2\n");
     assert_eq!(
         out("function counter() { var n = 0; return function() { return ++n; }; } var c = counter(); c(); print(c());"),
         "2\n"
@@ -107,7 +95,10 @@ fn switch_fallthrough_and_default() {
         out("switch (9) { case 1: print('a'); default: print('d'); case 2: print('b'); }"),
         "d\nb\n"
     );
-    assert_eq!(out("switch ('1') { case 1: print('num'); break; default: print('none'); }"), "none\n");
+    assert_eq!(
+        out("switch ('1') { case 1: print('num'); break; default: print('none'); }"),
+        "none\n"
+    );
 }
 
 #[test]
@@ -116,19 +107,13 @@ fn loops_break_continue() {
         out("var s = ''; for (var i = 0; i < 5; i++) { if (i === 2) continue; if (i === 4) break; s += i; } print(s);"),
         "013\n"
     );
-    assert_eq!(
-        out("var n = 0; do { n++; if (n > 2) break; } while (true); print(n);"),
-        "3\n"
-    );
+    assert_eq!(out("var n = 0; do { n++; if (n > 2) break; } while (true); print(n);"), "3\n");
 }
 
 #[test]
 fn asi_behaviour() {
     assert_eq!(out("var a = 1\nvar b = 2\nprint(a + b)"), "3\n");
-    assert_eq!(
-        out("function f() { return\n42; } print(f());"),
-        "undefined\n"
-    );
+    assert_eq!(out("function f() { return\n42; } print(f());"), "undefined\n");
 }
 
 #[test]
@@ -154,10 +139,7 @@ fn exceptions_propagate_through_frames() {
 fn throw_non_error_values() {
     assert_eq!(out("try { throw 42; } catch (e) { print(typeof e, e); }"), "number 42\n");
     assert_eq!(out("try { throw 'msg'; } catch (e) { print(e); }"), "msg\n");
-    assert_eq!(
-        out("try { throw {code: 7}; } catch (e) { print(e.code); }"),
-        "7\n"
-    );
+    assert_eq!(out("try { throw {code: 7}; } catch (e) { print(e.code); }"), "7\n");
 }
 
 #[test]
@@ -170,14 +152,8 @@ fn prototype_chain_lookup_and_shadowing() {
 
 #[test]
 fn constructor_return_object_overrides_this() {
-    assert_eq!(
-        out("function C() { this.x = 1; return {x: 2}; } print(new C().x);"),
-        "2\n"
-    );
-    assert_eq!(
-        out("function C() { this.x = 1; return 99; } print(new C().x);"),
-        "1\n"
-    );
+    assert_eq!(out("function C() { this.x = 1; return {x: 2}; } print(new C().x);"), "2\n");
+    assert_eq!(out("function C() { this.x = 1; return 99; } print(new C().x);"), "1\n");
 }
 
 #[test]

@@ -43,9 +43,8 @@ impl Bpe {
                 }
             }
             // Deterministic best pair: max count, ties broken lexicographically.
-            let Some((best, count)) = pair_freq
-                .into_iter()
-                .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
+            let Some((best, count)) =
+                pair_freq.into_iter().max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
             else {
                 break;
             };
@@ -182,7 +181,11 @@ fn pre_tokenize(text: &str) -> Vec<String> {
         }
         if c.is_alphanumeric() || c == '_' || c == '$' {
             while let Some(&c2) = chars.peek() {
-                if c2.is_alphanumeric() || c2 == '_' || c2 == '$' || c2 == '.' && word.chars().last().is_some_and(|p| p.is_ascii_digit()) {
+                if c2.is_alphanumeric()
+                    || c2 == '_'
+                    || c2 == '$'
+                    || c2 == '.' && word.chars().last().is_some_and(|p| p.is_ascii_digit())
+                {
                     word.push(c2);
                     chars.next();
                 } else {

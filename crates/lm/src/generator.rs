@@ -50,8 +50,7 @@ pub struct Generator {
 impl Generator {
     /// Trains tokenizer and model on `corpus` and harvests seed headers.
     pub fn train(corpus: &[String], config: GeneratorConfig) -> Self {
-        let with_eof: Vec<String> =
-            corpus.iter().map(|p| format!("{p}{EOF_MARK}")).collect();
+        let with_eof: Vec<String> = corpus.iter().map(|p| format!("{p}{EOF_MARK}")).collect();
         let bpe = Bpe::train(&with_eof, config.bpe_merges);
         let sequences: Vec<Vec<u32>> = with_eof.iter().map(|p| bpe.encode(p)).collect();
         let model = NgramModel::train(&sequences, config.order);

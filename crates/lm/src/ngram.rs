@@ -108,10 +108,7 @@ mod tests {
 
     fn model() -> NgramModel {
         // Sequences: 1 2 3 4, 1 2 3 5, 9 2 7.
-        NgramModel::train(
-            &[vec![1, 2, 3, 4], vec![1, 2, 3, 5], vec![9, 2, 7]],
-            3,
-        )
+        NgramModel::train(&[vec![1, 2, 3, 4], vec![1, 2, 3, 5], vec![9, 2, 7]], 3)
     }
 
     #[test]

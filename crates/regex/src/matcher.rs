@@ -85,8 +85,7 @@ pub(crate) fn search<'t>(
     if start > chars.len() {
         return None;
     }
-    let mut ctx =
-        Ctx { text: &chars, flags, caps: vec![None; group_count], fuel: 2_000_000 };
+    let mut ctx = Ctx { text: &chars, flags, caps: vec![None; group_count], fuel: 2_000_000 };
     for at in start..=chars.len() {
         ctx.caps.iter_mut().for_each(|c| *c = None);
         ctx.fuel = 2_000_000;
@@ -180,8 +179,8 @@ fn match_node(
             at_start && k(pos, ctx)
         }
         Node::End => {
-            let at_end = pos == ctx.text.len()
-                || (ctx.flags.multiline && ctx.text.get(pos) == Some(&'\n'));
+            let at_end =
+                pos == ctx.text.len() || (ctx.flags.multiline && ctx.text.get(pos) == Some(&'\n'));
             at_end && k(pos, ctx)
         }
         Node::WordBoundary { negated } => {
@@ -221,8 +220,8 @@ fn match_node(
                 return false;
             }
             let flags = ctx.flags;
-            let equal = (0..len)
-                .all(|i| fold(flags, ctx.text[s + i]) == fold(flags, ctx.text[pos + i]));
+            let equal =
+                (0..len).all(|i| fold(flags, ctx.text[s + i]) == fold(flags, ctx.text[pos + i]));
             equal && k(pos + len, ctx)
         }
         Node::Lookahead { negated, inner } => {

@@ -97,7 +97,11 @@ impl Parser {
         while self.eat('|') {
             branches.push(self.parse_concat()?);
         }
-        Ok(if branches.len() == 1 { branches.pop().expect("one branch") } else { Node::Alt(branches) })
+        Ok(if branches.len() == 1 {
+            branches.pop().expect("one branch")
+        } else {
+            Node::Alt(branches)
+        })
     }
 
     fn parse_concat(&mut self) -> Result<Node, ParseRegexError> {
@@ -276,9 +280,7 @@ impl Parser {
                                 ClassItem::Range(lo_ch, hi_ch)
                             }
                             ClassChar::Item(_) => {
-                                return Err(ParseRegexError::new(
-                                    "character-class escape in range",
-                                ))
+                                return Err(ParseRegexError::new("character-class escape in range"))
                             }
                         }
                     } else {

@@ -16,13 +16,16 @@ fn pattern_strategy() -> impl Strategy<Value = String> {
         Just("\\w".to_string()),
         Just(".".to_string()),
     ];
-    let quantified = (atom, prop_oneof![
-        Just("".to_string()),
-        Just("*".to_string()),
-        Just("+".to_string()),
-        Just("?".to_string()),
-        Just("{1,3}".to_string()),
-    ])
+    let quantified = (
+        atom,
+        prop_oneof![
+            Just("".to_string()),
+            Just("*".to_string()),
+            Just("+".to_string()),
+            Just("?".to_string()),
+            Just("{1,3}".to_string()),
+        ],
+    )
         .prop_map(|(a, q)| format!("{a}{q}"));
     proptest::collection::vec(quantified, 1..5).prop_map(|parts| parts.join(""))
 }

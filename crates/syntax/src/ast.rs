@@ -158,16 +158,11 @@ pub enum StmtKind {
     /// `if (cond) cons else alt`
     If { cond: Expr, cons: Box<Stmt>, alt: Option<Box<Stmt>> },
     /// `while (cond) body`
-    While { cond: Expr, body: Box<Stmt>, },
+    While { cond: Expr, body: Box<Stmt> },
     /// `do body while (cond);`
     DoWhile { body: Box<Stmt>, cond: Expr },
     /// `for (init; test; update) body`
-    For {
-        init: Option<Box<ForInit>>,
-        test: Option<Expr>,
-        update: Option<Expr>,
-        body: Box<Stmt>,
-    },
+    For { init: Option<Box<ForInit>>, test: Option<Expr>, update: Option<Expr>, body: Box<Stmt> },
     /// `for (decl in obj) body` / `for (decl of obj) body`
     ForInOf { kind: ForInOfKind, decl: ForTarget, object: Expr, body: Box<Stmt> },
     /// `return expr?;`
@@ -179,11 +174,7 @@ pub enum StmtKind {
     /// `throw expr;`
     Throw(Expr),
     /// `try {..} catch (e) {..} finally {..}`
-    Try {
-        block: Vec<Stmt>,
-        catch: Option<CatchClause>,
-        finally: Option<Vec<Stmt>>,
-    },
+    Try { block: Vec<Stmt>, catch: Option<CatchClause>, finally: Option<Vec<Stmt>> },
     /// `switch (disc) { case t: ... default: ... }`
     Switch { disc: Expr, cases: Vec<SwitchCase> },
     /// `;`

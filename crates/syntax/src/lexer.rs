@@ -6,8 +6,8 @@
 //! can end an expression (identifier, literal, `)`, `]`, `++`, `--`, or a
 //! keyword operand like `this`).
 
-use crate::error::SyntaxError;
 use crate::ast::Span;
+use crate::error::SyntaxError;
 
 /// Punctuation and operator tokens.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -351,10 +351,9 @@ impl<'s> Lexer<'s> {
             Some(TokenKind::Keyword(k)) => {
                 !matches!(k, Keyword::This | Keyword::Null | Keyword::True | Keyword::False)
             }
-            Some(TokenKind::Punct(p)) => !matches!(
-                p,
-                Punct::RParen | Punct::RBracket | Punct::PlusPlus | Punct::MinusMinus
-            ),
+            Some(TokenKind::Punct(p)) => {
+                !matches!(p, Punct::RParen | Punct::RBracket | Punct::PlusPlus | Punct::MinusMinus)
+            }
             Some(TokenKind::Eof) => true,
         }
     }
@@ -375,7 +374,10 @@ impl<'s> Lexer<'s> {
         #[allow(clippy::needless_late_init)] // two long alternative paths
         let value;
         if self.peek() == Some('0')
-            && matches!(self.peek2(), Some('x') | Some('X') | Some('b') | Some('B') | Some('o') | Some('O'))
+            && matches!(
+                self.peek2(),
+                Some('x') | Some('X') | Some('b') | Some('B') | Some('o') | Some('O')
+            )
         {
             self.bump();
             let radix = match self.bump() {
@@ -793,7 +795,9 @@ mod tests {
     fn regex_vs_division() {
         // After `=`, a `/` is a regex.
         let ks = kinds("x = /ab/g");
-        assert!(matches!(&ks[2], TokenKind::Regex { pattern, flags } if pattern == "ab" && flags == "g"));
+        assert!(
+            matches!(&ks[2], TokenKind::Regex { pattern, flags } if pattern == "ab" && flags == "g")
+        );
         // After an identifier it is division.
         let ks = kinds("x / y");
         assert!(matches!(ks[1], TokenKind::Punct(Punct::Slash)));

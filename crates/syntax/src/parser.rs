@@ -383,11 +383,8 @@ impl Parser {
         let mut decls = Vec::new();
         loop {
             let name = self.expect_ident()?;
-            let init = if self.eat_punct(Punct::Eq) {
-                Some(self.parse_assign(allow_in)?)
-            } else {
-                None
-            };
+            let init =
+                if self.eat_punct(Punct::Eq) { Some(self.parse_assign(allow_in)?) } else { None };
             decls.push(Declarator { name, init });
             if !self.eat_punct(Punct::Comma) {
                 break;
@@ -473,8 +470,7 @@ impl Parser {
     fn parse_for_rest(&mut self, init: Option<Box<ForInit>>) -> Result<StmtKind, SyntaxError> {
         let test = if self.is_punct(Punct::Semi) { None } else { Some(self.parse_expr(true)?) };
         self.expect_punct(Punct::Semi, "`;`")?;
-        let update =
-            if self.is_punct(Punct::RParen) { None } else { Some(self.parse_expr(true)?) };
+        let update = if self.is_punct(Punct::RParen) { None } else { Some(self.parse_expr(true)?) };
         self.expect_punct(Punct::RParen, "`)`")?;
         let body = Box::new(self.parse_stmt()?);
         Ok(StmtKind::For { init, test, update, body })
@@ -660,11 +656,7 @@ impl Parser {
         Ok(Expr {
             id: self.id(),
             span: Span::new(start, self.prev_end()),
-            kind: ExprKind::Cond {
-                cond: Box::new(cond),
-                cons: Box::new(cons),
-                alt: Box::new(alt),
-            },
+            kind: ExprKind::Cond { cond: Box::new(cond), cons: Box::new(cons), alt: Box::new(alt) },
         })
     }
 
@@ -714,16 +706,12 @@ impl Parser {
                 let next_bp = if bp == 11 { bp } else { bp + 1 };
                 let right = self.parse_binary(next_bp, allow_in)?;
                 let kind = match op {
-                    BinOrLogical::Binary(op) => ExprKind::Binary {
-                        op,
-                        left: Box::new(left),
-                        right: Box::new(right),
-                    },
-                    BinOrLogical::Logical(op) => ExprKind::Logical {
-                        op,
-                        left: Box::new(left),
-                        right: Box::new(right),
-                    },
+                    BinOrLogical::Binary(op) => {
+                        ExprKind::Binary { op, left: Box::new(left), right: Box::new(right) }
+                    }
+                    BinOrLogical::Logical(op) => {
+                        ExprKind::Logical { op, left: Box::new(left), right: Box::new(right) }
+                    }
                 };
                 left = Expr { id: self.id(), span: Span::new(start, self.prev_end()), kind };
             }
@@ -796,11 +784,8 @@ impl Parser {
     /// Member/call chain on top of a primary expression.
     fn parse_postfix(&mut self, _allow_in: bool) -> Result<Expr, SyntaxError> {
         let start = self.span_start();
-        let mut expr = if self.is_kw(Keyword::New) {
-            self.parse_new()?
-        } else {
-            self.parse_primary()?
-        };
+        let mut expr =
+            if self.is_kw(Keyword::New) { self.parse_new()? } else { self.parse_primary()? };
         loop {
             if self.eat_punct(Punct::Dot) {
                 let prop = self.parse_property_name()?;
@@ -835,11 +820,7 @@ impl Parser {
         let start = self.span_start();
         self.bump(); // new
         self.enter()?;
-        let callee = if self.is_kw(Keyword::New) {
-            self.parse_new()
-        } else {
-            self.parse_primary()
-        };
+        let callee = if self.is_kw(Keyword::New) { self.parse_new() } else { self.parse_primary() };
         self.leave();
         let mut callee = callee?;
         // Member accesses bind tighter than the `new` arguments.

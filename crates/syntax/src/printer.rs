@@ -43,7 +43,11 @@ pub fn fmt_number(n: f64) -> String {
     if n.is_nan() {
         "NaN".to_string()
     } else if n.is_infinite() {
-        if n > 0.0 { "Infinity".to_string() } else { "-Infinity".to_string() }
+        if n > 0.0 {
+            "Infinity".to_string()
+        } else {
+            "-Infinity".to_string()
+        }
     } else if n == 0.0 && n.is_sign_negative() {
         "0".to_string()
     } else if n.abs() >= 1e21 {
@@ -594,8 +598,9 @@ fn precedence(expr: &Expr) -> u8 {
 fn leading_is_ambiguous(e: &Expr) -> bool {
     match &e.kind {
         ExprKind::Object(_) | ExprKind::Function(_) => true,
-        ExprKind::Binary { left, .. }
-        | ExprKind::Logical { left, .. } => leading_is_ambiguous(left),
+        ExprKind::Binary { left, .. } | ExprKind::Logical { left, .. } => {
+            leading_is_ambiguous(left)
+        }
         ExprKind::Cond { cond, .. } => leading_is_ambiguous(cond),
         ExprKind::Assign { target, .. } => leading_is_ambiguous(target),
         ExprKind::Seq(items) => items.first().is_some_and(leading_is_ambiguous),

@@ -79,10 +79,7 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
                 Expr::synthesized(ExprKind::Member { object: Box::new(o), prop: p })
             }),
             (inner.clone(), inner.clone()).prop_map(|(o, i)| {
-                Expr::synthesized(ExprKind::Index {
-                    object: Box::new(o),
-                    index: Box::new(i),
-                })
+                Expr::synthesized(ExprKind::Index { object: Box::new(o), index: Box::new(i) })
             }),
             (inner.clone(), proptest::collection::vec(inner.clone(), 0..3)).prop_map(
                 |(callee, args)| Expr::synthesized(ExprKind::Call {
@@ -92,9 +89,8 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
             ),
             proptest::collection::vec(inner.clone().prop_map(Some), 0..4)
                 .prop_map(|items| Expr::synthesized(ExprKind::Array(items))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| {
-                Expr::synthesized(ExprKind::Seq(vec![a, b]))
-            }),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| { Expr::synthesized(ExprKind::Seq(vec![a, b])) }),
         ]
     })
 }
@@ -113,11 +109,9 @@ fn strip(e: &Expr) -> Expr {
                 ExprKind::Unary { op: UnaryOp::Neg, operand: Box::new(inner) }
             }
         }
-        ExprKind::Binary { op, left, right } => ExprKind::Binary {
-            op: *op,
-            left: Box::new(strip(left)),
-            right: Box::new(strip(right)),
-        },
+        ExprKind::Binary { op, left, right } => {
+            ExprKind::Binary { op: *op, left: Box::new(strip(left)), right: Box::new(strip(right)) }
+        }
         ExprKind::Logical { op, left, right } => ExprKind::Logical {
             op: *op,
             left: Box::new(strip(left)),
@@ -134,10 +128,9 @@ fn strip(e: &Expr) -> Expr {
         ExprKind::Member { object, prop } => {
             ExprKind::Member { object: Box::new(strip(object)), prop: prop.clone() }
         }
-        ExprKind::Index { object, index } => ExprKind::Index {
-            object: Box::new(strip(object)),
-            index: Box::new(strip(index)),
-        },
+        ExprKind::Index { object, index } => {
+            ExprKind::Index { object: Box::new(strip(object)), index: Box::new(strip(index)) }
+        }
         ExprKind::Call { callee, args } => ExprKind::Call {
             callee: Box::new(strip(callee)),
             args: args.iter().map(strip).collect(),

@@ -7,7 +7,7 @@
 //! ```
 
 use comfort::core::differential::{run_differential, CaseOutcome, Signature};
-use comfort::engines::{all_testbeds, latest_testbeds};
+use comfort::engines::{all_testbeds, latest_testbeds, RunOptions};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -34,15 +34,16 @@ fn main() {
         latest_testbeds()
     };
 
+    let opts = RunOptions::with_fuel(20_000_000);
     println!("running on {} testbeds:\n", testbeds.len());
     for bed in &testbeds {
-        let r = bed.run(&program, 20_000_000, false);
+        let r = bed.run(&program, &opts);
         let sig = Signature::of(&r.status, &r.output);
         println!("  {:<28} {}", bed.label(), sig.describe());
     }
 
     println!();
-    match run_differential(&program, &latest_testbeds(), 20_000_000) {
+    match run_differential(&program, &latest_testbeds(), &opts) {
         CaseOutcome::Pass => println!("verdict: all latest engines agree"),
         CaseOutcome::AllTimeout => println!("verdict: every engine timed out (case ignored)"),
         CaseOutcome::ParseError => println!("verdict: consistent parse error"),

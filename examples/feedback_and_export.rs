@@ -18,13 +18,14 @@ use comfort::lm::GeneratorConfig;
 
 fn main() {
     println!("phase 1: base campaign (400 cases)…");
-    let mut campaign = Campaign::new(CampaignConfig {
-        seed: 7,
-        corpus_programs: 200,
-        lm: GeneratorConfig { order: 10, bpe_merges: 300, top_k: 10, max_tokens: 1200 },
-        max_cases: 400,
-        ..CampaignConfig::default()
-    });
+    let config = CampaignConfig::builder()
+        .seed(7)
+        .corpus_programs(200)
+        .lm(GeneratorConfig { order: 10, bpe_merges: 300, top_k: 10, max_tokens: 1200 })
+        .max_cases(400)
+        .build()
+        .expect("valid config");
+    let mut campaign = Campaign::new(config);
     let report = campaign.run();
     println!(
         "  {} unique bugs from {} cases ({} duplicates filtered)\n",

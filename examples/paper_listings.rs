@@ -6,7 +6,7 @@
 //! ```
 
 use comfort::core::differential::{run_differential, CaseOutcome};
-use comfort::engines::latest_testbeds;
+use comfort::engines::{latest_testbeds, RunOptions};
 
 const LISTINGS: &[(&str, &str)] = &[
     (
@@ -107,6 +107,7 @@ foo(parameter);"#,
 
 fn main() {
     let testbeds = latest_testbeds();
+    let opts = RunOptions::with_fuel(30_000_000);
     for (title, source) in LISTINGS {
         println!("=== {title} ===");
         let program = match comfort::syntax::parse(source) {
@@ -118,7 +119,7 @@ fn main() {
         };
         // Per-engine raw results.
         for bed in &testbeds {
-            let r = bed.run(&program, 30_000_000, false);
+            let r = bed.run(&program, &opts);
             let shown = match &r.status {
                 comfort::interp::RunStatus::Completed => {
                     format!("ok    → {:?}", r.output.trim_end())
@@ -128,7 +129,7 @@ fn main() {
             println!("  {:<22} {shown}", bed.label());
         }
         // Differential verdict.
-        match run_differential(&program, &testbeds, 30_000_000) {
+        match run_differential(&program, &testbeds, &opts) {
             CaseOutcome::Deviations(devs) => {
                 for d in devs {
                     println!(

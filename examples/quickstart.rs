@@ -8,7 +8,12 @@
 use comfort::core::pipeline::{Comfort, ComfortConfig};
 
 fn main() {
-    let mut comfort = Comfort::new(ComfortConfig { seed: 2026, ..ComfortConfig::default() });
+    let config = ComfortConfig::builder()
+        .seed(2026)
+        .threads(0) // all cores; reports are identical at any thread count
+        .build()
+        .expect("valid config");
+    let mut comfort = Comfort::new(config);
 
     println!("training the program generator and fuzzing (300 test cases)…\n");
     let report = comfort.run_budgeted(300);

@@ -1,0 +1,214 @@
+//! Offline drop-in subset of the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the benchmark API surface it uses: [`Criterion`], benchmark groups,
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Statistics are intentionally simple: each benchmark is warmed up briefly,
+//! then timed over an adaptive iteration count targeting a fixed measurement
+//! window, and the median of several samples is reported as ns/iter. There
+//! are no plots, no saved baselines, and no outlier analysis — the point is
+//! that `cargo bench` runs offline and prints comparable numbers.
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time per measured sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(40);
+/// Number of samples whose median is reported.
+const SAMPLES: usize = 7;
+/// Warm-up budget before calibration.
+const WARMUP: Duration = Duration::from_millis(30);
+
+/// Controls how [`Bencher::iter_batched`] amortizes setup cost. All variants
+/// behave identically in this shim (setup is always excluded from timing).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Passed to each benchmark closure; runs and times the routine.
+pub struct Bencher {
+    /// Median nanoseconds per iteration, filled in by `iter`/`iter_batched`.
+    ns_per_iter: f64,
+    /// Total iterations executed across all samples.
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, excluding nothing: the closure is the unit of work.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        // Calibrate the per-sample iteration count from the warm-up rate.
+        let per_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64;
+        let batch =
+            ((SAMPLE_TARGET.as_nanos() as f64 / per_iter.max(1.0)) as u64).clamp(1, 1 << 24);
+        let mut samples = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / batch as f64);
+            self.iterations += batch;
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
+
+    /// Times `routine` on inputs produced by `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut input = Some(setup());
+        self.iter(move || {
+            let out = routine(input.take().expect("input present"));
+            input = Some(setup());
+            out
+        });
+    }
+}
+
+/// A named set of related benchmarks sharing a report prefix.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark and prints its timing line.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&full, f);
+        self
+    }
+
+    /// Ends the group (report flushing is a no-op in this shim).
+    pub fn finish(self) {}
+}
+
+/// Entry point handed to benchmark functions by [`criterion_main!`].
+#[derive(Default)]
+pub struct Criterion {
+    /// Substring filter from the command line (`cargo bench -- <filter>`).
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string() }
+    }
+
+    /// Runs a benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.run_one(id, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher { ns_per_iter: 0.0, iterations: 0 };
+        f(&mut bencher);
+        let ns = bencher.ns_per_iter;
+        let (value, unit) = if ns >= 1e9 {
+            (ns / 1e9, "s")
+        } else if ns >= 1e6 {
+            (ns / 1e6, "ms")
+        } else if ns >= 1e3 {
+            (ns / 1e3, "µs")
+        } else {
+            (ns, "ns")
+        };
+        println!("{id:<44} time: {value:>10.3} {unit}/iter ({} iters)", bencher.iterations);
+    }
+
+    #[doc(hidden)]
+    pub fn configure_from_args(mut self) -> Self {
+        // `cargo bench -- <substring>` filters benchmark ids; flags that the
+        // real criterion accepts (e.g. --bench, --save-baseline) are ignored.
+        self.filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generates `main` running the declared groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($group(&mut criterion);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_reports_plausible_timing() {
+        let mut b = Bencher { ns_per_iter: 0.0, iterations: 0 };
+        b.iter(|| std::hint::black_box(21u64 * 2));
+        assert!(b.ns_per_iter > 0.0);
+        assert!(b.iterations > 0);
+    }
+
+    #[test]
+    fn iter_batched_threads_inputs_through() {
+        let mut b = Bencher { ns_per_iter: 0.0, iterations: 0 };
+        let mut seen = 0u64;
+        b.iter_batched(
+            || vec![1u64, 2, 3],
+            |v| {
+                seen += 1;
+                v.into_iter().sum::<u64>()
+            },
+            BatchSize::SmallInput,
+        );
+        assert!(seen > 0);
+    }
+
+    #[test]
+    fn groups_run_matching_benchmarks() {
+        let mut c = Criterion { filter: Some("match".into()) };
+        let mut ran = Vec::new();
+        {
+            let mut g = c.benchmark_group("g");
+            g.bench_function("match_me", |b| {
+                ran.push("yes");
+                b.iter(|| 1 + 1)
+            });
+            g.finish();
+        }
+        assert_eq!(ran, ["yes"]);
+        let mut skipped = true;
+        c.bench_function("other", |_| skipped = false);
+        assert!(skipped);
+    }
+}

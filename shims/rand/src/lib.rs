@@ -1,0 +1,378 @@
+//! Offline drop-in subset of the `rand` crate (0.9 API surface).
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the workspace vendors the small slice of `rand` it actually uses:
+//!
+//! * [`rngs::StdRng`] — the ChaCha12 block cipher RNG behind `rand 0.9`'s
+//!   `StdRng`, including the `rand_core` PCG-style `seed_from_u64` expansion
+//!   and the `BlockRng` word-consumption order, so seeded streams match the
+//!   upstream crate,
+//! * [`Rng::random_bool`] — the 64-bit integer Bernoulli sampler,
+//! * [`Rng::random_range`] — widening-multiply uniform integers over
+//!   `Range`/`RangeInclusive`,
+//! * [`SeedableRng`] — `from_seed` / `seed_from_u64`.
+//!
+//! Everything is pure computation: no OS entropy, no global state.
+//! Deterministic seeding is a feature here, not a limitation — the whole
+//! reproduction is specified to be a pure function of its seeds.
+
+/// Byte-array-seeded construction, mirroring `rand_core::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// The seed array type (32 bytes for ChaCha-based RNGs).
+    type Seed: Sized + Default + AsRef<[u8]> + AsMut<[u8]>;
+
+    /// Builds the RNG from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the RNG from a `u64`, expanding it with the same PCG32-style
+    /// generator `rand_core` uses, so streams match upstream `rand`.
+    fn seed_from_u64(mut state: u64) -> Self {
+        // Constants from rand_core's default implementation (PCG32).
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// The raw generator interface (`rand_core::RngCore` subset).
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing sampling methods (`rand::Rng` subset).
+pub trait Rng: RngCore {
+    /// Samples a uniform value from `range` (`Range` or `RangeInclusive`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty, matching upstream `rand`.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// Like upstream, `p >= 1` is constant `true` (drawing nothing from the
+    /// stream) and `p <= 0` draws one word and returns `false`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        // rand 0.9 Bernoulli: p_int = p * 2^64, sample = next_u64() < p_int.
+        const SCALE: f64 = 2.0 * (1u64 << 63) as f64;
+        if p >= 1.0 {
+            return true;
+        }
+        let p_int = if p <= 0.0 { 0 } else { (p * SCALE) as u64 };
+        self.next_u64() < p_int
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Types samplable by [`Rng::random_range`].
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample from `[low, high]` (inclusive bounds).
+    fn sample_inclusive<R: RngCore>(rng: &mut R, low: Self, high: Self) -> Self;
+    /// `v - 1` (wrapping), for converting exclusive upper bounds.
+    fn prev(v: Self) -> Self;
+}
+
+/// Range argument forms accepted by [`Rng::random_range`].
+pub trait SampleRange<T> {
+    /// Draws one sample.
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_inclusive(rng, self.start, T::prev(self.end))
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        assert!(low <= high, "cannot sample empty range");
+        T::sample_inclusive(rng, low, high)
+    }
+}
+
+// Upstream `rand` samples a u32 word for integer types up to 32 bits and a
+// u64 word for 64-bit/pointer-size types, using a widening multiply with a
+// rejection zone for unbiased results.
+macro_rules! uniform_32 {
+    ($($ty:ty => $uty:ty),*) => {$(
+        impl SampleUniform for $ty {
+            fn sample_inclusive<R: RngCore>(rng: &mut R, low: Self, high: Self) -> Self {
+                let range = (high as $uty as u32)
+                    .wrapping_sub(low as $uty as u32)
+                    .wrapping_add(1);
+                if range == 0 {
+                    return rng.next_u32() as $ty; // full domain
+                }
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let m = (rng.next_u32() as u64) * (range as u64);
+                    let (hi, lo) = ((m >> 32) as u32, m as u32);
+                    if lo <= zone {
+                        return (low as $uty).wrapping_add(hi as $uty) as $ty;
+                    }
+                }
+            }
+            fn prev(v: Self) -> Self {
+                v.wrapping_sub(1)
+            }
+        }
+    )*};
+}
+
+macro_rules! uniform_64 {
+    ($($ty:ty => $uty:ty),*) => {$(
+        impl SampleUniform for $ty {
+            fn sample_inclusive<R: RngCore>(rng: &mut R, low: Self, high: Self) -> Self {
+                let range = (high as $uty as u64)
+                    .wrapping_sub(low as $uty as u64)
+                    .wrapping_add(1);
+                if range == 0 {
+                    return rng.next_u64() as $ty; // full domain
+                }
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let m = (rng.next_u64() as u128) * (range as u128);
+                    let (hi, lo) = ((m >> 64) as u64, m as u64);
+                    if lo <= zone {
+                        return (low as $uty).wrapping_add(hi as $uty) as $ty;
+                    }
+                }
+            }
+            fn prev(v: Self) -> Self {
+                v.wrapping_sub(1)
+            }
+        }
+    )*};
+}
+
+uniform_32!(u8 => u8, u16 => u16, u32 => u32, i8 => u8, i16 => u16, i32 => u32);
+uniform_64!(u64 => u64, i64 => u64, usize => usize, isize => usize);
+
+/// RNG implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard RNG: ChaCha12, stream-compatible with `rand 0.9`'s
+    /// `StdRng` (same block function, same `BlockRng` consumption order).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        /// ChaCha key words.
+        key: [u32; 8],
+        /// 64-bit block counter (state words 12–13); the stream id (words
+        /// 14–15) is fixed at zero, as `from_seed` leaves it.
+        counter: u64,
+        /// Buffered output: four 16-word blocks, as `rand_chacha` produces
+        /// per refill.
+        results: [u32; 64],
+        /// Next unread index into `results`; 64 = exhausted.
+        index: usize,
+    }
+
+    const CHACHA_ROUNDS: usize = 12;
+
+    fn chacha_block(key: &[u32; 8], counter: u64, out: &mut [u32]) {
+        const C: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+        let mut x = [
+            C[0],
+            C[1],
+            C[2],
+            C[3],
+            key[0],
+            key[1],
+            key[2],
+            key[3],
+            key[4],
+            key[5],
+            key[6],
+            key[7],
+            counter as u32,
+            (counter >> 32) as u32,
+            0,
+            0,
+        ];
+        let initial = x;
+        macro_rules! qr {
+            ($a:expr, $b:expr, $c:expr, $d:expr) => {
+                x[$a] = x[$a].wrapping_add(x[$b]);
+                x[$d] = (x[$d] ^ x[$a]).rotate_left(16);
+                x[$c] = x[$c].wrapping_add(x[$d]);
+                x[$b] = (x[$b] ^ x[$c]).rotate_left(12);
+                x[$a] = x[$a].wrapping_add(x[$b]);
+                x[$d] = (x[$d] ^ x[$a]).rotate_left(8);
+                x[$c] = x[$c].wrapping_add(x[$d]);
+                x[$b] = (x[$b] ^ x[$c]).rotate_left(7);
+            };
+        }
+        for _ in 0..CHACHA_ROUNDS / 2 {
+            // Column round.
+            qr!(0, 4, 8, 12);
+            qr!(1, 5, 9, 13);
+            qr!(2, 6, 10, 14);
+            qr!(3, 7, 11, 15);
+            // Diagonal round.
+            qr!(0, 5, 10, 15);
+            qr!(1, 6, 11, 12);
+            qr!(2, 7, 8, 13);
+            qr!(3, 4, 9, 14);
+        }
+        for i in 0..16 {
+            out[i] = x[i].wrapping_add(initial[i]);
+        }
+    }
+
+    impl StdRng {
+        fn refill(&mut self) {
+            for block in 0..4u64 {
+                let start = block as usize * 16;
+                chacha_block(
+                    &self.key,
+                    self.counter.wrapping_add(block),
+                    &mut self.results[start..start + 16],
+                );
+            }
+            self.counter = self.counter.wrapping_add(4);
+            self.index = 0;
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> Self {
+            let mut key = [0u32; 8];
+            for (i, chunk) in seed.chunks_exact(4).enumerate() {
+                key[i] = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+            }
+            StdRng { key, counter: 0, results: [0; 64], index: 64 }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            if self.index >= 64 {
+                self.refill();
+            }
+            let v = self.results[self.index];
+            self.index += 1;
+            v
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            // rand_core::block::BlockRng::next_u64 semantics: consume two
+            // consecutive words (low then high); when only one word is left
+            // in the buffer it becomes the low half and the first word of
+            // the next buffer the high half.
+            if self.index < 63 {
+                let lo = self.results[self.index] as u64;
+                let hi = self.results[self.index + 1] as u64;
+                self.index += 2;
+                (hi << 32) | lo
+            } else if self.index >= 64 {
+                self.refill();
+                let lo = self.results[0] as u64;
+                let hi = self.results[1] as u64;
+                self.index = 2;
+                (hi << 32) | lo
+            } else {
+                let lo = self.results[63] as u64;
+                self.refill();
+                let hi = self.results[0] as u64;
+                self.index = 1;
+                (hi << 32) | lo
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(1);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(1);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let c = StdRng::seed_from_u64(2).next_u64();
+        assert_ne!(a[0], c);
+    }
+
+    #[test]
+    fn mixed_width_reads_stay_consistent() {
+        // Interleave u32/u64 reads across the refill boundary.
+        let mut r = StdRng::seed_from_u64(9);
+        for _ in 0..61 {
+            r.next_u32();
+        }
+        let tail = [r.next_u64(), r.next_u64(), r.next_u64()];
+        assert!(tail.iter().any(|&x| x != 0));
+    }
+
+    #[test]
+    fn ranges_are_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..2000 {
+            let v = rng.random_range(0..10);
+            assert!((0..10).contains(&v));
+            let w: usize = rng.random_range(3..=5);
+            assert!((3..=5).contains(&w));
+            let n: i32 = rng.random_range(-5..100);
+            assert!((-5..100).contains(&n));
+            let big: u64 = rng.random_range(0..u64::MAX);
+            assert!(big < u64::MAX);
+        }
+    }
+
+    #[test]
+    fn random_bool_matches_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.25)).count();
+        assert!((2200..2800).contains(&hits), "{hits}");
+        assert!(rng.random_bool(1.0));
+        assert!(!rng.random_bool(0.0));
+    }
+
+    #[test]
+    fn uniformity_rough_check() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[rng.random_range(0..10usize)] += 1;
+        }
+        for c in counts {
+            assert!((800..1200).contains(&c), "{counts:?}");
+        }
+    }
+}

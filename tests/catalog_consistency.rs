@@ -6,7 +6,7 @@
 use std::collections::BTreeSet;
 
 use comfort::ecma262::spec_db;
-use comfort::engines::{shared_catalog, versions_of, Discovery, Engine, EngineName};
+use comfort::engines::{shared_catalog, versions_of, Discovery, Engine, EngineName, RunOptions};
 
 /// Every ECMA-guided catalog bug must target an API the spec database knows,
 /// or Algorithm 1 can never synthesize its trigger.
@@ -66,7 +66,7 @@ fn every_catalog_api_is_reachable_in_the_interpreter() {
         let src = format!("print(typeof ({expr}) === 'function');");
         let program = comfort::syntax::parse(&src)
             .unwrap_or_else(|e| panic!("probe for {api} failed to parse: {e}"));
-        let r = engine.run(&program);
+        let r = engine.run(&program, &RunOptions::default());
         assert_eq!(
             r.output, "true\n",
             "catalog API {api} is not a function in the interpreter (status {:?})",
@@ -119,8 +119,7 @@ fn catalog_version_ranges_are_well_formed() {
 /// that we preserve this limitation.
 #[test]
 fn natural_language_bugs_are_flagged_unextractable() {
-    let nl_bugs: Vec<_> =
-        shared_catalog().iter().filter(|b| !b.pseudocode_rule).collect();
+    let nl_bugs: Vec<_> = shared_catalog().iter().filter(|b| !b.pseudocode_rule).collect();
     assert!(!nl_bugs.is_empty());
     for bug in nl_bugs {
         assert_eq!(

@@ -4,7 +4,7 @@
 //! engines agree with ECMA-262.
 
 use comfort::core::differential::{run_differential, CaseOutcome, DeviationKind};
-use comfort::engines::{latest_testbeds, versions_of, Engine, EngineName, Testbed};
+use comfort::engines::{latest_testbeds, versions_of, Engine, EngineName, RunOptions, Testbed};
 use comfort::syntax::parse;
 
 const FUEL: u64 = 30_000_000;
@@ -13,7 +13,7 @@ const FUEL: u64 = 30_000_000;
 /// (engine, kind) pairs.
 fn deviations(src: &str) -> Vec<(EngineName, DeviationKind)> {
     let program = parse(src).expect("listing parses");
-    match run_differential(&program, &latest_testbeds(), FUEL) {
+    match run_differential(&program, &latest_testbeds(), &RunOptions::with_fuel(FUEL)) {
         CaseOutcome::Deviations(devs) => devs.into_iter().map(|d| (d.engine, d.kind)).collect(),
         other => panic!("expected deviations for {src:?}, got {other:?}"),
     }
@@ -66,13 +66,13 @@ print("done");
     // Latest Hermes is fixed: no deviation among latest engines.
     let program = parse(src).expect("parses");
     assert!(matches!(
-        run_differential(&program, &latest_testbeds(), FUEL),
+        run_differential(&program, &latest_testbeds(), &RunOptions::with_fuel(FUEL)),
         CaseOutcome::Pass
     ));
     // But a testbed set including Hermes v0.1.1 flags the timeout.
     let mut beds = latest_testbeds();
     beds.push(Testbed { engine: Engine::oldest(EngineName::Hermes), strict: false });
-    match run_differential(&program, &beds, FUEL) {
+    match run_differential(&program, &beds, &RunOptions::with_fuel(FUEL)) {
         CaseOutcome::Deviations(devs) => {
             assert!(devs
                 .iter()
@@ -88,12 +88,12 @@ fn listing3_spidermonkey_fixed_in_v52() {
     let program = parse(src).expect("parses");
     // All latest versions conform.
     assert!(matches!(
-        run_differential(&program, &latest_testbeds(), FUEL),
+        run_differential(&program, &latest_testbeds(), &RunOptions::with_fuel(FUEL)),
         CaseOutcome::Pass
     ));
     // Version sweep: the bug exists before ordinal 2 (v52.9), not after.
     for v in versions_of(EngineName::SpiderMonkey) {
-        let r = Engine::new(v).run(&program);
+        let r = Engine::new(v).run(&program, &RunOptions::default());
         if v.ordinal < 2 {
             assert!(!r.status.is_completed(), "{} should throw", v.label());
         } else {
@@ -176,7 +176,7 @@ fn conforming_listing_outputs_match_the_paper() {
     ];
     for (src, expected) in cases {
         let program = parse(src).expect("parses");
-        let r = v8.run(&program);
+        let r = v8.run(&program, &RunOptions::default());
         assert_eq!(r.output, expected, "case {src:?}");
     }
 }
