@@ -17,6 +17,7 @@ use comfort_engines::{
 };
 use comfort_lm::{Generator, GeneratorConfig};
 use comfort_syntax::{parse, print_program, Program};
+use comfort_telemetry::{CampaignMetrics, EventKind, ProgressHandle, Recorder, SinkHandle, Stage};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -25,8 +26,16 @@ use crate::differential::{
     run_differential, CaseOutcome, DeviationKind, DeviationRecord, Signature,
 };
 use crate::filter::{BugKey, BugTree};
-use crate::reduce::reduce;
+use crate::reduce::reduce_counted;
 use crate::testcase::{Origin, TestCase};
+
+/// Stable snake-case provenance label used in telemetry events.
+fn origin_label(origin: Origin) -> &'static str {
+    match origin {
+        Origin::ProgramGen => "program-gen",
+        Origin::EcmaMutation => "ecma-mutation",
+    }
+}
 
 /// Campaign parameters.
 #[derive(Debug, Clone)]
@@ -64,6 +73,10 @@ pub struct CampaignConfig {
     /// reproduces the legacy serial case stream exactly). The shard plan is
     /// a pure function of this value and `max_cases`, never of the hardware.
     pub shard_cases: usize,
+    /// Telemetry sink receiving the campaign's typed event stream (see
+    /// `comfort_telemetry`). Defaults to the discarding `NullSink`; the
+    /// stream's *logical* content is identical at every thread count.
+    pub sink: SinkHandle,
 }
 
 impl Default for CampaignConfig {
@@ -82,6 +95,7 @@ impl Default for CampaignConfig {
             keep_invalid_fraction: 0.2,
             threads: 1,
             shard_cases: 0,
+            sink: SinkHandle::null(),
         }
     }
 }
@@ -222,6 +236,12 @@ impl CampaignConfigBuilder {
         self
     }
 
+    /// Telemetry sink for the campaign's event stream.
+    pub fn sink(mut self, sink: SinkHandle) -> Self {
+        self.config.sink = sink;
+        self
+    }
+
     /// Validates and returns the configuration.
     pub fn build(self) -> Result<CampaignConfig, ConfigError> {
         let c = &self.config;
@@ -301,6 +321,10 @@ pub struct CampaignReport {
     pub bugs: Vec<BugReport>,
     /// Simulated campaign duration in hours.
     pub sim_hours: f64,
+    /// Per-stage counters and histograms (see `comfort_telemetry`); merged
+    /// conservation-exactly across shards. Wall-clock fields are
+    /// measurement-only and excluded from determinism comparisons.
+    pub metrics: CampaignMetrics,
 }
 
 impl CampaignReport {
@@ -353,6 +377,14 @@ pub struct Campaign {
     /// Base (unmutated) programs of recent generations, for Table 4's
     /// mechanism attribution.
     base_programs: std::collections::HashMap<u64, Program>,
+    /// Stamps telemetry events with `(shard, seq)` logical clocks.
+    recorder: Recorder,
+    /// Shard index in the executor's merge order (0 when run directly).
+    shard: u64,
+    /// Per-stage counters for the run in flight.
+    metrics: CampaignMetrics,
+    /// Live progress counters, safe to poll from other threads.
+    progress: ProgressHandle,
 }
 
 impl Campaign {
@@ -375,6 +407,9 @@ impl Campaign {
     ) -> Self {
         let rng = StdRng::seed_from_u64(config.seed ^ 0x5EED);
         let exec_threads = config.threads.max(1);
+        let recorder = Recorder::new(config.sink.clone(), 0);
+        let progress = ProgressHandle::new();
+        progress.reset(&[config.max_cases as u64]);
         Campaign {
             config,
             generator,
@@ -383,12 +418,34 @@ impl Campaign {
             next_case_id: 0,
             exec_threads,
             base_programs: std::collections::HashMap::new(),
+            recorder,
+            shard: 0,
+            metrics: CampaignMetrics::default(),
+            progress,
         }
     }
 
     /// Overrides the per-case testbed parallelism (scheduling only).
     pub fn set_exec_threads(&mut self, threads: usize) {
         self.exec_threads = threads.max(1);
+    }
+
+    /// Assigns this campaign's shard index (the executor's merge order);
+    /// telemetry events are stamped with it. Scheduling metadata only.
+    pub fn set_shard(&mut self, shard: u64) {
+        self.shard = shard;
+        self.recorder = Recorder::new(self.config.sink.clone(), shard);
+    }
+
+    /// Replaces the progress handle (the executor shares one across all
+    /// shards). The handle must already be `reset` for the full plan.
+    pub fn set_progress(&mut self, progress: ProgressHandle) {
+        self.progress = progress;
+    }
+
+    /// The live progress handle for this campaign (poll from any thread).
+    pub fn progress(&self) -> ProgressHandle {
+        self.progress.clone()
     }
 
     /// The trained generator (shared with quality measurements).
@@ -398,10 +455,18 @@ impl Campaign {
 
     /// Runs the campaign to its case budget.
     pub fn run(&mut self) -> CampaignReport {
+        let run_start = std::time::Instant::now();
+        self.metrics = CampaignMetrics::new();
         let mut report = CampaignReport::default();
         let mut tree = BugTree::new();
         let dev = DeveloperModel { seed: self.config.seed };
         let datagen = DataGen::new(comfort_ecma262::spec_db(), self.config.datagen.clone());
+
+        self.progress.shard_started(self.shard as usize);
+        self.recorder.emit(EventKind::ShardStarted {
+            seed: self.config.seed,
+            case_budget: self.config.max_cases as u64,
+        });
 
         let mut queue: Vec<TestCase> = Vec::new();
         let mut base_counter = 0u64;
@@ -409,10 +474,24 @@ impl Campaign {
         while (report.cases_run as usize) < self.config.max_cases {
             if queue.is_empty() {
                 // Generate the next base program and its mutants.
+                let gen_start = std::time::Instant::now();
                 let source = self.generator.generate(&mut self.rng);
                 base_counter += 1;
-                match parse(&source) {
+                self.metrics.stage_mut(Stage::Generation).record(
+                    1,
+                    source.len() as u64,
+                    gen_start.elapsed().as_nanos() as u64,
+                );
+                let parse_start = std::time::Instant::now();
+                let parsed = parse(&source);
+                self.metrics.stage_mut(Stage::Validity).record(
+                    1,
+                    source.len() as u64,
+                    parse_start.elapsed().as_nanos() as u64,
+                );
+                match parsed {
                     Ok(program) => {
+                        let mutate_start = std::time::Instant::now();
                         let base = datagen.base_case(
                             &program,
                             base_counter,
@@ -425,6 +504,20 @@ impl Campaign {
                             &mut self.next_case_id,
                             &mut self.rng,
                         );
+                        self.metrics.stage_mut(Stage::Datagen).record(
+                            1 + mutants.len() as u64,
+                            mutants.len() as u64,
+                            mutate_start.elapsed().as_nanos() as u64,
+                        );
+                        self.metrics.cases_generated += 1 + mutants.len() as u64;
+                        for c in std::iter::once(&base).chain(mutants.iter()) {
+                            self.recorder.emit(EventKind::CaseGenerated {
+                                case_id: c.id,
+                                base: c.base,
+                                origin: origin_label(c.origin).to_string(),
+                                mutant: c.origin == Origin::EcmaMutation,
+                            });
+                        }
                         // Remember the base program for mechanism attribution
                         // (bounded: drop entries once the queue has drained).
                         if self.base_programs.len() > 64 {
@@ -436,10 +529,15 @@ impl Campaign {
                     }
                     Err(_) => {
                         // Keep a fraction of invalid programs as parser tests.
-                        if self.rng.random_bool(self.config.keep_invalid_fraction) {
+                        let kept = self.rng.random_bool(self.config.keep_invalid_fraction);
+                        self.metrics.cases_rejected += 1;
+                        self.recorder.emit(EventKind::CaseRejected { base: base_counter, kept });
+                        if kept {
                             report.cases_run += 1;
                             report.parse_errors += 1;
                             report.sim_hours += self.config.sim_seconds_per_case / 3600.0;
+                            self.metrics.cases_run += 1;
+                            self.progress.case_done(self.shard as usize);
                         }
                         continue;
                     }
@@ -448,24 +546,73 @@ impl Campaign {
             let case = queue.remove(0);
             report.cases_run += 1;
             report.sim_hours += self.config.sim_seconds_per_case / 3600.0;
+            self.metrics.cases_run += 1;
 
-            match crate::differential::run_differential_pooled(
+            let diff_start = std::time::Instant::now();
+            let outcome = crate::differential::run_differential_pooled(
                 &case.program,
                 &self.testbeds,
                 &RunOptions::with_fuel(self.config.fuel),
                 self.exec_threads,
-            ) {
+            );
+            self.metrics.stage_mut(Stage::Differential).record(
+                self.testbeds.len() as u64,
+                self.testbeds.len() as u64,
+                diff_start.elapsed().as_nanos() as u64,
+            );
+            let outcome_label = match &outcome {
+                CaseOutcome::ParseError => "parse-error",
+                CaseOutcome::AllTimeout => "all-timeout",
+                CaseOutcome::Pass => "pass",
+                CaseOutcome::Deviations(_) => "deviations",
+            };
+            self.recorder.emit(EventKind::DifferentialRun {
+                case_id: case.id,
+                testbeds: self.testbeds.len() as u64,
+                outcome: outcome_label.to_string(),
+            });
+            match outcome {
                 CaseOutcome::ParseError | CaseOutcome::AllTimeout => {}
                 CaseOutcome::Pass => report.passes += 1,
                 CaseOutcome::Deviations(devs) => {
                     report.deviations_observed += devs.len() as u64;
+                    self.metrics.deviations_observed += devs.len() as u64;
                     for dev_rec in devs {
+                        self.recorder.emit(EventKind::Deviation {
+                            case_id: case.id,
+                            engine: dev_rec.engine.as_str().to_string(),
+                            kind: dev_rec.kind.to_string(),
+                        });
                         self.process_deviation(&case, &dev_rec, &mut tree, &dev, &mut report);
                     }
                 }
             }
+            self.progress.case_done(self.shard as usize);
         }
         report.duplicates_filtered = tree.duplicates_filtered();
+        let filter_stats = tree.stats();
+        self.metrics.stage_mut(Stage::Filter).record(
+            filter_stats.observed,
+            filter_stats.duplicates,
+            0,
+        );
+        for stage in Stage::ALL {
+            let s = *self.metrics.stage(stage);
+            self.recorder.emit(EventKind::StageTiming {
+                stage,
+                invocations: s.invocations,
+                items: s.items,
+                logical_cost: s.logical_cost,
+                wall_nanos: Some(s.wall_nanos),
+            });
+        }
+        self.recorder.emit(EventKind::ShardFinished {
+            cases_run: report.cases_run,
+            bugs_reported: report.bugs.len() as u64,
+            wall_nanos: Some(run_start.elapsed().as_nanos() as u64),
+        });
+        self.progress.shard_finished(self.shard as usize);
+        report.metrics = self.metrics.clone();
         report
     }
 
@@ -485,6 +632,12 @@ impl Campaign {
         };
         if tree.contains(&provisional) {
             tree.observe(&provisional); // count the duplicate
+            self.metrics.bugs_deduped += 1;
+            self.recorder.emit(EventKind::BugDeduped {
+                engine: provisional.engine.as_str().to_string(),
+                key: provisional.to_string(),
+                cross_shard: false,
+            });
             return;
         }
 
@@ -495,12 +648,18 @@ impl Campaign {
             let beds = self.testbeds.clone();
             let engine = dev_rec.engine;
             let opts = RunOptions::with_fuel(self.config.fuel);
-            let program = reduce(&case.program, &mut |p: &Program| {
+            let reduce_start = std::time::Instant::now();
+            let (program, reduce_stats) = reduce_counted(&case.program, &mut |p: &Program| {
                 matches!(
                     run_differential(p, &beds, &opts),
                     CaseOutcome::Deviations(d) if d.iter().any(|r| r.engine == engine)
                 )
             });
+            self.metrics.stage_mut(Stage::Reduction).record(
+                reduce_stats.candidates_tried,
+                reduce_stats.removals_kept,
+                reduce_start.elapsed().as_nanos() as u64,
+            );
             (print_program(&program), program)
         } else {
             (case.source.clone(), case.program.clone())
@@ -509,7 +668,14 @@ impl Campaign {
         let key = BugKey { engine: dev_rec.engine, api: api.clone(), behavior };
         tree.observe(&provisional);
         if key != provisional && !tree.observe(&key) {
-            return; // the reduced identity collides with a known bug
+            // The reduced identity collides with a known bug.
+            self.metrics.bugs_deduped += 1;
+            self.recorder.emit(EventKind::BugDeduped {
+                engine: key.engine.as_str().to_string(),
+                key: key.to_string(),
+                cross_shard: false,
+            });
+            return;
         }
 
         // Earliest-version attribution (Table 3).
@@ -560,6 +726,8 @@ impl Campaign {
         }
 
         let adjudication = dev.adjudicate(&key, origin, self.config.seed);
+        self.metrics.bugs_reported += 1;
+        self.progress.bug_found(self.shard as usize);
         report.bugs.push(BugReport {
             key,
             sim_hours: report.sim_hours,
@@ -613,8 +781,8 @@ pub fn dominant_api(program: &Program) -> Option<String> {
 /// Behaviour label for the filter tree's third layer.
 fn behavior_label(dev_rec: &DeviationRecord) -> String {
     match dev_rec.kind {
-        DeviationKind::UnexpectedError => dev_rec.actual.describe(),
-        DeviationKind::MissingError => format!("Missing{}", dev_rec.expected.describe()),
+        DeviationKind::UnexpectedError => dev_rec.actual.to_string(),
+        DeviationKind::MissingError => format!("Missing{}", dev_rec.expected),
         DeviationKind::WrongOutput => "WrongOutput".to_string(),
         DeviationKind::Crash => "Crash".to_string(),
         DeviationKind::Timeout => "TimeOut".to_string(),

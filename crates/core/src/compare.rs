@@ -90,8 +90,8 @@ pub fn compare(fuzzers: &mut [&mut dyn Fuzzer], config: &CompareConfig) -> Vec<F
             ) {
                 for d in devs {
                     let behavior = match d.kind {
-                        crate::differential::DeviationKind::UnexpectedError => d.actual.describe(),
-                        other => other.as_str().to_string(),
+                        crate::differential::DeviationKind::UnexpectedError => d.actual.to_string(),
+                        other => other.to_string(),
                     };
                     let provisional = BugKey {
                         engine: d.engine,

@@ -36,16 +36,25 @@ impl Signature {
     }
 
     /// Short human-readable rendering (for reports and the bug filter).
+    #[deprecated(since = "0.1.0", note = "use the `Display` impl (`to_string()` / `{}`)")]
     pub fn describe(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl std::fmt::Display for Signature {
+    /// Short human-readable rendering, used by reports and as the
+    /// behaviour layer of the bug-filter tree.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Signature::Completed(out) => {
                 let trimmed: String = out.chars().take(80).collect();
-                format!("output {trimmed:?}")
+                write!(f, "output {trimmed:?}")
             }
-            Signature::Threw(Some(kind)) => kind.name().to_string(),
-            Signature::Threw(None) => "throw".to_string(),
-            Signature::Timeout => "Timeout".to_string(),
-            Signature::Crash => "Crash".to_string(),
+            Signature::Threw(Some(kind)) => f.write_str(kind.name()),
+            Signature::Threw(None) => f.write_str("throw"),
+            Signature::Timeout => f.write_str("Timeout"),
+            Signature::Crash => f.write_str("Crash"),
         }
     }
 }
@@ -87,6 +96,12 @@ impl DeviationKind {
             DeviationKind::Crash => "Crash",
             DeviationKind::Timeout => "TimeOut",
         }
+    }
+}
+
+impl std::fmt::Display for DeviationKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
     }
 }
 
@@ -349,6 +364,22 @@ mod tests {
             Completed("b".into()),
         ];
         assert_eq!(majority_signature(&clear), Some(Completed("a".into())));
+    }
+
+    #[test]
+    fn display_renders_filter_labels() {
+        assert_eq!(Signature::Timeout.to_string(), "Timeout");
+        assert_eq!(Signature::Crash.to_string(), "Crash");
+        assert_eq!(Signature::Threw(None).to_string(), "throw");
+        assert_eq!(Signature::Threw(Some(ErrorKind::Type)).to_string(), "TypeError");
+        assert_eq!(Signature::Completed("hi\n".into()).to_string(), "output \"hi\\n\"");
+        assert_eq!(DeviationKind::Timeout.to_string(), "TimeOut");
+        assert_eq!(DeviationKind::WrongOutput.to_string(), "WrongOutput");
+        // The deprecated helper stays behaviour-compatible.
+        #[allow(deprecated)]
+        {
+            assert_eq!(Signature::Timeout.describe(), Signature::Timeout.to_string());
+        }
     }
 
     #[test]

@@ -27,6 +27,7 @@ use std::sync::{Arc, Mutex};
 
 use comfort_engines::Testbed;
 use comfort_lm::Generator;
+use comfort_telemetry::{EventKind, MemorySink, ProgressHandle, Recorder, SinkHandle, MERGE_SHARD};
 
 use crate::campaign::{testbeds_for, Campaign, CampaignConfig, CampaignReport};
 use crate::filter::BugTree;
@@ -105,14 +106,29 @@ pub fn resolve_threads(threads: usize) -> usize {
 /// reported by an earlier shard are counted into `duplicates_filtered`
 /// instead of being reported twice.
 pub fn merge_shard_reports(shard_reports: &[CampaignReport]) -> CampaignReport {
+    merge_shard_reports_with_sink(shard_reports, &SinkHandle::null())
+}
+
+/// [`merge_shard_reports`], additionally emitting a cross-shard
+/// [`BugDeduped`](comfort_telemetry::EventKind::BugDeduped) event (stamped
+/// with the [`MERGE_SHARD`] pseudo-shard) for every bug an earlier shard
+/// already reported. Metrics merge conservation-exactly: every counter of
+/// the merged value is the sum of the shard values, with cross-shard
+/// duplicates moved from `bugs_reported` to `bugs_deduped`.
+pub fn merge_shard_reports_with_sink(
+    shard_reports: &[CampaignReport],
+    sink: &SinkHandle,
+) -> CampaignReport {
     let mut merged = CampaignReport::default();
     let mut tree = BugTree::new();
+    let mut recorder = Recorder::new(sink.clone(), MERGE_SHARD);
     for report in shard_reports {
         merged.cases_run += report.cases_run;
         merged.parse_errors += report.parse_errors;
         merged.passes += report.passes;
         merged.deviations_observed += report.deviations_observed;
         merged.duplicates_filtered += report.duplicates_filtered;
+        merged.metrics.merge_from(&report.metrics);
         for bug in &report.bugs {
             if tree.observe(&bug.key) {
                 let mut rebased = bug.clone();
@@ -120,6 +136,12 @@ pub fn merge_shard_reports(shard_reports: &[CampaignReport]) -> CampaignReport {
                 merged.bugs.push(rebased);
             } else {
                 merged.duplicates_filtered += 1;
+                merged.metrics.dedup_reported_bug();
+                recorder.emit(EventKind::BugDeduped {
+                    engine: bug.key.engine.as_str().to_string(),
+                    key: bug.key.to_string(),
+                    cross_shard: true,
+                });
             }
         }
         merged.sim_hours += report.sim_hours;
@@ -151,6 +173,7 @@ pub struct ShardedCampaign {
     config: CampaignConfig,
     generator: Arc<Generator>,
     testbeds: Vec<Testbed>,
+    progress: ProgressHandle,
 }
 
 impl ShardedCampaign {
@@ -159,7 +182,20 @@ impl ShardedCampaign {
         let corpus = comfort_corpus::training_corpus(config.seed, config.corpus_programs);
         let generator = Arc::new(Generator::train(&corpus, config.lm.clone()));
         let testbeds = testbeds_for(&config);
-        ShardedCampaign { config, generator, testbeds }
+        ShardedCampaign { config, generator, testbeds, progress: ProgressHandle::new() }
+    }
+
+    /// The live progress handle for this executor. Poll it from another
+    /// thread while [`run`](Self::run) executes: completed-case counts are
+    /// monotonically increasing, and per-shard snapshots carry throughput.
+    pub fn progress(&self) -> ProgressHandle {
+        self.progress.clone()
+    }
+
+    /// Replaces the progress handle with a caller-owned one (the `Comfort`
+    /// facade shares a single handle across budgeted runs).
+    pub fn attach_progress(&mut self, progress: ProgressHandle) {
+        self.progress = progress;
     }
 
     /// The shard plan this executor will run.
@@ -174,6 +210,13 @@ impl ShardedCampaign {
 
     /// Runs the campaign on exactly `threads` workers (`0` = available
     /// parallelism). The report is bit-identical for every `threads` value.
+    ///
+    /// Telemetry keeps the same contract: each shard's event stream is
+    /// buffered and flushed to the configured sink as soon as every earlier
+    /// shard has flushed, so the sink observes events in logical `(shard,
+    /// seq)` order — byte-identical (modulo wall-clock fields) at every
+    /// thread count — while shard 0's events still arrive as soon as shard 0
+    /// finishes, not at the end of the whole run.
     pub fn run_with_threads(&self, threads: usize) -> CampaignReport {
         let threads = resolve_threads(threads);
         let shards = self.plan();
@@ -181,6 +224,10 @@ impl ShardedCampaign {
         // per-case testbed fan-out inside each shard.
         let workers = threads.clamp(1, shards.len());
         let per_shard_threads = (threads / workers).max(1);
+
+        self.progress.reset(&shards.iter().map(|s| s.cases as u64).collect::<Vec<u64>>());
+        let buffers: Vec<MemorySink> = shards.iter().map(|_| MemorySink::new()).collect();
+        let flush = FlushState::new(shards.len());
 
         let slots: Vec<Mutex<Option<CampaignReport>>> =
             shards.iter().map(|_| Mutex::new(None)).collect();
@@ -192,8 +239,9 @@ impl ShardedCampaign {
                     if i >= shards.len() {
                         break;
                     }
-                    let report = self.run_shard(&shards[i], per_shard_threads);
+                    let report = self.run_shard(&shards[i], per_shard_threads, &buffers[i]);
                     *slots[i].lock().expect("shard slot poisoned") = Some(report);
+                    flush.shard_done(i, &buffers, &self.config.sink);
                 });
             }
         });
@@ -203,18 +251,61 @@ impl ShardedCampaign {
                 slot.into_inner().expect("shard slot poisoned").expect("every shard was claimed")
             })
             .collect();
-        merge_shard_reports(&shard_reports)
+        merge_shard_reports_with_sink(&shard_reports, &self.config.sink)
     }
 
-    /// Runs one shard as a plain serial campaign over its budget slice.
-    fn run_shard(&self, spec: &ShardSpec, exec_threads: usize) -> CampaignReport {
+    /// Runs one shard as a plain serial campaign over its budget slice,
+    /// buffering its event stream in `buffer` for in-order flushing.
+    fn run_shard(
+        &self,
+        spec: &ShardSpec,
+        exec_threads: usize,
+        buffer: &MemorySink,
+    ) -> CampaignReport {
         let mut config = self.config.clone();
         config.seed = spec.seed;
         config.max_cases = spec.cases;
+        config.sink = SinkHandle::new(buffer.clone());
         let mut campaign =
             Campaign::with_shared(config, Arc::clone(&self.generator), self.testbeds.clone());
         campaign.set_exec_threads(exec_threads);
+        campaign.set_shard(spec.index as u64);
+        campaign.set_progress(self.progress.clone());
         campaign.run()
+    }
+}
+
+/// Tracks which shard streams have completed and flushes them to the user's
+/// sink in shard order: shard `i` flushes once shards `0..i` have flushed.
+/// Completion out of order is fine — a completed shard's buffer just waits
+/// until it becomes the frontier.
+struct FlushState {
+    inner: Mutex<FlushInner>,
+}
+
+struct FlushInner {
+    /// Next shard index to flush.
+    next: usize,
+    /// Completion flags per shard.
+    done: Vec<bool>,
+}
+
+impl FlushState {
+    fn new(shards: usize) -> Self {
+        FlushState { inner: Mutex::new(FlushInner { next: 0, done: vec![false; shards] }) }
+    }
+
+    /// Marks shard `index` complete and flushes every buffered stream at the
+    /// in-order frontier.
+    fn shard_done(&self, index: usize, buffers: &[MemorySink], sink: &SinkHandle) {
+        let mut inner = self.inner.lock().expect("flush state poisoned");
+        inner.done[index] = true;
+        while inner.next < inner.done.len() && inner.done[inner.next] {
+            for event in buffers[inner.next].take() {
+                sink.emit(&event);
+            }
+            inner.next += 1;
+        }
     }
 }
 
@@ -301,7 +392,7 @@ mod tests {
         let plan = executor.plan();
         assert_eq!(plan.len(), 3);
         let shard_reports: Vec<CampaignReport> =
-            plan.iter().map(|s| executor.run_shard(s, 1)).collect();
+            plan.iter().map(|s| executor.run_shard(s, 1, &MemorySink::new())).collect();
         let merged = merge_shard_reports(&shard_reports);
         assert_eq!(merged.cases_run, shard_reports.iter().map(|r| r.cases_run).sum::<u64>());
         let total_bugs: usize = shard_reports.iter().map(|r| r.bugs.len()).sum();

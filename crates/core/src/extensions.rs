@@ -119,8 +119,8 @@ pub fn feedback_round(
                     engine: d.engine,
                     api: crate::campaign::dominant_api(&case.program),
                     behavior: match d.kind {
-                        crate::differential::DeviationKind::UnexpectedError => d.actual.describe(),
-                        other => other.as_str().to_string(),
+                        crate::differential::DeviationKind::UnexpectedError => d.actual.to_string(),
+                        other => other.to_string(),
                     },
                 };
                 if tree.observe(&key) {

@@ -26,6 +26,18 @@ impl std::fmt::Display for BugKey {
     }
 }
 
+/// A point-in-time summary of the filter tree, for campaign metrics and
+/// telemetry (dedup pressure = `duplicates / observed`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FilterStats {
+    /// Distinct bugs (leaf decision nodes).
+    pub leaves: usize,
+    /// Total observations classified.
+    pub observed: u64,
+    /// Observations rejected as duplicates.
+    pub duplicates: u64,
+}
+
 /// The knowledge-base tree.
 #[derive(Debug, Clone, Default)]
 pub struct BugTree {
@@ -86,6 +98,15 @@ impl BugTree {
         self.duplicates
     }
 
+    /// Snapshot of the tree's classification counters.
+    pub fn stats(&self) -> FilterStats {
+        FilterStats {
+            leaves: self.leaf_count(),
+            observed: self.observed,
+            duplicates: self.duplicates,
+        }
+    }
+
     /// Iterates all leaves as [`BugKey`]s.
     pub fn keys(&self) -> impl Iterator<Item = BugKey> + '_ {
         self.layers.iter().flat_map(|(engine, apis)| {
@@ -117,6 +138,7 @@ mod tests {
         assert_eq!(tree.leaf_count(), 1);
         assert_eq!(tree.observed(), 2);
         assert_eq!(tree.duplicates_filtered(), 1);
+        assert_eq!(tree.stats(), FilterStats { leaves: 1, observed: 2, duplicates: 1 });
     }
 
     #[test]

@@ -47,11 +47,14 @@ pub use campaign::{
     testbeds_for, BugReport, Campaign, CampaignConfig, CampaignConfigBuilder, CampaignReport,
     ConfigError, DeveloperModel,
 };
+pub use comfort_telemetry as telemetry;
 pub use differential::{
     run_differential, run_differential_pooled, CaseOutcome, DeviationKind, DeviationRecord,
     Signature,
 };
-pub use executor::{merge_shard_reports, plan_shards, ShardSpec, ShardedCampaign};
+pub use executor::{
+    merge_shard_reports, merge_shard_reports_with_sink, plan_shards, ShardSpec, ShardedCampaign,
+};
 pub use filter::{BugKey, BugTree};
 pub use fuzzer::{ComfortFuzzer, Fuzzer};
 pub use pipeline::{Comfort, ComfortConfig, PipelineReport};

@@ -9,6 +9,7 @@
 //! to the legacy serial pipeline at every `threads` setting.
 
 use comfort_lm::GeneratorConfig;
+use comfort_telemetry::{CampaignMetrics, ProgressHandle, SinkHandle};
 
 use crate::campaign::{BugReport, CampaignConfig, ConfigError};
 use crate::datagen::DataGenConfig;
@@ -36,6 +37,9 @@ pub struct ComfortConfig {
     /// Cases per shard. `0` (the default) runs the whole budget as a single
     /// shard, which reproduces the legacy serial case stream exactly.
     pub shard_cases: usize,
+    /// Telemetry sink receiving the run's typed event stream (JSONL-ready;
+    /// see `comfort_telemetry`). Defaults to the discarding `NullSink`.
+    pub sink: SinkHandle,
 }
 
 impl Default for ComfortConfig {
@@ -49,6 +53,7 @@ impl Default for ComfortConfig {
             reduce: true,
             threads: 0,
             shard_cases: 0,
+            sink: SinkHandle::null(),
         }
     }
 }
@@ -127,6 +132,12 @@ impl ComfortConfigBuilder {
         self
     }
 
+    /// Sets the telemetry sink for the run's event stream.
+    pub fn sink(mut self, sink: SinkHandle) -> Self {
+        self.config.sink = sink;
+        self
+    }
+
     /// Validates and returns the configuration.
     pub fn build(self) -> Result<ComfortConfig, ConfigError> {
         if self.config.fuel == 0 {
@@ -150,19 +161,29 @@ pub struct PipelineReport {
     pub sim_hours: f64,
     /// Observations discarded as duplicates of known bugs.
     pub duplicates_filtered: u64,
+    /// Per-stage counters and histograms for the run (merged across shards).
+    pub metrics: CampaignMetrics,
 }
 
 /// The COMFORT pipeline, ready to fuzz.
 pub struct Comfort {
     config: ComfortConfig,
     runs: u64,
+    progress: ProgressHandle,
 }
 
 impl Comfort {
     /// Builds the pipeline (does not train yet; training happens per run so
     /// each budgeted run is a pure function of the seed and budget).
     pub fn new(config: ComfortConfig) -> Self {
-        Comfort { config, runs: 0 }
+        Comfort { config, runs: 0, progress: ProgressHandle::new() }
+    }
+
+    /// Live progress for the run in flight: poll it from another thread for
+    /// cases done, bugs found, and per-shard throughput. The handle stays
+    /// valid across `run_budgeted` calls (each run resets its counters).
+    pub fn progress(&self) -> ProgressHandle {
+        self.progress.clone()
     }
 
     /// Runs a `cases`-sized fuzzing budget and reports unique deviations.
@@ -185,14 +206,18 @@ impl Comfort {
             keep_invalid_fraction: 0.2,
             threads: self.config.threads,
             shard_cases: self.config.shard_cases,
+            sink: self.config.sink.clone(),
         };
         self.runs += 1;
-        let report = ShardedCampaign::new(campaign_config).run();
+        let mut executor = ShardedCampaign::new(campaign_config);
+        executor.attach_progress(self.progress.clone());
+        let report = executor.run();
         PipelineReport {
             cases_run: report.cases_run,
             deviations: report.bugs,
             sim_hours: report.sim_hours,
             duplicates_filtered: report.duplicates_filtered,
+            metrics: report.metrics,
         }
     }
 }

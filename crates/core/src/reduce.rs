@@ -12,12 +12,46 @@
 use comfort_syntax::ast::{Function, Stmt, StmtKind};
 use comfort_syntax::Program;
 
+/// Reduction effort counters, for per-stage telemetry: each oracle call is
+/// one candidate differential run, which dominates reduction cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReduceStats {
+    /// Candidate programs offered to the oracle.
+    pub candidates_tried: u64,
+    /// Candidates the oracle accepted (statements actually removed).
+    pub removals_kept: u64,
+}
+
 /// Reduces `program`, keeping only removals the oracle accepts.
 ///
 /// `still_fails(candidate)` must return `true` iff the candidate still
 /// reproduces the original anomalous behaviour. The input program itself is
 /// assumed to satisfy the oracle.
 pub fn reduce(program: &Program, still_fails: &mut dyn FnMut(&Program) -> bool) -> Program {
+    reduce_counted(program, still_fails).0
+}
+
+/// Like [`reduce`], but also reports how much work the reduction did (for
+/// the campaign's per-stage metrics).
+pub fn reduce_counted(
+    program: &Program,
+    still_fails: &mut dyn FnMut(&Program) -> bool,
+) -> (Program, ReduceStats) {
+    let mut stats = ReduceStats::default();
+    let mut counting_oracle = |candidate: &Program| {
+        stats.candidates_tried += 1;
+        let accepted = still_fails(candidate);
+        if accepted {
+            stats.removals_kept += 1;
+        }
+        accepted
+    };
+    let reduced = fixpoint_reduce(program, &mut counting_oracle);
+    (reduced, stats)
+}
+
+/// The §3.5 fixpoint loop.
+fn fixpoint_reduce(program: &Program, still_fails: &mut dyn FnMut(&Program) -> bool) -> Program {
     let mut current = program.clone();
     loop {
         let mut changed = false;
@@ -196,6 +230,19 @@ mod tests {
             t.contains("print('MARKER')") || t.contains("print(\"MARKER\")")
         });
         assert_eq!(reduced.body.len(), 1);
+    }
+
+    #[test]
+    fn counted_reduction_reports_effort() {
+        let program = parse("var junk = 1; var junk2 = 2; print('MARKER');").expect("parses");
+        let (reduced, stats) =
+            reduce_counted(&program, &mut |p| print_program(p).contains("MARKER"));
+        assert!(stats.removals_kept >= 2, "{stats:?}");
+        assert!(stats.candidates_tried >= stats.removals_kept, "{stats:?}");
+        assert!(print_program(&reduced).contains("MARKER"));
+        // The uncounted wrapper reduces identically.
+        let plain = reduce(&program, &mut |p| print_program(p).contains("MARKER"));
+        assert_eq!(print_program(&plain), print_program(&reduced));
     }
 
     #[test]

@@ -205,6 +205,44 @@ pub fn figure7(report: &CampaignReport) -> String {
     out
 }
 
+/// **Stage metrics** — the per-stage counter table from the campaign's
+/// embedded telemetry (`CampaignMetrics`): invocations, items, logical
+/// cost, and wall-clock time per pipeline stage, plus the funnel counters.
+pub fn stage_metrics(report: &CampaignReport) -> String {
+    use comfort_telemetry::Stage;
+    let m = &report.metrics;
+    let mut out = String::from("Stage metrics: pipeline counters per stage\n");
+    let widths = [14, 12, 10, 14, 12];
+    row(&mut out, &["Stage", "Invocations", "Items", "Logical cost", "Wall (ms)"], &widths);
+    for stage in Stage::ALL {
+        let s = m.stage(stage);
+        row(
+            &mut out,
+            &[
+                stage.as_str(),
+                &s.invocations.to_string(),
+                &s.items.to_string(),
+                &s.logical_cost.to_string(),
+                &format!("{:.1}", s.wall_nanos as f64 / 1e6),
+            ],
+            &widths,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "funnel: {} generated, {} rejected, {} run → {} deviations → {} bugs (+{} deduped) \
+         across {} shard(s)",
+        m.cases_generated,
+        m.cases_rejected,
+        m.cases_run,
+        m.deviations_observed,
+        m.bugs_reported,
+        m.bugs_deduped,
+        m.shards
+    );
+    out
+}
+
 /// **Figure 8** — fuzzer comparison over the testing budget.
 pub fn figure8(series: &[FuzzerSeries]) -> String {
     let mut out = String::from(
@@ -321,5 +359,19 @@ mod tests {
         assert!(table4(&r).contains("ECMA-262"));
         assert!(table5(&r).contains("String"));
         assert!(figure7(&r).contains("Implementation"));
+    }
+
+    #[test]
+    fn stage_metrics_renders_every_stage_and_the_funnel() {
+        let mut r = fake_report();
+        r.metrics.cases_run = 10;
+        r.metrics.bugs_reported = 2;
+        r.metrics.stage_mut(comfort_telemetry::Stage::Differential).record(100, 100, 2_000_000);
+        let t = stage_metrics(&r);
+        for stage in comfort_telemetry::Stage::ALL {
+            assert!(t.contains(stage.as_str()), "missing {stage}");
+        }
+        assert!(t.contains("funnel: "));
+        assert!(t.contains("2 bugs"));
     }
 }

@@ -10,6 +10,7 @@ use comfort_core::filter::BugKey;
 use comfort_core::testcase::Origin;
 use comfort_engines::{ApiType, Component, EngineName};
 use comfort_lm::GeneratorConfig;
+use comfort_telemetry::{CampaignMetrics, Stage};
 use proptest::prelude::*;
 
 fn sharded_config(shard_cases: usize) -> CampaignConfig {
@@ -112,14 +113,24 @@ fn synthetic_report(
     sim_ticks: u32,
 ) -> CampaignReport {
     let (cases, parses, passes, devs) = counters;
+    let bugs: Vec<BugReport> = bugs.into_iter().map(|(e, b, s)| synthetic_bug(e, b, s)).collect();
+    // Metrics consistent with the report body, as a real shard produces.
+    let mut metrics = CampaignMetrics::new();
+    metrics.cases_run = u64::from(cases);
+    metrics.cases_rejected = u64::from(parses);
+    metrics.deviations_observed = u64::from(devs);
+    metrics.bugs_reported = bugs.len() as u64;
+    metrics.bugs_deduped = u64::from(cases % 3);
+    metrics.stage_mut(Stage::Differential).record(u64::from(cases), u64::from(cases), 7);
     CampaignReport {
         cases_run: u64::from(cases),
         parse_errors: u64::from(parses),
         passes: u64::from(passes),
         deviations_observed: u64::from(devs),
         duplicates_filtered: u64::from(cases % 3),
-        bugs: bugs.into_iter().map(|(e, b, s)| synthetic_bug(e, b, s)).collect(),
+        bugs,
         sim_hours: f64::from(sim_ticks) / 10.0,
+        metrics,
     }
 }
 
@@ -175,6 +186,30 @@ proptest! {
         input_keys.sort();
         input_keys.dedup();
         prop_assert_eq!(input_keys, keys);
+
+        // Metrics merge conservation-exactly: additive counters sum; the
+        // cross-shard dedup pass moves bugs between `bugs_reported` and
+        // `bugs_deduped` without changing their total; the merged metrics
+        // reconcile with the merged bug list.
+        let m = &merged.metrics;
+        prop_assert_eq!(m.cases_run, reports.iter().map(|r| r.metrics.cases_run).sum::<u64>());
+        prop_assert_eq!(m.shards, reports.iter().map(|r| r.metrics.shards).sum::<u64>());
+        prop_assert_eq!(
+            m.deviations_observed,
+            reports.iter().map(|r| r.metrics.deviations_observed).sum::<u64>()
+        );
+        prop_assert_eq!(
+            m.bugs_reported + m.bugs_deduped,
+            reports
+                .iter()
+                .map(|r| r.metrics.bugs_reported + r.metrics.bugs_deduped)
+                .sum::<u64>()
+        );
+        prop_assert_eq!(m.bugs_reported, merged.bugs.len() as u64);
+        prop_assert_eq!(
+            m.stage(Stage::Differential).items,
+            reports.iter().map(|r| r.metrics.stage(Stage::Differential).items).sum::<u64>()
+        );
 
         // Re-based discovery times never exceed the merged campaign length
         // (each synthetic bug's local time is within its shard's span... the

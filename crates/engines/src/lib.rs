@@ -39,7 +39,7 @@ pub use profile::EngineProfile;
 pub use registry::{all_versions, versions_of, EngineName, EngineVersion, EsEdition};
 
 use comfort_interp::run_program;
-pub use comfort_interp::{RunOptions, RunResult};
+pub use comfort_interp::{RunOptions, RunOptionsBuilder, RunResult};
 use comfort_syntax::Program;
 use std::sync::OnceLock;
 
@@ -120,7 +120,7 @@ impl Testbed {
     /// `options.strict`.
     pub fn run(&self, program: &Program, options: &RunOptions) -> RunResult {
         self.engine
-            .run(program, &RunOptions { strict: self.strict || options.strict, ..options.clone() })
+            .run(program, &options.to_builder().strict(self.strict || options.strict).build())
     }
 }
 

@@ -81,11 +81,65 @@ impl RunOptions {
     pub fn with_fuel(fuel: u64) -> Self {
         RunOptions { fuel, ..RunOptions::default() }
     }
+
+    /// Starts a chainable builder over the defaults. Struct literals keep
+    /// working; the builder replaces the `RunOptions { x, ..o.clone() }`
+    /// clone-update pattern at call sites that derive options from options.
+    ///
+    /// ```
+    /// use comfort_interp::RunOptions;
+    ///
+    /// let opts = RunOptions::builder().fuel(100_000).strict(true).build();
+    /// assert_eq!(opts.fuel, 100_000);
+    /// assert!(opts.strict && !opts.coverage);
+    /// ```
+    pub fn builder() -> RunOptionsBuilder {
+        RunOptionsBuilder { options: RunOptions::default() }
+    }
+
+    /// A builder seeded from an existing value — the ergonomic form of
+    /// "these options, but with …".
+    pub fn to_builder(&self) -> RunOptionsBuilder {
+        RunOptionsBuilder { options: self.clone() }
+    }
 }
 
 impl Default for RunOptions {
     fn default() -> Self {
         RunOptions { fuel: 20_000_000, strict: false, coverage: false }
+    }
+}
+
+/// Chainable builder for [`RunOptions`] (see [`RunOptions::builder`]).
+///
+/// Every combination of the three knobs is valid, so `build` is infallible.
+#[derive(Debug, Clone)]
+pub struct RunOptionsBuilder {
+    options: RunOptions,
+}
+
+impl RunOptionsBuilder {
+    /// Fuel budget (abstract steps).
+    pub fn fuel(mut self, fuel: u64) -> Self {
+        self.options.fuel = fuel;
+        self
+    }
+
+    /// Force strict mode.
+    pub fn strict(mut self, strict: bool) -> Self {
+        self.options.strict = strict;
+        self
+    }
+
+    /// Record coverage of the test program.
+    pub fn coverage(mut self, coverage: bool) -> Self {
+        self.options.coverage = coverage;
+        self
+    }
+
+    /// Returns the finished options.
+    pub fn build(self) -> RunOptions {
+        self.options
     }
 }
 

@@ -38,7 +38,7 @@ pub mod ops;
 pub mod value;
 
 pub use coverage::{Coverage, Universe};
-pub use interp::{Control, Interp, RunOptions, RunResult, RunStatus};
+pub use interp::{Control, Interp, RunOptions, RunOptionsBuilder, RunResult, RunStatus};
 pub use value::{ErrorKind, ObjId, TaKind, Value};
 
 use comfort_syntax::{parse, Program, SyntaxError};

@@ -1,0 +1,384 @@
+//! The typed event taxonomy and its deterministic JSON rendering.
+//!
+//! Every event carries a [`LogicalClock`]: the shard that produced it and a
+//! per-shard sequence number assigned by the emitting
+//! [`Recorder`](crate::sink::Recorder). Sorting a stream by `(shard, seq)`
+//! therefore yields the same total order at every thread count — the
+//! executor already delivers events to sinks in that order. Wall-clock
+//! durations are *optional* fields; [`Event::to_json_deterministic`] omits
+//! them so streams can be compared bit-for-bit across runs and thread
+//! counts.
+
+use std::fmt::Write as _;
+
+/// A deterministic event timestamp: `(shard, seq)`.
+///
+/// `seq` counts events within one shard's stream; `shard` is the shard's
+/// merge-order index ([`MERGE_SHARD`] for events emitted by the cross-shard
+/// merge itself).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LogicalClock {
+    /// Shard index in merge order.
+    pub shard: u64,
+    /// Position within the shard's event stream.
+    pub seq: u64,
+}
+
+/// The `shard` value used for events emitted during the cross-shard merge
+/// (which runs after every per-shard stream, in deterministic merge order).
+pub const MERGE_SHARD: u64 = u64::MAX;
+
+/// The six pipeline stages metrics and timings are keyed by, in pipeline
+/// order: generation → validity filter → data-gen mutation → differential
+/// voting → reduction → identical-bug filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Stage {
+    /// LM program generation (§3.2).
+    Generation,
+    /// Front-end validity filtering of generated sources.
+    Validity,
+    /// ECMA-262-guided test-data mutation (Algorithm 1).
+    Datagen,
+    /// Differential execution + majority voting (§3.4).
+    Differential,
+    /// Bug-exposing test-case reduction (§3.5).
+    Reduction,
+    /// Three-layer identical-bug filtering (§3.6).
+    Filter,
+}
+
+impl Stage {
+    /// All stages in pipeline order (also the metrics array layout).
+    pub const ALL: [Stage; 6] = [
+        Stage::Generation,
+        Stage::Validity,
+        Stage::Datagen,
+        Stage::Differential,
+        Stage::Reduction,
+        Stage::Filter,
+    ];
+
+    /// Stable snake-case label (used in JSONL output).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Stage::Generation => "generation",
+            Stage::Validity => "validity",
+            Stage::Datagen => "datagen",
+            Stage::Differential => "differential",
+            Stage::Reduction => "reduction",
+            Stage::Filter => "filter",
+        }
+    }
+
+    /// Index into [`Stage::ALL`] (and the per-stage metrics array).
+    pub fn index(self) -> usize {
+        match self {
+            Stage::Generation => 0,
+            Stage::Validity => 1,
+            Stage::Datagen => 2,
+            Stage::Differential => 3,
+            Stage::Reduction => 4,
+            Stage::Filter => 5,
+        }
+    }
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// What happened (the payload of an [`Event`]).
+///
+/// Engine names, deviation kinds, and bug keys travel as plain strings so
+/// this crate stays dependency-free and the JSONL output is self-contained.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A shard began executing its slice of the case budget.
+    ShardStarted {
+        /// The shard's derived campaign seed.
+        seed: u64,
+        /// The shard's share of `max_cases`.
+        case_budget: u64,
+    },
+    /// A shard finished.
+    ShardFinished {
+        /// Cases the shard executed.
+        cases_run: u64,
+        /// Unique bugs the shard reported.
+        bugs_reported: u64,
+        /// Wall-clock shard duration (excluded from determinism
+        /// comparisons).
+        wall_nanos: Option<u64>,
+    },
+    /// A test case entered the execution queue.
+    CaseGenerated {
+        /// Campaign-unique case id.
+        case_id: u64,
+        /// Id of the base generated program this case derives from.
+        base: u64,
+        /// Provenance label (`"program-gen"` / `"ecma-mutation"`).
+        origin: String,
+        /// `true` for data-mutation cases, `false` for the base program.
+        mutant: bool,
+    },
+    /// A generated source failed the validity filter (front-end rejection).
+    CaseRejected {
+        /// Generation counter of the rejected source.
+        base: u64,
+        /// `true` when the invalid program was kept as a parser test
+        /// (§3.2 keeps 20%).
+        kept: bool,
+    },
+    /// One case ran across the testbed matrix and was voted on.
+    DifferentialRun {
+        /// The case.
+        case_id: u64,
+        /// Number of testbeds that voted.
+        testbeds: u64,
+        /// Outcome label (`"pass"`, `"deviations"`, `"parse-error"`,
+        /// `"all-timeout"`).
+        outcome: String,
+    },
+    /// One engine deviated from the majority on one case.
+    Deviation {
+        /// The case.
+        case_id: u64,
+        /// Deviating engine.
+        engine: String,
+        /// Deviation class label.
+        kind: String,
+    },
+    /// The identical-bug filter discarded an observation as a duplicate.
+    BugDeduped {
+        /// Engine layer of the duplicate key.
+        engine: String,
+        /// Full `engine / api / behavior` key.
+        key: String,
+        /// `true` when the duplicate was found while merging shard
+        /// reports (the bug was first reported by an earlier shard).
+        cross_shard: bool,
+    },
+    /// Aggregated per-stage counters for one shard (emitted at shard end).
+    StageTiming {
+        /// The pipeline stage.
+        stage: Stage,
+        /// Times the stage ran.
+        invocations: u64,
+        /// Items the stage processed.
+        items: u64,
+        /// Deterministic cost units consumed (stage-specific: bytes
+        /// generated, testbed runs, reduction candidates, …).
+        logical_cost: u64,
+        /// Wall-clock time spent in the stage (excluded from determinism
+        /// comparisons).
+        wall_nanos: Option<u64>,
+    },
+}
+
+impl EventKind {
+    /// Stable snake-case type tag (the JSONL `"type"` field).
+    pub fn type_str(&self) -> &'static str {
+        match self {
+            EventKind::ShardStarted { .. } => "shard_started",
+            EventKind::ShardFinished { .. } => "shard_finished",
+            EventKind::CaseGenerated { .. } => "case_generated",
+            EventKind::CaseRejected { .. } => "case_rejected",
+            EventKind::DifferentialRun { .. } => "differential_run",
+            EventKind::Deviation { .. } => "deviation",
+            EventKind::BugDeduped { .. } => "bug_deduped",
+            EventKind::StageTiming { .. } => "stage_timing",
+        }
+    }
+}
+
+/// One telemetry event: a logical clock plus its payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// When, in logical time.
+    pub clock: LogicalClock,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Renders the event as one JSON object (one JSONL line, no trailing
+    /// newline), including wall-clock fields.
+    pub fn to_json(&self) -> String {
+        self.render(true)
+    }
+
+    /// Renders the event as JSON **without** wall-clock fields — the form
+    /// compared in determinism tests (logical content only).
+    pub fn to_json_deterministic(&self) -> String {
+        self.render(false)
+    }
+
+    /// Strips wall-clock fields, leaving only deterministic content.
+    pub fn without_wall_clock(&self) -> Event {
+        let mut e = self.clone();
+        match &mut e.kind {
+            EventKind::ShardFinished { wall_nanos, .. }
+            | EventKind::StageTiming { wall_nanos, .. } => *wall_nanos = None,
+            _ => {}
+        }
+        e
+    }
+
+    fn render(&self, include_wall: bool) -> String {
+        let mut out = String::with_capacity(96);
+        let _ = write!(
+            out,
+            "{{\"shard\":{},\"seq\":{},\"type\":\"{}\"",
+            // u64::MAX is not representable in every JSON reader; render the
+            // merge pseudo-shard as -1.
+            if self.clock.shard == MERGE_SHARD { -1i64 } else { self.clock.shard as i64 },
+            self.clock.seq,
+            self.kind.type_str()
+        );
+        match &self.kind {
+            EventKind::ShardStarted { seed, case_budget } => {
+                let _ = write!(out, ",\"seed\":{seed},\"case_budget\":{case_budget}");
+            }
+            EventKind::ShardFinished { cases_run, bugs_reported, wall_nanos } => {
+                let _ = write!(out, ",\"cases_run\":{cases_run},\"bugs_reported\":{bugs_reported}");
+                if include_wall {
+                    if let Some(w) = wall_nanos {
+                        let _ = write!(out, ",\"wall_nanos\":{w}");
+                    }
+                }
+            }
+            EventKind::CaseGenerated { case_id, base, origin, mutant } => {
+                let _ = write!(
+                    out,
+                    ",\"case_id\":{case_id},\"base\":{base},\"origin\":{},\"mutant\":{mutant}",
+                    json_string(origin)
+                );
+            }
+            EventKind::CaseRejected { base, kept } => {
+                let _ = write!(out, ",\"base\":{base},\"kept\":{kept}");
+            }
+            EventKind::DifferentialRun { case_id, testbeds, outcome } => {
+                let _ = write!(
+                    out,
+                    ",\"case_id\":{case_id},\"testbeds\":{testbeds},\"outcome\":{}",
+                    json_string(outcome)
+                );
+            }
+            EventKind::Deviation { case_id, engine, kind } => {
+                let _ = write!(
+                    out,
+                    ",\"case_id\":{case_id},\"engine\":{},\"kind\":{}",
+                    json_string(engine),
+                    json_string(kind)
+                );
+            }
+            EventKind::BugDeduped { engine, key, cross_shard } => {
+                let _ = write!(
+                    out,
+                    ",\"engine\":{},\"key\":{},\"cross_shard\":{cross_shard}",
+                    json_string(engine),
+                    json_string(key)
+                );
+            }
+            EventKind::StageTiming { stage, invocations, items, logical_cost, wall_nanos } => {
+                let _ = write!(
+                    out,
+                    ",\"stage\":\"{}\",\"invocations\":{invocations},\"items\":{items},\"logical_cost\":{logical_cost}",
+                    stage.as_str()
+                );
+                if include_wall {
+                    if let Some(w) = wall_nanos {
+                        let _ = write!(out, ",\"wall_nanos\":{w}");
+                    }
+                }
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Escapes `s` as a JSON string literal (with quotes).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_index_matches_all_order() {
+        for (i, stage) in Stage::ALL.into_iter().enumerate() {
+            assert_eq!(stage.index(), i);
+        }
+    }
+
+    #[test]
+    fn json_rendering_includes_clock_and_type() {
+        let e = Event {
+            clock: LogicalClock { shard: 2, seq: 7 },
+            kind: EventKind::Deviation {
+                case_id: 13,
+                engine: "Rhino".into(),
+                kind: "WrongOutput".into(),
+            },
+        };
+        let j = e.to_json();
+        assert!(j.starts_with("{\"shard\":2,\"seq\":7,\"type\":\"deviation\""), "{j}");
+        assert!(j.contains("\"engine\":\"Rhino\""));
+    }
+
+    #[test]
+    fn deterministic_rendering_strips_wall_clock() {
+        let e = Event {
+            clock: LogicalClock { shard: 0, seq: 0 },
+            kind: EventKind::StageTiming {
+                stage: Stage::Differential,
+                invocations: 3,
+                items: 30,
+                logical_cost: 30,
+                wall_nanos: Some(12345),
+            },
+        };
+        assert!(e.to_json().contains("wall_nanos"));
+        assert!(!e.to_json_deterministic().contains("wall_nanos"));
+        assert_eq!(e.without_wall_clock().to_json(), e.to_json_deterministic());
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn merge_shard_renders_as_minus_one() {
+        let e = Event {
+            clock: LogicalClock { shard: MERGE_SHARD, seq: 0 },
+            kind: EventKind::BugDeduped {
+                engine: "V8".into(),
+                key: "V8 / None / Crash".into(),
+                cross_shard: true,
+            },
+        };
+        assert!(e.to_json().starts_with("{\"shard\":-1,"), "{}", e.to_json());
+    }
+}

@@ -1,0 +1,261 @@
+//! Per-stage counters and histograms, aggregated per campaign.
+//!
+//! [`CampaignMetrics`] embeds in the campaign report and merges across
+//! shards **conservation-exactly**: every additive counter of a merged
+//! metrics value equals the sum of the shard values (the cross-shard bug
+//! dedup pass moves bugs from `bugs_reported` to `bugs_deduped`, preserving
+//! their sum). Wall-clock fields (`wall_nanos`) are measurement-only and
+//! excluded from determinism comparisons via
+//! [`CampaignMetrics::without_wall_clock`].
+
+use crate::event::Stage;
+
+/// A log₂-bucketed histogram of per-invocation logical cost.
+///
+/// Bucket `i` counts observations in `[2^i, 2^(i+1))` (bucket 0 also takes
+/// zero); the last bucket is open-ended. Buckets are additive under merge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CostHistogram {
+    /// Observation counts per power-of-two bucket.
+    pub buckets: [u64; Self::BUCKETS],
+}
+
+impl CostHistogram {
+    /// Number of buckets (costs ≥ 2³¹ land in the last).
+    pub const BUCKETS: usize = 32;
+
+    /// Records one observation.
+    pub fn record(&mut self, cost: u64) {
+        let bucket = (64 - cost.leading_zeros() as usize).min(Self::BUCKETS).saturating_sub(1);
+        self.buckets[bucket] += 1;
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Adds `other`'s buckets into `self`.
+    pub fn merge_from(&mut self, other: &CostHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+    }
+}
+
+/// Counters for one pipeline stage.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StageMetrics {
+    /// Times the stage ran.
+    pub invocations: u64,
+    /// Items the stage processed (stage-specific unit: programs, testbed
+    /// runs, filter observations, …).
+    pub items: u64,
+    /// Deterministic cost units consumed.
+    pub logical_cost: u64,
+    /// Wall-clock nanoseconds spent (measurement-only; excluded from
+    /// determinism comparisons).
+    pub wall_nanos: u64,
+    /// Distribution of per-invocation logical cost.
+    pub cost_histogram: CostHistogram,
+}
+
+impl StageMetrics {
+    /// Records one invocation.
+    pub fn record(&mut self, items: u64, logical_cost: u64, wall_nanos: u64) {
+        self.invocations += 1;
+        self.items += items;
+        self.logical_cost += logical_cost;
+        self.wall_nanos += wall_nanos;
+        self.cost_histogram.record(logical_cost);
+    }
+
+    /// Adds `other` into `self` (all fields are additive).
+    pub fn merge_from(&mut self, other: &StageMetrics) {
+        self.invocations += other.invocations;
+        self.items += other.items;
+        self.logical_cost += other.logical_cost;
+        self.wall_nanos += other.wall_nanos;
+        self.cost_histogram.merge_from(&other.cost_histogram);
+    }
+}
+
+/// Aggregated campaign metrics: one [`StageMetrics`] per pipeline stage
+/// plus campaign-level counters. Embedded in `CampaignReport`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CampaignMetrics {
+    /// Per-stage counters, indexed by [`Stage::index`].
+    pub stages: [StageMetrics; Stage::ALL.len()],
+    /// Cases enqueued for execution (base programs + mutants).
+    pub cases_generated: u64,
+    /// Generated sources rejected by the validity filter.
+    pub cases_rejected: u64,
+    /// Cases actually executed against the budget.
+    pub cases_run: u64,
+    /// Raw deviation observations before deduplication.
+    pub deviations_observed: u64,
+    /// Unique bugs reported (reconciles with the report's bug list).
+    pub bugs_reported: u64,
+    /// Observations discarded as duplicates (within-shard and, after a
+    /// merge, cross-shard).
+    pub bugs_deduped: u64,
+    /// Shards merged into this value (1 for an unmerged shard).
+    pub shards: u64,
+}
+
+impl CampaignMetrics {
+    /// Fresh metrics for a single shard.
+    pub fn new() -> Self {
+        CampaignMetrics { shards: 1, ..CampaignMetrics::default() }
+    }
+
+    /// The metrics of `stage`.
+    pub fn stage(&self, stage: Stage) -> &StageMetrics {
+        &self.stages[stage.index()]
+    }
+
+    /// Mutable access to the metrics of `stage`.
+    pub fn stage_mut(&mut self, stage: Stage) -> &mut StageMetrics {
+        &mut self.stages[stage.index()]
+    }
+
+    /// Adds `other` into `self`. Every counter is additive, so merged
+    /// totals are exactly the sums of the inputs.
+    pub fn merge_from(&mut self, other: &CampaignMetrics) {
+        for (a, b) in self.stages.iter_mut().zip(&other.stages) {
+            a.merge_from(b);
+        }
+        self.cases_generated += other.cases_generated;
+        self.cases_rejected += other.cases_rejected;
+        self.cases_run += other.cases_run;
+        self.deviations_observed += other.deviations_observed;
+        self.bugs_reported += other.bugs_reported;
+        self.bugs_deduped += other.bugs_deduped;
+        self.shards += other.shards;
+    }
+
+    /// Reclassifies one reported bug as a cross-shard duplicate (used by
+    /// the shard-merge pass). Conserves `bugs_reported + bugs_deduped`.
+    pub fn dedup_reported_bug(&mut self) {
+        self.bugs_reported = self.bugs_reported.saturating_sub(1);
+        self.bugs_deduped += 1;
+    }
+
+    /// A copy with every wall-clock field zeroed — the form compared in
+    /// determinism tests.
+    pub fn without_wall_clock(&self) -> CampaignMetrics {
+        let mut m = self.clone();
+        for stage in &mut m.stages {
+            stage.wall_nanos = 0;
+        }
+        m
+    }
+
+    /// Renders the per-stage table as JSON (embedded in JSONL summaries).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("{\"stages\":{");
+        for (i, stage) in Stage::ALL.into_iter().enumerate() {
+            let s = self.stage(stage);
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{}\":{{\"invocations\":{},\"items\":{},\"logical_cost\":{}}}",
+                stage.as_str(),
+                s.invocations,
+                s.items,
+                s.logical_cost
+            );
+        }
+        let _ = write!(
+            out,
+            "}},\"cases_generated\":{},\"cases_rejected\":{},\"cases_run\":{},\
+             \"deviations_observed\":{},\"bugs_reported\":{},\"bugs_deduped\":{},\"shards\":{}}}",
+            self.cases_generated,
+            self.cases_rejected,
+            self.cases_run,
+            self.deviations_observed,
+            self.bugs_reported,
+            self.bugs_deduped,
+            self.shards
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let mut h = CostHistogram::default();
+        h.record(0); // bucket 0
+        h.record(1); // bucket 0
+        h.record(2); // bucket 1
+        h.record(3); // bucket 1
+        h.record(1024); // bucket 10
+        assert_eq!(h.buckets[0], 2);
+        assert_eq!(h.buckets[1], 2);
+        assert_eq!(h.buckets[10], 1);
+        assert_eq!(h.count(), 5);
+        h.record(u64::MAX); // clamped to last bucket
+        assert_eq!(h.buckets[CostHistogram::BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn merge_sums_every_counter() {
+        let mut a = CampaignMetrics::new();
+        a.stage_mut(Stage::Generation).record(1, 100, 5);
+        a.cases_generated = 4;
+        a.bugs_reported = 2;
+        let mut b = CampaignMetrics::new();
+        b.stage_mut(Stage::Generation).record(2, 50, 7);
+        b.cases_generated = 3;
+        b.bugs_deduped = 1;
+
+        let mut merged = a.clone();
+        merged.merge_from(&b);
+        assert_eq!(merged.stage(Stage::Generation).invocations, 2);
+        assert_eq!(merged.stage(Stage::Generation).items, 3);
+        assert_eq!(merged.stage(Stage::Generation).logical_cost, 150);
+        assert_eq!(merged.stage(Stage::Generation).wall_nanos, 12);
+        assert_eq!(merged.cases_generated, 7);
+        assert_eq!(merged.bugs_reported, 2);
+        assert_eq!(merged.bugs_deduped, 1);
+        assert_eq!(merged.shards, 2);
+    }
+
+    #[test]
+    fn dedup_conserves_bug_total() {
+        let mut m = CampaignMetrics::new();
+        m.bugs_reported = 3;
+        m.bugs_deduped = 1;
+        m.dedup_reported_bug();
+        assert_eq!(m.bugs_reported + m.bugs_deduped, 4);
+        assert_eq!(m.bugs_reported, 2);
+    }
+
+    #[test]
+    fn without_wall_clock_zeroes_only_wall_fields() {
+        let mut m = CampaignMetrics::new();
+        m.stage_mut(Stage::Reduction).record(1, 9, 1234);
+        let stripped = m.without_wall_clock();
+        assert_eq!(stripped.stage(Stage::Reduction).wall_nanos, 0);
+        assert_eq!(stripped.stage(Stage::Reduction).logical_cost, 9);
+    }
+
+    #[test]
+    fn json_rendering_parses() {
+        let mut m = CampaignMetrics::new();
+        m.stage_mut(Stage::Differential).record(10, 100, 0);
+        m.cases_run = 10;
+        let parsed = crate::json::parse(&m.to_json()).expect("valid json");
+        assert_eq!(parsed.get("cases_run").and_then(|v| v.as_u64()), Some(10));
+        let diff = parsed.get("stages").and_then(|s| s.get("differential")).expect("stage");
+        assert_eq!(diff.get("invocations").and_then(|v| v.as_u64()), Some(1));
+        assert_eq!(diff.get("items").and_then(|v| v.as_u64()), Some(10));
+    }
+}

@@ -1,0 +1,244 @@
+//! Event sinks and the emitting [`Recorder`].
+//!
+//! A [`Sink`] consumes [`Event`]s; a cloneable [`SinkHandle`] travels
+//! through campaign configuration structs (which must stay `Clone +
+//! Debug`); a [`Recorder`] stamps logical clocks at the emission site.
+//!
+//! The sharded executor guarantees that sinks observe events in **logical
+//! order** (shard-major, then sequence): each shard's stream is buffered
+//! and flushed as soon as every earlier shard has flushed, so a `JsonlSink`
+//! file is byte-identical (modulo wall-clock fields) at every thread count.
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+use crate::event::{Event, EventKind, LogicalClock};
+
+/// Consumes telemetry events. Implementations must be thread-safe: shards
+/// run in parallel and the executor flushes completed shard streams from
+/// worker threads.
+pub trait Sink: Send + Sync {
+    /// Consumes one event.
+    fn emit(&self, event: &Event);
+}
+
+/// Discards every event (the default sink; zero observable cost).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn emit(&self, _event: &Event) {}
+}
+
+/// Captures events in memory. Cloning shares the underlying buffer, so a
+/// clone can be handed to a campaign while the original is later drained.
+#[derive(Debug, Clone, Default)]
+pub struct MemorySink {
+    events: Arc<Mutex<Vec<Event>>>,
+}
+
+impl MemorySink {
+    /// An empty capture buffer.
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// A snapshot of every event captured so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("memory sink poisoned").clone()
+    }
+
+    /// Drains the buffer, returning the captured events.
+    pub fn take(&self) -> Vec<Event> {
+        std::mem::take(&mut *self.events.lock().expect("memory sink poisoned"))
+    }
+
+    /// Number of events captured so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("memory sink poisoned").len()
+    }
+
+    /// `true` when nothing has been captured.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Sink for MemorySink {
+    fn emit(&self, event: &Event) {
+        self.events.lock().expect("memory sink poisoned").push(event.clone());
+    }
+}
+
+/// Writes one JSON object per line to an arbitrary writer (a file, a pipe,
+/// an in-memory buffer). Clones share the writer.
+#[derive(Clone)]
+pub struct JsonlSink {
+    out: Arc<Mutex<Box<dyn Write + Send>>>,
+}
+
+impl JsonlSink {
+    /// Wraps a writer.
+    pub fn new(writer: impl Write + Send + 'static) -> Self {
+        JsonlSink { out: Arc::new(Mutex::new(Box::new(writer))) }
+    }
+
+    /// Creates (truncating) a JSONL file at `path`.
+    pub fn create(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        Ok(JsonlSink::new(std::io::BufWriter::new(std::fs::File::create(path)?)))
+    }
+
+    /// Flushes the underlying writer.
+    pub fn flush(&self) -> std::io::Result<()> {
+        self.out.lock().expect("jsonl sink poisoned").flush()
+    }
+}
+
+impl std::fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("JsonlSink(..)")
+    }
+}
+
+impl Sink for JsonlSink {
+    fn emit(&self, event: &Event) {
+        let mut out = self.out.lock().expect("jsonl sink poisoned");
+        // A full pipe/disk is not a reason to abort a campaign; telemetry
+        // writes are best-effort.
+        let _ = writeln!(out, "{}", event.to_json());
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        if let Ok(mut out) = self.out.lock() {
+            let _ = out.flush();
+        }
+    }
+}
+
+/// A cheaply cloneable, `Debug`-able handle to a shared [`Sink`] — the form
+/// a sink takes inside configuration structs.
+#[derive(Clone)]
+pub struct SinkHandle {
+    sink: Arc<dyn Sink>,
+}
+
+impl SinkHandle {
+    /// Wraps a sink.
+    pub fn new(sink: impl Sink + 'static) -> Self {
+        SinkHandle { sink: Arc::new(sink) }
+    }
+
+    /// The discarding default.
+    pub fn null() -> Self {
+        SinkHandle::new(NullSink)
+    }
+
+    /// Forwards one event to the sink.
+    pub fn emit(&self, event: &Event) {
+        self.sink.emit(event);
+    }
+}
+
+impl Default for SinkHandle {
+    fn default() -> Self {
+        SinkHandle::null()
+    }
+}
+
+impl std::fmt::Debug for SinkHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SinkHandle(..)")
+    }
+}
+
+/// Stamps events with a shard-local logical clock and forwards them to a
+/// sink. One recorder per shard; the sequence number is the per-shard event
+/// count, which depends only on the shard's (deterministic) case stream.
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    sink: SinkHandle,
+    shard: u64,
+    seq: u64,
+}
+
+impl Recorder {
+    /// A recorder for `shard`, emitting into `sink` starting at sequence 0.
+    pub fn new(sink: SinkHandle, shard: u64) -> Self {
+        Recorder { sink, shard, seq: 0 }
+    }
+
+    /// The shard this recorder stamps.
+    pub fn shard(&self) -> u64 {
+        self.shard
+    }
+
+    /// Stamps and emits one event.
+    pub fn emit(&mut self, kind: EventKind) {
+        let event = Event { clock: LogicalClock { shard: self.shard, seq: self.seq }, kind };
+        self.seq += 1;
+        self.sink.emit(&event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Stage;
+
+    #[test]
+    fn recorder_assigns_consecutive_seqs() {
+        let mem = MemorySink::new();
+        let mut rec = Recorder::new(SinkHandle::new(mem.clone()), 3);
+        for _ in 0..4 {
+            rec.emit(EventKind::CaseRejected { base: 0, kept: false });
+        }
+        let events = mem.events();
+        assert_eq!(events.len(), 4);
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.clock.shard, 3);
+            assert_eq!(e.clock.seq, i as u64);
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        #[derive(Clone)]
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let buf = Shared(Arc::new(Mutex::new(Vec::new())));
+        let sink = JsonlSink::new(buf.clone());
+        let mut rec = Recorder::new(SinkHandle::new(sink), 0);
+        rec.emit(EventKind::StageTiming {
+            stage: Stage::Filter,
+            invocations: 1,
+            items: 1,
+            logical_cost: 1,
+            wall_nanos: None,
+        });
+        rec.emit(EventKind::CaseRejected { base: 9, kept: true });
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("stage_timing"));
+        assert!(lines[1].contains("case_rejected"));
+    }
+
+    #[test]
+    fn memory_sink_take_drains() {
+        let mem = MemorySink::new();
+        let mut rec = Recorder::new(SinkHandle::new(mem.clone()), 0);
+        rec.emit(EventKind::CaseRejected { base: 1, kept: false });
+        assert_eq!(mem.take().len(), 1);
+        assert!(mem.is_empty());
+    }
+}

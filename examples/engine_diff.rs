@@ -6,8 +6,7 @@
 //! cargo run --release --example engine_diff -- --all-versions "print((5).toFixed(-1));"
 //! ```
 
-use comfort::core::differential::{run_differential, CaseOutcome, Signature};
-use comfort::engines::{all_testbeds, latest_testbeds, RunOptions};
+use comfort::prelude::*;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -39,7 +38,7 @@ fn main() {
     for bed in &testbeds {
         let r = bed.run(&program, &opts);
         let sig = Signature::of(&r.status, &r.output);
-        println!("  {:<28} {}", bed.label(), sig.describe());
+        println!("  {:<28} {sig}", bed.label());
     }
 
     println!();
@@ -50,13 +49,7 @@ fn main() {
         CaseOutcome::Deviations(devs) => {
             println!("verdict: {} deviation(s) among latest versions:", devs.len());
             for d in devs {
-                println!(
-                    "  {} [{:?}] expected {} got {}",
-                    d.version,
-                    d.kind,
-                    d.expected.describe(),
-                    d.actual.describe()
-                );
+                println!("  {} [{}] expected {} got {}", d.version, d.kind, d.expected, d.actual);
             }
         }
     }

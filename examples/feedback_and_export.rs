@@ -11,10 +11,10 @@
 //! cargo run --release --example feedback_and_export
 //! ```
 
-use comfort::core::campaign::{Campaign, CampaignConfig};
 use comfort::core::extensions::feedback_round;
 use comfort::core::test262;
 use comfort::lm::GeneratorConfig;
+use comfort::prelude::*;
 
 fn main() {
     println!("phase 1: base campaign (400 cases)…");

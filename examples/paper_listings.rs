@@ -5,8 +5,7 @@
 //! cargo run --release --example paper_listings
 //! ```
 
-use comfort::core::differential::{run_differential, CaseOutcome};
-use comfort::engines::{latest_testbeds, RunOptions};
+use comfort::prelude::*;
 
 const LISTINGS: &[(&str, &str)] = &[
     (
@@ -133,11 +132,8 @@ fn main() {
             CaseOutcome::Deviations(devs) => {
                 for d in devs {
                     println!(
-                        "  >> deviation: {} [{:?}] expected {} got {}",
-                        d.version,
-                        d.kind,
-                        d.expected.describe(),
-                        d.actual.describe()
+                        "  >> deviation: {} [{}] expected {} got {}",
+                        d.version, d.kind, d.expected, d.actual
                     );
                 }
             }

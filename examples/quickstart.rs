@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use comfort::core::pipeline::{Comfort, ComfortConfig};
+use comfort::prelude::*;
 
 fn main() {
     let config = ComfortConfig::builder()
@@ -25,7 +25,7 @@ fn main() {
     println!("unique bugs discovered: {}\n", report.deviations.len());
     for bug in &report.deviations {
         println!(
-            "[{}] {} — first seen in {} ({:?}, via {})",
+            "[{}] {} — first seen in {} ({}, via {})",
             if bug.adjudication.verified { "confirmed" } else { "submitted" },
             bug.key,
             bug.earliest_version,

@@ -7,7 +7,7 @@
 //! cargo run --release --example spec_explorer Number.prototype.toFixed
 //! ```
 
-use comfort::core::datagen::{DataGen, DataGenConfig};
+use comfort::prelude::*;
 use rand::SeedableRng;
 
 fn main() {

@@ -1,0 +1,115 @@
+//! Campaign observability demo: run a small sharded campaign with a
+//! `JsonlSink`, poll the live `ProgressHandle` from another thread, then
+//! validate the JSONL stream and reconcile the per-stage metrics against
+//! the campaign report. Exits nonzero on any mismatch, so CI can run it as
+//! an end-to-end telemetry check.
+//!
+//! ```text
+//! cargo run --release --example telemetry_campaign
+//! ```
+
+use comfort::prelude::*;
+use comfort::telemetry::json;
+
+fn main() {
+    let jsonl_path = std::env::temp_dir().join("comfort_telemetry_campaign.jsonl");
+    let sink = JsonlSink::create(&jsonl_path).expect("create JSONL file");
+
+    let config = CampaignConfig::builder()
+        .seed(2)
+        .corpus_programs(80)
+        .max_cases(30)
+        .include_strict(false)
+        .include_legacy(false)
+        .reduce_cases(false)
+        .shard_cases(10) // 3 shards
+        .threads(0)
+        .sink(SinkHandle::new(sink.clone()))
+        .build()
+        .expect("valid config");
+
+    println!("running a 30-case campaign, streaming events to {}…", jsonl_path.display());
+    let executor = ShardedCampaign::new(config);
+    let progress = executor.progress();
+
+    let report = std::thread::scope(|scope| {
+        let runner = scope.spawn(|| executor.run_with_threads(0));
+        // Poll the live progress handle while the campaign runs.
+        loop {
+            let snap = progress.snapshot();
+            println!(
+                "  progress: {}/{} cases, {} bugs, {}/{} shards done",
+                snap.cases_done,
+                snap.total_cases,
+                snap.bugs_found,
+                snap.shards_done,
+                snap.shards.len()
+            );
+            if runner.is_finished() {
+                break runner.join().expect("campaign thread panicked");
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+    });
+    sink.flush().expect("flush JSONL");
+
+    // Validate: every line parses as JSON, clocks arrive in logical order.
+    let text = std::fs::read_to_string(&jsonl_path).expect("read JSONL");
+    let mut last_clock = (-1i64, -1i64);
+    let mut counted = std::collections::BTreeMap::new();
+    for (i, line) in text.lines().enumerate() {
+        let value = json::parse(line).unwrap_or_else(|e| {
+            eprintln!("line {} is not valid JSON ({e}): {line}", i + 1);
+            std::process::exit(1);
+        });
+        let shard = value.get("shard").and_then(|v| v.as_i64()).expect("shard field");
+        let seq = value.get("seq").and_then(|v| v.as_i64()).expect("seq field");
+        // The merge pseudo-shard (-1) flushes after every real shard.
+        let ordinal = if shard < 0 { i64::MAX } else { shard };
+        check(
+            (ordinal, seq) > last_clock,
+            &format!("clock ({shard},{seq}) arrived out of logical order"),
+        );
+        last_clock = (ordinal, seq);
+        let kind = value.get("type").and_then(|v| v.as_str()).expect("type field").to_string();
+        *counted.entry(kind).or_insert(0u64) += 1;
+    }
+    println!("\n{} JSONL events, all valid:", text.lines().count());
+    for (kind, n) in &counted {
+        println!("  {kind:<18} {n}");
+    }
+
+    // Reconcile the event stream and the embedded metrics with the report.
+    let m = &report.metrics;
+    check(m.cases_run == report.cases_run, "metrics.cases_run == report.cases_run");
+    check(m.bugs_reported == report.bugs.len() as u64, "metrics.bugs_reported == bugs");
+    check(m.bugs_deduped == report.duplicates_filtered, "metrics.bugs_deduped == duplicates");
+    check(
+        m.deviations_observed == report.deviations_observed,
+        "metrics.deviations_observed == report.deviations_observed",
+    );
+    check(
+        counted.get("case_generated").copied().unwrap_or(0) == m.cases_generated,
+        "case_generated events == metrics.cases_generated",
+    );
+    check(
+        counted.get("deviation").copied().unwrap_or(0) == m.deviations_observed,
+        "deviation events == metrics.deviations_observed",
+    );
+    check(counted.get("shard_started").copied().unwrap_or(0) == m.shards, "one start per shard");
+
+    println!("\nper-stage metrics:\n{}", m.to_json());
+    println!(
+        "\nreport: {} cases, {} unique bugs, {} duplicates filtered — telemetry reconciles ✓",
+        report.cases_run,
+        report.bugs.len(),
+        report.duplicates_filtered
+    );
+}
+
+fn check(ok: bool, what: &str) {
+    if !ok {
+        eprintln!("telemetry mismatch: {what}");
+        std::process::exit(1);
+    }
+}

@@ -20,11 +20,13 @@
 //!   differential testing, reduction, deduplication, campaign simulation.
 //! * [`baselines`] — DeepSmith / Fuzzilli / CodeAlchemist / DIE / Montage
 //!   baseline fuzzers.
+//! * [`telemetry`] — structured campaign telemetry: typed events, sinks,
+//!   per-stage metrics, and a live progress handle.
 //!
 //! # Quickstart
 //!
 //! ```
-//! use comfort::core::pipeline::{Comfort, ComfortConfig};
+//! use comfort::prelude::*;
 //!
 //! let mut comfort = Comfort::new(ComfortConfig { seed: 42, ..ComfortConfig::default() });
 //! let report = comfort.run_budgeted(50);
@@ -41,3 +43,34 @@ pub use comfort_interp as interp;
 pub use comfort_lm as lm;
 pub use comfort_regex as regex;
 pub use comfort_syntax as syntax;
+pub use comfort_telemetry as telemetry;
+
+pub mod prelude {
+    //! The commonly used surface in one import: `use comfort::prelude::*;`.
+    //!
+    //! Covers the facade ([`Comfort`]/[`ComfortConfig`]), the campaign layer
+    //! ([`Campaign`]/[`CampaignConfig`]/[`ShardedCampaign`]), the
+    //! differential harness, the engine matrix, and the telemetry surface
+    //! (sinks, metrics, progress).
+
+    pub use comfort_core::campaign::{
+        testbeds_for, BugReport, Campaign, CampaignConfig, CampaignConfigBuilder, CampaignReport,
+        ConfigError,
+    };
+    pub use comfort_core::datagen::{DataGen, DataGenConfig};
+    pub use comfort_core::differential::{
+        run_differential, run_differential_pooled, CaseOutcome, DeviationKind, DeviationRecord,
+        Signature,
+    };
+    pub use comfort_core::executor::{plan_shards, ShardSpec, ShardedCampaign};
+    pub use comfort_core::filter::{BugKey, BugTree};
+    pub use comfort_core::pipeline::{Comfort, ComfortConfig, PipelineReport};
+    pub use comfort_core::testcase::{Origin, TestCase};
+    pub use comfort_engines::{
+        all_testbeds, latest_testbeds, Engine, EngineName, RunOptions, RunOptionsBuilder, Testbed,
+    };
+    pub use comfort_telemetry::{
+        CampaignMetrics, Event, EventKind, JsonlSink, MemorySink, NullSink, ProgressHandle,
+        ProgressSnapshot, SinkHandle, Stage,
+    };
+}
