@@ -27,7 +27,9 @@ use crate::differential::{
 };
 use crate::filter::{BugKey, BugTree};
 use crate::reduce::reduce_counted;
+use crate::resilience::{run_case_hardened, ChaosConfig, ExecPolicy, HealthTracker, TestbedHealth};
 use crate::testcase::{Origin, TestCase};
+use comfort_engines::FaultPlan;
 
 /// Stable snake-case provenance label used in telemetry events.
 fn origin_label(origin: Origin) -> &'static str {
@@ -77,6 +79,12 @@ pub struct CampaignConfig {
     /// `comfort_telemetry`). Defaults to the discarding `NullSink`; the
     /// stream's *logical* content is identical at every thread count.
     pub sink: SinkHandle,
+    /// Execution-hardening policy: isolation, retry, quarantine threshold,
+    /// and voting quorum (see [`ExecPolicy`]).
+    pub exec: ExecPolicy,
+    /// Optional seeded fault injection: wraps selected testbeds of the
+    /// matrix in a chaos [`FaultPlan`] (see [`ChaosConfig`]).
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl Default for CampaignConfig {
@@ -96,6 +104,8 @@ impl Default for CampaignConfig {
             threads: 1,
             shard_cases: 0,
             sink: SinkHandle::null(),
+            exec: ExecPolicy::default(),
+            chaos: None,
         }
     }
 }
@@ -118,6 +128,9 @@ pub enum ConfigError {
     ZeroFuel,
     /// `corpus_programs` must be positive — the LM needs training data.
     EmptyCorpus,
+    /// A chaos fault plan's rates must be probabilities whose sum fits one
+    /// uniform draw (each in `[0, 1]`, sum ≤ 1).
+    InvalidFaultPlan,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -129,6 +142,9 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::ZeroFuel => write!(f, "fuel must be > 0"),
             ConfigError::EmptyCorpus => write!(f, "corpus_programs must be > 0"),
+            ConfigError::InvalidFaultPlan => {
+                write!(f, "chaos fault rates must lie in [0, 1] and sum to at most 1")
+            }
         }
     }
 }
@@ -242,6 +258,18 @@ impl CampaignConfigBuilder {
         self
     }
 
+    /// Execution-hardening policy (isolation, retry, quarantine, quorum).
+    pub fn exec(mut self, exec: ExecPolicy) -> Self {
+        self.config.exec = exec;
+        self
+    }
+
+    /// Seeded fault injection over selected testbeds.
+    pub fn chaos(mut self, chaos: ChaosConfig) -> Self {
+        self.config.chaos = Some(chaos);
+        self
+    }
+
     /// Validates and returns the configuration.
     pub fn build(self) -> Result<CampaignConfig, ConfigError> {
         let c = &self.config;
@@ -256,6 +284,9 @@ impl CampaignConfigBuilder {
         }
         if c.corpus_programs == 0 {
             return Err(ConfigError::EmptyCorpus);
+        }
+        if c.chaos.as_ref().is_some_and(|chaos| !chaos.plan.rates_valid()) {
+            return Err(ConfigError::InvalidFaultPlan);
         }
         Ok(self.config)
     }
@@ -325,6 +356,10 @@ pub struct CampaignReport {
     /// conservation-exactly across shards. Wall-clock fields are
     /// measurement-only and excluded from determinism comparisons.
     pub metrics: CampaignMetrics,
+    /// Per-testbed health ledger (fault counts, retries, quarantine state),
+    /// indexed like the campaign's testbed matrix; merged additively across
+    /// shards.
+    pub health: Vec<TestbedHealth>,
 }
 
 impl CampaignReport {
@@ -351,13 +386,24 @@ pub fn testbeds_for(config: &CampaignConfig) -> Vec<Testbed> {
         for name in EngineName::ALL {
             let oldest = Engine::oldest(name);
             if oldest.version().ordinal != Engine::latest(name).version().ordinal {
-                testbeds.push(Testbed { engine: oldest, strict: false });
+                testbeds.push(Testbed::new(oldest, false));
             }
         }
     }
     if config.include_strict {
         for name in EngineName::ALL {
-            testbeds.push(Testbed { engine: Engine::latest(name), strict: true });
+            testbeds.push(Testbed::new(Engine::latest(name), true));
+        }
+    }
+    if let Some(chaos) = &config.chaos {
+        let mut plan = chaos.plan.clone();
+        if plan.seed == FaultPlan::DERIVE {
+            plan.seed = FaultPlan::derived_from(config.seed).seed;
+        }
+        for &i in &chaos.testbeds {
+            if let Some(bed) = testbeds.get_mut(i) {
+                *bed = bed.clone().with_chaos(plan.clone());
+            }
         }
     }
     testbeds
@@ -461,6 +507,7 @@ impl Campaign {
         let mut tree = BugTree::new();
         let dev = DeveloperModel { seed: self.config.seed };
         let datagen = DataGen::new(comfort_ecma262::spec_db(), self.config.datagen.clone());
+        let mut tracker = HealthTracker::new(&self.testbeds, self.config.exec.quarantine_after);
 
         self.progress.shard_started(self.shard as usize);
         self.recorder.emit(EventKind::ShardStarted {
@@ -549,30 +596,70 @@ impl Campaign {
             self.metrics.cases_run += 1;
 
             let diff_start = std::time::Instant::now();
-            let outcome = crate::differential::run_differential_pooled(
+            let obs = run_case_hardened(
                 &case.program,
                 &self.testbeds,
                 &RunOptions::with_fuel(self.config.fuel),
                 self.exec_threads,
+                &self.config.exec,
+                &mut tracker,
             );
             self.metrics.stage_mut(Stage::Differential).record(
-                self.testbeds.len() as u64,
-                self.testbeds.len() as u64,
+                obs.active_runs as u64,
+                obs.active_runs as u64,
                 diff_start.elapsed().as_nanos() as u64,
             );
-            let outcome_label = match &outcome {
+            let outcome_label = match &obs.outcome {
                 CaseOutcome::ParseError => "parse-error",
                 CaseOutcome::AllTimeout => "all-timeout",
                 CaseOutcome::Pass => "pass",
                 CaseOutcome::Deviations(_) => "deviations",
+                CaseOutcome::NoQuorum => "no-quorum",
             };
             self.recorder.emit(EventKind::DifferentialRun {
                 case_id: case.id,
-                testbeds: self.testbeds.len() as u64,
+                testbeds: obs.active_runs as u64,
                 outcome: outcome_label.to_string(),
             });
-            match outcome {
-                CaseOutcome::ParseError | CaseOutcome::AllTimeout => {}
+            self.metrics.faults_observed += obs.faults.len() as u64;
+            self.metrics.runs_retried += obs.retried.len() as u64;
+            self.metrics.runs_skipped += obs.skipped_runs as u64;
+            for fault in &obs.faults {
+                self.recorder.emit(EventKind::FaultInjected {
+                    case_id: case.id,
+                    testbed: fault.label.clone(),
+                    kind: fault.fault.as_str().to_string(),
+                });
+            }
+            for &(testbed, retries) in &obs.retried {
+                self.recorder.emit(EventKind::RunRetried {
+                    case_id: case.id,
+                    testbed: self.testbeds[testbed].label(),
+                    retries: u64::from(retries),
+                });
+            }
+            for q in &obs.quarantined {
+                self.metrics.testbeds_quarantined += 1;
+                self.recorder.emit(EventKind::TestbedQuarantined {
+                    case_id: case.id,
+                    testbed: q.label.clone(),
+                    hard_faults: q.hard_faults,
+                });
+            }
+            for group in &obs.groups {
+                if group.degraded() {
+                    self.metrics.quorum_degraded += 1;
+                    self.recorder.emit(EventKind::QuorumDegraded {
+                        case_id: case.id,
+                        strict: group.strict,
+                        healthy: group.present as u64,
+                        total: group.total as u64,
+                        voted: group.voted,
+                    });
+                }
+            }
+            match obs.outcome {
+                CaseOutcome::ParseError | CaseOutcome::AllTimeout | CaseOutcome::NoQuorum => {}
                 CaseOutcome::Pass => report.passes += 1,
                 CaseOutcome::Deviations(devs) => {
                     report.deviations_observed += devs.len() as u64;
@@ -613,6 +700,7 @@ impl Campaign {
         });
         self.progress.shard_finished(self.shard as usize);
         report.metrics = self.metrics.clone();
+        report.health = tracker.reports();
         report
     }
 
@@ -750,7 +838,8 @@ impl Campaign {
 fn earliest_affected_version(dev_rec: &DeviationRecord, program: &Program, fuel: u64) -> String {
     for version in versions_of(dev_rec.engine) {
         let engine = Engine::new(version);
-        let r = engine.run(program, &RunOptions { fuel, strict: dev_rec.strict, coverage: false });
+        let r =
+            engine.run(program, &RunOptions::builder().fuel(fuel).strict(dev_rec.strict).build());
         let sig = Signature::of(&r.status, &r.output);
         if sig == dev_rec.actual && sig != dev_rec.expected {
             return version.label();

@@ -63,10 +63,8 @@ pub fn compare(fuzzers: &mut [&mut dyn Fuzzer], config: &CompareConfig) -> Vec<F
     let mut testbeds = comfort_engines::latest_testbeds();
     if config.include_strict {
         for name in comfort_engines::EngineName::ALL {
-            testbeds.push(comfort_engines::Testbed {
-                engine: comfort_engines::Engine::latest(name),
-                strict: true,
-            });
+            testbeds
+                .push(comfort_engines::Testbed::new(comfort_engines::Engine::latest(name), true));
         }
     }
     let dev = DeveloperModel { seed: config.seed };

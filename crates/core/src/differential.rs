@@ -133,6 +133,10 @@ pub enum CaseOutcome {
     Pass,
     /// At least one engine deviates from a strict majority.
     Deviations(Vec<DeviationRecord>),
+    /// No mode group had enough healthy voters to meet the quorum
+    /// threshold (degraded execution; see [`QuorumPolicy`]). The case is
+    /// recorded but cannot vote.
+    NoQuorum,
 }
 
 impl CaseOutcome {
@@ -229,29 +233,108 @@ pub(crate) fn testbed_signatures(
         .collect()
 }
 
+/// Quorum threshold for degraded voting: how many healthy voters a mode
+/// group needs before its majority vote counts. Groups below the threshold
+/// are observed (for telemetry) but cast no vote, and a case where *no*
+/// group reaches quorum resolves to [`CaseOutcome::NoQuorum`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuorumPolicy {
+    /// Minimum healthy voters per mode group.
+    pub min_voters: usize,
+}
+
+impl Default for QuorumPolicy {
+    /// Two voters: a single surviving engine has nothing to differ from,
+    /// so its lone "majority" is not evidence.
+    fn default() -> Self {
+        QuorumPolicy { min_voters: 2 }
+    }
+}
+
+impl QuorumPolicy {
+    /// The legacy threshold (1): every non-empty group votes, which is
+    /// exactly the pre-quorum behaviour of the harness.
+    pub const LEGACY: QuorumPolicy = QuorumPolicy { min_voters: 1 };
+}
+
+/// Per-mode-group voting summary produced by
+/// [`vote_on_signatures_quorum`] — the raw material for `QuorumDegraded`
+/// telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupQuorum {
+    /// `true` for the strict group.
+    pub strict: bool,
+    /// Healthy voters that cast a signature.
+    pub present: usize,
+    /// Full group membership (healthy + quarantined).
+    pub total: usize,
+    /// Whether the group met the quorum threshold and voted.
+    pub voted: bool,
+}
+
+impl GroupQuorum {
+    /// `true` when the group voted short-handed or was skipped entirely.
+    pub fn degraded(&self) -> bool {
+        self.present < self.total || !self.voted
+    }
+}
+
 /// Majority voting over precomputed signatures (`signatures[i]` must belong
 /// to `testbeds[i]`). Split from [`run_differential`] so the parallel
 /// executor can compute signatures on a worker pool and vote identically.
 pub(crate) fn vote_on_signatures(testbeds: &[Testbed], signatures: &[Signature]) -> CaseOutcome {
     debug_assert_eq!(testbeds.len(), signatures.len());
+    let present: Vec<Option<Signature>> = signatures.iter().cloned().map(Some).collect();
+    vote_on_signatures_quorum(testbeds, &present, &QuorumPolicy::LEGACY).0
+}
+
+/// Degraded-quorum majority voting: `signatures[i]` is `None` when
+/// `testbeds[i]` did not run (quarantined). Each mode group votes over its
+/// *present* signatures only, and only when at least
+/// [`QuorumPolicy::min_voters`] of them are present. Returns the outcome
+/// plus one [`GroupQuorum`] per non-empty group.
+///
+/// With every signature present and the [`QuorumPolicy::LEGACY`] threshold
+/// this is exactly the historical voting function.
+pub fn vote_on_signatures_quorum(
+    testbeds: &[Testbed],
+    signatures: &[Option<Signature>],
+    quorum: &QuorumPolicy,
+) -> (CaseOutcome, Vec<GroupQuorum>) {
+    debug_assert_eq!(testbeds.len(), signatures.len());
     let mut deviations = Vec::new();
+    let mut groups = Vec::new();
     let mut all_timeout = true;
     let mut any_group = false;
+    let mut any_present = false;
+    let mut any_voted = false;
 
     for strict in [false, true] {
-        let group: Vec<(&Testbed, &Signature)> =
+        let members: Vec<(&Testbed, &Option<Signature>)> =
             testbeds.iter().zip(signatures).filter(|(t, _)| t.strict == strict).collect();
+        if members.is_empty() {
+            continue;
+        }
+        any_group = true;
+        let group: Vec<(&Testbed, &Signature)> =
+            members.iter().filter_map(|(t, s)| s.as_ref().map(|sig| (*t, sig))).collect();
+        let voted = group.len() >= quorum.min_voters.max(1);
+        groups.push(GroupQuorum { strict, present: group.len(), total: members.len(), voted });
         if group.is_empty() {
             continue;
         }
-        // With one or two voters, `majority_signature` can never flag a
-        // deviation (a strict majority requires agreement), so small groups
-        // degrade gracefully rather than producing false positives.
-        any_group = true;
+        any_present = true;
         let results: Vec<Signature> = group.iter().map(|(_, s)| (*s).clone()).collect();
         if results.iter().any(|s| !matches!(s, Signature::Timeout)) {
             all_timeout = false;
         }
+        if !voted {
+            continue; // below quorum: observe, don't vote
+        }
+        any_voted = true;
+        // With one or two voters, `majority_signature` can never flag a
+        // deviation (a strict majority requires agreement), so small groups
+        // degrade gracefully rather than producing false positives.
         let Some(majority) = majority_signature(&results) else {
             continue; // no strict majority: ambiguous, skip (paper does too)
         };
@@ -269,17 +352,20 @@ pub(crate) fn vote_on_signatures(testbeds: &[Testbed], signatures: &[Signature])
         }
     }
 
-    if !any_group {
-        return CaseOutcome::Pass;
-    }
-    if all_timeout {
-        return CaseOutcome::AllTimeout;
-    }
-    if deviations.is_empty() {
+    let outcome = if !any_group {
+        CaseOutcome::Pass
+    } else if !any_present {
+        CaseOutcome::NoQuorum
+    } else if all_timeout {
+        CaseOutcome::AllTimeout
+    } else if !any_voted {
+        CaseOutcome::NoQuorum
+    } else if deviations.is_empty() {
         CaseOutcome::Pass
     } else {
         CaseOutcome::Deviations(deviations)
-    }
+    };
+    (outcome, groups)
 }
 
 /// The signature shared by more than half the voters, if any.
@@ -380,6 +466,63 @@ mod tests {
         {
             assert_eq!(Signature::Timeout.describe(), Signature::Timeout.to_string());
         }
+    }
+
+    #[test]
+    fn quorum_voting_ignores_quarantined_slots() {
+        // 4 normal testbeds; slot 0 quarantined, remaining three agree.
+        let beds = latest_testbeds().into_iter().take(4).collect::<Vec<_>>();
+        let sig = |s: &str| Signature::Completed(s.into());
+        let sigs = vec![None, Some(sig("a")), Some(sig("a")), Some(sig("a"))];
+        let (outcome, groups) = vote_on_signatures_quorum(&beds, &sigs, &QuorumPolicy::default());
+        assert!(matches!(outcome, CaseOutcome::Pass), "{outcome:?}");
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].present, 3);
+        assert_eq!(groups[0].total, 4);
+        assert!(groups[0].voted && groups[0].degraded());
+    }
+
+    #[test]
+    fn quorum_voting_flags_deviant_among_survivors() {
+        let beds = latest_testbeds().into_iter().take(4).collect::<Vec<_>>();
+        let sig = |s: &str| Signature::Completed(s.into());
+        let sigs = vec![None, Some(sig("a")), Some(sig("a")), Some(sig("b"))];
+        let (outcome, _) = vote_on_signatures_quorum(&beds, &sigs, &QuorumPolicy::default());
+        let CaseOutcome::Deviations(devs) = outcome else {
+            panic!("expected deviations");
+        };
+        assert_eq!(devs.len(), 1);
+        assert_eq!(devs[0].engine, beds[3].engine.name());
+    }
+
+    #[test]
+    fn below_quorum_group_does_not_vote() {
+        let beds = latest_testbeds().into_iter().take(3).collect::<Vec<_>>();
+        let sigs = vec![None, None, Some(Signature::Completed("a".into()))];
+        let (outcome, groups) =
+            vote_on_signatures_quorum(&beds, &sigs, &QuorumPolicy { min_voters: 2 });
+        assert!(matches!(outcome, CaseOutcome::NoQuorum), "{outcome:?}");
+        assert!(!groups[0].voted);
+        // With every voter quarantined the outcome is also NoQuorum.
+        let none = vec![None, None, None];
+        let (outcome, _) = vote_on_signatures_quorum(&beds, &none, &QuorumPolicy::default());
+        assert!(matches!(outcome, CaseOutcome::NoQuorum));
+    }
+
+    #[test]
+    fn legacy_threshold_matches_historical_voting() {
+        let beds = latest_testbeds();
+        let program = parse("print(1 + 1);").expect("parses");
+        let sigs: Vec<Option<Signature>> = beds
+            .iter()
+            .map(|t| {
+                let r = t.run(&program, &RunOptions::with_fuel(100_000));
+                Some(Signature::of(&r.status, &r.output))
+            })
+            .collect();
+        let (outcome, groups) = vote_on_signatures_quorum(&beds, &sigs, &QuorumPolicy::LEGACY);
+        assert!(matches!(outcome, CaseOutcome::Pass));
+        assert!(groups.iter().all(|g| g.voted && !g.degraded()));
     }
 
     #[test]

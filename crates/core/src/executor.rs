@@ -129,6 +129,14 @@ pub fn merge_shard_reports_with_sink(
         merged.deviations_observed += report.deviations_observed;
         merged.duplicates_filtered += report.duplicates_filtered;
         merged.metrics.merge_from(&report.metrics);
+        if merged.health.is_empty() {
+            merged.health = report.health.clone();
+        } else {
+            debug_assert_eq!(merged.health.len(), report.health.len());
+            for (acc, shard) in merged.health.iter_mut().zip(&report.health) {
+                acc.merge_from(shard);
+            }
+        }
         for bug in &report.bugs {
             if tree.observe(&bug.key) {
                 let mut rebased = bug.clone();

@@ -40,6 +40,7 @@ pub mod pipeline;
 pub mod quality;
 pub mod reduce;
 pub mod report;
+pub mod resilience;
 pub mod test262;
 pub mod testcase;
 
@@ -49,8 +50,8 @@ pub use campaign::{
 };
 pub use comfort_telemetry as telemetry;
 pub use differential::{
-    run_differential, run_differential_pooled, CaseOutcome, DeviationKind, DeviationRecord,
-    Signature,
+    run_differential, run_differential_pooled, vote_on_signatures_quorum, CaseOutcome,
+    DeviationKind, DeviationRecord, GroupQuorum, QuorumPolicy, Signature,
 };
 pub use executor::{
     merge_shard_reports, merge_shard_reports_with_sink, plan_shards, ShardSpec, ShardedCampaign,
@@ -59,4 +60,8 @@ pub use filter::{BugKey, BugTree};
 pub use fuzzer::{ComfortFuzzer, Fuzzer};
 pub use pipeline::{Comfort, ComfortConfig, PipelineReport};
 pub use reduce::reduce as reduce_case;
+pub use resilience::{
+    run_case_hardened, CaseObservation, ChaosConfig, ExecPolicy, FaultRecord, HealthTracker,
+    QuarantineEvent, TestbedHealth,
+};
 pub use testcase::{Origin, TestCase};

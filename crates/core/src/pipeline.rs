@@ -14,6 +14,7 @@ use comfort_telemetry::{CampaignMetrics, ProgressHandle, SinkHandle};
 use crate::campaign::{BugReport, CampaignConfig, ConfigError};
 use crate::datagen::DataGenConfig;
 use crate::executor::ShardedCampaign;
+use crate::resilience::{ChaosConfig, ExecPolicy, TestbedHealth};
 
 /// Facade configuration (a curated subset of [`CampaignConfig`]).
 #[derive(Debug, Clone)]
@@ -40,6 +41,10 @@ pub struct ComfortConfig {
     /// Telemetry sink receiving the run's typed event stream (JSONL-ready;
     /// see `comfort_telemetry`). Defaults to the discarding `NullSink`.
     pub sink: SinkHandle,
+    /// Execution-hardening policy (isolation, retry, quarantine, quorum).
+    pub exec: ExecPolicy,
+    /// Optional seeded fault injection over selected testbeds.
+    pub chaos: Option<ChaosConfig>,
 }
 
 impl Default for ComfortConfig {
@@ -54,6 +59,8 @@ impl Default for ComfortConfig {
             threads: 0,
             shard_cases: 0,
             sink: SinkHandle::null(),
+            exec: ExecPolicy::default(),
+            chaos: None,
         }
     }
 }
@@ -138,6 +145,18 @@ impl ComfortConfigBuilder {
         self
     }
 
+    /// Sets the execution-hardening policy.
+    pub fn exec(mut self, exec: ExecPolicy) -> Self {
+        self.config.exec = exec;
+        self
+    }
+
+    /// Enables seeded fault injection over selected testbeds.
+    pub fn chaos(mut self, chaos: ChaosConfig) -> Self {
+        self.config.chaos = Some(chaos);
+        self
+    }
+
     /// Validates and returns the configuration.
     pub fn build(self) -> Result<ComfortConfig, ConfigError> {
         if self.config.fuel == 0 {
@@ -145,6 +164,9 @@ impl ComfortConfigBuilder {
         }
         if self.config.corpus_programs == 0 {
             return Err(ConfigError::EmptyCorpus);
+        }
+        if self.config.chaos.as_ref().is_some_and(|chaos| !chaos.plan.rates_valid()) {
+            return Err(ConfigError::InvalidFaultPlan);
         }
         Ok(self.config)
     }
@@ -163,6 +185,8 @@ pub struct PipelineReport {
     pub duplicates_filtered: u64,
     /// Per-stage counters and histograms for the run (merged across shards).
     pub metrics: CampaignMetrics,
+    /// Per-testbed health ledger (fault counts, quarantine state).
+    pub health: Vec<TestbedHealth>,
 }
 
 /// The COMFORT pipeline, ready to fuzz.
@@ -207,6 +231,8 @@ impl Comfort {
             threads: self.config.threads,
             shard_cases: self.config.shard_cases,
             sink: self.config.sink.clone(),
+            exec: self.config.exec.clone(),
+            chaos: self.config.chaos.clone(),
         };
         self.runs += 1;
         let mut executor = ShardedCampaign::new(campaign_config);
@@ -218,6 +244,7 @@ impl Comfort {
             sim_hours: report.sim_hours,
             duplicates_filtered: report.duplicates_filtered,
             metrics: report.metrics,
+            health: report.health,
         }
     }
 }

@@ -243,6 +243,61 @@ pub fn stage_metrics(report: &CampaignReport) -> String {
     out
 }
 
+/// **Health report** — the per-testbed fault ledger from the hardened
+/// execution layer: successful runs, fault counts by kind, retries, and
+/// quarantine state (see DESIGN.md §9).
+pub fn health_report(report: &CampaignReport) -> String {
+    let mut out = String::from("Testbed health: faults, retries, and quarantine per testbed\n");
+    let widths = [30, 8, 7, 6, 10, 6, 8, 8, 12];
+    row(
+        &mut out,
+        &[
+            "Testbed",
+            "Runs OK",
+            "Panics",
+            "Hangs",
+            "Transient",
+            "Trunc",
+            "Retries",
+            "Skipped",
+            "State",
+        ],
+        &widths,
+    );
+    let mut total_faults = 0u64;
+    let mut quarantined = 0usize;
+    for h in &report.health {
+        total_faults += h.faults();
+        let state = if h.quarantined { "QUARANTINED" } else { "healthy" };
+        if h.quarantined {
+            quarantined += 1;
+        }
+        row(
+            &mut out,
+            &[
+                &h.label,
+                &h.runs_ok.to_string(),
+                &h.panics.to_string(),
+                &h.hangs.to_string(),
+                &h.transients_exhausted.to_string(),
+                &h.outputs_truncated.to_string(),
+                &h.retries.to_string(),
+                &h.runs_skipped.to_string(),
+                state,
+            ],
+            &widths,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "total: {} fault(s) observed across {} testbed(s), {} quarantined",
+        total_faults,
+        report.health.len(),
+        quarantined
+    );
+    out
+}
+
 /// **Figure 8** — fuzzer comparison over the testing budget.
 pub fn figure8(series: &[FuzzerSeries]) -> String {
     let mut out = String::from(

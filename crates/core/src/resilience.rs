@@ -1,0 +1,482 @@
+//! Fault-tolerant campaign execution: policy, health tracking, quarantine,
+//! and the hardened per-case runner.
+//!
+//! The paper's harness only works because it keeps voting while individual
+//! engines crash, hang, and print garbage (§3.4). This module is that
+//! property, made explicit: every testbed run goes through the
+//! `comfort-engines` isolation harness, observed faults feed a per-testbed
+//! health ledger, a circuit breaker quarantines testbeds after
+//! [`ExecPolicy::quarantine_after`] consecutive hard faults, and voting
+//! degrades to the surviving quorum
+//! ([`vote_on_signatures_quorum`](crate::differential::vote_on_signatures_quorum)).
+//!
+//! Everything here is deterministic at any thread count: fault decisions
+//! are content-addressed (see `comfort_engines::chaos`), health state is
+//! per-shard (the shard plan is a pure function of the config), and the
+//! observation lists are ordered by testbed index.
+
+use comfort_engines::{
+    run_isolated, FaultObserved, FaultPlan, IsolatedRun, IsolationPolicy, RetryPolicy, RunOptions,
+    Testbed,
+};
+use comfort_syntax::Program;
+
+use crate::differential::{
+    vote_on_signatures_quorum, CaseOutcome, GroupQuorum, QuorumPolicy, Signature,
+};
+
+/// Execution-hardening policy for a campaign: isolation and retry knobs for
+/// every testbed run, the quarantine threshold, and the voting quorum.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecPolicy {
+    /// Containment applied to every run (panic catching, watchdog, output
+    /// cap).
+    pub isolation: IsolationPolicy,
+    /// Retry policy for transient faults.
+    pub retry: RetryPolicy,
+    /// Consecutive *hard* faults (panic, hang, exhausted transient) before
+    /// a testbed is quarantined for the rest of the shard. `0` disables
+    /// quarantine.
+    pub quarantine_after: u32,
+    /// Minimum healthy voters per mode group.
+    pub quorum: QuorumPolicy,
+}
+
+impl Default for ExecPolicy {
+    fn default() -> Self {
+        ExecPolicy {
+            isolation: IsolationPolicy::default(),
+            retry: RetryPolicy::default(),
+            quarantine_after: 5,
+            quorum: QuorumPolicy::default(),
+        }
+    }
+}
+
+/// Attaches a chaos [`FaultPlan`] to selected testbeds of a campaign's
+/// matrix (by index into `testbeds_for`'s output) — the configuration
+/// surface for fault-injection campaigns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosConfig {
+    /// The fault plan. A plan with seed [`FaultPlan::DERIVE`] gets its seed
+    /// derived from the campaign seed when the matrix is built.
+    pub plan: FaultPlan,
+    /// Indices of the testbeds to wrap (out-of-range indices are ignored).
+    pub testbeds: Vec<usize>,
+}
+
+impl ChaosConfig {
+    /// Wraps only the first testbed of the matrix.
+    pub fn on_first(plan: FaultPlan) -> Self {
+        ChaosConfig { plan, testbeds: vec![0] }
+    }
+
+    /// Wraps the given testbed indices.
+    pub fn on(plan: FaultPlan, testbeds: Vec<usize>) -> Self {
+        ChaosConfig { plan, testbeds }
+    }
+}
+
+/// Per-testbed health ledger, reported in `CampaignReport::health` and
+/// merged additively across shards.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TestbedHealth {
+    /// Testbed label.
+    pub label: String,
+    /// Runs that completed without any fault.
+    pub runs_ok: u64,
+    /// Contained panics.
+    pub panics: u64,
+    /// Hangs (self-reported wedges or watchdog timeouts).
+    pub hangs: u64,
+    /// Runs whose transient faults outlasted the retry budget.
+    pub transients_exhausted: u64,
+    /// Runs whose output was truncated by the cap.
+    pub outputs_truncated: u64,
+    /// Total transient retry attempts consumed.
+    pub retries: u64,
+    /// Runs skipped because the testbed was quarantined.
+    pub runs_skipped: u64,
+    /// Quarantine transitions (at most one per shard).
+    pub quarantines: u64,
+    /// `true` when the testbed ended (some shard of) the campaign
+    /// quarantined.
+    pub quarantined: bool,
+}
+
+impl TestbedHealth {
+    /// Total hard faults recorded.
+    pub fn hard_faults(&self) -> u64 {
+        self.panics + self.hangs + self.transients_exhausted
+    }
+
+    /// Total faults of any kind recorded.
+    pub fn faults(&self) -> u64 {
+        self.hard_faults() + self.outputs_truncated
+    }
+
+    /// Adds another shard's ledger for the same testbed into this one.
+    pub fn merge_from(&mut self, other: &TestbedHealth) {
+        debug_assert!(self.label.is_empty() || other.label.is_empty() || self.label == other.label);
+        if self.label.is_empty() {
+            self.label = other.label.clone();
+        }
+        self.runs_ok += other.runs_ok;
+        self.panics += other.panics;
+        self.hangs += other.hangs;
+        self.transients_exhausted += other.transients_exhausted;
+        self.outputs_truncated += other.outputs_truncated;
+        self.retries += other.retries;
+        self.runs_skipped += other.runs_skipped;
+        self.quarantines += other.quarantines;
+        self.quarantined |= other.quarantined;
+    }
+}
+
+/// A testbed's quarantine transition during one case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantineEvent {
+    /// Index into the campaign's testbed matrix.
+    pub testbed: usize,
+    /// Testbed label.
+    pub label: String,
+    /// Consecutive hard faults at the moment the breaker opened.
+    pub hard_faults: u64,
+}
+
+/// One observed fault on one testbed run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// Index into the campaign's testbed matrix.
+    pub testbed: usize,
+    /// Testbed label.
+    pub label: String,
+    /// The fault class.
+    pub fault: FaultObserved,
+}
+
+/// The per-shard health state machine: fault counters, consecutive-hard-
+/// fault streaks, and the quarantine circuit breaker.
+#[derive(Debug, Clone)]
+pub struct HealthTracker {
+    threshold: u32,
+    entries: Vec<TestbedHealth>,
+    streaks: Vec<u32>,
+    active: Vec<bool>,
+}
+
+impl HealthTracker {
+    /// A fresh tracker for `testbeds`, quarantining after `threshold`
+    /// consecutive hard faults (`0` disables quarantine).
+    pub fn new(testbeds: &[Testbed], threshold: u32) -> Self {
+        HealthTracker {
+            threshold,
+            entries: testbeds
+                .iter()
+                .map(|t| TestbedHealth { label: t.label(), ..TestbedHealth::default() })
+                .collect(),
+            streaks: vec![0; testbeds.len()],
+            active: vec![true; testbeds.len()],
+        }
+    }
+
+    /// Whether testbed `i` still participates in runs and votes.
+    pub fn is_active(&self, i: usize) -> bool {
+        self.active[i]
+    }
+
+    /// Number of testbeds still active.
+    pub fn active_count(&self) -> usize {
+        self.active.iter().filter(|a| **a).count()
+    }
+
+    /// Records a clean run (resets the hard-fault streak).
+    fn observe_success(&mut self, i: usize) {
+        self.entries[i].runs_ok += 1;
+        self.streaks[i] = 0;
+    }
+
+    /// Records transient retries consumed by one run.
+    fn record_retries(&mut self, i: usize, retries: u32) {
+        self.entries[i].retries += u64::from(retries);
+    }
+
+    /// Records a skipped (quarantined) run.
+    fn record_skip(&mut self, i: usize) {
+        self.entries[i].runs_skipped += 1;
+    }
+
+    /// Records a fault; returns `Some(streak)` when this fault tripped the
+    /// circuit breaker (the testbed is quarantined from the next run on).
+    fn observe_fault(&mut self, i: usize, fault: FaultObserved) -> Option<u64> {
+        match fault {
+            FaultObserved::Panic => self.entries[i].panics += 1,
+            FaultObserved::Hang => self.entries[i].hangs += 1,
+            FaultObserved::TransientExhausted => self.entries[i].transients_exhausted += 1,
+            FaultObserved::OutputTruncated => self.entries[i].outputs_truncated += 1,
+        }
+        if !fault.is_hard() {
+            return None;
+        }
+        self.streaks[i] += 1;
+        if self.threshold > 0 && self.streaks[i] >= self.threshold && self.active[i] {
+            self.active[i] = false;
+            self.entries[i].quarantines += 1;
+            self.entries[i].quarantined = true;
+            return Some(u64::from(self.streaks[i]));
+        }
+        None
+    }
+
+    /// The accumulated per-testbed ledgers.
+    pub fn reports(&self) -> Vec<TestbedHealth> {
+        self.entries.clone()
+    }
+}
+
+/// Everything one hardened case execution produced: the vote, per-group
+/// quorum info, and the fault/retry/quarantine observations (all ordered by
+/// testbed index, so telemetry emission is deterministic).
+#[derive(Debug)]
+pub struct CaseObservation {
+    /// The (possibly degraded) voting outcome.
+    pub outcome: CaseOutcome,
+    /// Per-mode-group quorum summary.
+    pub groups: Vec<GroupQuorum>,
+    /// Faults observed this case.
+    pub faults: Vec<FaultRecord>,
+    /// Runs that needed transient retries: `(testbed index, retries)`.
+    pub retried: Vec<(usize, u32)>,
+    /// Quarantine transitions tripped by this case's faults.
+    pub quarantined: Vec<QuarantineEvent>,
+    /// Testbeds that actually ran.
+    pub active_runs: usize,
+    /// Runs skipped (testbed already quarantined).
+    pub skipped_runs: usize,
+}
+
+/// Runs one case across the matrix under full containment, updates the
+/// health tracker, and votes over the surviving quorum.
+///
+/// Quarantined testbeds are skipped (their signature slot stays `None`);
+/// a quarantine tripped by *this* case takes effect from the next case.
+/// With `threads > 1` the isolated runs fan out over a scoped worker pool;
+/// results land in index-ordered slots, so the observation is bit-identical
+/// at every thread count.
+pub fn run_case_hardened(
+    program: &Program,
+    testbeds: &[Testbed],
+    options: &RunOptions,
+    threads: usize,
+    policy: &ExecPolicy,
+    tracker: &mut HealthTracker,
+) -> CaseObservation {
+    let mask: Vec<bool> = (0..testbeds.len()).map(|i| tracker.is_active(i)).collect();
+    let runs = isolated_runs(program, testbeds, options, threads, policy, &mask);
+
+    let mut signatures: Vec<Option<Signature>> = vec![None; testbeds.len()];
+    let mut faults = Vec::new();
+    let mut retried = Vec::new();
+    let mut quarantined = Vec::new();
+    let mut active_runs = 0;
+    let mut skipped_runs = 0;
+    for (i, slot) in runs.into_iter().enumerate() {
+        let Some(run) = slot else {
+            tracker.record_skip(i);
+            skipped_runs += 1;
+            continue;
+        };
+        active_runs += 1;
+        if run.retries > 0 {
+            tracker.record_retries(i, run.retries);
+            retried.push((i, run.retries));
+        }
+        match run.fault {
+            Some(fault) => {
+                faults.push(FaultRecord { testbed: i, label: testbeds[i].label(), fault });
+                if let Some(streak) = tracker.observe_fault(i, fault) {
+                    quarantined.push(QuarantineEvent {
+                        testbed: i,
+                        label: testbeds[i].label(),
+                        hard_faults: streak,
+                    });
+                }
+            }
+            None => tracker.observe_success(i),
+        }
+        signatures[i] = Some(Signature::of(&run.result.status, &run.result.output));
+    }
+
+    let (outcome, groups) = vote_on_signatures_quorum(testbeds, &signatures, &policy.quorum);
+    CaseObservation { outcome, groups, faults, retried, quarantined, active_runs, skipped_runs }
+}
+
+/// Executes the isolated runs for every unmasked testbed, serially or on a
+/// scoped worker pool (index-ordered slots; workers never panic because the
+/// isolation harness contains everything).
+fn isolated_runs(
+    program: &Program,
+    testbeds: &[Testbed],
+    options: &RunOptions,
+    threads: usize,
+    policy: &ExecPolicy,
+    mask: &[bool],
+) -> Vec<Option<IsolatedRun>> {
+    let run_one =
+        |i: usize| run_isolated(&testbeds[i], program, options, &policy.isolation, &policy.retry);
+    if threads <= 1 || testbeds.len() < 2 {
+        return mask.iter().enumerate().map(|(i, m)| m.then(|| run_one(i))).collect();
+    }
+
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+    let slots: Vec<Mutex<Option<IsolatedRun>>> =
+        testbeds.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let workers = threads.min(testbeds.len());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= testbeds.len() {
+                    break;
+                }
+                if !mask[i] {
+                    continue;
+                }
+                *slots[i].lock().expect("isolated-run slot poisoned") = Some(run_one(i));
+            });
+        }
+    });
+    slots.into_iter().map(|slot| slot.into_inner().expect("isolated-run slot poisoned")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comfort_engines::{latest_testbeds, Engine, EngineName};
+    use comfort_syntax::parse;
+
+    fn program(src: &str) -> Program {
+        parse(src).expect("test source parses")
+    }
+
+    fn chaos_matrix(plan: FaultPlan) -> Vec<Testbed> {
+        let mut beds = latest_testbeds();
+        beds[0] = Testbed::new(Engine::latest(EngineName::V8), false).with_chaos(plan);
+        beds
+    }
+
+    #[test]
+    fn hardened_case_survives_certain_panic() {
+        let beds = chaos_matrix(FaultPlan::new(5).panic_rate(1.0));
+        let mut tracker = HealthTracker::new(&beds, 0);
+        let obs = run_case_hardened(
+            &program("print(1);"),
+            &beds,
+            &RunOptions::with_fuel(100_000),
+            1,
+            &ExecPolicy::default(),
+            &mut tracker,
+        );
+        assert_eq!(obs.faults.len(), 1);
+        assert_eq!(obs.faults[0].fault, FaultObserved::Panic);
+        // The panicking testbed crashes and is outvoted by the other nine.
+        let CaseOutcome::Deviations(devs) = obs.outcome else {
+            panic!("expected deviation, got {:?}", obs.outcome);
+        };
+        assert_eq!(devs.len(), 1);
+    }
+
+    #[test]
+    fn circuit_breaker_quarantines_after_streak() {
+        let beds = chaos_matrix(FaultPlan::new(5).panic_rate(1.0).hang_millis(1));
+        let mut tracker = HealthTracker::new(&beds, 2);
+        let opts = RunOptions::with_fuel(100_000);
+        let policy = ExecPolicy { quarantine_after: 2, ..ExecPolicy::default() };
+        let first =
+            run_case_hardened(&program("print(1);"), &beds, &opts, 1, &policy, &mut tracker);
+        assert!(first.quarantined.is_empty());
+        let second =
+            run_case_hardened(&program("print(2);"), &beds, &opts, 1, &policy, &mut tracker);
+        assert_eq!(second.quarantined.len(), 1, "second consecutive panic trips the breaker");
+        assert_eq!(second.quarantined[0].testbed, 0);
+        // From the third case on, testbed 0 is skipped and the rest vote.
+        let third =
+            run_case_hardened(&program("print(3);"), &beds, &opts, 1, &policy, &mut tracker);
+        assert_eq!(third.skipped_runs, 1);
+        assert_eq!(third.active_runs, beds.len() - 1);
+        assert!(matches!(third.outcome, CaseOutcome::Pass), "{:?}", third.outcome);
+        assert!(third.groups[0].degraded());
+        let health = tracker.reports();
+        assert!(health[0].quarantined);
+        assert_eq!(health[0].quarantines, 1);
+        assert_eq!(health[0].panics, 2);
+        assert_eq!(health[0].runs_skipped, 1);
+    }
+
+    #[test]
+    fn success_resets_the_streak() {
+        let beds = latest_testbeds();
+        let mut tracker = HealthTracker::new(&beds, 2);
+        assert!(tracker.observe_fault(0, FaultObserved::Panic).is_none());
+        tracker.observe_success(0);
+        assert!(tracker.observe_fault(0, FaultObserved::Panic).is_none(), "streak was reset");
+        assert!(tracker.observe_fault(0, FaultObserved::Panic).is_some());
+        assert!(!tracker.is_active(0));
+    }
+
+    #[test]
+    fn soft_faults_do_not_trip_the_breaker() {
+        let beds = latest_testbeds();
+        let mut tracker = HealthTracker::new(&beds, 1);
+        assert!(tracker.observe_fault(0, FaultObserved::OutputTruncated).is_none());
+        assert!(tracker.is_active(0));
+        assert_eq!(tracker.reports()[0].outputs_truncated, 1);
+    }
+
+    #[test]
+    fn hardened_runs_are_thread_count_invariant() {
+        let plan = FaultPlan::new(11).panic_rate(0.3).garbage_rate(0.2);
+        let opts = RunOptions::with_fuel(100_000);
+        let policy = ExecPolicy::default();
+        let observe = |threads: usize| {
+            let beds = chaos_matrix(plan.clone());
+            let mut tracker = HealthTracker::new(&beds, policy.quarantine_after);
+            let mut outcomes = Vec::new();
+            for i in 0..12 {
+                let obs = run_case_hardened(
+                    &program(&format!("print({i});")),
+                    &beds,
+                    &opts,
+                    threads,
+                    &policy,
+                    &mut tracker,
+                );
+                outcomes.push((format!("{:?}", obs.outcome), obs.faults, obs.active_runs));
+            }
+            (outcomes, tracker.reports())
+        };
+        assert_eq!(observe(1), observe(4));
+    }
+
+    #[test]
+    fn health_merge_is_additive() {
+        let mut a =
+            TestbedHealth { label: "X".into(), panics: 2, runs_ok: 5, ..Default::default() };
+        let b = TestbedHealth {
+            label: "X".into(),
+            panics: 1,
+            hangs: 3,
+            quarantines: 1,
+            quarantined: true,
+            ..Default::default()
+        };
+        a.merge_from(&b);
+        assert_eq!(a.panics, 3);
+        assert_eq!(a.hangs, 3);
+        assert_eq!(a.runs_ok, 5);
+        assert_eq!(a.hard_faults(), 6);
+        assert!(a.quarantined);
+    }
+}

@@ -1,0 +1,164 @@
+//! Integration tests for the fault-tolerant execution layer: chaos campaigns
+//! must complete without aborting the harness, quarantine misbehaving
+//! testbeds, vote over the surviving quorum, and stay bit-identical at every
+//! thread count — including the fault telemetry.
+
+use comfort_core::campaign::{CampaignConfig, CampaignReport};
+use comfort_core::executor::ShardedCampaign;
+use comfort_core::resilience::{ChaosConfig, ExecPolicy};
+use comfort_engines::FaultPlan;
+use comfort_lm::GeneratorConfig;
+use comfort_telemetry::{Event, EventKind, MemorySink, SinkHandle};
+
+/// The acceptance scenario: one testbed panics on ~10% of runs, hangs on
+/// ~5%, and suffers transient faults on ~8% (healed by one retry).
+fn chaos_plan() -> FaultPlan {
+    FaultPlan::new(1005).panic_rate(0.10).hang_rate(0.05).transient_rate(0.08).hang_millis(1)
+}
+
+fn chaos_config(sink: SinkHandle, shard_cases: usize) -> CampaignConfig {
+    CampaignConfig::builder()
+        .seed(2)
+        .corpus_programs(80)
+        .lm(GeneratorConfig { order: 8, bpe_merges: 200, top_k: 10, max_tokens: 800 })
+        .max_cases(60)
+        .fuel(200_000)
+        .include_strict(false)
+        .include_legacy(false)
+        .reduce_cases(false)
+        .keep_invalid_fraction(0.2)
+        .shard_cases(shard_cases)
+        .exec(ExecPolicy { quarantine_after: 2, ..ExecPolicy::default() })
+        .chaos(ChaosConfig::on_first(chaos_plan()))
+        .sink(sink)
+        .build()
+        .expect("valid chaos config")
+}
+
+fn run_chaos(threads: usize, shard_cases: usize) -> (Vec<Event>, CampaignReport) {
+    let mem = MemorySink::new();
+    let executor = ShardedCampaign::new(chaos_config(SinkHandle::new(mem.clone()), shard_cases));
+    let report = executor.run_with_threads(threads);
+    (mem.take(), report)
+}
+
+#[test]
+fn chaos_campaign_completes_and_quarantines_the_faulty_testbed() {
+    let (events, report) = run_chaos(1, 0);
+
+    // The campaign finishes its whole budget despite injected panics/hangs.
+    assert_eq!(report.cases_run, 60);
+
+    // The chaotic testbed's ledger shows the injected faults...
+    let sick = &report.health[0];
+    assert!(sick.label.ends_with("[chaos]"), "{}", sick.label);
+    assert!(sick.panics > 0, "no panics injected: {sick:?}");
+    assert!(sick.hangs > 0, "no hangs injected: {sick:?}");
+    assert!(sick.retries > 0, "no transient retries recorded: {sick:?}");
+    // ...and two consecutive hard faults tripped the circuit breaker.
+    assert!(sick.quarantined, "testbed never quarantined: {sick:?}");
+    assert!(sick.runs_skipped > 0, "quarantine must skip later runs");
+    // Every other testbed stayed clean.
+    for healthy in &report.health[1..] {
+        assert_eq!(healthy.faults(), 0, "{healthy:?}");
+        assert!(!healthy.quarantined);
+    }
+
+    // Voting degraded to the surviving quorum and said so.
+    assert!(report.metrics.quorum_degraded > 0);
+    assert!(events.iter().any(|e| matches!(e.kind, EventKind::QuorumDegraded { voted: true, .. })));
+    assert!(events.iter().any(|e| matches!(e.kind, EventKind::TestbedQuarantined { .. })));
+}
+
+#[test]
+fn chaos_reports_and_telemetry_are_bit_identical_across_thread_counts() {
+    let (e1, r1) = run_chaos(1, 20);
+    let (e2, r2) = run_chaos(2, 20);
+    let (e8, r8) = run_chaos(8, 20);
+
+    let det = |events: &[Event]| -> Vec<String> {
+        events.iter().map(Event::to_json_deterministic).collect()
+    };
+    assert_eq!(det(&e1), det(&e2), "threads 1 vs 2");
+    assert_eq!(det(&e1), det(&e8), "threads 1 vs 8");
+
+    for (other, label) in [(&r2, "threads 2"), (&r8, "threads 8")] {
+        assert_eq!(r1.cases_run, other.cases_run, "{label}");
+        assert_eq!(r1.passes, other.passes, "{label}");
+        assert_eq!(r1.deviations_observed, other.deviations_observed, "{label}");
+        assert_eq!(r1.health, other.health, "{label}");
+        assert_eq!(r1.bugs.len(), other.bugs.len(), "{label}");
+        assert_eq!(r1.metrics.faults_observed, other.metrics.faults_observed, "{label}");
+        assert_eq!(r1.metrics.runs_retried, other.metrics.runs_retried, "{label}");
+        assert_eq!(r1.metrics.runs_skipped, other.metrics.runs_skipped, "{label}");
+        assert_eq!(r1.metrics.testbeds_quarantined, other.metrics.testbeds_quarantined, "{label}");
+        assert_eq!(r1.metrics.quorum_degraded, other.metrics.quorum_degraded, "{label}");
+    }
+}
+
+#[test]
+fn fault_telemetry_reconciles_with_health_and_metrics() {
+    let (events, report) = run_chaos(4, 20);
+    let m = &report.metrics;
+    let count =
+        |pred: &dyn Fn(&EventKind) -> bool| events.iter().filter(|e| pred(&e.kind)).count() as u64;
+
+    // Event stream ↔ metrics counters.
+    assert_eq!(count(&|k| matches!(k, EventKind::FaultInjected { .. })), m.faults_observed);
+    assert_eq!(count(&|k| matches!(k, EventKind::RunRetried { .. })), m.runs_retried);
+    assert_eq!(
+        count(&|k| matches!(k, EventKind::TestbedQuarantined { .. })),
+        m.testbeds_quarantined
+    );
+    assert_eq!(count(&|k| matches!(k, EventKind::QuorumDegraded { .. })), m.quorum_degraded);
+    assert!(m.faults_observed > 0, "the chaos plan must actually fire");
+
+    // Metrics ↔ merged health ledger.
+    let health_faults: u64 = report.health.iter().map(|h| h.faults()).sum();
+    assert_eq!(health_faults, m.faults_observed);
+    let health_quarantines: u64 = report.health.iter().map(|h| h.quarantines).sum();
+    assert_eq!(health_quarantines, m.testbeds_quarantined);
+    let health_skips: u64 = report.health.iter().map(|h| h.runs_skipped).sum();
+    assert_eq!(health_skips, m.runs_skipped);
+    // Each retried run consumed at least one retry attempt.
+    let health_retries: u64 = report.health.iter().map(|h| h.retries).sum();
+    assert!(health_retries >= m.runs_retried, "{health_retries} < {}", m.runs_retried);
+
+    // Every fault event names the chaotic testbed.
+    for event in &events {
+        if let EventKind::FaultInjected { testbed, .. } = &event.kind {
+            assert!(testbed.ends_with("[chaos]"), "unexpected faulty testbed {testbed}");
+        }
+    }
+}
+
+#[test]
+fn chaos_free_campaign_reports_clean_health() {
+    let config = CampaignConfig::builder()
+        .seed(2)
+        .corpus_programs(80)
+        .lm(GeneratorConfig { order: 8, bpe_merges: 200, top_k: 10, max_tokens: 800 })
+        .max_cases(20)
+        .fuel(200_000)
+        .reduce_cases(false)
+        .build()
+        .expect("valid config");
+    let report = ShardedCampaign::new(config).run_with_threads(2);
+    assert_eq!(report.cases_run, 20);
+    assert!(!report.health.is_empty());
+    for h in &report.health {
+        assert_eq!(h.faults(), 0, "{h:?}");
+        assert!(!h.quarantined);
+        assert_eq!(h.runs_skipped, 0);
+    }
+    assert_eq!(report.metrics.faults_observed, 0);
+    assert_eq!(report.metrics.testbeds_quarantined, 0);
+}
+
+#[test]
+fn invalid_fault_plan_is_rejected_at_build_time() {
+    let err = CampaignConfig::builder()
+        .chaos(ChaosConfig::on_first(FaultPlan::new(1).panic_rate(0.9).hang_rate(0.9)))
+        .build();
+    assert!(err.is_err(), "rates summing past 1.0 must be rejected");
+}

@@ -131,6 +131,7 @@ fn synthetic_report(
         bugs,
         sim_hours: f64::from(sim_ticks) / 10.0,
         metrics,
+        health: Vec::new(),
     }
 }
 

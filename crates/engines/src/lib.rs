@@ -31,10 +31,16 @@
 //! ```
 
 pub mod catalog;
+pub mod chaos;
+pub mod harness;
 mod profile;
 pub mod registry;
 
 pub use catalog::{quota, ApiType, BugId, Component, Discovery, Effect, SeededBug, Trigger};
+pub use chaos::{ChaosPanic, FaultKind, FaultPlan, RawFault};
+pub use harness::{
+    run_isolated, silence_chaos_panics, FaultObserved, IsolatedRun, IsolationPolicy, RetryPolicy,
+};
 pub use profile::EngineProfile;
 pub use registry::{all_versions, versions_of, EngineName, EngineVersion, EsEdition};
 
@@ -97,30 +103,106 @@ impl Engine {
 }
 
 /// A testbed = engine version × mode (§4.2). 51 versions × 2 modes = 102.
+///
+/// A testbed may additionally carry a chaos [`FaultPlan`] (see
+/// [`Testbed::with_chaos`]): a "ChaosTestbed" is an ordinary testbed whose
+/// runs deterministically panic, hang, emit garbage, or fail transiently —
+/// the adversarial input the hardened execution layer is tested against.
 #[derive(Debug, Clone)]
 pub struct Testbed {
     /// The engine version.
     pub engine: Engine,
     /// `true` for the strict-mode testbed.
     pub strict: bool,
+    /// Seeded fault injection, when this is a chaos testbed.
+    pub chaos: Option<FaultPlan>,
 }
 
 impl Testbed {
+    /// A well-behaved testbed.
+    pub fn new(engine: Engine, strict: bool) -> Self {
+        Testbed { engine, strict, chaos: None }
+    }
+
+    /// Attaches a fault-injection plan, turning this into a chaos testbed.
+    /// Also installs the process-wide hook keeping injected panics quiet.
+    pub fn with_chaos(mut self, plan: FaultPlan) -> Self {
+        silence_chaos_panics();
+        self.chaos = Some(plan);
+        self
+    }
+
+    /// `true` when a fault plan is attached.
+    pub fn is_chaotic(&self) -> bool {
+        self.chaos.is_some()
+    }
+
     /// Display label, e.g. `"Rhino v1.7.12 [strict]"`.
     pub fn label(&self) -> String {
-        if self.strict {
+        let base = if self.strict {
             format!("{} [strict]", self.engine.version().label())
         } else {
             self.engine.version().label()
+        };
+        if self.is_chaotic() {
+            format!("{base} [chaos]")
+        } else {
+            base
         }
     }
 
     /// Runs a program on this testbed. The testbed's mode is merged into the
     /// options: a strict testbed always runs strict, regardless of
     /// `options.strict`.
+    ///
+    /// This is the *contained* entry point: it delegates to
+    /// [`run_isolated`] with default policies, so panics surface as
+    /// [`comfort_interp::RunStatus::Crashed`] and wedges as
+    /// [`comfort_interp::RunStatus::OutOfFuel`] instead of escaping.
     pub fn run(&self, program: &Program, options: &RunOptions) -> RunResult {
-        self.engine
-            .run(program, &options.to_builder().strict(self.strict || options.strict).build())
+        run_isolated(self, program, options, &IsolationPolicy::default(), &RetryPolicy::default())
+            .result
+    }
+
+    /// One raw, *uncontained* execution attempt: applies the chaos plan (if
+    /// any) and runs the engine. Injected panics really panic and injected
+    /// hangs really sleep — callers are expected to go through
+    /// [`run_isolated`] (or [`Testbed::run`]) rather than call this
+    /// directly.
+    pub fn run_attempt(
+        &self,
+        program: &Program,
+        options: &RunOptions,
+        attempt: u32,
+    ) -> Result<RunResult, RawFault> {
+        if let Some(plan) = &self.chaos {
+            match plan.decide(program, attempt) {
+                Some(FaultKind::Panic) => {
+                    std::panic::panic_any(ChaosPanic { testbed: self.label() })
+                }
+                Some(FaultKind::Hang) => {
+                    std::thread::sleep(std::time::Duration::from_millis(plan.hang_millis));
+                    return Err(RawFault::Wedged { millis: plan.hang_millis });
+                }
+                Some(FaultKind::Garbage) => {
+                    return Ok(RunResult {
+                        status: comfort_interp::RunStatus::Completed,
+                        output: plan.garbage_output(program),
+                        fuel_used: 0,
+                        coverage: None,
+                    });
+                }
+                Some(FaultKind::Transient) => {
+                    return Err(RawFault::Transient {
+                        message: format!("simulated transient fault on {}", self.label()),
+                    });
+                }
+                None => {}
+            }
+        }
+        Ok(self
+            .engine
+            .run(program, &options.to_builder().strict(self.strict || options.strict).build()))
     }
 }
 
@@ -129,7 +211,7 @@ pub fn all_testbeds() -> Vec<Testbed> {
     let mut out = Vec::with_capacity(102);
     for version in all_versions() {
         for strict in [false, true] {
-            out.push(Testbed { engine: Engine::new(version), strict });
+            out.push(Testbed::new(Engine::new(version), strict));
         }
     }
     out
@@ -138,10 +220,7 @@ pub fn all_testbeds() -> Vec<Testbed> {
 /// The *latest-version* testbeds only (one normal testbed per engine), the
 /// default comparison set for differential runs.
 pub fn latest_testbeds() -> Vec<Testbed> {
-    EngineName::ALL
-        .into_iter()
-        .map(|name| Testbed { engine: Engine::latest(name), strict: false })
-        .collect()
+    EngineName::ALL.into_iter().map(|name| Testbed::new(Engine::latest(name), false)).collect()
 }
 
 #[cfg(test)]
@@ -295,8 +374,8 @@ print(obj[property]);
 
     #[test]
     fn strict_testbed_differs_from_normal() {
-        let bed_normal = Testbed { engine: Engine::latest(EngineName::V8), strict: false };
-        let bed_strict = Testbed { engine: Engine::latest(EngineName::V8), strict: true };
+        let bed_normal = Testbed::new(Engine::latest(EngineName::V8), false);
+        let bed_strict = Testbed::new(Engine::latest(EngineName::V8), true);
         let program = parse("x = 1; print(x);").expect("parses");
         let opts = RunOptions::with_fuel(100_000);
         assert!(bed_normal.run(&program, &opts).status.is_completed());

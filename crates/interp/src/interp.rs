@@ -73,9 +73,17 @@ pub struct RunOptions {
     pub strict: bool,
     /// Record statement/function/branch coverage of the test program.
     pub coverage: bool,
+    /// Maximum interpreter call-stack depth before a `RangeError`
+    /// ("Maximum call stack size exceeded") is raised. Bounded so deeply
+    /// recursive generated programs terminate deterministically instead of
+    /// exhausting the real stack.
+    pub max_call_depth: u32,
 }
 
 impl RunOptions {
+    /// The default call-depth limit (the historical hardcoded value).
+    pub const DEFAULT_MAX_CALL_DEPTH: u32 = 64;
+
     /// Default options with an explicit fuel budget — the most common
     /// non-default configuration.
     pub fn with_fuel(fuel: u64) -> Self {
@@ -106,7 +114,12 @@ impl RunOptions {
 
 impl Default for RunOptions {
     fn default() -> Self {
-        RunOptions { fuel: 20_000_000, strict: false, coverage: false }
+        RunOptions {
+            fuel: 20_000_000,
+            strict: false,
+            coverage: false,
+            max_call_depth: RunOptions::DEFAULT_MAX_CALL_DEPTH,
+        }
     }
 }
 
@@ -134,6 +147,13 @@ impl RunOptionsBuilder {
     /// Record coverage of the test program.
     pub fn coverage(mut self, coverage: bool) -> Self {
         self.options.coverage = coverage;
+        self
+    }
+
+    /// Maximum call-stack depth (defaults to
+    /// [`RunOptions::DEFAULT_MAX_CALL_DEPTH`]).
+    pub fn max_call_depth(mut self, depth: u32) -> Self {
+        self.options.max_call_depth = depth;
         self
     }
 
@@ -195,13 +215,12 @@ pub struct Interp<'p> {
     global_env: EnvId,
     constructing: bool,
     call_depth: u32,
+    max_call_depth: u32,
     array_fill_watermark: HashMap<ObjId, usize>,
     eval_depth: u32,
     native_self: Option<ObjId>,
     rng_state: u64,
 }
-
-const MAX_CALL_DEPTH: u32 = 64;
 
 impl<'p> Interp<'p> {
     /// Creates an interpreter with globals installed, running under `profile`.
@@ -233,6 +252,7 @@ impl<'p> Interp<'p> {
             global_env: EnvId(0),
             constructing: false,
             call_depth: 0,
+            max_call_depth: RunOptions::DEFAULT_MAX_CALL_DEPTH,
             array_fill_watermark: HashMap::new(),
             eval_depth: 0,
             native_self: None,
@@ -246,6 +266,7 @@ impl<'p> Interp<'p> {
     pub fn run(&mut self, program: &Program, options: &RunOptions) -> RunResult {
         self.fuel = options.fuel;
         self.fuel_budget = options.fuel;
+        self.max_call_depth = options.max_call_depth;
         self.coverage = if options.coverage { Some(Coverage::new()) } else { None };
         let strict = program.strict || options.strict;
         self.strict = vec![strict];
@@ -815,7 +836,7 @@ impl<'p> Interp<'p> {
             return Err(self.throw(ErrorKind::Type, format!("{shown} is not a function")));
         };
         self.charge(2)?;
-        if self.call_depth >= MAX_CALL_DEPTH {
+        if self.call_depth >= self.max_call_depth {
             return Err(self.throw(ErrorKind::Range, "Maximum call stack size exceeded"));
         }
         enum Callee {

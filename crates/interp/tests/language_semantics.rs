@@ -197,3 +197,25 @@ fn for_in_enumerates_insertion_order() {
 fn logical_operators_return_operands() {
     assert_eq!(out("print(null || 'dflt', 'a' && 'b', 0 && 'x');"), "dflt b 0\n");
 }
+
+#[test]
+fn call_depth_limit_is_configurable() {
+    // A self-recursive function that reports how deep it got before the
+    // interpreter raised "Maximum call stack size exceeded".
+    let src = "var depth = 0;\n\
+               function down() { depth++; down(); }\n\
+               try { down(); } catch (e) { print(e instanceof RangeError, depth); }";
+
+    let shallow = run_source(src, &SpecProfile, &RunOptions::builder().max_call_depth(8).build())
+        .expect("parses");
+    assert!(shallow.status.is_completed(), "{:?}", shallow.status);
+    assert_eq!(shallow.output, "true 8\n");
+
+    let deeper = run_source(src, &SpecProfile, &RunOptions::builder().max_call_depth(32).build())
+        .expect("parses");
+    assert_eq!(deeper.output, "true 32\n");
+
+    // The default limit still applies when the builder never touches it.
+    let default = run_source(src, &SpecProfile, &RunOptions::default()).expect("parses");
+    assert_eq!(default.output, format!("true {}\n", RunOptions::DEFAULT_MAX_CALL_DEPTH));
+}

@@ -110,6 +110,30 @@ print(name);
     }
 
     #[test]
+    fn deep_paren_nesting_errors_instead_of_overflowing() {
+        let src = format!("{}1{};", "(".repeat(5_000), ")".repeat(5_000));
+        let err = parse(&src).expect_err("pathological nesting must be rejected");
+        assert!(err.to_string().contains("nesting too deep"), "{err}");
+    }
+
+    #[test]
+    fn deep_template_tower_errors_instead_of_overflowing() {
+        // Each `${` re-enters the parser through an embedded expression; the
+        // depth guard must carry across that boundary (it used to reset).
+        let src = format!("{}1{};", "`${".repeat(2_000), "}`".repeat(2_000));
+        let err = parse(&src).expect_err("template tower must be rejected");
+        assert!(err.to_string().contains("nesting too deep"), "{err}");
+    }
+
+    #[test]
+    fn moderate_nesting_still_parses() {
+        let parens = format!("var x = {}1{};", "(".repeat(30), ")".repeat(30));
+        assert!(parse(&parens).is_ok());
+        let templates = format!("var y = {}1{};", "`${".repeat(20), "}`".repeat(20));
+        assert!(parse(&templates).is_ok());
+    }
+
+    #[test]
     fn directive_prologue_sets_strict() {
         assert!(p("\"use strict\"; var x = 1;").strict);
         assert!(!p("var x = 1; \"use strict\";").strict);

@@ -906,7 +906,7 @@ impl Parser {
                     match part {
                         crate::lexer::TemplatePart::Quasi(q) => quasis.push(q),
                         crate::lexer::TemplatePart::ExprSource(src) => {
-                            let sub = parse_embedded_expr(&src)
+                            let sub = parse_embedded_expr(&src, self.depth)
                                 .map_err(|e| self.error(e.message().to_string()))?;
                             exprs.push(sub);
                         }
@@ -1022,10 +1022,12 @@ impl Parser {
     }
 }
 
-/// Parses the source of a template substitution into an expression.
-fn parse_embedded_expr(src: &str) -> Result<Expr, SyntaxError> {
+/// Parses the source of a template substitution into an expression. The
+/// caller's nesting depth carries over so `` `${`${…}`}` `` towers cannot
+/// reset the guard and overflow the stack.
+fn parse_embedded_expr(src: &str, depth: u32) -> Result<Expr, SyntaxError> {
     let tokens = tokenize(src)?;
-    let mut parser = Parser { tokens, pos: 0, next_id: 0, depth: 0 };
+    let mut parser = Parser { tokens, pos: 0, next_id: 0, depth };
     let expr = parser.parse_expr(true)?;
     parser.expect_eof()?;
     Ok(expr)

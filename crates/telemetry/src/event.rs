@@ -160,6 +160,56 @@ pub enum EventKind {
         /// reports (the bug was first reported by an earlier shard).
         cross_shard: bool,
     },
+    /// A harness-level fault was observed on one testbed run (contained
+    /// panic, wedge/watchdog timeout, transient-retry exhaustion, or
+    /// output-cap truncation). Distinct from [`EventKind::Deviation`]:
+    /// faults describe *testbed* misbehaviour, deviations describe voting
+    /// outcomes.
+    FaultInjected {
+        /// The case being executed when the fault was observed.
+        case_id: u64,
+        /// Label of the faulting testbed.
+        testbed: String,
+        /// Fault class label (`"panic"`, `"hang"`, `"transient-exhausted"`,
+        /// `"output-truncated"`).
+        kind: String,
+    },
+    /// A testbed run hit transient faults and was retried to completion
+    /// (emitted once per retried run, carrying the attempt count).
+    RunRetried {
+        /// The case.
+        case_id: u64,
+        /// Label of the retried testbed.
+        testbed: String,
+        /// Number of extra attempts the run needed.
+        retries: u64,
+    },
+    /// The circuit breaker sidelined a testbed after consecutive hard
+    /// faults; it casts no further votes in this shard.
+    TestbedQuarantined {
+        /// The case whose fault tripped the breaker.
+        case_id: u64,
+        /// Label of the quarantined testbed.
+        testbed: String,
+        /// Consecutive hard faults observed at the moment of quarantine.
+        hard_faults: u64,
+    },
+    /// A mode group voted with fewer than its full membership (members
+    /// quarantined), or was skipped entirely for falling below the quorum
+    /// threshold.
+    QuorumDegraded {
+        /// The case.
+        case_id: u64,
+        /// `true` for the strict testbed group.
+        strict: bool,
+        /// Healthy voters that actually cast signatures.
+        healthy: u64,
+        /// Full membership of the group.
+        total: u64,
+        /// `false` when the group fell below the quorum threshold and its
+        /// vote was skipped.
+        voted: bool,
+    },
     /// Aggregated per-stage counters for one shard (emitted at shard end).
     StageTiming {
         /// The pipeline stage.
@@ -188,6 +238,10 @@ impl EventKind {
             EventKind::DifferentialRun { .. } => "differential_run",
             EventKind::Deviation { .. } => "deviation",
             EventKind::BugDeduped { .. } => "bug_deduped",
+            EventKind::FaultInjected { .. } => "fault_injected",
+            EventKind::RunRetried { .. } => "run_retried",
+            EventKind::TestbedQuarantined { .. } => "testbed_quarantined",
+            EventKind::QuorumDegraded { .. } => "quorum_degraded",
             EventKind::StageTiming { .. } => "stage_timing",
         }
     }
@@ -280,6 +334,34 @@ impl Event {
                     ",\"engine\":{},\"key\":{},\"cross_shard\":{cross_shard}",
                     json_string(engine),
                     json_string(key)
+                );
+            }
+            EventKind::FaultInjected { case_id, testbed, kind } => {
+                let _ = write!(
+                    out,
+                    ",\"case_id\":{case_id},\"testbed\":{},\"kind\":{}",
+                    json_string(testbed),
+                    json_string(kind)
+                );
+            }
+            EventKind::RunRetried { case_id, testbed, retries } => {
+                let _ = write!(
+                    out,
+                    ",\"case_id\":{case_id},\"testbed\":{},\"retries\":{retries}",
+                    json_string(testbed)
+                );
+            }
+            EventKind::TestbedQuarantined { case_id, testbed, hard_faults } => {
+                let _ = write!(
+                    out,
+                    ",\"case_id\":{case_id},\"testbed\":{},\"hard_faults\":{hard_faults}",
+                    json_string(testbed)
+                );
+            }
+            EventKind::QuorumDegraded { case_id, strict, healthy, total, voted } => {
+                let _ = write!(
+                    out,
+                    ",\"case_id\":{case_id},\"strict\":{strict},\"healthy\":{healthy},\"total\":{total},\"voted\":{voted}"
                 );
             }
             EventKind::StageTiming { stage, invocations, items, logical_cost, wall_nanos } => {

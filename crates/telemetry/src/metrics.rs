@@ -99,6 +99,17 @@ pub struct CampaignMetrics {
     /// Observations discarded as duplicates (within-shard and, after a
     /// merge, cross-shard).
     pub bugs_deduped: u64,
+    /// Harness-level faults observed on testbed runs (contained panics,
+    /// hangs, transient-retry exhaustion, output truncation).
+    pub faults_observed: u64,
+    /// Testbed runs that needed at least one transient-fault retry.
+    pub runs_retried: u64,
+    /// Testbed runs skipped because the testbed was quarantined.
+    pub runs_skipped: u64,
+    /// Quarantine transitions (circuit breaker openings).
+    pub testbeds_quarantined: u64,
+    /// Mode-group votes taken (or skipped) below full membership.
+    pub quorum_degraded: u64,
     /// Shards merged into this value (1 for an unmerged shard).
     pub shards: u64,
 }
@@ -131,6 +142,11 @@ impl CampaignMetrics {
         self.deviations_observed += other.deviations_observed;
         self.bugs_reported += other.bugs_reported;
         self.bugs_deduped += other.bugs_deduped;
+        self.faults_observed += other.faults_observed;
+        self.runs_retried += other.runs_retried;
+        self.runs_skipped += other.runs_skipped;
+        self.testbeds_quarantined += other.testbeds_quarantined;
+        self.quorum_degraded += other.quorum_degraded;
         self.shards += other.shards;
     }
 
@@ -172,13 +188,20 @@ impl CampaignMetrics {
         let _ = write!(
             out,
             "}},\"cases_generated\":{},\"cases_rejected\":{},\"cases_run\":{},\
-             \"deviations_observed\":{},\"bugs_reported\":{},\"bugs_deduped\":{},\"shards\":{}}}",
+             \"deviations_observed\":{},\"bugs_reported\":{},\"bugs_deduped\":{},\
+             \"faults_observed\":{},\"runs_retried\":{},\"runs_skipped\":{},\
+             \"testbeds_quarantined\":{},\"quorum_degraded\":{},\"shards\":{}}}",
             self.cases_generated,
             self.cases_rejected,
             self.cases_run,
             self.deviations_observed,
             self.bugs_reported,
             self.bugs_deduped,
+            self.faults_observed,
+            self.runs_retried,
+            self.runs_skipped,
+            self.testbeds_quarantined,
+            self.quorum_degraded,
             self.shards
         );
         out

@@ -46,6 +46,7 @@ fn main() {
         CaseOutcome::Pass => println!("verdict: all latest engines agree"),
         CaseOutcome::AllTimeout => println!("verdict: every engine timed out (case ignored)"),
         CaseOutcome::ParseError => println!("verdict: consistent parse error"),
+        CaseOutcome::NoQuorum => println!("verdict: too few healthy engines to vote"),
         CaseOutcome::Deviations(devs) => {
             println!("verdict: {} deviation(s) among latest versions:", devs.len());
             for d in devs {

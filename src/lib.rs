@@ -59,15 +59,21 @@ pub mod prelude {
     };
     pub use comfort_core::datagen::{DataGen, DataGenConfig};
     pub use comfort_core::differential::{
-        run_differential, run_differential_pooled, CaseOutcome, DeviationKind, DeviationRecord,
-        Signature,
+        run_differential, run_differential_pooled, vote_on_signatures_quorum, CaseOutcome,
+        DeviationKind, DeviationRecord, GroupQuorum, QuorumPolicy, Signature,
     };
     pub use comfort_core::executor::{plan_shards, ShardSpec, ShardedCampaign};
     pub use comfort_core::filter::{BugKey, BugTree};
     pub use comfort_core::pipeline::{Comfort, ComfortConfig, PipelineReport};
+    pub use comfort_core::resilience::{
+        run_case_hardened, CaseObservation, ChaosConfig, ExecPolicy, FaultRecord, HealthTracker,
+        QuarantineEvent, TestbedHealth,
+    };
     pub use comfort_core::testcase::{Origin, TestCase};
     pub use comfort_engines::{
-        all_testbeds, latest_testbeds, Engine, EngineName, RunOptions, RunOptionsBuilder, Testbed,
+        all_testbeds, latest_testbeds, run_isolated, Engine, EngineName, FaultKind, FaultObserved,
+        FaultPlan, IsolatedRun, IsolationPolicy, RetryPolicy, RunOptions, RunOptionsBuilder,
+        Testbed,
     };
     pub use comfort_telemetry::{
         CampaignMetrics, Event, EventKind, JsonlSink, MemorySink, NullSink, ProgressHandle,

@@ -71,7 +71,7 @@ print("done");
     ));
     // But a testbed set including Hermes v0.1.1 flags the timeout.
     let mut beds = latest_testbeds();
-    beds.push(Testbed { engine: Engine::oldest(EngineName::Hermes), strict: false });
+    beds.push(Testbed::new(Engine::oldest(EngineName::Hermes), false));
     match run_differential(&program, &beds, &RunOptions::with_fuel(FUEL)) {
         CaseOutcome::Deviations(devs) => {
             assert!(devs
