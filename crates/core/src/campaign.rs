@@ -21,22 +21,23 @@ use comfort_telemetry::{CampaignMetrics, EventKind, ProgressHandle, Recorder, Si
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::checkpoint::ResumeInfo;
 use crate::datagen::{DataGen, DataGenConfig};
 use crate::differential::{
     run_differential, CaseOutcome, DeviationKind, DeviationRecord, Signature,
 };
 use crate::filter::{BugKey, BugTree};
 use crate::reduce::reduce_counted;
-use crate::resilience::{run_case_hardened, ChaosConfig, ExecPolicy, HealthTracker, TestbedHealth};
+use crate::resilience::{
+    run_case_hardened_cancellable, CancelToken, ChaosConfig, ExecPolicy, HealthTracker,
+    TestbedHealth,
+};
 use crate::testcase::{Origin, TestCase};
 use comfort_engines::FaultPlan;
 
 /// Stable snake-case provenance label used in telemetry events.
 fn origin_label(origin: Origin) -> &'static str {
-    match origin {
-        Origin::ProgramGen => "program-gen",
-        Origin::EcmaMutation => "ecma-mutation",
-    }
+    origin.slug()
 }
 
 /// Campaign parameters.
@@ -85,6 +86,18 @@ pub struct CampaignConfig {
     /// Optional seeded fault injection: wraps selected testbeds of the
     /// matrix in a chaos [`FaultPlan`] (see [`ChaosConfig`]).
     pub chaos: Option<ChaosConfig>,
+    /// Cooperative-shutdown token, checked at every case boundary and
+    /// between testbed slots. Cloned configs **share** the token, so
+    /// cancelling the campaign cancels every shard derived from it.
+    /// Scheduling only — excluded from the checkpoint fingerprint.
+    pub cancel: CancelToken,
+    /// Optional wall-clock budget: the campaign cancels itself this long
+    /// after `run` starts (armed once; shards inherit the armed instant).
+    pub deadline: Option<std::time::Duration>,
+    /// Write-ahead checkpoint journal path. When set, the sharded executor
+    /// durably appends every completed shard and can resume from a crash
+    /// via `run_campaign_resumable` to a bit-identical report.
+    pub checkpoint: Option<std::path::PathBuf>,
 }
 
 impl Default for CampaignConfig {
@@ -106,6 +119,9 @@ impl Default for CampaignConfig {
             sink: SinkHandle::null(),
             exec: ExecPolicy::default(),
             chaos: None,
+            cancel: CancelToken::new(),
+            deadline: None,
+            checkpoint: None,
         }
     }
 }
@@ -270,6 +286,25 @@ impl CampaignConfigBuilder {
         self
     }
 
+    /// Cooperative-shutdown token (cloned configs share it).
+    pub fn cancel_token(mut self, cancel: CancelToken) -> Self {
+        self.config.cancel = cancel;
+        self
+    }
+
+    /// Wall-clock campaign budget; the campaign interrupts itself cleanly
+    /// once it elapses.
+    pub fn deadline(mut self, deadline: std::time::Duration) -> Self {
+        self.config.deadline = Some(deadline);
+        self
+    }
+
+    /// Write-ahead checkpoint journal path (crash-safe resume).
+    pub fn checkpoint_path(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.config.checkpoint = Some(path.into());
+        self
+    }
+
     /// Validates and returns the configuration.
     pub fn build(self) -> Result<CampaignConfig, ConfigError> {
         let c = &self.config;
@@ -360,6 +395,13 @@ pub struct CampaignReport {
     /// indexed like the campaign's testbed matrix; merged additively across
     /// shards.
     pub health: Vec<TestbedHealth>,
+    /// The campaign was cancelled (token or deadline) before finishing its
+    /// budget: the report covers completed work only. Provenance — excluded
+    /// from determinism comparisons.
+    pub interrupted: bool,
+    /// Resume provenance when this report came from `run_campaign_resumable`
+    /// picking up a journal. Excluded from determinism comparisons.
+    pub resume: Option<ResumeInfo>,
 }
 
 impl CampaignReport {
@@ -507,7 +549,14 @@ impl Campaign {
         let mut tree = BugTree::new();
         let dev = DeveloperModel { seed: self.config.seed };
         let datagen = DataGen::new(comfort_ecma262::spec_db(), self.config.datagen.clone());
-        let mut tracker = HealthTracker::new(&self.testbeds, self.config.exec.quarantine_after);
+        let mut tracker = HealthTracker::new(&self.testbeds, self.config.exec.quarantine_after)
+            .with_probe(self.config.exec.probe_after);
+        if let Some(deadline) = self.config.deadline {
+            // First arm wins: when the sharded executor already armed the
+            // shared token at campaign start, shard-level re-arming is a
+            // no-op, so the deadline measures the whole campaign.
+            self.config.cancel.arm_deadline(std::time::Instant::now() + deadline);
+        }
 
         self.progress.shard_started(self.shard as usize);
         self.recorder.emit(EventKind::ShardStarted {
@@ -519,6 +568,10 @@ impl Campaign {
         let mut base_counter = 0u64;
 
         while (report.cases_run as usize) < self.config.max_cases {
+            if self.config.cancel.is_cancelled() {
+                report.interrupted = true;
+                break;
+            }
             if queue.is_empty() {
                 // Generate the next base program and its mutants.
                 let gen_start = std::time::Instant::now();
@@ -591,19 +644,26 @@ impl Campaign {
                 }
             }
             let case = queue.remove(0);
-            report.cases_run += 1;
-            report.sim_hours += self.config.sim_seconds_per_case / 3600.0;
-            self.metrics.cases_run += 1;
-
             let diff_start = std::time::Instant::now();
-            let obs = run_case_hardened(
+            let obs = run_case_hardened_cancellable(
                 &case.program,
                 &self.testbeds,
                 &RunOptions::with_fuel(self.config.fuel),
                 self.exec_threads,
                 &self.config.exec,
                 &mut tracker,
+                Some(&self.config.cancel),
             );
+            if obs.cancelled {
+                // Cancelled between testbed slots: the case made no tracker
+                // updates and must leave no trace in the report either — an
+                // interrupted shard is discarded whole and re-run on resume.
+                report.interrupted = true;
+                break;
+            }
+            report.cases_run += 1;
+            report.sim_hours += self.config.sim_seconds_per_case / 3600.0;
+            self.metrics.cases_run += 1;
             self.metrics.stage_mut(Stage::Differential).record(
                 obs.active_runs as u64,
                 obs.active_runs as u64,
@@ -646,6 +706,14 @@ impl Campaign {
                     hard_faults: q.hard_faults,
                 });
             }
+            for r in &obs.reinstated {
+                self.metrics.testbeds_reinstated += 1;
+                self.recorder.emit(EventKind::TestbedReinstated {
+                    case_id: case.id,
+                    testbed: r.label.clone(),
+                    skipped: r.skipped,
+                });
+            }
             for group in &obs.groups {
                 if group.degraded() {
                     self.metrics.quorum_degraded += 1;
@@ -675,6 +743,15 @@ impl Campaign {
                 }
             }
             self.progress.case_done(self.shard as usize);
+        }
+        if report.interrupted {
+            // No ShardFinished / StageTiming emissions: the executor discards
+            // an interrupted shard's event buffer, and on resume the shard
+            // re-runs from scratch — a half-emitted tail would desync the
+            // replayed stream from an uninterrupted run's.
+            report.metrics = self.metrics.clone();
+            report.health = tracker.reports();
+            return report;
         }
         report.duplicates_filtered = tree.duplicates_filtered();
         let filter_stats = tree.stats();

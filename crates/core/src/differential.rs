@@ -97,6 +97,19 @@ impl DeviationKind {
             DeviationKind::Timeout => "TimeOut",
         }
     }
+
+    /// Parses the label produced by [`DeviationKind::as_str`].
+    pub fn parse_label(s: &str) -> Option<DeviationKind> {
+        [
+            DeviationKind::WrongOutput,
+            DeviationKind::UnexpectedError,
+            DeviationKind::MissingError,
+            DeviationKind::Crash,
+            DeviationKind::Timeout,
+        ]
+        .into_iter()
+        .find(|k| k.as_str() == s)
+    }
 }
 
 impl std::fmt::Display for DeviationKind {

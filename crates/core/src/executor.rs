@@ -22,14 +22,21 @@
 //! [`run_differential_pooled`](crate::differential::run_differential_pooled)),
 //! which keeps the pool busy even when a plan has fewer shards than workers.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use comfort_engines::Testbed;
 use comfort_lm::Generator;
-use comfort_telemetry::{EventKind, MemorySink, ProgressHandle, Recorder, SinkHandle, MERGE_SHARD};
+use comfort_telemetry::{
+    EventKind, MemorySink, ProgressHandle, Recorder, Sink, SinkHandle, CONTROL_SHARD, MERGE_SHARD,
+};
 
 use crate::campaign::{testbeds_for, Campaign, CampaignConfig, CampaignReport};
+use crate::checkpoint::{
+    config_fingerprint, CampaignCheckpoint, CheckpointError, CheckpointJournal, RecoveryReport,
+    ResumeInfo, ShardRecord,
+};
 use crate::filter::BugTree;
 
 // The executor shares programs, testbeds, and the trained generator across
@@ -226,6 +233,71 @@ impl ShardedCampaign {
     /// thread count — while shard 0's events still arrive as soon as shard 0
     /// finishes, not at the end of the whole run.
     pub fn run_with_threads(&self, threads: usize) -> CampaignReport {
+        self.run_internal(threads, None)
+    }
+
+    /// Runs the campaign with crash-safe resume: if the configured
+    /// checkpoint journal already exists on disk, its intact shard records
+    /// are salvaged and fed straight into the order-preserving merge, and
+    /// only the missing shards re-run — yielding a report **bit-identical**
+    /// to an uninterrupted run (in every deterministic field; see
+    /// [`report_to_json_deterministic`](crate::checkpoint::report_to_json_deterministic)).
+    ///
+    /// Fails if the config has no checkpoint path, the journal on disk was
+    /// written under a different config fingerprint, or its shard plan
+    /// disagrees with this config's plan.
+    pub fn run_resumable(&self) -> Result<CampaignReport, CheckpointError> {
+        self.run_resumable_with_threads(self.config.threads)
+    }
+
+    /// [`run_resumable`](Self::run_resumable) on exactly `threads` workers.
+    pub fn run_resumable_with_threads(
+        &self,
+        threads: usize,
+    ) -> Result<CampaignReport, CheckpointError> {
+        let path = self.config.checkpoint.clone().ok_or(CheckpointError::NoCheckpointPath)?;
+        if !path.exists() {
+            // Nothing to resume: run fresh (journaling as we go).
+            return Ok(self.run_internal(threads, None));
+        }
+        let (checkpoint, recovery) = CampaignCheckpoint::load(&path)?;
+        let expected = config_fingerprint(&self.config);
+        if checkpoint.fingerprint != expected {
+            return Err(CheckpointError::FingerprintMismatch {
+                expected,
+                found: checkpoint.fingerprint,
+            });
+        }
+        let plan = self.plan();
+        if checkpoint.shards_total != plan.len() as u64 {
+            return Err(CheckpointError::PlanMismatch(format!(
+                "journal plans {} shards, config plans {}",
+                checkpoint.shards_total,
+                plan.len()
+            )));
+        }
+        for record in &checkpoint.shards {
+            let spec = plan.get(record.index as usize).ok_or_else(|| {
+                CheckpointError::PlanMismatch(format!(
+                    "record for out-of-plan shard {}",
+                    record.index
+                ))
+            })?;
+            if record.seed != spec.seed || record.cases != spec.cases as u64 {
+                return Err(CheckpointError::PlanMismatch(format!(
+                    "shard {}: journal has (seed {}, cases {}), plan derives (seed {}, cases {})",
+                    record.index, record.seed, record.cases, spec.seed, spec.cases
+                )));
+            }
+        }
+        let resume = ResumeState { salvage: checkpoint.shards, recovery, path };
+        Ok(self.run_internal(threads, Some(resume)))
+    }
+
+    /// The executor core: claims pending shards onto workers, checkpoints
+    /// each completed shard, replays salvaged shards, honours cooperative
+    /// shutdown, and merges in shard order.
+    fn run_internal(&self, threads: usize, resume: Option<ResumeState>) -> CampaignReport {
         let threads = resolve_threads(threads);
         let shards = self.plan();
         // Shard-level workers; whatever parallelism is left over goes to the
@@ -233,33 +305,153 @@ impl ShardedCampaign {
         let workers = threads.clamp(1, shards.len());
         let per_shard_threads = (threads / workers).max(1);
 
+        // Arm the wall-clock deadline exactly once, at campaign start; the
+        // token is shared with every shard config clone, so shard-level
+        // re-arming is a no-op and per-case checks see the same instant.
+        if let Some(deadline) = self.config.deadline {
+            self.config.cancel.arm_deadline(std::time::Instant::now() + deadline);
+        }
+
         self.progress.reset(&shards.iter().map(|s| s.cases as u64).collect::<Vec<u64>>());
         let buffers: Vec<MemorySink> = shards.iter().map(|_| MemorySink::new()).collect();
         let flush = FlushState::new(shards.len());
-
         let slots: Vec<Mutex<Option<CampaignReport>>> =
             shards.iter().map(|_| Mutex::new(None)).collect();
+
+        // The write-ahead journal: fresh runs start a new one, resumed runs
+        // append past the salvaged prefix (with any torn tail truncated).
+        // Journaling is best-effort — a read-only filesystem degrades to an
+        // unjournaled run rather than failing the campaign.
+        let journal: Option<CheckpointJournal> = match (&self.config.checkpoint, &resume) {
+            (Some(path), None) => CheckpointJournal::create(
+                path,
+                config_fingerprint(&self.config),
+                shards.len() as u64,
+            )
+            .ok(),
+            (Some(_), Some(state)) => {
+                CheckpointJournal::open_append(&state.path, &state.recovery).ok()
+            }
+            (None, _) => None,
+        };
+        // Control-plane recorder: checkpoint/resume/interrupt events are
+        // operational facts about *this* execution, stamped with the
+        // CONTROL_SHARD pseudo-shard and excluded from determinism
+        // comparisons (`Event::is_control`).
+        let control = Mutex::new(Recorder::new(self.config.sink.clone(), CONTROL_SHARD));
+        let checkpoints_written = AtomicU64::new(0);
+
+        // Replay salvaged shards: results into their merge slots, event
+        // streams into their flush buffers, progress marked complete. The
+        // flush frontier advances through them exactly as if they had just
+        // run, so the sink still observes logical (shard, seq) order.
+        let mut salvaged = vec![false; shards.len()];
+        if let Some(state) = &resume {
+            control.lock().expect("control recorder poisoned").emit(EventKind::CampaignResumed {
+                shards_salvaged: state.salvage.len() as u64,
+                shards_total: shards.len() as u64,
+                dropped_bytes: state.recovery.dropped_tail_bytes,
+            });
+            for record in &state.salvage {
+                let i = record.index as usize;
+                salvaged[i] = true;
+                *slots[i].lock().expect("shard slot poisoned") = Some(record.report.clone());
+                for event in &record.events {
+                    buffers[i].emit(event);
+                }
+                self.progress.shard_started(i);
+                for _ in 0..record.report.cases_run {
+                    self.progress.case_done(i);
+                }
+                for _ in 0..record.report.bugs.len() {
+                    self.progress.bug_found(i);
+                }
+                self.progress.shard_finished(i);
+                flush.shard_done(i, &buffers, &self.config.sink);
+            }
+        }
+        let pending: Vec<usize> = (0..shards.len()).filter(|&i| !salvaged[i]).collect();
+
         let next = AtomicUsize::new(0);
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= shards.len() {
+                    // Cooperative shutdown at the shard boundary: claimed
+                    // shards drain at their next cancellation point; nothing
+                    // new is claimed.
+                    if self.config.cancel.is_cancelled() {
                         break;
                     }
+                    let p = next.fetch_add(1, Ordering::Relaxed);
+                    if p >= pending.len() {
+                        break;
+                    }
+                    let i = pending[p];
                     let report = self.run_shard(&shards[i], per_shard_threads, &buffers[i]);
+                    if report.interrupted {
+                        // A partially-run shard is discarded whole: its
+                        // buffered events would desync the replayed stream,
+                        // and resume re-runs the shard from scratch.
+                        buffers[i].take();
+                        break;
+                    }
+                    if let Some(journal) = &journal {
+                        let record = ShardRecord {
+                            index: i as u64,
+                            seed: shards[i].seed,
+                            cases: shards[i].cases as u64,
+                            report: report.clone(),
+                            events: buffers[i].events(),
+                        };
+                        if let Ok(journal_bytes) = journal.append_shard(&record) {
+                            checkpoints_written.fetch_add(1, Ordering::Relaxed);
+                            control.lock().expect("control recorder poisoned").emit(
+                                EventKind::CheckpointWritten {
+                                    checkpointed_shard: i as u64,
+                                    cases_run: record.report.cases_run,
+                                    journal_bytes,
+                                },
+                            );
+                        }
+                    }
                     *slots[i].lock().expect("shard slot poisoned") = Some(report);
                     flush.shard_done(i, &buffers, &self.config.sink);
                 });
             }
         });
+
+        // Merge whatever completed, in shard order. An uninterrupted run has
+        // every slot filled; an interrupted one merges completed shards only
+        // and flags the report.
         let shard_reports: Vec<CampaignReport> = slots
             .into_iter()
-            .map(|slot| {
-                slot.into_inner().expect("shard slot poisoned").expect("every shard was claimed")
-            })
+            .filter_map(|slot| slot.into_inner().expect("shard slot poisoned"))
             .collect();
-        merge_shard_reports_with_sink(&shard_reports, &self.config.sink)
+        let completed = shard_reports.len();
+        let mut merged = merge_shard_reports_with_sink(&shard_reports, &self.config.sink);
+        if completed < shards.len() {
+            merged.interrupted = true;
+            let reason =
+                if self.config.cancel.deadline_passed() { "deadline" } else { "cancelled" };
+            control.lock().expect("control recorder poisoned").emit(
+                EventKind::CampaignInterrupted {
+                    shards_completed: completed as u64,
+                    shards_total: shards.len() as u64,
+                    reason: reason.to_string(),
+                },
+            );
+        }
+        if let Some(state) = resume {
+            merged.resume = Some(ResumeInfo {
+                resumed_from: state.path.display().to_string(),
+                shards_salvaged: state.salvage.len() as u64,
+                shards_rerun: pending.len() as u64,
+                shards_total: shards.len() as u64,
+                dropped_tail_bytes: state.recovery.dropped_tail_bytes,
+                checkpoints_written: checkpoints_written.load(Ordering::Relaxed),
+            });
+        }
+        merged
     }
 
     /// Runs one shard as a plain serial campaign over its budget slice,
@@ -281,6 +473,36 @@ impl ShardedCampaign {
         campaign.set_progress(self.progress.clone());
         campaign.run()
     }
+}
+
+/// Convenience wrapper: builds the executor and resumes (or starts) the
+/// campaign against its configured checkpoint journal.
+///
+/// ```no_run
+/// use comfort_core::campaign::CampaignConfig;
+/// use comfort_core::executor::run_campaign_resumable;
+///
+/// let config = CampaignConfig::builder()
+///     .max_cases(240)
+///     .shard_cases(40)
+///     .checkpoint_path("campaign.ckpt")
+///     .build()
+///     .expect("valid config");
+/// // First invocation runs fresh and journals; re-running the same binary
+/// // after a crash salvages the journal and finishes the remaining shards.
+/// let report = run_campaign_resumable(config).expect("resumable run");
+/// println!("{} bugs ({} shards salvaged)", report.bugs.len(),
+///          report.resume.map_or(0, |r| r.shards_salvaged));
+/// ```
+pub fn run_campaign_resumable(config: CampaignConfig) -> Result<CampaignReport, CheckpointError> {
+    ShardedCampaign::new(config).run_resumable()
+}
+
+/// Everything `run_internal` needs to pick a campaign up from its journal.
+struct ResumeState {
+    salvage: Vec<ShardRecord>,
+    recovery: RecoveryReport,
+    path: PathBuf,
 }
 
 /// Tracks which shard streams have completed and flushes them to the user's

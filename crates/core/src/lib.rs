@@ -29,6 +29,7 @@
 //! ```
 
 pub mod campaign;
+pub mod checkpoint;
 pub mod compare;
 pub mod datagen;
 pub mod differential;
@@ -48,6 +49,11 @@ pub use campaign::{
     testbeds_for, BugReport, Campaign, CampaignConfig, CampaignConfigBuilder, CampaignReport,
     ConfigError, DeveloperModel,
 };
+pub use checkpoint::{
+    config_fingerprint, report_from_json, report_to_json, report_to_json_deterministic,
+    CampaignCheckpoint, CheckpointError, CheckpointJournal, Fingerprint, RecoveryReport,
+    ResumeInfo, ShardRecord,
+};
 pub use comfort_telemetry as telemetry;
 pub use differential::{
     run_differential, run_differential_pooled, vote_on_signatures_quorum, CaseOutcome,
@@ -61,7 +67,7 @@ pub use fuzzer::{ComfortFuzzer, Fuzzer};
 pub use pipeline::{Comfort, ComfortConfig, PipelineReport};
 pub use reduce::reduce as reduce_case;
 pub use resilience::{
-    run_case_hardened, CaseObservation, ChaosConfig, ExecPolicy, FaultRecord, HealthTracker,
-    QuarantineEvent, TestbedHealth,
+    run_case_hardened, run_case_hardened_cancellable, CancelToken, CaseObservation, ChaosConfig,
+    ExecPolicy, FaultRecord, HealthTracker, QuarantineEvent, ReinstateEvent, TestbedHealth,
 };
 pub use testcase::{Origin, TestCase};

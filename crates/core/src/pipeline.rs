@@ -12,9 +12,10 @@ use comfort_lm::GeneratorConfig;
 use comfort_telemetry::{CampaignMetrics, ProgressHandle, SinkHandle};
 
 use crate::campaign::{BugReport, CampaignConfig, ConfigError};
+use crate::checkpoint::{CheckpointError, ResumeInfo};
 use crate::datagen::DataGenConfig;
 use crate::executor::ShardedCampaign;
-use crate::resilience::{ChaosConfig, ExecPolicy, TestbedHealth};
+use crate::resilience::{CancelToken, ChaosConfig, ExecPolicy, TestbedHealth};
 
 /// Facade configuration (a curated subset of [`CampaignConfig`]).
 #[derive(Debug, Clone)]
@@ -45,6 +46,13 @@ pub struct ComfortConfig {
     pub exec: ExecPolicy,
     /// Optional seeded fault injection over selected testbeds.
     pub chaos: Option<ChaosConfig>,
+    /// Cooperative-shutdown token, shared with every shard the run spawns.
+    pub cancel: CancelToken,
+    /// Optional wall-clock budget per budgeted run.
+    pub deadline: Option<std::time::Duration>,
+    /// Write-ahead checkpoint journal path; enables crash-safe resume via
+    /// [`Comfort::run_budgeted_resumable`].
+    pub checkpoint: Option<std::path::PathBuf>,
 }
 
 impl Default for ComfortConfig {
@@ -61,6 +69,9 @@ impl Default for ComfortConfig {
             sink: SinkHandle::null(),
             exec: ExecPolicy::default(),
             chaos: None,
+            cancel: CancelToken::new(),
+            deadline: None,
+            checkpoint: None,
         }
     }
 }
@@ -157,6 +168,25 @@ impl ComfortConfigBuilder {
         self
     }
 
+    /// Installs a cooperative-shutdown token (cancel it from any thread to
+    /// drain in-flight shards, checkpoint, and return an interrupted report).
+    pub fn cancel_token(mut self, cancel: CancelToken) -> Self {
+        self.config.cancel = cancel;
+        self
+    }
+
+    /// Sets a wall-clock budget per budgeted run.
+    pub fn deadline(mut self, deadline: std::time::Duration) -> Self {
+        self.config.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the write-ahead checkpoint journal path (crash-safe resume).
+    pub fn checkpoint_path(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.config.checkpoint = Some(path.into());
+        self
+    }
+
     /// Validates and returns the configuration.
     pub fn build(self) -> Result<ComfortConfig, ConfigError> {
         if self.config.fuel == 0 {
@@ -187,6 +217,11 @@ pub struct PipelineReport {
     pub metrics: CampaignMetrics,
     /// Per-testbed health ledger (fault counts, quarantine state).
     pub health: Vec<TestbedHealth>,
+    /// The run was interrupted (cancel token or deadline) before finishing
+    /// its budget.
+    pub interrupted: bool,
+    /// Resume provenance when the run picked up a checkpoint journal.
+    pub resume: Option<ResumeInfo>,
 }
 
 /// The COMFORT pipeline, ready to fuzz.
@@ -216,6 +251,28 @@ impl Comfort {
     /// `threads`-wide worker pool; the report is bit-identical regardless of
     /// thread count.
     pub fn run_budgeted(&mut self, cases: usize) -> PipelineReport {
+        let mut executor = self.executor_for(cases);
+        executor.attach_progress(self.progress.clone());
+        Self::pipeline_report(executor.run())
+    }
+
+    /// Like [`Comfort::run_budgeted`], but resumes from the configured
+    /// checkpoint journal when one exists: salvaged shards are fed straight
+    /// into the merge and only missing shards re-run, yielding a report
+    /// bit-identical to an uninterrupted run.
+    ///
+    /// Fails if the config has no checkpoint path, or if the journal on disk
+    /// belongs to a different configuration (fingerprint mismatch).
+    pub fn run_budgeted_resumable(
+        &mut self,
+        cases: usize,
+    ) -> Result<PipelineReport, CheckpointError> {
+        let mut executor = self.executor_for(cases);
+        executor.attach_progress(self.progress.clone());
+        executor.run_resumable().map(Self::pipeline_report)
+    }
+
+    fn executor_for(&mut self, cases: usize) -> ShardedCampaign {
         let campaign_config = CampaignConfig {
             seed: self.config.seed.wrapping_add(self.runs),
             corpus_programs: self.config.corpus_programs,
@@ -233,11 +290,15 @@ impl Comfort {
             sink: self.config.sink.clone(),
             exec: self.config.exec.clone(),
             chaos: self.config.chaos.clone(),
+            cancel: self.config.cancel.clone(),
+            deadline: self.config.deadline,
+            checkpoint: self.config.checkpoint.clone(),
         };
         self.runs += 1;
-        let mut executor = ShardedCampaign::new(campaign_config);
-        executor.attach_progress(self.progress.clone());
-        let report = executor.run();
+        ShardedCampaign::new(campaign_config)
+    }
+
+    fn pipeline_report(report: crate::campaign::CampaignReport) -> PipelineReport {
         PipelineReport {
             cases_run: report.cases_run,
             deviations: report.bugs,
@@ -245,6 +306,8 @@ impl Comfort {
             duplicates_filtered: report.duplicates_filtered,
             metrics: report.metrics,
             health: report.health,
+            interrupted: report.interrupted,
+            resume: report.resume,
         }
     }
 }

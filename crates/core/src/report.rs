@@ -248,7 +248,7 @@ pub fn stage_metrics(report: &CampaignReport) -> String {
 /// quarantine state (see DESIGN.md §9).
 pub fn health_report(report: &CampaignReport) -> String {
     let mut out = String::from("Testbed health: faults, retries, and quarantine per testbed\n");
-    let widths = [30, 8, 7, 6, 10, 6, 8, 8, 12];
+    let widths = [30, 8, 7, 6, 10, 6, 8, 8, 7, 12];
     row(
         &mut out,
         &[
@@ -260,6 +260,7 @@ pub fn health_report(report: &CampaignReport) -> String {
             "Trunc",
             "Retries",
             "Skipped",
+            "Reinst",
             "State",
         ],
         &widths,
@@ -283,6 +284,7 @@ pub fn health_report(report: &CampaignReport) -> String {
                 &h.outputs_truncated.to_string(),
                 &h.retries.to_string(),
                 &h.runs_skipped.to_string(),
+                &h.reinstatements.to_string(),
                 state,
             ],
             &widths,
@@ -295,6 +297,33 @@ pub fn health_report(report: &CampaignReport) -> String {
         report.health.len(),
         quarantined
     );
+    out
+}
+
+/// **Resume report** — how a checkpointed campaign recovered: shards
+/// salvaged from the journal vs. re-run, bytes dropped from a torn tail,
+/// and fresh checkpoints written (see DESIGN.md §10).
+pub fn resume_report(report: &CampaignReport) -> String {
+    let mut out = String::from("Campaign durability: checkpoint & resume\n");
+    let Some(resume) = &report.resume else {
+        out.push_str("(fresh run: no journal was resumed)\n");
+        if report.interrupted {
+            out.push_str("status: INTERRUPTED before the case budget completed\n");
+        }
+        return out;
+    };
+    let widths = [26, 44];
+    row(&mut out, &["Resumed from", &resume.resumed_from], &widths);
+    row(
+        &mut out,
+        &["Shards salvaged", &format!("{} of {}", resume.shards_salvaged, resume.shards_total)],
+        &widths,
+    );
+    row(&mut out, &["Shards re-run", &resume.shards_rerun.to_string()], &widths);
+    row(&mut out, &["Dropped tail bytes", &resume.dropped_tail_bytes.to_string()], &widths);
+    row(&mut out, &["Checkpoints written", &resume.checkpoints_written.to_string()], &widths);
+    let status = if report.interrupted { "INTERRUPTED" } else { "complete" };
+    row(&mut out, &["Status", status], &widths);
     out
 }
 

@@ -38,6 +38,11 @@ pub struct ExecPolicy {
     /// a testbed is quarantined for the rest of the shard. `0` disables
     /// quarantine.
     pub quarantine_after: u32,
+    /// Half-open probe: after a quarantined testbed has skipped this many
+    /// cases, the next case runs on it as a probe; a clean probe reinstates
+    /// the testbed into the quorum, a faulty one re-arms the wait. `0`
+    /// (default) disables probing — quarantine is then final for the shard.
+    pub probe_after: u32,
     /// Minimum healthy voters per mode group.
     pub quorum: QuorumPolicy,
 }
@@ -48,8 +53,70 @@ impl Default for ExecPolicy {
             isolation: IsolationPolicy::default(),
             retry: RetryPolicy::default(),
             quarantine_after: 5,
+            probe_after: 0,
             quorum: QuorumPolicy::default(),
         }
+    }
+}
+
+/// A cooperative cancellation token, checked at shard boundaries and
+/// between testbed slots inside [`run_case_hardened_cancellable`].
+///
+/// Cancellation is **latching**: once [`CancelToken::cancel`] is called or
+/// the armed deadline passes, [`CancelToken::is_cancelled`] stays `true`.
+/// Clones share state, so one token can fan out across worker threads.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: std::sync::Arc<CancelInner>,
+}
+
+#[derive(Debug, Default)]
+struct CancelInner {
+    flag: std::sync::atomic::AtomicBool,
+    deadline: std::sync::Mutex<Option<std::time::Instant>>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token with no deadline.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation (idempotent, latching).
+    pub fn cancel(&self) {
+        self.inner.flag.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// Arms a wall-clock deadline after which the token reads cancelled.
+    /// The first armed deadline wins; later calls are no-ops (the campaign
+    /// executor arms the configured deadline once, at campaign start).
+    pub fn arm_deadline(&self, deadline: std::time::Instant) {
+        let mut slot = self.inner.deadline.lock().expect("cancel token poisoned");
+        if slot.is_none() {
+            *slot = Some(deadline);
+        }
+    }
+
+    /// `true` when an armed deadline has elapsed (used to distinguish a
+    /// deadline interruption from an explicit cancel in telemetry).
+    pub fn deadline_passed(&self) -> bool {
+        let deadline = *self.inner.deadline.lock().expect("cancel token poisoned");
+        deadline.is_some_and(|d| std::time::Instant::now() >= d)
+    }
+
+    /// `true` once cancelled (explicitly or by a passed deadline).
+    pub fn is_cancelled(&self) -> bool {
+        use std::sync::atomic::Ordering;
+        if self.inner.flag.load(Ordering::SeqCst) {
+            return true;
+        }
+        let deadline = *self.inner.deadline.lock().expect("cancel token poisoned");
+        if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+            // Latch so every later check is cheap and consistent.
+            self.inner.flag.store(true, Ordering::SeqCst);
+            return true;
+        }
+        false
     }
 }
 
@@ -99,6 +166,8 @@ pub struct TestbedHealth {
     pub runs_skipped: u64,
     /// Quarantine transitions (at most one per shard).
     pub quarantines: u64,
+    /// Reinstatements by a successful half-open probe.
+    pub reinstatements: u64,
     /// `true` when the testbed ended (some shard of) the campaign
     /// quarantined.
     pub quarantined: bool,
@@ -129,6 +198,7 @@ impl TestbedHealth {
         self.retries += other.retries;
         self.runs_skipped += other.runs_skipped;
         self.quarantines += other.quarantines;
+        self.reinstatements += other.reinstatements;
         self.quarantined |= other.quarantined;
     }
 }
@@ -142,6 +212,17 @@ pub struct QuarantineEvent {
     pub label: String,
     /// Consecutive hard faults at the moment the breaker opened.
     pub hard_faults: u64,
+}
+
+/// A testbed's reinstatement (successful half-open probe) during one case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReinstateEvent {
+    /// Index into the campaign's testbed matrix.
+    pub testbed: usize,
+    /// Testbed label.
+    pub label: String,
+    /// Cases the testbed sat out in quarantine before this probe.
+    pub skipped: u64,
 }
 
 /// One observed fault on one testbed run.
@@ -160,9 +241,15 @@ pub struct FaultRecord {
 #[derive(Debug, Clone)]
 pub struct HealthTracker {
     threshold: u32,
+    probe_after: u32,
     entries: Vec<TestbedHealth>,
     streaks: Vec<u32>,
     active: Vec<bool>,
+    /// Cases skipped since the testbed's current quarantine began (drives
+    /// the half-open probe schedule; reset by a failed probe).
+    quarantine_skips: Vec<u32>,
+    /// Testbeds running the *current* case as a half-open probe.
+    probing: Vec<bool>,
 }
 
 impl HealthTracker {
@@ -171,18 +258,69 @@ impl HealthTracker {
     pub fn new(testbeds: &[Testbed], threshold: u32) -> Self {
         HealthTracker {
             threshold,
+            probe_after: 0,
             entries: testbeds
                 .iter()
                 .map(|t| TestbedHealth { label: t.label(), ..TestbedHealth::default() })
                 .collect(),
             streaks: vec![0; testbeds.len()],
             active: vec![true; testbeds.len()],
+            quarantine_skips: vec![0; testbeds.len()],
+            probing: vec![false; testbeds.len()],
         }
+    }
+
+    /// Enables the half-open probe: after `probe_after` skipped cases a
+    /// quarantined testbed gets one probe run; a clean probe reinstates it.
+    /// `0` disables probing (the default).
+    pub fn with_probe(mut self, probe_after: u32) -> Self {
+        self.probe_after = probe_after;
+        self
     }
 
     /// Whether testbed `i` still participates in runs and votes.
     pub fn is_active(&self, i: usize) -> bool {
         self.active[i]
+    }
+
+    /// Starts a new case: returns the run mask (active testbeds plus any
+    /// quarantined testbed whose probe is due) and remembers which slots are
+    /// probes so their results get probe semantics.
+    fn begin_case(&mut self) -> Vec<bool> {
+        (0..self.active.len())
+            .map(|i| {
+                let probe = !self.active[i]
+                    && self.probe_after > 0
+                    && self.quarantine_skips[i] >= self.probe_after;
+                self.probing[i] = probe;
+                self.active[i] || probe
+            })
+            .collect()
+    }
+
+    /// Whether testbed `i` runs the current case as a half-open probe.
+    fn is_probe(&self, i: usize) -> bool {
+        self.probing[i]
+    }
+
+    /// A clean probe run: the testbed rejoins the quorum.
+    fn reinstate(&mut self, i: usize) -> ReinstateEvent {
+        let skipped = u64::from(self.quarantine_skips[i]);
+        self.active[i] = true;
+        self.probing[i] = false;
+        self.streaks[i] = 0;
+        self.quarantine_skips[i] = 0;
+        self.entries[i].runs_ok += 1;
+        self.entries[i].reinstatements += 1;
+        self.entries[i].quarantined = false;
+        ReinstateEvent { testbed: i, label: self.entries[i].label.clone(), skipped }
+    }
+
+    /// A faulty probe run: the testbed stays quarantined and the probe
+    /// schedule re-arms from zero.
+    fn fail_probe(&mut self, i: usize) {
+        self.probing[i] = false;
+        self.quarantine_skips[i] = 0;
     }
 
     /// Number of testbeds still active.
@@ -204,6 +342,7 @@ impl HealthTracker {
     /// Records a skipped (quarantined) run.
     fn record_skip(&mut self, i: usize) {
         self.entries[i].runs_skipped += 1;
+        self.quarantine_skips[i] = self.quarantine_skips[i].saturating_add(1);
     }
 
     /// Records a fault; returns `Some(streak)` when this fault tripped the
@@ -221,6 +360,7 @@ impl HealthTracker {
         self.streaks[i] += 1;
         if self.threshold > 0 && self.streaks[i] >= self.threshold && self.active[i] {
             self.active[i] = false;
+            self.quarantine_skips[i] = 0;
             self.entries[i].quarantines += 1;
             self.entries[i].quarantined = true;
             return Some(u64::from(self.streaks[i]));
@@ -249,20 +389,26 @@ pub struct CaseObservation {
     pub retried: Vec<(usize, u32)>,
     /// Quarantine transitions tripped by this case's faults.
     pub quarantined: Vec<QuarantineEvent>,
+    /// Reinstatements (successful half-open probes) this case.
+    pub reinstated: Vec<ReinstateEvent>,
     /// Testbeds that actually ran.
     pub active_runs: usize,
     /// Runs skipped (testbed already quarantined).
     pub skipped_runs: usize,
+    /// `true` when the case was abandoned by a [`CancelToken`] between
+    /// testbed slots. A cancelled observation carries **no** vote and made
+    /// **no** tracker updates — the caller must discard the case entirely.
+    pub cancelled: bool,
 }
 
 /// Runs one case across the matrix under full containment, updates the
 /// health tracker, and votes over the surviving quorum.
 ///
-/// Quarantined testbeds are skipped (their signature slot stays `None`);
-/// a quarantine tripped by *this* case takes effect from the next case.
-/// With `threads > 1` the isolated runs fan out over a scoped worker pool;
-/// results land in index-ordered slots, so the observation is bit-identical
-/// at every thread count.
+/// Quarantined testbeds are skipped (their signature slot stays `None`)
+/// unless their half-open probe is due; a quarantine tripped by *this* case
+/// takes effect from the next case. With `threads > 1` the isolated runs
+/// fan out over a scoped worker pool; results land in index-ordered slots,
+/// so the observation is bit-identical at every thread count.
 pub fn run_case_hardened(
     program: &Program,
     testbeds: &[Testbed],
@@ -271,13 +417,46 @@ pub fn run_case_hardened(
     policy: &ExecPolicy,
     tracker: &mut HealthTracker,
 ) -> CaseObservation {
-    let mask: Vec<bool> = (0..testbeds.len()).map(|i| tracker.is_active(i)).collect();
-    let runs = isolated_runs(program, testbeds, options, threads, policy, &mask);
+    run_case_hardened_cancellable(program, testbeds, options, threads, policy, tracker, None)
+}
+
+/// [`run_case_hardened`] with a cooperative cancellation point between
+/// testbed slots: when `cancel` trips mid-case, remaining runs are skipped
+/// and the observation comes back `cancelled` with the tracker untouched
+/// (the interrupted shard's state is discarded wholesale, so a partial case
+/// must not leak into the health ledger).
+#[allow(clippy::too_many_arguments)]
+pub fn run_case_hardened_cancellable(
+    program: &Program,
+    testbeds: &[Testbed],
+    options: &RunOptions,
+    threads: usize,
+    policy: &ExecPolicy,
+    tracker: &mut HealthTracker,
+    cancel: Option<&CancelToken>,
+) -> CaseObservation {
+    let mask = tracker.begin_case();
+    let (runs, cancelled) =
+        isolated_runs(program, testbeds, options, threads, policy, &mask, cancel);
+    if cancelled {
+        return CaseObservation {
+            outcome: CaseOutcome::NoQuorum,
+            groups: Vec::new(),
+            faults: Vec::new(),
+            retried: Vec::new(),
+            quarantined: Vec::new(),
+            reinstated: Vec::new(),
+            active_runs: 0,
+            skipped_runs: 0,
+            cancelled: true,
+        };
+    }
 
     let mut signatures: Vec<Option<Signature>> = vec![None; testbeds.len()];
     let mut faults = Vec::new();
     let mut retried = Vec::new();
     let mut quarantined = Vec::new();
+    let mut reinstated = Vec::new();
     let mut active_runs = 0;
     let mut skipped_runs = 0;
     for (i, slot) in runs.into_iter().enumerate() {
@@ -291,6 +470,7 @@ pub fn run_case_hardened(
             tracker.record_retries(i, run.retries);
             retried.push((i, run.retries));
         }
+        let probe = tracker.is_probe(i);
         match run.fault {
             Some(fault) => {
                 faults.push(FaultRecord { testbed: i, label: testbeds[i].label(), fault });
@@ -301,19 +481,42 @@ pub fn run_case_hardened(
                         hard_faults: streak,
                     });
                 }
+                if probe {
+                    // Failed probe: stay quarantined, re-arm the schedule,
+                    // and keep the faulty signature out of the vote.
+                    tracker.fail_probe(i);
+                    continue;
+                }
             }
-            None => tracker.observe_success(i),
+            None => {
+                if probe {
+                    reinstated.push(tracker.reinstate(i));
+                } else {
+                    tracker.observe_success(i);
+                }
+            }
         }
         signatures[i] = Some(Signature::of(&run.result.status, &run.result.output));
     }
 
     let (outcome, groups) = vote_on_signatures_quorum(testbeds, &signatures, &policy.quorum);
-    CaseObservation { outcome, groups, faults, retried, quarantined, active_runs, skipped_runs }
+    CaseObservation {
+        outcome,
+        groups,
+        faults,
+        retried,
+        quarantined,
+        reinstated,
+        active_runs,
+        skipped_runs,
+        cancelled: false,
+    }
 }
 
 /// Executes the isolated runs for every unmasked testbed, serially or on a
 /// scoped worker pool (index-ordered slots; workers never panic because the
-/// isolation harness contains everything).
+/// isolation harness contains everything). Returns `(slots, cancelled)`;
+/// a trip of `cancel` between slots stops further runs.
 fn isolated_runs(
     program: &Program,
     testbeds: &[Testbed],
@@ -321,22 +524,36 @@ fn isolated_runs(
     threads: usize,
     policy: &ExecPolicy,
     mask: &[bool],
-) -> Vec<Option<IsolatedRun>> {
+    cancel: Option<&CancelToken>,
+) -> (Vec<Option<IsolatedRun>>, bool) {
     let run_one =
         |i: usize| run_isolated(&testbeds[i], program, options, &policy.isolation, &policy.retry);
+    let is_cancelled = || cancel.is_some_and(CancelToken::is_cancelled);
     if threads <= 1 || testbeds.len() < 2 {
-        return mask.iter().enumerate().map(|(i, m)| m.then(|| run_one(i))).collect();
+        let mut slots = Vec::with_capacity(testbeds.len());
+        for (i, m) in mask.iter().enumerate() {
+            if is_cancelled() {
+                return (slots, true);
+            }
+            slots.push(m.then(|| run_one(i)));
+        }
+        return (slots, false);
     }
 
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
     use std::sync::Mutex;
     let slots: Vec<Mutex<Option<IsolatedRun>>> =
         testbeds.iter().map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
+    let stopped = AtomicBool::new(false);
     let workers = threads.min(testbeds.len());
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
+                if is_cancelled() {
+                    stopped.store(true, Ordering::SeqCst);
+                    break;
+                }
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= testbeds.len() {
                     break;
@@ -348,7 +565,14 @@ fn isolated_runs(
             });
         }
     });
-    slots.into_iter().map(|slot| slot.into_inner().expect("isolated-run slot poisoned")).collect()
+    let cancelled = stopped.load(Ordering::SeqCst);
+    (
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("isolated-run slot poisoned"))
+            .collect(),
+        cancelled,
+    )
 }
 
 #[cfg(test)]
@@ -413,6 +637,96 @@ mod tests {
         assert_eq!(health[0].quarantines, 1);
         assert_eq!(health[0].panics, 2);
         assert_eq!(health[0].runs_skipped, 1);
+    }
+
+    #[test]
+    fn half_open_probe_reinstates_a_healed_testbed() {
+        // Panic on exactly the first two cases, then run clean forever:
+        // deterministic content-addressed chaos can't express "heal after
+        // N", so drive the tracker directly.
+        let beds = latest_testbeds();
+        let mut tracker = HealthTracker::new(&beds, 2).with_probe(3);
+        assert!(tracker.observe_fault(0, FaultObserved::Panic).is_none());
+        assert!(tracker.observe_fault(0, FaultObserved::Panic).is_some());
+        assert!(!tracker.is_active(0));
+
+        // Three skipped cases arm the probe; the fourth case runs it.
+        for _ in 0..3 {
+            let mask = tracker.begin_case();
+            assert!(!mask[0], "still quarantined");
+            tracker.record_skip(0);
+        }
+        let mask = tracker.begin_case();
+        assert!(mask[0], "probe is due");
+        assert!(tracker.is_probe(0));
+
+        // A clean probe reinstates the testbed.
+        let event = tracker.reinstate(0);
+        assert_eq!(event.testbed, 0);
+        assert_eq!(event.skipped, 3);
+        assert!(tracker.is_active(0));
+        let health = &tracker.reports()[0];
+        assert_eq!(health.reinstatements, 1);
+        assert!(!health.quarantined, "reinstated testbed no longer ends quarantined");
+        assert_eq!(health.quarantines, 1, "the historical transition stays counted");
+    }
+
+    #[test]
+    fn failed_probe_rearms_the_wait() {
+        let beds = latest_testbeds();
+        let mut tracker = HealthTracker::new(&beds, 1).with_probe(2);
+        assert!(tracker.observe_fault(0, FaultObserved::Hang).is_some());
+        tracker.record_skip(0);
+        tracker.record_skip(0);
+        let mask = tracker.begin_case();
+        assert!(mask[0] && tracker.is_probe(0));
+        // The probe faults: stay quarantined, schedule re-arms from zero.
+        tracker.observe_fault(0, FaultObserved::Hang);
+        tracker.fail_probe(0);
+        assert!(!tracker.is_active(0));
+        let mask = tracker.begin_case();
+        assert!(!mask[0], "probe not due again until two more skips");
+        tracker.record_skip(0);
+        tracker.record_skip(0);
+        assert!(tracker.begin_case()[0]);
+    }
+
+    #[test]
+    fn cancel_token_latches_and_honours_deadline() {
+        let token = CancelToken::new();
+        assert!(!token.is_cancelled());
+        token.cancel();
+        assert!(token.is_cancelled());
+
+        let deadline = CancelToken::new();
+        deadline.arm_deadline(std::time::Instant::now() - std::time::Duration::from_millis(1));
+        assert!(deadline.is_cancelled(), "passed deadline reads cancelled");
+        // First armed deadline wins.
+        let far = CancelToken::new();
+        far.arm_deadline(std::time::Instant::now() + std::time::Duration::from_secs(3600));
+        far.arm_deadline(std::time::Instant::now() - std::time::Duration::from_secs(1));
+        assert!(!far.is_cancelled(), "later arm attempts are no-ops");
+    }
+
+    #[test]
+    fn cancelled_case_makes_no_tracker_updates() {
+        let beds = latest_testbeds();
+        let mut tracker = HealthTracker::new(&beds, 2);
+        let before = tracker.reports();
+        let token = CancelToken::new();
+        token.cancel();
+        let obs = run_case_hardened_cancellable(
+            &program("print(1);"),
+            &beds,
+            &RunOptions::with_fuel(100_000),
+            1,
+            &ExecPolicy::default(),
+            &mut tracker,
+            Some(&token),
+        );
+        assert!(obs.cancelled);
+        assert_eq!(obs.active_runs, 0);
+        assert_eq!(tracker.reports(), before, "no ledger mutation on cancel");
     }
 
     #[test]

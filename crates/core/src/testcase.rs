@@ -19,6 +19,23 @@ impl Origin {
             Origin::EcmaMutation => "ECMA-262 guided mutation",
         }
     }
+
+    /// Stable snake-case slug used in telemetry and the checkpoint journal.
+    pub fn slug(self) -> &'static str {
+        match self {
+            Origin::ProgramGen => "program-gen",
+            Origin::EcmaMutation => "ecma-mutation",
+        }
+    }
+
+    /// Parses the slug produced by [`Origin::slug`].
+    pub fn from_slug(s: &str) -> Option<Origin> {
+        match s {
+            "program-gen" => Some(Origin::ProgramGen),
+            "ecma-mutation" => Some(Origin::EcmaMutation),
+            _ => None,
+        }
+    }
 }
 
 /// A runnable test case: a program plus one input assignment (§1: "a test

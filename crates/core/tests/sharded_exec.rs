@@ -132,6 +132,8 @@ fn synthetic_report(
         sim_hours: f64::from(sim_ticks) / 10.0,
         metrics,
         health: Vec::new(),
+        interrupted: false,
+        resume: None,
     }
 }
 

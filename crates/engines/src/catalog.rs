@@ -67,6 +67,11 @@ impl Component {
             Component::Optimizer => "Optimizer",
         }
     }
+
+    /// Parses the display label produced by [`Component::as_str`].
+    pub fn parse_label(s: &str) -> Option<Component> {
+        Component::ALL.into_iter().find(|c| c.as_str() == s)
+    }
 }
 
 /// Receiver/object type of the buggy API (Table 5 grouping).
@@ -103,6 +108,26 @@ impl ApiType {
             ApiType::Date => "Date",
             ApiType::NonApi => "(non-API)",
         }
+    }
+
+    /// All API types, Table 5 order.
+    pub const ALL: [ApiType; 11] = [
+        ApiType::Object,
+        ApiType::String,
+        ApiType::Array,
+        ApiType::TypedArray,
+        ApiType::Number,
+        ApiType::Eval,
+        ApiType::DataView,
+        ApiType::Json,
+        ApiType::RegExp,
+        ApiType::Date,
+        ApiType::NonApi,
+    ];
+
+    /// Parses the display label produced by [`ApiType::as_str`].
+    pub fn parse_label(s: &str) -> Option<ApiType> {
+        ApiType::ALL.into_iter().find(|a| a.as_str() == s)
     }
 }
 

@@ -58,6 +58,12 @@ impl EngineName {
             EngineName::GraalJs => "Graaljs",
         }
     }
+
+    /// Parses the display name produced by [`EngineName::as_str`] (used to
+    /// round-trip reports through the checkpoint journal).
+    pub fn parse_label(s: &str) -> Option<EngineName> {
+        EngineName::ALL.into_iter().find(|name| name.as_str() == s)
+    }
 }
 
 impl std::fmt::Display for EngineName {

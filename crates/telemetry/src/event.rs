@@ -28,6 +28,14 @@ pub struct LogicalClock {
 /// (which runs after every per-shard stream, in deterministic merge order).
 pub const MERGE_SHARD: u64 = u64::MAX;
 
+/// The `shard` value used for **control-plane** events — checkpoint writes,
+/// resume/interrupt lifecycle — which describe how one particular execution
+/// unfolded rather than what the campaign computed. Control events are
+/// excluded from the determinism contract (a resumed run legitimately emits
+/// a `campaign_resumed` event an uninterrupted run does not); filter them
+/// with [`Event::is_control`] before comparing streams.
+pub const CONTROL_SHARD: u64 = u64::MAX - 1;
+
 /// The six pipeline stages metrics and timings are keyed by, in pipeline
 /// order: generation → validity filter → data-gen mutation → differential
 /// voting → reduction → identical-bug filter.
@@ -68,6 +76,11 @@ impl Stage {
             Stage::Reduction => "reduction",
             Stage::Filter => "filter",
         }
+    }
+
+    /// Parses the stable label produced by [`Stage::as_str`].
+    pub fn parse_label(s: &str) -> Option<Stage> {
+        Stage::ALL.into_iter().find(|stage| stage.as_str() == s)
     }
 
     /// Index into [`Stage::ALL`] (and the per-stage metrics array).
@@ -210,6 +223,46 @@ pub enum EventKind {
         /// vote was skipped.
         voted: bool,
     },
+    /// A quarantined testbed passed its half-open probe and rejoined the
+    /// voting quorum (see `HealthTracker` probing in `comfort-core`).
+    TestbedReinstated {
+        /// The case that served as the successful probe.
+        case_id: u64,
+        /// Label of the reinstated testbed.
+        testbed: String,
+        /// Cases the testbed sat out in quarantine before this probe.
+        skipped: u64,
+    },
+    /// One shard's result was durably appended to the checkpoint journal
+    /// (control-plane; stamped with [`CONTROL_SHARD`]).
+    CheckpointWritten {
+        /// Index of the checkpointed shard.
+        checkpointed_shard: u64,
+        /// Cases that shard executed.
+        cases_run: u64,
+        /// Journal size in bytes after the append (0 when unknown).
+        journal_bytes: u64,
+    },
+    /// A campaign was resumed from a checkpoint journal (control-plane).
+    CampaignResumed {
+        /// Shards salvaged from the journal.
+        shards_salvaged: u64,
+        /// Total shards in the plan.
+        shards_total: u64,
+        /// Torn-tail bytes dropped during recovery.
+        dropped_bytes: u64,
+    },
+    /// A campaign stopped early on cancellation or deadline (control-plane).
+    /// Completed shards were checkpointed; in-flight shards were discarded
+    /// and will re-run on resume.
+    CampaignInterrupted {
+        /// Shards fully completed (and journaled, when checkpointing).
+        shards_completed: u64,
+        /// Total shards in the plan.
+        shards_total: u64,
+        /// Why the campaign stopped (`"cancelled"` / `"deadline"`).
+        reason: String,
+    },
     /// Aggregated per-stage counters for one shard (emitted at shard end).
     StageTiming {
         /// The pipeline stage.
@@ -242,6 +295,10 @@ impl EventKind {
             EventKind::RunRetried { .. } => "run_retried",
             EventKind::TestbedQuarantined { .. } => "testbed_quarantined",
             EventKind::QuorumDegraded { .. } => "quorum_degraded",
+            EventKind::TestbedReinstated { .. } => "testbed_reinstated",
+            EventKind::CheckpointWritten { .. } => "checkpoint_written",
+            EventKind::CampaignResumed { .. } => "campaign_resumed",
+            EventKind::CampaignInterrupted { .. } => "campaign_interrupted",
             EventKind::StageTiming { .. } => "stage_timing",
         }
     }
@@ -269,6 +326,13 @@ impl Event {
         self.render(false)
     }
 
+    /// `true` for control-plane events ([`CONTROL_SHARD`]) — checkpoint and
+    /// resume/interrupt lifecycle — which are excluded from the determinism
+    /// contract. Filter with this before comparing streams bit-for-bit.
+    pub fn is_control(&self) -> bool {
+        self.clock.shard == CONTROL_SHARD
+    }
+
     /// Strips wall-clock fields, leaving only deterministic content.
     pub fn without_wall_clock(&self) -> Event {
         let mut e = self.clone();
@@ -286,8 +350,12 @@ impl Event {
             out,
             "{{\"shard\":{},\"seq\":{},\"type\":\"{}\"",
             // u64::MAX is not representable in every JSON reader; render the
-            // merge pseudo-shard as -1.
-            if self.clock.shard == MERGE_SHARD { -1i64 } else { self.clock.shard as i64 },
+            // merge pseudo-shard as -1 and the control pseudo-shard as -2.
+            match self.clock.shard {
+                MERGE_SHARD => -1i64,
+                CONTROL_SHARD => -2i64,
+                s => s as i64,
+            },
             self.clock.seq,
             self.kind.type_str()
         );
@@ -364,6 +432,32 @@ impl Event {
                     ",\"case_id\":{case_id},\"strict\":{strict},\"healthy\":{healthy},\"total\":{total},\"voted\":{voted}"
                 );
             }
+            EventKind::TestbedReinstated { case_id, testbed, skipped } => {
+                let _ = write!(
+                    out,
+                    ",\"case_id\":{case_id},\"testbed\":{},\"skipped\":{skipped}",
+                    json_string(testbed)
+                );
+            }
+            EventKind::CheckpointWritten { checkpointed_shard, cases_run, journal_bytes } => {
+                let _ = write!(
+                    out,
+                    ",\"checkpointed_shard\":{checkpointed_shard},\"cases_run\":{cases_run},\"journal_bytes\":{journal_bytes}"
+                );
+            }
+            EventKind::CampaignResumed { shards_salvaged, shards_total, dropped_bytes } => {
+                let _ = write!(
+                    out,
+                    ",\"shards_salvaged\":{shards_salvaged},\"shards_total\":{shards_total},\"dropped_bytes\":{dropped_bytes}"
+                );
+            }
+            EventKind::CampaignInterrupted { shards_completed, shards_total, reason } => {
+                let _ = write!(
+                    out,
+                    ",\"shards_completed\":{shards_completed},\"shards_total\":{shards_total},\"reason\":{}",
+                    json_string(reason)
+                );
+            }
             EventKind::StageTiming { stage, invocations, items, logical_cost, wall_nanos } => {
                 let _ = write!(
                     out,
@@ -379,6 +473,128 @@ impl Event {
         }
         out.push('}');
         out
+    }
+}
+
+/// Parses one rendered event line back into an [`Event`] — the inverse of
+/// [`Event::to_json`], used when replaying journaled shard streams on
+/// resume. Accepts both wall-clock and deterministic renderings.
+pub fn event_from_json(v: &crate::json::JsonValue) -> Result<Event, String> {
+    let field = |key: &str| v.get(key).ok_or_else(|| format!("missing field {key:?}"));
+    let num = |key: &str| field(key)?.as_u64().ok_or_else(|| format!("field {key:?} not a u64"));
+    let string = |key: &str| {
+        field(key)?
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| format!("field {key:?} not a string"))
+    };
+    let boolean =
+        |key: &str| field(key)?.as_bool().ok_or_else(|| format!("field {key:?} not a bool"));
+    let opt_num = |key: &str| match v.get(key) {
+        None => Ok(None),
+        Some(w) => w.as_u64().map(Some).ok_or_else(|| format!("field {key:?} not a u64")),
+    };
+
+    let shard = match field("shard")?.as_i128().ok_or("field \"shard\" not an integer")? {
+        -1 => MERGE_SHARD,
+        -2 => CONTROL_SHARD,
+        s => u64::try_from(s).map_err(|_| format!("shard {s} out of range"))?,
+    };
+    let clock = LogicalClock { shard, seq: num("seq")? };
+
+    let ty = string("type")?;
+    let kind = match ty.as_str() {
+        "shard_started" => {
+            EventKind::ShardStarted { seed: num("seed")?, case_budget: num("case_budget")? }
+        }
+        "shard_finished" => EventKind::ShardFinished {
+            cases_run: num("cases_run")?,
+            bugs_reported: num("bugs_reported")?,
+            wall_nanos: opt_num("wall_nanos")?,
+        },
+        "case_generated" => EventKind::CaseGenerated {
+            case_id: num("case_id")?,
+            base: num("base")?,
+            origin: string("origin")?,
+            mutant: boolean("mutant")?,
+        },
+        "case_rejected" => EventKind::CaseRejected { base: num("base")?, kept: boolean("kept")? },
+        "differential_run" => EventKind::DifferentialRun {
+            case_id: num("case_id")?,
+            testbeds: num("testbeds")?,
+            outcome: string("outcome")?,
+        },
+        "deviation" => EventKind::Deviation {
+            case_id: num("case_id")?,
+            engine: string("engine")?,
+            kind: string("kind")?,
+        },
+        "bug_deduped" => EventKind::BugDeduped {
+            engine: string("engine")?,
+            key: string("key")?,
+            cross_shard: boolean("cross_shard")?,
+        },
+        "fault_injected" => EventKind::FaultInjected {
+            case_id: num("case_id")?,
+            testbed: string("testbed")?,
+            kind: string("kind")?,
+        },
+        "run_retried" => EventKind::RunRetried {
+            case_id: num("case_id")?,
+            testbed: string("testbed")?,
+            retries: num("retries")?,
+        },
+        "testbed_quarantined" => EventKind::TestbedQuarantined {
+            case_id: num("case_id")?,
+            testbed: string("testbed")?,
+            hard_faults: num("hard_faults")?,
+        },
+        "quorum_degraded" => EventKind::QuorumDegraded {
+            case_id: num("case_id")?,
+            strict: boolean("strict")?,
+            healthy: num("healthy")?,
+            total: num("total")?,
+            voted: boolean("voted")?,
+        },
+        "testbed_reinstated" => EventKind::TestbedReinstated {
+            case_id: num("case_id")?,
+            testbed: string("testbed")?,
+            skipped: num("skipped")?,
+        },
+        "checkpoint_written" => EventKind::CheckpointWritten {
+            checkpointed_shard: num("checkpointed_shard")?,
+            cases_run: num("cases_run")?,
+            journal_bytes: num("journal_bytes")?,
+        },
+        "campaign_resumed" => EventKind::CampaignResumed {
+            shards_salvaged: num("shards_salvaged")?,
+            shards_total: num("shards_total")?,
+            dropped_bytes: num("dropped_bytes")?,
+        },
+        "campaign_interrupted" => EventKind::CampaignInterrupted {
+            shards_completed: num("shards_completed")?,
+            shards_total: num("shards_total")?,
+            reason: string("reason")?,
+        },
+        "stage_timing" => EventKind::StageTiming {
+            stage: {
+                let label = string("stage")?;
+                Stage::parse_label(&label).ok_or_else(|| format!("unknown stage {label:?}"))?
+            },
+            invocations: num("invocations")?,
+            items: num("items")?,
+            logical_cost: num("logical_cost")?,
+            wall_nanos: opt_num("wall_nanos")?,
+        },
+        other => return Err(format!("unknown event type {other:?}")),
+    };
+    Ok(Event { clock, kind })
+}
+
+impl Event {
+    /// Parses one JSONL line into an [`Event`] (see [`event_from_json`]).
+    pub fn parse(line: &str) -> Result<Event, String> {
+        event_from_json(&crate::json::parse(line)?)
     }
 }
 
@@ -449,6 +665,90 @@ mod tests {
     #[test]
     fn strings_are_escaped() {
         assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn every_event_kind_roundtrips_through_json() {
+        let kinds = vec![
+            EventKind::ShardStarted { seed: u64::MAX - 7, case_budget: 20 },
+            EventKind::ShardFinished { cases_run: 20, bugs_reported: 3, wall_nanos: Some(99) },
+            EventKind::ShardFinished { cases_run: 20, bugs_reported: 3, wall_nanos: None },
+            EventKind::CaseGenerated {
+                case_id: 1,
+                base: 0,
+                origin: "program-gen".into(),
+                mutant: false,
+            },
+            EventKind::CaseRejected { base: 4, kept: true },
+            EventKind::DifferentialRun { case_id: 2, testbeds: 12, outcome: "pass".into() },
+            EventKind::Deviation { case_id: 2, engine: "JSC".into(), kind: "Crash".into() },
+            EventKind::BugDeduped {
+                engine: "V8".into(),
+                key: "V8 / eval \"x\" / Crash".into(),
+                cross_shard: true,
+            },
+            EventKind::FaultInjected {
+                case_id: 3,
+                testbed: "V8 v8 [chaos]".into(),
+                kind: "hang".into(),
+            },
+            EventKind::RunRetried { case_id: 3, testbed: "V8 v8".into(), retries: 2 },
+            EventKind::TestbedQuarantined { case_id: 5, testbed: "V8 v8".into(), hard_faults: 2 },
+            EventKind::QuorumDegraded {
+                case_id: 6,
+                strict: true,
+                healthy: 4,
+                total: 6,
+                voted: false,
+            },
+            EventKind::TestbedReinstated { case_id: 9, testbed: "V8 v8".into(), skipped: 7 },
+            EventKind::CheckpointWritten {
+                checkpointed_shard: 1,
+                cases_run: 20,
+                journal_bytes: 512,
+            },
+            EventKind::CampaignResumed { shards_salvaged: 2, shards_total: 3, dropped_bytes: 17 },
+            EventKind::CampaignInterrupted {
+                shards_completed: 1,
+                shards_total: 3,
+                reason: "deadline".into(),
+            },
+            EventKind::StageTiming {
+                stage: Stage::Reduction,
+                invocations: 1,
+                items: 2,
+                logical_cost: 3,
+                wall_nanos: Some(4),
+            },
+        ];
+        for (i, kind) in kinds.into_iter().enumerate() {
+            for shard in [0, 3, MERGE_SHARD, CONTROL_SHARD] {
+                let e = Event { clock: LogicalClock { shard, seq: i as u64 }, kind: kind.clone() };
+                let back = Event::parse(&e.to_json()).unwrap_or_else(|err| {
+                    panic!("{err} for {}", e.to_json());
+                });
+                assert_eq!(back, e, "roundtrip of {}", e.to_json());
+            }
+        }
+    }
+
+    #[test]
+    fn control_events_are_flagged_and_render_as_minus_two() {
+        let e = Event {
+            clock: LogicalClock { shard: CONTROL_SHARD, seq: 0 },
+            kind: EventKind::CheckpointWritten {
+                checkpointed_shard: 0,
+                cases_run: 20,
+                journal_bytes: 100,
+            },
+        };
+        assert!(e.is_control());
+        assert!(e.to_json().starts_with("{\"shard\":-2,"), "{}", e.to_json());
+        let data = Event {
+            clock: LogicalClock { shard: 1, seq: 0 },
+            kind: EventKind::CaseRejected { base: 0, kept: false },
+        };
+        assert!(!data.is_control());
     }
 
     #[test]

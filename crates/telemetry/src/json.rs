@@ -14,8 +14,15 @@ pub enum JsonValue {
     Null,
     /// `true` / `false`
     Bool(bool),
-    /// Any JSON number.
+    /// Any non-integral (or exponent-form) JSON number.
     Number(f64),
+    /// An integral JSON number, kept exact. `f64` silently rounds integers
+    /// past 2^53 — fatal for journaled 64-bit shard seeds — so the parser
+    /// routes plain integer tokens here and only falls back to [`Number`]
+    /// for fractions and exponent forms.
+    ///
+    /// [`Number`]: JsonValue::Number
+    Int(i128),
     /// A string.
     String(String),
     /// An array.
@@ -36,6 +43,7 @@ impl JsonValue {
     /// The value as a non-negative integer, if it is one.
     pub fn as_u64(&self) -> Option<u64> {
         match self {
+            JsonValue::Int(i) => u64::try_from(*i).ok(),
             JsonValue::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
                 Some(*n as u64)
             }
@@ -46,7 +54,26 @@ impl JsonValue {
     /// The value as an `i64`, if it is an integral number.
     pub fn as_i64(&self) -> Option<i64> {
         match self {
+            JsonValue::Int(i) => i64::try_from(*i).ok(),
             JsonValue::Number(n) if n.fract() == 0.0 => Some(*n as i64),
+            _ => None,
+        }
+    }
+
+    /// The value as an exact `i128`, if it is an integral number.
+    pub fn as_i128(&self) -> Option<i128> {
+        match self {
+            JsonValue::Int(i) => Some(*i),
+            JsonValue::Number(n) if n.fract() == 0.0 => Some(*n as i128),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if it is any kind of number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Int(i) => Some(*i as f64),
+            JsonValue::Number(n) => Some(*n),
             _ => None,
         }
     }
@@ -240,6 +267,13 @@ impl Parser<'_> {
             self.pos += 1;
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        // Plain integer tokens stay exact (i128 covers the full u64 range);
+        // fractions and exponent forms fall back to f64.
+        if !text.contains(['.', 'e', 'E']) {
+            if let Ok(i) = text.parse::<i128>() {
+                return Ok(JsonValue::Int(i));
+            }
+        }
         text.parse::<f64>()
             .map(JsonValue::Number)
             .map_err(|_| format!("invalid number {text:?} at byte {start}"))
@@ -268,6 +302,19 @@ mod tests {
         let JsonValue::Array(items) = v.get("a").unwrap() else { panic!("array") };
         assert_eq!(items.len(), 3);
         assert_eq!(items[2].as_i64(), Some(-3));
+    }
+
+    #[test]
+    fn integers_past_2_pow_53_stay_exact() {
+        let seed = u64::MAX - 12345;
+        let v = parse(&format!("{{\"seed\":{seed}}}")).unwrap();
+        assert_eq!(v.get("seed").and_then(JsonValue::as_u64), Some(seed));
+        // Fractions and exponent forms still parse as floats.
+        let v = parse("[2.5,1e3]").unwrap();
+        let JsonValue::Array(items) = &v else { panic!("array") };
+        assert_eq!(items[0].as_f64(), Some(2.5));
+        assert_eq!(items[1].as_f64(), Some(1000.0));
+        assert_eq!(items[0].as_u64(), None);
     }
 
     #[test]

@@ -24,6 +24,10 @@
 //! * [`progress`] — a polling [`ProgressHandle`] (cases done, bugs found,
 //!   per-shard throughput) safe to read from any thread while a campaign
 //!   runs.
+//! * [`frame`] — crash-safe line framing (`J1 <len> <crc32> <payload>`)
+//!   shared by the durable [`JsonlSink`] mode and the campaign checkpoint
+//!   journal in `comfort-core`: a torn write corrupts at most the final
+//!   line, and loaders salvage everything before it.
 //! * [`json`] — a minimal JSON value parser used to validate JSONL output
 //!   in tests and CI (the workspace is offline; there is no serde).
 //!
@@ -55,13 +59,17 @@
 //! ```
 
 pub mod event;
+pub mod frame;
 pub mod json;
 pub mod metrics;
 pub mod progress;
 pub mod sink;
 
-pub use event::{Event, EventKind, LogicalClock, Stage, MERGE_SHARD};
+pub use event::{
+    event_from_json, Event, EventKind, LogicalClock, Stage, CONTROL_SHARD, MERGE_SHARD,
+};
+pub use frame::{crc32, frame_line, parse_frame, read_framed, FrameError, FramedRead};
 pub use json::JsonValue;
 pub use metrics::{CampaignMetrics, CostHistogram, StageMetrics};
 pub use progress::{ProgressHandle, ProgressSnapshot, ShardSnapshot};
-pub use sink::{JsonlSink, MemorySink, NullSink, Recorder, Sink, SinkHandle};
+pub use sink::{JsonlRead, JsonlSink, MemorySink, NullSink, Recorder, Sink, SinkHandle};

@@ -108,6 +108,8 @@ pub struct CampaignMetrics {
     pub runs_skipped: u64,
     /// Quarantine transitions (circuit breaker openings).
     pub testbeds_quarantined: u64,
+    /// Quarantined testbeds reinstated by a successful half-open probe.
+    pub testbeds_reinstated: u64,
     /// Mode-group votes taken (or skipped) below full membership.
     pub quorum_degraded: u64,
     /// Shards merged into this value (1 for an unmerged shard).
@@ -146,6 +148,7 @@ impl CampaignMetrics {
         self.runs_retried += other.runs_retried;
         self.runs_skipped += other.runs_skipped;
         self.testbeds_quarantined += other.testbeds_quarantined;
+        self.testbeds_reinstated += other.testbeds_reinstated;
         self.quorum_degraded += other.quorum_degraded;
         self.shards += other.shards;
     }
@@ -190,7 +193,8 @@ impl CampaignMetrics {
             "}},\"cases_generated\":{},\"cases_rejected\":{},\"cases_run\":{},\
              \"deviations_observed\":{},\"bugs_reported\":{},\"bugs_deduped\":{},\
              \"faults_observed\":{},\"runs_retried\":{},\"runs_skipped\":{},\
-             \"testbeds_quarantined\":{},\"quorum_degraded\":{},\"shards\":{}}}",
+             \"testbeds_quarantined\":{},\"testbeds_reinstated\":{},\
+             \"quorum_degraded\":{},\"shards\":{}}}",
             self.cases_generated,
             self.cases_rejected,
             self.cases_run,
@@ -201,6 +205,7 @@ impl CampaignMetrics {
             self.runs_retried,
             self.runs_skipped,
             self.testbeds_quarantined,
+            self.testbeds_reinstated,
             self.quorum_degraded,
             self.shards
         );

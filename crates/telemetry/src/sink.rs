@@ -70,22 +70,116 @@ impl Sink for MemorySink {
     }
 }
 
+/// A file writer that flushes OS buffers to stable storage (`sync_all`)
+/// when dropped, so a JSONL stream survives the process exiting normally
+/// right before a power cut.
+struct SyncOnDropFile {
+    file: std::fs::File,
+}
+
+impl Write for SyncOnDropFile {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.file.write(buf)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.file.flush()
+    }
+}
+
+impl Drop for SyncOnDropFile {
+    fn drop(&mut self) {
+        let _ = self.file.sync_all();
+    }
+}
+
+/// What [`JsonlSink::load`] salvaged from a (possibly torn) event stream.
+#[derive(Debug, Clone, Default)]
+pub struct JsonlRead {
+    /// Every event parsed from an intact leading line, in file order.
+    pub events: Vec<Event>,
+    /// Bytes dropped from the torn or garbled tail (0 for a clean file).
+    pub dropped_tail_bytes: usize,
+    /// Why the tail was dropped, when it was.
+    pub tail_error: Option<String>,
+}
+
 /// Writes one JSON object per line to an arbitrary writer (a file, a pipe,
 /// an in-memory buffer). Clones share the writer.
+///
+/// In **framed** mode ([`JsonlSink::create_framed`]) every line additionally
+/// carries the `J1 <len> <crc> ` header from [`crate::frame`] and is
+/// appended unbuffered with a single `write` call, so a crash mid-append can
+/// corrupt only the final line and [`JsonlSink::load`] salvages everything
+/// before it.
 #[derive(Clone)]
 pub struct JsonlSink {
     out: Arc<Mutex<Box<dyn Write + Send>>>,
+    framed: bool,
 }
 
 impl JsonlSink {
     /// Wraps a writer.
     pub fn new(writer: impl Write + Send + 'static) -> Self {
-        JsonlSink { out: Arc::new(Mutex::new(Box::new(writer))) }
+        JsonlSink { out: Arc::new(Mutex::new(Box::new(writer))), framed: false }
     }
 
-    /// Creates (truncating) a JSONL file at `path`.
+    /// Creates (truncating) a JSONL file at `path`. Buffered; flushed and
+    /// synced to stable storage when the last clone drops.
     pub fn create(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
-        Ok(JsonlSink::new(std::io::BufWriter::new(std::fs::File::create(path)?)))
+        let file = SyncOnDropFile { file: std::fs::File::create(path)? };
+        Ok(JsonlSink::new(std::io::BufWriter::new(file)))
+    }
+
+    /// Creates (truncating) a **framed, crash-safe** JSONL file at `path`:
+    /// each event line is checksummed and written with one unbuffered
+    /// `write` call, so at most the final line can be torn by a crash.
+    pub fn create_framed(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let file = SyncOnDropFile { file: std::fs::File::create(path)? };
+        Ok(JsonlSink { out: Arc::new(Mutex::new(Box::new(file))), framed: true })
+    }
+
+    /// Loads an event stream written by this sink (framed or plain),
+    /// salvaging every intact leading line and dropping a torn or garbled
+    /// tail instead of poisoning the whole stream.
+    ///
+    /// Framing is auto-detected per line. For plain files the tail check is
+    /// weaker (no checksum): an unterminated or unparseable final line is
+    /// dropped; a bad line *before* intact ones is an error, because plain
+    /// torn writes can only affect the tail.
+    pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<JsonlRead> {
+        let bytes = std::fs::read(path)?;
+        let mut out = JsonlRead::default();
+        let mut pos = 0;
+        while pos < bytes.len() {
+            let Some(nl) = bytes[pos..].iter().position(|&b| b == b'\n') else {
+                out.dropped_tail_bytes = bytes.len() - pos;
+                out.tail_error = Some("unterminated final line".to_string());
+                return Ok(out);
+            };
+            let parsed = std::str::from_utf8(&bytes[pos..pos + nl])
+                .map_err(|_| "invalid utf-8".to_string())
+                .and_then(|line| {
+                    let payload = if line.starts_with("J1 ") {
+                        crate::frame::parse_frame(line).map_err(|e| e.to_string())?
+                    } else {
+                        line
+                    };
+                    Event::parse(payload)
+                });
+            match parsed {
+                Ok(event) => out.events.push(event),
+                Err(e) => {
+                    // By the append-only invariant a bad line starts the
+                    // torn tail; drop it and everything after.
+                    out.dropped_tail_bytes = bytes.len() - pos;
+                    out.tail_error = Some(e);
+                    return Ok(out);
+                }
+            }
+            pos += nl + 1;
+        }
+        Ok(out)
     }
 
     /// Flushes the underlying writer.
@@ -105,7 +199,13 @@ impl Sink for JsonlSink {
         let mut out = self.out.lock().expect("jsonl sink poisoned");
         // A full pipe/disk is not a reason to abort a campaign; telemetry
         // writes are best-effort.
-        let _ = writeln!(out, "{}", event.to_json());
+        if self.framed {
+            if let Ok(line) = crate::frame::frame_line(&event.to_json()) {
+                let _ = out.write_all(line.as_bytes());
+            }
+        } else {
+            let _ = writeln!(out, "{}", event.to_json());
+        }
     }
 }
 
@@ -231,6 +331,53 @@ mod tests {
         assert_eq!(lines.len(), 2);
         assert!(lines[0].contains("stage_timing"));
         assert!(lines[1].contains("case_rejected"));
+    }
+
+    #[test]
+    fn framed_sink_survives_a_torn_tail() {
+        let dir = std::env::temp_dir().join(format!("comfort-sink-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("framed.jsonl");
+        {
+            let sink = JsonlSink::create_framed(&path).unwrap();
+            let mut rec = Recorder::new(SinkHandle::new(sink), 0);
+            for base in 0..3 {
+                rec.emit(EventKind::CaseRejected { base, kept: false });
+            }
+        }
+        // Simulate a crash mid-append: tack on half a frame.
+        let intact = std::fs::metadata(&path).unwrap().len() as usize;
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(b"J1 57 0badf00d {\"shard\":0,\"seq\":3,\"ty");
+        std::fs::write(&path, &bytes).unwrap();
+
+        let read = JsonlSink::load(&path).unwrap();
+        assert_eq!(read.events.len(), 3);
+        assert_eq!(read.dropped_tail_bytes, bytes.len() - intact);
+        assert!(read.tail_error.is_some());
+        for (i, e) in read.events.iter().enumerate() {
+            assert_eq!(e.kind, EventKind::CaseRejected { base: i as u64, kept: false });
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn plain_sink_load_drops_unterminated_tail() {
+        let dir = std::env::temp_dir().join(format!("comfort-sink-plain-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("plain.jsonl");
+        {
+            let sink = JsonlSink::create(&path).unwrap();
+            let mut rec = Recorder::new(SinkHandle::new(sink), 1);
+            rec.emit(EventKind::CaseRejected { base: 7, kept: true });
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(b"{\"shard\":1,\"seq\":1,\"type\":\"case_re"); // no newline
+        std::fs::write(&path, &bytes).unwrap();
+        let read = JsonlSink::load(&path).unwrap();
+        assert_eq!(read.events.len(), 1);
+        assert!(read.tail_error.is_some());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

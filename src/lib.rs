@@ -57,17 +57,24 @@ pub mod prelude {
         testbeds_for, BugReport, Campaign, CampaignConfig, CampaignConfigBuilder, CampaignReport,
         ConfigError,
     };
+    pub use comfort_core::checkpoint::{
+        config_fingerprint, report_to_json, report_to_json_deterministic, CampaignCheckpoint,
+        CheckpointError, CheckpointJournal, RecoveryReport, ResumeInfo, ShardRecord,
+    };
     pub use comfort_core::datagen::{DataGen, DataGenConfig};
     pub use comfort_core::differential::{
         run_differential, run_differential_pooled, vote_on_signatures_quorum, CaseOutcome,
         DeviationKind, DeviationRecord, GroupQuorum, QuorumPolicy, Signature,
     };
-    pub use comfort_core::executor::{plan_shards, ShardSpec, ShardedCampaign};
+    pub use comfort_core::executor::{
+        plan_shards, run_campaign_resumable, ShardSpec, ShardedCampaign,
+    };
     pub use comfort_core::filter::{BugKey, BugTree};
     pub use comfort_core::pipeline::{Comfort, ComfortConfig, PipelineReport};
     pub use comfort_core::resilience::{
-        run_case_hardened, CaseObservation, ChaosConfig, ExecPolicy, FaultRecord, HealthTracker,
-        QuarantineEvent, TestbedHealth,
+        run_case_hardened, run_case_hardened_cancellable, CancelToken, CaseObservation,
+        ChaosConfig, ExecPolicy, FaultRecord, HealthTracker, QuarantineEvent, ReinstateEvent,
+        TestbedHealth,
     };
     pub use comfort_core::testcase::{Origin, TestCase};
     pub use comfort_engines::{
@@ -76,7 +83,7 @@ pub mod prelude {
         Testbed,
     };
     pub use comfort_telemetry::{
-        CampaignMetrics, Event, EventKind, JsonlSink, MemorySink, NullSink, ProgressHandle,
-        ProgressSnapshot, SinkHandle, Stage,
+        CampaignMetrics, Event, EventKind, JsonlRead, JsonlSink, MemorySink, NullSink,
+        ProgressHandle, ProgressSnapshot, SinkHandle, Stage, CONTROL_SHARD, MERGE_SHARD,
     };
 }
