@@ -1,14 +1,17 @@
-//! Thread-sweep bench for the sharded campaign executor: the same 60-case
-//! budget at 1, 2, and 4 worker threads. The determinism contract makes the
-//! reports bit-identical across the sweep, so any ns/iter difference is pure
-//! scheduling — on a multi-core host the 4-thread row should come in at a
-//! fraction of the serial row (the acceptance bar is ≥2×).
+//! Thread-sweep bench for the campaign executor: the same 60-case budget
+//! at 1, 2, and 4 worker threads, driven through the unified
+//! [`CampaignSession`] entry point. The determinism contract makes the
+//! reports bit-identical across the sweep — asserted below before any
+//! timing — so any ns/iter difference is pure scheduling; on a multi-core
+//! host the 4-thread row should come in at a fraction of the serial row
+//! (the acceptance bar is ≥2×).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use comfort_core::campaign::CampaignConfig;
-use comfort_core::executor::ShardedCampaign;
+use comfort_core::checkpoint::report_to_json_deterministic;
+use comfort_core::session::CampaignSession;
 use comfort_lm::GeneratorConfig;
 
 fn campaign_config() -> CampaignConfig {
@@ -27,14 +30,30 @@ fn campaign_config() -> CampaignConfig {
 }
 
 fn bench_parallel(c: &mut Criterion) {
-    // Train once outside the timed region: the sweep measures execution,
-    // not LM training (which is identical for every thread count).
-    let executor = ShardedCampaign::new(campaign_config());
+    // Build the session once: the LM trains outside the timed region (it is
+    // identical for every thread count), and the sweep measures execution.
+    let session = CampaignSession::new(campaign_config());
+
+    // The timing rows are only comparable if every thread count does
+    // bit-identical work — prove it before measuring anything.
+    let reference =
+        report_to_json_deterministic(&session.run_with_threads(1).expect("fresh runs cannot fail"));
+    for threads in [2usize, 4] {
+        let report = session.run_with_threads(threads).expect("fresh runs cannot fail");
+        assert_eq!(
+            report_to_json_deterministic(&report),
+            reference,
+            "threads={threads} diverged from the serial report"
+        );
+    }
 
     let mut group = c.benchmark_group("sharded_campaign_60_cases");
     for threads in [1usize, 2, 4] {
         group.bench_function(&format!("threads_{threads}"), |b| {
-            b.iter(|| black_box(executor.run_with_threads(threads)).cases_run);
+            b.iter(|| {
+                black_box(session.run_with_threads(threads).expect("fresh runs cannot fail"))
+                    .cases_run
+            });
         });
     }
     group.finish();

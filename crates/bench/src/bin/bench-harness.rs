@@ -1,0 +1,73 @@
+//! `bench-harness` — runs the fixed seeded perf workload and writes a
+//! schema-versioned `BENCH_*.json` report.
+//!
+//! ```text
+//! cargo run --release -p comfort-bench --bin bench-harness -- [--quick] [--out PATH]
+//! ```
+//!
+//! `--quick` shrinks the campaign budget for CI; `--out` defaults to
+//! `BENCH_6.json` in the current directory. The process exits non-zero if
+//! the thread sweep was not bit-identical — a determinism regression is a
+//! harness failure, not a data point.
+
+use std::process::ExitCode;
+
+use comfort_bench::harness::{run_harness, SWEEP_THREADS};
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut out_path = String::from("BENCH_6.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => match args.next() {
+                Some(path) => out_path = path,
+                None => {
+                    eprintln!("--out requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument {other:?}");
+                eprintln!("usage: bench-harness [--quick] [--out PATH]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    eprintln!(
+        "bench-harness: running {} workload (threads {:?})...",
+        if quick { "quick" } else { "full" },
+        SWEEP_THREADS
+    );
+    let report = run_harness(quick);
+    for entry in &report.campaign {
+        eprintln!(
+            "  {:<20} median {:>12} ns  (mad {} ns, {} iters, checksum {})",
+            entry.name,
+            entry.timing.median_ns,
+            entry.timing.mad_ns,
+            entry.timing.iters,
+            entry.report_checksum
+        );
+    }
+    for m in &report.microbench {
+        eprintln!(
+            "  {:<20} median {:>12} ns  (mad {} ns, {} iters)",
+            m.name, m.timing.median_ns, m.timing.mad_ns, m.timing.iters
+        );
+    }
+
+    if let Err(e) = std::fs::write(&out_path, report.to_json() + "\n") {
+        eprintln!("bench-harness: cannot write {out_path}: {e}");
+        return ExitCode::from(2);
+    }
+    eprintln!("bench-harness: wrote {out_path}");
+
+    if !report.checksums_identical {
+        eprintln!("bench-harness: FAIL — campaign checksums differ across the thread sweep");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,351 @@
+//! `bench-diff`: compares two `BENCH_*.json` perf reports and gates on
+//! median regressions.
+//!
+//! Every tracked metric (campaign sweep entries and interp microbenches)
+//! is matched by name; the gate fails when any matched metric's
+//! `new/old` median ratio exceeds [`REGRESSION_THRESHOLD`], when a metric
+//! tracked in the old report disappeared from the new one (a dropped
+//! metric can hide a regression), or when either report fails validation
+//! (schema mismatch, non-identical campaign checksums). Output renders
+//! through the workspace's one table builder, `comfort_core::report::Table`.
+
+use comfort_core::report::Table;
+
+use crate::perf::{BenchReport, SCHEMA_VERSION};
+
+/// A matched metric fails the gate when `new/old` exceeds this ratio.
+pub const REGRESSION_THRESHOLD: f64 = 1.05;
+
+/// Verdict for one matched metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Within the noise gate in both directions.
+    Ok,
+    /// More than 5% faster — worth a look, never a failure.
+    Improvement,
+    /// More than 5% slower — fails the gate.
+    Regression,
+}
+
+impl Verdict {
+    fn label(self) -> &'static str {
+        match self {
+            Verdict::Ok => "ok",
+            Verdict::Improvement => "improved",
+            Verdict::Regression => "REGRESSED",
+        }
+    }
+}
+
+/// One matched metric's comparison.
+#[derive(Debug, Clone)]
+pub struct DiffRow {
+    /// Tracked-metric name.
+    pub name: String,
+    /// Old median, nanoseconds.
+    pub old_median_ns: u64,
+    /// New median, nanoseconds.
+    pub new_median_ns: u64,
+    /// `new / old` median ratio.
+    pub ratio: f64,
+    /// Gate verdict for this metric.
+    pub verdict: Verdict,
+}
+
+/// The full comparison: per-metric rows, gate failures, rendered table.
+#[derive(Debug, Clone)]
+pub struct DiffReport {
+    /// Matched metrics in old-report order.
+    pub rows: Vec<DiffRow>,
+    /// Everything that fails the gate (empty ⇒ pass).
+    pub failures: Vec<String>,
+    /// Human-readable ratio table.
+    pub rendered: String,
+}
+
+impl DiffReport {
+    /// True iff the gate passes (no regressions, no structural failures).
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Structural validation shared by single-file (`--validate`) mode and both
+/// sides of a diff. Returns every problem found.
+pub fn validate(report: &BenchReport) -> Vec<String> {
+    let mut problems = Vec::new();
+    if report.schema_version != SCHEMA_VERSION {
+        problems.push(format!(
+            "schema_version {} is not the supported {SCHEMA_VERSION}",
+            report.schema_version
+        ));
+    }
+    if report.campaign.is_empty() {
+        problems.push("campaign sweep is empty".to_string());
+    }
+    if report.microbench.is_empty() {
+        problems.push("microbench list is empty".to_string());
+    }
+    if !report.checksums_identical {
+        problems.push(
+            "checksums_identical is false: the sweep was not bit-identical across thread counts"
+                .to_string(),
+        );
+    }
+    for entry in &report.campaign {
+        let sum = &entry.report_checksum;
+        if sum.len() != 16 || !sum.bytes().all(|b| b.is_ascii_hexdigit()) {
+            problems.push(format!("{}: report_checksum {sum:?} is not 16 hex digits", entry.name));
+        }
+        if entry.timing.iters == 0 {
+            problems.push(format!("{}: zero timed iterations", entry.name));
+        }
+    }
+    if let Some(first) = report.campaign.first() {
+        if report.campaign.iter().any(|e| e.cases_run != first.cases_run) {
+            problems.push("cases_run differs across the thread sweep".to_string());
+        }
+        let identical = report.campaign.iter().all(|e| e.report_checksum == first.report_checksum);
+        if identical != report.checksums_identical {
+            problems.push("checksums_identical flag disagrees with the sweep entries".to_string());
+        }
+    }
+    for m in &report.microbench {
+        if m.timing.iters == 0 {
+            problems.push(format!("{}: zero timed iterations", m.name));
+        }
+    }
+    problems
+}
+
+/// Compares `new` against `old` and applies the >5% regression gate.
+pub fn diff(old: &BenchReport, new: &BenchReport) -> DiffReport {
+    let mut failures = Vec::new();
+    for problem in validate(old) {
+        failures.push(format!("old report: {problem}"));
+    }
+    for problem in validate(new) {
+        failures.push(format!("new report: {problem}"));
+    }
+    if old.workload != new.workload {
+        failures.push(
+            "workload specs differ: the reports measure different work and cannot be ratioed"
+                .to_string(),
+        );
+    }
+
+    let old_metrics = old.tracked_metrics();
+    let new_metrics = new.tracked_metrics();
+    let mut rows = Vec::new();
+    for (name, old_median) in &old_metrics {
+        let Some((_, new_median)) = new_metrics.iter().find(|(n, _)| n == name) else {
+            failures.push(format!("{name}: tracked in old report but missing from new"));
+            continue;
+        };
+        // Guard the zero-median degenerate case (sub-ns medians cannot
+        // happen for real workloads, but synthetic inputs may hold zeros).
+        let ratio = if *old_median == 0 {
+            if *new_median == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            *new_median as f64 / *old_median as f64
+        };
+        let verdict = if ratio > REGRESSION_THRESHOLD {
+            Verdict::Regression
+        } else if ratio < 1.0 / REGRESSION_THRESHOLD {
+            Verdict::Improvement
+        } else {
+            Verdict::Ok
+        };
+        if verdict == Verdict::Regression {
+            failures.push(format!(
+                "{name}: median {old_median}ns -> {new_median}ns ({:+.1}%)",
+                (ratio - 1.0) * 100.0
+            ));
+        }
+        rows.push(DiffRow {
+            name: name.clone(),
+            old_median_ns: *old_median,
+            new_median_ns: *new_median,
+            ratio,
+            verdict,
+        });
+    }
+    for (name, _) in &new_metrics {
+        if !old_metrics.iter().any(|(n, _)| n == name) {
+            // New metrics are informational: nothing to ratio against.
+            rows.push(DiffRow {
+                name: format!("{name} (new)"),
+                old_median_ns: 0,
+                new_median_ns: new_metrics.iter().find(|(n, _)| n == name).expect("present").1,
+                ratio: 1.0,
+                verdict: Verdict::Ok,
+            });
+        }
+    }
+
+    let rendered = render(old, new, &rows, &failures);
+    DiffReport { rows, failures, rendered }
+}
+
+fn render(old: &BenchReport, new: &BenchReport, rows: &[DiffRow], failures: &[String]) -> String {
+    let mut t = Table::new(
+        format!(
+            "bench-diff: {} -> {} (gate: median regression > {:.0}%)",
+            old.bench_id,
+            new.bench_id,
+            (REGRESSION_THRESHOLD - 1.0) * 100.0
+        ),
+        &[22, 14, 14, 8, 9],
+    );
+    t.row(&["metric", "old median_ns", "new median_ns", "ratio", "verdict"]);
+    for r in rows {
+        let old_ns = r.old_median_ns.to_string();
+        let new_ns = r.new_median_ns.to_string();
+        let ratio = format!("{:.3}", r.ratio);
+        t.row(&[&r.name, &old_ns, &new_ns, &ratio, r.verdict.label()]);
+    }
+    if failures.is_empty() {
+        t.text(format!("\ngate: PASS ({} metrics compared)", rows.len()));
+    } else {
+        t.text("\ngate: FAIL");
+        for f in failures {
+            t.text(format!("  - {f}"));
+        }
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perf::{CampaignEntry, EnvFingerprint, MicrobenchEntry, WorkloadSpec};
+    use crate::stats::Summary;
+
+    fn timing(median: u64) -> Summary {
+        Summary { median_ns: median, mad_ns: 1, min_ns: median - 1, max_ns: median + 1, iters: 5 }
+    }
+
+    fn synthetic(campaign_median: u64, micro_median: u64) -> BenchReport {
+        BenchReport {
+            bench_id: "BENCH_T".into(),
+            schema_version: SCHEMA_VERSION,
+            env: EnvFingerprint {
+                rustc: "rustc test".into(),
+                cpus: 1,
+                opt_level: "release".into(),
+                os: "linux".into(),
+                arch: "x86_64".into(),
+            },
+            workload: WorkloadSpec {
+                seed: 6,
+                corpus_programs: 80,
+                lm_order: 8,
+                lm_bpe_merges: 200,
+                lm_top_k: 10,
+                lm_max_tokens: 800,
+                max_cases: 24,
+                shard_cases: 8,
+                fuel: 200_000,
+                warmup_iters: 1,
+                iters: 5,
+                microbench_iters: 5,
+                microbench_cases: 1,
+            },
+            campaign: vec![
+                CampaignEntry {
+                    name: "campaign/threads/1".into(),
+                    threads: 1,
+                    cases_run: 24,
+                    report_checksum: "00112233aabbccdd".into(),
+                    timing: timing(campaign_median),
+                },
+                CampaignEntry {
+                    name: "campaign/threads/2".into(),
+                    threads: 2,
+                    cases_run: 24,
+                    report_checksum: "00112233aabbccdd".into(),
+                    timing: timing(campaign_median + campaign_median / 100),
+                },
+            ],
+            checksums_identical: true,
+            stages: Vec::new(),
+            microbench: vec![MicrobenchEntry {
+                name: "interp/corpus/00".into(),
+                source_len: 120,
+                timing: timing(micro_median),
+            }],
+        }
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let r = synthetic(1_000_000, 50_000);
+        let d = diff(&r, &r);
+        assert!(d.passed(), "failures: {:?}", d.failures);
+        assert_eq!(d.rows.len(), 3);
+        assert!(d.rendered.contains("gate: PASS"));
+    }
+
+    #[test]
+    fn six_percent_regression_fails_the_gate() {
+        let old = synthetic(1_000_000, 50_000);
+        let new = synthetic(1_060_000, 50_000);
+        let d = diff(&old, &new);
+        assert!(!d.passed());
+        assert!(d.failures.iter().any(|f| f.contains("campaign/threads/1")));
+        assert!(d.rendered.contains("REGRESSED"));
+    }
+
+    #[test]
+    fn improvement_and_noise_both_pass() {
+        let old = synthetic(1_000_000, 50_000);
+        // 20% faster campaign, 4% slower microbench: both inside the gate.
+        let new = synthetic(800_000, 52_000);
+        let d = diff(&old, &new);
+        assert!(d.passed(), "failures: {:?}", d.failures);
+        assert!(d.rows.iter().any(|r| r.verdict == Verdict::Improvement));
+        assert!(d.rows.iter().any(|r| r.verdict == Verdict::Ok));
+    }
+
+    #[test]
+    fn dropped_metric_fails_the_gate() {
+        let old = synthetic(1_000_000, 50_000);
+        let mut new = synthetic(1_000_000, 50_000);
+        new.microbench.clear();
+        let d = diff(&old, &new);
+        assert!(!d.passed());
+        assert!(d.failures.iter().any(|f| f.contains("missing from new")));
+    }
+
+    #[test]
+    fn non_identical_checksums_fail_validation() {
+        let mut r = synthetic(1_000_000, 50_000);
+        r.campaign[1].report_checksum = "ffffffffffffffff".into();
+        r.checksums_identical = false;
+        let problems = validate(&r);
+        assert!(problems.iter().any(|p| p.contains("checksums_identical")));
+        let d = diff(&r, &r);
+        assert!(!d.passed());
+    }
+
+    #[test]
+    fn workload_mismatch_fails_the_gate() {
+        let old = synthetic(1_000_000, 50_000);
+        let mut new = synthetic(1_000_000, 50_000);
+        new.workload.max_cases = 120;
+        let d = diff(&old, &new);
+        assert!(!d.passed());
+        assert!(d.failures.iter().any(|f| f.contains("workload specs differ")));
+    }
+
+    #[test]
+    fn malformed_checksum_fails_validation() {
+        let mut r = synthetic(1_000_000, 50_000);
+        r.campaign[0].report_checksum = "xyz".into();
+        assert!(validate(&r).iter().any(|p| p.contains("not 16 hex digits")));
+    }
+}

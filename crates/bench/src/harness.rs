@@ -1,0 +1,189 @@
+//! The perf-trajectory harness: runs a fixed, master-seed-pinned workload
+//! and emits a [`BenchReport`] (`BENCH_*.json`).
+//!
+//! The workload has three parts, all derived from one seed so every run of
+//! the same harness version measures *bit-identical work*:
+//!
+//! 1. **Campaign sweep** — one [`CampaignSession`] (the LM trains once),
+//!    timed at 1/2/4/8 worker threads with warmup and repeated iterations.
+//!    Each entry records the deterministic report checksum; the executor's
+//!    determinism contract means all four must agree, and the report says
+//!    so in `checksums_identical`.
+//! 2. **Stage breakdown** — the per-stage counters (`invocations`, `items`,
+//!    `logical_cost`, `wall_ns`) from the single-thread run's embedded
+//!    `CampaignMetrics`.
+//! 3. **Interp microbenches** — single-case `run_source` timings over a
+//!    pinned slice of the training corpus.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use comfort_core::campaign::{CampaignConfig, CampaignReport};
+use comfort_core::checkpoint::report_checksum;
+use comfort_core::session::CampaignSession;
+use comfort_interp::{hooks::SpecProfile, run_source, RunOptions};
+use comfort_lm::GeneratorConfig;
+use comfort_telemetry::Stage;
+
+use crate::perf::{
+    BenchReport, CampaignEntry, EnvFingerprint, MicrobenchEntry, StageEntry, WorkloadSpec,
+    SCHEMA_VERSION,
+};
+use crate::stats::summarize;
+
+/// Report identity for this PR's perf baseline.
+pub const BENCH_ID: &str = "BENCH_6";
+
+/// The executor thread counts the sweep times.
+pub const SWEEP_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// The fixed workload at either scale. `quick` shrinks the case budget for
+/// CI; both scales pin the same seed, LM shape, and corpus slice.
+pub fn workload(quick: bool) -> WorkloadSpec {
+    WorkloadSpec {
+        seed: 6,
+        corpus_programs: 80,
+        lm_order: 8,
+        lm_bpe_merges: 200,
+        lm_top_k: 10,
+        lm_max_tokens: 800,
+        max_cases: if quick { 24 } else { 120 },
+        shard_cases: if quick { 8 } else { 30 },
+        fuel: 200_000,
+        warmup_iters: 1,
+        iters: if quick { 3 } else { 5 },
+        microbench_iters: if quick { 5 } else { 15 },
+        microbench_cases: 4,
+    }
+}
+
+/// Lowers the workload spec onto the campaign layer.
+pub fn campaign_config(w: &WorkloadSpec) -> CampaignConfig {
+    CampaignConfig {
+        seed: w.seed,
+        corpus_programs: w.corpus_programs as usize,
+        lm: GeneratorConfig {
+            order: w.lm_order as usize,
+            bpe_merges: w.lm_bpe_merges as usize,
+            top_k: w.lm_top_k as usize,
+            max_tokens: w.lm_max_tokens as usize,
+        },
+        max_cases: w.max_cases as usize,
+        fuel: w.fuel,
+        shard_cases: w.shard_cases as usize,
+        include_strict: false,
+        include_legacy: false,
+        reduce_cases: false,
+        ..CampaignConfig::default()
+    }
+}
+
+/// Runs the full harness workload and assembles the report.
+pub fn run_harness(quick: bool) -> BenchReport {
+    run_harness_with(quick, EnvFingerprint::capture())
+}
+
+/// [`run_harness`] with a caller-supplied environment fingerprint (tests
+/// pass a fixed one so two runs differ only in timing).
+pub fn run_harness_with(quick: bool, env: EnvFingerprint) -> BenchReport {
+    let w = workload(quick);
+    let session = CampaignSession::new(campaign_config(&w));
+
+    let mut campaign = Vec::new();
+    let mut single_thread_report: Option<CampaignReport> = None;
+    for &threads in &SWEEP_THREADS {
+        let mut last = None;
+        for _ in 0..w.warmup_iters {
+            last = Some(run_fresh(&session, threads));
+        }
+        let mut samples = Vec::with_capacity(w.iters as usize);
+        for _ in 0..w.iters {
+            let start = Instant::now();
+            let report = run_fresh(&session, threads);
+            samples.push(start.elapsed().as_nanos() as u64);
+            last = Some(report);
+        }
+        let report = last.expect("at least one timed iteration ran");
+        campaign.push(CampaignEntry {
+            name: format!("campaign/threads/{threads}"),
+            threads: threads as u64,
+            cases_run: report.cases_run,
+            report_checksum: format!("{:016x}", report_checksum(&report)),
+            timing: summarize(&samples),
+        });
+        if threads == 1 {
+            single_thread_report = Some(report);
+        }
+    }
+    let checksums_identical =
+        campaign.windows(2).all(|pair| pair[0].report_checksum == pair[1].report_checksum);
+
+    let stage_source =
+        single_thread_report.as_ref().expect("the sweep always includes a single-thread entry");
+    let stages = Stage::ALL
+        .iter()
+        .map(|&s| {
+            let m = stage_source.metrics.stage(s);
+            StageEntry {
+                stage: s.as_str().to_string(),
+                invocations: m.invocations,
+                items: m.items,
+                logical_cost: m.logical_cost,
+                wall_ns: m.wall_nanos,
+            }
+        })
+        .collect();
+
+    let corpus = comfort_corpus::training_corpus(w.seed, w.corpus_programs as usize);
+    let mut microbench = Vec::new();
+    for (i, src) in corpus.iter().take(w.microbench_cases as usize).enumerate() {
+        let _ = black_box(run_source(black_box(src), &SpecProfile, &RunOptions::default()));
+        let mut samples = Vec::with_capacity(w.microbench_iters as usize);
+        for _ in 0..w.microbench_iters {
+            let start = Instant::now();
+            let _ = black_box(run_source(black_box(src), &SpecProfile, &RunOptions::default()));
+            samples.push(start.elapsed().as_nanos() as u64);
+        }
+        microbench.push(MicrobenchEntry {
+            name: format!("interp/corpus/{i:02}"),
+            source_len: src.len() as u64,
+            timing: summarize(&samples),
+        });
+    }
+
+    BenchReport {
+        bench_id: BENCH_ID.to_string(),
+        schema_version: SCHEMA_VERSION,
+        env,
+        workload: w,
+        campaign,
+        checksums_identical,
+        stages,
+        microbench,
+    }
+}
+
+/// One fresh (checkpoint-free) session run — always succeeds.
+fn run_fresh(session: &CampaignSession, threads: usize) -> CampaignReport {
+    session.run_with_threads(threads).expect("fresh sessions cannot fail")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_harness_is_internally_consistent() {
+        let report = run_harness(true);
+        assert_eq!(report.bench_id, BENCH_ID);
+        assert_eq!(report.campaign.len(), SWEEP_THREADS.len());
+        assert!(report.checksums_identical, "sweep must be bit-identical");
+        assert_eq!(report.stages.len(), Stage::ALL.len());
+        assert_eq!(report.microbench.len(), workload(true).microbench_cases as usize);
+        assert!(crate::diff::validate(&report).is_empty());
+        // The emitted JSON must parse back to the same report modulo
+        // nothing — parse is strict and the serializer canonical.
+        let parsed = BenchReport::parse(&report.to_json()).expect("round-trips");
+        assert_eq!(parsed.deterministic_json(), report.deterministic_json());
+    }
+}

@@ -5,6 +5,19 @@
 //!
 //! See DESIGN.md §3 for the experiment index; EXPERIMENTS.md records the
 //! paper-vs-measured comparison produced by `tables -- all`.
+//!
+//! The perf-trajectory subsystem (DESIGN.md §11) lives in the submodules:
+//!
+//! * [`harness`] — the seeded `bench-harness` workload (campaign thread
+//!   sweep, stage breakdown, interp microbenches),
+//! * [`perf`] — the schema-versioned `BENCH_*.json` report model,
+//! * [`diff`] — the `bench-diff` >5%-regression gate,
+//! * [`stats`] — median/MAD summaries.
+
+pub mod diff;
+pub mod harness;
+pub mod perf;
+pub mod stats;
 
 use comfort_core::campaign::{Campaign, CampaignConfig, CampaignReport};
 use comfort_core::compare::{compare, CompareConfig, FuzzerSeries};

@@ -1,0 +1,442 @@
+//! The `BENCH_*.json` perf-trajectory schema: a schema-versioned,
+//! env-fingerprinted record of one seeded harness run, emitted and parsed
+//! through the workspace's shared canonical JSON module
+//! (`comfort_telemetry::json`) so the golden-file round-trip
+//! (emit → parse → re-emit) is byte-identical.
+//!
+//! The report's *deterministic view* strips timing and environment fields;
+//! two harness runs of the same workload must agree on it exactly (the
+//! campaign checksums prove the timed runs did bit-identical work), which
+//! is what makes two `BENCH_*.json` files comparable at all.
+
+use comfort_telemetry::json::{self, JsonValue};
+
+use crate::stats::Summary;
+
+/// Current `BENCH_*.json` schema version.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Environment fingerprint: where the numbers were measured.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvFingerprint {
+    /// `rustc --version` output (or `"unknown"`).
+    pub rustc: String,
+    /// Available parallelism on the measuring host.
+    pub cpus: u64,
+    /// `"release"` or `"debug"`.
+    pub opt_level: String,
+    /// `std::env::consts::OS`.
+    pub os: String,
+    /// `std::env::consts::ARCH`.
+    pub arch: String,
+}
+
+impl EnvFingerprint {
+    /// Captures the current process environment.
+    pub fn capture() -> Self {
+        let rustc = std::process::Command::new("rustc")
+            .arg("--version")
+            .output()
+            .ok()
+            .and_then(|out| String::from_utf8(out.stdout).ok())
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| "unknown".to_string());
+        EnvFingerprint {
+            rustc,
+            cpus: std::thread::available_parallelism().map(|n| n.get() as u64).unwrap_or(1),
+            opt_level: if cfg!(debug_assertions) { "debug" } else { "release" }.to_string(),
+            os: std::env::consts::OS.to_string(),
+            arch: std::env::consts::ARCH.to_string(),
+        }
+    }
+
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("rustc", JsonValue::from(self.rustc.clone())),
+            ("cpus", JsonValue::from(self.cpus)),
+            ("opt_level", JsonValue::from(self.opt_level.clone())),
+            ("os", JsonValue::from(self.os.clone())),
+            ("arch", JsonValue::from(self.arch.clone())),
+        ])
+    }
+
+    fn from_json(v: &JsonValue) -> Result<Self, String> {
+        Ok(EnvFingerprint {
+            rustc: req_str(v, "rustc")?,
+            cpus: req_u64(v, "cpus")?,
+            opt_level: req_str(v, "opt_level")?,
+            os: req_str(v, "os")?,
+            arch: req_str(v, "arch")?,
+        })
+    }
+}
+
+/// The fixed seeded workload the harness measured (every knob that feeds
+/// the campaign's config fingerprint, plus the iteration plan).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadSpec {
+    /// Master seed pinning the whole case stream.
+    pub seed: u64,
+    /// LM training-corpus size.
+    pub corpus_programs: u64,
+    /// n-gram context order.
+    pub lm_order: u64,
+    /// BPE merge count.
+    pub lm_bpe_merges: u64,
+    /// Sampling top-k.
+    pub lm_top_k: u64,
+    /// Max tokens per generated program.
+    pub lm_max_tokens: u64,
+    /// Campaign case budget.
+    pub max_cases: u64,
+    /// Cases per shard.
+    pub shard_cases: u64,
+    /// Fuel per engine run.
+    pub fuel: u64,
+    /// Untimed warmup iterations per workload.
+    pub warmup_iters: u64,
+    /// Timed iterations per campaign workload.
+    pub iters: u64,
+    /// Timed iterations per interp microbench.
+    pub microbench_iters: u64,
+    /// Corpus programs measured as single-case interp microbenches.
+    pub microbench_cases: u64,
+}
+
+impl WorkloadSpec {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("seed", JsonValue::from(self.seed)),
+            ("corpus_programs", JsonValue::from(self.corpus_programs)),
+            ("lm_order", JsonValue::from(self.lm_order)),
+            ("lm_bpe_merges", JsonValue::from(self.lm_bpe_merges)),
+            ("lm_top_k", JsonValue::from(self.lm_top_k)),
+            ("lm_max_tokens", JsonValue::from(self.lm_max_tokens)),
+            ("max_cases", JsonValue::from(self.max_cases)),
+            ("shard_cases", JsonValue::from(self.shard_cases)),
+            ("fuel", JsonValue::from(self.fuel)),
+            ("warmup_iters", JsonValue::from(self.warmup_iters)),
+            ("iters", JsonValue::from(self.iters)),
+            ("microbench_iters", JsonValue::from(self.microbench_iters)),
+            ("microbench_cases", JsonValue::from(self.microbench_cases)),
+        ])
+    }
+
+    fn from_json(v: &JsonValue) -> Result<Self, String> {
+        Ok(WorkloadSpec {
+            seed: req_u64(v, "seed")?,
+            corpus_programs: req_u64(v, "corpus_programs")?,
+            lm_order: req_u64(v, "lm_order")?,
+            lm_bpe_merges: req_u64(v, "lm_bpe_merges")?,
+            lm_top_k: req_u64(v, "lm_top_k")?,
+            lm_max_tokens: req_u64(v, "lm_max_tokens")?,
+            max_cases: req_u64(v, "max_cases")?,
+            shard_cases: req_u64(v, "shard_cases")?,
+            fuel: req_u64(v, "fuel")?,
+            warmup_iters: req_u64(v, "warmup_iters")?,
+            iters: req_u64(v, "iters")?,
+            microbench_iters: req_u64(v, "microbench_iters")?,
+            microbench_cases: req_u64(v, "microbench_cases")?,
+        })
+    }
+}
+
+fn timing_to_json(s: &Summary) -> JsonValue {
+    JsonValue::object([
+        ("median_ns", JsonValue::from(s.median_ns)),
+        ("mad_ns", JsonValue::from(s.mad_ns)),
+        ("min_ns", JsonValue::from(s.min_ns)),
+        ("max_ns", JsonValue::from(s.max_ns)),
+        ("iters", JsonValue::from(s.iters)),
+    ])
+}
+
+fn timing_from_json(v: &JsonValue) -> Result<Summary, String> {
+    Ok(Summary {
+        median_ns: req_u64(v, "median_ns")?,
+        mad_ns: req_u64(v, "mad_ns")?,
+        min_ns: req_u64(v, "min_ns")?,
+        max_ns: req_u64(v, "max_ns")?,
+        iters: req_u64(v, "iters")?,
+    })
+}
+
+/// One timed thread-count of the campaign sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignEntry {
+    /// Tracked-metric name, e.g. `campaign/threads/4`.
+    pub name: String,
+    /// Worker threads for this entry.
+    pub threads: u64,
+    /// Cases the measured campaign ran (identical across the sweep).
+    pub cases_run: u64,
+    /// Checksum of the deterministic campaign report
+    /// (`comfort_core::checkpoint::report_checksum`), as 16 hex digits.
+    pub report_checksum: String,
+    /// Robust timing summary over the timed iterations.
+    pub timing: Summary,
+}
+
+impl CampaignEntry {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("name", JsonValue::from(self.name.clone())),
+            ("threads", JsonValue::from(self.threads)),
+            ("cases_run", JsonValue::from(self.cases_run)),
+            ("report_checksum", JsonValue::from(self.report_checksum.clone())),
+            ("timing", timing_to_json(&self.timing)),
+        ])
+    }
+
+    fn from_json(v: &JsonValue) -> Result<Self, String> {
+        Ok(CampaignEntry {
+            name: req_str(v, "name")?,
+            threads: req_u64(v, "threads")?,
+            cases_run: req_u64(v, "cases_run")?,
+            report_checksum: req_str(v, "report_checksum")?,
+            timing: timing_from_json(v.get("timing").ok_or("missing timing")?)?,
+        })
+    }
+}
+
+/// Per-stage pipeline breakdown of the measured campaign (from the
+/// campaign's embedded `CampaignMetrics`; the counters are deterministic,
+/// `wall_ns` is timing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageEntry {
+    /// Stage name (`generate`, `differential`, …).
+    pub stage: String,
+    /// Stage invocations across the campaign.
+    pub invocations: u64,
+    /// Items processed.
+    pub items: u64,
+    /// Deterministic logical cost.
+    pub logical_cost: u64,
+    /// Wall-clock nanoseconds attributed to the stage (timing field).
+    pub wall_ns: u64,
+}
+
+impl StageEntry {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("stage", JsonValue::from(self.stage.clone())),
+            ("invocations", JsonValue::from(self.invocations)),
+            ("items", JsonValue::from(self.items)),
+            ("logical_cost", JsonValue::from(self.logical_cost)),
+            ("wall_ns", JsonValue::from(self.wall_ns)),
+        ])
+    }
+
+    fn from_json(v: &JsonValue) -> Result<Self, String> {
+        Ok(StageEntry {
+            stage: req_str(v, "stage")?,
+            invocations: req_u64(v, "invocations")?,
+            items: req_u64(v, "items")?,
+            logical_cost: req_u64(v, "logical_cost")?,
+            wall_ns: req_u64(v, "wall_ns")?,
+        })
+    }
+}
+
+/// One single-case interp microbench over the pinned corpus slice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MicrobenchEntry {
+    /// Tracked-metric name, e.g. `interp/corpus/02`.
+    pub name: String,
+    /// Source length in bytes (pins the measured program).
+    pub source_len: u64,
+    /// Robust timing summary over the timed iterations.
+    pub timing: Summary,
+}
+
+impl MicrobenchEntry {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::object([
+            ("name", JsonValue::from(self.name.clone())),
+            ("source_len", JsonValue::from(self.source_len)),
+            ("timing", timing_to_json(&self.timing)),
+        ])
+    }
+
+    fn from_json(v: &JsonValue) -> Result<Self, String> {
+        Ok(MicrobenchEntry {
+            name: req_str(v, "name")?,
+            source_len: req_u64(v, "source_len")?,
+            timing: timing_from_json(v.get("timing").ok_or("missing timing")?)?,
+        })
+    }
+}
+
+/// A complete `BENCH_*.json` perf report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchReport {
+    /// Report identity, e.g. `BENCH_6`.
+    pub bench_id: String,
+    /// Schema version ([`SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Where the numbers were measured.
+    pub env: EnvFingerprint,
+    /// The fixed seeded workload.
+    pub workload: WorkloadSpec,
+    /// The 1/2/4/8-thread campaign sweep.
+    pub campaign: Vec<CampaignEntry>,
+    /// True iff every sweep entry carries the same report checksum — the
+    /// proof that the timed runs were bit-identical across thread counts.
+    pub checksums_identical: bool,
+    /// Per-stage breakdown of the single-thread campaign run.
+    pub stages: Vec<StageEntry>,
+    /// Single-case interp microbenches over the pinned corpus slice.
+    pub microbench: Vec<MicrobenchEntry>,
+}
+
+impl BenchReport {
+    /// Renders the report as canonical JSON (sorted keys, exact integers):
+    /// `parse(to_json())` re-renders byte-identically.
+    pub fn to_json(&self) -> String {
+        self.to_value().to_json()
+    }
+
+    fn to_value(&self) -> JsonValue {
+        JsonValue::object([
+            ("bench_id", JsonValue::from(self.bench_id.clone())),
+            ("schema_version", JsonValue::from(self.schema_version)),
+            ("env", self.env.to_json()),
+            ("workload", self.workload.to_json()),
+            (
+                "campaign",
+                JsonValue::Array(self.campaign.iter().map(CampaignEntry::to_json).collect()),
+            ),
+            ("checksums_identical", JsonValue::from(self.checksums_identical)),
+            ("stages", JsonValue::Array(self.stages.iter().map(StageEntry::to_json).collect())),
+            (
+                "microbench",
+                JsonValue::Array(self.microbench.iter().map(MicrobenchEntry::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Parses a report emitted by [`to_json`](Self::to_json). Strict: every
+    /// schema field must be present and well-typed, and the schema version
+    /// must be one this build understands.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let v = json::parse(text.trim_end())?;
+        let schema_version = req_u64(&v, "schema_version")?;
+        if schema_version != SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported schema_version {schema_version} (this build reads {SCHEMA_VERSION})"
+            ));
+        }
+        let campaign = match v.get("campaign").and_then(JsonValue::as_array) {
+            Some(items) => {
+                items.iter().map(CampaignEntry::from_json).collect::<Result<Vec<_>, String>>()?
+            }
+            None => return Err("missing campaign array".into()),
+        };
+        let stages = match v.get("stages").and_then(JsonValue::as_array) {
+            Some(items) => {
+                items.iter().map(StageEntry::from_json).collect::<Result<Vec<_>, String>>()?
+            }
+            None => return Err("missing stages array".into()),
+        };
+        let microbench = match v.get("microbench").and_then(JsonValue::as_array) {
+            Some(items) => {
+                items.iter().map(MicrobenchEntry::from_json).collect::<Result<Vec<_>, String>>()?
+            }
+            None => return Err("missing microbench array".into()),
+        };
+        Ok(BenchReport {
+            bench_id: req_str(&v, "bench_id")?,
+            schema_version,
+            env: EnvFingerprint::from_json(v.get("env").ok_or("missing env")?)?,
+            workload: WorkloadSpec::from_json(v.get("workload").ok_or("missing workload")?)?,
+            campaign,
+            checksums_identical: v
+                .get("checksums_identical")
+                .and_then(JsonValue::as_bool)
+                .ok_or("missing checksums_identical")?,
+            stages,
+            microbench,
+        })
+    }
+
+    /// The deterministic view: timing and environment stripped. Two harness
+    /// runs of the same workload on any machines must agree on this
+    /// byte-for-byte — it pins the workload spec, the campaign checksums,
+    /// the per-entry case counts, and the deterministic stage counters.
+    pub fn deterministic_json(&self) -> String {
+        JsonValue::object([
+            ("bench_id", JsonValue::from(self.bench_id.clone())),
+            ("schema_version", JsonValue::from(self.schema_version)),
+            ("workload", self.workload.to_json()),
+            (
+                "campaign",
+                JsonValue::Array(
+                    self.campaign
+                        .iter()
+                        .map(|e| {
+                            JsonValue::object([
+                                ("name", JsonValue::from(e.name.clone())),
+                                ("threads", JsonValue::from(e.threads)),
+                                ("cases_run", JsonValue::from(e.cases_run)),
+                                ("report_checksum", JsonValue::from(e.report_checksum.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("checksums_identical", JsonValue::from(self.checksums_identical)),
+            (
+                "stages",
+                JsonValue::Array(
+                    self.stages
+                        .iter()
+                        .map(|s| {
+                            JsonValue::object([
+                                ("stage", JsonValue::from(s.stage.clone())),
+                                ("invocations", JsonValue::from(s.invocations)),
+                                ("items", JsonValue::from(s.items)),
+                                ("logical_cost", JsonValue::from(s.logical_cost)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "microbench",
+                JsonValue::Array(
+                    self.microbench
+                        .iter()
+                        .map(|m| {
+                            JsonValue::object([
+                                ("name", JsonValue::from(m.name.clone())),
+                                ("source_len", JsonValue::from(m.source_len)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+        .to_json()
+    }
+
+    /// Every tracked metric in the report, as `(name, median_ns)` — the
+    /// series `bench-diff` gates on.
+    pub fn tracked_metrics(&self) -> Vec<(String, u64)> {
+        let mut out: Vec<(String, u64)> =
+            self.campaign.iter().map(|e| (e.name.clone(), e.timing.median_ns)).collect();
+        out.extend(self.microbench.iter().map(|m| (m.name.clone(), m.timing.median_ns)));
+        out
+    }
+}
+
+fn req_u64(v: &JsonValue, key: &str) -> Result<u64, String> {
+    v.get(key).and_then(JsonValue::as_u64).ok_or_else(|| format!("missing u64 field {key:?}"))
+}
+
+fn req_str(v: &JsonValue, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(JsonValue::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing string field {key:?}"))
+}

@@ -1,0 +1,88 @@
+//! Robust summary statistics for bench samples.
+//!
+//! The harness repeats each workload a handful of times on a possibly
+//! noisy machine, so the summary is built on order statistics — median and
+//! MAD (median absolute deviation) — rather than mean/stddev, which a
+//! single scheduler hiccup would drag arbitrarily far.
+
+/// Robust summary of one benchmark's timing samples (nanoseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Summary {
+    /// Median of the samples.
+    pub median_ns: u64,
+    /// Median absolute deviation from the median (robust spread).
+    pub mad_ns: u64,
+    /// Fastest sample.
+    pub min_ns: u64,
+    /// Slowest sample.
+    pub max_ns: u64,
+    /// Number of samples summarized.
+    pub iters: u64,
+}
+
+/// Median of a sorted slice (mean of the middle pair when even).
+fn median_sorted(sorted: &[u64]) -> u64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        // Midpoint without overflow.
+        let a = sorted[n / 2 - 1];
+        let b = sorted[n / 2];
+        a / 2 + b / 2 + (a % 2 + b % 2) / 2
+    }
+}
+
+/// Summarizes timing samples. Panics on an empty slice — every harness
+/// workload runs at least one iteration.
+pub fn summarize(samples_ns: &[u64]) -> Summary {
+    assert!(!samples_ns.is_empty(), "cannot summarize zero samples");
+    let mut sorted = samples_ns.to_vec();
+    sorted.sort_unstable();
+    let median = median_sorted(&sorted);
+    let mut deviations: Vec<u64> = sorted.iter().map(|&s| s.abs_diff(median)).collect();
+    deviations.sort_unstable();
+    Summary {
+        median_ns: median,
+        mad_ns: median_sorted(&deviations),
+        min_ns: sorted[0],
+        max_ns: *sorted.last().expect("non-empty"),
+        iters: sorted.len() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn odd_sample_median_and_mad() {
+        let s = summarize(&[5, 1, 9, 3, 7]);
+        assert_eq!(s.median_ns, 5);
+        // deviations: 4,4,2,2,0 → sorted 0,2,2,4,4 → MAD 2
+        assert_eq!(s.mad_ns, 2);
+        assert_eq!(s.min_ns, 1);
+        assert_eq!(s.max_ns, 9);
+        assert_eq!(s.iters, 5);
+    }
+
+    #[test]
+    fn even_sample_median_averages_the_middle_pair() {
+        let s = summarize(&[10, 20, 30, 40]);
+        assert_eq!(s.median_ns, 25);
+    }
+
+    #[test]
+    fn outliers_do_not_move_the_median() {
+        let steady = summarize(&[100, 101, 99, 100, 100]);
+        let spiked = summarize(&[100, 101, 99, 100, 100_000]);
+        assert_eq!(steady.median_ns, spiked.median_ns);
+        assert!(spiked.max_ns == 100_000);
+    }
+
+    #[test]
+    fn huge_values_do_not_overflow() {
+        let s = summarize(&[u64::MAX, u64::MAX - 1]);
+        assert_eq!(s.median_ns, u64::MAX - 1);
+    }
+}

@@ -1,0 +1,85 @@
+//! Integration tests for the perf-trajectory subsystem: the checked-in
+//! `BENCH_6.json` golden file, the `bench-diff` >5% gate, and harness
+//! determinism (two runs differ only in timing/env fields).
+
+use comfort_bench::diff::{diff, validate};
+use comfort_bench::harness::{run_harness_with, workload, BENCH_ID, SWEEP_THREADS};
+use comfort_bench::perf::{BenchReport, EnvFingerprint, SCHEMA_VERSION};
+
+fn golden_path() -> std::path::PathBuf {
+    // crates/bench/../../BENCH_6.json = repo root.
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_6.json")
+}
+
+fn fixed_env() -> EnvFingerprint {
+    EnvFingerprint {
+        rustc: "rustc (pinned for test)".into(),
+        cpus: 1,
+        opt_level: "test".into(),
+        os: "linux".into(),
+        arch: "x86_64".into(),
+    }
+}
+
+#[test]
+fn checked_in_baseline_round_trips_byte_identically() {
+    let text = std::fs::read_to_string(golden_path()).expect("BENCH_6.json is checked in");
+    let report = BenchReport::parse(&text).expect("baseline parses");
+    assert_eq!(report.bench_id, BENCH_ID);
+    assert_eq!(report.schema_version, SCHEMA_VERSION);
+    assert!(validate(&report).is_empty(), "baseline validates: {:?}", validate(&report));
+    // emit → parse → re-emit must reproduce the checked-in bytes exactly.
+    assert_eq!(report.to_json() + "\n", text, "re-emission is byte-identical");
+    let reparsed = BenchReport::parse(&report.to_json()).expect("re-emission parses");
+    assert_eq!(reparsed, report);
+}
+
+#[test]
+fn checked_in_baseline_proves_the_sweep_was_deterministic() {
+    let text = std::fs::read_to_string(golden_path()).expect("BENCH_6.json is checked in");
+    let report = BenchReport::parse(&text).expect("baseline parses");
+    assert_eq!(report.campaign.len(), SWEEP_THREADS.len());
+    assert!(report.checksums_identical);
+    let first = &report.campaign[0].report_checksum;
+    for entry in &report.campaign {
+        assert_eq!(&entry.report_checksum, first, "{} checksum differs", entry.name);
+    }
+}
+
+#[test]
+fn baseline_self_diff_passes_and_synthetic_regression_fails() {
+    let text = std::fs::read_to_string(golden_path()).expect("BENCH_6.json is checked in");
+    let baseline = BenchReport::parse(&text).expect("baseline parses");
+
+    // Self-diff: every ratio is exactly 1.0, the gate passes.
+    let self_diff = diff(&baseline, &baseline);
+    assert!(self_diff.passed(), "self-diff failures: {:?}", self_diff.failures);
+
+    // A synthetic 10% slowdown on one tracked metric must fail the gate.
+    let mut regressed = baseline.clone();
+    regressed.campaign[0].timing.median_ns = baseline.campaign[0].timing.median_ns * 110 / 100;
+    let gated = diff(&baseline, &regressed);
+    assert!(!gated.passed());
+    assert!(gated.failures.iter().any(|f| f.contains(&baseline.campaign[0].name)));
+
+    // A 10% speedup and ±4% noise both stay inside the gate.
+    let mut improved = baseline.clone();
+    improved.campaign[0].timing.median_ns = baseline.campaign[0].timing.median_ns * 90 / 100;
+    if let Some(m) = improved.microbench.first_mut() {
+        m.timing.median_ns = m.timing.median_ns * 104 / 100;
+    }
+    let ok = diff(&baseline, &improved);
+    assert!(ok.passed(), "improvement/noise failures: {:?}", ok.failures);
+}
+
+#[test]
+fn two_harness_runs_agree_on_the_deterministic_view() {
+    // Same workload, same pinned env: the runs may disagree on every
+    // timing sample, but the deterministic view (workload spec, campaign
+    // checksums, case counts, stage counters) must match byte-for-byte.
+    let a = run_harness_with(true, fixed_env());
+    let b = run_harness_with(true, fixed_env());
+    assert_eq!(a.deterministic_json(), b.deterministic_json());
+    assert!(a.checksums_identical && b.checksums_identical);
+    assert_eq!(a.workload, workload(true));
+}

@@ -537,6 +537,19 @@ pub fn report_to_json_deterministic(report: &CampaignReport) -> String {
     report_to_json(&stripped)
 }
 
+/// A 64-bit checksum over the deterministic view of a campaign report
+/// (FNV-1a over [`report_to_json_deterministic`]).
+///
+/// Two runs of the same workload — at any thread count, fresh or resumed —
+/// produce the same checksum if and only if their reports agree in every
+/// deterministic field. The `comfort-bench` harness embeds it in
+/// `BENCH_*.json` to prove the timed sweep measured bit-identical work.
+pub fn report_checksum(report: &CampaignReport) -> u64 {
+    let mut fp = Fingerprint::new();
+    fp.mix_str(&report_to_json_deterministic(report));
+    fp.finish()
+}
+
 /// Parses a report rendered by [`report_to_json`].
 pub fn report_from_json(v: &JsonValue) -> Result<CampaignReport, String> {
     let health = match v.get("health") {

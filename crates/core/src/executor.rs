@@ -181,9 +181,13 @@ pub fn merge_shard_reports_with_sink(
 ///     .threads(0)      // all cores
 ///     .build()
 ///     .expect("valid config");
-/// let report = ShardedCampaign::new(config).run();
+/// let report = ShardedCampaign::new(config).run_with_threads(0);
 /// println!("{} bugs", report.bugs.len());
 /// ```
+///
+/// Most callers should drive it through
+/// [`CampaignSession`](crate::session::CampaignSession), which adds
+/// resume-awareness and chainable scheduling overrides on top.
 pub struct ShardedCampaign {
     config: CampaignConfig,
     generator: Arc<Generator>,
@@ -219,6 +223,13 @@ impl ShardedCampaign {
     }
 
     /// Runs the campaign with the configured thread count.
+    ///
+    /// Deprecated: build a [`CampaignSession`](crate::session::CampaignSession)
+    /// instead (`CampaignSession::new(config).run()`), the unified entry
+    /// point for fresh and resumable runs. This wrapper delegates to the
+    /// same machinery and is proven bit-identical to the session path by
+    /// test.
+    #[deprecated(note = "use CampaignSession::new(config).run() instead")]
     pub fn run(&self) -> CampaignReport {
         self.run_with_threads(resolve_threads(self.config.threads))
     }
@@ -246,6 +257,12 @@ impl ShardedCampaign {
     /// Fails if the config has no checkpoint path, the journal on disk was
     /// written under a different config fingerprint, or its shard plan
     /// disagrees with this config's plan.
+    ///
+    /// Deprecated: build a [`CampaignSession`](crate::session::CampaignSession)
+    /// instead (`CampaignSession::new(config).checkpoint(path).run()`). This
+    /// wrapper delegates to the same machinery and is proven bit-identical
+    /// to the session path by test.
+    #[deprecated(note = "use CampaignSession::new(config).checkpoint(path).run() instead")]
     pub fn run_resumable(&self) -> Result<CampaignReport, CheckpointError> {
         self.run_resumable_with_threads(self.config.threads)
     }
@@ -478,24 +495,35 @@ impl ShardedCampaign {
 /// Convenience wrapper: builds the executor and resumes (or starts) the
 /// campaign against its configured checkpoint journal.
 ///
+/// Deprecated: build a [`CampaignSession`](crate::session::CampaignSession)
+/// instead —
+///
 /// ```no_run
 /// use comfort_core::campaign::CampaignConfig;
-/// use comfort_core::executor::run_campaign_resumable;
+/// use comfort_core::session::CampaignSession;
 ///
 /// let config = CampaignConfig::builder()
 ///     .max_cases(240)
 ///     .shard_cases(40)
-///     .checkpoint_path("campaign.ckpt")
 ///     .build()
 ///     .expect("valid config");
 /// // First invocation runs fresh and journals; re-running the same binary
 /// // after a crash salvages the journal and finishes the remaining shards.
-/// let report = run_campaign_resumable(config).expect("resumable run");
+/// let report = CampaignSession::new(config)
+///     .checkpoint("campaign.ckpt")
+///     .run()
+///     .expect("resumable run");
 /// println!("{} bugs ({} shards salvaged)", report.bugs.len(),
 ///          report.resume.map_or(0, |r| r.shards_salvaged));
 /// ```
+#[deprecated(note = "use CampaignSession::new(config).checkpoint(path).run() instead")]
 pub fn run_campaign_resumable(config: CampaignConfig) -> Result<CampaignReport, CheckpointError> {
-    ShardedCampaign::new(config).run_resumable()
+    if config.checkpoint.is_none() {
+        // The session treats a checkpoint-less run as fresh; this legacy
+        // entry point always required a journal path.
+        return Err(CheckpointError::NoCheckpointPath);
+    }
+    crate::session::CampaignSession::new(config).run()
 }
 
 /// Everything `run_internal` needs to pick a campaign up from its journal.

@@ -12,6 +12,8 @@
 //! * [`campaign`] — the §4–5 evaluation loop with version attribution and a
 //!   calibrated developer model,
 //! * [`executor`] — the sharded, deterministic parallel campaign executor,
+//! * [`session`] — [`CampaignSession`], the unified entry point for
+//!   running campaigns (fresh or crash-safe resumable),
 //! * [`compare`] / [`quality`] — the Figure 8 and Figure 9 harnesses,
 //! * [`report`] — renders every table and figure,
 //! * [`pipeline`] — the `Comfort` facade for downstream users.
@@ -42,6 +44,7 @@ pub mod quality;
 pub mod reduce;
 pub mod report;
 pub mod resilience;
+pub mod session;
 pub mod test262;
 pub mod testcase;
 
@@ -50,9 +53,9 @@ pub use campaign::{
     ConfigError, DeveloperModel,
 };
 pub use checkpoint::{
-    config_fingerprint, report_from_json, report_to_json, report_to_json_deterministic,
-    CampaignCheckpoint, CheckpointError, CheckpointJournal, Fingerprint, RecoveryReport,
-    ResumeInfo, ShardRecord,
+    config_fingerprint, report_checksum, report_from_json, report_to_json,
+    report_to_json_deterministic, CampaignCheckpoint, CheckpointError, CheckpointJournal,
+    Fingerprint, RecoveryReport, ResumeInfo, ShardRecord,
 };
 pub use comfort_telemetry as telemetry;
 pub use differential::{
@@ -70,4 +73,5 @@ pub use resilience::{
     run_case_hardened, run_case_hardened_cancellable, CancelToken, CaseObservation, ChaosConfig,
     ExecPolicy, FaultRecord, HealthTracker, QuarantineEvent, ReinstateEvent, TestbedHealth,
 };
+pub use session::CampaignSession;
 pub use testcase::{Origin, TestCase};

@@ -16,6 +16,7 @@ use crate::checkpoint::{CheckpointError, ResumeInfo};
 use crate::datagen::DataGenConfig;
 use crate::executor::ShardedCampaign;
 use crate::resilience::{CancelToken, ChaosConfig, ExecPolicy, TestbedHealth};
+use crate::session::CampaignSession;
 
 /// Facade configuration (a curated subset of [`CampaignConfig`]).
 #[derive(Debug, Clone)]
@@ -253,7 +254,7 @@ impl Comfort {
     pub fn run_budgeted(&mut self, cases: usize) -> PipelineReport {
         let mut executor = self.executor_for(cases);
         executor.attach_progress(self.progress.clone());
-        Self::pipeline_report(executor.run())
+        Self::pipeline_report(executor.run_with_threads(self.config.threads))
     }
 
     /// Like [`Comfort::run_budgeted`], but resumes from the configured
@@ -263,16 +264,39 @@ impl Comfort {
     ///
     /// Fails if the config has no checkpoint path, or if the journal on disk
     /// belongs to a different configuration (fingerprint mismatch).
+    ///
+    /// Deprecated: build a
+    /// [`CampaignSession`](crate::session::CampaignSession) over a full
+    /// [`CampaignConfig`] instead
+    /// (`CampaignSession::new(config).checkpoint(path).run()`). This
+    /// wrapper delegates to the same machinery and is proven bit-identical
+    /// to the session path by test.
+    #[deprecated(note = "use CampaignSession::new(config).checkpoint(path).run() instead")]
     pub fn run_budgeted_resumable(
         &mut self,
         cases: usize,
     ) -> Result<PipelineReport, CheckpointError> {
-        let mut executor = self.executor_for(cases);
-        executor.attach_progress(self.progress.clone());
-        executor.run_resumable().map(Self::pipeline_report)
+        let session = self.session_for(cases);
+        if session.config().checkpoint.is_none() {
+            // The session treats a checkpoint-less run as fresh; this
+            // legacy entry point always required a journal path.
+            return Err(CheckpointError::NoCheckpointPath);
+        }
+        session.run().map(Self::pipeline_report)
     }
 
     fn executor_for(&mut self, cases: usize) -> ShardedCampaign {
+        ShardedCampaign::new(self.campaign_config_for(cases))
+    }
+
+    fn session_for(&mut self, cases: usize) -> CampaignSession {
+        let config = self.campaign_config_for(cases);
+        CampaignSession::new(config).share_progress(self.progress.clone())
+    }
+
+    /// Lowers the facade config into a full [`CampaignConfig`] for one
+    /// budgeted run (each run advances the seed so runs stay independent).
+    fn campaign_config_for(&mut self, cases: usize) -> CampaignConfig {
         let campaign_config = CampaignConfig {
             seed: self.config.seed.wrapping_add(self.runs),
             corpus_programs: self.config.corpus_programs,
@@ -295,7 +319,7 @@ impl Comfort {
             checkpoint: self.config.checkpoint.clone(),
         };
         self.runs += 1;
-        ShardedCampaign::new(campaign_config)
+        campaign_config
     }
 
     fn pipeline_report(report: crate::campaign::CampaignReport) -> PipelineReport {

@@ -1,6 +1,10 @@
 //! Table/figure rendering: regenerates every table and figure of the
 //! paper's evaluation section from campaign data (see DESIGN.md §3 for the
 //! experiment index).
+//!
+//! All renderers go through one [`Table`] builder so every plain-text
+//! report in the workspace (paper tables, stage metrics, testbed health,
+//! resume, and the `comfort-bench` bench/diff reports) shares one layout.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -12,38 +16,85 @@ use crate::compare::FuzzerSeries;
 use crate::quality::QualityReport;
 use crate::testcase::Origin;
 
-fn row(out: &mut String, cells: &[&str], widths: &[usize]) {
-    for (cell, w) in cells.iter().zip(widths) {
-        let _ = write!(out, "{cell:<w$}  ");
+/// Fixed-width plain-text table: the one table-builder every report
+/// renderer in the workspace goes through.
+///
+/// Each cell is left-aligned, padded to its column width, and followed by
+/// two spaces; free-form [`text`] lines carry footers and annotations.
+///
+/// [`text`]: Table::text
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    widths: Vec<usize>,
+    lines: Vec<Line>,
+}
+
+#[derive(Debug, Clone)]
+enum Line {
+    Row(Vec<String>),
+    Text(String),
+}
+
+impl Table {
+    /// Creates a table with a title line and fixed column widths.
+    pub fn new(title: impl Into<String>, widths: &[usize]) -> Self {
+        Table { title: title.into(), widths: widths.to_vec(), lines: Vec::new() }
     }
-    out.push('\n');
+
+    /// Appends one row of cells. Cells beyond the configured column count
+    /// render unpadded.
+    pub fn row(&mut self, cells: &[&str]) -> &mut Self {
+        self.lines.push(Line::Row(cells.iter().map(|c| c.to_string()).collect()));
+        self
+    }
+
+    /// Appends a free-form text line (totals, footers, annotations).
+    pub fn text(&mut self, line: impl Into<String>) -> &mut Self {
+        self.lines.push(Line::Text(line.into()));
+        self
+    }
+
+    /// Renders the table as plain text (title first, one line per row).
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str(&self.title);
+        out.push('\n');
+        for line in &self.lines {
+            match line {
+                Line::Row(cells) => {
+                    for (i, cell) in cells.iter().enumerate() {
+                        let w = self.widths.get(i).copied().unwrap_or(0);
+                        let _ = write!(out, "{cell:<w$}  ");
+                    }
+                    out.push('\n');
+                }
+                Line::Text(text) => {
+                    out.push_str(text);
+                    out.push('\n');
+                }
+            }
+        }
+        out
+    }
 }
 
 /// **Table 1** — the engine/version inventory.
 pub fn table1() -> String {
-    let mut out = String::from("Table 1: JS engines under test\n");
-    let widths = [14, 24, 16, 12, 10];
-    row(&mut out, &["Engine", "Version", "Build", "Released", "ES spec"], &widths);
+    let mut t = Table::new("Table 1: JS engines under test", &[14, 24, 16, 12, 10]);
+    t.row(&["Engine", "Version", "Build", "Released", "ES spec"]);
     for v in all_versions() {
-        row(
-            &mut out,
-            &[v.engine.as_str(), v.version, v.build, v.release, v.edition.as_str()],
-            &widths,
-        );
+        t.row(&[v.engine.as_str(), v.version, v.build, v.release, v.edition.as_str()]);
     }
-    let _ = writeln!(out, "total configurations: {}", all_versions().len());
-    out
+    t.text(format!("total configurations: {}", all_versions().len()));
+    t.render()
 }
 
 /// **Table 2** — per-engine bug statistics.
 pub fn table2(report: &CampaignReport) -> String {
-    let mut out = String::from("Table 2: bug statistics per tested JS engine\n");
-    let widths = [14, 10, 10, 8, 16, 14];
-    row(
-        &mut out,
-        &["Engine", "#Submitted", "#Verified", "#Fixed", "#Acc. by Test262", "(paper #Subm.)"],
-        &widths,
-    );
+    let mut t =
+        Table::new("Table 2: bug statistics per tested JS engine", &[14, 10, 10, 8, 16, 14]);
+    t.row(&["Engine", "#Submitted", "#Verified", "#Fixed", "#Acc. by Test262", "(paper #Subm.)"]);
     let mut totals = (0usize, 0usize, 0usize, 0usize);
     for engine in EngineName::ALL {
         let bugs: Vec<_> = report.bugs.iter().filter(|b| b.key.engine == engine).collect();
@@ -55,39 +106,30 @@ pub fn table2(report: &CampaignReport) -> String {
         totals.1 += verified;
         totals.2 += fixed;
         totals.3 += t262;
-        row(
-            &mut out,
-            &[
-                engine.as_str(),
-                &submitted.to_string(),
-                &verified.to_string(),
-                &fixed.to_string(),
-                &t262.to_string(),
-                &quota(engine).to_string(),
-            ],
-            &widths,
-        );
+        t.row(&[
+            engine.as_str(),
+            &submitted.to_string(),
+            &verified.to_string(),
+            &fixed.to_string(),
+            &t262.to_string(),
+            &quota(engine).to_string(),
+        ]);
     }
-    row(
-        &mut out,
-        &[
-            "Total",
-            &totals.0.to_string(),
-            &totals.1.to_string(),
-            &totals.2.to_string(),
-            &totals.3.to_string(),
-            "158",
-        ],
-        &widths,
-    );
-    out
+    t.row(&[
+        "Total",
+        &totals.0.to_string(),
+        &totals.1.to_string(),
+        &totals.2.to_string(),
+        &totals.3.to_string(),
+        "158",
+    ]);
+    t.render()
 }
 
 /// **Table 3** — bugs per engine *version* (earliest-version attribution).
 pub fn table3(report: &CampaignReport) -> String {
-    let mut out = String::from("Table 3: bugs found per JS engine version\n");
-    let widths = [14, 28, 10, 10, 8, 6];
-    row(&mut out, &["Engine", "Version", "#Submitted", "#Verified", "#Fixed", "#New"], &widths);
+    let mut t = Table::new("Table 3: bugs found per JS engine version", &[14, 28, 10, 10, 8, 6]);
+    t.row(&["Engine", "Version", "#Submitted", "#Verified", "#Fixed", "#New"]);
     let mut by_version: BTreeMap<(EngineName, String), Vec<&crate::campaign::BugReport>> =
         BTreeMap::new();
     for b in &report.bugs {
@@ -101,54 +143,45 @@ pub fn table3(report: &CampaignReport) -> String {
             let new = bugs.iter().filter(|b| b.adjudication.novel).count();
             total += bugs.len();
             let version_label = version.strip_prefix(&format!("{engine} ")).unwrap_or(version);
-            row(
-                &mut out,
-                &[
-                    engine.as_str(),
-                    version_label,
-                    &bugs.len().to_string(),
-                    &verified.to_string(),
-                    &fixed.to_string(),
-                    &new.to_string(),
-                ],
-                &widths,
-            );
+            t.row(&[
+                engine.as_str(),
+                version_label,
+                &bugs.len().to_string(),
+                &verified.to_string(),
+                &fixed.to_string(),
+                &new.to_string(),
+            ]);
         }
     }
-    let _ = writeln!(out, "total: {total}");
-    out
+    t.text(format!("total: {total}"));
+    t.render()
 }
 
 /// **Table 4** — bugs by discovery mechanism.
 pub fn table4(report: &CampaignReport) -> String {
-    let mut out = String::from("Table 4: bug statistics per generation mechanism\n");
-    let widths = [28, 10, 10, 8, 16];
-    row(&mut out, &["Category", "#Submitted", "#Confirmed", "#Fixed", "#Acc. by Test262"], &widths);
+    let mut t =
+        Table::new("Table 4: bug statistics per generation mechanism", &[28, 10, 10, 8, 16]);
+    t.row(&["Category", "#Submitted", "#Confirmed", "#Fixed", "#Acc. by Test262"]);
     for origin in [Origin::ProgramGen, Origin::EcmaMutation] {
         let bugs: Vec<_> = report.bugs.iter().filter(|b| b.origin == origin).collect();
         let confirmed = bugs.iter().filter(|b| b.adjudication.verified).count();
         let fixed = bugs.iter().filter(|b| b.adjudication.fixed).count();
         let t262 = bugs.iter().filter(|b| b.adjudication.accepted_test262).count();
-        row(
-            &mut out,
-            &[
-                origin.as_str(),
-                &bugs.len().to_string(),
-                &confirmed.to_string(),
-                &fixed.to_string(),
-                &t262.to_string(),
-            ],
-            &widths,
-        );
+        t.row(&[
+            origin.as_str(),
+            &bugs.len().to_string(),
+            &confirmed.to_string(),
+            &fixed.to_string(),
+            &t262.to_string(),
+        ]);
     }
-    out
+    t.render()
 }
 
 /// **Table 5** — top buggy object types.
 pub fn table5(report: &CampaignReport) -> String {
-    let mut out = String::from("Table 5: statistics on buggy object types\n");
-    let widths = [14, 10, 10, 8];
-    row(&mut out, &["API Type", "#Submitted", "#Confirmed", "#Fixed"], &widths);
+    let mut t = Table::new("Table 5: statistics on buggy object types", &[14, 10, 10, 8]);
+    t.row(&["API Type", "#Submitted", "#Confirmed", "#Fixed"]);
     let mut counts: BTreeMap<&'static str, (usize, usize, usize)> = BTreeMap::new();
     for b in &report.bugs {
         if b.api_type == ApiType::NonApi {
@@ -170,39 +203,30 @@ pub fn table5(report: &CampaignReport) -> String {
         totals.0 += s;
         totals.1 += c;
         totals.2 += f;
-        row(&mut out, &[ty, &s.to_string(), &c.to_string(), &f.to_string()], &widths);
+        t.row(&[ty, &s.to_string(), &c.to_string(), &f.to_string()]);
     }
-    row(
-        &mut out,
-        &["Total", &totals.0.to_string(), &totals.1.to_string(), &totals.2.to_string()],
-        &widths,
-    );
-    out
+    t.row(&["Total", &totals.0.to_string(), &totals.1.to_string(), &totals.2.to_string()]);
+    t.render()
 }
 
 /// **Figure 7** — bugs per affected compiler component (plus strict-only).
 pub fn figure7(report: &CampaignReport) -> String {
-    let mut out = String::from("Figure 7: bugs per compiler component\n");
-    let widths = [16, 10, 10, 8];
-    row(&mut out, &["Component", "#Submitted", "#Confirmed", "#Fixed"], &widths);
+    let mut t = Table::new("Figure 7: bugs per compiler component", &[16, 10, 10, 8]);
+    t.row(&["Component", "#Submitted", "#Confirmed", "#Fixed"]);
     for component in Component::ALL {
         let bugs: Vec<_> = report.bugs.iter().filter(|b| b.component == component).collect();
         let confirmed = bugs.iter().filter(|b| b.adjudication.verified).count();
         let fixed = bugs.iter().filter(|b| b.adjudication.fixed).count();
-        row(
-            &mut out,
-            &[
-                component.as_str(),
-                &bugs.len().to_string(),
-                &confirmed.to_string(),
-                &fixed.to_string(),
-            ],
-            &widths,
-        );
+        t.row(&[
+            component.as_str(),
+            &bugs.len().to_string(),
+            &confirmed.to_string(),
+            &fixed.to_string(),
+        ]);
     }
     let strict_only = report.bugs.iter().filter(|b| b.strict_only).count();
-    let _ = writeln!(out, "Strict-mode-only bugs: {strict_only}");
-    out
+    t.text(format!("Strict-mode-only bugs: {strict_only}"));
+    t.render()
 }
 
 /// **Stage metrics** — the per-stage counter table from the campaign's
@@ -211,25 +235,19 @@ pub fn figure7(report: &CampaignReport) -> String {
 pub fn stage_metrics(report: &CampaignReport) -> String {
     use comfort_telemetry::Stage;
     let m = &report.metrics;
-    let mut out = String::from("Stage metrics: pipeline counters per stage\n");
-    let widths = [14, 12, 10, 14, 12];
-    row(&mut out, &["Stage", "Invocations", "Items", "Logical cost", "Wall (ms)"], &widths);
+    let mut t = Table::new("Stage metrics: pipeline counters per stage", &[14, 12, 10, 14, 12]);
+    t.row(&["Stage", "Invocations", "Items", "Logical cost", "Wall (ms)"]);
     for stage in Stage::ALL {
         let s = m.stage(stage);
-        row(
-            &mut out,
-            &[
-                stage.as_str(),
-                &s.invocations.to_string(),
-                &s.items.to_string(),
-                &s.logical_cost.to_string(),
-                &format!("{:.1}", s.wall_nanos as f64 / 1e6),
-            ],
-            &widths,
-        );
+        t.row(&[
+            stage.as_str(),
+            &s.invocations.to_string(),
+            &s.items.to_string(),
+            &s.logical_cost.to_string(),
+            &format!("{:.1}", s.wall_nanos as f64 / 1e6),
+        ]);
     }
-    let _ = writeln!(
-        out,
+    t.text(format!(
         "funnel: {} generated, {} rejected, {} run → {} deviations → {} bugs (+{} deduped) \
          across {} shard(s)",
         m.cases_generated,
@@ -239,32 +257,30 @@ pub fn stage_metrics(report: &CampaignReport) -> String {
         m.bugs_reported,
         m.bugs_deduped,
         m.shards
-    );
-    out
+    ));
+    t.render()
 }
 
 /// **Health report** — the per-testbed fault ledger from the hardened
 /// execution layer: successful runs, fault counts by kind, retries, and
 /// quarantine state (see DESIGN.md §9).
 pub fn health_report(report: &CampaignReport) -> String {
-    let mut out = String::from("Testbed health: faults, retries, and quarantine per testbed\n");
-    let widths = [30, 8, 7, 6, 10, 6, 8, 8, 7, 12];
-    row(
-        &mut out,
-        &[
-            "Testbed",
-            "Runs OK",
-            "Panics",
-            "Hangs",
-            "Transient",
-            "Trunc",
-            "Retries",
-            "Skipped",
-            "Reinst",
-            "State",
-        ],
-        &widths,
+    let mut t = Table::new(
+        "Testbed health: faults, retries, and quarantine per testbed",
+        &[30, 8, 7, 6, 10, 6, 8, 8, 7, 12],
     );
+    t.row(&[
+        "Testbed",
+        "Runs OK",
+        "Panics",
+        "Hangs",
+        "Transient",
+        "Trunc",
+        "Retries",
+        "Skipped",
+        "Reinst",
+        "State",
+    ]);
     let mut total_faults = 0u64;
     let mut quarantined = 0usize;
     for h in &report.health {
@@ -273,113 +289,90 @@ pub fn health_report(report: &CampaignReport) -> String {
         if h.quarantined {
             quarantined += 1;
         }
-        row(
-            &mut out,
-            &[
-                &h.label,
-                &h.runs_ok.to_string(),
-                &h.panics.to_string(),
-                &h.hangs.to_string(),
-                &h.transients_exhausted.to_string(),
-                &h.outputs_truncated.to_string(),
-                &h.retries.to_string(),
-                &h.runs_skipped.to_string(),
-                &h.reinstatements.to_string(),
-                state,
-            ],
-            &widths,
-        );
+        t.row(&[
+            &h.label,
+            &h.runs_ok.to_string(),
+            &h.panics.to_string(),
+            &h.hangs.to_string(),
+            &h.transients_exhausted.to_string(),
+            &h.outputs_truncated.to_string(),
+            &h.retries.to_string(),
+            &h.runs_skipped.to_string(),
+            &h.reinstatements.to_string(),
+            state,
+        ]);
     }
-    let _ = writeln!(
-        out,
+    t.text(format!(
         "total: {} fault(s) observed across {} testbed(s), {} quarantined",
         total_faults,
         report.health.len(),
         quarantined
-    );
-    out
+    ));
+    t.render()
 }
 
 /// **Resume report** — how a checkpointed campaign recovered: shards
 /// salvaged from the journal vs. re-run, bytes dropped from a torn tail,
 /// and fresh checkpoints written (see DESIGN.md §10).
 pub fn resume_report(report: &CampaignReport) -> String {
-    let mut out = String::from("Campaign durability: checkpoint & resume\n");
+    let mut t = Table::new("Campaign durability: checkpoint & resume", &[26, 44]);
     let Some(resume) = &report.resume else {
-        out.push_str("(fresh run: no journal was resumed)\n");
+        t.text("(fresh run: no journal was resumed)");
         if report.interrupted {
-            out.push_str("status: INTERRUPTED before the case budget completed\n");
+            t.text("status: INTERRUPTED before the case budget completed");
         }
-        return out;
+        return t.render();
     };
-    let widths = [26, 44];
-    row(&mut out, &["Resumed from", &resume.resumed_from], &widths);
-    row(
-        &mut out,
-        &["Shards salvaged", &format!("{} of {}", resume.shards_salvaged, resume.shards_total)],
-        &widths,
-    );
-    row(&mut out, &["Shards re-run", &resume.shards_rerun.to_string()], &widths);
-    row(&mut out, &["Dropped tail bytes", &resume.dropped_tail_bytes.to_string()], &widths);
-    row(&mut out, &["Checkpoints written", &resume.checkpoints_written.to_string()], &widths);
+    t.row(&["Resumed from", &resume.resumed_from]);
+    t.row(&["Shards salvaged", &format!("{} of {}", resume.shards_salvaged, resume.shards_total)]);
+    t.row(&["Shards re-run", &resume.shards_rerun.to_string()]);
+    t.row(&["Dropped tail bytes", &resume.dropped_tail_bytes.to_string()]);
+    t.row(&["Checkpoints written", &resume.checkpoints_written.to_string()]);
     let status = if report.interrupted { "INTERRUPTED" } else { "complete" };
-    row(&mut out, &["Status", status], &widths);
-    out
+    t.row(&["Status", status]);
+    t.render()
 }
 
 /// **Figure 8** — fuzzer comparison over the testing budget.
 pub fn figure8(series: &[FuzzerSeries]) -> String {
-    let mut out = String::from(
-        "Figure 8: unique bugs per fuzzer (equal budgets; confirm/fix window applied)\n",
+    let mut t = Table::new(
+        "Figure 8: unique bugs per fuzzer (equal budgets; confirm/fix window applied)",
+        &[16, 8, 10, 8, 10],
     );
-    let widths = [16, 8, 10, 8, 10];
-    row(&mut out, &["Fuzzer", "#Bugs", "#Confirmed", "#Fixed", "#Exclusive"], &widths);
+    t.row(&["Fuzzer", "#Bugs", "#Confirmed", "#Fixed", "#Exclusive"]);
     for s in series {
-        row(
-            &mut out,
-            &[
-                &s.name,
-                &s.unique_bugs.to_string(),
-                &s.confirmed.to_string(),
-                &s.fixed.to_string(),
-                &s.exclusive.to_string(),
-            ],
-            &widths,
-        );
+        t.row(&[
+            &s.name,
+            &s.unique_bugs.to_string(),
+            &s.confirmed.to_string(),
+            &s.fixed.to_string(),
+            &s.exclusive.to_string(),
+        ]);
     }
-    out.push_str("\nDiscovery timeline (hours → cumulative unique bugs):\n");
+    t.text("\nDiscovery timeline (hours → cumulative unique bugs):");
     for s in series {
         let pts: Vec<String> = s.discoveries.iter().map(|(h, n)| format!("{h:.1}h:{n}")).collect();
-        let _ = writeln!(out, "  {:<16} {}", s.name, pts.join(" "));
+        t.text(format!("  {:<16} {}", s.name, pts.join(" ")));
     }
-    out
+    t.render()
 }
 
 /// **Figure 9** — syntax validity + coverage per fuzzer.
 pub fn figure9(reports: &[QualityReport]) -> String {
-    let mut out = String::from("Figure 9: test-case quality per fuzzer\n");
-    let widths = [16, 12, 12, 10, 10, 10];
-    row(
-        &mut out,
-        &["Fuzzer", "#Generated", "Syntax pass", "Stmt cov", "Func cov", "Branch cov"],
-        &widths,
-    );
+    let mut t = Table::new("Figure 9: test-case quality per fuzzer", &[16, 12, 12, 10, 10, 10]);
+    t.row(&["Fuzzer", "#Generated", "Syntax pass", "Stmt cov", "Func cov", "Branch cov"]);
     let pct = |v: f64| if v.is_nan() { "n/a".to_string() } else { format!("{:.1}%", v * 100.0) };
     for q in reports {
-        row(
-            &mut out,
-            &[
-                &q.fuzzer,
-                &q.generated.to_string(),
-                &pct(q.syntax_pass_rate),
-                &pct(q.stmt_coverage),
-                &pct(q.func_coverage),
-                &pct(q.branch_coverage),
-            ],
-            &widths,
-        );
+        t.row(&[
+            &q.fuzzer,
+            &q.generated.to_string(),
+            &pct(q.syntax_pass_rate),
+            &pct(q.stmt_coverage),
+            &pct(q.func_coverage),
+            &pct(q.branch_coverage),
+        ]);
     }
-    out
+    t.render()
 }
 
 #[cfg(test)]
@@ -417,6 +410,20 @@ mod tests {
             ],
             ..CampaignReport::default()
         }
+    }
+
+    #[test]
+    fn table_builder_pads_and_orders_lines() {
+        let mut t = Table::new("T: demo", &[4, 3]);
+        t.row(&["ab", "c"]).row(&["x", "yz"]).text("footer");
+        assert_eq!(t.render(), "T: demo\nab    c    \nx     yz   \nfooter\n");
+    }
+
+    #[test]
+    fn table_builder_leaves_overflow_cells_unpadded() {
+        let mut t = Table::new("T", &[2]);
+        t.row(&["abcd", "extra"]);
+        assert_eq!(t.render(), "T\nabcd  extra  \n");
     }
 
     #[test]

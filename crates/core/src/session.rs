@@ -1,0 +1,232 @@
+//! One unified entry point for campaign execution.
+//!
+//! PRs 1–4 accreted four ways to run a campaign — `ShardedCampaign::run`,
+//! `ShardedCampaign::run_resumable`, the `run_campaign_resumable` free
+//! function, and `Comfort::run_budgeted_resumable` — each a different
+//! slice of the same machinery. [`CampaignSession`] collapses them: build
+//! it from a [`CampaignConfig`], override the scheduling knobs with the
+//! chainable setters, and call [`run`](CampaignSession::run). The session
+//! is resume-aware — with a checkpoint path configured it salvages an
+//! existing journal exactly like the old resumable entry points; without
+//! one it runs fresh and always returns `Ok`.
+//!
+//! The session owns the trained generator and testbed matrix (built
+//! lazily, once), so sweeping thread counts with
+//! [`run_with_threads`](CampaignSession::run_with_threads) — as the
+//! `comfort-bench` harness does — trains the language model a single time
+//! and re-runs the identical workload at each width. The determinism
+//! contract carries over unchanged: reports are **bit-identical** in every
+//! deterministic field at any thread count.
+
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use comfort_telemetry::{ProgressHandle, SinkHandle};
+
+use crate::campaign::{CampaignConfig, CampaignReport};
+use crate::checkpoint::CheckpointError;
+use crate::executor::{plan_shards, ShardSpec, ShardedCampaign};
+use crate::resilience::CancelToken;
+
+/// A configured, reusable campaign run: the one front door to the sharded
+/// executor, replacing the four legacy entry points (now `#[deprecated]`
+/// wrappers over this type).
+///
+/// ```no_run
+/// use comfort_core::campaign::CampaignConfig;
+/// use comfort_core::session::CampaignSession;
+///
+/// let config = CampaignConfig::builder()
+///     .max_cases(240)
+///     .shard_cases(40) // 6 shards
+///     .build()
+///     .expect("valid config");
+/// let report = CampaignSession::new(config)
+///     .threads(4)
+///     .checkpoint("campaign.ckpt") // crash-safe: re-running resumes
+///     .run()
+///     .expect("campaign run");
+/// println!("{} bugs", report.bugs.len());
+/// ```
+pub struct CampaignSession {
+    config: CampaignConfig,
+    progress: ProgressHandle,
+    executor: OnceLock<ShardedCampaign>,
+}
+
+impl CampaignSession {
+    /// Creates a session over `config`. Nothing runs (or trains) until the
+    /// first [`run`](Self::run) call.
+    pub fn new(config: CampaignConfig) -> Self {
+        CampaignSession { config, progress: ProgressHandle::new(), executor: OnceLock::new() }
+    }
+
+    /// Overrides the worker-thread count (`0` = available parallelism).
+    /// Scheduling only: the report is bit-identical at every setting.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self.invalidate();
+        self
+    }
+
+    /// Sets the write-ahead checkpoint journal path. With a path set,
+    /// [`run`](Self::run) becomes crash-safe: it salvages an intact journal
+    /// left by a previous interrupted run and re-runs only the missing
+    /// shards.
+    pub fn checkpoint(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.config.checkpoint = Some(path.into());
+        self.invalidate();
+        self
+    }
+
+    /// Installs a cooperative-shutdown token (cancel it from any thread to
+    /// drain in-flight shards, checkpoint, and return an interrupted
+    /// report).
+    pub fn cancel(mut self, token: CancelToken) -> Self {
+        self.config.cancel = token;
+        self.invalidate();
+        self
+    }
+
+    /// Sets a wall-clock budget for the run.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.config.deadline = Some(deadline);
+        self.invalidate();
+        self
+    }
+
+    /// Sets the telemetry sink receiving the run's typed event stream.
+    pub fn sink(mut self, sink: SinkHandle) -> Self {
+        self.config.sink = sink;
+        self.invalidate();
+        self
+    }
+
+    /// Shares a caller-owned progress handle (the `Comfort` facade passes
+    /// one handle across budgeted runs).
+    pub fn share_progress(mut self, progress: ProgressHandle) -> Self {
+        self.progress = progress;
+        self.invalidate();
+        self
+    }
+
+    /// The session's effective configuration.
+    pub fn config(&self) -> &CampaignConfig {
+        &self.config
+    }
+
+    /// The shard plan this session will run (a pure function of the
+    /// configuration).
+    pub fn plan(&self) -> Vec<ShardSpec> {
+        plan_shards(&self.config)
+    }
+
+    /// The live progress handle: poll it from another thread while
+    /// [`run`](Self::run) executes.
+    pub fn progress(&self) -> ProgressHandle {
+        self.progress.clone()
+    }
+
+    /// Runs the campaign with the configured thread count.
+    ///
+    /// With a checkpoint path configured this is the crash-safe path: an
+    /// intact journal on disk is salvaged (error if it was written under a
+    /// different config fingerprint or shard plan) and only missing shards
+    /// re-run. Without one the run is fresh and the result is always `Ok`.
+    pub fn run(&self) -> Result<CampaignReport, CheckpointError> {
+        self.run_with_threads(self.config.threads)
+    }
+
+    /// [`run`](Self::run) on exactly `threads` workers (`0` = available
+    /// parallelism), reusing the session's trained generator and testbed
+    /// matrix. Sweeping widths re-runs the identical workload; the report
+    /// is bit-identical in every deterministic field at each width.
+    pub fn run_with_threads(&self, threads: usize) -> Result<CampaignReport, CheckpointError> {
+        let executor = self.executor();
+        if self.config.checkpoint.is_some() {
+            executor.run_resumable_with_threads(threads)
+        } else {
+            Ok(executor.run_with_threads(threads))
+        }
+    }
+
+    /// The lazily-built executor (trains the LM on first use).
+    fn executor(&self) -> &ShardedCampaign {
+        self.executor.get_or_init(|| {
+            let mut executor = ShardedCampaign::new(self.config.clone());
+            executor.attach_progress(self.progress.clone());
+            executor
+        })
+    }
+
+    /// Drops the cached executor after a config override; the next run
+    /// rebuilds it from the updated config.
+    fn invalidate(&mut self) {
+        self.executor = OnceLock::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::report_to_json_deterministic;
+
+    fn small_config() -> CampaignConfig {
+        CampaignConfig::builder()
+            .seed(11)
+            .corpus_programs(80)
+            .lm(comfort_lm::GeneratorConfig {
+                order: 8,
+                bpe_merges: 200,
+                top_k: 10,
+                max_tokens: 800,
+            })
+            .max_cases(40)
+            .fuel(200_000)
+            .include_strict(false)
+            .include_legacy(false)
+            .reduce_cases(false)
+            .shard_cases(20)
+            .build()
+            .expect("valid config")
+    }
+
+    #[test]
+    fn fresh_sessions_always_succeed_and_sweeps_are_bit_identical() {
+        let session = CampaignSession::new(small_config());
+        let one = session.run_with_threads(1).expect("fresh run is infallible");
+        let two = session.run_with_threads(2).expect("fresh run is infallible");
+        assert_eq!(one.cases_run, 40);
+        assert_eq!(report_to_json_deterministic(&one), report_to_json_deterministic(&two));
+    }
+
+    #[test]
+    fn setters_override_the_config() {
+        let session = CampaignSession::new(small_config())
+            .threads(3)
+            .checkpoint("x.ckpt")
+            .deadline(Duration::from_secs(5));
+        assert_eq!(session.config().threads, 3);
+        assert_eq!(session.config().checkpoint.as_deref(), Some(std::path::Path::new("x.ckpt")));
+        assert_eq!(session.config().deadline, Some(Duration::from_secs(5)));
+        assert_eq!(session.plan().len(), 2);
+    }
+
+    #[test]
+    fn checkpointed_session_resumes_its_own_journal() {
+        let dir = std::env::temp_dir().join(format!("comfort-session-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("session.ckpt");
+        let _ = std::fs::remove_file(&path);
+        let session = CampaignSession::new(small_config()).checkpoint(&path);
+        let fresh = session.run().expect("fresh checkpointed run");
+        assert!(fresh.resume.is_none());
+        // Re-running the same session salvages every shard from the journal.
+        let resumed = session.run().expect("resumed run");
+        let info = resumed.resume.as_ref().expect("resume provenance");
+        assert_eq!(info.shards_salvaged, 2);
+        assert_eq!(info.shards_rerun, 0);
+        assert_eq!(report_to_json_deterministic(&fresh), report_to_json_deterministic(&resumed));
+        let _ = std::fs::remove_file(&path);
+    }
+}

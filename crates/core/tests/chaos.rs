@@ -4,8 +4,8 @@
 //! thread count — including the fault telemetry.
 
 use comfort_core::campaign::{CampaignConfig, CampaignReport};
-use comfort_core::executor::ShardedCampaign;
 use comfort_core::resilience::{ChaosConfig, ExecPolicy};
+use comfort_core::session::CampaignSession;
 use comfort_engines::FaultPlan;
 use comfort_lm::GeneratorConfig;
 use comfort_telemetry::{Event, EventKind, MemorySink, SinkHandle};
@@ -37,8 +37,8 @@ fn chaos_config(sink: SinkHandle, shard_cases: usize) -> CampaignConfig {
 
 fn run_chaos(threads: usize, shard_cases: usize) -> (Vec<Event>, CampaignReport) {
     let mem = MemorySink::new();
-    let executor = ShardedCampaign::new(chaos_config(SinkHandle::new(mem.clone()), shard_cases));
-    let report = executor.run_with_threads(threads);
+    let session = CampaignSession::new(chaos_config(SinkHandle::new(mem.clone()), shard_cases));
+    let report = session.run_with_threads(threads).expect("fresh run is infallible");
     (mem.take(), report)
 }
 
@@ -143,7 +143,7 @@ fn chaos_free_campaign_reports_clean_health() {
         .reduce_cases(false)
         .build()
         .expect("valid config");
-    let report = ShardedCampaign::new(config).run_with_threads(2);
+    let report = CampaignSession::new(config).run_with_threads(2).expect("fresh run");
     assert_eq!(report.cases_run, 20);
     assert!(!report.health.is_empty());
     for h in &report.health {

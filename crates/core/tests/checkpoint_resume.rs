@@ -11,8 +11,8 @@ use comfort_core::checkpoint::{
     config_fingerprint, report_to_json_deterministic, CampaignCheckpoint, CheckpointError,
     CheckpointJournal,
 };
-use comfort_core::executor::ShardedCampaign;
 use comfort_core::resilience::{CancelToken, ChaosConfig, ExecPolicy};
+use comfort_core::session::CampaignSession;
 use comfort_engines::FaultPlan;
 use comfort_lm::GeneratorConfig;
 use comfort_telemetry::{Event, MemorySink, SinkHandle};
@@ -53,8 +53,8 @@ fn data_plane(events: &[Event]) -> Vec<String> {
 /// reproduce byte-for-byte (deterministic view).
 fn reference_run() -> (CampaignReport, Vec<String>) {
     let mem = MemorySink::new();
-    let executor = ShardedCampaign::new(base_config(SinkHandle::new(mem.clone())));
-    let report = executor.run_with_threads(1);
+    let session = CampaignSession::new(base_config(SinkHandle::new(mem.clone())));
+    let report = session.run_with_threads(1).expect("fresh run is infallible");
     (report, data_plane(&mem.take()))
 }
 
@@ -64,7 +64,7 @@ fn complete_journal(path: &PathBuf) {
     let mut config = base_config(SinkHandle::null());
     config.checkpoint = Some(path.clone());
     std::fs::remove_file(path).ok();
-    let report = ShardedCampaign::new(config).run_resumable().expect("fresh journaled run");
+    let report = CampaignSession::new(config).run().expect("fresh journaled run");
     assert!(!report.interrupted);
 }
 
@@ -92,9 +92,8 @@ fn resume_after_k_of_n_shards_is_bit_identical_at_every_thread_count() {
             let mem = MemorySink::new();
             let mut config = base_config(SinkHandle::new(mem.clone()));
             config.checkpoint = Some(partial.clone());
-            let report = ShardedCampaign::new(config)
-                .run_resumable_with_threads(threads)
-                .expect("resume succeeds");
+            let report =
+                CampaignSession::new(config).run_with_threads(threads).expect("resume succeeds");
             // Restore the partial journal for the next thread count (the
             // resumed run appended the missing shards to it).
             let after = std::fs::read(&partial).expect("journal bytes");
@@ -130,7 +129,7 @@ fn resuming_a_finished_journal_reruns_nothing() {
     let mem = MemorySink::new();
     let mut config = base_config(SinkHandle::new(mem.clone()));
     config.checkpoint = Some(path);
-    let report = ShardedCampaign::new(config).run_resumable().expect("resume");
+    let report = CampaignSession::new(config).run().expect("resume");
     assert_eq!(report_to_json_deterministic(&report), report_to_json_deterministic(&reference));
     assert_eq!(data_plane(&mem.take()), reference_events);
     let resume = report.resume.expect("provenance");
@@ -147,7 +146,7 @@ fn fingerprint_mismatch_refuses_to_resume() {
     let mut other = base_config(SinkHandle::null());
     other.seed ^= 1;
     other.checkpoint = Some(path);
-    let err = ShardedCampaign::new(other).run_resumable().expect_err("must refuse");
+    let err = CampaignSession::new(other).run().expect_err("must refuse");
     assert!(
         matches!(err, CheckpointError::FingerprintMismatch { .. }),
         "expected fingerprint mismatch, got {err}"
@@ -169,8 +168,7 @@ fn cancel_token_drains_checkpoints_and_resumes_identically() {
     let interrupted = std::thread::scope(|scope| {
         let runner = {
             let config = config.clone();
-            scope
-                .spawn(move || ShardedCampaign::new(config).run_resumable().expect("journaled run"))
+            scope.spawn(move || CampaignSession::new(config).run().expect("journaled run"))
         };
         // Cancel as soon as the journal holds at least one shard record (a
         // header plus one framed line) — a mid-campaign shutdown.
@@ -196,7 +194,7 @@ fn cancel_token_drains_checkpoints_and_resumes_identically() {
     let mem = MemorySink::new();
     let mut resume_config = base_config(SinkHandle::new(mem.clone()));
     resume_config.checkpoint = Some(path);
-    let resumed = ShardedCampaign::new(resume_config).run_resumable().expect("resume");
+    let resumed = CampaignSession::new(resume_config).run().expect("resume");
     assert!(!resumed.interrupted);
     assert_eq!(report_to_json_deterministic(&resumed), report_to_json_deterministic(&reference));
     assert_eq!(data_plane(&mem.take()), reference_events);
@@ -211,7 +209,7 @@ fn zero_deadline_interrupts_immediately_but_leaves_a_loadable_journal() {
     let mut config = base_config(SinkHandle::null());
     config.checkpoint = Some(path.clone());
     config.deadline = Some(std::time::Duration::ZERO);
-    let report = ShardedCampaign::new(config).run_resumable().expect("journaled run");
+    let report = CampaignSession::new(config).run().expect("journaled run");
     assert!(report.interrupted);
     assert_eq!(report.cases_run, 0, "a zero deadline cancels before the first case");
 
@@ -219,7 +217,7 @@ fn zero_deadline_interrupts_immediately_but_leaves_a_loadable_journal() {
     let (reference, _) = reference_run();
     let mut resume_config = base_config(SinkHandle::null());
     resume_config.checkpoint = Some(path);
-    let resumed = ShardedCampaign::new(resume_config).run_resumable().expect("resume");
+    let resumed = CampaignSession::new(resume_config).run().expect("resume");
     assert!(!resumed.interrupted);
     assert_eq!(report_to_json_deterministic(&resumed), report_to_json_deterministic(&reference));
 }
@@ -246,7 +244,9 @@ fn probe_reinstatements_are_deterministic_and_reconciled() {
             ))
             .build()
             .expect("valid chaos config");
-        let report = ShardedCampaign::new(config).run_with_threads(threads);
+        let report = CampaignSession::new(config)
+            .run_with_threads(threads)
+            .expect("fresh run is infallible");
         (report, mem.take())
     };
 
@@ -294,7 +294,7 @@ proptest! {
         let mut config = base_config(SinkHandle::null());
         let fingerprint = config_fingerprint(&config);
         config.checkpoint = Some(truncated.clone());
-        match ShardedCampaign::new(config).run_resumable() {
+        match CampaignSession::new(config).run() {
             Ok(report) => {
                 prop_assert!(!report.interrupted);
                 prop_assert_eq!(report.cases_run, 60);

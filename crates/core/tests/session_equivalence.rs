@@ -1,0 +1,143 @@
+//! The four legacy campaign entry points (`ShardedCampaign::run`,
+//! `ShardedCampaign::run_resumable`, `run_campaign_resumable`,
+//! `Comfort::run_budgeted_resumable`) are kept as `#[deprecated]` wrappers
+//! over [`CampaignSession`]. These tests pin the wrapper contract: each
+//! one produces a report **bit-identical** (in every deterministic field)
+//! to driving the session directly, and each preserves its legacy error
+//! behavior (`NoCheckpointPath` without a journal path, where the session
+//! would simply run fresh).
+#![allow(deprecated)]
+
+use std::path::PathBuf;
+
+use comfort_core::campaign::CampaignConfig;
+use comfort_core::checkpoint::{report_to_json_deterministic, CheckpointError};
+use comfort_core::executor::{run_campaign_resumable, ShardedCampaign};
+use comfort_core::pipeline::{Comfort, ComfortConfig};
+use comfort_core::session::CampaignSession;
+use comfort_lm::GeneratorConfig;
+
+fn temp_path(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("comfort-equiv-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(format!("{tag}.ckpt"));
+    std::fs::remove_file(&path).ok();
+    path
+}
+
+fn small_config() -> CampaignConfig {
+    CampaignConfig::builder()
+        .seed(7)
+        .corpus_programs(80)
+        .lm(GeneratorConfig { order: 8, bpe_merges: 200, top_k: 10, max_tokens: 800 })
+        .max_cases(40)
+        .fuel(200_000)
+        .include_strict(false)
+        .include_legacy(false)
+        .reduce_cases(false)
+        .shard_cases(20) // 2 shards
+        .build()
+        .expect("valid test config")
+}
+
+#[test]
+fn sharded_campaign_run_matches_session() {
+    let legacy = ShardedCampaign::new(small_config()).run();
+    let session = CampaignSession::new(small_config()).run().expect("fresh session run");
+    assert_eq!(report_to_json_deterministic(&legacy), report_to_json_deterministic(&session));
+}
+
+#[test]
+fn sharded_campaign_run_resumable_matches_session() {
+    let legacy_journal = temp_path("legacy-resumable");
+    let mut legacy_config = small_config();
+    legacy_config.checkpoint = Some(legacy_journal);
+    let legacy = ShardedCampaign::new(legacy_config).run_resumable().expect("journaled run");
+
+    let session_journal = temp_path("session-resumable");
+    let session = CampaignSession::new(small_config())
+        .checkpoint(session_journal)
+        .run()
+        .expect("journaled session run");
+    assert_eq!(report_to_json_deterministic(&legacy), report_to_json_deterministic(&session));
+}
+
+#[test]
+fn run_campaign_resumable_matches_session() {
+    let legacy_journal = temp_path("legacy-free-fn");
+    let mut legacy_config = small_config();
+    legacy_config.checkpoint = Some(legacy_journal);
+    let legacy = run_campaign_resumable(legacy_config).expect("journaled run");
+
+    let session_journal = temp_path("session-free-fn");
+    let session = CampaignSession::new(small_config())
+        .checkpoint(session_journal)
+        .run()
+        .expect("journaled session run");
+    assert_eq!(report_to_json_deterministic(&legacy), report_to_json_deterministic(&session));
+}
+
+#[test]
+fn comfort_run_budgeted_resumable_matches_session() {
+    // The facade lowers ComfortConfig into a CampaignConfig (fixed
+    // sim-seconds, invalid-keep fraction, default datagen) with the run
+    // counter folded into the seed; replicate that lowering for the session
+    // side and compare the deterministic fields of the resulting reports.
+    let facade_journal = temp_path("facade");
+    let mut comfort = Comfort::new(ComfortConfig {
+        seed: 7,
+        corpus_programs: 80,
+        lm: GeneratorConfig { order: 8, bpe_merges: 200, top_k: 10, max_tokens: 800 },
+        fuel: 200_000,
+        reduce: false,
+        shard_cases: 20,
+        checkpoint: Some(facade_journal),
+        ..ComfortConfig::default()
+    });
+    let legacy = comfort.run_budgeted_resumable(40).expect("journaled budgeted run");
+
+    let session_journal = temp_path("facade-session");
+    let lowered = CampaignConfig::builder()
+        .seed(7) // first budgeted run: seed + 0
+        .corpus_programs(80)
+        .lm(GeneratorConfig { order: 8, bpe_merges: 200, top_k: 10, max_tokens: 800 })
+        .max_cases(40)
+        .fuel(200_000)
+        .sim_seconds_per_case(2.88)
+        .include_strict(false)
+        .include_legacy(false)
+        .reduce_cases(false)
+        .keep_invalid_fraction(0.2)
+        .shard_cases(20)
+        .build()
+        .expect("valid lowered config");
+    let session =
+        CampaignSession::new(lowered).checkpoint(session_journal).run().expect("session run");
+
+    assert_eq!(legacy.cases_run, session.cases_run);
+    assert_eq!(legacy.sim_hours.to_bits(), session.sim_hours.to_bits());
+    assert_eq!(legacy.duplicates_filtered, session.duplicates_filtered);
+    assert_eq!(legacy.deviations.len(), session.bugs.len());
+    for (a, b) in legacy.deviations.iter().zip(&session.bugs) {
+        assert_eq!(a.key.to_string(), b.key.to_string());
+        assert_eq!(a.sim_hours.to_bits(), b.sim_hours.to_bits());
+        assert_eq!(a.test_case, b.test_case);
+    }
+}
+
+#[test]
+fn wrappers_preserve_the_no_checkpoint_error() {
+    // The session runs fresh without a journal path; the legacy resumable
+    // entry points must keep erroring instead.
+    let err = ShardedCampaign::new(small_config()).run_resumable().expect_err("no path");
+    assert!(matches!(err, CheckpointError::NoCheckpointPath));
+    let err = run_campaign_resumable(small_config()).expect_err("no path");
+    assert!(matches!(err, CheckpointError::NoCheckpointPath));
+    let mut comfort = Comfort::new(ComfortConfig {
+        corpus_programs: 80,
+        fuel: 200_000,
+        ..ComfortConfig::default()
+    });
+    let err = comfort.run_budgeted_resumable(10).expect_err("no path");
+    assert!(matches!(err, CheckpointError::NoCheckpointPath));
+}

@@ -5,8 +5,9 @@
 
 use comfort_core::campaign::{Adjudication, BugReport, Campaign, CampaignConfig, CampaignReport};
 use comfort_core::differential::DeviationKind;
-use comfort_core::executor::{merge_shard_reports, plan_shards, ShardedCampaign};
+use comfort_core::executor::{merge_shard_reports, plan_shards};
 use comfort_core::filter::BugKey;
+use comfort_core::session::CampaignSession;
 use comfort_core::testcase::Origin;
 use comfort_engines::{ApiType, Component, EngineName};
 use comfort_lm::GeneratorConfig;
@@ -50,10 +51,10 @@ fn assert_reports_identical(a: &CampaignReport, b: &CampaignReport, label: &str)
 
 #[test]
 fn report_is_bit_identical_across_thread_counts() {
-    let executor = ShardedCampaign::new(sharded_config(40)); // 3 shards
-    let t1 = executor.run_with_threads(1);
-    let t2 = executor.run_with_threads(2);
-    let t8 = executor.run_with_threads(8);
+    let session = CampaignSession::new(sharded_config(40)); // 3 shards
+    let t1 = session.run_with_threads(1).expect("fresh run");
+    let t2 = session.run_with_threads(2).expect("fresh run");
+    let t8 = session.run_with_threads(8).expect("fresh run");
     assert_eq!(t1.cases_run, 120);
     assert!(!t1.bugs.is_empty(), "the seeded stream must surface bugs");
     assert_reports_identical(&t1, &t2, "threads 1 vs 2");
@@ -62,11 +63,11 @@ fn report_is_bit_identical_across_thread_counts() {
 
 #[test]
 fn fresh_executors_agree_with_each_other() {
-    // Training happens per executor; two independently constructed executors
+    // Training happens per session; two independently constructed sessions
     // over the same config must still produce the same report.
-    let a = ShardedCampaign::new(sharded_config(40)).run_with_threads(4);
-    let b = ShardedCampaign::new(sharded_config(40)).run_with_threads(3);
-    assert_reports_identical(&a, &b, "fresh executors");
+    let a = CampaignSession::new(sharded_config(40)).run_with_threads(4).expect("fresh run");
+    let b = CampaignSession::new(sharded_config(40)).run_with_threads(3).expect("fresh run");
+    assert_reports_identical(&a, &b, "fresh sessions");
 }
 
 #[test]
@@ -76,7 +77,7 @@ fn single_shard_executor_matches_legacy_serial_campaign() {
     let config = sharded_config(0);
     assert_eq!(plan_shards(&config).len(), 1);
     let legacy = Campaign::new(config.clone()).run();
-    let sharded = ShardedCampaign::new(config).run_with_threads(8);
+    let sharded = CampaignSession::new(config).run_with_threads(8).expect("fresh run");
     assert_reports_identical(&legacy, &sharded, "legacy vs single-shard");
 }
 

@@ -3,7 +3,7 @@
 //! metrics/report reconciliation, and live-progress monotonicity.
 
 use comfort_core::campaign::CampaignConfig;
-use comfort_core::executor::ShardedCampaign;
+use comfort_core::session::CampaignSession;
 use comfort_lm::GeneratorConfig;
 use comfort_telemetry::{Event, EventKind, MemorySink, SinkHandle, Stage};
 
@@ -26,8 +26,8 @@ fn telemetry_config(sink: SinkHandle) -> CampaignConfig {
 
 fn run_and_capture(threads: usize) -> (Vec<Event>, comfort_core::campaign::CampaignReport) {
     let mem = MemorySink::new();
-    let executor = ShardedCampaign::new(telemetry_config(SinkHandle::new(mem.clone())));
-    let report = executor.run_with_threads(threads);
+    let session = CampaignSession::new(telemetry_config(SinkHandle::new(mem.clone())));
+    let report = session.run_with_threads(threads).expect("fresh run is infallible");
     (mem.take(), report)
 }
 
@@ -102,8 +102,8 @@ fn metrics_reconcile_with_report_and_events() {
 #[test]
 fn merged_metrics_conserve_shard_totals() {
     let mem = MemorySink::new();
-    let executor = ShardedCampaign::new(telemetry_config(SinkHandle::new(mem.clone())));
-    let merged = executor.run_with_threads(2);
+    let session = CampaignSession::new(telemetry_config(SinkHandle::new(mem.clone())));
+    let merged = session.run_with_threads(2).expect("fresh run");
     let events = mem.take();
 
     // Reconstruct per-shard totals from the shard-finished events and check
@@ -128,13 +128,13 @@ fn merged_metrics_conserve_shard_totals() {
 
 #[test]
 fn progress_handle_observes_monotonic_completion() {
-    let executor = ShardedCampaign::new(telemetry_config(SinkHandle::null()));
-    let progress = executor.progress();
+    let session = CampaignSession::new(telemetry_config(SinkHandle::null()));
+    let progress = session.progress();
 
     let done = std::sync::atomic::AtomicBool::new(false);
     std::thread::scope(|scope| {
         let runner = scope.spawn(|| {
-            let report = executor.run_with_threads(2);
+            let report = session.run_with_threads(2).expect("fresh run");
             done.store(true, std::sync::atomic::Ordering::Release);
             report
         });

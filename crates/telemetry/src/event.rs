@@ -598,25 +598,10 @@ impl Event {
     }
 }
 
-/// Escapes `s` as a JSON string literal (with quotes).
+/// Escapes `s` as a JSON string literal (with quotes). Alias for the
+/// shared [`crate::json::escape_string`].
 pub fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
+    crate::json::escape_string(s)
 }
 
 #[cfg(test)]

@@ -1,9 +1,19 @@
-//! A minimal JSON parser for validating telemetry output.
+//! A minimal JSON parser **and canonical serializer** for telemetry and
+//! report output.
 //!
 //! The workspace builds offline (no serde); tests and CI still need to
 //! assert that `JsonlSink` output *parses* and that its fields reconcile
 //! with the campaign report. This is a small, strict, recursive-descent
-//! parser over the JSON grammar — ample for one-line event objects.
+//! parser over the JSON grammar — ample for one-line event objects — plus
+//! [`JsonValue::to_json`], the one shared emitter every machine-readable
+//! artifact of the workspace (telemetry events, checkpoint journals,
+//! `BENCH_*.json` perf reports) renders through instead of growing bespoke
+//! serializers.
+//!
+//! The rendering is **canonical**: object keys in sorted (`BTreeMap`)
+//! order, integers exact, floats in Rust's shortest round-trip form. For
+//! any value produced by [`parse`], `parse(v.to_json())` re-renders
+//! byte-identically — the invariant the `BENCH_*.json` golden tests pin.
 
 use std::collections::BTreeMap;
 
@@ -93,6 +103,146 @@ impl JsonValue {
             _ => None,
         }
     }
+
+    /// The value's items, if it is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Renders the value as canonical JSON: object keys in sorted order,
+    /// integers exact, floats in shortest round-trip form (non-finite
+    /// floats, which JSON cannot represent, render as `null`). Parsing the
+    /// output and re-rendering it is byte-identical.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64);
+        self.write_json(&mut out);
+        out
+    }
+
+    fn write_json(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            JsonValue::Number(n) if !n.is_finite() => out.push_str("null"),
+            JsonValue::Number(n) => {
+                // `{}` on f64 is the shortest string that parses back to the
+                // same bits, so emit → parse → re-emit is stable. Integral
+                // floats would print without a fraction and re-parse as
+                // `Int`; keep them in the float lane with an explicit `.0`.
+                if n.fract() == 0.0 && n.abs() < 1e19 {
+                    let _ = write!(out, "{n:.1}");
+                } else {
+                    let _ = write!(out, "{n}");
+                }
+            }
+            JsonValue::String(s) => out.push_str(&escape_string(s)),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_json(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(map) => {
+                out.push('{');
+                for (i, (key, value)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&escape_string(key));
+                    out.push(':');
+                    value.write_json(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Builds an object from `(key, value)` pairs (later duplicates win).
+    pub fn object<K: Into<String>>(pairs: impl IntoIterator<Item = (K, JsonValue)>) -> JsonValue {
+        JsonValue::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+}
+
+impl From<bool> for JsonValue {
+    fn from(v: bool) -> Self {
+        JsonValue::Bool(v)
+    }
+}
+
+impl From<u64> for JsonValue {
+    fn from(v: u64) -> Self {
+        JsonValue::Int(v as i128)
+    }
+}
+
+impl From<i64> for JsonValue {
+    fn from(v: i64) -> Self {
+        JsonValue::Int(v as i128)
+    }
+}
+
+impl From<usize> for JsonValue {
+    fn from(v: usize) -> Self {
+        JsonValue::Int(v as i128)
+    }
+}
+
+impl From<f64> for JsonValue {
+    fn from(v: f64) -> Self {
+        JsonValue::Number(v)
+    }
+}
+
+impl From<&str> for JsonValue {
+    fn from(v: &str) -> Self {
+        JsonValue::String(v.to_string())
+    }
+}
+
+impl From<String> for JsonValue {
+    fn from(v: String) -> Self {
+        JsonValue::String(v)
+    }
+}
+
+impl<T: Into<JsonValue>> From<Vec<T>> for JsonValue {
+    fn from(v: Vec<T>) -> Self {
+        JsonValue::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+/// Quotes and escapes `s` as a JSON string literal (the escaping used by
+/// every serializer in the workspace — see `event::json_string`).
+pub fn escape_string(s: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Parses one JSON document; trailing non-whitespace is an error.
@@ -324,6 +474,62 @@ mod tests {
         assert!(parse("[1,2,]").is_err());
         assert!(parse("{} extra").is_err());
         assert!(parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn canonical_rendering_is_parse_stable() {
+        // parse → to_json → parse → to_json must be byte-identical, across
+        // exact big integers, fractional and integral floats, escapes, and
+        // nesting — the invariant the BENCH_*.json golden tests rely on.
+        let v = JsonValue::object([
+            ("seed", JsonValue::Int((u64::MAX - 7) as i128)),
+            ("ratio", JsonValue::from(2.5)),
+            ("whole", JsonValue::from(1.0)),
+            ("tiny", JsonValue::from(1.25e-7)),
+            ("label", JsonValue::from("a\"b\nc\td\u{1}")),
+            ("flags", JsonValue::from(vec![true, false])),
+            (
+                "nested",
+                JsonValue::object([
+                    ("xs", JsonValue::from(vec![1u64, 2, 3])),
+                    ("none", JsonValue::Null),
+                ]),
+            ),
+        ]);
+        let first = v.to_json();
+        let reparsed = parse(&first).expect("canonical output parses");
+        assert_eq!(reparsed.to_json(), first);
+        let again = parse(&reparsed.to_json()).unwrap();
+        assert_eq!(again, reparsed);
+    }
+
+    #[test]
+    fn integral_floats_stay_in_the_float_lane() {
+        // 1.0 must render as "1.0" (not "1") so re-parsing keeps it a
+        // Number; otherwise emit → parse → re-emit would flip lanes.
+        assert_eq!(JsonValue::Number(1.0).to_json(), "1.0");
+        assert_eq!(JsonValue::Number(-3.0).to_json(), "-3.0");
+        assert_eq!(JsonValue::Number(2.5).to_json(), "2.5");
+        assert_eq!(JsonValue::Int(1).to_json(), "1");
+        assert_eq!(JsonValue::Number(f64::NAN).to_json(), "null");
+        assert_eq!(JsonValue::Number(f64::INFINITY).to_json(), "null");
+        let v = parse("1.0").unwrap();
+        assert!(matches!(v, JsonValue::Number(_)));
+        assert_eq!(v.to_json(), "1.0");
+    }
+
+    #[test]
+    fn object_keys_render_sorted() {
+        let v = parse(r#"{"zeta":1,"alpha":2,"mid":3}"#).unwrap();
+        assert_eq!(v.to_json(), r#"{"alpha":2,"mid":3,"zeta":1}"#);
+    }
+
+    #[test]
+    fn escape_string_matches_parser() {
+        let raw = "plain \"quoted\" back\\slash\nnew\ttab\u{2} unicode é";
+        let escaped = escape_string(raw);
+        let v = parse(&escaped).expect("escaped string parses");
+        assert_eq!(v.as_str(), Some(raw));
     }
 
     #[test]

@@ -33,8 +33,8 @@ fn build_config(sink: SinkHandle) -> CampaignConfig {
 
 fn run_at(threads: usize) -> (Vec<Event>, comfort::core::campaign::CampaignReport) {
     let mem = MemorySink::new();
-    let executor = ShardedCampaign::new(build_config(SinkHandle::new(mem.clone())));
-    let report = executor.run_with_threads(threads);
+    let session = CampaignSession::new(build_config(SinkHandle::new(mem.clone())));
+    let report = session.run_with_threads(threads).expect("fresh run is infallible");
     (mem.take(), report)
 }
 

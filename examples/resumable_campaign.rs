@@ -37,8 +37,7 @@ fn build_config(journal: Option<PathBuf>) -> CampaignConfig {
 /// Child mode: run the journaled campaign to completion (the parent will
 /// kill us long before that).
 fn child(journal: PathBuf) -> ! {
-    let report =
-        ShardedCampaign::new(build_config(Some(journal))).run_resumable().expect("journaled run");
+    let report = CampaignSession::new(build_config(Some(journal))).run().expect("journaled run");
     std::process::exit(if report.interrupted { 2 } else { 0 });
 }
 
@@ -82,12 +81,11 @@ fn main() {
     println!("  killed with at least one shard checkpointed\n");
 
     println!("phase 2: resuming from the journal in-process…");
-    let resumed =
-        ShardedCampaign::new(build_config(Some(journal.clone()))).run_resumable().expect("resume");
+    let resumed = CampaignSession::new(build_config(Some(journal.clone()))).run().expect("resume");
     println!("{}", resume_report(&resumed));
 
     println!("phase 3: uninterrupted reference run for comparison…");
-    let reference = ShardedCampaign::new(build_config(None)).run();
+    let reference = CampaignSession::new(build_config(None)).run().expect("fresh run");
 
     let resumed_json = report_to_json_deterministic(&resumed);
     let reference_json = report_to_json_deterministic(&reference);

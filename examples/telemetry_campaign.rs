@@ -29,11 +29,11 @@ fn main() {
         .expect("valid config");
 
     println!("running a 30-case campaign, streaming events to {}…", jsonl_path.display());
-    let executor = ShardedCampaign::new(config);
-    let progress = executor.progress();
+    let session = CampaignSession::new(config);
+    let progress = session.progress();
 
     let report = std::thread::scope(|scope| {
-        let runner = scope.spawn(|| executor.run_with_threads(0));
+        let runner = scope.spawn(|| session.run_with_threads(0).expect("fresh run"));
         // Poll the live progress handle while the campaign runs.
         loop {
             let snap = progress.snapshot();

@@ -49,7 +49,7 @@ pub mod prelude {
     //! The commonly used surface in one import: `use comfort::prelude::*;`.
     //!
     //! Covers the facade ([`Comfort`]/[`ComfortConfig`]), the campaign layer
-    //! ([`Campaign`]/[`CampaignConfig`]/[`ShardedCampaign`]), the
+    //! ([`Campaign`]/[`CampaignConfig`]/[`CampaignSession`]), the
     //! differential harness, the engine matrix, and the telemetry surface
     //! (sinks, metrics, progress).
 
@@ -58,17 +58,18 @@ pub mod prelude {
         ConfigError,
     };
     pub use comfort_core::checkpoint::{
-        config_fingerprint, report_to_json, report_to_json_deterministic, CampaignCheckpoint,
-        CheckpointError, CheckpointJournal, RecoveryReport, ResumeInfo, ShardRecord,
+        config_fingerprint, report_checksum, report_to_json, report_to_json_deterministic,
+        CampaignCheckpoint, CheckpointError, CheckpointJournal, RecoveryReport, ResumeInfo,
+        ShardRecord,
     };
     pub use comfort_core::datagen::{DataGen, DataGenConfig};
     pub use comfort_core::differential::{
         run_differential, run_differential_pooled, vote_on_signatures_quorum, CaseOutcome,
         DeviationKind, DeviationRecord, GroupQuorum, QuorumPolicy, Signature,
     };
-    pub use comfort_core::executor::{
-        plan_shards, run_campaign_resumable, ShardSpec, ShardedCampaign,
-    };
+    #[allow(deprecated)] // legacy entry point, kept until downstream callers migrate
+    pub use comfort_core::executor::run_campaign_resumable;
+    pub use comfort_core::executor::{plan_shards, ShardSpec, ShardedCampaign};
     pub use comfort_core::filter::{BugKey, BugTree};
     pub use comfort_core::pipeline::{Comfort, ComfortConfig, PipelineReport};
     pub use comfort_core::resilience::{
@@ -76,6 +77,7 @@ pub mod prelude {
         ChaosConfig, ExecPolicy, FaultRecord, HealthTracker, QuarantineEvent, ReinstateEvent,
         TestbedHealth,
     };
+    pub use comfort_core::session::CampaignSession;
     pub use comfort_core::testcase::{Origin, TestCase};
     pub use comfort_engines::{
         all_testbeds, latest_testbeds, run_isolated, Engine, EngineName, FaultKind, FaultObserved,
