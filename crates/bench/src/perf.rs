@@ -271,7 +271,7 @@ impl MicrobenchEntry {
 /// A complete `BENCH_*.json` perf report.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BenchReport {
-    /// Report identity, e.g. `BENCH_6`.
+    /// Report identity, e.g. `BENCH_7`.
     pub bench_id: String,
     /// Schema version ([`SCHEMA_VERSION`]).
     pub schema_version: u64,

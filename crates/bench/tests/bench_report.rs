@@ -1,5 +1,5 @@
 //! Integration tests for the perf-trajectory subsystem: the checked-in
-//! `BENCH_6.json` golden file, the `bench-diff` >5% gate, and harness
+//! `BENCH_7.json` golden file, the `bench-diff` >5% gate, and harness
 //! determinism (two runs differ only in timing/env fields).
 
 use comfort_bench::diff::{diff, validate};
@@ -7,8 +7,8 @@ use comfort_bench::harness::{run_harness_with, workload, BENCH_ID, SWEEP_THREADS
 use comfort_bench::perf::{BenchReport, EnvFingerprint, SCHEMA_VERSION};
 
 fn golden_path() -> std::path::PathBuf {
-    // crates/bench/../../BENCH_6.json = repo root.
-    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_6.json")
+    // crates/bench/../../BENCH_7.json = repo root.
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_7.json")
 }
 
 fn fixed_env() -> EnvFingerprint {
@@ -23,7 +23,7 @@ fn fixed_env() -> EnvFingerprint {
 
 #[test]
 fn checked_in_baseline_round_trips_byte_identically() {
-    let text = std::fs::read_to_string(golden_path()).expect("BENCH_6.json is checked in");
+    let text = std::fs::read_to_string(golden_path()).expect("BENCH_7.json is checked in");
     let report = BenchReport::parse(&text).expect("baseline parses");
     assert_eq!(report.bench_id, BENCH_ID);
     assert_eq!(report.schema_version, SCHEMA_VERSION);
@@ -36,7 +36,7 @@ fn checked_in_baseline_round_trips_byte_identically() {
 
 #[test]
 fn checked_in_baseline_proves_the_sweep_was_deterministic() {
-    let text = std::fs::read_to_string(golden_path()).expect("BENCH_6.json is checked in");
+    let text = std::fs::read_to_string(golden_path()).expect("BENCH_7.json is checked in");
     let report = BenchReport::parse(&text).expect("baseline parses");
     assert_eq!(report.campaign.len(), SWEEP_THREADS.len());
     assert!(report.checksums_identical);
@@ -48,7 +48,7 @@ fn checked_in_baseline_proves_the_sweep_was_deterministic() {
 
 #[test]
 fn baseline_self_diff_passes_and_synthetic_regression_fails() {
-    let text = std::fs::read_to_string(golden_path()).expect("BENCH_6.json is checked in");
+    let text = std::fs::read_to_string(golden_path()).expect("BENCH_7.json is checked in");
     let baseline = BenchReport::parse(&text).expect("baseline parses");
 
     // Self-diff: every ratio is exactly 1.0, the gate passes.

@@ -12,8 +12,8 @@ use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 
 use comfort_engines::{
-    shared_catalog, versions_of, ApiType, Component, Engine, EngineName, RunOptions, SeededBug,
-    Testbed,
+    shared_catalog, versions_of, ApiType, Backend, Component, Engine, EngineName, RunOptions,
+    SeededBug, Testbed,
 };
 use comfort_lm::{Generator, GeneratorConfig};
 use comfort_syntax::{parse, print_program, Program};
@@ -55,6 +55,13 @@ pub struct CampaignConfig {
     pub max_cases: usize,
     /// Fuel per engine run.
     pub fuel: u64,
+    /// Execution backend for every engine run. Both backends are
+    /// bit-identical in every observable (output, fuel, coverage, report
+    /// checksums); [`Backend::TreeWalk`] is the reference oracle, the
+    /// default bytecode VM is the fast path. Excluded from the checkpoint
+    /// fingerprint for exactly that reason — a journal written under one
+    /// backend resumes cleanly under the other.
+    pub backend: Backend,
     /// Simulated seconds of testing time per test case (the paper's 200 h /
     /// 250 k cases ≈ 2.88 s each).
     pub sim_seconds_per_case: f64,
@@ -109,6 +116,7 @@ impl Default for CampaignConfig {
             datagen: DataGenConfig::default(),
             max_cases: 1500,
             fuel: 400_000,
+            backend: Backend::default(),
             sim_seconds_per_case: 2.88,
             include_strict: true,
             include_legacy: true,
@@ -223,6 +231,12 @@ impl CampaignConfigBuilder {
     /// Fuel per engine run.
     pub fn fuel(mut self, fuel: u64) -> Self {
         self.config.fuel = fuel;
+        self
+    }
+
+    /// Execution backend for every engine run (default: the bytecode VM).
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.config.backend = backend;
         self
     }
 
@@ -476,6 +490,12 @@ pub struct Campaign {
 }
 
 impl Campaign {
+    /// The per-run options every differential/hardened run of this campaign
+    /// uses: the configured fuel and backend.
+    fn case_options(&self) -> RunOptions {
+        RunOptions::builder().fuel(self.config.fuel).backend(self.config.backend).build()
+    }
+
     /// Trains the generator and prepares the testbed matrix.
     pub fn new(config: CampaignConfig) -> Self {
         let corpus = comfort_corpus::training_corpus(config.seed, config.corpus_programs);
@@ -648,7 +668,7 @@ impl Campaign {
             let obs = run_case_hardened_cancellable(
                 &case.program,
                 &self.testbeds,
-                &RunOptions::with_fuel(self.config.fuel),
+                &self.case_options(),
                 self.exec_threads,
                 &self.config.exec,
                 &mut tracker,
@@ -812,7 +832,7 @@ impl Campaign {
         let (reduced, reduced_program) = if self.config.reduce_cases {
             let beds = self.testbeds.clone();
             let engine = dev_rec.engine;
-            let opts = RunOptions::with_fuel(self.config.fuel);
+            let opts = self.case_options();
             let reduce_start = std::time::Instant::now();
             let (program, reduce_stats) = reduce_counted(&case.program, &mut |p: &Program| {
                 matches!(
@@ -844,18 +864,15 @@ impl Campaign {
         }
 
         // Earliest-version attribution (Table 3).
-        let earliest_version = earliest_affected_version(dev_rec, &case.program, self.config.fuel);
+        let earliest_version =
+            earliest_affected_version(dev_rec, &case.program, &self.case_options());
 
         // Strict-only check: does the normal-mode group also deviate?
         let strict_only = dev_rec.strict && {
             let normal: Vec<Testbed> =
                 self.testbeds.iter().filter(|t| !t.strict).cloned().collect();
             !matches!(
-                run_differential(
-                    &case.program,
-                    &normal,
-                    &RunOptions::with_fuel(self.config.fuel),
-                ),
+                run_differential(&case.program, &normal, &self.case_options()),
                 CaseOutcome::Deviations(d) if d.iter().any(|r| r.engine == dev_rec.engine)
             )
         };
@@ -876,11 +893,7 @@ impl Campaign {
         if origin == Origin::EcmaMutation {
             if let Some(base_program) = self.base_programs.get(&case.base) {
                 let base_deviates = matches!(
-                    run_differential(
-                        base_program,
-                        &self.testbeds,
-                        &RunOptions::with_fuel(self.config.fuel),
-                    ),
+                    run_differential(base_program, &self.testbeds, &self.case_options()),
                     CaseOutcome::Deviations(d)
                         if d.iter().any(|r| r.engine == dev_rec.engine && r.kind == dev_rec.kind)
                 );
@@ -912,11 +925,17 @@ impl Campaign {
 /// Finds the earliest version of the deviating engine that still deviates
 /// from the expected signature (Table 3's attribution rule: "we only
 /// attribute the discovered bugs to the earliest bug-exposing version").
-fn earliest_affected_version(dev_rec: &DeviationRecord, program: &Program, fuel: u64) -> String {
+fn earliest_affected_version(
+    dev_rec: &DeviationRecord,
+    program: &Program,
+    options: &RunOptions,
+) -> String {
+    // One compile serves the whole version walk.
+    let chunk = comfort_engines::compile(program);
+    let options = options.to_builder().strict(dev_rec.strict).build();
     for version in versions_of(dev_rec.engine) {
         let engine = Engine::new(version);
-        let r =
-            engine.run(program, &RunOptions::builder().fuel(fuel).strict(dev_rec.strict).build());
+        let r = engine.run_compiled(&chunk, &options);
         let sig = Signature::of(&r.status, &r.output);
         if sig == dev_rec.actual && sig != dev_rec.expected {
             return version.label();

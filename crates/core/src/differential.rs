@@ -6,9 +6,10 @@
 //! majority signature defines expected behaviour. Engines whose signature
 //! deviates from a strict majority are flagged.
 
-use comfort_engines::{EngineName, RunOptions, Testbed};
+use comfort_engines::{compile, CompiledChunk, EngineName, RunOptions, Testbed};
 use comfort_interp::{ErrorKind, RunStatus};
 use comfort_syntax::Program;
+use std::sync::Arc;
 
 /// Canonicalized result of one run: the comparison key for voting.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -119,7 +120,7 @@ impl std::fmt::Display for DeviationKind {
 }
 
 /// One engine's deviation on one test case.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DeviationRecord {
     /// Deviating engine.
     pub engine: EngineName,
@@ -136,7 +137,7 @@ pub struct DeviationRecord {
 }
 
 /// Outcome of running one test case across the testbeds (Figure 5).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CaseOutcome {
     /// All testbeds rejected the program (consistent parsing error).
     ParseError,
@@ -172,7 +173,8 @@ pub fn run_differential(
     testbeds: &[Testbed],
     options: &RunOptions,
 ) -> CaseOutcome {
-    let signatures = testbed_signatures(program, testbeds, options);
+    let chunk = compile(program);
+    let signatures = testbed_signatures(&chunk, testbeds, options);
     vote_on_signatures(testbeds, &signatures)
 }
 
@@ -186,10 +188,12 @@ pub fn run_differential_pooled(
     options: &RunOptions,
     threads: usize,
 ) -> CaseOutcome {
+    // One compile per case; workers share the chunk read-only.
+    let chunk = compile(program);
     let signatures = if threads <= 1 || testbeds.len() < 2 {
-        testbed_signatures(program, testbeds, options)
+        testbed_signatures(&chunk, testbeds, options)
     } else {
-        parallel_signatures(program, testbeds, options, threads)
+        parallel_signatures(&chunk, testbeds, options, threads)
     };
     vote_on_signatures(testbeds, &signatures)
 }
@@ -199,7 +203,7 @@ pub fn run_differential_pooled(
 /// signature into its index's slot, so the result vector is ordered like
 /// the serial path regardless of scheduling.
 fn parallel_signatures(
-    program: &Program,
+    chunk: &Arc<CompiledChunk>,
     testbeds: &[Testbed],
     options: &RunOptions,
     threads: usize,
@@ -217,7 +221,7 @@ fn parallel_signatures(
                 if i >= testbeds.len() {
                     break;
                 }
-                let r = testbeds[i].run(program, options);
+                let r = testbeds[i].run_compiled(chunk, options);
                 *slots[i].lock().expect("signature slot poisoned") =
                     Some(Signature::of(&r.status, &r.output));
             });
@@ -233,14 +237,14 @@ fn parallel_signatures(
 
 /// Computes the per-testbed signatures serially, in testbed order.
 pub(crate) fn testbed_signatures(
-    program: &Program,
+    chunk: &Arc<CompiledChunk>,
     testbeds: &[Testbed],
     options: &RunOptions,
 ) -> Vec<Signature> {
     testbeds
         .iter()
         .map(|t| {
-            let r = t.run(program, options);
+            let r = t.run_compiled(chunk, options);
             Signature::of(&r.status, &r.output)
         })
         .collect()
@@ -525,11 +529,11 @@ mod tests {
     #[test]
     fn legacy_threshold_matches_historical_voting() {
         let beds = latest_testbeds();
-        let program = parse("print(1 + 1);").expect("parses");
+        let chunk = compile(&parse("print(1 + 1);").expect("parses"));
         let sigs: Vec<Option<Signature>> = beds
             .iter()
             .map(|t| {
-                let r = t.run(&program, &RunOptions::with_fuel(100_000));
+                let r = t.run_compiled(&chunk, &RunOptions::with_fuel(100_000));
                 Some(Signature::of(&r.status, &r.output))
             })
             .collect();

@@ -304,6 +304,7 @@ impl Comfort {
             datagen: DataGenConfig::default(),
             max_cases: cases,
             fuel: self.config.fuel,
+            backend: comfort_engines::Backend::default(),
             sim_seconds_per_case: 2.88,
             include_strict: self.config.strict_testbeds,
             include_legacy: false,

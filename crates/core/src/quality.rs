@@ -1,7 +1,7 @@
 //! Test-case quality metrics (§5.3.3, Figure 9): syntax passing rate and
 //! statement/function/branch coverage of generated test programs.
 
-use comfort_interp::{hooks::SpecProfile, run_program, RunOptions, Universe};
+use comfort_interp::{compile, hooks::SpecProfile, run_chunk, RunOptions, Universe};
 use comfort_syntax::parse;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -61,8 +61,8 @@ pub fn measure(
     let sample = valid.iter().take(coverage_sample).collect::<Vec<_>>();
     for program in &sample {
         let universe = Universe::of(program);
-        let result = run_program(
-            program,
+        let result = run_chunk(
+            &compile(program),
             &SpecProfile,
             &RunOptions { coverage: true, fuel: 300_000, ..RunOptions::default() },
         );

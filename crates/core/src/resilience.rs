@@ -16,10 +16,11 @@
 //! observation lists are ordered by testbed index.
 
 use comfort_engines::{
-    run_isolated, FaultObserved, FaultPlan, IsolatedRun, IsolationPolicy, RetryPolicy, RunOptions,
-    Testbed,
+    compile, run_isolated_compiled, CompiledChunk, FaultObserved, FaultPlan, IsolatedRun,
+    IsolationPolicy, RetryPolicy, RunOptions, Testbed,
 };
 use comfort_syntax::Program;
+use std::sync::Arc;
 
 use crate::differential::{
     vote_on_signatures_quorum, CaseOutcome, GroupQuorum, QuorumPolicy, Signature,
@@ -435,9 +436,12 @@ pub fn run_case_hardened_cancellable(
     tracker: &mut HealthTracker,
     cancel: Option<&CancelToken>,
 ) -> CaseObservation {
+    // Compile once per case; every testbed slot (and every watchdog thread)
+    // shares the same read-only chunk via its `Arc`.
+    let chunk = compile(program);
     let mask = tracker.begin_case();
     let (runs, cancelled) =
-        isolated_runs(program, testbeds, options, threads, policy, &mask, cancel);
+        isolated_runs(&chunk, testbeds, options, threads, policy, &mask, cancel);
     if cancelled {
         return CaseObservation {
             outcome: CaseOutcome::NoQuorum,
@@ -518,7 +522,7 @@ pub fn run_case_hardened_cancellable(
 /// isolation harness contains everything). Returns `(slots, cancelled)`;
 /// a trip of `cancel` between slots stops further runs.
 fn isolated_runs(
-    program: &Program,
+    chunk: &Arc<CompiledChunk>,
     testbeds: &[Testbed],
     options: &RunOptions,
     threads: usize,
@@ -526,8 +530,9 @@ fn isolated_runs(
     mask: &[bool],
     cancel: Option<&CancelToken>,
 ) -> (Vec<Option<IsolatedRun>>, bool) {
-    let run_one =
-        |i: usize| run_isolated(&testbeds[i], program, options, &policy.isolation, &policy.retry);
+    let run_one = |i: usize| {
+        run_isolated_compiled(&testbeds[i], chunk, options, &policy.isolation, &policy.retry)
+    };
     let is_cancelled = || cancel.is_some_and(CancelToken::is_cancelled);
     if threads <= 1 || testbeds.len() < 2 {
         let mut slots = Vec::with_capacity(testbeds.len());

@@ -1,21 +1,23 @@
 //! The isolation harness: panic containment, watchdog, output caps, and
 //! transient-fault retry around every testbed run.
 //!
-//! [`run_isolated`] is the hardened execution entry point. It wraps
-//! [`Testbed::run_attempt`](crate::Testbed::run_attempt) so that *no*
-//! misbehaviour of a testbed — a panic, a wedge, unbounded output, or a
-//! flaky transient error — can escape as anything other than a
+//! [`run_isolated_compiled`] is the hardened execution entry point. It wraps
+//! [`Testbed::run_attempt_compiled`](crate::Testbed::run_attempt_compiled)
+//! so that *no* misbehaviour of a testbed — a panic, a wedge, unbounded
+//! output, or a flaky transient error — can escape as anything other than a
 //! deterministic [`RunResult`] plus a [`FaultObserved`] classification.
-//! `Testbed::run` delegates here with default policies, so every legacy
+//! `Testbed::run_compiled` delegates here with default policies, so every
 //! call site (reduction, version probing, examples) is contained for free.
+//! The chunk is an `Arc`, so handing a run to the watchdog thread costs a
+//! reference-count bump instead of a deep program clone.
 
 use crate::chaos::{ChaosPanic, RawFault};
 use crate::Testbed;
-use comfort_interp::{RunOptions, RunResult, RunStatus};
+use comfort_interp::{compile, CompiledChunk, RunOptions, RunResult, RunStatus};
 use comfort_syntax::Program;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::mpsc;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use std::thread;
 use std::time::Duration;
 
@@ -124,11 +126,23 @@ pub fn silence_chaos_panics() {
     });
 }
 
-/// Runs `program` on `testbed` under full containment. Never panics and
-/// never blocks longer than the watchdog allows (plus backoff sleeps).
+/// Compiles `program` once and runs it under full containment.
+#[deprecated(note = "compile once with `compile` and execute with `run_isolated_compiled`")]
 pub fn run_isolated(
     testbed: &Testbed,
     program: &Program,
+    options: &RunOptions,
+    isolation: &IsolationPolicy,
+    retry: &RetryPolicy,
+) -> IsolatedRun {
+    run_isolated_compiled(testbed, &compile(program), options, isolation, retry)
+}
+
+/// Runs a compiled `chunk` on `testbed` under full containment. Never panics
+/// and never blocks longer than the watchdog allows (plus backoff sleeps).
+pub fn run_isolated_compiled(
+    testbed: &Testbed,
+    chunk: &Arc<CompiledChunk>,
     options: &RunOptions,
     isolation: &IsolationPolicy,
     retry: &RetryPolicy,
@@ -140,7 +154,7 @@ pub fn run_isolated(
                 retry.backoff_base_millis << (attempt - 1).min(16),
             ));
         }
-        let outcome = execute_once(testbed, program, options, isolation, attempt);
+        let outcome = execute_once(testbed, chunk, options, isolation, attempt);
         match outcome {
             Execution::Done(result) => {
                 let mut run = IsolatedRun { result, fault: None, retries: attempt };
@@ -182,42 +196,43 @@ enum Execution {
 
 fn execute_once(
     testbed: &Testbed,
-    program: &Program,
+    chunk: &Arc<CompiledChunk>,
     options: &RunOptions,
     isolation: &IsolationPolicy,
     attempt: u32,
 ) -> Execution {
     match isolation.watchdog_millis {
-        Some(limit) => execute_with_watchdog(testbed, program, options, attempt, limit),
+        Some(limit) => execute_with_watchdog(testbed, chunk, options, attempt, limit),
         None if isolation.contain_panics => {
             match panic::catch_unwind(AssertUnwindSafe(|| {
-                testbed.run_attempt(program, options, attempt)
+                testbed.run_attempt_compiled(chunk, options, attempt)
             })) {
                 Ok(raw) => raw_to_execution(raw),
                 Err(payload) => Execution::Panicked(panic_message(payload.as_ref())),
             }
         }
-        None => raw_to_execution(testbed.run_attempt(program, options, attempt)),
+        None => raw_to_execution(testbed.run_attempt_compiled(chunk, options, attempt)),
     }
 }
 
 /// Runs one attempt on a helper thread and abandons it if the wall-clock
 /// limit passes. The helper is detached (not scoped): joining a wedged
-/// thread would just move the hang into the harness.
+/// thread would just move the hang into the harness. The chunk crosses the
+/// thread boundary as an `Arc` clone — no program copy.
 fn execute_with_watchdog(
     testbed: &Testbed,
-    program: &Program,
+    chunk: &Arc<CompiledChunk>,
     options: &RunOptions,
     attempt: u32,
     limit_millis: u64,
 ) -> Execution {
     let (tx, rx) = mpsc::channel();
     let testbed = testbed.clone();
-    let program = program.clone();
+    let chunk = Arc::clone(chunk);
     let options = options.clone();
     thread::spawn(move || {
         let outcome = match panic::catch_unwind(AssertUnwindSafe(|| {
-            testbed.run_attempt(&program, &options, attempt)
+            testbed.run_attempt_compiled(&chunk, &options, attempt)
         })) {
             Ok(raw) => raw_to_execution(raw),
             Err(payload) => Execution::Panicked(panic_message(payload.as_ref())),
@@ -296,16 +311,16 @@ mod tests {
         Testbed::new(Engine::latest(EngineName::V8), false).with_chaos(plan)
     }
 
-    fn program(src: &str) -> Program {
-        parse(src).expect("test source parses")
+    fn chunk(src: &str) -> Arc<CompiledChunk> {
+        compile(&parse(src).expect("test source parses"))
     }
 
     #[test]
     fn injected_panic_is_contained_as_crash() {
         let bed = chaotic(FaultPlan::new(1).panic_rate(1.0));
-        let run = run_isolated(
+        let run = run_isolated_compiled(
             &bed,
-            &program("print(1);"),
+            &chunk("print(1);"),
             &RunOptions::default(),
             &IsolationPolicy::default(),
             &RetryPolicy::default(),
@@ -317,9 +332,9 @@ mod tests {
     #[test]
     fn injected_hang_maps_to_timeout() {
         let bed = chaotic(FaultPlan::new(1).hang_rate(1.0).hang_millis(1));
-        let run = run_isolated(
+        let run = run_isolated_compiled(
             &bed,
-            &program("print(1);"),
+            &chunk("print(1);"),
             &RunOptions::default(),
             &IsolationPolicy::default(),
             &RetryPolicy::default(),
@@ -333,9 +348,9 @@ mod tests {
         let bed = chaotic(FaultPlan::new(1).hang_rate(1.0).hang_millis(5_000));
         let isolation = IsolationPolicy { watchdog_millis: Some(25), ..IsolationPolicy::default() };
         let start = std::time::Instant::now();
-        let run = run_isolated(
+        let run = run_isolated_compiled(
             &bed,
-            &program("print(1);"),
+            &chunk("print(1);"),
             &RunOptions::default(),
             &isolation,
             &RetryPolicy::default(),
@@ -347,9 +362,9 @@ mod tests {
     #[test]
     fn transient_faults_retry_to_success() {
         let bed = chaotic(FaultPlan::new(1).transient_rate(1.0).transient_persistence(1));
-        let run = run_isolated(
+        let run = run_isolated_compiled(
             &bed,
-            &program("print(1);"),
+            &chunk("print(1);"),
             &RunOptions::default(),
             &IsolationPolicy::default(),
             &RetryPolicy::default(),
@@ -362,9 +377,9 @@ mod tests {
     #[test]
     fn transient_exhaustion_becomes_hard_fault() {
         let bed = chaotic(FaultPlan::new(1).transient_rate(1.0).transient_persistence(10));
-        let run = run_isolated(
+        let run = run_isolated_compiled(
             &bed,
-            &program("print(1);"),
+            &chunk("print(1);"),
             &RunOptions::default(),
             &IsolationPolicy::default(),
             &RetryPolicy { max_retries: 2, backoff_base_millis: 0 },
@@ -379,9 +394,9 @@ mod tests {
         let bed = Testbed::new(Engine::latest(EngineName::V8), false);
         let src = "for (var i = 0; i < 200; i++) { print('xxxxxxxxxx'); }";
         let isolation = IsolationPolicy { max_output_bytes: 100, ..IsolationPolicy::default() };
-        let run = run_isolated(
+        let run = run_isolated_compiled(
             &bed,
-            &program(src),
+            &chunk(src),
             &RunOptions::default(),
             &isolation,
             &RetryPolicy::default(),
@@ -395,9 +410,9 @@ mod tests {
     #[test]
     fn clean_runs_pass_through_unchanged() {
         let bed = Testbed::new(Engine::latest(EngineName::V8), false);
-        let run = run_isolated(
+        let run = run_isolated_compiled(
             &bed,
-            &program("print(41 + 1);"),
+            &chunk("print(41 + 1);"),
             &RunOptions::default(),
             &IsolationPolicy::default(),
             &RetryPolicy::default(),

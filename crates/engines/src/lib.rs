@@ -17,17 +17,18 @@
 //!
 //! ```
 //! use comfort_engines::{Engine, EngineName};
-//! use comfort_interp::RunOptions;
+//! use comfort_interp::{compile, RunOptions};
 //!
 //! let program = comfort_syntax::parse(
 //!     "var s = 'Name: Albert'; print(s.substr(6, undefined));",
 //! ).expect("valid JS");
+//! let chunk = compile(&program); // compile once, run everywhere
 //!
 //! let opts = RunOptions::default();
 //! let v8 = Engine::latest(EngineName::V8);
 //! let rhino = Engine::latest(EngineName::Rhino);
-//! assert_eq!(v8.run(&program, &opts).output, "Albert\n");
-//! assert_eq!(rhino.run(&program, &opts).output, "\n"); // the seeded Figure-2 bug
+//! assert_eq!(v8.run_compiled(&chunk, &opts).output, "Albert\n");
+//! assert_eq!(rhino.run_compiled(&chunk, &opts).output, "\n"); // the seeded Figure-2 bug
 //! ```
 
 pub mod catalog;
@@ -38,16 +39,21 @@ pub mod registry;
 
 pub use catalog::{quota, ApiType, BugId, Component, Discovery, Effect, SeededBug, Trigger};
 pub use chaos::{ChaosPanic, FaultKind, FaultPlan, RawFault};
+#[allow(deprecated)]
+pub use harness::run_isolated;
 pub use harness::{
-    run_isolated, silence_chaos_panics, FaultObserved, IsolatedRun, IsolationPolicy, RetryPolicy,
+    run_isolated_compiled, silence_chaos_panics, FaultObserved, IsolatedRun, IsolationPolicy,
+    RetryPolicy,
 };
 pub use profile::EngineProfile;
 pub use registry::{all_versions, versions_of, EngineName, EngineVersion, EsEdition};
 
-use comfort_interp::run_program;
-pub use comfort_interp::{RunOptions, RunOptionsBuilder, RunResult};
+use comfort_interp::run_chunk;
+pub use comfort_interp::{
+    compile, Backend, CompiledChunk, RunOptions, RunOptionsBuilder, RunResult,
+};
 use comfort_syntax::Program;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// The shared, lazily-built bug catalog (deterministic; see [`catalog`]).
 pub fn shared_catalog() -> &'static [SeededBug] {
@@ -94,11 +100,19 @@ impl Engine {
         self.profile.bugs()
     }
 
-    /// Runs `program` with the given options. This is the single execution
-    /// entry point: fuel, strict mode, and coverage all travel in
-    /// [`RunOptions`] (`&RunOptions::default()` for a plain normal-mode run).
+    /// Runs a compiled chunk with the given options. This is the execution
+    /// entry point: fuel, strict mode, coverage, and the backend knob all
+    /// travel in [`RunOptions`] (`&RunOptions::default()` for a plain
+    /// normal-mode run). Compile once with [`compile`], then call this for
+    /// every engine — the chunk is shared read-only.
+    pub fn run_compiled(&self, chunk: &Arc<CompiledChunk>, options: &RunOptions) -> RunResult {
+        run_chunk(chunk, &self.profile, options)
+    }
+
+    /// Compiles and runs `program` in one step.
+    #[deprecated(note = "compile once with `compile` and execute with `run_compiled`")]
     pub fn run(&self, program: &Program, options: &RunOptions) -> RunResult {
-        run_program(program, &self.profile, options)
+        self.run_compiled(&compile(program), options)
     }
 }
 
@@ -151,32 +165,48 @@ impl Testbed {
         }
     }
 
-    /// Runs a program on this testbed. The testbed's mode is merged into the
-    /// options: a strict testbed always runs strict, regardless of
+    /// Runs a compiled chunk on this testbed. The testbed's mode is merged
+    /// into the options: a strict testbed always runs strict, regardless of
     /// `options.strict`.
     ///
     /// This is the *contained* entry point: it delegates to
-    /// [`run_isolated`] with default policies, so panics surface as
+    /// [`run_isolated_compiled`] with default policies, so panics surface as
     /// [`comfort_interp::RunStatus::Crashed`] and wedges as
     /// [`comfort_interp::RunStatus::OutOfFuel`] instead of escaping.
+    pub fn run_compiled(&self, chunk: &Arc<CompiledChunk>, options: &RunOptions) -> RunResult {
+        run_isolated_compiled(
+            self,
+            chunk,
+            options,
+            &IsolationPolicy::default(),
+            &RetryPolicy::default(),
+        )
+        .result
+    }
+
+    /// Compiles and runs `program` in one step.
+    #[deprecated(note = "compile once with `compile` and execute with `run_compiled`")]
     pub fn run(&self, program: &Program, options: &RunOptions) -> RunResult {
-        run_isolated(self, program, options, &IsolationPolicy::default(), &RetryPolicy::default())
-            .result
+        self.run_compiled(&compile(program), options)
     }
 
     /// One raw, *uncontained* execution attempt: applies the chaos plan (if
     /// any) and runs the engine. Injected panics really panic and injected
     /// hangs really sleep — callers are expected to go through
-    /// [`run_isolated`] (or [`Testbed::run`]) rather than call this
-    /// directly.
-    pub fn run_attempt(
+    /// [`run_isolated_compiled`] (or [`Testbed::run_compiled`]) rather than
+    /// call this directly.
+    ///
+    /// Fault decisions stay content-addressed on the *program*, which the
+    /// chunk embeds — so a chaos testbed misbehaves identically whether a
+    /// case arrives as an AST or as a compiled chunk.
+    pub fn run_attempt_compiled(
         &self,
-        program: &Program,
+        chunk: &Arc<CompiledChunk>,
         options: &RunOptions,
         attempt: u32,
     ) -> Result<RunResult, RawFault> {
         if let Some(plan) = &self.chaos {
-            match plan.decide(program, attempt) {
+            match plan.decide(&chunk.program, attempt) {
                 Some(FaultKind::Panic) => {
                     std::panic::panic_any(ChaosPanic { testbed: self.label() })
                 }
@@ -187,7 +217,7 @@ impl Testbed {
                 Some(FaultKind::Garbage) => {
                     return Ok(RunResult {
                         status: comfort_interp::RunStatus::Completed,
-                        output: plan.garbage_output(program),
+                        output: plan.garbage_output(&chunk.program),
                         fuel_used: 0,
                         coverage: None,
                     });
@@ -200,9 +230,21 @@ impl Testbed {
                 None => {}
             }
         }
-        Ok(self
-            .engine
-            .run(program, &options.to_builder().strict(self.strict || options.strict).build()))
+        Ok(self.engine.run_compiled(
+            chunk,
+            &options.to_builder().strict(self.strict || options.strict).build(),
+        ))
+    }
+
+    /// Compiling variant of [`Testbed::run_attempt_compiled`].
+    #[deprecated(note = "compile once with `compile` and execute with `run_attempt_compiled`")]
+    pub fn run_attempt(
+        &self,
+        program: &Program,
+        options: &RunOptions,
+        attempt: u32,
+    ) -> Result<RunResult, RawFault> {
+        self.run_attempt_compiled(&compile(program), options, attempt)
     }
 }
 
@@ -230,7 +272,8 @@ mod tests {
     use comfort_syntax::parse;
 
     fn run_on(engine: &Engine, src: &str) -> RunResult {
-        engine.run(&parse(src).expect("test source parses"), &RunOptions::default())
+        let chunk = compile(&parse(src).expect("test source parses"));
+        engine.run_compiled(&chunk, &RunOptions::default())
     }
 
     #[test]
@@ -376,23 +419,25 @@ print(obj[property]);
     fn strict_testbed_differs_from_normal() {
         let bed_normal = Testbed::new(Engine::latest(EngineName::V8), false);
         let bed_strict = Testbed::new(Engine::latest(EngineName::V8), true);
-        let program = parse("x = 1; print(x);").expect("parses");
+        let chunk = compile(&parse("x = 1; print(x);").expect("parses"));
         let opts = RunOptions::with_fuel(100_000);
-        assert!(bed_normal.run(&program, &opts).status.is_completed());
-        assert!(!bed_strict.run(&program, &opts).status.is_completed());
+        assert!(bed_normal.run_compiled(&chunk, &opts).status.is_completed());
+        assert!(!bed_strict.run_compiled(&chunk, &opts).status.is_completed());
         assert!(bed_strict.label().contains("[strict]"));
     }
 
     #[test]
     fn engines_agree_on_conforming_programs() {
         // A program exercising no seeded bug must be identical on all ten.
-        let program = parse(
-            "var a = [5, 3, 9]; var t = 0; for (var i = 0; i < a.length; i++) { t += a[i]; } print(t);",
-        )
-        .expect("parses");
+        let chunk = compile(
+            &parse(
+                "var a = [5, 3, 9]; var t = 0; for (var i = 0; i < a.length; i++) { t += a[i]; } print(t);",
+            )
+            .expect("parses"),
+        );
         let outputs: Vec<String> = latest_testbeds()
             .iter()
-            .map(|t| t.run(&program, &RunOptions::with_fuel(1_000_000)).output)
+            .map(|t| t.run_compiled(&chunk, &RunOptions::with_fuel(1_000_000)).output)
             .collect();
         assert!(outputs.iter().all(|o| o == "17\n"), "{outputs:?}");
     }

@@ -1,0 +1,121 @@
+//! The legacy one-shot entry points (`Engine::run`, `Testbed::run`,
+//! `run_isolated`, and `comfort_interp::run_program`) are kept as
+//! `#[deprecated]` wrappers over the two-phase compile/execute API. These
+//! tests pin the wrapper contract: each one produces a result
+//! **bit-identical** (status, output, fuel accounting, coverage) to
+//! compiling once and executing the shared chunk.
+#![allow(deprecated)]
+
+use comfort_engines::{
+    compile, run_isolated, run_isolated_compiled, Engine, EngineName, FaultPlan, IsolationPolicy,
+    RetryPolicy, RunOptions, Testbed,
+};
+use comfort_syntax::parse;
+
+fn coverage_options() -> RunOptions {
+    RunOptions { coverage: true, fuel: 300_000, ..RunOptions::default() }
+}
+
+#[test]
+fn engine_run_matches_compile_then_run_compiled() {
+    for seed in 0..40u64 {
+        let src = comfort_corpus::training_corpus(seed, 1).remove(0);
+        let program = parse(&src).expect("corpus parses");
+        let chunk = compile(&program);
+        for name in EngineName::ALL {
+            let engine = Engine::latest(name);
+            let legacy = engine.run(&program, &coverage_options());
+            let compiled = engine.run_compiled(&chunk, &coverage_options());
+            assert_eq!(legacy, compiled, "{name} diverges on corpus seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn testbed_run_matches_run_compiled() {
+    let src = "function f(n) { return n < 2 ? n : f(n - 1) + f(n - 2); } print(f(12));";
+    let program = parse(src).expect("parses");
+    let chunk = compile(&program);
+    for strict in [false, true] {
+        let bed = Testbed::new(Engine::latest(EngineName::V8), strict);
+        let legacy = bed.run(&program, &coverage_options());
+        let compiled = bed.run_compiled(&chunk, &coverage_options());
+        assert_eq!(legacy, compiled, "strict={strict}");
+    }
+}
+
+#[test]
+fn run_program_matches_compile_then_run_chunk() {
+    for seed in 40..80u64 {
+        let src = comfort_corpus::training_corpus(seed, 1).remove(0);
+        let program = parse(&src).expect("corpus parses");
+        let legacy = comfort_interp::run_program(
+            &program,
+            &comfort_interp::hooks::SpecProfile,
+            &coverage_options(),
+        );
+        let compiled = comfort_interp::run_chunk(
+            &compile(&program),
+            &comfort_interp::hooks::SpecProfile,
+            &coverage_options(),
+        );
+        assert_eq!(legacy, compiled, "run_program diverges on corpus seed {seed}");
+    }
+}
+
+#[test]
+fn run_isolated_matches_run_isolated_compiled() {
+    let program = parse("for (var i = 0; i < 10; i++) { print(i * i); }").expect("parses");
+    let chunk = compile(&program);
+    let bed = Testbed::new(Engine::latest(EngineName::QuickJs), false);
+    let legacy = run_isolated(
+        &bed,
+        &program,
+        &coverage_options(),
+        &IsolationPolicy::default(),
+        &RetryPolicy::default(),
+    );
+    let compiled = run_isolated_compiled(
+        &bed,
+        &chunk,
+        &coverage_options(),
+        &IsolationPolicy::default(),
+        &RetryPolicy::default(),
+    );
+    assert_eq!(legacy.result, compiled.result);
+    assert_eq!(legacy.fault, compiled.fault);
+    assert_eq!(legacy.retries, compiled.retries);
+}
+
+#[test]
+fn run_isolated_matches_under_chaos() {
+    // Chaos decisions are content-addressed over the *program*, so the
+    // wrapper and the two-phase path must observe identical injected faults.
+    comfort_engines::silence_chaos_panics();
+    let program = parse("print('chaos target');").expect("parses");
+    let chunk = compile(&program);
+    for plan in [
+        FaultPlan::new(9).panic_rate(1.0),
+        FaultPlan::new(9).transient_rate(1.0).transient_persistence(1),
+        FaultPlan::new(9).garbage_rate(1.0),
+    ] {
+        let bed = Testbed::new(Engine::latest(EngineName::V8), false).with_chaos(plan);
+        let legacy = run_isolated(
+            &bed,
+            &program,
+            &RunOptions::default(),
+            &IsolationPolicy::default(),
+            &RetryPolicy::default(),
+        );
+        let compiled = run_isolated_compiled(
+            &bed,
+            &chunk,
+            &RunOptions::default(),
+            &IsolationPolicy::default(),
+            &RetryPolicy::default(),
+        );
+        assert_eq!(legacy.result, compiled.result);
+        assert_eq!(legacy.fault, compiled.fault);
+        assert_eq!(legacy.retries, compiled.retries);
+    }
+}

@@ -2,12 +2,13 @@
 //! (an engine only ever deviates when a seeded bug explains it), and version
 //! monotonicity of the paper-listing bugs.
 
-use comfort_engines::{versions_of, Engine, EngineName, RunOptions};
+use comfort_engines::{compile, versions_of, CompiledChunk, Engine, EngineName, RunOptions};
 use comfort_interp::RunStatus;
 use proptest::prelude::*;
+use std::sync::Arc;
 
-fn signature(engine: &Engine, program: &comfort_syntax::Program) -> (String, String) {
-    let r = engine.run(program, &RunOptions::default());
+fn signature(engine: &Engine, chunk: &Arc<CompiledChunk>) -> (String, String) {
+    let r = engine.run_compiled(chunk, &RunOptions::default());
     let status = match r.status {
         RunStatus::Completed => "ok".to_string(),
         RunStatus::Threw { kind, .. } => format!("threw {kind:?}"),
@@ -23,10 +24,10 @@ proptest! {
     #[test]
     fn engine_runs_are_deterministic(seed in 0u64..3000) {
         let src = comfort_corpus::training_corpus(seed, 1).remove(0);
-        let program = comfort_syntax::parse(&src).expect("corpus parses");
+        let chunk = compile(&comfort_syntax::parse(&src).expect("corpus parses"));
         for name in [EngineName::Rhino, EngineName::V8, EngineName::QuickJs] {
             let engine = Engine::latest(name);
-            prop_assert_eq!(signature(&engine, &program), signature(&engine, &program));
+            prop_assert_eq!(signature(&engine, &chunk), signature(&engine, &chunk));
         }
     }
 
@@ -36,9 +37,9 @@ proptest! {
         // corpus programs their observable behaviour must coincide unless a
         // seeded bug of one of them is triggered.
         let src = comfort_corpus::training_corpus(seed, 1).remove(0);
-        let program = comfort_syntax::parse(&src).expect("corpus parses");
-        let v8 = signature(&Engine::latest(EngineName::V8), &program);
-        let sm = signature(&Engine::latest(EngineName::SpiderMonkey), &program);
+        let chunk = compile(&comfort_syntax::parse(&src).expect("corpus parses"));
+        let v8 = signature(&Engine::latest(EngineName::V8), &chunk);
+        let sm = signature(&Engine::latest(EngineName::SpiderMonkey), &chunk);
         if v8 != sm {
             // Divergence must be attributable to a seeded bug on one side.
             let explained = !Engine::latest(EngineName::V8).active_bugs().is_empty()
@@ -53,9 +54,9 @@ proptest! {
         // reference on a corpus program, the engine must have ≥1 active
         // seeded bug (the reference itself is bug-free).
         let src = comfort_corpus::training_corpus(seed, 1).remove(0);
-        let program = comfort_syntax::parse(&src).expect("corpus parses");
-        let reference = comfort_interp::run_program(
-            &program,
+        let chunk = compile(&comfort_syntax::parse(&src).expect("corpus parses"));
+        let reference = comfort_interp::run_chunk(
+            &chunk,
             &comfort_interp::hooks::SpecProfile,
             &comfort_interp::RunOptions::default(),
         );
@@ -65,7 +66,7 @@ proptest! {
         );
         for name in EngineName::ALL {
             let engine = Engine::latest(name);
-            let r = engine.run(&program, &RunOptions::default());
+            let r = engine.run_compiled(&chunk, &RunOptions::default());
             let sig = (matches!(r.status, RunStatus::Completed), r.output);
             if sig != ref_sig {
                 prop_assert!(
@@ -81,9 +82,10 @@ proptest! {
 fn fixed_bugs_stay_fixed_in_all_later_versions() {
     // The SpiderMonkey Listing-3 fix must hold for every version ≥ v52.9,
     // and symmetrically the bug must exist in every earlier version.
-    let program = comfort_syntax::parse("print(new Uint32Array(3.14).length);").expect("parses");
+    let chunk =
+        compile(&comfort_syntax::parse("print(new Uint32Array(3.14).length);").expect("parses"));
     for v in versions_of(EngineName::SpiderMonkey) {
-        let r = Engine::new(v).run(&program, &RunOptions::default());
+        let r = Engine::new(v).run_compiled(&chunk, &RunOptions::default());
         if v.ordinal < 2 {
             assert!(!r.status.is_completed(), "{} must still have the bug", v.label());
         } else {
@@ -96,14 +98,17 @@ fn fixed_bugs_stay_fixed_in_all_later_versions() {
 fn strict_and_normal_testbeds_share_conforming_behaviour() {
     // For code with no sloppy-mode constructs, strict and normal testbeds
     // of the same engine must agree.
-    let program = comfort_syntax::parse(
-        "var total = 0; for (var i = 0; i < 5; i++) { total += i; } print(total);",
-    )
-    .expect("parses");
+    let chunk = compile(
+        &comfort_syntax::parse(
+            "var total = 0; for (var i = 0; i < 5; i++) { total += i; } print(total);",
+        )
+        .expect("parses"),
+    );
     for name in EngineName::ALL {
         let engine = Engine::latest(name);
-        let normal = engine.run(&program, &RunOptions::default());
-        let strict = engine.run(&program, &RunOptions { strict: true, ..Default::default() });
+        let normal = engine.run_compiled(&chunk, &RunOptions::default());
+        let strict =
+            engine.run_compiled(&chunk, &RunOptions { strict: true, ..Default::default() });
         assert_eq!(normal.output, strict.output, "{name}");
     }
 }

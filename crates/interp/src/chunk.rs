@@ -1,0 +1,79 @@
+//! The compile-once execution artifact shared across a testbed matrix.
+//!
+//! [`CompiledChunk`] packages the arena-flattened program
+//! ([`comfort_syntax::NodeArena`]: 16-byte node headers, interned `Arc<str>`
+//! atom table, number pool, `extra` child lists, function-proto table with
+//! precomputed hoist lists) together with the original [`Program`]. The
+//! chunk is immutable and `Send + Sync`, so [`compile`] runs **once per test
+//! case** and the resulting `Arc<CompiledChunk>` fans out read-only across
+//! every engine × mode testbed and every worker thread of a differential
+//! campaign — engine-specific behaviour stays keyed off the
+//! [`crate::hooks::ConformanceProfile`] at run time, never baked into the
+//! chunk.
+//!
+//! The embedded [`Program`] serves the slow paths that are defined over the
+//! AST: the tree-walk reference backend ([`crate::Backend::TreeWalk`]) and
+//! content-addressed chaos fault plans in `comfort-engines`.
+
+use std::sync::Arc;
+
+use comfort_syntax::{NodeArena, Program};
+
+/// A program compiled for execution: the arena encoding plus the source AST.
+///
+/// Create with [`compile`]; execute with [`crate::run_chunk`] (or
+/// `Testbed::run_compiled` in `comfort-engines`). One chunk is safely
+/// shared by any number of concurrent runs.
+#[derive(Debug)]
+pub struct CompiledChunk {
+    /// Arena-flattened program (the bytecode VM's instruction stream).
+    pub arena: NodeArena,
+    /// The original AST, retained for the tree-walk oracle backend and for
+    /// content-addressed chaos plans.
+    pub program: Arc<Program>,
+}
+
+impl CompiledChunk {
+    /// `true` if the program opens with a `"use strict"` directive.
+    pub fn strict(&self) -> bool {
+        self.arena.strict
+    }
+
+    /// Approximate resident size of the arena encoding, in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.arena.byte_size()
+    }
+}
+
+/// Compiles `program` into a shareable chunk. This is phase one of the
+/// two-phase execute contract: compile once, then run the chunk on as many
+/// (profile, options) pairs as needed.
+///
+/// ```
+/// use comfort_interp::{compile, run_chunk, hooks::SpecProfile, RunOptions};
+///
+/// let program = comfort_syntax::parse("print(40 + 2);").expect("valid JS");
+/// let chunk = compile(&program);
+/// let r = run_chunk(&chunk, &SpecProfile, &RunOptions::default());
+/// assert_eq!(r.output, "42\n");
+/// ```
+pub fn compile(program: &Program) -> Arc<CompiledChunk> {
+    Arc::new(CompiledChunk { arena: NodeArena::build(program), program: Arc::new(program.clone()) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_is_send_sync_and_cheap_to_share() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CompiledChunk>();
+        let program = comfort_syntax::parse("var x = 1; print(x);").expect("parses");
+        let chunk = compile(&program);
+        let c2 = Arc::clone(&chunk);
+        assert_eq!(Arc::strong_count(&chunk), 2);
+        assert!(c2.byte_size() > 0);
+        assert!(!c2.strict());
+    }
+}

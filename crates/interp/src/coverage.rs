@@ -78,7 +78,7 @@ impl Universe {
 }
 
 /// Runtime coverage recorder.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Coverage {
     stmts_hit: HashSet<NodeId>,
     funcs_hit: HashSet<NodeId>,

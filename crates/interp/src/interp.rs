@@ -6,17 +6,25 @@
 //! clock, and property iteration is insertion-ordered.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 use std::rc::Rc;
+use std::sync::Arc;
 
 use comfort_syntax::ast::*;
 use comfort_syntax::parse;
 
+use crate::chunk::CompiledChunk;
 use crate::coverage::Coverage;
 use crate::hooks::{
     ArraySetBehavior, BuiltinSite, ConformanceProfile, Deviation, ValuePreview, ValueRecipe,
 };
 use crate::ops;
-use crate::value::{EnvId, ErrorKind, FuncData, Obj, ObjId, ObjKind, Prop, Value};
+use crate::value::{EnvId, ErrorKind, FuncCode, FuncData, Obj, ObjId, ObjKind, Prop, Value};
+
+// The arena VM is a child module so it can share the interpreter's private
+// state (envs, scope stacks, coverage) without widening visibility.
+#[path = "vm.rs"]
+mod vm;
 
 /// Non-local control flow during evaluation.
 #[derive(Debug)]
@@ -60,9 +68,25 @@ impl RunStatus {
     }
 }
 
+/// Which evaluator executes the program.
+///
+/// Both backends run over the same runtime (heap, environments, builtins,
+/// profile hooks, fuel meter), so their observable behaviour — status,
+/// output, fuel accounting, coverage — is bit-identical. The arena VM is
+/// the fast default; the tree-walker survives as a differential oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Execute the compile-once arena encoding ([`crate::CompiledChunk`]).
+    #[default]
+    Bytecode,
+    /// Execute the boxed AST directly (the original tree-walking
+    /// evaluator), kept as a reference oracle for differential testing.
+    TreeWalk,
+}
+
 /// Options for one program run — the single knob struct threaded through
-/// every execution entry point (`run_program`, `Engine::run`,
-/// `Testbed::run`, `run_differential`).
+/// every execution entry point (`run_chunk`, `Engine::run_compiled`,
+/// `Testbed::run_compiled`, `run_differential`).
 #[derive(Debug, Clone)]
 pub struct RunOptions {
     /// Fuel budget (abstract steps). The default suffices for all generated
@@ -78,6 +102,9 @@ pub struct RunOptions {
     /// recursive generated programs terminate deterministically instead of
     /// exhausting the real stack.
     pub max_call_depth: u32,
+    /// Which evaluator to use (see [`Backend`]). Only consulted by the
+    /// chunk-based entry points; [`Interp::run`] *is* the tree-walker.
+    pub backend: Backend,
 }
 
 impl RunOptions {
@@ -119,6 +146,7 @@ impl Default for RunOptions {
             strict: false,
             coverage: false,
             max_call_depth: RunOptions::DEFAULT_MAX_CALL_DEPTH,
+            backend: Backend::default(),
         }
     }
 }
@@ -157,6 +185,12 @@ impl RunOptionsBuilder {
         self
     }
 
+    /// Which evaluator to use (defaults to [`Backend::Bytecode`]).
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.options.backend = backend;
+        self
+    }
+
     /// Returns the finished options.
     pub fn build(self) -> RunOptions {
         self.options
@@ -164,7 +198,7 @@ impl RunOptionsBuilder {
 }
 
 /// Result of one program run.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
     /// Termination status.
     pub status: RunStatus,
@@ -176,12 +210,42 @@ pub struct RunResult {
     pub coverage: Option<Coverage>,
 }
 
-#[derive(Debug)]
+/// FNV-1a, the variable-lookup hot path's hasher. Identifier keys are a
+/// handful of bytes, where SipHash's per-call setup dominates; FNV-1a is
+/// several times faster there. Safe for `Env::vars` specifically because
+/// the map is only ever probed by key — nothing observable depends on its
+/// iteration order, so the weaker hash cannot leak into results.
+struct FnvHasher(u64);
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        FnvHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for FnvHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.0 = h;
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type VarMap = HashMap<Rc<str>, Value, BuildHasherDefault<FnvHasher>>;
+
+#[derive(Debug, Clone)]
 struct Env {
-    vars: HashMap<Rc<str>, Value>,
+    vars: VarMap,
     parent: Option<EnvId>,
 }
 
+#[derive(Clone)]
 pub(crate) struct Protos {
     pub object: ObjId,
     pub function: ObjId,
@@ -222,12 +286,44 @@ pub struct Interp<'p> {
     rng_state: u64,
 }
 
+/// The pristine post-`install` world: heap, environments, and prototype
+/// table. `builtins::install` is profile-independent and deterministic, so
+/// it is run once per thread and the result cloned into every interpreter —
+/// cloning a few hundred refcounted objects is an order of magnitude
+/// cheaper than rebuilding them, which matters when the testbed matrix
+/// spins up a fresh interpreter per (engine, shard) execution.
+struct Pristine {
+    heap: Vec<Obj>,
+    envs: Vec<Env>,
+    protos: Protos,
+}
+
+thread_local! {
+    static PRISTINE: Pristine = {
+        let mut interp = Interp::bare(&crate::hooks::SpecProfile);
+        crate::builtins::install(&mut interp);
+        Pristine { heap: interp.heap, envs: interp.envs, protos: interp.protos }
+    };
+}
+
 impl<'p> Interp<'p> {
     /// Creates an interpreter with globals installed, running under `profile`.
     pub fn new(profile: &'p dyn ConformanceProfile) -> Self {
-        let mut interp = Interp {
+        PRISTINE.with(|p| {
+            let mut interp = Interp::bare(profile);
+            interp.heap = p.heap.clone();
+            interp.envs = p.envs.clone();
+            interp.protos = p.protos.clone();
+            interp
+        })
+    }
+
+    /// An interpreter with *no* globals installed — the blank slate the
+    /// pristine snapshot is built from.
+    fn bare(profile: &'p dyn ConformanceProfile) -> Self {
+        Interp {
             heap: Vec::with_capacity(64),
-            envs: vec![Env { vars: HashMap::new(), parent: None }],
+            envs: vec![Env { vars: VarMap::default(), parent: None }],
             profile,
             output: String::new(),
             fuel: 0,
@@ -257,22 +353,45 @@ impl<'p> Interp<'p> {
             eval_depth: 0,
             native_self: None,
             rng_state: 0x853c49e6748fea9b,
-        };
-        crate::builtins::install(&mut interp);
-        interp
+        }
     }
 
-    /// Runs a parsed program.
+    /// Runs a parsed program on the tree-walking evaluator.
+    ///
+    /// This is the reference backend; the compile-once path is
+    /// [`Interp::run_chunk`].
     pub fn run(&mut self, program: &Program, options: &RunOptions) -> RunResult {
+        self.prepare(program.strict, options);
+        let outcome = self.exec_body(&program.body, self.global_env, true);
+        self.finish(outcome)
+    }
+
+    /// Runs a compiled chunk — phase two of the two-phase contract.
+    ///
+    /// Honours [`RunOptions::backend`]: the default executes the arena
+    /// encoding on the VM; [`Backend::TreeWalk`] re-executes the embedded
+    /// AST on the tree-walker (the differential oracle). Both produce
+    /// bit-identical results.
+    pub fn run_chunk(&mut self, chunk: &Arc<CompiledChunk>, options: &RunOptions) -> RunResult {
+        if options.backend == Backend::TreeWalk {
+            return self.run(&chunk.program, options);
+        }
+        self.prepare(chunk.arena.strict, options);
+        let outcome = self.exec_top_a(chunk);
+        self.finish(outcome)
+    }
+
+    fn prepare(&mut self, program_strict: bool, options: &RunOptions) {
         self.fuel = options.fuel;
         self.fuel_budget = options.fuel;
         self.max_call_depth = options.max_call_depth;
         self.coverage = if options.coverage { Some(Coverage::new()) } else { None };
-        let strict = program.strict || options.strict;
-        self.strict = vec![strict];
+        self.strict = vec![program_strict || options.strict];
         self.output.clear();
+    }
 
-        let status = match self.exec_body(&program.body, self.global_env, true) {
+    fn finish(&mut self, outcome: Result<(), Control>) -> RunResult {
+        let status = match outcome {
             Ok(()) => RunStatus::Completed,
             Err(Control::Throw(v)) => {
                 let (kind, message) = self.describe_thrown(&v);
@@ -331,7 +450,7 @@ impl<'p> Interp<'p> {
 
     fn new_env(&mut self, parent: EnvId) -> EnvId {
         let id = EnvId(self.envs.len() as u32);
-        self.envs.push(Env { vars: HashMap::new(), parent: Some(parent) });
+        self.envs.push(Env { vars: VarMap::default(), parent: Some(parent) });
         id
     }
 
@@ -777,7 +896,7 @@ impl<'p> Interp<'p> {
 
     pub(crate) fn make_function(&mut self, f: &Function, env: EnvId) -> Value {
         let data = FuncData {
-            func: Rc::new(f.clone()),
+            code: FuncCode::Ast(Rc::new(f.clone())),
             env,
             is_arrow: false,
             captured_this: Value::Undefined,
@@ -789,7 +908,7 @@ impl<'p> Interp<'p> {
 
     fn make_arrow(&mut self, f: &Function, env: EnvId, expr_body: Option<&Expr>) -> Value {
         let data = FuncData {
-            func: Rc::new(f.clone()),
+            code: FuncCode::Ast(Rc::new(f.clone())),
             env,
             is_arrow: true,
             captured_this: self.current_this(),
@@ -872,9 +991,20 @@ impl<'p> Interp<'p> {
         args: &[Value],
     ) -> Result<Value, Control> {
         let env = self.new_env(data.env);
-        for (i, p) in data.func.params.iter().enumerate() {
-            let v = args.get(i).cloned().unwrap_or(Value::Undefined);
-            self.declare(env, p, v);
+        match &data.code {
+            FuncCode::Ast(f) => {
+                for (i, p) in f.params.iter().enumerate() {
+                    let v = args.get(i).cloned().unwrap_or(Value::Undefined);
+                    self.declare(env, p, v);
+                }
+            }
+            FuncCode::Chunk { chunk, index } => {
+                let proto = chunk.arena.funcs[*index as usize];
+                for (i, &p) in chunk.arena.slice(proto.params).iter().enumerate() {
+                    let v = args.get(i).cloned().unwrap_or(Value::Undefined);
+                    self.declare(env, chunk.arena.atom(p), v);
+                }
+            }
         }
         // `arguments` object (array-backed simplification).
         if !data.is_arrow {
@@ -885,15 +1015,35 @@ impl<'p> Interp<'p> {
         self.this_stack.push(effective_this);
         self.strict.push(data.strict);
         if let Some(cov) = &mut self.coverage {
-            cov.hit_func(data.func.id);
+            cov.hit_func(match &data.code {
+                FuncCode::Ast(f) => f.id,
+                FuncCode::Chunk { chunk, index } => NodeId(chunk.arena.funcs[*index as usize].id),
+            });
         }
-        let outcome = if let Some(expr) = &data.expr_body {
-            self.eval_expr(expr, env).map(Some)
-        } else {
-            match self.exec_body(&data.func.body, env, true) {
-                Ok(()) => Ok(None),
-                Err(Control::Return(v)) => Ok(Some(v)),
-                Err(other) => Err(other),
+        let outcome = match &data.code {
+            FuncCode::Ast(f) => {
+                if let Some(expr) = &data.expr_body {
+                    self.eval_expr(expr, env).map(Some)
+                } else {
+                    match self.exec_body(&f.body, env, true) {
+                        Ok(()) => Ok(None),
+                        Err(Control::Return(v)) => Ok(Some(v)),
+                        Err(other) => Err(other),
+                    }
+                }
+            }
+            FuncCode::Chunk { chunk, index } => {
+                let proto = chunk.arena.funcs[*index as usize];
+                if proto.expr_body != comfort_syntax::arena::NONE {
+                    self.eval_expr_a(chunk, proto.expr_body, env).map(Some)
+                } else {
+                    self.hoist_a(chunk, proto.hoist_vars, proto.hoist_funcs, env);
+                    match self.exec_list_a(chunk, proto.body, env) {
+                        Ok(()) => Ok(None),
+                        Err(Control::Return(v)) => Ok(Some(v)),
+                        Err(other) => Err(other),
+                    }
+                }
             }
         };
         self.strict.pop();
@@ -1064,7 +1214,7 @@ impl<'p> Interp<'p> {
                         self.declare(wrap, name, fv.clone());
                         if let ObjKind::Function(data) = &self.obj(*fid).kind {
                             let new_data = FuncData {
-                                func: Rc::clone(&data.func),
+                                code: data.code.clone(),
                                 env: wrap,
                                 is_arrow: false,
                                 captured_this: Value::Undefined,
@@ -1776,7 +1926,7 @@ impl<'p> Interp<'p> {
                         .collect::<Vec<_>>()
                         .join(","),
                     ObjKind::Function(data) => {
-                        let name = data.func.name.clone().unwrap_or_default();
+                        let name = data.name().unwrap_or_default();
                         format!("function {name}() {{ ... }}")
                     }
                     ObjKind::Native { name, .. } => {

@@ -2,9 +2,12 @@
 
 //! The reference JavaScript interpreter for the COMFORT reproduction.
 //!
-//! This crate is the **engine substrate**: a from-scratch, deterministic,
-//! tree-walking evaluator for the ES2015-era subset that COMFORT's generators
-//! emit, with
+//! This crate is the **engine substrate**: a from-scratch, deterministic
+//! evaluator for the ES2015-era subset that COMFORT's generators emit.
+//! Programs are [`compile`]d once into a shareable [`CompiledChunk`] (arena
+//! AST + interned atoms) and executed by the arena VM — or re-executed by
+//! the original tree-walker ([`Backend::TreeWalk`]) as a differential
+//! oracle; the two backends are bit-identical. The runtime provides
 //!
 //! * a full builtin library (Object, Function, Array, String, Number, Math,
 //!   JSON, RegExp, typed arrays, DataView, Date, eval, Error family),
@@ -31,20 +34,27 @@
 //! ```
 
 mod builtins;
+pub mod chunk;
 pub mod coverage;
 pub mod hooks;
 mod interp;
 pub mod ops;
 pub mod value;
 
+use std::sync::Arc;
+
+pub use chunk::{compile, CompiledChunk};
 pub use coverage::{Coverage, Universe};
-pub use interp::{Control, Interp, RunOptions, RunOptionsBuilder, RunResult, RunStatus};
+pub use interp::{Backend, Control, Interp, RunOptions, RunOptionsBuilder, RunResult, RunStatus};
 pub use value::{ErrorKind, ObjId, TaKind, Value};
 
 use comfort_syntax::{parse, Program, SyntaxError};
 use hooks::ConformanceProfile;
 
-/// Parses and runs `src` under `profile`.
+/// Parses, compiles, and runs `src` under `profile`.
+///
+/// Compiles once and executes via [`run_chunk`], honouring
+/// [`RunOptions::backend`].
 ///
 /// # Errors
 ///
@@ -56,17 +66,31 @@ pub fn run_source(
     options: &RunOptions,
 ) -> Result<RunResult, SyntaxError> {
     let program = parse(src)?;
-    Ok(run_program(&program, profile, options))
+    let chunk = compile(&program);
+    Ok(run_chunk(&chunk, profile, options))
+}
+
+/// Runs a compiled chunk under `profile` — phase two of the two-phase
+/// compile/execute contract. Compile once with [`compile`], then call this
+/// for every (profile, options) combination; the chunk is shared read-only.
+pub fn run_chunk(
+    chunk: &Arc<CompiledChunk>,
+    profile: &dyn ConformanceProfile,
+    options: &RunOptions,
+) -> RunResult {
+    let mut interp = Interp::new(profile);
+    interp.run_chunk(chunk, options)
 }
 
 /// Runs an already-parsed program under `profile`.
+#[deprecated(note = "compile once with `compile` and execute with `run_chunk`")]
 pub fn run_program(
     program: &Program,
     profile: &dyn ConformanceProfile,
     options: &RunOptions,
 ) -> RunResult {
-    let mut interp = Interp::new(profile);
-    interp.run(program, options)
+    let chunk = compile(program);
+    run_chunk(&chunk, profile, options)
 }
 
 #[cfg(test)]

@@ -158,11 +158,27 @@ impl TaKind {
 /// Signature of a native (builtin) function.
 pub type NativeFn = fn(&mut crate::Interp<'_>, Value, &[Value]) -> Result<Value, crate::Control>;
 
+/// The executable body of an interpreted function: either the boxed AST
+/// (tree-walk backend) or a function proto inside a shared compiled chunk
+/// (bytecode backend). Cloning is cheap — both arms are refcounted.
+#[derive(Debug, Clone)]
+pub enum FuncCode {
+    /// Tree-walked function: the parsed AST, shared with the program.
+    Ast(Rc<Function>),
+    /// Chunk-compiled function: proto `index` in `chunk`'s function table.
+    Chunk {
+        /// The compiled chunk the function lives in.
+        chunk: std::sync::Arc<crate::CompiledChunk>,
+        /// Index into the chunk's function-proto table.
+        index: u32,
+    },
+}
+
 /// Closure data for an interpreted function.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct FuncData {
-    /// Parsed function (shared with the AST).
-    pub func: Rc<Function>,
+    /// The function body in executable form.
+    pub code: FuncCode,
     /// Captured defining environment.
     pub env: EnvId,
     /// `true` for arrow functions (lexical `this`).
@@ -175,11 +191,28 @@ pub struct FuncData {
     pub strict: bool,
 }
 
+impl FuncData {
+    /// The function's name, if it has one (for display / `Function.name`).
+    pub fn name(&self) -> Option<&str> {
+        match &self.code {
+            FuncCode::Ast(f) => f.name.as_deref(),
+            FuncCode::Chunk { chunk, index } => {
+                let proto = &chunk.arena.funcs[*index as usize];
+                (proto.name != comfort_syntax::arena::NONE).then(|| chunk.arena.atom(proto.name))
+            }
+        }
+    }
+}
+
 /// Shared mutable backing store of an `ArrayBuffer`.
 pub type BufferData = Rc<RefCell<Vec<u8>>>;
 
 /// The specialized part of a heap object.
-#[derive(Debug)]
+///
+/// Cloning is shallow where the variant is refcounted: `Function` shares
+/// its immutable [`FuncData`], and buffer-backed variants share their
+/// `BufferData` store (which is what `ArrayBuffer` view semantics want).
+#[derive(Debug, Clone)]
 pub enum ObjKind {
     /// Ordinary object.
     Plain,
@@ -299,7 +332,7 @@ impl Prop {
 }
 
 /// Insertion-ordered string-keyed property map.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct PropMap {
     entries: Vec<(Rc<str>, Prop)>,
 }
@@ -363,7 +396,7 @@ impl PropMap {
 }
 
 /// A heap object: specialized kind + ordinary named properties + prototype.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Obj {
     /// Specialized behaviour.
     pub kind: ObjKind,

@@ -22,6 +22,7 @@
 //! # Ok::<(), comfort_syntax::SyntaxError>(())
 //! ```
 
+pub mod arena;
 pub mod ast;
 mod error;
 pub mod lexer;
@@ -29,6 +30,7 @@ mod parser;
 pub mod printer;
 pub mod visit;
 
+pub use arena::{FuncProto, Node, NodeArena, NodeKind};
 pub use ast::{Expr, ExprKind, Program, Stmt, StmtKind};
 pub use error::SyntaxError;
 pub use parser::parse;

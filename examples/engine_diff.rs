@@ -34,9 +34,10 @@ fn main() {
     };
 
     let opts = RunOptions::with_fuel(20_000_000);
+    let chunk = compile(&program);
     println!("running on {} testbeds:\n", testbeds.len());
     for bed in &testbeds {
-        let r = bed.run(&program, &opts);
+        let r = bed.run_compiled(&chunk, &opts);
         let sig = Signature::of(&r.status, &r.output);
         println!("  {:<28} {sig}", bed.label());
     }

@@ -116,9 +116,10 @@ fn main() {
                 continue;
             }
         };
+        let chunk = compile(&program);
         // Per-engine raw results.
         for bed in &testbeds {
-            let r = bed.run(&program, &opts);
+            let r = bed.run_compiled(&chunk, &opts);
             let shown = match &r.status {
                 comfort::interp::RunStatus::Completed => {
                     format!("ok    → {:?}", r.output.trim_end())

@@ -79,10 +79,12 @@ pub mod prelude {
     };
     pub use comfort_core::session::CampaignSession;
     pub use comfort_core::testcase::{Origin, TestCase};
+    #[allow(deprecated)] // legacy entry point, kept until downstream callers migrate
+    pub use comfort_engines::run_isolated;
     pub use comfort_engines::{
-        all_testbeds, latest_testbeds, run_isolated, Engine, EngineName, FaultKind, FaultObserved,
-        FaultPlan, IsolatedRun, IsolationPolicy, RetryPolicy, RunOptions, RunOptionsBuilder,
-        Testbed,
+        all_testbeds, compile, latest_testbeds, run_isolated_compiled, Backend, CompiledChunk,
+        Engine, EngineName, FaultKind, FaultObserved, FaultPlan, IsolatedRun, IsolationPolicy,
+        RetryPolicy, RunOptions, RunOptionsBuilder, Testbed,
     };
     pub use comfort_telemetry::{
         CampaignMetrics, Event, EventKind, JsonlRead, JsonlSink, MemorySink, NullSink,

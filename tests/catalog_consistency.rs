@@ -6,7 +6,9 @@
 use std::collections::BTreeSet;
 
 use comfort::ecma262::spec_db;
-use comfort::engines::{shared_catalog, versions_of, Discovery, Engine, EngineName, RunOptions};
+use comfort::engines::{
+    compile, shared_catalog, versions_of, Discovery, Engine, EngineName, RunOptions,
+};
 
 /// Every ECMA-guided catalog bug must target an API the spec database knows,
 /// or Algorithm 1 can never synthesize its trigger.
@@ -66,7 +68,7 @@ fn every_catalog_api_is_reachable_in_the_interpreter() {
         let src = format!("print(typeof ({expr}) === 'function');");
         let program = comfort::syntax::parse(&src)
             .unwrap_or_else(|e| panic!("probe for {api} failed to parse: {e}"));
-        let r = engine.run(&program, &RunOptions::default());
+        let r = engine.run_compiled(&compile(&program), &RunOptions::default());
         assert_eq!(
             r.output, "true\n",
             "catalog API {api} is not a function in the interpreter (status {:?})",

@@ -4,7 +4,9 @@
 //! engines agree with ECMA-262.
 
 use comfort::core::differential::{run_differential, CaseOutcome, DeviationKind};
-use comfort::engines::{latest_testbeds, versions_of, Engine, EngineName, RunOptions, Testbed};
+use comfort::engines::{
+    compile, latest_testbeds, versions_of, Engine, EngineName, RunOptions, Testbed,
+};
 use comfort::syntax::parse;
 
 const FUEL: u64 = 30_000_000;
@@ -92,8 +94,9 @@ fn listing3_spidermonkey_fixed_in_v52() {
         CaseOutcome::Pass
     ));
     // Version sweep: the bug exists before ordinal 2 (v52.9), not after.
+    let chunk = compile(&program);
     for v in versions_of(EngineName::SpiderMonkey) {
-        let r = Engine::new(v).run(&program, &RunOptions::default());
+        let r = Engine::new(v).run_compiled(&chunk, &RunOptions::default());
         if v.ordinal < 2 {
             assert!(!r.status.is_completed(), "{} should throw", v.label());
         } else {
@@ -175,8 +178,8 @@ fn conforming_listing_outputs_match_the_paper() {
         ("print('anA'.split(/^A/));", "anA\n"),
     ];
     for (src, expected) in cases {
-        let program = parse(src).expect("parses");
-        let r = v8.run(&program, &RunOptions::default());
+        let chunk = compile(&parse(src).expect("parses"));
+        let r = v8.run_compiled(&chunk, &RunOptions::default());
         assert_eq!(r.output, expected, "case {src:?}");
     }
 }
