@@ -6,7 +6,7 @@
 //! ```
 //!
 //! `--quick` shrinks the campaign budget for CI; `--out` defaults to
-//! `BENCH_7.json` in the current directory. The process exits non-zero if
+//! `BENCH_8.json` in the current directory. The process exits non-zero if
 //! the thread sweep was not bit-identical — a determinism regression is a
 //! harness failure, not a data point.
 
@@ -16,7 +16,7 @@ use comfort_bench::harness::{run_harness, SWEEP_THREADS};
 
 fn main() -> ExitCode {
     let mut quick = false;
-    let mut out_path = String::from("BENCH_7.json");
+    let mut out_path = String::from("BENCH_8.json");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {

@@ -52,11 +52,30 @@ pub struct DiffRow {
     pub verdict: Verdict,
 }
 
+/// One pipeline stage's wall-clock delta between the two reports.
+///
+/// Informational only: stage `wall_ns` comes from a single instrumented
+/// run, so it never gates — but it is how a targeted optimisation (or
+/// regression) shows *where* the campaign time moved.
+#[derive(Debug, Clone)]
+pub struct StageDelta {
+    /// Stage name (`generation`, `differential`, …).
+    pub stage: String,
+    /// Old report's stage wall-clock, nanoseconds.
+    pub old_wall_ns: u64,
+    /// New report's stage wall-clock, nanoseconds.
+    pub new_wall_ns: u64,
+    /// `new / old` ratio (1.0 when both are zero, ∞ when only old is).
+    pub ratio: f64,
+}
+
 /// The full comparison: per-metric rows, gate failures, rendered table.
 #[derive(Debug, Clone)]
 pub struct DiffReport {
     /// Matched metrics in old-report order.
     pub rows: Vec<DiffRow>,
+    /// Per-stage wall-clock deltas (informational, never gated).
+    pub stage_deltas: Vec<StageDelta>,
     /// Everything that fails the gate (empty ⇒ pass).
     pub failures: Vec<String>,
     /// Human-readable ratio table.
@@ -187,11 +206,40 @@ pub fn diff(old: &BenchReport, new: &BenchReport) -> DiffReport {
         }
     }
 
-    let rendered = render(old, new, &rows, &failures);
-    DiffReport { rows, failures, rendered }
+    // Stage wall-clock deltas, matched by stage name in old-report order.
+    let mut stage_deltas = Vec::new();
+    for old_stage in &old.stages {
+        let Some(new_stage) = new.stages.iter().find(|s| s.stage == old_stage.stage) else {
+            continue;
+        };
+        let ratio = if old_stage.wall_ns == 0 {
+            if new_stage.wall_ns == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            new_stage.wall_ns as f64 / old_stage.wall_ns as f64
+        };
+        stage_deltas.push(StageDelta {
+            stage: old_stage.stage.clone(),
+            old_wall_ns: old_stage.wall_ns,
+            new_wall_ns: new_stage.wall_ns,
+            ratio,
+        });
+    }
+
+    let rendered = render(old, new, &rows, &stage_deltas, &failures);
+    DiffReport { rows, stage_deltas, failures, rendered }
 }
 
-fn render(old: &BenchReport, new: &BenchReport, rows: &[DiffRow], failures: &[String]) -> String {
+fn render(
+    old: &BenchReport,
+    new: &BenchReport,
+    rows: &[DiffRow],
+    stage_deltas: &[StageDelta],
+    failures: &[String],
+) -> String {
     let mut t = Table::new(
         format!(
             "bench-diff: {} -> {} (gate: median regression > {:.0}%)",
@@ -207,6 +255,16 @@ fn render(old: &BenchReport, new: &BenchReport, rows: &[DiffRow], failures: &[St
         let new_ns = r.new_median_ns.to_string();
         let ratio = format!("{:.3}", r.ratio);
         t.row(&[&r.name, &old_ns, &new_ns, &ratio, r.verdict.label()]);
+    }
+    if !stage_deltas.is_empty() {
+        t.text("\nstage wall_ns delta (single-run timing, informational):");
+        t.row(&["stage", "old wall_ns", "new wall_ns", "ratio", ""]);
+        for d in stage_deltas {
+            let old_ns = d.old_wall_ns.to_string();
+            let new_ns = d.new_wall_ns.to_string();
+            let ratio = format!("{:.3}", d.ratio);
+            t.row(&[&d.stage, &old_ns, &new_ns, &ratio, ""]);
+        }
     }
     if failures.is_empty() {
         t.text(format!("\ngate: PASS ({} metrics compared)", rows.len()));
@@ -278,6 +336,7 @@ mod tests {
                 source_len: 120,
                 timing: timing(micro_median),
             }],
+            class_histogram: Vec::new(),
         }
     }
 
@@ -340,6 +399,32 @@ mod tests {
         let d = diff(&old, &new);
         assert!(!d.passed());
         assert!(d.failures.iter().any(|f| f.contains("workload specs differ")));
+    }
+
+    #[test]
+    fn stage_deltas_are_informational() {
+        use crate::perf::StageEntry;
+        let stage = |wall_ns: u64| StageEntry {
+            stage: "differential".into(),
+            invocations: 113,
+            items: 1130,
+            logical_cost: 1130,
+            wall_ns,
+        };
+        let mut old = synthetic(1_000_000, 50_000);
+        old.stages = vec![stage(15_000_000)];
+        let mut new = synthetic(1_000_000, 50_000);
+        // A 10x stage slowdown must surface in the delta table without
+        // failing the gate: stage wall_ns is single-run timing.
+        new.stages = vec![stage(150_000_000)];
+        let d = diff(&old, &new);
+        assert!(d.passed(), "failures: {:?}", d.failures);
+        assert_eq!(d.stage_deltas.len(), 1);
+        assert_eq!(d.stage_deltas[0].old_wall_ns, 15_000_000);
+        assert_eq!(d.stage_deltas[0].new_wall_ns, 150_000_000);
+        assert!((d.stage_deltas[0].ratio - 10.0).abs() < 1e-9);
+        assert!(d.rendered.contains("stage wall_ns delta"));
+        assert!(d.rendered.contains("differential"));
     }
 
     #[test]

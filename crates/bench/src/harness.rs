@@ -21,21 +21,27 @@
 use std::hint::black_box;
 use std::time::Instant;
 
-use comfort_core::campaign::{CampaignConfig, CampaignReport};
+use comfort_core::campaign::{testbeds_for, CampaignConfig, CampaignReport};
 use comfort_core::checkpoint::report_checksum;
+use comfort_core::differential::ExecutionClasses;
+use comfort_core::resilience::{run_case_hardened, ExecPolicy, HealthTracker};
 use comfort_core::session::CampaignSession;
 use comfort_interp::{compile, hooks::SpecProfile, run_chunk, RunOptions};
 use comfort_lm::GeneratorConfig;
 use comfort_telemetry::Stage;
 
 use crate::perf::{
-    BenchReport, CampaignEntry, EnvFingerprint, MicrobenchEntry, StageEntry, WorkloadSpec,
-    SCHEMA_VERSION,
+    BenchReport, CampaignEntry, ClassSizeBucket, EnvFingerprint, MicrobenchEntry, StageEntry,
+    WorkloadSpec, SCHEMA_VERSION,
 };
 use crate::stats::summarize;
 
 /// Report identity for this PR's perf baseline.
-pub const BENCH_ID: &str = "BENCH_7";
+pub const BENCH_ID: &str = "BENCH_8";
+
+/// Corpus programs driven through the differential microbench (pinned
+/// prefix of the training corpus, parse failures skipped).
+pub const DIFFERENTIAL_CASES: usize = 8;
 
 /// The executor thread counts the sweep times.
 pub const SWEEP_THREADS: [usize; 4] = [1, 2, 4, 8];
@@ -158,6 +164,66 @@ pub fn run_harness_with(quick: bool, env: EnvFingerprint) -> BenchReport {
         });
     }
 
+    // Differential-stage microbench: the same pinned cases driven through
+    // the hardened slot path across the bench testbed matrix, with
+    // footprint dedup on and off. The on/off pair is what BENCH_8 claims a
+    // speedup on; both entries land in `tracked_metrics` so bench-diff
+    // gates them against future baselines.
+    let testbeds = testbeds_for(&campaign_config(&w));
+    let diff_programs: Vec<(usize, comfort_syntax::Program)> = corpus
+        .iter()
+        .filter_map(|src| comfort_syntax::parse(src).ok().map(|p| (src.len(), p)))
+        .take(DIFFERENTIAL_CASES)
+        .collect();
+    let diff_source_len: u64 = diff_programs.iter().map(|(len, _)| *len as u64).sum();
+    let run_options = RunOptions { fuel: w.fuel, ..RunOptions::default() };
+    for (suffix, dedup) in [("on", true), ("off", false)] {
+        let policy = ExecPolicy { dedup, ..ExecPolicy::default() };
+        let sweep = || {
+            for (_, program) in &diff_programs {
+                let mut tracker = HealthTracker::new(&testbeds, 0);
+                black_box(run_case_hardened(
+                    black_box(program),
+                    &testbeds,
+                    &run_options,
+                    1,
+                    &policy,
+                    &mut tracker,
+                ));
+            }
+        };
+        sweep(); // warmup
+        let mut samples = Vec::with_capacity(w.microbench_iters as usize);
+        for _ in 0..w.microbench_iters {
+            let start = Instant::now();
+            sweep();
+            samples.push(start.elapsed().as_nanos() as u64);
+        }
+        microbench.push(MicrobenchEntry {
+            name: format!("differential/dedup/{suffix}"),
+            source_len: diff_source_len,
+            timing: summarize(&samples),
+        });
+    }
+
+    // Class-size histogram over the same pinned cases: how the dedup layer
+    // partitions the matrix (deterministic — a property of the footprints
+    // and the bug catalog, not of timing).
+    let mask = vec![true; testbeds.len()];
+    let mut histogram: Vec<ClassSizeBucket> = Vec::new();
+    for (_, program) in &diff_programs {
+        let chunk = compile(program);
+        let classes = ExecutionClasses::compute(&chunk, &testbeds, &mask, &mask);
+        for size in classes.class_sizes(&mask) {
+            let size = size as u64;
+            match histogram.iter_mut().find(|b| b.size == size) {
+                Some(bucket) => bucket.count += 1,
+                None => histogram.push(ClassSizeBucket { size, count: 1 }),
+            }
+        }
+    }
+    histogram.sort_unstable_by_key(|b| b.size);
+
     BenchReport {
         bench_id: BENCH_ID.to_string(),
         schema_version: SCHEMA_VERSION,
@@ -167,6 +233,7 @@ pub fn run_harness_with(quick: bool, env: EnvFingerprint) -> BenchReport {
         checksums_identical,
         stages,
         microbench,
+        class_histogram: histogram,
     }
 }
 
@@ -186,7 +253,17 @@ mod tests {
         assert_eq!(report.campaign.len(), SWEEP_THREADS.len());
         assert!(report.checksums_identical, "sweep must be bit-identical");
         assert_eq!(report.stages.len(), Stage::ALL.len());
-        assert_eq!(report.microbench.len(), workload(true).microbench_cases as usize);
+        // Interp microbenches plus the differential dedup on/off pair.
+        assert_eq!(report.microbench.len(), workload(true).microbench_cases as usize + 2);
+        assert!(report.microbench.iter().any(|m| m.name == "differential/dedup/on"));
+        assert!(report.microbench.iter().any(|m| m.name == "differential/dedup/off"));
+        // The pinned workload must actually form multi-testbed classes.
+        assert!(!report.class_histogram.is_empty());
+        assert!(
+            report.class_histogram.iter().any(|b| b.size > 1),
+            "histogram shows no sharing: {:?}",
+            report.class_histogram
+        );
         assert!(crate::diff::validate(&report).is_empty());
         // The emitted JSON must parse back to the same report modulo
         // nothing — parse is strict and the serializer canonical.

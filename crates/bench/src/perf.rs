@@ -268,6 +268,31 @@ impl MicrobenchEntry {
     }
 }
 
+/// One bucket of the execution-dedup class-size histogram: how many
+/// behaviour-equivalence classes of exactly `size` testbeds the pinned
+/// differential workload produced. A bucket of size 1 is a class that
+/// saved nothing; larger sizes each saved `size - 1` executions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClassSizeBucket {
+    /// Testbeds per class.
+    pub size: u64,
+    /// Classes of that size.
+    pub count: u64,
+}
+
+impl ClassSizeBucket {
+    fn to_json(self) -> JsonValue {
+        JsonValue::object([
+            ("size", JsonValue::from(self.size)),
+            ("count", JsonValue::from(self.count)),
+        ])
+    }
+
+    fn from_json(v: &JsonValue) -> Result<Self, String> {
+        Ok(ClassSizeBucket { size: req_u64(v, "size")?, count: req_u64(v, "count")? })
+    }
+}
+
 /// A complete `BENCH_*.json` perf report.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BenchReport {
@@ -288,6 +313,10 @@ pub struct BenchReport {
     pub stages: Vec<StageEntry>,
     /// Single-case interp microbenches over the pinned corpus slice.
     pub microbench: Vec<MicrobenchEntry>,
+    /// Execution-dedup class-size histogram over the pinned differential
+    /// workload (deterministic; empty in reports predating the dedup
+    /// layer — the field is optional on parse for that reason).
+    pub class_histogram: Vec<ClassSizeBucket>,
 }
 
 impl BenchReport {
@@ -312,6 +341,10 @@ impl BenchReport {
             (
                 "microbench",
                 JsonValue::Array(self.microbench.iter().map(MicrobenchEntry::to_json).collect()),
+            ),
+            (
+                "class_histogram",
+                JsonValue::Array(self.class_histogram.iter().map(|b| b.to_json()).collect()),
             ),
         ])
     }
@@ -345,6 +378,14 @@ impl BenchReport {
             }
             None => return Err("missing microbench array".into()),
         };
+        // Optional: reports written before the dedup layer have no
+        // histogram; treat absence as empty so old baselines keep parsing.
+        let class_histogram = match v.get("class_histogram").and_then(JsonValue::as_array) {
+            Some(items) => {
+                items.iter().map(ClassSizeBucket::from_json).collect::<Result<Vec<_>, String>>()?
+            }
+            None => Vec::new(),
+        };
         Ok(BenchReport {
             bench_id: req_str(&v, "bench_id")?,
             schema_version,
@@ -357,6 +398,7 @@ impl BenchReport {
                 .ok_or("missing checksums_identical")?,
             stages,
             microbench,
+            class_histogram,
         })
     }
 
@@ -415,6 +457,10 @@ impl BenchReport {
                         })
                         .collect(),
                 ),
+            ),
+            (
+                "class_histogram",
+                JsonValue::Array(self.class_histogram.iter().map(|b| b.to_json()).collect()),
             ),
         ])
         .to_json()

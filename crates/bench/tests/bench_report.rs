@@ -1,14 +1,19 @@
 //! Integration tests for the perf-trajectory subsystem: the checked-in
-//! `BENCH_7.json` golden file, the `bench-diff` >5% gate, and harness
-//! determinism (two runs differ only in timing/env fields).
+//! `BENCH_8.json` golden file, the `bench-diff` >5% gate, harness
+//! determinism (two runs differ only in timing/env fields), and the
+//! recorded `BENCH_7.json` → `BENCH_8.json` execution-dedup trajectory.
 
 use comfort_bench::diff::{diff, validate};
 use comfort_bench::harness::{run_harness_with, workload, BENCH_ID, SWEEP_THREADS};
 use comfort_bench::perf::{BenchReport, EnvFingerprint, SCHEMA_VERSION};
 
+fn repo_root() -> &'static std::path::Path {
+    // crates/bench/../.. = repo root.
+    std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
 fn golden_path() -> std::path::PathBuf {
-    // crates/bench/../../BENCH_7.json = repo root.
-    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_7.json")
+    repo_root().join("BENCH_8.json")
 }
 
 fn fixed_env() -> EnvFingerprint {
@@ -23,7 +28,7 @@ fn fixed_env() -> EnvFingerprint {
 
 #[test]
 fn checked_in_baseline_round_trips_byte_identically() {
-    let text = std::fs::read_to_string(golden_path()).expect("BENCH_7.json is checked in");
+    let text = std::fs::read_to_string(golden_path()).expect("BENCH_8.json is checked in");
     let report = BenchReport::parse(&text).expect("baseline parses");
     assert_eq!(report.bench_id, BENCH_ID);
     assert_eq!(report.schema_version, SCHEMA_VERSION);
@@ -36,7 +41,7 @@ fn checked_in_baseline_round_trips_byte_identically() {
 
 #[test]
 fn checked_in_baseline_proves_the_sweep_was_deterministic() {
-    let text = std::fs::read_to_string(golden_path()).expect("BENCH_7.json is checked in");
+    let text = std::fs::read_to_string(golden_path()).expect("BENCH_8.json is checked in");
     let report = BenchReport::parse(&text).expect("baseline parses");
     assert_eq!(report.campaign.len(), SWEEP_THREADS.len());
     assert!(report.checksums_identical);
@@ -48,7 +53,7 @@ fn checked_in_baseline_proves_the_sweep_was_deterministic() {
 
 #[test]
 fn baseline_self_diff_passes_and_synthetic_regression_fails() {
-    let text = std::fs::read_to_string(golden_path()).expect("BENCH_7.json is checked in");
+    let text = std::fs::read_to_string(golden_path()).expect("BENCH_8.json is checked in");
     let baseline = BenchReport::parse(&text).expect("baseline parses");
 
     // Self-diff: every ratio is exactly 1.0, the gate passes.
@@ -70,6 +75,39 @@ fn baseline_self_diff_passes_and_synthetic_regression_fails() {
     }
     let ok = diff(&baseline, &improved);
     assert!(ok.passed(), "improvement/noise failures: {:?}", ok.failures);
+}
+
+#[test]
+fn dedup_trajectory_from_bench_7_passes_the_gate_and_halves_differential() {
+    // BENCH_7.json predates the execution-dedup layer; BENCH_8.json was
+    // recorded with it on. The diff gate must pass (dedup is a pure
+    // improvement), the campaign checksum must be unchanged (dedup never
+    // alters a report), and the recorded differential stage must be at
+    // least 2x faster — the tentpole claim, pinned against regression.
+    let old_text = std::fs::read_to_string(repo_root().join("BENCH_7.json"))
+        .expect("BENCH_7.json is checked in");
+    let old = BenchReport::parse(&old_text).expect("BENCH_7 parses");
+    let new_text = std::fs::read_to_string(golden_path()).expect("BENCH_8.json is checked in");
+    let new = BenchReport::parse(&new_text).expect("BENCH_8 parses");
+
+    assert_eq!(old.workload, new.workload, "same pinned workload");
+    assert_eq!(
+        old.campaign[0].report_checksum, new.campaign[0].report_checksum,
+        "dedup left the campaign report bit-identical"
+    );
+    let gate = diff(&old, &new);
+    assert!(gate.passed(), "BENCH_7 -> BENCH_8 failures: {:?}", gate.failures);
+
+    let wall = |r: &BenchReport| {
+        r.stages.iter().find(|s| s.stage == "differential").expect("differential stage").wall_ns
+    };
+    let (before, after) = (wall(&old), wall(&new));
+    assert!(
+        after * 2 <= before,
+        "differential stage must improve >=2x (before {before} ns, after {after} ns)"
+    );
+    assert!(!new.class_histogram.is_empty(), "BENCH_8 records the class-size histogram");
+    assert!(old.class_histogram.is_empty(), "BENCH_7 predates the dedup layer");
 }
 
 #[test]

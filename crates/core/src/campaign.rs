@@ -701,6 +701,16 @@ impl Campaign {
                 testbeds: obs.active_runs as u64,
                 outcome: outcome_label.to_string(),
             });
+            if obs.active_runs > obs.physical_runs {
+                let saved = (obs.active_runs - obs.physical_runs) as u64;
+                self.metrics.executions_saved += saved;
+                self.metrics.equivalence_classes += obs.classes as u64;
+                self.recorder.emit(EventKind::ExecutionDeduped {
+                    case_id: case.id,
+                    classes: obs.classes as u64,
+                    saved,
+                });
+            }
             self.metrics.faults_observed += obs.faults.len() as u64;
             self.metrics.runs_retried += obs.retried.len() as u64;
             self.metrics.runs_skipped += obs.skipped_runs as u64;

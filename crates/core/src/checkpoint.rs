@@ -454,6 +454,16 @@ fn req_u64(v: &JsonValue, key: &str) -> Result<u64, String> {
     v.get(key).and_then(JsonValue::as_u64).ok_or_else(|| format!("missing u64 field {key:?}"))
 }
 
+/// Like [`req_u64`] but defaults to 0 when the field is absent — used for
+/// counters that are serialized only when nonzero (and for reading
+/// checkpoints written before those counters existed).
+fn opt_u64(v: &JsonValue, key: &str) -> Result<u64, String> {
+    match v.get(key) {
+        None => Ok(0),
+        Some(raw) => raw.as_u64().ok_or_else(|| format!("field {key:?} is not a u64")),
+    }
+}
+
 fn req_bool(v: &JsonValue, key: &str) -> Result<bool, String> {
     v.get(key).and_then(JsonValue::as_bool).ok_or_else(|| format!("missing bool field {key:?}"))
 }
@@ -618,7 +628,7 @@ fn metrics_to_json(m: &CampaignMetrics) -> String {
          \"deviations_observed\":{},\"bugs_reported\":{},\"bugs_deduped\":{},\
          \"faults_observed\":{},\"runs_retried\":{},\"runs_skipped\":{},\
          \"testbeds_quarantined\":{},\"testbeds_reinstated\":{},\"quorum_degraded\":{},\
-         \"shards\":{}}}",
+         \"shards\":{}",
         m.cases_generated,
         m.cases_rejected,
         m.cases_run,
@@ -633,6 +643,16 @@ fn metrics_to_json(m: &CampaignMetrics) -> String {
         m.quorum_degraded,
         m.shards
     );
+    // Mirrors `CampaignMetrics::to_json`: dedup counters appear only when
+    // nonzero so pre-existing checkpoints and determinism-stripped forms
+    // keep their byte layout.
+    if m.executions_saved > 0 {
+        let _ = write!(out, ",\"executions_saved\":{}", m.executions_saved);
+    }
+    if m.equivalence_classes > 0 {
+        let _ = write!(out, ",\"equivalence_classes\":{}", m.equivalence_classes);
+    }
+    out.push('}');
     out
 }
 
@@ -676,6 +696,8 @@ fn metrics_from_json(v: &JsonValue) -> Result<CampaignMetrics, String> {
     m.testbeds_reinstated = req_u64(v, "testbeds_reinstated")?;
     m.quorum_degraded = req_u64(v, "quorum_degraded")?;
     m.shards = req_u64(v, "shards")?;
+    m.executions_saved = opt_u64(v, "executions_saved")?;
+    m.equivalence_classes = opt_u64(v, "equivalence_classes")?;
     Ok(m)
 }
 

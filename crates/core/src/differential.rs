@@ -6,7 +6,7 @@
 //! majority signature defines expected behaviour. Engines whose signature
 //! deviates from a strict majority are flagged.
 
-use comfort_engines::{compile, CompiledChunk, EngineName, RunOptions, Testbed};
+use comfort_engines::{compile, BugBehavior, CompiledChunk, EngineName, RunOptions, Testbed};
 use comfort_interp::{ErrorKind, RunStatus};
 use comfort_syntax::Program;
 use std::sync::Arc;
@@ -199,9 +199,9 @@ pub fn run_differential_pooled(
 }
 
 /// Computes the per-testbed signatures on a scoped worker pool. Workers
-/// claim testbed indices from a shared atomic counter and write each
-/// signature into its index's slot, so the result vector is ordered like
-/// the serial path regardless of scheduling.
+/// claim testbed indices from a shared atomic counter; each index is
+/// claimed exactly once, so its slot is written exactly once — a per-slot
+/// `OnceLock` gives lock-free writes with no per-case mutex pool.
 fn parallel_signatures(
     chunk: &Arc<CompiledChunk>,
     testbeds: &[Testbed],
@@ -209,9 +209,9 @@ fn parallel_signatures(
     threads: usize,
 ) -> Vec<Signature> {
     use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::Mutex;
+    use std::sync::OnceLock;
 
-    let slots: Vec<Mutex<Option<Signature>>> = testbeds.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<OnceLock<Signature>> = testbeds.iter().map(|_| OnceLock::new()).collect();
     let next = AtomicUsize::new(0);
     let workers = threads.min(testbeds.len());
     std::thread::scope(|scope| {
@@ -222,17 +222,123 @@ fn parallel_signatures(
                     break;
                 }
                 let r = testbeds[i].run_compiled(chunk, options);
-                *slots[i].lock().expect("signature slot poisoned") =
-                    Some(Signature::of(&r.status, &r.output));
+                let set = slots[i].set(Signature::of(&r.status, &r.output));
+                debug_assert!(set.is_ok(), "slot {i} claimed twice");
             });
         }
     });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner().expect("signature slot poisoned").expect("every slot was claimed")
-        })
-        .collect()
+    slots.into_iter().map(|slot| slot.into_inner().expect("every slot was claimed")).collect()
+}
+
+/// Partition of a testbed matrix into behaviour-equivalence classes for one
+/// chunk: `rep[i]` is the slot whose execution testbed `i` reuses
+/// (`rep[i] == i` for class representatives and singletons).
+///
+/// Two testbeds fall in the same class when they have the same mode
+/// (normal/strict vote separately and may differ semantically) and the same
+/// sequence of bug *behaviours* the chunk's
+/// [`comfort_interp::ApiFootprint`] cannot rule out
+/// ([`comfort_engines::BugBehavior`]). Behaviours compare by hook site,
+/// trigger, and deviation rather than by engine-specific bug id, so
+/// testbeds of *different engines* merge when their relevant bugs are
+/// semantically identical — the hook layer is the only behavioural
+/// difference between profiles, and equal empty sequences mean both behave
+/// as the clean reference. Either way the runs are bit-identical and one
+/// execution can serve the whole class.
+///
+/// Forced singletons keep the partition composable with the rest of the
+/// harness: a slot with a pending chaos fault or a half-open quarantine
+/// probe must observe its *own* run (`shareable[i] = false`). A poisoned
+/// footprint disables classing entirely (full matrix).
+#[derive(Debug, Clone)]
+pub struct ExecutionClasses {
+    rep: Vec<usize>,
+    classes: usize,
+}
+
+impl ExecutionClasses {
+    /// The trivial partition (every masked-in slot its own class) — the
+    /// dedup-off path, identical to historical execution.
+    pub fn identity(mask: &[bool]) -> ExecutionClasses {
+        ExecutionClasses {
+            rep: (0..mask.len()).collect(),
+            classes: mask.iter().filter(|m| **m).count(),
+        }
+    }
+
+    /// Computes the partition for `chunk`. `mask[i] = false` excludes slot
+    /// `i` (quarantined — it neither runs nor joins a class);
+    /// `shareable[i] = false` forces a masked-in slot into a singleton
+    /// class. Representatives are chosen deterministically as the lowest
+    /// masked-in index of each class, independent of thread count.
+    pub fn compute(
+        chunk: &CompiledChunk,
+        testbeds: &[Testbed],
+        mask: &[bool],
+        shareable: &[bool],
+    ) -> ExecutionClasses {
+        debug_assert_eq!(testbeds.len(), mask.len());
+        debug_assert_eq!(testbeds.len(), shareable.len());
+        let mut out = ExecutionClasses::identity(mask);
+        if chunk.footprint.is_poisoned() {
+            return out; // analysis gave up: full matrix
+        }
+        out.classes = 0;
+        let mut seen: Vec<(bool, Vec<BugBehavior<'_>>, usize)> = Vec::new();
+        for (i, bed) in testbeds.iter().enumerate() {
+            if !mask[i] {
+                continue;
+            }
+            if !shareable[i] {
+                out.classes += 1; // forced singleton, rep[i] stays i
+                continue;
+            }
+            let key = bed.engine.relevant_behavior(
+                &chunk.footprint,
+                bed.strict || chunk.footprint.has_strict_sites(),
+            );
+            match seen.iter().find(|(strict, k, _)| *strict == bed.strict && *k == key) {
+                Some((_, _, leader)) => out.rep[i] = *leader,
+                None => {
+                    seen.push((bed.strict, key, i));
+                    out.classes += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// The slot whose execution slot `i` reuses.
+    pub fn rep(&self, i: usize) -> usize {
+        self.rep[i]
+    }
+
+    /// `true` when slot `i` executes its own run.
+    pub fn is_representative(&self, i: usize) -> bool {
+        self.rep[i] == i
+    }
+
+    /// Number of classes over the masked-in slots (= physical executions).
+    pub fn class_count(&self) -> usize {
+        self.classes
+    }
+
+    /// Size of each class, keyed by representative index in ascending
+    /// order (bench histograms).
+    pub fn class_sizes(&self, mask: &[bool]) -> Vec<usize> {
+        let mut sizes: Vec<(usize, usize)> = Vec::new();
+        for (&r, &masked_in) in self.rep.iter().zip(mask) {
+            if !masked_in {
+                continue;
+            }
+            match sizes.iter_mut().find(|(leader, _)| *leader == r) {
+                Some((_, n)) => *n += 1,
+                None => sizes.push((r, 1)),
+            }
+        }
+        sizes.sort_unstable_by_key(|(leader, _)| *leader);
+        sizes.into_iter().map(|(_, n)| n).collect()
+    }
 }
 
 /// Computes the per-testbed signatures serially, in testbed order.

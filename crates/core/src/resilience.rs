@@ -23,7 +23,7 @@ use comfort_syntax::Program;
 use std::sync::Arc;
 
 use crate::differential::{
-    vote_on_signatures_quorum, CaseOutcome, GroupQuorum, QuorumPolicy, Signature,
+    vote_on_signatures_quorum, CaseOutcome, ExecutionClasses, GroupQuorum, QuorumPolicy, Signature,
 };
 
 /// Execution-hardening policy for a campaign: isolation and retry knobs for
@@ -46,6 +46,12 @@ pub struct ExecPolicy {
     pub probe_after: u32,
     /// Minimum healthy voters per mode group.
     pub quorum: QuorumPolicy,
+    /// Footprint-based execution dedup: collapse testbeds that are provably
+    /// equivalent on a chunk into one physical run per behaviour class (see
+    /// [`ExecutionClasses`]). Purely an execution-count optimization — every
+    /// observation, vote, and report is bit-identical either way — so it
+    /// defaults to on; turn off to force the full matrix (oracle mode).
+    pub dedup: bool,
 }
 
 impl Default for ExecPolicy {
@@ -56,6 +62,7 @@ impl Default for ExecPolicy {
             quarantine_after: 5,
             probe_after: 0,
             quorum: QuorumPolicy::default(),
+            dedup: true,
         }
     }
 }
@@ -392,8 +399,16 @@ pub struct CaseObservation {
     pub quarantined: Vec<QuarantineEvent>,
     /// Reinstatements (successful half-open probes) this case.
     pub reinstated: Vec<ReinstateEvent>,
-    /// Testbeds that actually ran.
+    /// Testbeds that participated (logical runs: every masked-in slot,
+    /// whether it executed or reused a classmate's execution).
     pub active_runs: usize,
+    /// Executions actually performed (one per behaviour class). Equal to
+    /// `active_runs` when dedup is off or the chunk's footprint is
+    /// poisoned.
+    pub physical_runs: usize,
+    /// Behaviour-equivalence classes this case partitioned into
+    /// (= `physical_runs`; kept separate for telemetry clarity).
+    pub classes: usize,
     /// Runs skipped (testbed already quarantined).
     pub skipped_runs: usize,
     /// `true` when the case was abandoned by a [`CancelToken`] between
@@ -440,8 +455,25 @@ pub fn run_case_hardened_cancellable(
     // shares the same read-only chunk via its `Arc`.
     let chunk = compile(program);
     let mask = tracker.begin_case();
+    // Partition the masked-in slots into behaviour classes. A half-open
+    // probe must observe its own run (its result drives reinstatement), and
+    // a slot with a pending chaos fault diverges from its classmates by
+    // construction — both are forced singletons, so classing composes with
+    // quarantine, probing, chaos, and retry without changing any outcome.
+    let classes = if policy.dedup {
+        let shareable: Vec<bool> = testbeds
+            .iter()
+            .enumerate()
+            .map(|(i, bed)| !tracker.is_probe(i) && !bed.has_pending_fault(&chunk))
+            .collect();
+        ExecutionClasses::compute(&chunk, testbeds, &mask, &shareable)
+    } else {
+        ExecutionClasses::identity(&mask)
+    };
+    let run_mask: Vec<bool> =
+        (0..testbeds.len()).map(|i| mask[i] && classes.is_representative(i)).collect();
     let (runs, cancelled) =
-        isolated_runs(&chunk, testbeds, options, threads, policy, &mask, cancel);
+        isolated_runs(&chunk, testbeds, options, threads, policy, &run_mask, cancel);
     if cancelled {
         return CaseObservation {
             outcome: CaseOutcome::NoQuorum,
@@ -451,11 +483,20 @@ pub fn run_case_hardened_cancellable(
             quarantined: Vec::new(),
             reinstated: Vec::new(),
             active_runs: 0,
-            skipped_runs: 0,
+            physical_runs: 0,
+            classes: 0,
             cancelled: true,
+            skipped_runs: 0,
         };
     }
 
+    // Process every masked-in slot in index order against its class
+    // representative's run (`rep(i) == i` for slots that executed). Health
+    // updates, fault records, and signatures replicate to classmates
+    // exactly as the full matrix would have produced them — class members
+    // are behaviourally identical, so the representative's run *is* their
+    // run — keeping the tracker ledger and every report bit-identical.
+    let physical_runs = runs.iter().flatten().count();
     let mut signatures: Vec<Option<Signature>> = vec![None; testbeds.len()];
     let mut faults = Vec::new();
     let mut retried = Vec::new();
@@ -463,12 +504,13 @@ pub fn run_case_hardened_cancellable(
     let mut reinstated = Vec::new();
     let mut active_runs = 0;
     let mut skipped_runs = 0;
-    for (i, slot) in runs.into_iter().enumerate() {
-        let Some(run) = slot else {
+    for i in 0..testbeds.len() {
+        if !mask[i] {
             tracker.record_skip(i);
             skipped_runs += 1;
             continue;
-        };
+        }
+        let run = runs[classes.rep(i)].as_ref().expect("class representative ran");
         active_runs += 1;
         if run.retries > 0 {
             tracker.record_retries(i, run.retries);
@@ -512,6 +554,8 @@ pub fn run_case_hardened_cancellable(
         quarantined,
         reinstated,
         active_runs,
+        physical_runs,
+        classes: classes.class_count(),
         skipped_runs,
         cancelled: false,
     }
@@ -546,9 +590,11 @@ fn isolated_runs(
     }
 
     use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-    use std::sync::Mutex;
-    let slots: Vec<Mutex<Option<IsolatedRun>>> =
-        testbeds.iter().map(|_| Mutex::new(None)).collect();
+    use std::sync::OnceLock;
+    // Indices are claimed exactly once from the shared counter, so each
+    // slot is written at most once: per-slot `OnceLock`s give lock-free
+    // writes (no mutex pool allocated-and-locked per case).
+    let slots: Vec<OnceLock<IsolatedRun>> = testbeds.iter().map(|_| OnceLock::new()).collect();
     let next = AtomicUsize::new(0);
     let stopped = AtomicBool::new(false);
     let workers = threads.min(testbeds.len());
@@ -566,18 +612,13 @@ fn isolated_runs(
                 if !mask[i] {
                     continue;
                 }
-                *slots[i].lock().expect("isolated-run slot poisoned") = Some(run_one(i));
+                let set = slots[i].set(run_one(i));
+                debug_assert!(set.is_ok(), "slot {i} claimed twice");
             });
         }
     });
     let cancelled = stopped.load(Ordering::SeqCst);
-    (
-        slots
-            .into_iter()
-            .map(|slot| slot.into_inner().expect("isolated-run slot poisoned"))
-            .collect(),
-        cancelled,
-    )
+    (slots.into_iter().map(OnceLock::into_inner).collect(), cancelled)
 }
 
 #[cfg(test)]

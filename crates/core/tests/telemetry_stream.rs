@@ -100,6 +100,38 @@ fn metrics_reconcile_with_report_and_events() {
 }
 
 #[test]
+fn execution_dedup_events_conserve_metrics_counters() {
+    let (events, report) = run_and_capture(4);
+    let m = &report.metrics;
+
+    // Every execution the dedup layer saved is announced by exactly one
+    // `execution_deduped` event, and vice versa: the event stream's totals
+    // and the metrics counters are the same numbers.
+    let mut saved = 0u64;
+    let mut classes = 0u64;
+    let mut dedup_events = 0u64;
+    for event in &events {
+        if let EventKind::ExecutionDeduped { saved: s, classes: c, .. } = &event.kind {
+            assert!(*s > 0, "execution_deduped must only be emitted when runs were saved");
+            assert!(*c > 0);
+            saved += s;
+            classes += c;
+            dedup_events += 1;
+        }
+    }
+    assert_eq!(saved, m.executions_saved);
+    assert_eq!(classes, m.equivalence_classes);
+    assert!(dedup_events > 0, "this workload must exercise the dedup layer");
+
+    // Saved executions never exceed the logical differential work, and the
+    // deterministic (checksummed) view carries none of these counters.
+    assert!(m.executions_saved < m.stage(Stage::Differential).items);
+    let stripped = m.without_wall_clock();
+    assert_eq!(stripped.executions_saved, 0);
+    assert_eq!(stripped.equivalence_classes, 0);
+}
+
+#[test]
 fn merged_metrics_conserve_shard_totals() {
     let mem = MemorySink::new();
     let session = CampaignSession::new(telemetry_config(SinkHandle::new(mem.clone())));

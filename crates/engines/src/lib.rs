@@ -45,7 +45,7 @@ pub use harness::{
     run_isolated_compiled, silence_chaos_panics, FaultObserved, IsolatedRun, IsolationPolicy,
     RetryPolicy,
 };
-pub use profile::EngineProfile;
+pub use profile::{BugBehavior, EngineProfile};
 pub use registry::{all_versions, versions_of, EngineName, EngineVersion, EsEdition};
 
 use comfort_interp::run_chunk;
@@ -100,6 +100,24 @@ impl Engine {
         self.profile.bugs()
     }
 
+    /// Ids of active bugs that `footprint` cannot rule out for a chunk
+    /// (see [`EngineProfile::relevant_bugs`]). Engines whose relevant-bug
+    /// sets are equal behave identically on that chunk.
+    pub fn relevant_bugs(&self, footprint: &comfort_interp::ApiFootprint) -> Vec<BugId> {
+        self.profile.relevant_bugs(footprint)
+    }
+
+    /// Semantic descriptions of the bugs `footprint` cannot rule out (see
+    /// [`EngineProfile::relevant_behavior`]). Comparable *across* engines:
+    /// equal sequences mean identical behaviour on the chunk.
+    pub fn relevant_behavior(
+        &self,
+        footprint: &comfort_interp::ApiFootprint,
+        strict_sites: bool,
+    ) -> Vec<profile::BugBehavior<'_>> {
+        self.profile.relevant_behavior(footprint, strict_sites)
+    }
+
     /// Runs a compiled chunk with the given options. This is the execution
     /// entry point: fuel, strict mode, coverage, and the backend knob all
     /// travel in [`RunOptions`] (`&RunOptions::default()` for a plain
@@ -149,6 +167,15 @@ impl Testbed {
     /// `true` when a fault plan is attached.
     pub fn is_chaotic(&self) -> bool {
         self.chaos.is_some()
+    }
+
+    /// `true` when the attached chaos plan injects a fault for this chunk
+    /// on the *first* attempt. Such a testbed must not share an execution
+    /// with classmates: even a Garbage fault silently alters output. A
+    /// `None` decision at attempt 0 means the run is clean and no retries
+    /// occur (retries only follow an injected fault), so sharing is safe.
+    pub fn has_pending_fault(&self, chunk: &Arc<CompiledChunk>) -> bool {
+        self.chaos.as_ref().is_some_and(|plan| plan.decide(&chunk.program, 0).is_some())
     }
 
     /// Display label, e.g. `"Rhino v1.7.12 [strict]"`.

@@ -4,9 +4,14 @@
 use comfort_interp::hooks::{
     ArraySetBehavior, BuiltinSite, ConformanceProfile, Deviation, ValuePreview, ValueRecipe,
 };
+use comfort_interp::ApiFootprint;
 
-use crate::catalog::{Effect, SeededBug};
+use crate::catalog::{BugId, Effect, SeededBug, Trigger};
 use crate::registry::{EngineName, EngineVersion};
+
+/// Shared recipe for the define-property suppression path, served by
+/// reference from the hook (the hook returns borrowed recipes).
+static ARG0: ValueRecipe = ValueRecipe::Arg(0);
 
 /// The behaviour of one engine *version*: the reference interpreter plus the
 /// catalog bugs active in that version.
@@ -50,18 +55,107 @@ impl EngineProfile {
                 && b.triggers.iter().all(|t| t.matches(&site.receiver, &site.args))
         })
     }
+
+    /// The relevance query: ids of this profile's bugs that `footprint`
+    /// cannot rule out for a given chunk, in catalog order.
+    ///
+    /// Two testbeds of the same mode whose relevant-bug sets are equal are
+    /// behaviourally identical on that chunk — bugs are the *only* runtime
+    /// difference between profiles, and a bug whose hook site is provably
+    /// unreachable can never fire. `Effect::Perf` bugs are included like any
+    /// other (burning fuel changes `OutOfFuel` outcomes). A poisoned
+    /// footprint returns every active bug, i.e. no collapse.
+    pub fn relevant_bugs(&self, footprint: &ApiFootprint) -> Vec<BugId> {
+        self.bugs.iter().filter(|b| bug_may_fire(b, footprint)).map(|b| b.id).collect()
+    }
+
+    /// The behaviour-level relevance query: semantic descriptions of the
+    /// bugs `footprint` cannot rule out, in catalog order. Unlike
+    /// [`Self::relevant_bugs`] this compares *across engines*: two testbeds
+    /// with pairwise-equal sequences respond identically at every reachable
+    /// hook site, so the execution-dedup layer can put them in one class
+    /// even when their bug ids differ. Bugs that only manifest at strict
+    /// sites are dropped when `strict_sites` is `false` (a non-strict
+    /// testbed running a program with no `"use strict"` prologue — pass
+    /// `testbed.strict || footprint.has_strict_sites()`).
+    pub fn relevant_behavior(
+        &self,
+        footprint: &ApiFootprint,
+        strict_sites: bool,
+    ) -> Vec<BugBehavior<'_>> {
+        self.bugs
+            .iter()
+            .filter(|b| (strict_sites || !b.strict_only) && bug_may_fire(b, footprint))
+            .map(|b| BugBehavior {
+                api: b.api,
+                triggers: &b.triggers,
+                effect: &b.effect,
+                strict_only: b.strict_only,
+                message_engine: matches!(b.effect, Effect::WrongThrow(_))
+                    .then_some(self.version.engine),
+            })
+            .collect()
+    }
+}
+
+/// Engine-independent description of what one seeded bug does at its hook
+/// site: where it hooks, when it triggers, and the deviation it applies.
+/// Two testbeds of the same mode whose relevant-bug sequences are pairwise
+/// equal under this comparison produce bit-identical runs on the chunk —
+/// the hook layer is the *only* behavioural difference between profiles,
+/// and first-match resolution walks the same semantic sequence. The one
+/// engine-dependent observable is the synthesized `WrongThrow` message
+/// (it embeds the engine name), so those bugs carry `message_engine` and
+/// only compare equal within a single engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BugBehavior<'a> {
+    api: Option<&'static str>,
+    triggers: &'a [Trigger],
+    effect: &'a Effect,
+    strict_only: bool,
+    message_engine: Option<EngineName>,
+}
+
+/// `false` only when `footprint` proves the bug's hook site unreachable.
+fn bug_may_fire(bug: &SeededBug, fp: &ApiFootprint) -> bool {
+    if fp.is_poisoned() {
+        return true;
+    }
+    match &bug.effect {
+        // Special-hook effects ignore `bug.api`; gate on the construct that
+        // reaches their hook instead.
+        Effect::EvalHeadlessFor => fp.mentions("eval"),
+        Effect::SplitAnchor => fp.mentions("split"),
+        Effect::ArrayBoolKeyAppend | Effect::ArrayReverseFill => fp.has_index_store(),
+        Effect::DefinePropLengthSuppress => fp.mentions("defineProperty"),
+        // API-keyed effects fire only via `on_builtin`. The footprint
+        // tracks explicit sites by terminal name segment and the natives
+        // implicit `ToPrimitive` can dispatch by full API name (see
+        // `comfort_interp::footprint::IMPLICIT_COERCION_APIS`), so a bug
+        // may fire if either form is mentioned.
+        _ => match bug.api {
+            Some(api) => fp.mentions(terminal_segment(api)) || fp.mentions(api),
+            // A shape the analysis doesn't model: assume it can fire.
+            None => true,
+        },
+    }
+}
+
+/// `"String.prototype.substr"` → `"substr"`; dotless names pass through.
+fn terminal_segment(api: &str) -> &str {
+    api.rsplit('.').next().unwrap_or(api)
 }
 
 impl ConformanceProfile for EngineProfile {
-    fn on_builtin(&self, site: &BuiltinSite) -> Deviation {
+    fn on_builtin(&self, site: &BuiltinSite) -> Deviation<'_> {
         match self.matching_bug(site).map(|b| &b.effect) {
             None => Deviation::None,
-            Some(Effect::WrongValue(recipe)) => Deviation::ReturnValue(recipe.clone()),
+            Some(Effect::WrongValue(recipe)) => Deviation::ReturnValue(recipe),
             Some(Effect::WrongThrow(kind)) => Deviation::ThrowError(
                 *kind,
                 format!("invalid argument to {} ({})", site.api, self.version.engine),
             ),
-            Some(Effect::MissingThrow(recipe)) => Deviation::SuppressThrow(recipe.clone()),
+            Some(Effect::MissingThrow(recipe)) => Deviation::SuppressThrow(recipe),
             Some(Effect::Crash) => {
                 Deviation::Crash(format!("Segmentation fault (core dumped) in {}", site.api))
             }
@@ -82,12 +176,12 @@ impl ConformanceProfile for EngineProfile {
         target_class: &'static str,
         key: &str,
         _strict: bool,
-    ) -> Deviation {
+    ) -> Deviation<'_> {
         if target_class == "Array"
             && key == "length"
             && self.bugs.iter().any(|b| b.effect == Effect::DefinePropLengthSuppress)
         {
-            Deviation::SuppressThrow(ValueRecipe::Arg(0))
+            Deviation::SuppressThrow(&ARG0)
         } else {
             Deviation::None
         }

@@ -315,7 +315,8 @@ fn define_property(
 
     let class = interp.obj(id).kind.class_name();
     let strict = interp.is_strict();
-    let deviation = interp.profile.on_define_property(class, &key, strict);
+    let profile = interp.profile;
+    let deviation = profile.on_define_property(class, &key, strict);
 
     let has = |interp: &mut Interp<'_>, name: &str| -> Result<Option<Value>, Control> {
         let Value::Obj(did) = &desc else { return Ok(None) };
@@ -333,8 +334,7 @@ fn define_property(
         if illegal {
             // The seeded V8/Graaljs bug swallows this TypeError.
             if let crate::hooks::Deviation::SuppressThrow(recipe) = &deviation {
-                let recipe = recipe.clone();
-                return interp.materialize(&recipe, &target, args);
+                return interp.materialize(recipe, &target, args);
             }
             return Err(interp.throw(ErrorKind::Type, "Cannot redefine property: length"));
         }
@@ -361,8 +361,7 @@ fn define_property(
                 value.as_ref().is_some_and(|v| !v.strict_eq(&old.value)) && !old.writable;
             if changes_flags || changes_value {
                 if let crate::hooks::Deviation::SuppressThrow(recipe) = &deviation {
-                    let recipe = recipe.clone();
-                    return interp.materialize(&recipe, &target, args);
+                    return interp.materialize(recipe, &target, args);
                 }
                 return Err(
                     interp.throw(ErrorKind::Type, format!("Cannot redefine property: {key}"))

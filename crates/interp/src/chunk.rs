@@ -19,6 +19,8 @@ use std::sync::Arc;
 
 use comfort_syntax::{NodeArena, Program};
 
+use crate::footprint::{extract_footprint, ApiFootprint};
+
 /// A program compiled for execution: the arena encoding plus the source AST.
 ///
 /// Create with [`compile`]; execute with [`crate::run_chunk`] (or
@@ -31,6 +33,10 @@ pub struct CompiledChunk {
     /// The original AST, retained for the tree-walk oracle backend and for
     /// content-addressed chaos plans.
     pub program: Arc<Program>,
+    /// Conservative API footprint: which builtin atoms the program can
+    /// reach. Lets the differential harness prove testbeds equivalent for
+    /// this chunk and collapse redundant executions.
+    pub footprint: ApiFootprint,
 }
 
 impl CompiledChunk {
@@ -58,7 +64,11 @@ impl CompiledChunk {
 /// assert_eq!(r.output, "42\n");
 /// ```
 pub fn compile(program: &Program) -> Arc<CompiledChunk> {
-    Arc::new(CompiledChunk { arena: NodeArena::build(program), program: Arc::new(program.clone()) })
+    Arc::new(CompiledChunk {
+        arena: NodeArena::build(program),
+        program: Arc::new(program.clone()),
+        footprint: extract_footprint(program),
+    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,632 @@
+//! Conservative API-footprint extraction (compile-time, per chunk).
+//!
+//! The differential harness runs one case on many testbeds whose only
+//! behavioural differences are API-keyed seeded bugs. A testbed whose bug
+//! set cannot intersect the set of builtin APIs a program can reach is
+//! provably bit-identical to the clean reference, so the execution layer
+//! can collapse such testbeds into equivalence classes and run one
+//! representative per class. [`ApiFootprint`] is the static over-
+//! approximation that makes the "cannot intersect" proof: the set of
+//! builtin-API *atoms* (terminal name segments) a chunk might invoke, plus
+//! poison bits for anything the analysis cannot bound.
+//!
+//! # Soundness rules
+//!
+//! The footprint must **over**-approximate reachability; missing a reachable
+//! API would silently change voting results. The collector therefore:
+//!
+//! * records every identifier reference (`parseInt`, `eval`, local
+//!   variables — over-approximating is harmless) and every static member
+//!   property name (`s.substr` → `substr`, reads included, because a read
+//!   can move a builtin into a variable that is called later);
+//! * records string-literal index keys (`Math["max"]` → `max`) and treats
+//!   any *other* computed index read as full poison — a dynamic key can
+//!   fetch any builtin (`Math[k]`, `this[k]`);
+//! * always includes the **full API names** implicit `ToPrimitive` can
+//!   dispatch with no source mention (`Object.prototype.toString`,
+//!   `Date.prototype.valueOf`, …). The interpreter's `to_primitive`
+//!   unwraps boxed primitives (`NumWrap`/`BoolWrap`/`StrWrap`) directly,
+//!   so wrapper-prototype natives like `Number.prototype.toString` or
+//!   `Boolean.prototype.valueOf` can *only* fire from an explicit source
+//!   mention — which the collector records anyway. The one exception:
+//!   prototype objects themselves are plain objects exposing those
+//!   natives as own properties (`Number.prototype + 1` fires
+//!   `Number.prototype.valueOf`), so a mention of `prototype` or
+//!   `getPrototypeOf` falls back to the coarse terminal atoms;
+//! * poisons on any mention of `eval` (evaluated source is invisible to
+//!   static analysis) or `constructor` (every prototype exposes its
+//!   constructor under a name unrelated to the constructor's own API name);
+//! * aliases `defineProperties` to `defineProperty` (the former delegates
+//!   to the latter builtin internally);
+//! * tracks *indexed stores* (`a[k] = v`, `a[k] += v`, `a[k]++`) as a
+//!   dedicated bit: the array-element conformance hooks (bool-key append,
+//!   reverse-fill fuel penalty) fire on that path without any API call.
+//!   `Object.assign` can also store into array indices, so a mention of
+//!   `assign` sets the bit too.
+//!
+//! Poisoned chunks report every query as "maybe reachable", which makes the
+//! classing layer fall back to the full testbed matrix.
+
+use std::collections::BTreeSet;
+
+use comfort_syntax::ast::{CatchClause, ForInit, Lit, PropKey, SwitchCase};
+use comfort_syntax::{Expr, ExprKind, Program, Stmt, StmtKind};
+
+/// The set of builtin-API atoms a program can reach, with poison bits for
+/// everything static analysis cannot bound. Extracted once per
+/// [`crate::CompiledChunk`] by [`extract_footprint`] (part of `compile`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiFootprint {
+    /// Mentioned name atoms: identifier references, member property names,
+    /// string-literal index keys, plus the implicit-coercion atoms.
+    atoms: BTreeSet<String>,
+    /// `true` when the program can store through a computed index (or call
+    /// `Object.assign`), reaching the array-element conformance hooks.
+    index_store: bool,
+    /// `true` when analysis gave up (dynamic property access, `eval`,
+    /// `constructor`): every query answers "maybe".
+    poisoned: bool,
+    /// `true` when some builtin call site may execute in strict mode even
+    /// on a non-strict testbed: the program (or any function in it) has a
+    /// `"use strict"` prologue.
+    strict_sites: bool,
+}
+
+impl ApiFootprint {
+    /// A footprint built from explicit parts (tests and property-based
+    /// harnesses; real footprints come from [`extract_footprint`]).
+    pub fn from_parts<I, S>(atoms: I, index_store: bool, poisoned: bool) -> ApiFootprint
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        ApiFootprint {
+            atoms: atoms.into_iter().map(Into::into).collect(),
+            index_store,
+            poisoned,
+            strict_sites: false,
+        }
+    }
+
+    /// The fully-poisoned footprint: everything is reachable.
+    pub fn poisoned_all() -> ApiFootprint {
+        ApiFootprint {
+            atoms: BTreeSet::new(),
+            index_store: true,
+            poisoned: true,
+            strict_sites: true,
+        }
+    }
+
+    /// `true` when analysis could not bound reachability; callers must fall
+    /// back to the full testbed matrix.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// `true` when `atom` (a terminal API name segment such as `"substr"`
+    /// or `"Uint32Array"`) may be reached. Always `true` on a poisoned
+    /// footprint.
+    pub fn mentions(&self, atom: &str) -> bool {
+        self.poisoned || self.atoms.contains(atom)
+    }
+
+    /// `true` when the program may store through a computed array index
+    /// (the path the array-element conformance hooks observe). Always
+    /// `true` on a poisoned footprint.
+    pub fn has_index_store(&self) -> bool {
+        self.poisoned || self.index_store
+    }
+
+    /// `true` when builtin sites may run in strict mode regardless of the
+    /// testbed's own mode: the program or one of its functions carries a
+    /// `"use strict"` prologue. Always `true` on a poisoned footprint.
+    pub fn has_strict_sites(&self) -> bool {
+        self.poisoned || self.strict_sites
+    }
+
+    /// Number of distinct atoms collected (diagnostics only).
+    pub fn atom_count(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// The collected atoms, in sorted order (diagnostics and tests).
+    pub fn atoms(&self) -> impl Iterator<Item = &str> {
+        self.atoms.iter().map(String::as_str)
+    }
+}
+
+/// The builtin natives implicit `ToPrimitive` can invoke without any
+/// source mention: the `toString`/`valueOf` methods reachable through the
+/// prototype chains of the object kinds `to_primitive` actually dispatches
+/// on. Boxed primitives unwrap without a method call, which is what keeps
+/// `Number.prototype.*`, `Boolean.prototype.*`, and `String.prototype.*`
+/// off this list.
+pub const IMPLICIT_COERCION_APIS: &[&str] = &[
+    "Object.prototype.valueOf",
+    "Array.prototype.toString",
+    "Function.prototype.toString",
+    "Date.prototype.toString",
+    "Date.prototype.valueOf",
+    "Error.prototype.toString",
+    "RegExp.prototype.toString",
+    "%TypedArray%.prototype.toString",
+];
+
+/// Extracts the conservative API footprint of `program`. One AST walk,
+/// run once per compile — cheap next to a single testbed execution.
+pub fn extract_footprint(program: &Program) -> ApiFootprint {
+    let mut c = Collector {
+        atoms: BTreeSet::new(),
+        index_store: false,
+        poisoned: false,
+        plain_object: false,
+        strict_sites: program.strict,
+    };
+    for stmt in &program.body {
+        c.stmt(stmt);
+    }
+    // Implicit ToPrimitive can invoke these natives with no source mention.
+    // The set is exact for this interpreter: `to_primitive` only dispatches
+    // methods on non-wrapper objects (boxed primitives unwrap directly), so
+    // the reachable natives are the `toString`/`valueOf` entries on the
+    // prototype chains of plain objects, arrays, functions, dates, errors,
+    // regexps, and typed arrays. Relevance matching checks these full names
+    // in addition to terminal segments (`EngineProfile::relevant_bugs`).
+    for api in IMPLICIT_COERCION_APIS {
+        c.atoms.insert((*api).to_string());
+    }
+    // `Object.prototype.toString` resolves under coercion only for objects
+    // whose prototype chain has no closer `toString` — plain objects, the
+    // global object (`this`), `Math`/`JSON` as values, and `ArrayBuffer`/
+    // `DataView` instances (which require `new`). Arrays, functions, dates,
+    // errors, and regexps all shadow it, so the atom is needed only when
+    // the program can *produce* a plain-chain object.
+    if c.plain_object {
+        c.atoms.insert("Object.prototype.toString".to_string());
+    }
+    // Prototype objects are plain objects that expose the wrapper-prototype
+    // natives as *own* properties: `Number.prototype + 1` dispatches
+    // `Number.prototype.valueOf` with no `valueOf` in the source. Any route
+    // to a prototype object mentions `prototype` or `getPrototypeOf` (the
+    // remaining route, `constructor`, already poisons), so those mentions
+    // fall back to the coarse terminal atoms.
+    if c.atoms.contains("prototype") || c.atoms.contains("getPrototypeOf") {
+        c.atoms.insert("toString".to_string());
+        c.atoms.insert("valueOf".to_string());
+    }
+    // `Object.defineProperties` delegates each descriptor to the
+    // `Object.defineProperty` builtin internally.
+    if c.atoms.contains("defineProperties") {
+        c.atoms.insert("defineProperty".to_string());
+    }
+    // `Object.assign` stores through `set_property`, reaching the
+    // array-index store path (reverse-fill penalty) without a `[]=` site.
+    if c.atoms.contains("assign") {
+        c.index_store = true;
+    }
+    // Evaluated source is invisible; `constructor` reaches constructors
+    // whose API names are unrelated to the property name.
+    if c.atoms.contains("eval") || c.atoms.contains("constructor") {
+        c.poisoned = true;
+    }
+    ApiFootprint {
+        atoms: c.atoms,
+        index_store: c.index_store,
+        poisoned: c.poisoned,
+        strict_sites: c.strict_sites,
+    }
+}
+
+struct Collector {
+    atoms: BTreeSet<String>,
+    index_store: bool,
+    poisoned: bool,
+    /// `true` when the program can produce an object whose prototype chain
+    /// resolves `toString` to `Object.prototype.toString`: an object
+    /// literal, any `new` result (`ArrayBuffer`/`DataView` instances and
+    /// plain constructor returns), `this` (the global object), any use of
+    /// `Object`/`JSON` (whose methods return plain objects), or `Math`/
+    /// `JSON` in value position (the only plain-chain *global values*;
+    /// `Math.max` cannot leak the `Math` object, so member-object position
+    /// is exempt for `Math`).
+    plain_object: bool,
+    /// `true` when the program or any function body carries a
+    /// `"use strict"` prologue (strict sites exist on non-strict testbeds).
+    strict_sites: bool,
+}
+
+impl Collector {
+    fn stmt(&mut self, stmt: &Stmt) {
+        match &stmt.kind {
+            StmtKind::Expr(e) | StmtKind::Throw(e) => self.expr(e),
+            StmtKind::Decl { decls, .. } => {
+                for d in decls {
+                    if let Some(init) = &d.init {
+                        self.expr(init);
+                    }
+                }
+            }
+            StmtKind::FunctionDecl(f) => {
+                self.strict_sites |= f.strict;
+                self.stmts(&f.body);
+            }
+            StmtKind::Block(body) => self.stmts(body),
+            StmtKind::If { cond, cons, alt } => {
+                self.expr(cond);
+                self.stmt(cons);
+                if let Some(alt) = alt {
+                    self.stmt(alt);
+                }
+            }
+            StmtKind::While { cond, body } => {
+                self.expr(cond);
+                self.stmt(body);
+            }
+            StmtKind::DoWhile { body, cond } => {
+                self.stmt(body);
+                self.expr(cond);
+            }
+            StmtKind::For { init, test, update, body } => {
+                match init.as_deref() {
+                    Some(ForInit::Decl { decls, .. }) => {
+                        for d in decls {
+                            if let Some(e) = &d.init {
+                                self.expr(e);
+                            }
+                        }
+                    }
+                    Some(ForInit::Expr(e)) => self.expr(e),
+                    None => {}
+                }
+                if let Some(t) = test {
+                    self.expr(t);
+                }
+                if let Some(u) = update {
+                    self.expr(u);
+                }
+                self.stmt(body);
+            }
+            StmtKind::ForInOf { object, body, .. } => {
+                self.expr(object);
+                self.stmt(body);
+            }
+            StmtKind::Return(e) => {
+                if let Some(e) = e {
+                    self.expr(e);
+                }
+            }
+            StmtKind::Try { block, catch, finally } => {
+                self.stmts(block);
+                if let Some(CatchClause { body, .. }) = catch {
+                    self.stmts(body);
+                }
+                if let Some(f) = finally {
+                    self.stmts(f);
+                }
+            }
+            StmtKind::Switch { disc, cases } => {
+                self.expr(disc);
+                for SwitchCase { test, body } in cases {
+                    if let Some(t) = test {
+                        self.expr(t);
+                    }
+                    self.stmts(body);
+                }
+            }
+            StmtKind::Break | StmtKind::Continue | StmtKind::Empty | StmtKind::Directive(_) => {}
+        }
+    }
+
+    fn stmts(&mut self, body: &[Stmt]) {
+        for s in body {
+            self.stmt(s);
+        }
+    }
+
+    /// An expression in *value* position: its result can flow anywhere
+    /// (including into a later call), so index reads with dynamic keys
+    /// poison the footprint.
+    fn expr(&mut self, expr: &Expr) {
+        match &expr.kind {
+            ExprKind::Ident(name) => {
+                // `Math` and `JSON` are the only plain-chain global
+                // *values*; in value position they can flow into coercion.
+                if name == "Math" {
+                    self.plain_object = true;
+                }
+                self.ident(name);
+            }
+            ExprKind::Lit(_) => {}
+            ExprKind::This => {
+                self.plain_object = true; // the global object is plain
+            }
+            ExprKind::Array(items) => {
+                for e in items.iter().flatten() {
+                    self.expr(e);
+                }
+            }
+            ExprKind::Object(props) => {
+                self.plain_object = true;
+                for p in props {
+                    if let PropKey::Computed(k) = &p.key {
+                        self.expr(k);
+                    }
+                    if let Some(v) = &p.value {
+                        self.expr(v);
+                    }
+                }
+            }
+            ExprKind::Function(f) => {
+                self.strict_sites |= f.strict;
+                self.stmts(&f.body);
+            }
+            ExprKind::Arrow { func, expr_body } => {
+                self.strict_sites |= func.strict;
+                self.stmts(&func.body);
+                if let Some(e) = expr_body {
+                    self.expr(e);
+                }
+            }
+            ExprKind::Unary { operand, .. } => self.expr(operand),
+            ExprKind::Update { target, .. } => self.store_target(target),
+            ExprKind::Binary { left, right, .. } | ExprKind::Logical { left, right, .. } => {
+                self.expr(left);
+                self.expr(right);
+            }
+            ExprKind::Cond { cond, cons, alt } => {
+                self.expr(cond);
+                self.expr(cons);
+                self.expr(alt);
+            }
+            ExprKind::Assign { target, value, .. } => {
+                self.store_target(target);
+                self.expr(value);
+            }
+            ExprKind::Seq(items) => {
+                for e in items {
+                    self.expr(e);
+                }
+            }
+            ExprKind::Call { callee, args } => {
+                self.expr(callee);
+                for a in args {
+                    self.expr(a);
+                }
+            }
+            ExprKind::New { callee, args } => {
+                // Constructed objects can be plain-chain (`new Object()`,
+                // user constructors, `ArrayBuffer`/`DataView` instances).
+                self.plain_object = true;
+                self.expr(callee);
+                for a in args {
+                    self.expr(a);
+                }
+            }
+            ExprKind::Member { object, prop } => {
+                self.atoms.insert(prop.clone());
+                self.member_object(object);
+            }
+            ExprKind::Index { object, index } => {
+                self.member_object(object);
+                match &index.kind {
+                    // A literal key is just a spelled-out property name.
+                    ExprKind::Lit(Lit::String(s)) => {
+                        self.atoms.insert(s.clone());
+                    }
+                    ExprKind::Lit(_) => {}
+                    // Dynamic key: could fetch any builtin.
+                    _ => {
+                        self.poisoned = true;
+                        self.expr(index);
+                    }
+                }
+            }
+            ExprKind::Template { exprs, .. } => {
+                for e in exprs {
+                    self.expr(e);
+                }
+            }
+            ExprKind::Paren(inner) => self.expr(inner),
+        }
+    }
+
+    /// Records an identifier mention. `Object` and `JSON` flip the
+    /// plain-object bit in *any* position: their methods (`Object.keys`,
+    /// `JSON.parse`, descriptor getters, …) return plain-chain objects.
+    /// So do `ArrayBuffer` and `DataView`, whose constructors return
+    /// instances (plain-chain: neither prototype defines `toString`) even
+    /// when called without `new`.
+    fn ident(&mut self, name: &str) {
+        if matches!(name, "Object" | "JSON" | "ArrayBuffer" | "DataView") {
+            self.plain_object = true;
+        }
+        self.atoms.insert(name.to_string());
+    }
+
+    /// The object operand of a member/index access. A bare `Math` here
+    /// cannot leak the `Math` object itself (only the accessed property
+    /// flows onward, and no `Math.*` value is plain-chain), so the
+    /// value-position rule for `Math` is skipped.
+    fn member_object(&mut self, object: &Expr) {
+        match &object.kind {
+            ExprKind::Ident(name) => self.ident(name),
+            _ => self.expr(object),
+        }
+    }
+
+    /// The direct target of an assignment or update. An index target marks
+    /// the store bit but does *not* poison: the old value read by a
+    /// compound op can only flow into operator coercion, which the
+    /// unconditional implicit-coercion atoms already cover.
+    fn store_target(&mut self, target: &Expr) {
+        match &target.kind {
+            ExprKind::Ident(name) => {
+                self.ident(name);
+            }
+            ExprKind::Member { object, prop } => {
+                self.atoms.insert(prop.clone());
+                self.member_object(object);
+            }
+            ExprKind::Index { object, index } => {
+                self.index_store = true;
+                self.member_object(object);
+                match &index.kind {
+                    ExprKind::Lit(Lit::String(s)) => {
+                        self.atoms.insert(s.clone());
+                    }
+                    ExprKind::Lit(_) => {}
+                    _ => self.expr(index),
+                }
+            }
+            ExprKind::Paren(inner) => self.store_target(inner),
+            // Anything else is a runtime ReferenceError; walk as a value.
+            _ => self.expr(target),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use comfort_syntax::parse;
+
+    fn fp(src: &str) -> ApiFootprint {
+        extract_footprint(&parse(src).expect("test source parses"))
+    }
+
+    #[test]
+    fn collects_member_and_ident_atoms() {
+        let f = fp("var s = 'x'; print(s.substr(0, 1)); parseInt('4');");
+        assert!(f.mentions("substr"));
+        assert!(f.mentions("parseInt"));
+        assert!(f.mentions("print"));
+        assert!(!f.mentions("normalize"));
+        assert!(!f.is_poisoned());
+    }
+
+    #[test]
+    fn member_reads_count_even_without_a_call() {
+        // `var f = s.substr; f(1)` calls substr through a local variable.
+        let f = fp("var s = 'x'; var g = s.substr; print(g(0));");
+        assert!(f.mentions("substr"));
+    }
+
+    #[test]
+    fn implicit_coercion_apis_are_always_present_by_full_name() {
+        let f = fp("print(1);");
+        for api in IMPLICIT_COERCION_APIS {
+            assert!(f.mentions(api), "{api}");
+        }
+        // Wrapper-prototype natives cannot fire implicitly: boxed
+        // primitives unwrap directly in `to_primitive`, so the terminal
+        // atoms only appear when the source spells them out.
+        assert!(!f.mentions("toString"));
+        assert!(!f.mentions("valueOf"));
+        assert!(fp("print(x.toString());").mentions("toString"));
+        assert!(fp("print(y.valueOf() + 1);").mentions("valueOf"));
+    }
+
+    #[test]
+    fn object_prototype_to_string_requires_a_plain_chain_producer() {
+        const API: &str = "Object.prototype.toString";
+        // No plain-chain object can exist: arrays, functions, dates,
+        // errors, and regexps all shadow `toString` closer to the leaf.
+        assert!(!fp("print(1 + 'x');").mentions(API));
+        assert!(!fp("var a = [1]; print(a + '');").mentions(API));
+        assert!(!fp("print(Math.max(1, 2));").mentions(API), "member-object Math is exempt");
+        // Producers: literals, `new`, `this`, plain-chain globals/returns.
+        assert!(fp("var o = {}; print(o + '');").mentions(API));
+        assert!(fp("var o = new Foo(); print(o);").mentions(API));
+        assert!(fp("print(this + '');").mentions(API));
+        assert!(fp("print(Math + 1);").mentions(API), "Math as a value is plain-chain");
+        assert!(fp("var m = Math; print(m + 1);").mentions(API));
+        assert!(fp("print(JSON.parse('4'));").mentions(API));
+        assert!(fp("print(Object.keys(x).length);").mentions(API));
+        assert!(fp("print(ArrayBuffer(4) + '');").mentions(API), "no-new ctor still returns one");
+    }
+
+    #[test]
+    fn prototype_object_access_restores_coarse_coercion_atoms() {
+        // `Number.prototype` is a plain object whose own `valueOf` native
+        // fires under coercion; reaching any prototype object requires one
+        // of these mentions.
+        for src in ["print(Number.prototype + 1);", "print(Object.getPrototypeOf(5) + '');"] {
+            let f = fp(src);
+            assert!(f.mentions("toString"), "{src}");
+            assert!(f.mentions("valueOf"), "{src}");
+            assert!(!f.is_poisoned(), "{src}");
+        }
+    }
+
+    #[test]
+    fn string_literal_index_is_a_mention_not_poison() {
+        let f = fp("print(Math['max'](1, 2));");
+        assert!(f.mentions("max"));
+        assert!(!f.is_poisoned());
+    }
+
+    #[test]
+    fn dynamic_index_read_poisons() {
+        let f = fp("var k = 'max'; print(Math[k](1, 2));");
+        assert!(f.is_poisoned());
+        assert!(f.mentions("anything"));
+        assert!(f.has_index_store());
+    }
+
+    #[test]
+    fn numeric_index_read_is_benign() {
+        let f = fp("var a = [1, 2]; print(a[0]);");
+        assert!(!f.is_poisoned());
+        assert!(!f.has_index_store());
+    }
+
+    #[test]
+    fn eval_and_constructor_poison() {
+        assert!(fp("eval('print(1)');").is_poisoned());
+        assert!(fp("var c = [].constructor; print(c(2).length);").is_poisoned());
+        assert!(fp("print([]['constructor']);").is_poisoned());
+    }
+
+    #[test]
+    fn index_stores_set_the_store_bit_without_poison() {
+        for src in [
+            "var a = []; a[0] = 1;",
+            "var a = []; var i = 2; a[i] = 1;",
+            "var a = [1]; a[0] += 1;",
+            "var a = [1]; a[0]++;",
+            "var a = []; a[true] = 1;",
+        ] {
+            let f = fp(src);
+            assert!(f.has_index_store(), "{src}");
+            assert!(!f.is_poisoned(), "{src}");
+        }
+        assert!(!fp("var a = [1]; print(a.length);").has_index_store());
+    }
+
+    #[test]
+    fn object_assign_reaches_the_index_store_path() {
+        let f = fp("var a = [1]; Object.assign(a, {});");
+        assert!(f.has_index_store());
+        assert!(!f.is_poisoned());
+    }
+
+    #[test]
+    fn define_properties_aliases_define_property() {
+        let f = fp("Object.defineProperties({}, {});");
+        assert!(f.mentions("defineProperty"));
+        assert!(f.mentions("defineProperties"));
+    }
+
+    #[test]
+    fn from_parts_round_trips() {
+        let f = ApiFootprint::from_parts(["substr"], false, false);
+        assert!(f.mentions("substr"));
+        assert!(!f.mentions("split"));
+        assert!(!f.has_index_store());
+        assert_eq!(f.atom_count(), 1);
+        assert_eq!(f.atoms().collect::<Vec<_>>(), vec!["substr"]);
+        let p = ApiFootprint::poisoned_all();
+        assert!(p.mentions("whatever") && p.has_index_store() && p.is_poisoned());
+    }
+}

@@ -98,17 +98,24 @@ pub enum ValueRecipe {
 }
 
 /// What a seeded bug does when its trigger fires.
+///
+/// Recipes are *borrowed* from the profile's catalog (`&'a ValueRecipe`):
+/// `on_builtin` runs on the hot path of every builtin call, and the common
+/// deviation payload is a recipe that already lives in a `'static` bug
+/// table — cloning it per hit would be pure allocator traffic. The error
+/// variants keep owned `String`s because their messages are formatted per
+/// site.
 #[derive(Debug, Clone, PartialEq)]
-pub enum Deviation {
+pub enum Deviation<'a> {
     /// No deviation: behave per ECMA-262.
     None,
     /// Skip the real builtin and return this value instead.
-    ReturnValue(ValueRecipe),
+    ReturnValue(&'a ValueRecipe),
     /// Throw an error the spec does not call for.
     ThrowError(crate::ErrorKind, String),
     /// Run the real builtin, but if it throws, swallow the error and return
     /// the recipe instead (models "engine forgets to throw").
-    SuppressThrow(ValueRecipe),
+    SuppressThrow(&'a ValueRecipe),
     /// Simulated engine crash (segfault-style abort).
     Crash(String),
     /// Burn this much extra fuel (models a performance bug; enough fuel
@@ -131,7 +138,7 @@ pub enum ArraySetBehavior {
 /// matching the site against its seeded-bug catalog.
 pub trait ConformanceProfile {
     /// Consulted before every builtin call (and builtin construction).
-    fn on_builtin(&self, _site: &BuiltinSite) -> Deviation {
+    fn on_builtin(&self, _site: &BuiltinSite) -> Deviation<'_> {
         Deviation::None
     }
 
@@ -143,7 +150,7 @@ pub trait ConformanceProfile {
         _target_class: &'static str,
         _key: &str,
         _strict: bool,
-    ) -> Deviation {
+    ) -> Deviation<'_> {
         Deviation::None
     }
 

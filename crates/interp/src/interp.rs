@@ -1065,12 +1065,13 @@ impl<'p> Interp<'p> {
             args: args.iter().map(|a| self.preview(a)).collect(),
             strict: self.is_strict(),
         };
-        match self.profile.on_builtin(&site) {
+        let profile = self.profile;
+        match profile.on_builtin(&site) {
             Deviation::None => func(self, this, args),
-            Deviation::ReturnValue(recipe) => self.materialize(&recipe, &this, args),
+            Deviation::ReturnValue(recipe) => self.materialize(recipe, &this, args),
             Deviation::ThrowError(kind, msg) => Err(self.throw(kind, msg)),
             Deviation::SuppressThrow(recipe) => match func(self, this.clone(), args) {
-                Err(Control::Throw(_)) => self.materialize(&recipe, &this, args),
+                Err(Control::Throw(_)) => self.materialize(recipe, &this, args),
                 other => other,
             },
             Deviation::Crash(msg) => Err(Control::Crash(msg)),

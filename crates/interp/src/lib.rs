@@ -36,6 +36,7 @@
 mod builtins;
 pub mod chunk;
 pub mod coverage;
+pub mod footprint;
 pub mod hooks;
 mod interp;
 pub mod ops;
@@ -45,6 +46,7 @@ use std::sync::Arc;
 
 pub use chunk::{compile, CompiledChunk};
 pub use coverage::{Coverage, Universe};
+pub use footprint::{extract_footprint, ApiFootprint};
 pub use interp::{Backend, Control, Interp, RunOptions, RunOptionsBuilder, RunResult, RunStatus};
 pub use value::{ErrorKind, ObjId, TaKind, Value};
 

@@ -7,18 +7,31 @@ use comfort_interp::hooks::{
 };
 use comfort_interp::{run_source, ErrorKind, RunOptions, RunStatus};
 
-/// A profile that deviates on exactly one API with one effect.
+/// A profile that deviates on exactly one API with one effect. Recipes are
+/// owned by the profile and handed out by reference, mirroring how the
+/// engine catalog serves `Deviation` payloads from its bug table.
 struct OneBug {
     api: &'static str,
-    deviation: Deviation,
+    effect: Effect,
+}
+
+enum Effect {
+    Return(ValueRecipe),
+    Throw(ErrorKind, &'static str),
+    Suppress(ValueRecipe),
+    Crash(&'static str),
 }
 
 impl ConformanceProfile for OneBug {
-    fn on_builtin(&self, site: &BuiltinSite) -> Deviation {
-        if site.api == self.api {
-            self.deviation.clone()
-        } else {
-            Deviation::None
+    fn on_builtin(&self, site: &BuiltinSite) -> Deviation<'_> {
+        if site.api != self.api {
+            return Deviation::None;
+        }
+        match &self.effect {
+            Effect::Return(recipe) => Deviation::ReturnValue(recipe),
+            Effect::Throw(kind, msg) => Deviation::ThrowError(*kind, (*msg).to_string()),
+            Effect::Suppress(recipe) => Deviation::SuppressThrow(recipe),
+            Effect::Crash(msg) => Deviation::Crash((*msg).to_string()),
         }
     }
 }
@@ -32,7 +45,7 @@ fn run_with(profile: &dyn ConformanceProfile, src: &str) -> (RunStatus, String) 
 fn return_value_replaces_the_result() {
     let profile = OneBug {
         api: "String.prototype.substr",
-        deviation: Deviation::ReturnValue(ValueRecipe::Str("WRONG".into())),
+        effect: Effect::Return(ValueRecipe::Str("WRONG".into())),
     };
     let (status, out) = run_with(&profile, "print('abcdef'.substr(1, 2));");
     assert!(status.is_completed());
@@ -44,10 +57,8 @@ fn return_value_replaces_the_result() {
 
 #[test]
 fn throw_error_injects_exceptions() {
-    let profile = OneBug {
-        api: "Array.prototype.join",
-        deviation: Deviation::ThrowError(ErrorKind::Type, "seeded".into()),
-    };
+    let profile =
+        OneBug { api: "Array.prototype.join", effect: Effect::Throw(ErrorKind::Type, "seeded") };
     let (status, _) = run_with(&profile, "print([1, 2].join('-'));");
     assert!(matches!(status, RunStatus::Threw { kind: Some(ErrorKind::Type), .. }));
 }
@@ -56,7 +67,7 @@ fn throw_error_injects_exceptions() {
 fn suppress_throw_swallows_spec_errors() {
     let profile = OneBug {
         api: "Number.prototype.toFixed",
-        deviation: Deviation::SuppressThrow(ValueRecipe::ReceiverToString),
+        effect: Effect::Suppress(ValueRecipe::ReceiverToString),
     };
     // Spec: RangeError. Seeded bug: plain string (the Listing 4 shape).
     let (status, out) = run_with(&profile, "print((-634619).toFixed(-2));");
@@ -69,10 +80,7 @@ fn suppress_throw_swallows_spec_errors() {
 
 #[test]
 fn crash_deviation_aborts_the_run() {
-    let profile = OneBug {
-        api: "String.prototype.normalize",
-        deviation: Deviation::Crash("segfault".into()),
-    };
+    let profile = OneBug { api: "String.prototype.normalize", effect: Effect::Crash("segfault") };
     let (status, _) = run_with(&profile, "''.normalize();");
     assert!(matches!(status, RunStatus::Crashed(msg) if msg.contains("segfault")));
 }
@@ -81,7 +89,7 @@ fn crash_deviation_aborts_the_run() {
 fn slowdown_burns_fuel() {
     struct Slow;
     impl ConformanceProfile for Slow {
-        fn on_builtin(&self, site: &BuiltinSite) -> Deviation {
+        fn on_builtin(&self, site: &BuiltinSite) -> Deviation<'_> {
             if site.api == "Array.prototype.push" {
                 Deviation::Slowdown(5_000)
             } else {
@@ -105,16 +113,12 @@ fn slowdown_burns_fuel() {
 
 #[test]
 fn recipes_materialize_receiver_and_args() {
-    let profile = OneBug {
-        api: "String.prototype.concat",
-        deviation: Deviation::ReturnValue(ValueRecipe::Arg(0)),
-    };
+    let profile =
+        OneBug { api: "String.prototype.concat", effect: Effect::Return(ValueRecipe::Arg(0)) };
     let (_, out) = run_with(&profile, "print('left'.concat('right'));");
     assert_eq!(out, "right\n");
-    let profile = OneBug {
-        api: "String.prototype.concat",
-        deviation: Deviation::ReturnValue(ValueRecipe::Receiver),
-    };
+    let profile =
+        OneBug { api: "String.prototype.concat", effect: Effect::Return(ValueRecipe::Receiver) };
     let (_, out) = run_with(&profile, "print('left'.concat('right'));");
     assert_eq!(out, "left\n");
 }
@@ -200,21 +204,24 @@ fn reverse_fill_penalty_only_hits_descending_fills() {
 
 #[test]
 fn strict_flag_is_visible_to_profiles() {
-    struct StrictOnly;
+    struct StrictOnly {
+        recipe: ValueRecipe,
+    }
     impl ConformanceProfile for StrictOnly {
-        fn on_builtin(&self, site: &BuiltinSite) -> Deviation {
+        fn on_builtin(&self, site: &BuiltinSite) -> Deviation<'_> {
             if site.api == "String.prototype.trim" && site.strict {
-                Deviation::ReturnValue(ValueRecipe::Str("STRICT".into()))
+                Deviation::ReturnValue(&self.recipe)
             } else {
                 Deviation::None
             }
         }
     }
-    let (_, out) = run_with(&StrictOnly, "print(' x '.trim());");
+    let strict_only = StrictOnly { recipe: ValueRecipe::Str("STRICT".into()) };
+    let (_, out) = run_with(&strict_only, "print(' x '.trim());");
     assert_eq!(out, "x\n");
     let r = run_source(
         "print(' x '.trim());",
-        &StrictOnly,
+        &strict_only,
         &RunOptions { strict: true, ..RunOptions::default() },
     )
     .expect("parses");

@@ -154,6 +154,17 @@ pub enum EventKind {
         /// `"all-timeout"`).
         outcome: String,
     },
+    /// The execution-dedup layer collapsed a case's testbed matrix:
+    /// `classes` physical executions served `classes + saved` logical runs
+    /// (emitted only when `saved > 0`).
+    ExecutionDeduped {
+        /// The case.
+        case_id: u64,
+        /// Behaviour-equivalence classes (= physical executions).
+        classes: u64,
+        /// Executions avoided (logical runs − physical executions).
+        saved: u64,
+    },
     /// One engine deviated from the majority on one case.
     Deviation {
         /// The case.
@@ -289,6 +300,7 @@ impl EventKind {
             EventKind::CaseGenerated { .. } => "case_generated",
             EventKind::CaseRejected { .. } => "case_rejected",
             EventKind::DifferentialRun { .. } => "differential_run",
+            EventKind::ExecutionDeduped { .. } => "execution_deduped",
             EventKind::Deviation { .. } => "deviation",
             EventKind::BugDeduped { .. } => "bug_deduped",
             EventKind::FaultInjected { .. } => "fault_injected",
@@ -387,6 +399,10 @@ impl Event {
                     ",\"case_id\":{case_id},\"testbeds\":{testbeds},\"outcome\":{}",
                     json_string(outcome)
                 );
+            }
+            EventKind::ExecutionDeduped { case_id, classes, saved } => {
+                let _ =
+                    write!(out, ",\"case_id\":{case_id},\"classes\":{classes},\"saved\":{saved}");
             }
             EventKind::Deviation { case_id, engine, kind } => {
                 let _ = write!(
@@ -523,6 +539,11 @@ pub fn event_from_json(v: &crate::json::JsonValue) -> Result<Event, String> {
             case_id: num("case_id")?,
             testbeds: num("testbeds")?,
             outcome: string("outcome")?,
+        },
+        "execution_deduped" => EventKind::ExecutionDeduped {
+            case_id: num("case_id")?,
+            classes: num("classes")?,
+            saved: num("saved")?,
         },
         "deviation" => EventKind::Deviation {
             case_id: num("case_id")?,
@@ -666,6 +687,7 @@ mod tests {
             },
             EventKind::CaseRejected { base: 4, kept: true },
             EventKind::DifferentialRun { case_id: 2, testbeds: 12, outcome: "pass".into() },
+            EventKind::ExecutionDeduped { case_id: 2, classes: 3, saved: 7 },
             EventKind::Deviation { case_id: 2, engine: "JSC".into(), kind: "Crash".into() },
             EventKind::BugDeduped {
                 engine: "V8".into(),

@@ -114,6 +114,16 @@ pub struct CampaignMetrics {
     pub quorum_degraded: u64,
     /// Shards merged into this value (1 for an unmerged shard).
     pub shards: u64,
+    /// Physical executions avoided by footprint-based equivalence classing
+    /// (logical runs minus representatives actually executed).
+    /// Execution-strategy observability only: excluded from determinism
+    /// comparisons via [`CampaignMetrics::without_wall_clock`] because the
+    /// same campaign produces identical reports with dedup on or off.
+    pub executions_saved: u64,
+    /// Equivalence classes formed on cases where classing saved at least one
+    /// execution. Excluded from determinism comparisons like
+    /// `executions_saved`.
+    pub equivalence_classes: u64,
 }
 
 impl CampaignMetrics {
@@ -151,6 +161,8 @@ impl CampaignMetrics {
         self.testbeds_reinstated += other.testbeds_reinstated;
         self.quorum_degraded += other.quorum_degraded;
         self.shards += other.shards;
+        self.executions_saved += other.executions_saved;
+        self.equivalence_classes += other.equivalence_classes;
     }
 
     /// Reclassifies one reported bug as a cross-shard duplicate (used by
@@ -161,12 +173,17 @@ impl CampaignMetrics {
     }
 
     /// A copy with every wall-clock field zeroed — the form compared in
-    /// determinism tests.
+    /// determinism tests. Also zeroes the execution-dedup counters: they
+    /// describe *how* the campaign was executed (how many physical runs the
+    /// classing layer skipped), not *what* it observed, and must not perturb
+    /// report checksums when dedup is toggled.
     pub fn without_wall_clock(&self) -> CampaignMetrics {
         let mut m = self.clone();
         for stage in &mut m.stages {
             stage.wall_nanos = 0;
         }
+        m.executions_saved = 0;
+        m.equivalence_classes = 0;
         m
     }
 
@@ -194,7 +211,7 @@ impl CampaignMetrics {
              \"deviations_observed\":{},\"bugs_reported\":{},\"bugs_deduped\":{},\
              \"faults_observed\":{},\"runs_retried\":{},\"runs_skipped\":{},\
              \"testbeds_quarantined\":{},\"testbeds_reinstated\":{},\
-             \"quorum_degraded\":{},\"shards\":{}}}",
+             \"quorum_degraded\":{},\"shards\":{}",
             self.cases_generated,
             self.cases_rejected,
             self.cases_run,
@@ -209,6 +226,16 @@ impl CampaignMetrics {
             self.quorum_degraded,
             self.shards
         );
+        // Dedup counters are omitted when zero so that reports from
+        // campaigns without execution classing (and determinism-stripped
+        // forms, where they are zeroed) keep their historical byte layout.
+        if self.executions_saved > 0 {
+            let _ = write!(out, ",\"executions_saved\":{}", self.executions_saved);
+        }
+        if self.equivalence_classes > 0 {
+            let _ = write!(out, ",\"equivalence_classes\":{}", self.equivalence_classes);
+        }
+        out.push('}');
         out
     }
 }
