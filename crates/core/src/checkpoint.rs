@@ -215,7 +215,12 @@ impl From<std::io::Error> for CheckpointError {
 pub struct RecoveryReport {
     /// Intact shard records salvaged.
     pub shards_salvaged: u64,
-    /// Bytes dropped from the journal's torn or garbled tail.
+    /// Intact lease records salvaged (service-supervised journals only).
+    pub leases_salvaged: u64,
+    /// Bytes dropped from the journal's torn or garbled tail. Covers both
+    /// frame-level tears (bad CRC/length) and CRC-intact records whose
+    /// payload no longer parses — in either case the whole trailing run
+    /// from the first bad record onward is dropped.
     pub dropped_tail_bytes: u64,
     /// Why the tail was dropped, when it was.
     pub tail_error: Option<String>,
@@ -305,6 +310,107 @@ impl ShardRecord {
     }
 }
 
+/// A lease state transition, as journaled by the service supervisor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeaseAction {
+    /// A worker took the shard under a TTL.
+    Acquired,
+    /// The supervisor heartbeat renewed a live worker's lease.
+    Renewed,
+    /// The worker completed the shard and gave the lease back.
+    Released,
+    /// The lease outlived its TTL without renewal (holder wedged or dead).
+    Expired,
+    /// The supervisor reclaimed the expired lease for reassignment,
+    /// bumping the fencing sequence.
+    Reclaimed,
+}
+
+impl LeaseAction {
+    /// Stable snake-case label (the journal `"action"` field).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LeaseAction::Acquired => "acquired",
+            LeaseAction::Renewed => "renewed",
+            LeaseAction::Released => "released",
+            LeaseAction::Expired => "expired",
+            LeaseAction::Reclaimed => "reclaimed",
+        }
+    }
+
+    /// Parses the label produced by [`LeaseAction::as_str`].
+    pub fn parse_label(s: &str) -> Option<LeaseAction> {
+        [
+            LeaseAction::Acquired,
+            LeaseAction::Renewed,
+            LeaseAction::Released,
+            LeaseAction::Expired,
+            LeaseAction::Reclaimed,
+        ]
+        .into_iter()
+        .find(|a| a.as_str() == s)
+    }
+}
+
+impl std::fmt::Display for LeaseAction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One lease state transition for one shard, journaled alongside shard
+/// records so lease history survives a daemon crash.
+///
+/// Leases are **control-plane** data: they carry wall-clock timestamps and
+/// exist only in supervised (service) executions, so recovery collects them
+/// separately from shard results and they never participate in the
+/// determinism contract. The `lease_seq` is a fencing token — it increments
+/// on every (re)acquisition of the shard, and a completion reported under a
+/// stale sequence is discarded by the supervisor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeaseRecord {
+    /// The leased shard's index in the plan.
+    pub shard: u64,
+    /// The worker holding (or losing) the lease.
+    pub worker: String,
+    /// What happened.
+    pub action: LeaseAction,
+    /// Fencing sequence: increments on each acquisition of this shard.
+    pub lease_seq: u64,
+    /// TTL granted at acquisition/renewal, in milliseconds.
+    pub ttl_millis: u64,
+    /// Wall-clock timestamp of the transition (Unix epoch milliseconds).
+    pub unix_millis: u64,
+}
+
+impl LeaseRecord {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"kind\":\"lease\",\"shard\":{},\"worker\":{},\"action\":\"{}\",\
+             \"lease_seq\":{},\"ttl_millis\":{},\"unix_millis\":{}}}",
+            self.shard,
+            json_string(&self.worker),
+            self.action.as_str(),
+            self.lease_seq,
+            self.ttl_millis,
+            self.unix_millis
+        )
+    }
+
+    fn from_json(v: &JsonValue) -> Result<LeaseRecord, String> {
+        let action_label = req_str(v, "action")?;
+        Ok(LeaseRecord {
+            shard: req_u64(v, "shard")?,
+            worker: req_str(v, "worker")?,
+            action: LeaseAction::parse_label(&action_label)
+                .ok_or_else(|| format!("unknown lease action {action_label:?}"))?,
+            lease_seq: req_u64(v, "lease_seq")?,
+            ttl_millis: req_u64(v, "ttl_millis")?,
+            unix_millis: req_u64(v, "unix_millis")?,
+        })
+    }
+}
+
 /// The salvaged content of a checkpoint journal.
 #[derive(Debug, Clone)]
 pub struct CampaignCheckpoint {
@@ -315,13 +421,24 @@ pub struct CampaignCheckpoint {
     /// Salvaged shard records, sorted by index (duplicates dropped, first
     /// record wins — a re-run may legitimately re-append a shard).
     pub shards: Vec<ShardRecord>,
+    /// Salvaged lease records, in journal (= chronological) order. Empty
+    /// for journals written by unsupervised (library/CLI) runs.
+    pub leases: Vec<LeaseRecord>,
 }
 
 impl CampaignCheckpoint {
-    /// Loads and salvages a journal: every intact leading record is kept, a
-    /// torn or garbled tail is dropped (only ever the final in-flight
-    /// append, by the framing invariant), and the result is described in
-    /// the returned [`RecoveryReport`].
+    /// Loads and salvages a journal: every intact leading record is kept
+    /// and the torn or garbled tail is dropped, as described in the
+    /// returned [`RecoveryReport`].
+    ///
+    /// Salvage operates at two levels. Frame-level damage (bad CRC or
+    /// length) already drops the whole trailing run of lines starting at
+    /// the first bad one. A record that passes its CRC but whose *payload*
+    /// fails to parse — a format bug, bit rot inside a page the CRC update
+    /// never covered, or a foreign record kind — is treated the same way:
+    /// that record **and every record after it** are dropped as the garbled
+    /// tail, rather than poisoning the load with a hard error. Only an
+    /// unreadable header is unrecoverable.
     pub fn load(path: &Path) -> Result<(CampaignCheckpoint, RecoveryReport), CheckpointError> {
         let bytes = std::fs::read(path)?;
         let framed = read_framed(&bytes);
@@ -332,36 +449,72 @@ impl CampaignCheckpoint {
             ..RecoveryReport::default()
         };
 
-        let mut records = framed.records.iter();
-        let header_line = records.next().ok_or(CheckpointError::MissingHeader)?;
-        let header = parse_json(header_line).map_err(CheckpointError::BadRecord)?;
+        if framed.records.is_empty() {
+            return Err(CheckpointError::MissingHeader);
+        }
+        let header = parse_json(&framed.records[0]).map_err(CheckpointError::BadRecord)?;
         if header.get("kind").and_then(JsonValue::as_str) != Some("header") {
             return Err(CheckpointError::MissingHeader);
         }
         let fingerprint = req_u64(&header, "fingerprint").map_err(CheckpointError::BadRecord)?;
         let shards_total = req_u64(&header, "shards").map_err(CheckpointError::BadRecord)?;
 
+        enum Parsed {
+            // Boxed: a shard record embeds a full report, dwarfing a lease.
+            Shard(Box<ShardRecord>),
+            Lease(LeaseRecord),
+        }
         let mut shards: Vec<ShardRecord> = Vec::new();
-        for line in records {
-            let value = parse_json(line).map_err(CheckpointError::BadRecord)?;
-            match value.get("kind").and_then(JsonValue::as_str) {
-                Some("shard") => {
-                    let record =
-                        ShardRecord::from_json(&value).map_err(CheckpointError::BadRecord)?;
+        let mut leases: Vec<LeaseRecord> = Vec::new();
+        for (i, line) in framed.records.iter().enumerate().skip(1) {
+            let parsed = parse_json(line).and_then(|value| {
+                match value.get("kind").and_then(JsonValue::as_str) {
+                    Some("shard") => {
+                        ShardRecord::from_json(&value).map(|r| Parsed::Shard(Box::new(r)))
+                    }
+                    Some("lease") => LeaseRecord::from_json(&value).map(Parsed::Lease),
+                    other => Err(format!("unknown record kind {other:?}")),
+                }
+            });
+            match parsed {
+                Ok(Parsed::Shard(record)) => {
                     if !shards.iter().any(|r| r.index == record.index) {
-                        shards.push(record);
+                        shards.push(*record);
                     }
                 }
-                other => {
-                    return Err(CheckpointError::BadRecord(format!(
-                        "unknown record kind {other:?}"
-                    )))
+                Ok(Parsed::Lease(lease)) => leases.push(lease),
+                Err(e) => {
+                    // Garbled payload: drop this record and the whole run
+                    // after it. `offsets[i]` is the byte where the bad
+                    // record's line starts.
+                    recovery.dropped_tail_bytes = recovery.journal_bytes - framed.offsets[i] as u64;
+                    recovery.tail_error = Some(format!("garbled record {i}: {e}"));
+                    break;
                 }
             }
         }
         shards.sort_by_key(|r| r.index);
         recovery.shards_salvaged = shards.len() as u64;
-        Ok((CampaignCheckpoint { fingerprint, shards_total, shards }, recovery))
+        recovery.leases_salvaged = leases.len() as u64;
+        Ok((CampaignCheckpoint { fingerprint, shards_total, shards, leases }, recovery))
+    }
+
+    /// The last journaled lease transition per shard, in shard order — the
+    /// state the supervisor rebuilds after a restart. A shard whose latest
+    /// action is [`LeaseAction::Acquired`] or [`LeaseAction::Renewed`] was
+    /// held when the journal stopped; unless a shard *record* for it was
+    /// also salvaged, its holder died mid-shard and the lease must expire
+    /// before the shard is reassigned.
+    pub fn latest_leases(&self) -> Vec<&LeaseRecord> {
+        let mut latest: Vec<&LeaseRecord> = Vec::new();
+        for lease in &self.leases {
+            match latest.iter_mut().find(|l| l.shard == lease.shard) {
+                Some(slot) => *slot = lease,
+                None => latest.push(lease),
+            }
+        }
+        latest.sort_by_key(|l| l.shard);
+        latest
     }
 }
 
@@ -418,6 +571,12 @@ impl CheckpointJournal {
     /// bytes after the append.
     pub fn append_shard(&self, record: &ShardRecord) -> Result<u64, CheckpointError> {
         self.append_payload(&record.to_json())
+    }
+
+    /// Durably appends one lease transition (service supervisor only).
+    /// Returns the journal size in bytes after the append.
+    pub fn append_lease(&self, lease: &LeaseRecord) -> Result<u64, CheckpointError> {
+        self.append_payload(&lease.to_json())
     }
 
     fn append_payload(&self, payload: &str) -> Result<u64, CheckpointError> {
@@ -952,6 +1111,101 @@ mod tests {
         }
         let (checkpoint, recovery) = CampaignCheckpoint::load(&path).expect("reload");
         assert_eq!(checkpoint.shards.len(), 3);
+        assert_eq!(recovery.dropped_tail_bytes, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lease_records_roundtrip_and_rebuild_state() {
+        let dir = temp_dir("lease");
+        let path = dir.join("campaign.ckpt");
+        let lease = |shard, action, lease_seq| LeaseRecord {
+            shard,
+            worker: format!("worker-{shard}"),
+            action,
+            lease_seq,
+            ttl_millis: 500,
+            unix_millis: 1_700_000_000_000 + lease_seq,
+        };
+        {
+            let journal = CheckpointJournal::create(&path, 0xBEEF, 3).expect("create");
+            journal.append_lease(&lease(0, LeaseAction::Acquired, 1)).unwrap();
+            journal.append_lease(&lease(1, LeaseAction::Acquired, 1)).unwrap();
+            journal.append_lease(&lease(0, LeaseAction::Released, 1)).unwrap();
+            journal.append_lease(&lease(1, LeaseAction::Expired, 1)).unwrap();
+            journal.append_lease(&lease(1, LeaseAction::Reclaimed, 1)).unwrap();
+        }
+        let (checkpoint, recovery) = CampaignCheckpoint::load(&path).expect("load");
+        assert_eq!(checkpoint.leases.len(), 5);
+        assert_eq!(recovery.leases_salvaged, 5);
+        assert_eq!(recovery.shards_salvaged, 0);
+        let latest = checkpoint.latest_leases();
+        assert_eq!(latest.len(), 2);
+        assert_eq!(latest[0].action, LeaseAction::Released);
+        assert_eq!(latest[1].action, LeaseAction::Reclaimed);
+        // Lease records interleave freely with shard records.
+        {
+            let (_, recovery) = CampaignCheckpoint::load(&path).unwrap();
+            let journal = CheckpointJournal::open_append(&path, &recovery).unwrap();
+            journal
+                .append_shard(&ShardRecord {
+                    index: 1,
+                    seed: 7,
+                    cases: 10,
+                    report: sample_report(),
+                    events: Vec::new(),
+                })
+                .unwrap();
+        }
+        let (checkpoint, _) = CampaignCheckpoint::load(&path).expect("reload");
+        assert_eq!(checkpoint.shards.len(), 1);
+        assert_eq!(checkpoint.leases.len(), 5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn garbled_record_run_is_dropped_not_fatal() {
+        let dir = temp_dir("garbled");
+        let path = dir.join("campaign.ckpt");
+        let record = |index: u64| ShardRecord {
+            index,
+            seed: index,
+            cases: 10,
+            report: sample_report(),
+            events: Vec::new(),
+        };
+        {
+            let journal = CheckpointJournal::create(&path, 5, 4).expect("create");
+            journal.append_shard(&record(0)).expect("append");
+        }
+        let intact = std::fs::metadata(&path).unwrap().len() as usize;
+        // Append a run of CRC-intact but garbled records: an unknown kind,
+        // unparseable JSON, and a shard record with fields missing — then a
+        // frame-level torn write on top.
+        let mut bytes = std::fs::read(&path).unwrap();
+        for payload in ["{\"kind\":\"wat\"}", "{not json", "{\"kind\":\"shard\",\"index\":1}"] {
+            bytes.extend_from_slice(frame_line(payload).unwrap().as_bytes());
+        }
+        bytes.extend_from_slice(b"J1 999 deadbeef {\"kind\":\"shard\",\"in");
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (checkpoint, recovery) = CampaignCheckpoint::load(&path).expect("salvages");
+        assert_eq!(checkpoint.shards.len(), 1, "the intact prefix survives");
+        assert_eq!(
+            recovery.dropped_tail_bytes as usize,
+            bytes.len() - intact,
+            "the whole garbled run is dropped, not just the final record"
+        );
+        assert!(recovery.tail_error.as_deref().unwrap().contains("garbled record"));
+
+        // open_append truncates back to the intact prefix, so the journal
+        // is clean again and appends work.
+        {
+            let journal = CheckpointJournal::open_append(&path, &recovery).expect("open");
+            journal.append_shard(&record(1)).expect("append after salvage");
+        }
+        let (checkpoint, recovery) = CampaignCheckpoint::load(&path).expect("reload");
+        assert_eq!(checkpoint.shards.len(), 2);
         assert_eq!(recovery.dropped_tail_bytes, 0);
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -473,7 +473,12 @@ impl ShardedCampaign {
 
     /// Runs one shard as a plain serial campaign over its budget slice,
     /// buffering its event stream in `buffer` for in-order flushing.
-    fn run_shard(
+    ///
+    /// Public so external supervisors (the `comfort-service` daemon, its
+    /// single-shot worker mode) can execute individual leased shards with
+    /// exactly the machinery `run` uses internally — same derived seed,
+    /// same buffered stream — and therefore merge to bit-identical reports.
+    pub fn run_shard(
         &self,
         spec: &ShardSpec,
         exec_threads: usize,

@@ -55,7 +55,7 @@ pub use campaign::{
 pub use checkpoint::{
     config_fingerprint, report_checksum, report_from_json, report_to_json,
     report_to_json_deterministic, CampaignCheckpoint, CheckpointError, CheckpointJournal,
-    Fingerprint, RecoveryReport, ResumeInfo, ShardRecord,
+    Fingerprint, LeaseAction, LeaseRecord, RecoveryReport, ResumeInfo, ShardRecord,
 };
 pub use comfort_telemetry as telemetry;
 pub use differential::{

@@ -333,6 +333,84 @@ pub fn resume_report(report: &CampaignReport) -> String {
     t.render()
 }
 
+/// **Journal inspection** — pretty-prints a checkpoint journal's header,
+/// salvaged shard records, lease history, and recovery outcome. Backs
+/// `comfortctl journal inspect`, the operator's first debugging tool for a
+/// supervised campaign that died mid-flight.
+pub fn journal_report(
+    checkpoint: &crate::checkpoint::CampaignCheckpoint,
+    recovery: &crate::checkpoint::RecoveryReport,
+) -> String {
+    use crate::checkpoint::LeaseAction;
+
+    let mut t = Table::new("Checkpoint journal", &[26, 44]);
+    t.row(&["Fingerprint", &format!("{:#018x}", checkpoint.fingerprint)]);
+    t.row(&["Shards planned", &checkpoint.shards_total.to_string()]);
+    t.row(&[
+        "Shards salvaged",
+        &format!("{} of {}", recovery.shards_salvaged, checkpoint.shards_total),
+    ]);
+    t.row(&["Lease records", &recovery.leases_salvaged.to_string()]);
+    t.row(&["Journal bytes", &recovery.journal_bytes.to_string()]);
+    t.row(&["Dropped tail bytes", &recovery.dropped_tail_bytes.to_string()]);
+    if let Some(err) = &recovery.tail_error {
+        t.row(&["Tail error", err]);
+    }
+    let mut out = t.render();
+
+    if !checkpoint.shards.is_empty() {
+        let mut shards = Table::new("Salvaged shard records", &[6, 20, 8, 10, 6, 8]);
+        shards.row(&["Shard", "Seed", "Cases", "Cases run", "Bugs", "Events"]);
+        for record in &checkpoint.shards {
+            shards.row(&[
+                &record.index.to_string(),
+                &format!("{:#x}", record.seed),
+                &record.cases.to_string(),
+                &record.report.cases_run.to_string(),
+                &record.report.bugs.len().to_string(),
+                &record.events.len().to_string(),
+            ]);
+        }
+        out.push('\n');
+        out.push_str(&shards.render());
+    }
+
+    if !checkpoint.leases.is_empty() {
+        let mut leases = Table::new("Lease history (journal order)", &[6, 18, 11, 6, 10, 16]);
+        leases.row(&["Shard", "Worker", "Action", "Seq", "TTL ms", "Unix ms"]);
+        for lease in &checkpoint.leases {
+            leases.row(&[
+                &lease.shard.to_string(),
+                &lease.worker,
+                lease.action.as_str(),
+                &lease.lease_seq.to_string(),
+                &lease.ttl_millis.to_string(),
+                &lease.unix_millis.to_string(),
+            ]);
+        }
+        let held = checkpoint
+            .latest_leases()
+            .into_iter()
+            .filter(|l| {
+                matches!(l.action, LeaseAction::Acquired | LeaseAction::Renewed)
+                    && !checkpoint.shards.iter().any(|s| s.index == l.shard)
+            })
+            .map(|l| format!("{} (held by {})", l.shard, l.worker))
+            .collect::<Vec<_>>();
+        if held.is_empty() {
+            leases.text("no shard was held when the journal stopped");
+        } else {
+            leases.text(format!(
+                "held at journal end, no shard record — holder died mid-shard: {}",
+                held.join(", ")
+            ));
+        }
+        out.push('\n');
+        out.push_str(&leases.render());
+    }
+    out
+}
+
 /// **Figure 8** — fuzzer comparison over the testing budget.
 pub fn figure8(series: &[FuzzerSeries]) -> String {
     let mut t = Table::new(

@@ -151,7 +151,12 @@ impl CampaignSession {
     }
 
     /// The lazily-built executor (trains the LM on first use).
-    fn executor(&self) -> &ShardedCampaign {
+    ///
+    /// Public so external supervisors (the `comfort-service` daemon) can
+    /// drive shard execution directly — leasing shards one at a time via
+    /// [`ShardedCampaign::run_shard`] — while reusing the session's trained
+    /// generator and testbed matrix.
+    pub fn executor(&self) -> &ShardedCampaign {
         self.executor.get_or_init(|| {
             let mut executor = ShardedCampaign::new(self.config.clone());
             executor.attach_progress(self.progress.clone());

@@ -316,4 +316,63 @@ proptest! {
         }
         std::fs::remove_file(&truncated).ok();
     }
+
+    /// A trailing **run** of garbled records — CRC-intact frames whose
+    /// payloads are unknown kinds, broken JSON, or shard records missing
+    /// fields, optionally topped with a frame-level torn write — is dropped
+    /// as a block. Recovery salvages exactly the intact prefix (never a
+    /// hard `BadRecord` error), resume completes, and the truncate-on-open
+    /// leaves a clean journal behind.
+    #[test]
+    fn resume_survives_a_garbled_trailing_run(
+        garbled in proptest::collection::vec(0usize..3, 1..5),
+        torn_tail in any::<bool>(),
+    ) {
+        let full = temp_path("prop-garbled-full");
+        if !full.exists() {
+            complete_journal(&full);
+        }
+        let mut bytes = std::fs::read(&full).expect("journal bytes");
+        let intact = bytes.len();
+        for (i, kind) in garbled.iter().enumerate() {
+            let payload = match kind {
+                0 => format!("{{\"kind\":\"mystery-{i}\"}}"),
+                1 => format!("{{broken json {i}"),
+                _ => format!("{{\"kind\":\"shard\",\"index\":{i}}}"), // fields missing
+            };
+            bytes.extend_from_slice(
+                comfort_telemetry::frame_line(&payload).expect("frames").as_bytes(),
+            );
+        }
+        if torn_tail {
+            bytes.extend_from_slice(b"J1 250 0badf00d {\"kind\":\"shard\",\"ind");
+        }
+        let path = temp_path(&format!("prop-garbled-{}-{torn_tail}", garbled.len()));
+        std::fs::write(&path, &bytes).expect("write garbled journal");
+
+        let (checkpoint, recovery) =
+            CampaignCheckpoint::load(&path).expect("garbled tail salvages, never errors");
+        prop_assert_eq!(checkpoint.shards.len(), 3, "the intact prefix survives whole");
+        prop_assert_eq!(
+            recovery.dropped_tail_bytes as usize,
+            bytes.len() - intact,
+            "the entire garbled run is dropped, not just the final record"
+        );
+        prop_assert!(recovery.tail_error.is_some());
+
+        let mut config = base_config(SinkHandle::null());
+        config.checkpoint = Some(path.clone());
+        let report = CampaignSession::new(config).run().expect("resumes over the salvage");
+        prop_assert!(!report.interrupted);
+        prop_assert_eq!(report.cases_run, 60);
+        let resume = report.resume.expect("provenance");
+        prop_assert_eq!(resume.shards_salvaged, 3);
+        prop_assert_eq!(resume.shards_rerun, 0);
+
+        let (reloaded, recovery) =
+            CampaignCheckpoint::load(&path).expect("resumed journal loads");
+        prop_assert_eq!(reloaded.shards.len(), 3);
+        prop_assert_eq!(recovery.dropped_tail_bytes, 0, "open_append truncated the run away");
+        std::fs::remove_file(&path).ok();
+    }
 }

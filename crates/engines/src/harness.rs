@@ -43,22 +43,9 @@ impl Default for IsolationPolicy {
     }
 }
 
-/// Retry policy for transient faults.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct RetryPolicy {
-    /// Extra attempts after the first (0 disables retry).
-    pub max_retries: u32,
-    /// Base backoff before retry `k` (sleeps `base << (k-1)` ms). Zero —
-    /// the default — keeps simulated campaigns fast and deterministic in
-    /// wall-clock terms.
-    pub backoff_base_millis: u64,
-}
-
-impl Default for RetryPolicy {
-    fn default() -> Self {
-        RetryPolicy { max_retries: 2, backoff_base_millis: 0 }
-    }
-}
+// The retry policy moved to the dependency-free telemetry crate so the
+// durable `JsonlSink` can share it; the original path stays valid.
+pub use comfort_telemetry::retry::RetryPolicy;
 
 /// How a contained run misbehaved.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -19,7 +19,7 @@ use crate::ngram::NgramModel;
 pub const EOF_MARK: &str = "\u{241F}"; // ␟ symbol for <EOF>
 
 /// Configuration of a [`Generator`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GeneratorConfig {
     /// Context order of the n-gram model (model-capacity knob: 12 ≈ GPT-2,
     /// 2–3 ≈ the DeepSmith LSTM).

@@ -1,0 +1,157 @@
+//! `comfortctl` — control client for `comfortd`.
+//!
+//! ```text
+//! comfortctl --socket PATH submit SPEC.json
+//! comfortctl --socket PATH status [CAMPAIGN]
+//! comfortctl --socket PATH cancel CAMPAIGN
+//! comfortctl --socket PATH drain
+//! comfortctl --socket PATH tail CAMPAIGN
+//! comfortctl journal inspect JOURNAL
+//! ```
+//!
+//! `tail` streams the campaign's live telemetry as JSONL to stdout until
+//! the campaign reaches a terminal state. `journal inspect` is offline:
+//! it pretty-prints a checkpoint journal's header, salvaged shard
+//! records, lease history, and recovery report without touching the
+//! daemon.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use comfort_core::checkpoint::CampaignCheckpoint;
+use comfort_core::report::journal_report;
+use comfort_service::client::Client;
+use comfort_service::spec::CampaignSpec;
+use comfort_service::wire::Request;
+use comfort_telemetry::json::JsonValue;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: comfortctl --socket PATH submit SPEC.json\n\
+         \x20      comfortctl --socket PATH status [CAMPAIGN]\n\
+         \x20      comfortctl --socket PATH cancel CAMPAIGN\n\
+         \x20      comfortctl --socket PATH drain\n\
+         \x20      comfortctl --socket PATH tail CAMPAIGN\n\
+         \x20      comfortctl journal inspect JOURNAL"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    // Offline subcommand: journal inspect.
+    if args.first().map(String::as_str) == Some("journal") {
+        if args.get(1).map(String::as_str) != Some("inspect") {
+            return usage();
+        }
+        let Some(path) = args.get(2) else {
+            return usage();
+        };
+        return match CampaignCheckpoint::load(&PathBuf::from(path)) {
+            Ok((checkpoint, recovery)) => {
+                print!("{}", journal_report(&checkpoint, &recovery));
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("comfortctl: cannot read journal {path}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if args.first().map(String::as_str) != Some("--socket") {
+        return usage();
+    }
+    let Some(socket) = args.get(1).map(PathBuf::from) else {
+        return usage();
+    };
+    let Some(command) = args.get(2).map(String::as_str) else {
+        return usage();
+    };
+    let mut client = match Client::connect(&socket) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("comfortctl: cannot connect to {}: {e}", socket.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let request = match command {
+        "submit" => {
+            let Some(spec_path) = args.get(3) else {
+                return usage();
+            };
+            let text = match std::fs::read_to_string(spec_path) {
+                Ok(text) => text,
+                Err(e) => {
+                    eprintln!("comfortctl: cannot read {spec_path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match CampaignSpec::from_json_str(&text) {
+                Ok(spec) => Request::Submit(Box::new(spec)),
+                Err(e) => {
+                    eprintln!("comfortctl: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        "status" => Request::Status(args.get(3).cloned()),
+        "cancel" => match args.get(3) {
+            Some(id) => Request::Cancel(id.clone()),
+            None => return usage(),
+        },
+        "drain" => Request::Drain,
+        "tail" => match args.get(3) {
+            Some(id) => {
+                let result = client.tail(id, |event| println!("{}", event.to_json()));
+                return match result {
+                    Ok(closing) if closing.get("ok").and_then(JsonValue::as_bool) == Some(true) => {
+                        ExitCode::SUCCESS
+                    }
+                    Ok(closing) => {
+                        eprintln!(
+                            "comfortctl: {}",
+                            closing
+                                .get("error")
+                                .and_then(JsonValue::as_str)
+                                .unwrap_or("tail failed")
+                        );
+                        ExitCode::FAILURE
+                    }
+                    Err(e) => {
+                        eprintln!("comfortctl: {e}");
+                        ExitCode::FAILURE
+                    }
+                };
+            }
+            None => return usage(),
+        },
+        _ => return usage(),
+    };
+
+    match client.request(&request) {
+        Ok(response) => {
+            // Status responses carry a pre-rendered occupancy table; show
+            // it as text and everything else as JSON.
+            if let Some(occupancy) = response.get("occupancy").and_then(JsonValue::as_str) {
+                if let Some(campaigns) = response.get("campaigns") {
+                    println!("{}", campaigns.to_json());
+                }
+                print!("{occupancy}");
+            } else {
+                println!("{}", response.to_json());
+            }
+            if response.get("ok").and_then(JsonValue::as_bool) == Some(true) {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("comfortctl: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! `comfortd` — the supervised multi-tenant campaign daemon.
+//!
+//! ```text
+//! comfortd --socket PATH [--workers N] [--ttl-millis N] [--heartbeat-millis N]
+//!          [--max-active N] [--tenant-quota N] [--retry-after-millis N]
+//!          [--service-log PATH]
+//! comfortd --worker-once --spec FILE --worker LABEL [--ttl-millis N] [--hold-millis N]
+//! ```
+//!
+//! The daemon serves the length-prefixed JSON control protocol on a Unix
+//! socket (drive it with `comfortctl`). SIGTERM triggers a graceful
+//! drain: stop leasing, finish and checkpoint in-flight shards, flush
+//! telemetry, exit 0. `--worker-once` instead runs a single journalled
+//! shard under a lease and exits — the crash-recovery harness's SIGKILL
+//! target.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use comfort_service::daemon::{Daemon, ServiceConfig};
+use comfort_service::server::Server;
+use comfort_service::spec::CampaignSpec;
+use comfort_service::worker::{run_worker_once, WorkerOnceOptions};
+use comfort_telemetry::{JsonlSink, SinkHandle};
+
+static TERMINATE: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_sigterm_handler() {
+    // No libc in the dependency tree: register the handler through the
+    // raw signal(2) ABI. The handler only flips an atomic flag (the one
+    // async-signal-safe thing worth doing); the main loop does the drain.
+    extern "C" fn on_sigterm(_sig: i32) {
+        TERMINATE.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_sigterm as *const () as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigterm_handler() {}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: comfortd --socket PATH [--workers N] [--ttl-millis N] \
+         [--heartbeat-millis N] [--max-active N] [--tenant-quota N] \
+         [--retry-after-millis N] [--service-log PATH]\n\
+         \x20      comfortd --worker-once --spec FILE --worker LABEL \
+         [--ttl-millis N] [--hold-millis N]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut socket: Option<PathBuf> = None;
+    let mut cfg = ServiceConfig::default();
+    let mut service_log: Option<PathBuf> = None;
+    let mut worker_once = false;
+    let mut spec_path: Option<PathBuf> = None;
+    let mut worker_label = "worker-once".to_string();
+    let mut ttl_millis = cfg.lease_ttl.as_millis() as u64;
+    let mut hold_millis = 0u64;
+
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: &mut usize| -> Option<String> {
+            *i += 1;
+            args.get(*i).cloned()
+        };
+        let parsed: Option<()> = (|| {
+            match args[i].as_str() {
+                "--socket" => socket = Some(PathBuf::from(take(&mut i)?)),
+                "--workers" => cfg.workers = take(&mut i)?.parse().ok()?,
+                "--ttl-millis" => ttl_millis = take(&mut i)?.parse().ok()?,
+                "--heartbeat-millis" => {
+                    cfg.heartbeat = Duration::from_millis(take(&mut i)?.parse().ok()?)
+                }
+                "--max-active" => cfg.max_active = take(&mut i)?.parse().ok()?,
+                "--tenant-quota" => cfg.tenant_quota = take(&mut i)?.parse().ok()?,
+                "--retry-after-millis" => {
+                    cfg.retry_after = Duration::from_millis(take(&mut i)?.parse().ok()?)
+                }
+                "--service-log" => service_log = Some(PathBuf::from(take(&mut i)?)),
+                "--worker-once" => worker_once = true,
+                "--spec" => spec_path = Some(PathBuf::from(take(&mut i)?)),
+                "--worker" => worker_label = take(&mut i)?,
+                "--hold-millis" => hold_millis = take(&mut i)?.parse().ok()?,
+                _ => return None,
+            }
+            Some(())
+        })();
+        if parsed.is_none() {
+            return usage();
+        }
+        i += 1;
+    }
+    cfg.lease_ttl = Duration::from_millis(ttl_millis);
+
+    if worker_once {
+        let Some(spec_path) = spec_path else {
+            return usage();
+        };
+        let text = match std::fs::read_to_string(&spec_path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("comfortd: cannot read {}: {e}", spec_path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let spec = match CampaignSpec::from_json_str(&text) {
+            Ok(spec) => spec,
+            Err(e) => {
+                eprintln!("comfortd: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let opts = WorkerOnceOptions { spec, worker: worker_label, ttl_millis, hold_millis };
+        return match run_worker_once(&opts) {
+            Ok(summary) => {
+                println!("{summary}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("comfortd: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let Some(socket) = socket else {
+        return usage();
+    };
+    if let Some(path) = &service_log {
+        match JsonlSink::create(path) {
+            Ok(sink) => cfg.sink = SinkHandle::new(sink),
+            Err(e) => {
+                eprintln!("comfortd: cannot open service log {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    install_sigterm_handler();
+    let daemon = Daemon::start(cfg);
+    let server = match Server::serve(daemon.clone(), &socket) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("comfortd: cannot bind {}: {e}", socket.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("comfortd: serving on {}", socket.display());
+    loop {
+        if TERMINATE.load(Ordering::SeqCst) {
+            eprintln!("comfortd: SIGTERM — draining");
+            daemon.drain();
+            break;
+        }
+        if server.stopping() {
+            // A drain request already stopped the pool.
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    server.stop();
+    eprintln!("comfortd: drained, exiting");
+    ExitCode::SUCCESS
+}

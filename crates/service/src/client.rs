@@ -1,0 +1,71 @@
+//! A minimal blocking control-plane client (used by `comfortctl`, the
+//! examples, and the integration tests).
+
+use std::io;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use comfort_telemetry::json::{self, JsonValue};
+
+use crate::wire::{read_frame, write_frame, Request};
+
+/// One connection to a `comfortd` control socket.
+pub struct Client {
+    stream: UnixStream,
+}
+
+impl Client {
+    /// Connects to the daemon's socket.
+    pub fn connect(socket: &Path) -> io::Result<Client> {
+        Ok(Client { stream: UnixStream::connect(socket)? })
+    }
+
+    /// Wraps an already-connected stream (e.g. one that has exchanged
+    /// hand-rolled frames first).
+    pub fn from_stream(stream: UnixStream) -> Client {
+        Client { stream }
+    }
+
+    /// Connects, retrying until the daemon binds its socket or `timeout`
+    /// elapses (daemon startup is asynchronous).
+    pub fn connect_with_retry(socket: &Path, timeout: Duration) -> io::Result<Client> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match Client::connect(socket) {
+                Ok(client) => return Ok(client),
+                Err(e) if Instant::now() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(25)),
+            }
+        }
+    }
+
+    /// Sends one request and reads one response frame.
+    pub fn request(&mut self, request: &Request) -> io::Result<JsonValue> {
+        write_frame(&mut self.stream, &request.to_json())?;
+        let frame = read_frame(&mut self.stream)?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "daemon closed"))?;
+        json::parse(&frame).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Streams a campaign's telemetry, invoking `on_event` per event
+    /// frame, until the closing status frame (returned) arrives.
+    pub fn tail(
+        &mut self,
+        campaign: &str,
+        mut on_event: impl FnMut(&JsonValue),
+    ) -> io::Result<JsonValue> {
+        write_frame(&mut self.stream, &Request::Tail(campaign.to_string()).to_json())?;
+        loop {
+            let frame = read_frame(&mut self.stream)?
+                .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "daemon closed"))?;
+            let v =
+                json::parse(&frame).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            // Event frames have no "ok" key; the closing frame does.
+            if v.get("ok").is_some() {
+                return Ok(v);
+            }
+            on_event(&v);
+        }
+    }
+}

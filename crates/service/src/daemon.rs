@@ -1,0 +1,1208 @@
+//! The supervised multi-tenant campaign daemon.
+//!
+//! One [`Daemon`] multiplexes many concurrent campaigns over a single
+//! global worker pool. The execution model is the library executor's —
+//! per-shard event buffers, an ordered flush frontier, a write-ahead
+//! journal, and the same order-preserving merge — so a campaign run under
+//! the daemon produces a report **bit-identical** (in every deterministic
+//! field) to `CampaignSession::run` on the same spec. What the daemon adds
+//! is *supervision*:
+//!
+//! * every shard executes under a TTL [`lease`](crate::lease) with a
+//!   fencing sequence; a supervisor heartbeat renews leases whose shard is
+//!   advancing and reclaims the rest, so a wedged or SIGKILLed worker
+//!   never strands a shard;
+//! * admission control bounds the active-campaign queue and enforces
+//!   per-tenant quotas, rejecting with a typed `retry_after` instead of
+//!   queueing unboundedly;
+//! * scheduling is fair-share round-robin across tenants, with idle
+//!   workers stealing from any tenant that has runnable shards;
+//! * a panic anywhere in one campaign's execution is caught at the worker
+//!   boundary and fails *that campaign only*;
+//! * [`Daemon::drain`] stops leasing, lets in-flight shards finish and
+//!   checkpoint, and shuts the pool down cleanly — journalled campaigns
+//!   resume in the next daemon life with bit-identical final reports.
+//!
+//! Every scheduling decision is emitted as a typed service event (on
+//! [`SERVICE_SHARD`](comfort_telemetry::SERVICE_SHARD)) *and* counted in
+//! [`ServiceMetrics`]; the two ledgers reconcile exactly (see
+//! [`MetricsSnapshot::from_events`](crate::metrics::MetricsSnapshot::from_events)).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant, SystemTime};
+
+use comfort_core::campaign::{CampaignConfig, CampaignReport};
+use comfort_core::checkpoint::{
+    config_fingerprint, report_checksum, CampaignCheckpoint, CheckpointJournal, LeaseAction,
+    LeaseRecord, RecoveryReport, ResumeInfo,
+};
+use comfort_core::executor::{merge_shard_reports_with_sink, ShardSpec};
+use comfort_core::resilience::CancelToken;
+use comfort_core::session::CampaignSession;
+use comfort_telemetry::{
+    Event, EventKind, JsonlSink, MemorySink, ProgressHandle, Recorder, Sink, SinkHandle,
+    CONTROL_SHARD, SERVICE_SHARD,
+};
+
+use crate::lease::{LeaseTable, Transition};
+use crate::metrics::{MetricsSnapshot, ServiceMetrics};
+use crate::spec::CampaignSpec;
+
+// The daemon shares each campaign entry between workers, the supervisor,
+// and control-plane threads; pin the Send/Sync audit at compile time.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<CampaignSession>();
+    assert_send_sync::<LeaseTable>();
+    assert_send_sync::<ServiceMetrics>();
+};
+
+/// Daemon-level tuning knobs.
+#[derive(Clone)]
+pub struct ServiceConfig {
+    /// Worker threads in the global pool (`0` = available parallelism).
+    pub workers: usize,
+    /// Base lease TTL; doubles per reclaim of the same shard (capped).
+    pub lease_ttl: Duration,
+    /// Supervisor heartbeat interval.
+    pub heartbeat: Duration,
+    /// Maximum non-terminal campaigns admitted at once (the bounded
+    /// submission queue; beyond it, submissions reject with retry-after).
+    pub max_active: usize,
+    /// Maximum non-terminal campaigns per tenant.
+    pub tenant_quota: usize,
+    /// The `retry_after` hint attached to backpressure rejections.
+    pub retry_after: Duration,
+    /// Service-plane telemetry sink (lease/admission/drain events).
+    pub sink: SinkHandle,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 2,
+            lease_ttl: Duration::from_millis(1000),
+            heartbeat: Duration::from_millis(50),
+            max_active: 8,
+            tenant_quota: 2,
+            retry_after: Duration::from_millis(250),
+            sink: SinkHandle::null(),
+        }
+    }
+}
+
+/// A typed admission-control rejection: why, and when to retry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rejection {
+    /// Machine-readable reason: `draining`, `quota`, `queue_full`,
+    /// `invalid_spec`, or `journal_conflict`.
+    pub reason: String,
+    /// Human-readable detail.
+    pub message: String,
+    /// Suggested retry delay in milliseconds (`0` = don't retry).
+    pub retry_after_millis: u64,
+}
+
+impl std::fmt::Display for Rejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "campaign rejected ({}): {}", self.reason, self.message)
+    }
+}
+
+impl std::error::Error for Rejection {}
+
+/// A campaign's lifecycle under the daemon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CampaignState {
+    /// Admitted, no shard leased yet.
+    Queued,
+    /// At least one shard has been leased.
+    Running,
+    /// All shards committed and merged.
+    Completed,
+    /// Cancelled (explicitly or by deadline) before completion.
+    Cancelled,
+    /// Failed at the supervisor's panic boundary.
+    Failed,
+}
+
+impl CampaignState {
+    /// `true` for states no scheduler touches again.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, CampaignState::Completed | CampaignState::Cancelled | CampaignState::Failed)
+    }
+
+    /// Lower-case wire label.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CampaignState::Queued => "queued",
+            CampaignState::Running => "running",
+            CampaignState::Completed => "completed",
+            CampaignState::Cancelled => "cancelled",
+            CampaignState::Failed => "failed",
+        }
+    }
+}
+
+/// A point-in-time public view of one campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignStatus {
+    /// Daemon-assigned campaign id (`c-0001`, ...).
+    pub id: String,
+    /// Owning tenant.
+    pub tenant: String,
+    /// Human-readable name.
+    pub name: String,
+    /// Lifecycle state.
+    pub state: CampaignState,
+    /// Shards in the plan.
+    pub shards_total: usize,
+    /// Shards committed (salvaged or run).
+    pub shards_done: usize,
+    /// Shards currently under lease.
+    pub shards_held: usize,
+    /// Lease reclaims across the campaign so far.
+    pub reclaims: u64,
+    /// Cases completed.
+    pub cases_done: u64,
+    /// Bugs found.
+    pub bugs_found: u64,
+    /// Deterministic report checksum, once completed.
+    pub checksum: Option<u64>,
+    /// Panic message, once failed.
+    pub failure: Option<String>,
+    /// `true` when the campaign resumed from a journal.
+    pub resumed: bool,
+}
+
+impl CampaignStatus {
+    /// Renders the status as one JSON object.
+    pub fn to_json(&self) -> String {
+        use comfort_telemetry::json::JsonValue;
+        let mut pairs = vec![
+            ("id", JsonValue::String(self.id.clone())),
+            ("tenant", JsonValue::String(self.tenant.clone())),
+            ("name", JsonValue::String(self.name.clone())),
+            ("state", JsonValue::String(self.state.as_str().to_string())),
+            ("shards_total", JsonValue::Int(self.shards_total as i128)),
+            ("shards_done", JsonValue::Int(self.shards_done as i128)),
+            ("shards_held", JsonValue::Int(self.shards_held as i128)),
+            ("reclaims", JsonValue::Int(self.reclaims as i128)),
+            ("cases_done", JsonValue::Int(self.cases_done as i128)),
+            ("bugs_found", JsonValue::Int(self.bugs_found as i128)),
+            ("resumed", JsonValue::Bool(self.resumed)),
+        ];
+        if let Some(c) = self.checksum {
+            pairs.push(("checksum", JsonValue::String(format!("{c:016x}"))));
+        }
+        if let Some(f) = &self.failure {
+            pairs.push(("failure", JsonValue::String(f.clone())));
+        }
+        JsonValue::object(pairs).to_json()
+    }
+}
+
+/// Campaign-plane sink: buffers the event stream for `tail` and tees it
+/// into an optional JSONL file requested by the spec.
+struct TeeSink {
+    tail: MemorySink,
+    file: Option<JsonlSink>,
+}
+
+impl Sink for TeeSink {
+    fn emit(&self, event: &Event) {
+        self.tail.emit(event);
+        if let Some(file) = &self.file {
+            file.emit(event);
+        }
+    }
+}
+
+/// The ordered flush frontier (the executor's contract, restated): shard
+/// `i`'s buffered events flush to the campaign sink once every shard
+/// `0..i` has flushed, so the sink observes logical `(shard, seq)` order
+/// at any pool width.
+struct FlushFrontier {
+    inner: Mutex<FlushInner>,
+}
+
+struct FlushInner {
+    next: usize,
+    done: Vec<bool>,
+}
+
+impl FlushFrontier {
+    fn new(n: usize) -> Self {
+        FlushFrontier { inner: Mutex::new(FlushInner { next: 0, done: vec![false; n] }) }
+    }
+
+    fn shard_done(&self, shard: usize, buffers: &[MemorySink], sink: &SinkHandle) {
+        let mut inner = self.inner.lock().expect("flush frontier poisoned");
+        inner.done[shard] = true;
+        while inner.next < inner.done.len() && inner.done[inner.next] {
+            for event in buffers[inner.next].take() {
+                sink.emit(&event);
+            }
+            inner.next += 1;
+        }
+    }
+}
+
+/// One supervised campaign: the session, its lease table, and the
+/// executor-shaped merge state.
+struct CampaignEntry {
+    id: String,
+    tenant: String,
+    name: String,
+    session: CampaignSession,
+    plan: Vec<ShardSpec>,
+    cancel: CancelToken,
+    sink: SinkHandle,
+    tail: MemorySink,
+    journal: Option<CheckpointJournal>,
+    buffers: Vec<MemorySink>,
+    slots: Vec<Mutex<Option<CampaignReport>>>,
+    flush: FlushFrontier,
+    leases: LeaseTable,
+    control: Mutex<Recorder>,
+    state: Mutex<CampaignState>,
+    progress: ProgressHandle,
+    checkpoints_written: AtomicU64,
+    resume: Option<(String, RecoveryReport, u64)>,
+    final_report: Mutex<Option<(CampaignReport, u64)>>,
+    failure: Mutex<Option<String>>,
+}
+
+impl CampaignEntry {
+    fn state(&self) -> CampaignState {
+        *self.state.lock().expect("campaign state poisoned")
+    }
+
+    fn schedulable(&self) -> bool {
+        !self.state().is_terminal() && !self.cancel.is_cancelled() && self.leases.counts().2 > 0
+    }
+
+    fn status(&self) -> CampaignStatus {
+        let (done, held, _) = self.leases.counts();
+        let snap = self.progress.snapshot();
+        CampaignStatus {
+            id: self.id.clone(),
+            tenant: self.tenant.clone(),
+            name: self.name.clone(),
+            state: self.state(),
+            shards_total: self.plan.len(),
+            shards_done: done,
+            shards_held: held,
+            reclaims: self.leases.total_reclaims(),
+            cases_done: snap.cases_done,
+            bugs_found: snap.bugs_found,
+            checksum: self
+                .final_report
+                .lock()
+                .expect("final report poisoned")
+                .as_ref()
+                .map(|(_, checksum)| *checksum),
+            failure: self.failure.lock().expect("failure poisoned").clone(),
+            resumed: self.resume.is_some(),
+        }
+    }
+}
+
+struct DaemonShared {
+    cfg: ServiceConfig,
+    metrics: ServiceMetrics,
+    recorder: Mutex<Recorder>,
+    campaigns: Mutex<Vec<Arc<CampaignEntry>>>,
+    next_id: AtomicU64,
+    rotation: AtomicU64,
+    draining: AtomicBool,
+    shutdown: AtomicBool,
+    park: Mutex<()>,
+    bell: Condvar,
+}
+
+impl DaemonShared {
+    fn emit_service(&self, kind: EventKind) {
+        self.recorder.lock().expect("service recorder poisoned").emit(kind);
+    }
+
+    fn wake_workers(&self) {
+        let _guard = self.park.lock().expect("park lock poisoned");
+        self.bell.notify_all();
+    }
+
+    /// Journals and emits one lease transition, bumping its metric.
+    fn record_lease(&self, entry: &CampaignEntry, action: LeaseAction, t: &Transition) {
+        if let Some(journal) = &entry.journal {
+            let _ = journal.append_lease(&LeaseRecord {
+                shard: t.shard as u64,
+                worker: t.holder.clone(),
+                action,
+                lease_seq: t.lease_seq,
+                ttl_millis: t.ttl_millis,
+                unix_millis: unix_millis_now(),
+            });
+        }
+        let campaign = entry.id.clone();
+        let lease_shard = t.shard as u64;
+        let worker = t.holder.clone();
+        let (kind, counter) = match action {
+            LeaseAction::Acquired => (
+                EventKind::LeaseAcquired {
+                    campaign,
+                    lease_shard,
+                    worker,
+                    ttl_millis: t.ttl_millis,
+                },
+                &self.metrics.leases_acquired,
+            ),
+            LeaseAction::Renewed => (
+                EventKind::LeaseRenewed { campaign, lease_shard, worker },
+                &self.metrics.leases_renewed,
+            ),
+            LeaseAction::Released => (
+                EventKind::LeaseReleased { campaign, lease_shard, worker },
+                &self.metrics.leases_released,
+            ),
+            LeaseAction::Expired => (
+                EventKind::LeaseExpired { campaign, lease_shard, worker },
+                &self.metrics.leases_expired,
+            ),
+            LeaseAction::Reclaimed => (
+                EventKind::LeaseReclaimed {
+                    campaign,
+                    lease_shard,
+                    worker,
+                    reclaims: t.reclaims as u64,
+                },
+                &self.metrics.leases_reclaimed,
+            ),
+        };
+        self.emit_service(kind);
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Fair-share selection: tenants rotate in first-seen order, and within
+    /// the chosen tenant campaigns are scanned in submission order. An idle
+    /// worker that finds its rotation tenant dry keeps scanning the rest —
+    /// that continuation *is* the work-stealing path.
+    fn next_candidate(&self) -> Option<Arc<CampaignEntry>> {
+        if self.draining.load(Ordering::SeqCst) || self.shutdown.load(Ordering::SeqCst) {
+            return None;
+        }
+        let campaigns = self.campaigns.lock().expect("campaign registry poisoned");
+        let mut tenants: Vec<&str> = Vec::new();
+        for entry in campaigns.iter() {
+            if !tenants.contains(&entry.tenant.as_str()) {
+                tenants.push(&entry.tenant);
+            }
+        }
+        if tenants.is_empty() {
+            return None;
+        }
+        let start = (self.rotation.fetch_add(1, Ordering::Relaxed) as usize) % tenants.len();
+        for k in 0..tenants.len() {
+            let tenant = tenants[(start + k) % tenants.len()];
+            for entry in campaigns.iter() {
+                if entry.tenant == tenant && entry.schedulable() {
+                    return Some(Arc::clone(entry));
+                }
+            }
+        }
+        None
+    }
+
+    fn find(&self, id: &str) -> Option<Arc<CampaignEntry>> {
+        self.campaigns
+            .lock()
+            .expect("campaign registry poisoned")
+            .iter()
+            .find(|e| e.id == id)
+            .map(Arc::clone)
+    }
+
+    /// Executes one leased shard on this worker. The `catch_unwind` here is
+    /// the panic-isolation boundary: whatever a chaos-faulted campaign does,
+    /// the damage is contained to that campaign.
+    fn execute_on(&self, entry: &Arc<CampaignEntry>, worker: &str) {
+        // Warm the executor (LM training) *before* the lease clock starts,
+        // so a cold first shard is not mistaken for a wedged worker.
+        if catch_unwind(AssertUnwindSafe(|| {
+            entry.session.executor();
+        }))
+        .is_err()
+        {
+            self.fail_campaign(entry, "panic while training the campaign generator".to_string());
+            return;
+        }
+        let snap = entry.progress.snapshot();
+        let progress = move |i: usize| snap.shards.get(i).map(|s| s.cases_done).unwrap_or_default();
+        let claim = match entry.leases.claim_pending(worker, &progress) {
+            Some(claim) => claim,
+            None => return, // another worker drained this campaign's queue
+        };
+        {
+            let mut state = entry.state.lock().expect("campaign state poisoned");
+            if *state == CampaignState::Queued {
+                *state = CampaignState::Running;
+            }
+        }
+        let transition = Transition {
+            shard: claim.shard,
+            holder: worker.to_string(),
+            lease_seq: claim.lease_seq,
+            ttl_millis: claim.ttl.as_millis() as u64,
+            reclaims: 0,
+        };
+        self.record_lease(entry, LeaseAction::Acquired, &transition);
+
+        let spec = entry.plan[claim.shard];
+        let attempt = MemorySink::new();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            entry.session.executor().run_shard(&spec, 1, &attempt)
+        }));
+        match outcome {
+            Err(payload) => {
+                entry.leases.abandon(claim.shard, claim.lease_seq);
+                self.record_lease(entry, LeaseAction::Released, &transition);
+                self.fail_campaign(entry, panic_text(payload));
+            }
+            Ok(report) if report.interrupted => {
+                // Cancelled or past deadline mid-shard: discard the partial
+                // attempt whole (the library contract) and let finalization
+                // decide the campaign's fate.
+                entry.leases.abandon(claim.shard, claim.lease_seq);
+                self.record_lease(entry, LeaseAction::Released, &transition);
+                self.maybe_finalize(entry);
+            }
+            Ok(report) => {
+                // Stage the result before `complete()` marks the shard Done:
+                // the moment another worker can observe `all_done()`, every
+                // Done slot must already be filled. Writing ahead of the
+                // fencing check is safe — the result is a deterministic
+                // function of the shard spec, so a fenced duplicate stages
+                // the same value the rightful holder will.
+                *entry.slots[claim.shard].lock().expect("shard slot poisoned") =
+                    Some(report.clone());
+                if !entry.leases.complete(claim.shard, claim.lease_seq) {
+                    // Fenced: the supervisor reclaimed this lease and the
+                    // shard belongs to someone else now. Only the current
+                    // sequence may commit the journal record and telemetry.
+                    return;
+                }
+                for event in attempt.events() {
+                    entry.buffers[claim.shard].emit(&event);
+                }
+                if let Some(journal) = &entry.journal {
+                    let record = comfort_core::checkpoint::ShardRecord {
+                        index: claim.shard as u64,
+                        seed: spec.seed,
+                        cases: spec.cases as u64,
+                        report: report.clone(),
+                        events: entry.buffers[claim.shard].events(),
+                    };
+                    if let Ok(journal_bytes) = journal.append_shard(&record) {
+                        entry.checkpoints_written.fetch_add(1, Ordering::Relaxed);
+                        entry.control.lock().expect("control recorder poisoned").emit(
+                            EventKind::CheckpointWritten {
+                                checkpointed_shard: claim.shard as u64,
+                                cases_run: record.report.cases_run,
+                                journal_bytes,
+                            },
+                        );
+                    }
+                }
+                self.record_lease(entry, LeaseAction::Released, &transition);
+                entry.flush.shard_done(claim.shard, &entry.buffers, &entry.sink);
+                self.maybe_finalize(entry);
+            }
+        }
+    }
+
+    fn fail_campaign(&self, entry: &Arc<CampaignEntry>, message: String) {
+        {
+            let mut state = entry.state.lock().expect("campaign state poisoned");
+            if state.is_terminal() {
+                return;
+            }
+            *state = CampaignState::Failed;
+        }
+        *entry.failure.lock().expect("failure poisoned") = Some(message);
+        entry.cancel.cancel();
+        let (done, _, _) = entry.leases.counts();
+        self.emit_service(EventKind::CampaignFinished {
+            campaign: entry.id.clone(),
+            outcome: "failed".to_string(),
+            shards_run: done as u64,
+        });
+        self.metrics.campaigns_failed.fetch_add(1, Ordering::Relaxed);
+        self.wake_workers();
+    }
+
+    /// Completes or cancels a campaign when its leases say so. The merge
+    /// runs under the state lock, so exactly one caller finalizes.
+    fn maybe_finalize(&self, entry: &Arc<CampaignEntry>) {
+        let finished: Option<(&'static str, u64)> = {
+            let mut state = entry.state.lock().expect("campaign state poisoned");
+            if state.is_terminal() {
+                None
+            } else if entry.leases.all_done() {
+                let reports: Vec<CampaignReport> = entry
+                    .slots
+                    .iter()
+                    .map(|slot| {
+                        slot.lock().expect("shard slot poisoned").clone().expect("done slot filled")
+                    })
+                    .collect();
+                let mut merged = merge_shard_reports_with_sink(&reports, &entry.sink);
+                self.attach_resume(entry, &mut merged);
+                let checksum = report_checksum(&merged);
+                *entry.final_report.lock().expect("final report poisoned") =
+                    Some((merged, checksum));
+                *state = CampaignState::Completed;
+                let salvaged = entry.resume.as_ref().map(|(_, _, n)| *n).unwrap_or(0);
+                Some(("completed", entry.plan.len() as u64 - salvaged))
+            } else if entry.cancel.is_cancelled() && entry.leases.counts().1 == 0 {
+                // Nothing in flight and nothing will be leased again: merge
+                // what completed and flag it, exactly like the library path.
+                let reports: Vec<CampaignReport> = entry
+                    .slots
+                    .iter()
+                    .filter_map(|slot| slot.lock().expect("shard slot poisoned").clone())
+                    .collect();
+                let completed = reports.len();
+                let mut merged = merge_shard_reports_with_sink(&reports, &entry.sink);
+                merged.interrupted = true;
+                let reason = if entry.cancel.deadline_passed() { "deadline" } else { "cancelled" };
+                entry.control.lock().expect("control recorder poisoned").emit(
+                    EventKind::CampaignInterrupted {
+                        shards_completed: completed as u64,
+                        shards_total: entry.plan.len() as u64,
+                        reason: reason.to_string(),
+                    },
+                );
+                self.attach_resume(entry, &mut merged);
+                let checksum = report_checksum(&merged);
+                *entry.final_report.lock().expect("final report poisoned") =
+                    Some((merged, checksum));
+                *state = CampaignState::Cancelled;
+                Some((reason, completed as u64))
+            } else {
+                None
+            }
+        };
+        if let Some((outcome, shards_run)) = finished {
+            self.emit_service(EventKind::CampaignFinished {
+                campaign: entry.id.clone(),
+                outcome: outcome.to_string(),
+                shards_run,
+            });
+            let counter = if outcome == "completed" {
+                &self.metrics.campaigns_completed
+            } else {
+                &self.metrics.campaigns_cancelled
+            };
+            counter.fetch_add(1, Ordering::Relaxed);
+            self.wake_workers();
+        }
+    }
+
+    fn attach_resume(&self, entry: &CampaignEntry, merged: &mut CampaignReport) {
+        if let Some((path, recovery, salvaged)) = &entry.resume {
+            merged.resume = Some(ResumeInfo {
+                resumed_from: path.clone(),
+                shards_salvaged: *salvaged,
+                shards_rerun: entry.plan.len() as u64 - salvaged,
+                shards_total: entry.plan.len() as u64,
+                dropped_tail_bytes: recovery.dropped_tail_bytes,
+                checkpoints_written: entry.checkpoints_written.load(Ordering::Relaxed),
+            });
+        }
+    }
+
+    /// One supervisor heartbeat over every live campaign. Each campaign
+    /// ticks inside its own `catch_unwind`, so a poisoned campaign cannot
+    /// take the supervisor (or its neighbours) down with it.
+    fn heartbeat(&self) {
+        let campaigns: Vec<Arc<CampaignEntry>> =
+            self.campaigns.lock().expect("campaign registry poisoned").clone();
+        let now = Instant::now();
+        for entry in campaigns {
+            if entry.state().is_terminal() {
+                continue;
+            }
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                let snap = entry.progress.snapshot();
+                let progress =
+                    move |i: usize| snap.shards.get(i).map(|s| s.cases_done).unwrap_or_default();
+                let beat = entry.leases.tick(now, &progress);
+                for t in &beat.renewed {
+                    self.record_lease(&entry, LeaseAction::Renewed, t);
+                }
+                for t in &beat.reclaimed {
+                    self.record_lease(&entry, LeaseAction::Expired, t);
+                    self.record_lease(&entry, LeaseAction::Reclaimed, t);
+                }
+                if !beat.reclaimed.is_empty() {
+                    self.wake_workers();
+                }
+                self.maybe_finalize(&entry);
+            }));
+            if result.is_err() {
+                self.fail_campaign(&entry, "panic during supervisor heartbeat".to_string());
+            }
+        }
+    }
+
+    fn worker_loop(self: &Arc<Self>, worker: String) {
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            match self.next_candidate() {
+                Some(entry) => self.execute_on(&entry, &worker),
+                None => {
+                    if self.draining.load(Ordering::SeqCst) {
+                        return; // nothing leasable and nothing will be
+                    }
+                    let guard = self.park.lock().expect("park lock poisoned");
+                    let _ = self
+                        .bell
+                        .wait_timeout(guard, Duration::from_millis(10))
+                        .expect("park lock poisoned");
+                }
+            }
+        }
+    }
+}
+
+/// The long-lived campaign service: a worker pool, a supervisor, and the
+/// admission-controlled campaign registry. See the [module docs](self).
+pub struct Daemon {
+    shared: Arc<DaemonShared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    supervisor: Mutex<Option<JoinHandle<()>>>,
+    drained: Mutex<bool>,
+}
+
+impl Daemon {
+    /// Starts the worker pool and supervisor.
+    pub fn start(cfg: ServiceConfig) -> Arc<Daemon> {
+        let workers = if cfg.workers == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2)
+        } else {
+            cfg.workers
+        };
+        let recorder = Mutex::new(Recorder::new(cfg.sink.clone(), SERVICE_SHARD));
+        let shared = Arc::new(DaemonShared {
+            cfg,
+            metrics: ServiceMetrics::default(),
+            recorder,
+            campaigns: Mutex::new(Vec::new()),
+            next_id: AtomicU64::new(1),
+            rotation: AtomicU64::new(0),
+            draining: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            park: Mutex::new(()),
+            bell: Condvar::new(),
+        });
+        let mut pool = Vec::with_capacity(workers);
+        for k in 0..workers {
+            let shared = Arc::clone(&shared);
+            let label = format!("worker-{k}");
+            pool.push(
+                std::thread::Builder::new()
+                    .name(label.clone())
+                    .spawn(move || shared.worker_loop(label))
+                    .expect("spawn worker"),
+            );
+        }
+        let supervisor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("supervisor".to_string())
+                .spawn(move || {
+                    while !shared.shutdown.load(Ordering::SeqCst) {
+                        std::thread::sleep(shared.cfg.heartbeat);
+                        shared.heartbeat();
+                    }
+                })
+                .expect("spawn supervisor")
+        };
+        Arc::new(Daemon {
+            shared,
+            workers: Mutex::new(pool),
+            supervisor: Mutex::new(Some(supervisor)),
+            drained: Mutex::new(false),
+        })
+    }
+
+    /// Submits a campaign through admission control. On success the
+    /// campaign id is returned and shards begin leasing immediately; on
+    /// rejection the typed [`Rejection`] says why and when to retry.
+    pub fn submit(&self, spec: &CampaignSpec) -> Result<String, Rejection> {
+        let shared = &self.shared;
+        let retry = shared.cfg.retry_after.as_millis() as u64;
+        let reject = |reason: &str, message: String, retry_after_millis: u64| {
+            shared.emit_service(EventKind::CampaignRejected {
+                tenant: spec.tenant.clone(),
+                reason: reason.to_string(),
+                retry_after_millis,
+            });
+            shared.metrics.campaigns_rejected.fetch_add(1, Ordering::Relaxed);
+            Err(Rejection { reason: reason.to_string(), message, retry_after_millis })
+        };
+        if shared.draining.load(Ordering::SeqCst) || shared.shutdown.load(Ordering::SeqCst) {
+            return reject("draining", "the daemon is draining".to_string(), retry);
+        }
+        let config = match spec.build_config() {
+            Ok(config) => config,
+            Err(e) => return reject("invalid_spec", e, 0),
+        };
+        // Admission bounds: a full queue or an exhausted tenant quota is a
+        // *backpressure* outcome (retry later), not an error.
+        {
+            let campaigns = shared.campaigns.lock().expect("campaign registry poisoned");
+            let active = campaigns.iter().filter(|entry| !entry.state().is_terminal()).count();
+            if active >= shared.cfg.max_active {
+                return reject(
+                    "queue_full",
+                    format!("{active} active campaigns (cap {})", shared.cfg.max_active),
+                    retry,
+                );
+            }
+            let tenant_active = campaigns
+                .iter()
+                .filter(|entry| entry.tenant == spec.tenant && !entry.state().is_terminal())
+                .count();
+            if tenant_active >= shared.cfg.tenant_quota {
+                return reject(
+                    "quota",
+                    format!(
+                        "tenant '{}' already has {tenant_active} active campaigns (quota {})",
+                        spec.tenant, shared.cfg.tenant_quota
+                    ),
+                    retry,
+                );
+            }
+        }
+        let id = format!("c-{:04}", shared.next_id.fetch_add(1, Ordering::Relaxed));
+        let entry = match build_entry(shared, &id, spec, config) {
+            Ok(entry) => entry,
+            Err(e) => return reject("journal_conflict", e, 0),
+        };
+        let shards = entry.plan.len() as u64;
+        shared.campaigns.lock().expect("campaign registry poisoned").push(Arc::clone(&entry));
+        shared.emit_service(EventKind::CampaignAdmitted {
+            campaign: id.clone(),
+            tenant: spec.tenant.clone(),
+            shards,
+        });
+        shared.metrics.campaigns_admitted.fetch_add(1, Ordering::Relaxed);
+        // A fully-salvaged resubmission needs no worker at all.
+        shared.maybe_finalize(&entry);
+        shared.wake_workers();
+        Ok(id)
+    }
+
+    /// Status of every campaign, in submission order.
+    pub fn status(&self) -> Vec<CampaignStatus> {
+        self.shared
+            .campaigns
+            .lock()
+            .expect("campaign registry poisoned")
+            .iter()
+            .map(|entry| entry.status())
+            .collect()
+    }
+
+    /// Status of one campaign.
+    pub fn campaign_status(&self, id: &str) -> Option<CampaignStatus> {
+        self.shared.find(id).map(|entry| entry.status())
+    }
+
+    /// Requests cancellation of a campaign; in-flight shards drain at
+    /// their next cancellation point. Returns `false` for unknown ids.
+    pub fn cancel(&self, id: &str) -> bool {
+        match self.shared.find(id) {
+            Some(entry) => {
+                entry.cancel.cancel();
+                self.shared.maybe_finalize(&entry);
+                self.shared.wake_workers();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The final merged report and its deterministic checksum, once the
+    /// campaign reached a terminal state that produced one.
+    pub fn final_report(&self, id: &str) -> Option<(CampaignReport, u64)> {
+        let entry = self.shared.find(id)?;
+        let report = entry.final_report.lock().expect("final report poisoned").clone();
+        report
+    }
+
+    /// The campaign's buffered telemetry from `from` onward, plus whether
+    /// the campaign is terminal (the tail stream can close).
+    pub fn tail_events(&self, id: &str, from: usize) -> Option<(Vec<Event>, bool)> {
+        let entry = self.shared.find(id)?;
+        let events = entry.tail.events();
+        let slice = if from < events.len() { events[from..].to_vec() } else { Vec::new() };
+        Some((slice, entry.state().is_terminal()))
+    }
+
+    /// Blocks until campaign `id` reaches a terminal state (or `timeout`
+    /// elapses); returns its final status.
+    pub fn wait(&self, id: &str, timeout: Duration) -> Option<CampaignStatus> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let status = self.campaign_status(id)?;
+            if status.state.is_terminal() {
+                return Some(status);
+            }
+            if Instant::now() >= deadline {
+                return Some(status);
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// `true` once a drain has started.
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// A frozen reading of the service counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Shards currently under lease across every campaign (the `still_held`
+    /// term of the lease conservation ledger).
+    pub fn leases_held(&self) -> u64 {
+        self.shared
+            .campaigns
+            .lock()
+            .expect("campaign registry poisoned")
+            .iter()
+            .map(|entry| entry.leases.counts().1 as u64)
+            .sum()
+    }
+
+    /// Non-terminal campaigns (the `active` term of the campaign ledger).
+    pub fn campaigns_active(&self) -> u64 {
+        self.shared
+            .campaigns
+            .lock()
+            .expect("campaign registry poisoned")
+            .iter()
+            .filter(|entry| !entry.state().is_terminal())
+            .count() as u64
+    }
+
+    /// Graceful drain: stop admitting and leasing, let in-flight shards
+    /// finish and checkpoint, stop the pool and the supervisor. Journalled
+    /// campaigns left incomplete resume in the next daemon life. Idempotent.
+    pub fn drain(&self) {
+        {
+            let mut drained = self.drained.lock().expect("drain guard poisoned");
+            if *drained {
+                return;
+            }
+            *drained = true;
+        }
+        let active = self.campaigns_active();
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.emit_service(EventKind::DrainStarted { active_campaigns: active });
+        self.shared.metrics.drains_started.fetch_add(1, Ordering::Relaxed);
+        self.shared.wake_workers();
+        for worker in self.workers.lock().expect("worker pool poisoned").drain(..) {
+            let _ = worker.join();
+        }
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(supervisor) = self.supervisor.lock().expect("supervisor poisoned").take() {
+            let _ = supervisor.join();
+        }
+        // Telemetry flush: both sink flavours write through on every emit
+        // (the JSONL sink drives an unbuffered file), so at this point the
+        // streams are durably on disk; nothing further to do.
+    }
+
+    /// The health/occupancy table: one row per campaign plus a pool footer.
+    pub fn occupancy(&self) -> String {
+        let mut table =
+            comfort_core::report::Table::new("Service occupancy", &[8, 10, 9, 12, 8, 10, 8]);
+        table.row(&["Campaign", "Tenant", "State", "Shards", "Held", "Reclaims", "Bugs"]);
+        for status in self.status() {
+            table.row(&[
+                &status.id,
+                &status.tenant,
+                status.state.as_str(),
+                &format!("{}/{}", status.shards_done, status.shards_total),
+                &status.shards_held.to_string(),
+                &status.reclaims.to_string(),
+                &status.bugs_found.to_string(),
+            ]);
+        }
+        let snap = self.metrics();
+        table.text(format!(
+            "workers {} | active {} | leases held {} | acquired {} renewed {} released {} expired {} reclaimed {} | admitted {} rejected {}{}",
+            self.workers.lock().expect("worker pool poisoned").len(),
+            self.campaigns_active(),
+            self.leases_held(),
+            snap.leases_acquired,
+            snap.leases_renewed,
+            snap.leases_released,
+            snap.leases_expired,
+            snap.leases_reclaimed,
+            snap.campaigns_admitted,
+            snap.campaigns_rejected,
+            if self.is_draining() { " | DRAINING" } else { "" },
+        ));
+        table.render()
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        // Undrained drops (test failures, panics) must not leave the pool
+        // spinning: flag shutdown so every thread exits at its next check.
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.wake_workers();
+    }
+}
+
+/// Builds a campaign entry, salvaging an existing journal when the spec
+/// names one (fingerprint- and plan-validated, exactly like the library's
+/// resumable path).
+fn build_entry(
+    shared: &DaemonShared,
+    id: &str,
+    spec: &CampaignSpec,
+    mut config: CampaignConfig,
+) -> Result<Arc<CampaignEntry>, String> {
+    let tail = MemorySink::new();
+    let file = match &spec.telemetry {
+        Some(path) => Some(
+            JsonlSink::create(path)
+                .map_err(|e| format!("cannot open telemetry file {path}: {e}"))?,
+        ),
+        None => None,
+    };
+    let sink = SinkHandle::new(TeeSink { tail: tail.clone(), file });
+    let cancel = CancelToken::new();
+    config.sink = sink.clone();
+    config.cancel = cancel.clone();
+    if let Some(deadline) = config.deadline {
+        // The library arms the deadline at campaign start; under the daemon
+        // a campaign starts the moment it is admitted.
+        cancel.arm_deadline(Instant::now() + deadline);
+    }
+    let checkpoint_path = config.checkpoint.clone();
+    let session = CampaignSession::new(config);
+    let plan = session.plan();
+    let progress = session.progress();
+    progress.reset(&plan.iter().map(|s| s.cases as u64).collect::<Vec<u64>>());
+    let buffers: Vec<MemorySink> = plan.iter().map(|_| MemorySink::new()).collect();
+    let slots: Vec<Mutex<Option<CampaignReport>>> = plan.iter().map(|_| Mutex::new(None)).collect();
+    let flush = FlushFrontier::new(plan.len());
+    let leases = LeaseTable::new(plan.len(), shared.cfg.lease_ttl);
+    let control = Mutex::new(Recorder::new(sink.clone(), CONTROL_SHARD));
+
+    let mut journal = None;
+    let mut resume = None;
+    if let Some(path) = &checkpoint_path {
+        if path.exists() {
+            let (checkpoint, recovery) =
+                CampaignCheckpoint::load(path).map_err(|e| format!("journal {path:?}: {e}"))?;
+            let expected = config_fingerprint(session.config());
+            if checkpoint.fingerprint != expected {
+                return Err(format!(
+                    "journal {path:?} was written under fingerprint {:#018x}, spec derives {:#018x}",
+                    checkpoint.fingerprint, expected
+                ));
+            }
+            if checkpoint.shards_total != plan.len() as u64 {
+                return Err(format!(
+                    "journal {path:?} plans {} shards, spec plans {}",
+                    checkpoint.shards_total,
+                    plan.len()
+                ));
+            }
+            for record in &checkpoint.shards {
+                let spec_shard = plan.get(record.index as usize).ok_or_else(|| {
+                    format!("journal {path:?} has a record for out-of-plan shard {}", record.index)
+                })?;
+                if record.seed != spec_shard.seed || record.cases != spec_shard.cases as u64 {
+                    return Err(format!(
+                        "journal {path:?} shard {} disagrees with the spec's plan",
+                        record.index
+                    ));
+                }
+            }
+            control.lock().expect("control recorder poisoned").emit(EventKind::CampaignResumed {
+                shards_salvaged: checkpoint.shards.len() as u64,
+                shards_total: plan.len() as u64,
+                dropped_bytes: recovery.dropped_tail_bytes,
+            });
+            for record in &checkpoint.shards {
+                let i = record.index as usize;
+                *slots[i].lock().expect("shard slot poisoned") = Some(record.report.clone());
+                for event in &record.events {
+                    buffers[i].emit(event);
+                }
+                progress.shard_started(i);
+                for _ in 0..record.report.cases_run {
+                    progress.case_done(i);
+                }
+                for _ in 0..record.report.bugs.len() {
+                    progress.bug_found(i);
+                }
+                progress.shard_finished(i);
+                flush.shard_done(i, &buffers, &sink);
+                leases.restore_done(i);
+            }
+            // Adopt the journal's lease state: a shard journalled as held
+            // with no shard record means its holder died mid-shard. The
+            // adopted lease runs out its recorded TTL (the dead holder
+            // makes no progress) and is then reclaimed and re-leased.
+            for lease in checkpoint.latest_leases() {
+                let shard = lease.shard as usize;
+                if shard >= plan.len() {
+                    continue;
+                }
+                if matches!(lease.action, LeaseAction::Acquired | LeaseAction::Renewed) {
+                    let ttl = Duration::from_millis(lease.ttl_millis);
+                    leases.restore_held(shard, &lease.worker, lease.lease_seq, ttl);
+                    let adopted = Transition {
+                        shard,
+                        holder: lease.worker.clone(),
+                        lease_seq: lease.lease_seq,
+                        ttl_millis: lease.ttl_millis,
+                        reclaims: 0,
+                    };
+                    // Re-emitting Acquired on adoption keeps the lease
+                    // ledger balanced within this daemon life.
+                    shared.emit_service(EventKind::LeaseAcquired {
+                        campaign: id.to_string(),
+                        lease_shard: adopted.shard as u64,
+                        worker: adopted.holder.clone(),
+                        ttl_millis: adopted.ttl_millis,
+                    });
+                    shared.metrics.leases_acquired.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            let salvaged = checkpoint.shards.len() as u64;
+            journal = CheckpointJournal::open_append(path, &recovery).ok();
+            resume = Some((path.display().to_string(), recovery, salvaged));
+        } else {
+            journal = CheckpointJournal::create(
+                path,
+                config_fingerprint(session.config()),
+                plan.len() as u64,
+            )
+            .ok();
+        }
+    }
+
+    Ok(Arc::new(CampaignEntry {
+        id: id.to_string(),
+        tenant: spec.tenant.clone(),
+        name: spec.name.clone().unwrap_or_else(|| id.to_string()),
+        session,
+        plan,
+        cancel,
+        sink,
+        tail,
+        journal,
+        buffers,
+        slots,
+        flush,
+        leases,
+        control,
+        state: Mutex::new(CampaignState::Queued),
+        progress,
+        checkpoints_written: AtomicU64::new(0),
+        resume,
+        final_report: Mutex::new(None),
+        failure: Mutex::new(None),
+    }))
+}
+
+fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+fn unix_millis_now() -> u64 {
+    SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn service_config_defaults_are_sane() {
+        let cfg = ServiceConfig::default();
+        assert!(cfg.workers >= 1);
+        assert!(cfg.heartbeat < cfg.lease_ttl);
+        assert!(cfg.max_active >= cfg.tenant_quota);
+    }
+
+    #[test]
+    fn rejection_displays_reason_and_detail() {
+        let r = Rejection {
+            reason: "quota".to_string(),
+            message: "tenant 'acme' is at its quota".to_string(),
+            retry_after_millis: 250,
+        };
+        let text = r.to_string();
+        assert!(text.contains("quota"), "{text}");
+        assert!(text.contains("acme"), "{text}");
+    }
+
+    #[test]
+    fn campaign_states_expose_terminality() {
+        assert!(!CampaignState::Queued.is_terminal());
+        assert!(!CampaignState::Running.is_terminal());
+        assert!(CampaignState::Completed.is_terminal());
+        assert!(CampaignState::Cancelled.is_terminal());
+        assert!(CampaignState::Failed.is_terminal());
+        assert_eq!(CampaignState::Running.as_str(), "running");
+    }
+
+    #[test]
+    fn status_json_includes_checksum_only_when_present() {
+        let mut status = CampaignStatus {
+            id: "c-0001".to_string(),
+            tenant: "t".to_string(),
+            name: "n".to_string(),
+            state: CampaignState::Running,
+            shards_total: 3,
+            shards_done: 1,
+            shards_held: 1,
+            reclaims: 0,
+            cases_done: 20,
+            bugs_found: 2,
+            checksum: None,
+            failure: None,
+            resumed: false,
+        };
+        assert!(!status.to_json().contains("checksum"));
+        status.checksum = Some(0xdead_beef);
+        assert!(status.to_json().contains("00000000deadbeef"));
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! `comfort-service`: the supervised multi-tenant campaign daemon.
+//!
+//! The library behind the `comfortd` / `comfortctl` binaries. It
+//! multiplexes many concurrent fuzzing campaigns over one global worker
+//! pool while preserving the workspace's determinism contract: a campaign
+//! run under the daemon — even one interrupted by SIGKILL and resumed in
+//! a later daemon life — merges to a report **bit-identical** (in every
+//! deterministic field) to a plain `CampaignSession::run`.
+//!
+//! * [`daemon`] — the worker pool, lease supervisor, admission control,
+//!   fair-share scheduler, and graceful drain;
+//! * [`lease`] — per-shard TTL leases with fencing sequences and
+//!   progress-based heartbeat renewal;
+//! * [`spec`] — the JSON campaign submission format;
+//! * [`wire`] / [`server`] / [`client`] — the length-prefixed JSON
+//!   control protocol over a Unix socket;
+//! * [`metrics`] — service counters and their event-stream conservation
+//!   contract;
+//! * [`worker`] — the single-shot out-of-process shard worker used by
+//!   crash-recovery tests.
+
+pub mod client;
+pub mod daemon;
+pub mod lease;
+pub mod metrics;
+pub mod server;
+pub mod spec;
+pub mod wire;
+pub mod worker;
+
+pub use client::Client;
+pub use daemon::{CampaignState, CampaignStatus, Daemon, Rejection, ServiceConfig};
+pub use lease::{Claim, LeaseTable, ShardLease, ShardPhase};
+pub use metrics::{MetricsSnapshot, ServiceMetrics};
+pub use server::Server;
+pub use spec::{CampaignSpec, ChaosSpec};
+pub use wire::Request;
+pub use worker::{run_worker_once, WorkerOnceOptions};

@@ -1,0 +1,233 @@
+//! Service-plane metrics and their conservation contract.
+//!
+//! Every scheduling decision the daemon makes is emitted **twice**: as a
+//! typed service event ([`EventKind`](comfort_telemetry::EventKind)
+//! variants on the `SERVICE_SHARD` pseudo-shard) and as a counter bump
+//! here. [`MetricsSnapshot::from_events`] rebuilds a snapshot from the
+//! event stream alone, so a test can assert the two ledgers reconcile
+//! *exactly* — the same conservation style the campaign metrics use.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use comfort_telemetry::{Event, EventKind};
+
+/// Monotonic counters for every service-plane decision.
+#[derive(Debug, Default)]
+pub struct ServiceMetrics {
+    /// Leases handed to workers.
+    pub leases_acquired: AtomicU64,
+    /// Heartbeat renewals of in-flight leases.
+    pub leases_renewed: AtomicU64,
+    /// Leases released after a committed shard.
+    pub leases_released: AtomicU64,
+    /// Leases whose TTL lapsed without progress.
+    pub leases_expired: AtomicU64,
+    /// Expired leases returned to the pending pool.
+    pub leases_reclaimed: AtomicU64,
+    /// Campaigns admitted past backpressure.
+    pub campaigns_admitted: AtomicU64,
+    /// Campaigns rejected by admission control.
+    pub campaigns_rejected: AtomicU64,
+    /// Campaigns that merged a complete report.
+    pub campaigns_completed: AtomicU64,
+    /// Campaigns cancelled (explicitly or by deadline).
+    pub campaigns_cancelled: AtomicU64,
+    /// Campaigns failed at the supervisor's panic boundary.
+    pub campaigns_failed: AtomicU64,
+    /// Graceful drains initiated.
+    pub drains_started: AtomicU64,
+}
+
+impl ServiceMetrics {
+    /// A point-in-time copy of every counter.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            leases_acquired: self.leases_acquired.load(Ordering::Relaxed),
+            leases_renewed: self.leases_renewed.load(Ordering::Relaxed),
+            leases_released: self.leases_released.load(Ordering::Relaxed),
+            leases_expired: self.leases_expired.load(Ordering::Relaxed),
+            leases_reclaimed: self.leases_reclaimed.load(Ordering::Relaxed),
+            campaigns_admitted: self.campaigns_admitted.load(Ordering::Relaxed),
+            campaigns_rejected: self.campaigns_rejected.load(Ordering::Relaxed),
+            campaigns_completed: self.campaigns_completed.load(Ordering::Relaxed),
+            campaigns_cancelled: self.campaigns_cancelled.load(Ordering::Relaxed),
+            campaigns_failed: self.campaigns_failed.load(Ordering::Relaxed),
+            drains_started: self.drains_started.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A frozen [`ServiceMetrics`] reading.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Leases handed to workers.
+    pub leases_acquired: u64,
+    /// Heartbeat renewals of in-flight leases.
+    pub leases_renewed: u64,
+    /// Leases released after a committed shard.
+    pub leases_released: u64,
+    /// Leases whose TTL lapsed without progress.
+    pub leases_expired: u64,
+    /// Expired leases returned to the pending pool.
+    pub leases_reclaimed: u64,
+    /// Campaigns admitted past backpressure.
+    pub campaigns_admitted: u64,
+    /// Campaigns rejected by admission control.
+    pub campaigns_rejected: u64,
+    /// Campaigns that merged a complete report.
+    pub campaigns_completed: u64,
+    /// Campaigns cancelled (explicitly or by deadline).
+    pub campaigns_cancelled: u64,
+    /// Campaigns failed at the supervisor's panic boundary.
+    pub campaigns_failed: u64,
+    /// Graceful drains initiated.
+    pub drains_started: u64,
+}
+
+impl MetricsSnapshot {
+    /// Rebuilds a snapshot by counting typed service events — the other
+    /// half of the conservation contract. Non-service events are ignored.
+    pub fn from_events<'a>(events: impl IntoIterator<Item = &'a Event>) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::default();
+        for event in events {
+            match &event.kind {
+                EventKind::LeaseAcquired { .. } => snap.leases_acquired += 1,
+                EventKind::LeaseRenewed { .. } => snap.leases_renewed += 1,
+                EventKind::LeaseReleased { .. } => snap.leases_released += 1,
+                EventKind::LeaseExpired { .. } => snap.leases_expired += 1,
+                EventKind::LeaseReclaimed { .. } => snap.leases_reclaimed += 1,
+                EventKind::CampaignAdmitted { .. } => snap.campaigns_admitted += 1,
+                EventKind::CampaignRejected { .. } => snap.campaigns_rejected += 1,
+                EventKind::CampaignFinished { outcome, .. } => match outcome.as_str() {
+                    "completed" => snap.campaigns_completed += 1,
+                    "failed" => snap.campaigns_failed += 1,
+                    _ => snap.campaigns_cancelled += 1,
+                },
+                EventKind::DrainStarted { .. } => snap.drains_started += 1,
+                _ => {}
+            }
+        }
+        snap
+    }
+
+    /// Checks the lease ledger balances: every acquisition must end as a
+    /// release or an expiry, except `still_held` leases in flight, and
+    /// every expiry must be reclaimed.
+    pub fn leases_conserved(&self, still_held: u64) -> Result<(), String> {
+        let closed = self.leases_released + self.leases_expired + still_held;
+        if self.leases_acquired != closed {
+            return Err(format!(
+                "lease ledger imbalance: {} acquired vs {} released + {} expired + {} held",
+                self.leases_acquired, self.leases_released, self.leases_expired, still_held
+            ));
+        }
+        if self.leases_expired != self.leases_reclaimed {
+            return Err(format!(
+                "{} expired leases but {} reclaimed",
+                self.leases_expired, self.leases_reclaimed
+            ));
+        }
+        Ok(())
+    }
+
+    /// Checks the campaign ledger balances: admissions equal terminal
+    /// outcomes plus campaigns still `active`.
+    pub fn campaigns_conserved(&self, active: u64) -> Result<(), String> {
+        let closed =
+            self.campaigns_completed + self.campaigns_cancelled + self.campaigns_failed + active;
+        if self.campaigns_admitted != closed {
+            return Err(format!(
+                "campaign ledger imbalance: {} admitted vs {} terminal + {} active",
+                self.campaigns_admitted,
+                closed - active,
+                active
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn service_event(kind: EventKind) -> Event {
+        let clock =
+            comfort_telemetry::LogicalClock { shard: comfort_telemetry::SERVICE_SHARD, seq: 0 };
+        Event { clock, kind }
+    }
+
+    #[test]
+    fn snapshot_reconciles_with_the_event_stream() {
+        let metrics = ServiceMetrics::default();
+        let mut events = Vec::new();
+        metrics.leases_acquired.fetch_add(2, Ordering::Relaxed);
+        for _ in 0..2 {
+            events.push(service_event(EventKind::LeaseAcquired {
+                campaign: "c-1".into(),
+                lease_shard: 0,
+                worker: "w-0".into(),
+                ttl_millis: 100,
+            }));
+        }
+        metrics.leases_released.fetch_add(1, Ordering::Relaxed);
+        events.push(service_event(EventKind::LeaseReleased {
+            campaign: "c-1".into(),
+            lease_shard: 0,
+            worker: "w-0".into(),
+        }));
+        metrics.leases_expired.fetch_add(1, Ordering::Relaxed);
+        events.push(service_event(EventKind::LeaseExpired {
+            campaign: "c-1".into(),
+            lease_shard: 1,
+            worker: "w-1".into(),
+        }));
+        metrics.leases_reclaimed.fetch_add(1, Ordering::Relaxed);
+        events.push(service_event(EventKind::LeaseReclaimed {
+            campaign: "c-1".into(),
+            lease_shard: 1,
+            worker: "w-1".into(),
+            reclaims: 1,
+        }));
+        metrics.campaigns_admitted.fetch_add(1, Ordering::Relaxed);
+        events.push(service_event(EventKind::CampaignAdmitted {
+            campaign: "c-1".into(),
+            tenant: "t".into(),
+            shards: 3,
+        }));
+        let snap = metrics.snapshot();
+        assert_eq!(snap, MetricsSnapshot::from_events(&events));
+        snap.leases_conserved(0).expect("lease ledger balances");
+        snap.campaigns_conserved(1).expect("campaign ledger balances");
+    }
+
+    #[test]
+    fn imbalances_are_reported() {
+        let snap = MetricsSnapshot { leases_acquired: 3, leases_released: 1, ..Default::default() };
+        let err = snap.leases_conserved(0).unwrap_err();
+        assert!(err.contains("imbalance"), "{err}");
+        let snap = MetricsSnapshot { leases_expired: 2, leases_acquired: 2, ..Default::default() };
+        let err = snap.leases_conserved(0).unwrap_err();
+        assert!(err.contains("reclaimed"), "{err}");
+        let snap = MetricsSnapshot { campaigns_admitted: 2, ..Default::default() };
+        assert!(snap.campaigns_conserved(1).is_err());
+    }
+
+    #[test]
+    fn finished_outcomes_route_to_their_counters() {
+        let events: Vec<Event> = ["completed", "failed", "cancelled", "deadline"]
+            .iter()
+            .map(|o| {
+                service_event(EventKind::CampaignFinished {
+                    campaign: "c".into(),
+                    outcome: o.to_string(),
+                    shards_run: 1,
+                })
+            })
+            .collect();
+        let snap = MetricsSnapshot::from_events(&events);
+        assert_eq!(snap.campaigns_completed, 1);
+        assert_eq!(snap.campaigns_failed, 1);
+        assert_eq!(snap.campaigns_cancelled, 2);
+    }
+}

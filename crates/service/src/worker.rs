@@ -1,0 +1,102 @@
+//! A single-shot out-of-process shard worker (`comfortd --worker-once`).
+//!
+//! Runs exactly one unfinished shard of a journalled campaign: acquire a
+//! lease in the journal, optionally hold for a kill window, execute the
+//! shard, commit the shard record, release the lease. Its whole purpose
+//! is crash-recovery testing — SIGKILL it inside the hold window and the
+//! journal is left with a held lease and no shard record, exactly the
+//! state a daemon must adopt, expire, reclaim, and re-run.
+
+use std::time::Duration;
+
+use comfort_core::checkpoint::{
+    config_fingerprint, CampaignCheckpoint, CheckpointJournal, LeaseAction, LeaseRecord,
+    ShardRecord,
+};
+use comfort_core::session::CampaignSession;
+use comfort_telemetry::MemorySink;
+
+use crate::spec::CampaignSpec;
+
+/// Options for one worker-once execution.
+#[derive(Debug, Clone)]
+pub struct WorkerOnceOptions {
+    /// The campaign spec (must name a checkpoint journal).
+    pub spec: CampaignSpec,
+    /// Worker label recorded in the lease.
+    pub worker: String,
+    /// Lease TTL journalled with the acquisition.
+    pub ttl_millis: u64,
+    /// Sleep between acquiring the lease and running the shard — the
+    /// window a crash-recovery test SIGKILLs this process in.
+    pub hold_millis: u64,
+}
+
+/// Runs one pending shard under a journalled lease. Returns a summary
+/// line for the CLI.
+pub fn run_worker_once(opts: &WorkerOnceOptions) -> Result<String, String> {
+    let config = opts.spec.build_config()?;
+    let path = config.checkpoint.clone().ok_or("worker-once requires a checkpoint in the spec")?;
+    let session = CampaignSession::new(config);
+    let plan = session.plan();
+    let fingerprint = config_fingerprint(session.config());
+
+    let (journal, pending, lease_seq) = if path.exists() {
+        let (checkpoint, recovery) =
+            CampaignCheckpoint::load(&path).map_err(|e| format!("journal {path:?}: {e}"))?;
+        if checkpoint.fingerprint != fingerprint {
+            return Err(format!("journal {path:?} belongs to a different spec"));
+        }
+        let done: Vec<u64> = checkpoint.shards.iter().map(|r| r.index).collect();
+        let pending = (0..plan.len() as u64)
+            .find(|i| !done.contains(i))
+            .ok_or("every shard is already committed")?;
+        let lease_seq = checkpoint
+            .latest_leases()
+            .iter()
+            .find(|l| l.shard == pending)
+            .map(|l| l.lease_seq + 1)
+            .unwrap_or(1);
+        let journal = CheckpointJournal::open_append(&path, &recovery)
+            .map_err(|e| format!("cannot append to journal {path:?}: {e}"))?;
+        (journal, pending, lease_seq)
+    } else {
+        let journal = CheckpointJournal::create(&path, fingerprint, plan.len() as u64)
+            .map_err(|e| format!("cannot create journal {path:?}: {e}"))?;
+        (journal, 0, 1)
+    };
+
+    let lease = |action: LeaseAction| LeaseRecord {
+        shard: pending,
+        worker: opts.worker.clone(),
+        action,
+        lease_seq,
+        ttl_millis: opts.ttl_millis,
+        unix_millis: std::time::SystemTime::now()
+            .duration_since(std::time::SystemTime::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or_default(),
+    };
+    journal.append_lease(&lease(LeaseAction::Acquired)).map_err(|e| e.to_string())?;
+
+    // The kill window: a crash-recovery harness SIGKILLs us in here,
+    // leaving the journal with a held lease and no shard record.
+    std::thread::sleep(Duration::from_millis(opts.hold_millis));
+
+    let spec = plan[pending as usize];
+    let buffer = MemorySink::new();
+    let report = session.executor().run_shard(&spec, 1, &buffer);
+    let record = ShardRecord {
+        index: pending,
+        seed: spec.seed,
+        cases: spec.cases as u64,
+        report,
+        events: buffer.events(),
+    };
+    journal.append_shard(&record).map_err(|e| e.to_string())?;
+    journal.append_lease(&lease(LeaseAction::Released)).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "worker {} committed shard {} ({} cases) under lease seq {}",
+        opts.worker, pending, record.report.cases_run, lease_seq
+    ))
+}

@@ -36,6 +36,14 @@ pub const MERGE_SHARD: u64 = u64::MAX;
 /// with [`Event::is_control`] before comparing streams.
 pub const CONTROL_SHARD: u64 = u64::MAX - 1;
 
+/// The `shard` value used for **service-plane** events — lease grants and
+/// reclaims, admission decisions, drains — emitted by the `comfort-service`
+/// supervisor rather than by any campaign's pipeline. Like
+/// [`CONTROL_SHARD`], service events describe one particular execution of
+/// the daemon and are excluded from the determinism contract; they render
+/// as shard `-3` and are flagged by [`Event::is_control`].
+pub const SERVICE_SHARD: u64 = u64::MAX - 2;
+
 /// The six pipeline stages metrics and timings are keyed by, in pipeline
 /// order: generation → validity filter → data-gen mutation → differential
 /// voting → reduction → identical-bug filter.
@@ -274,6 +282,97 @@ pub enum EventKind {
         /// Why the campaign stopped (`"cancelled"` / `"deadline"`).
         reason: String,
     },
+    /// A worker acquired a lease on one shard of a supervised campaign
+    /// (service-plane; stamped with [`SERVICE_SHARD`]).
+    LeaseAcquired {
+        /// The leased campaign's id.
+        campaign: String,
+        /// The leased shard's index within that campaign's plan.
+        lease_shard: u64,
+        /// The acquiring worker's label.
+        worker: String,
+        /// Lease time-to-live granted, in milliseconds.
+        ttl_millis: u64,
+    },
+    /// A live worker's lease was renewed by the supervisor heartbeat
+    /// (service-plane). Liveness is progress-based: the lease renews only
+    /// while the shard's case counter is advancing.
+    LeaseRenewed {
+        /// The leased campaign's id.
+        campaign: String,
+        /// The leased shard's index.
+        lease_shard: u64,
+        /// The holding worker's label.
+        worker: String,
+    },
+    /// A worker completed its shard and released the lease (service-plane).
+    LeaseReleased {
+        /// The leased campaign's id.
+        campaign: String,
+        /// The released shard's index.
+        lease_shard: u64,
+        /// The releasing worker's label.
+        worker: String,
+    },
+    /// A lease outlived its TTL without renewal — the holder is wedged or
+    /// dead (service-plane).
+    LeaseExpired {
+        /// The leased campaign's id.
+        campaign: String,
+        /// The expired shard's index.
+        lease_shard: u64,
+        /// The delinquent worker's label.
+        worker: String,
+    },
+    /// The supervisor reclaimed an expired lease so the shard can be
+    /// reassigned (service-plane). The fencing sequence number increments,
+    /// so a late completion from the old holder is discarded.
+    LeaseReclaimed {
+        /// The leased campaign's id.
+        campaign: String,
+        /// The reclaimed shard's index.
+        lease_shard: u64,
+        /// The worker whose lease was reclaimed.
+        worker: String,
+        /// How many times this shard's lease has now been reclaimed.
+        reclaims: u64,
+    },
+    /// Admission control accepted a campaign into the run queue
+    /// (service-plane).
+    CampaignAdmitted {
+        /// The admitted campaign's id.
+        campaign: String,
+        /// The submitting tenant.
+        tenant: String,
+        /// Shards in the campaign's plan.
+        shards: u64,
+    },
+    /// Admission control rejected a submission — tenant over quota, queue
+    /// full, or the daemon is draining (service-plane).
+    CampaignRejected {
+        /// The rejected tenant.
+        tenant: String,
+        /// Rejection class (`"quota"` / `"queue_full"` / `"draining"`).
+        reason: String,
+        /// Suggested client backoff before resubmitting, in milliseconds.
+        retry_after_millis: u64,
+    },
+    /// A supervised campaign reached a terminal state (service-plane).
+    CampaignFinished {
+        /// The finished campaign's id.
+        campaign: String,
+        /// Terminal outcome (`"completed"` / `"cancelled"` / `"failed"`).
+        outcome: String,
+        /// Shards executed by this daemon process (salvaged shards not
+        /// included).
+        shards_run: u64,
+    },
+    /// The daemon began a graceful drain: no new leases, in-flight shards
+    /// checkpoint, telemetry flushes, then exit 0 (service-plane).
+    DrainStarted {
+        /// Campaigns still active when the drain began.
+        active_campaigns: u64,
+    },
     /// Aggregated per-stage counters for one shard (emitted at shard end).
     StageTiming {
         /// The pipeline stage.
@@ -311,6 +410,15 @@ impl EventKind {
             EventKind::CheckpointWritten { .. } => "checkpoint_written",
             EventKind::CampaignResumed { .. } => "campaign_resumed",
             EventKind::CampaignInterrupted { .. } => "campaign_interrupted",
+            EventKind::LeaseAcquired { .. } => "lease_acquired",
+            EventKind::LeaseRenewed { .. } => "lease_renewed",
+            EventKind::LeaseReleased { .. } => "lease_released",
+            EventKind::LeaseExpired { .. } => "lease_expired",
+            EventKind::LeaseReclaimed { .. } => "lease_reclaimed",
+            EventKind::CampaignAdmitted { .. } => "campaign_admitted",
+            EventKind::CampaignRejected { .. } => "campaign_rejected",
+            EventKind::CampaignFinished { .. } => "campaign_finished",
+            EventKind::DrainStarted { .. } => "drain_started",
             EventKind::StageTiming { .. } => "stage_timing",
         }
     }
@@ -338,11 +446,12 @@ impl Event {
         self.render(false)
     }
 
-    /// `true` for control-plane events ([`CONTROL_SHARD`]) — checkpoint and
-    /// resume/interrupt lifecycle — which are excluded from the determinism
+    /// `true` for control-plane ([`CONTROL_SHARD`]) and service-plane
+    /// ([`SERVICE_SHARD`]) events — checkpoint/resume lifecycle and
+    /// supervisor decisions — which are excluded from the determinism
     /// contract. Filter with this before comparing streams bit-for-bit.
     pub fn is_control(&self) -> bool {
-        self.clock.shard == CONTROL_SHARD
+        self.clock.shard == CONTROL_SHARD || self.clock.shard == SERVICE_SHARD
     }
 
     /// Strips wall-clock fields, leaving only deterministic content.
@@ -362,10 +471,12 @@ impl Event {
             out,
             "{{\"shard\":{},\"seq\":{},\"type\":\"{}\"",
             // u64::MAX is not representable in every JSON reader; render the
-            // merge pseudo-shard as -1 and the control pseudo-shard as -2.
+            // merge pseudo-shard as -1, the control pseudo-shard as -2, and
+            // the service pseudo-shard as -3.
             match self.clock.shard {
                 MERGE_SHARD => -1i64,
                 CONTROL_SHARD => -2i64,
+                SERVICE_SHARD => -3i64,
                 s => s as i64,
             },
             self.clock.seq,
@@ -474,6 +585,59 @@ impl Event {
                     json_string(reason)
                 );
             }
+            EventKind::LeaseAcquired { campaign, lease_shard, worker, ttl_millis } => {
+                let _ = write!(
+                    out,
+                    ",\"campaign\":{},\"lease_shard\":{lease_shard},\"worker\":{},\"ttl_millis\":{ttl_millis}",
+                    json_string(campaign),
+                    json_string(worker)
+                );
+            }
+            EventKind::LeaseRenewed { campaign, lease_shard, worker }
+            | EventKind::LeaseReleased { campaign, lease_shard, worker }
+            | EventKind::LeaseExpired { campaign, lease_shard, worker } => {
+                let _ = write!(
+                    out,
+                    ",\"campaign\":{},\"lease_shard\":{lease_shard},\"worker\":{}",
+                    json_string(campaign),
+                    json_string(worker)
+                );
+            }
+            EventKind::LeaseReclaimed { campaign, lease_shard, worker, reclaims } => {
+                let _ = write!(
+                    out,
+                    ",\"campaign\":{},\"lease_shard\":{lease_shard},\"worker\":{},\"reclaims\":{reclaims}",
+                    json_string(campaign),
+                    json_string(worker)
+                );
+            }
+            EventKind::CampaignAdmitted { campaign, tenant, shards } => {
+                let _ = write!(
+                    out,
+                    ",\"campaign\":{},\"tenant\":{},\"shards\":{shards}",
+                    json_string(campaign),
+                    json_string(tenant)
+                );
+            }
+            EventKind::CampaignRejected { tenant, reason, retry_after_millis } => {
+                let _ = write!(
+                    out,
+                    ",\"tenant\":{},\"reason\":{},\"retry_after_millis\":{retry_after_millis}",
+                    json_string(tenant),
+                    json_string(reason)
+                );
+            }
+            EventKind::CampaignFinished { campaign, outcome, shards_run } => {
+                let _ = write!(
+                    out,
+                    ",\"campaign\":{},\"outcome\":{},\"shards_run\":{shards_run}",
+                    json_string(campaign),
+                    json_string(outcome)
+                );
+            }
+            EventKind::DrainStarted { active_campaigns } => {
+                let _ = write!(out, ",\"active_campaigns\":{active_campaigns}");
+            }
             EventKind::StageTiming { stage, invocations, items, logical_cost, wall_nanos } => {
                 let _ = write!(
                     out,
@@ -514,6 +678,7 @@ pub fn event_from_json(v: &crate::json::JsonValue) -> Result<Event, String> {
     let shard = match field("shard")?.as_i128().ok_or("field \"shard\" not an integer")? {
         -1 => MERGE_SHARD,
         -2 => CONTROL_SHARD,
+        -3 => SERVICE_SHARD,
         s => u64::try_from(s).map_err(|_| format!("shard {s} out of range"))?,
     };
     let clock = LogicalClock { shard, seq: num("seq")? };
@@ -597,6 +762,49 @@ pub fn event_from_json(v: &crate::json::JsonValue) -> Result<Event, String> {
             shards_total: num("shards_total")?,
             reason: string("reason")?,
         },
+        "lease_acquired" => EventKind::LeaseAcquired {
+            campaign: string("campaign")?,
+            lease_shard: num("lease_shard")?,
+            worker: string("worker")?,
+            ttl_millis: num("ttl_millis")?,
+        },
+        "lease_renewed" => EventKind::LeaseRenewed {
+            campaign: string("campaign")?,
+            lease_shard: num("lease_shard")?,
+            worker: string("worker")?,
+        },
+        "lease_released" => EventKind::LeaseReleased {
+            campaign: string("campaign")?,
+            lease_shard: num("lease_shard")?,
+            worker: string("worker")?,
+        },
+        "lease_expired" => EventKind::LeaseExpired {
+            campaign: string("campaign")?,
+            lease_shard: num("lease_shard")?,
+            worker: string("worker")?,
+        },
+        "lease_reclaimed" => EventKind::LeaseReclaimed {
+            campaign: string("campaign")?,
+            lease_shard: num("lease_shard")?,
+            worker: string("worker")?,
+            reclaims: num("reclaims")?,
+        },
+        "campaign_admitted" => EventKind::CampaignAdmitted {
+            campaign: string("campaign")?,
+            tenant: string("tenant")?,
+            shards: num("shards")?,
+        },
+        "campaign_rejected" => EventKind::CampaignRejected {
+            tenant: string("tenant")?,
+            reason: string("reason")?,
+            retry_after_millis: num("retry_after_millis")?,
+        },
+        "campaign_finished" => EventKind::CampaignFinished {
+            campaign: string("campaign")?,
+            outcome: string("outcome")?,
+            shards_run: num("shards_run")?,
+        },
+        "drain_started" => EventKind::DrainStarted { active_campaigns: num("active_campaigns")? },
         "stage_timing" => EventKind::StageTiming {
             stage: {
                 let label = string("stage")?;
@@ -720,6 +928,49 @@ mod tests {
                 shards_total: 3,
                 reason: "deadline".into(),
             },
+            EventKind::LeaseAcquired {
+                campaign: "c-0001".into(),
+                lease_shard: 2,
+                worker: "worker-1".into(),
+                ttl_millis: 500,
+            },
+            EventKind::LeaseRenewed {
+                campaign: "c-0001".into(),
+                lease_shard: 2,
+                worker: "worker-1".into(),
+            },
+            EventKind::LeaseReleased {
+                campaign: "c-0001".into(),
+                lease_shard: 2,
+                worker: "worker-1".into(),
+            },
+            EventKind::LeaseExpired {
+                campaign: "c-0001".into(),
+                lease_shard: 2,
+                worker: "worker-1".into(),
+            },
+            EventKind::LeaseReclaimed {
+                campaign: "c-0001".into(),
+                lease_shard: 2,
+                worker: "worker-1".into(),
+                reclaims: 3,
+            },
+            EventKind::CampaignAdmitted {
+                campaign: "c-0001".into(),
+                tenant: "tenant-a".into(),
+                shards: 4,
+            },
+            EventKind::CampaignRejected {
+                tenant: "tenant-b".into(),
+                reason: "queue_full".into(),
+                retry_after_millis: 250,
+            },
+            EventKind::CampaignFinished {
+                campaign: "c-0001".into(),
+                outcome: "completed".into(),
+                shards_run: 4,
+            },
+            EventKind::DrainStarted { active_campaigns: 2 },
             EventKind::StageTiming {
                 stage: Stage::Reduction,
                 invocations: 1,
@@ -729,7 +980,7 @@ mod tests {
             },
         ];
         for (i, kind) in kinds.into_iter().enumerate() {
-            for shard in [0, 3, MERGE_SHARD, CONTROL_SHARD] {
+            for shard in [0, 3, MERGE_SHARD, CONTROL_SHARD, SERVICE_SHARD] {
                 let e = Event { clock: LogicalClock { shard, seq: i as u64 }, kind: kind.clone() };
                 let back = Event::parse(&e.to_json()).unwrap_or_else(|err| {
                     panic!("{err} for {}", e.to_json());
@@ -756,6 +1007,22 @@ mod tests {
             kind: EventKind::CaseRejected { base: 0, kept: false },
         };
         assert!(!data.is_control());
+    }
+
+    #[test]
+    fn service_events_are_control_and_render_as_minus_three() {
+        let e = Event {
+            clock: LogicalClock { shard: SERVICE_SHARD, seq: 5 },
+            kind: EventKind::LeaseAcquired {
+                campaign: "c-0002".into(),
+                lease_shard: 0,
+                worker: "w-3".into(),
+                ttl_millis: 1000,
+            },
+        };
+        assert!(e.is_control(), "service events are excluded from determinism");
+        assert!(e.to_json().starts_with("{\"shard\":-3,"), "{}", e.to_json());
+        assert_eq!(Event::parse(&e.to_json()).unwrap(), e);
     }
 
     #[test]

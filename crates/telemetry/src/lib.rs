@@ -63,13 +63,18 @@ pub mod frame;
 pub mod json;
 pub mod metrics;
 pub mod progress;
+pub mod retry;
 pub mod sink;
 
 pub use event::{
     event_from_json, Event, EventKind, LogicalClock, Stage, CONTROL_SHARD, MERGE_SHARD,
+    SERVICE_SHARD,
 };
 pub use frame::{crc32, frame_line, parse_frame, read_framed, FrameError, FramedRead};
 pub use json::JsonValue;
 pub use metrics::{CampaignMetrics, CostHistogram, StageMetrics};
 pub use progress::{ProgressHandle, ProgressSnapshot, ShardSnapshot};
-pub use sink::{JsonlRead, JsonlSink, MemorySink, NullSink, Recorder, Sink, SinkHandle};
+pub use retry::RetryPolicy;
+pub use sink::{
+    JsonlRead, JsonlSink, MemorySink, NullSink, Recorder, Sink, SinkError, SinkHandle, SinkHealth,
+};

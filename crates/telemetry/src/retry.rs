@@ -1,0 +1,109 @@
+//! Bounded retry with exponential backoff, shared across the workspace.
+//!
+//! [`RetryPolicy`] started life in `comfort-engines::harness` (PR 3) as the
+//! transient-fault retry knob for testbed runs. The durable telemetry sink
+//! needs the identical policy for write errors — a full disk should degrade
+//! telemetry, never abort a campaign — so the type lives here, in the
+//! dependency-free telemetry crate, and `comfort-engines` re-exports it
+//! under its original path.
+
+/// Retry policy for transient faults (testbed runs, sink writes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Extra attempts after the first (0 disables retry).
+    pub max_retries: u32,
+    /// Base backoff before retry `k` (sleeps `base << (k-1)` ms). Zero —
+    /// the default — keeps simulated campaigns fast and deterministic in
+    /// wall-clock terms.
+    pub backoff_base_millis: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_retries: 2, backoff_base_millis: 0 }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub const NONE: RetryPolicy = RetryPolicy { max_retries: 0, backoff_base_millis: 0 };
+
+    /// The backoff to sleep before retry `attempt` (1-based): `base <<
+    /// (attempt - 1)` milliseconds, saturating.
+    pub fn backoff(&self, attempt: u32) -> std::time::Duration {
+        let shift = attempt.saturating_sub(1).min(20);
+        std::time::Duration::from_millis(self.backoff_base_millis.saturating_mul(1u64 << shift))
+    }
+
+    /// Runs `op` up to `1 + max_retries` times, sleeping the backoff
+    /// between attempts. Returns the first `Ok`, or the last error along
+    /// with the number of retries consumed.
+    pub fn run<T, E>(&self, mut op: impl FnMut() -> Result<T, E>) -> Result<(T, u32), (E, u32)> {
+        let mut attempt = 0u32;
+        loop {
+            match op() {
+                Ok(v) => return Ok((v, attempt)),
+                Err(e) => {
+                    if attempt >= self.max_retries {
+                        return Err((e, attempt));
+                    }
+                    attempt += 1;
+                    let backoff = self.backoff(attempt);
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_retries_until_success() {
+        let policy = RetryPolicy { max_retries: 3, backoff_base_millis: 0 };
+        let mut failures = 2;
+        let result = policy.run(|| {
+            if failures > 0 {
+                failures -= 1;
+                Err("transient")
+            } else {
+                Ok(42)
+            }
+        });
+        assert_eq!(result, Ok((42, 2)));
+    }
+
+    #[test]
+    fn run_surfaces_the_last_error_after_exhaustion() {
+        let policy = RetryPolicy { max_retries: 2, backoff_base_millis: 0 };
+        let mut calls = 0;
+        let result: Result<(u32, u32), _> = policy.run(|| {
+            calls += 1;
+            Err::<u32, _>(calls)
+        });
+        assert_eq!(result, Err((3, 2)), "three attempts: first + two retries");
+    }
+
+    #[test]
+    fn none_never_retries() {
+        let mut calls = 0;
+        let result: Result<((), u32), _> = RetryPolicy::NONE.run(|| {
+            calls += 1;
+            Err::<(), _>("boom")
+        });
+        assert_eq!(result, Err(("boom", 0)));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn backoff_doubles_per_attempt() {
+        let policy = RetryPolicy { max_retries: 4, backoff_base_millis: 3 };
+        assert_eq!(policy.backoff(1).as_millis(), 3);
+        assert_eq!(policy.backoff(2).as_millis(), 6);
+        assert_eq!(policy.backoff(3).as_millis(), 12);
+    }
+}

@@ -13,6 +13,58 @@ use std::io::Write;
 use std::sync::{Arc, Mutex};
 
 use crate::event::{Event, EventKind, LogicalClock};
+use crate::retry::RetryPolicy;
+
+/// A durable-sink failure, surfaced as a typed value instead of being
+/// silently swallowed. Telemetry writes stay best-effort — a full disk
+/// degrades observability, never aborts a campaign — but every degradation
+/// is now counted and queryable through [`JsonlSink::health`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SinkError {
+    /// The underlying writer kept failing after `retries` extra attempts.
+    Write {
+        /// Retries consumed before giving up (bounded by the sink's
+        /// [`RetryPolicy`]).
+        retries: u32,
+        /// The final I/O error, rendered.
+        message: String,
+    },
+    /// The event could not be framed for the crash-safe journal format.
+    Frame(String),
+}
+
+impl std::fmt::Display for SinkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SinkError::Write { retries, message } => {
+                write!(f, "sink write failed after {retries} retries: {message}")
+            }
+            SinkError::Frame(msg) => write!(f, "sink framing failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SinkError {}
+
+/// Health counters for a durable sink, updated on every failed write.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SinkHealth {
+    /// Events dropped after exhausting the retry budget.
+    pub events_dropped: u64,
+    /// Total retry attempts consumed (including those that eventually
+    /// succeeded).
+    pub retries: u64,
+    /// The most recent error, when any write has ever failed.
+    pub last_error: Option<SinkError>,
+}
+
+impl SinkHealth {
+    /// `true` once at least one event has been dropped — the stream on disk
+    /// is no longer complete.
+    pub fn degraded(&self) -> bool {
+        self.events_dropped > 0
+    }
+}
 
 /// Consumes telemetry events. Implementations must be thread-safe: shards
 /// run in parallel and the executor flushes completed shard streams from
@@ -116,12 +168,19 @@ pub struct JsonlRead {
 pub struct JsonlSink {
     out: Arc<Mutex<Box<dyn Write + Send>>>,
     framed: bool,
+    retry: RetryPolicy,
+    health: Arc<Mutex<SinkHealth>>,
 }
 
 impl JsonlSink {
     /// Wraps a writer.
     pub fn new(writer: impl Write + Send + 'static) -> Self {
-        JsonlSink { out: Arc::new(Mutex::new(Box::new(writer))), framed: false }
+        JsonlSink {
+            out: Arc::new(Mutex::new(Box::new(writer))),
+            framed: false,
+            retry: RetryPolicy::default(),
+            health: Arc::new(Mutex::new(SinkHealth::default())),
+        }
     }
 
     /// Creates (truncating) a JSONL file at `path`. Buffered; flushed and
@@ -136,7 +195,69 @@ impl JsonlSink {
     /// `write` call, so at most the final line can be torn by a crash.
     pub fn create_framed(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
         let file = SyncOnDropFile { file: std::fs::File::create(path)? };
-        Ok(JsonlSink { out: Arc::new(Mutex::new(Box::new(file))), framed: true })
+        Ok(JsonlSink {
+            out: Arc::new(Mutex::new(Box::new(file))),
+            framed: true,
+            retry: RetryPolicy::default(),
+            health: Arc::new(Mutex::new(SinkHealth::default())),
+        })
+    }
+
+    /// Overrides the bounded retry applied to failing writes (default:
+    /// [`RetryPolicy::default`], two zero-backoff retries).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// A snapshot of the sink's write-failure counters. Shared across
+    /// clones, so the campaign can hand a clone to the executor and query
+    /// degradation afterwards.
+    pub fn health(&self) -> SinkHealth {
+        self.health.lock().expect("jsonl sink poisoned").clone()
+    }
+
+    /// Writes one event, retrying transient failures under the sink's
+    /// [`RetryPolicy`]. On exhaustion the typed error is returned *and*
+    /// recorded in [`JsonlSink::health`]; the stream on disk is missing
+    /// the event but remains well-formed.
+    pub fn try_emit(&self, event: &Event) -> Result<(), SinkError> {
+        let line = if self.framed {
+            match crate::frame::frame_line(&event.to_json()) {
+                Ok(line) => line,
+                Err(e) => {
+                    let err = SinkError::Frame(e.to_string());
+                    self.record_failure(err.clone());
+                    return Err(err);
+                }
+            }
+        } else {
+            let mut line = event.to_json();
+            line.push('\n');
+            line
+        };
+        let mut out = self.out.lock().expect("jsonl sink poisoned");
+        match self.retry.run(|| out.write_all(line.as_bytes())) {
+            Ok(((), retries)) => {
+                if retries > 0 {
+                    self.health.lock().expect("jsonl sink poisoned").retries += retries as u64;
+                }
+                Ok(())
+            }
+            Err((io, retries)) => {
+                drop(out);
+                self.health.lock().expect("jsonl sink poisoned").retries += retries as u64;
+                let err = SinkError::Write { retries, message: io.to_string() };
+                self.record_failure(err.clone());
+                Err(err)
+            }
+        }
+    }
+
+    fn record_failure(&self, err: SinkError) {
+        let mut health = self.health.lock().expect("jsonl sink poisoned");
+        health.events_dropped += 1;
+        health.last_error = Some(err);
     }
 
     /// Loads an event stream written by this sink (framed or plain),
@@ -196,16 +317,9 @@ impl std::fmt::Debug for JsonlSink {
 
 impl Sink for JsonlSink {
     fn emit(&self, event: &Event) {
-        let mut out = self.out.lock().expect("jsonl sink poisoned");
-        // A full pipe/disk is not a reason to abort a campaign; telemetry
-        // writes are best-effort.
-        if self.framed {
-            if let Ok(line) = crate::frame::frame_line(&event.to_json()) {
-                let _ = out.write_all(line.as_bytes());
-            }
-        } else {
-            let _ = writeln!(out, "{}", event.to_json());
-        }
+        // A full pipe/disk is not a reason to abort a campaign; the error
+        // is retried, then counted in `health` rather than propagated.
+        let _ = self.try_emit(event);
     }
 }
 
@@ -378,6 +492,85 @@ mod tests {
         assert_eq!(read.events.len(), 1);
         assert!(read.tail_error.is_some());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A writer that fails its first `failures` writes, then succeeds.
+    #[derive(Clone)]
+    struct FlakyWriter {
+        failures: Arc<Mutex<u32>>,
+        written: Arc<Mutex<Vec<u8>>>,
+    }
+
+    impl FlakyWriter {
+        fn new(failures: u32) -> Self {
+            FlakyWriter {
+                failures: Arc::new(Mutex::new(failures)),
+                written: Arc::new(Mutex::new(Vec::new())),
+            }
+        }
+    }
+
+    impl Write for FlakyWriter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            let mut left = self.failures.lock().unwrap();
+            if *left > 0 {
+                *left -= 1;
+                return Err(std::io::Error::other("disk full"));
+            }
+            self.written.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_retries_transient_write_failures() {
+        let writer = FlakyWriter::new(2);
+        let sink = JsonlSink::new(writer.clone())
+            .with_retry(RetryPolicy { max_retries: 3, backoff_base_millis: 0 });
+        sink.try_emit(&Event {
+            clock: LogicalClock { shard: 0, seq: 0 },
+            kind: EventKind::CaseRejected { base: 1, kept: false },
+        })
+        .expect("retry should absorb two transient failures");
+        let health = sink.health();
+        assert_eq!(health.retries, 2);
+        assert_eq!(health.events_dropped, 0);
+        assert!(!health.degraded());
+        assert!(!writer.written.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn jsonl_sink_exhausted_retries_degrade_without_aborting() {
+        let writer = FlakyWriter::new(u32::MAX);
+        let sink = JsonlSink::new(writer)
+            .with_retry(RetryPolicy { max_retries: 2, backoff_base_millis: 0 });
+        let event = Event {
+            clock: LogicalClock { shard: 0, seq: 0 },
+            kind: EventKind::CaseRejected { base: 1, kept: false },
+        };
+        // The Sink-trait path must not panic or propagate.
+        sink.emit(&event);
+        let err = sink.try_emit(&event).expect_err("writer always fails");
+        assert!(matches!(err, SinkError::Write { retries: 2, .. }), "got {err:?}");
+        let health = sink.health();
+        assert_eq!(health.events_dropped, 2);
+        assert_eq!(health.retries, 4);
+        assert!(health.degraded());
+        assert!(health.last_error.unwrap().to_string().contains("disk full"));
+    }
+
+    #[test]
+    fn sink_health_is_shared_across_clones() {
+        let sink = JsonlSink::new(FlakyWriter::new(u32::MAX)).with_retry(RetryPolicy::NONE);
+        let clone = sink.clone();
+        clone.emit(&Event {
+            clock: LogicalClock { shard: 0, seq: 0 },
+            kind: EventKind::CaseRejected { base: 1, kept: false },
+        });
+        assert!(sink.health().degraded());
     }
 
     #[test]

@@ -1,0 +1,193 @@
+//! Service crash-recovery demo: a `comfortd`-style daemon process hosts
+//! two tenants' journaled campaigns and is **SIGKILLed** mid-run — no
+//! drain, no cleanup, the worst-case crash. A second daemon life on the
+//! same socket resubmits the same specs, adopts the journals (and any
+//! orphaned leases) left behind, finishes only the missing shards, and
+//! must report checksums **bit-identical** to plain in-process library
+//! runs of the same specs. The process exits nonzero on any mismatch, so
+//! CI runs this as the service-layer durability check.
+//!
+//! ```text
+//! cargo run --release --example service_campaign
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use comfort::core::checkpoint::report_checksum;
+use comfort::core::session::CampaignSession;
+use comfort::lm::GeneratorConfig;
+use comfort::service::{CampaignSpec, Client, Daemon, Request, Server, ServiceConfig};
+use comfort::telemetry::json::JsonValue;
+
+fn spec(tenant: &str, seed: u64, journal: Option<&Path>) -> CampaignSpec {
+    CampaignSpec {
+        tenant: tenant.to_string(),
+        seed: Some(seed),
+        corpus_programs: Some(80),
+        lm: Some(GeneratorConfig { order: 8, bpe_merges: 200, top_k: 10, max_tokens: 800 }),
+        max_cases: Some(45),
+        shard_cases: Some(15), // 3 shards — the kill lands between checkpoints
+        fuel: Some(200_000),
+        include_strict: Some(false),
+        include_legacy: Some(false),
+        reduce_cases: Some(false),
+        checkpoint: journal.map(|p| p.display().to_string()),
+        ..CampaignSpec::default()
+    }
+}
+
+/// Daemon mode: host the worker pool behind the control socket until a
+/// drain request stops the server (the graceful path); the first daemon
+/// life never gets that far — the parent SIGKILLs it.
+fn daemon_process(socket: &Path) -> ! {
+    let daemon = Daemon::start(ServiceConfig { workers: 2, ..ServiceConfig::default() });
+    let server = Server::serve(daemon, socket).expect("bind control socket");
+    server.wait();
+    server.stop();
+    std::process::exit(0);
+}
+
+fn spawn_daemon(socket: &Path) -> std::process::Child {
+    let exe = std::env::current_exe().expect("current exe");
+    std::process::Command::new(exe)
+        .arg("--daemon")
+        .arg(socket)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::inherit())
+        .spawn()
+        .expect("spawn daemon process")
+}
+
+fn submit(client: &mut Client, spec: &CampaignSpec) -> String {
+    let response =
+        client.request(&Request::Submit(Box::new(spec.clone()))).expect("submit round-trips");
+    if response.get("ok").and_then(JsonValue::as_bool) != Some(true) {
+        eprintln!("FAIL: submission rejected: {}", response.to_json());
+        std::process::exit(1);
+    }
+    response.get("campaign").and_then(JsonValue::as_str).expect("campaign id").to_string()
+}
+
+/// Polls one campaign over the wire until it is terminal; returns its
+/// final status object.
+fn wait_terminal(client: &mut Client, id: &str) -> JsonValue {
+    loop {
+        let response =
+            client.request(&Request::Status(Some(id.to_string()))).expect("status round-trips");
+        let campaign = response.get("campaign").expect("campaign status").clone();
+        let state = campaign.get("state").and_then(JsonValue::as_str).unwrap_or("");
+        if matches!(state, "completed" | "cancelled" | "failed") {
+            return campaign;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn checksum_of(status: &JsonValue) -> u64 {
+    let hex = status.get("checksum").and_then(JsonValue::as_str).unwrap_or_else(|| {
+        eprintln!("FAIL: terminal status has no checksum: {}", status.to_json());
+        std::process::exit(1);
+    });
+    u64::from_str_radix(hex, 16).expect("hex checksum")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() == 3 && args[1] == "--daemon" {
+        daemon_process(Path::new(&args[2]));
+    }
+
+    let pid = std::process::id();
+    let socket = std::env::temp_dir().join(format!("cmf-svc-{pid}.sock"));
+    let journal_a: PathBuf = std::env::temp_dir().join(format!("cmf-svc-{pid}-a.ckpt"));
+    let journal_b: PathBuf = std::env::temp_dir().join(format!("cmf-svc-{pid}-b.ckpt"));
+    std::fs::remove_file(&journal_a).ok();
+    std::fs::remove_file(&journal_b).ok();
+
+    let spec_a = spec("acme", 7, Some(&journal_a));
+    let spec_b = spec("umbrella", 8, Some(&journal_b));
+
+    println!("phase 1: uninterrupted library baselines for both tenants…");
+    let baseline = |s: &CampaignSpec| {
+        let config = spec(&s.tenant, s.seed.unwrap(), None).build_config().expect("valid spec");
+        let report = CampaignSession::new(config).run_with_threads(1).expect("library run");
+        report_checksum(&report)
+    };
+    let baseline_a = baseline(&spec_a);
+    let baseline_b = baseline(&spec_b);
+
+    println!("phase 2: daemon life #1 takes both submissions and is SIGKILLed mid-run…");
+    let mut first_life = spawn_daemon(&socket);
+    let mut client =
+        Client::connect_with_retry(&socket, Duration::from_secs(30)).expect("daemon came up");
+    submit(&mut client, &spec_a);
+    submit(&mut client, &spec_b);
+
+    // Kill once at least one shard has durably checkpointed, so the
+    // second life has both salvage work and re-run work to do.
+    loop {
+        let response = client.request(&Request::Status(None)).expect("status round-trips");
+        let campaigns = match response.get("campaigns") {
+            Some(JsonValue::Array(items)) => items.clone(),
+            _ => Vec::new(),
+        };
+        let shards_done: i128 = campaigns
+            .iter()
+            .filter_map(|c| c.get("shards_done").and_then(JsonValue::as_i128))
+            .sum();
+        if shards_done >= 1 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    first_life.kill().expect("SIGKILL daemon");
+    first_life.wait().expect("reap daemon");
+    println!("  killed with at least one shard checkpointed\n");
+
+    println!("phase 3: daemon life #2 adopts the journals and finishes the work…");
+    let mut second_life = spawn_daemon(&socket);
+    let mut client =
+        Client::connect_with_retry(&socket, Duration::from_secs(30)).expect("daemon restarted");
+    let id_a = submit(&mut client, &spec_a);
+    let id_b = submit(&mut client, &spec_b);
+    let status_a = wait_terminal(&mut client, &id_a);
+    let status_b = wait_terminal(&mut client, &id_b);
+
+    println!("phase 4: graceful drain over the wire…");
+    let drained = client.request(&Request::Drain).expect("drain round-trips");
+    if drained.get("drained").and_then(JsonValue::as_bool) != Some(true) {
+        eprintln!("FAIL: drain did not certify a clean stop: {}", drained.to_json());
+        std::process::exit(1);
+    }
+    let exit = second_life.wait().expect("reap drained daemon");
+    std::fs::remove_file(&journal_a).ok();
+    std::fs::remove_file(&journal_b).ok();
+
+    let mut failed = false;
+    for (tenant, status, want) in
+        [("acme", &status_a, baseline_a), ("umbrella", &status_b, baseline_b)]
+    {
+        let state = status.get("state").and_then(JsonValue::as_str).unwrap_or("");
+        let resumed = status.get("resumed").and_then(JsonValue::as_bool) == Some(true);
+        let got = checksum_of(status);
+        if state != "completed" || !resumed || got != want {
+            eprintln!(
+                "FAIL: {tenant}: state={state} resumed={resumed} checksum={got:016x} (want {want:016x})"
+            );
+            failed = true;
+        } else {
+            println!(
+                "  {tenant}: resumed across the crash, checksum {got:016x} matches the library run"
+            );
+        }
+    }
+    if !exit.success() {
+        eprintln!("FAIL: drained daemon exited with {exit}");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("\nboth tenants' resumed reports are bit-identical to uninterrupted library runs");
+}

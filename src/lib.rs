@@ -22,6 +22,9 @@
 //!   baseline fuzzers.
 //! * [`telemetry`] — structured campaign telemetry: typed events, sinks,
 //!   per-stage metrics, and a live progress handle.
+//! * [`service`] — the supervised multi-tenant campaign daemon behind the
+//!   `comfortd`/`comfortctl` binaries: lease-based shards, heartbeats,
+//!   crash recovery, admission control, and graceful drain.
 //!
 //! # Quickstart
 //!
@@ -42,6 +45,7 @@ pub use comfort_engines as engines;
 pub use comfort_interp as interp;
 pub use comfort_lm as lm;
 pub use comfort_regex as regex;
+pub use comfort_service as service;
 pub use comfort_syntax as syntax;
 pub use comfort_telemetry as telemetry;
 
