@@ -142,6 +142,8 @@ pub fn config_fingerprint(config: &CampaignConfig) -> u64 {
     fp.mix_bool(config.chaos.is_some());
     if let Some(chaos) = &config.chaos {
         fp.mix_u64(chaos.plan.seed);
+        fp.mix_f64(chaos.plan.abort_rate);
+        fp.mix_u64(chaos.plan.abort_signal as u64);
         fp.mix_f64(chaos.plan.panic_rate);
         fp.mix_f64(chaos.plan.hang_rate);
         fp.mix_f64(chaos.plan.garbage_rate);
@@ -541,7 +543,13 @@ impl CheckpointJournal {
         fingerprint: u64,
         shards_total: u64,
     ) -> Result<CheckpointJournal, CheckpointError> {
-        let file = std::fs::File::create(path)?;
+        // `O_APPEND` from birth: a supervisor that later shares this
+        // journal with worker processes must never write at a private
+        // offset — every handle's writes must land atomically at
+        // end-of-file. Truncate first (O_TRUNC and O_APPEND cannot be
+        // combined portably), then reopen in append mode.
+        std::fs::File::create(path)?;
+        let file = std::fs::OpenOptions::new().append(true).open(path)?;
         let journal = CheckpointJournal { path: path.to_path_buf(), file: Mutex::new(file) };
         let header = format!(
             "{{\"kind\":\"header\",\"version\":{JOURNAL_VERSION},\"fingerprint\":{fingerprint},\"shards\":{shards_total}}}"
@@ -558,12 +566,22 @@ impl CheckpointJournal {
         path: &Path,
         recovery: &RecoveryReport,
     ) -> Result<CheckpointJournal, CheckpointError> {
-        let file = std::fs::OpenOptions::new().read(true).write(true).open(path)?;
         if recovery.dropped_tail_bytes > 0 {
-            file.set_len(recovery.journal_bytes - recovery.dropped_tail_bytes)?;
+            let repair = std::fs::OpenOptions::new().write(true).open(path)?;
+            repair.set_len(recovery.journal_bytes - recovery.dropped_tail_bytes)?;
         }
-        let mut file = file;
-        file.seek_to_end()?;
+        // `O_APPEND`: the kernel positions every write at end-of-file
+        // atomically, so appends from this handle interleave safely with a
+        // worker process appending to the same journal.
+        CheckpointJournal::open_append_shared(path)
+    }
+
+    /// Opens an existing journal for append-only writes *without* torn-tail
+    /// repair — the opener for worker processes appending concurrently with
+    /// a supervisor. Truncation is the supervisor's job (done before any
+    /// worker is spawned); a worker must never resize a shared journal.
+    pub fn open_append_shared(path: &Path) -> Result<CheckpointJournal, CheckpointError> {
+        let file = std::fs::OpenOptions::new().append(true).open(path)?;
         Ok(CheckpointJournal { path: path.to_path_buf(), file: Mutex::new(file) })
     }
 
@@ -590,18 +608,6 @@ impl CheckpointJournal {
     /// The journal's path.
     pub fn path(&self) -> &Path {
         &self.path
-    }
-}
-
-/// Seek-to-end without pulling `std::io::Seek` into every caller.
-trait SeekToEnd {
-    fn seek_to_end(&mut self) -> std::io::Result<()>;
-}
-
-impl SeekToEnd for std::fs::File {
-    fn seek_to_end(&mut self) -> std::io::Result<()> {
-        use std::io::Seek as _;
-        self.seek(std::io::SeekFrom::End(0)).map(|_| ())
     }
 }
 

@@ -17,6 +17,11 @@ use std::hash::{Hash, Hasher};
 /// bands overlap a single draw).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultKind {
+    /// A fatal signal (SIGABRT-class). In a jailed worker process this
+    /// raises the real signal and kills the process; contained in-process
+    /// it panics with a [`ChaosAbort`] payload that the harness maps to
+    /// the identical deterministic `Crashed` outcome.
+    Abort,
     /// `panic!` inside the run (simulates a harness-visible engine abort).
     Panic,
     /// The run wedges (sleeps) and reports itself hung.
@@ -32,6 +37,7 @@ impl FaultKind {
     /// Stable label used in telemetry and logs.
     pub fn as_str(self) -> &'static str {
         match self {
+            FaultKind::Abort => "abort",
             FaultKind::Panic => "panic",
             FaultKind::Hang => "hang",
             FaultKind::Garbage => "garbage",
@@ -48,6 +54,40 @@ impl FaultKind {
 pub struct ChaosPanic {
     /// Label of the testbed that injected the panic.
     pub testbed: String,
+}
+
+/// The panic payload for a *contained* abort fault: in-process runs must
+/// not actually die, but they must report the same deterministic fatal
+/// outcome a jailed worker process observes when the signal is real. The
+/// harness maps this payload to `Crashed("fatal signal N (NAME) on L")`.
+#[derive(Debug)]
+pub struct ChaosAbort {
+    /// Label of the testbed that injected the abort.
+    pub testbed: String,
+    /// The fatal signal number the abort simulates (6 = SIGABRT).
+    pub signal: i32,
+}
+
+/// Stable name for the signals the chaos planner and the fleet supervisor
+/// classify (anything else renders as `SIG<n>` by number only).
+pub fn signal_name(signal: i32) -> &'static str {
+    match signal {
+        4 => "SIGILL",
+        6 => "SIGABRT",
+        8 => "SIGFPE",
+        9 => "SIGKILL",
+        11 => "SIGSEGV",
+        15 => "SIGTERM",
+        24 => "SIGXCPU",
+        _ => "SIG?",
+    }
+}
+
+/// The deterministic `Crashed` detail string for a fatal signal on a
+/// testbed — shared by the contained in-process path and the jailed
+/// worker path so both produce bit-identical reports.
+pub fn fatal_signal_message(signal: i32, testbed: &str) -> String {
+    format!("fatal signal {signal} ({}) on {testbed}", signal_name(signal))
 }
 
 /// A raw fault surfaced by [`Testbed::run_attempt`](crate::Testbed::run_attempt)
@@ -80,6 +120,11 @@ pub struct FaultPlan {
     /// Plan seed. [`FaultPlan::DERIVE`] means "derive from the campaign
     /// seed" when the plan is attached through a campaign config.
     pub seed: u64,
+    /// Probability a run dies by (or, contained, simulates) a fatal
+    /// signal. Checked before every other band.
+    pub abort_rate: f64,
+    /// The signal an abort fault raises (default 6 = SIGABRT).
+    pub abort_signal: i32,
     /// Probability a run panics.
     pub panic_rate: f64,
     /// Probability a run wedges.
@@ -106,6 +151,8 @@ impl FaultPlan {
     pub fn new(seed: u64) -> Self {
         FaultPlan {
             seed,
+            abort_rate: 0.0,
+            abort_signal: 6,
             panic_rate: 0.0,
             hang_rate: 0.0,
             garbage_rate: 0.0,
@@ -120,6 +167,18 @@ impl FaultPlan {
     /// "the chaos schedule" is a pure function of the campaign config.
     pub fn derived_from(campaign_seed: u64) -> Self {
         FaultPlan::new(splitmix64(campaign_seed ^ 0xC4A0_5C4A_05C4_A05C))
+    }
+
+    /// Sets the fatal-signal probability.
+    pub fn abort_rate(mut self, rate: f64) -> Self {
+        self.abort_rate = rate;
+        self
+    }
+
+    /// Sets the signal an abort fault raises.
+    pub fn abort_signal(mut self, signal: i32) -> Self {
+        self.abort_signal = signal;
+        self
     }
 
     /// Sets the panic probability.
@@ -161,7 +220,13 @@ impl FaultPlan {
     /// `true` when every rate lies in `[0, 1]` and their sum does too
     /// (the bands must fit one uniform draw).
     pub fn rates_valid(&self) -> bool {
-        let rates = [self.panic_rate, self.hang_rate, self.garbage_rate, self.transient_rate];
+        let rates = [
+            self.abort_rate,
+            self.panic_rate,
+            self.hang_rate,
+            self.garbage_rate,
+            self.transient_rate,
+        ];
         rates.iter().all(|r| (0.0..=1.0).contains(r) && r.is_finite())
             && rates.iter().sum::<f64>() <= 1.0
     }
@@ -171,7 +236,11 @@ impl FaultPlan {
     /// never of wall-clock time or scheduling.
     pub fn decide(&self, program: &Program, attempt: u32) -> Option<FaultKind> {
         let draw = self.draw(program);
-        let mut band = self.panic_rate;
+        let mut band = self.abort_rate;
+        if draw < band {
+            return Some(FaultKind::Abort);
+        }
+        band += self.panic_rate;
         if draw < band {
             return Some(FaultKind::Panic);
         }
@@ -250,10 +319,29 @@ mod tests {
     #[test]
     fn rate_bands_partition_in_order() {
         // A certain-fault plan: the first band wins.
+        let plan = FaultPlan::new(1).abort_rate(1.0);
+        assert_eq!(plan.decide(&program("print(1);"), 0), Some(FaultKind::Abort));
         let plan = FaultPlan::new(1).panic_rate(1.0);
         assert_eq!(plan.decide(&program("print(1);"), 0), Some(FaultKind::Panic));
         let plan = FaultPlan::new(1).hang_rate(1.0);
         assert_eq!(plan.decide(&program("print(1);"), 0), Some(FaultKind::Hang));
+        // Abort outranks panic on the same draw.
+        let plan = FaultPlan::new(1).abort_rate(1.0).panic_rate(1.0);
+        assert!(!plan.rates_valid(), "bands exceed one draw");
+        let plan = FaultPlan::new(1).abort_rate(0.5).panic_rate(0.5);
+        assert!(plan.rates_valid());
+    }
+
+    #[test]
+    fn fatal_signal_messages_are_deterministic_and_named() {
+        assert_eq!(
+            fatal_signal_message(6, "jsc-sim [chaos]"),
+            fatal_signal_message(6, "jsc-sim [chaos]")
+        );
+        assert!(fatal_signal_message(6, "t").contains("SIGABRT"));
+        assert!(fatal_signal_message(11, "t").contains("SIGSEGV"));
+        assert!(fatal_signal_message(9, "t").contains("SIGKILL"));
+        assert!(fatal_signal_message(64, "t").contains("SIG?"));
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! The chunk is an `Arc`, so handing a run to the watchdog thread costs a
 //! reference-count bump instead of a deep program clone.
 
-use crate::chaos::{ChaosPanic, RawFault};
+use crate::chaos::{fatal_signal_message, ChaosAbort, ChaosPanic, RawFault};
 use crate::Testbed;
 use comfort_interp::{compile, CompiledChunk, RunOptions, RunResult, RunStatus};
 use comfort_syntax::Program;
@@ -106,7 +106,9 @@ pub fn silence_chaos_panics() {
     INSTALLED.get_or_init(|| {
         let previous = panic::take_hook();
         panic::set_hook(Box::new(move |info| {
-            if info.payload().downcast_ref::<ChaosPanic>().is_none() {
+            if info.payload().downcast_ref::<ChaosPanic>().is_none()
+                && info.payload().downcast_ref::<ChaosAbort>().is_none()
+            {
                 previous(info);
             }
         }));
@@ -244,6 +246,8 @@ fn raw_to_execution(raw: Result<RunResult, RawFault>) -> Execution {
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(chaos) = payload.downcast_ref::<ChaosPanic>() {
         format!("injected chaos panic on {}", chaos.testbed)
+    } else if let Some(abort) = payload.downcast_ref::<ChaosAbort>() {
+        fatal_signal_message(abort.signal, &abort.testbed)
     } else if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

@@ -38,7 +38,9 @@ mod profile;
 pub mod registry;
 
 pub use catalog::{quota, ApiType, BugId, Component, Discovery, Effect, SeededBug, Trigger};
-pub use chaos::{ChaosPanic, FaultKind, FaultPlan, RawFault};
+pub use chaos::{
+    fatal_signal_message, signal_name, ChaosAbort, ChaosPanic, FaultKind, FaultPlan, RawFault,
+};
 #[allow(deprecated)]
 pub use harness::run_isolated;
 pub use harness::{
@@ -234,6 +236,17 @@ impl Testbed {
     ) -> Result<RunResult, RawFault> {
         if let Some(plan) = &self.chaos {
             match plan.decide(&chunk.program, attempt) {
+                Some(FaultKind::Abort) => {
+                    if chaos_signals_are_real() {
+                        // A jailed worker process dies for real so the
+                        // supervisor can exercise signal-death handling.
+                        raise_fatal_signal(plan.abort_signal);
+                    }
+                    std::panic::panic_any(chaos::ChaosAbort {
+                        testbed: self.label(),
+                        signal: plan.abort_signal,
+                    })
+                }
                 Some(FaultKind::Panic) => {
                     std::panic::panic_any(ChaosPanic { testbed: self.label() })
                 }
@@ -273,6 +286,38 @@ impl Testbed {
     ) -> Result<RunResult, RawFault> {
         self.run_attempt_compiled(&compile(program), options, attempt)
     }
+}
+
+/// Process-wide "chaos signals are real" flag. Jailed worker processes set
+/// this (`comfortd --worker-once --jail`) so injected abort faults raise
+/// the actual signal and kill the process — the whole point of process
+/// isolation. Everywhere else abort faults are contained panics with a
+/// deterministic `Crashed` outcome.
+static CHAOS_SIGNALS_REAL: std::sync::atomic::AtomicBool =
+    std::sync::atomic::AtomicBool::new(false);
+
+/// Makes injected abort faults raise their real signal in this process.
+pub fn arm_real_chaos_signals() {
+    CHAOS_SIGNALS_REAL.store(true, std::sync::atomic::Ordering::SeqCst);
+}
+
+/// `true` when [`arm_real_chaos_signals`] was called in this process.
+pub fn chaos_signals_are_real() -> bool {
+    CHAOS_SIGNALS_REAL.load(std::sync::atomic::Ordering::SeqCst)
+}
+
+/// Raises `signal` on the current process. `std` links libc, so the raw
+/// extern resolves without adding a dependency (same pattern as the
+/// `signal()` handler registration in `comfortd`).
+fn raise_fatal_signal(signal: i32) {
+    extern "C" {
+        fn raise(sig: i32) -> i32;
+    }
+    unsafe {
+        raise(signal);
+    }
+    // SIGKILL/SIGABRT never return; for ignorable signals fall through to
+    // the contained panic path so the run still fails deterministically.
 }
 
 /// All 102 testbeds (Table 1 × {normal, strict}).

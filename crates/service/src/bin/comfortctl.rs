@@ -17,6 +17,7 @@
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
 use comfort_core::checkpoint::CampaignCheckpoint;
 use comfort_core::report::journal_report;
@@ -69,10 +70,14 @@ fn main() -> ExitCode {
     let Some(command) = args.get(2).map(String::as_str) else {
         return usage();
     };
-    let mut client = match Client::connect(&socket) {
+    // Bounded connect retry: the daemon binds its socket asynchronously
+    // after start, so a just-launched `comfortctl` backs off briefly
+    // instead of failing on the first ECONNREFUSED — but a daemon that is
+    // simply not there fails in bounded time.
+    let mut client = match Client::connect_with_retry(&socket, Duration::from_millis(500)) {
         Ok(client) => client,
         Err(e) => {
-            eprintln!("comfortctl: cannot connect to {}: {e}", socket.display());
+            eprintln!("comfortctl: cannot connect to {e}");
             return ExitCode::FAILURE;
         }
     };

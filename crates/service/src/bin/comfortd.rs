@@ -4,22 +4,33 @@
 //! comfortd --socket PATH [--workers N] [--ttl-millis N] [--heartbeat-millis N]
 //!          [--max-active N] [--tenant-quota N] [--retry-after-millis N]
 //!          [--service-log PATH]
+//! comfortd --fleet --spec FILE [--pool N] [--ttl-millis N] [--heartbeat-millis N]
 //! comfortd --worker-once --spec FILE --worker LABEL [--ttl-millis N] [--hold-millis N]
+//!          [--shard N --lease-seq N] [--probe --shard N [--limit-cases N]]
+//!          [--jail] [--heartbeat-millis N]
 //! ```
 //!
 //! The daemon serves the length-prefixed JSON control protocol on a Unix
 //! socket (drive it with `comfortctl`). SIGTERM triggers a graceful
 //! drain: stop leasing, finish and checkpoint in-flight shards, flush
-//! telemetry, exit 0. `--worker-once` instead runs a single journalled
-//! shard under a lease and exits — the crash-recovery harness's SIGKILL
-//! target.
+//! telemetry, exit 0.
+//!
+//! `--worker-once` runs a single journalled shard and exits. Failures
+//! map to classifiable exit codes so a supervisor can tell a lost lease
+//! race from a broken journal without parsing stderr: 10 spec, 11
+//! journal, 12 lease, 13 exec, 14 idle (every shard already committed).
+//!
+//! `--fleet` runs one campaign to completion under the multi-process
+//! worker fleet: each pool slot forks a jailed `comfortd --worker-once`
+//! child per shard and babysits it (see the `fleet` module docs).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
-use comfort_service::daemon::{Daemon, ServiceConfig};
+use comfort_service::daemon::{Daemon, IsolationMode, ServiceConfig};
+use comfort_service::fleet::ProcessJail;
 use comfort_service::server::Server;
 use comfort_service::spec::CampaignSpec;
 use comfort_service::worker::{run_worker_once, WorkerOnceOptions};
@@ -52,10 +63,18 @@ fn usage() -> ExitCode {
         "usage: comfortd --socket PATH [--workers N] [--ttl-millis N] \
          [--heartbeat-millis N] [--max-active N] [--tenant-quota N] \
          [--retry-after-millis N] [--service-log PATH]\n\
+         \x20      comfortd --fleet --spec FILE [--pool N] [--ttl-millis N]\n\
          \x20      comfortd --worker-once --spec FILE --worker LABEL \
-         [--ttl-millis N] [--hold-millis N]"
+         [--ttl-millis N] [--hold-millis N] [--shard N --lease-seq N] \
+         [--probe] [--limit-cases N] [--jail] [--heartbeat-millis N]"
     );
     ExitCode::from(2)
+}
+
+fn load_spec(spec_path: &PathBuf) -> Result<CampaignSpec, String> {
+    let text = std::fs::read_to_string(spec_path)
+        .map_err(|e| format!("cannot read {}: {e}", spec_path.display()))?;
+    CampaignSpec::from_json_str(&text).map_err(|e| e.to_string())
 }
 
 fn main() -> ExitCode {
@@ -64,10 +83,18 @@ fn main() -> ExitCode {
     let mut cfg = ServiceConfig::default();
     let mut service_log: Option<PathBuf> = None;
     let mut worker_once = false;
+    let mut fleet = false;
+    let mut pool: Option<usize> = None;
     let mut spec_path: Option<PathBuf> = None;
     let mut worker_label = "worker-once".to_string();
     let mut ttl_millis = cfg.lease_ttl.as_millis() as u64;
     let mut hold_millis = 0u64;
+    let mut heartbeat_millis: Option<u64> = None;
+    let mut shard: Option<u64> = None;
+    let mut lease_seq: Option<u64> = None;
+    let mut probe = false;
+    let mut limit_cases: Option<usize> = None;
+    let mut jail = false;
 
     let mut i = 0;
     while i < args.len() {
@@ -80,9 +107,7 @@ fn main() -> ExitCode {
                 "--socket" => socket = Some(PathBuf::from(take(&mut i)?)),
                 "--workers" => cfg.workers = take(&mut i)?.parse().ok()?,
                 "--ttl-millis" => ttl_millis = take(&mut i)?.parse().ok()?,
-                "--heartbeat-millis" => {
-                    cfg.heartbeat = Duration::from_millis(take(&mut i)?.parse().ok()?)
-                }
+                "--heartbeat-millis" => heartbeat_millis = Some(take(&mut i)?.parse().ok()?),
                 "--max-active" => cfg.max_active = take(&mut i)?.parse().ok()?,
                 "--tenant-quota" => cfg.tenant_quota = take(&mut i)?.parse().ok()?,
                 "--retry-after-millis" => {
@@ -90,9 +115,16 @@ fn main() -> ExitCode {
                 }
                 "--service-log" => service_log = Some(PathBuf::from(take(&mut i)?)),
                 "--worker-once" => worker_once = true,
+                "--fleet" => fleet = true,
+                "--pool" => pool = Some(take(&mut i)?.parse().ok()?),
                 "--spec" => spec_path = Some(PathBuf::from(take(&mut i)?)),
                 "--worker" => worker_label = take(&mut i)?,
                 "--hold-millis" => hold_millis = take(&mut i)?.parse().ok()?,
+                "--shard" => shard = Some(take(&mut i)?.parse().ok()?),
+                "--lease-seq" => lease_seq = Some(take(&mut i)?.parse().ok()?),
+                "--probe" => probe = true,
+                "--limit-cases" => limit_cases = Some(take(&mut i)?.parse().ok()?),
+                "--jail" => jail = true,
                 _ => return None,
             }
             Some(())
@@ -108,21 +140,25 @@ fn main() -> ExitCode {
         let Some(spec_path) = spec_path else {
             return usage();
         };
-        let text = match std::fs::read_to_string(&spec_path) {
-            Ok(text) => text,
-            Err(e) => {
-                eprintln!("comfortd: cannot read {}: {e}", spec_path.display());
-                return ExitCode::FAILURE;
-            }
-        };
-        let spec = match CampaignSpec::from_json_str(&text) {
+        let spec = match load_spec(&spec_path) {
             Ok(spec) => spec,
             Err(e) => {
                 eprintln!("comfortd: {e}");
                 return ExitCode::FAILURE;
             }
         };
-        let opts = WorkerOnceOptions { spec, worker: worker_label, ttl_millis, hold_millis };
+        let opts = WorkerOnceOptions {
+            spec,
+            worker: worker_label,
+            ttl_millis,
+            hold_millis,
+            shard,
+            lease_seq,
+            probe,
+            limit_cases,
+            jail,
+            heartbeat_millis,
+        };
         return match run_worker_once(&opts) {
             Ok(summary) => {
                 println!("{summary}");
@@ -130,9 +166,67 @@ fn main() -> ExitCode {
             }
             Err(e) => {
                 eprintln!("comfortd: {e}");
+                ExitCode::from(e.exit_code())
+            }
+        };
+    }
+
+    if let Some(millis) = heartbeat_millis {
+        cfg.heartbeat = Duration::from_millis(millis);
+    }
+
+    if fleet {
+        let Some(spec_path) = spec_path else {
+            return usage();
+        };
+        let spec = match load_spec(&spec_path) {
+            Ok(spec) => spec,
+            Err(e) => {
+                eprintln!("comfortd: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Some(pool) = pool {
+            cfg.workers = pool;
+        }
+        let worker_bin = match std::env::current_exe() {
+            Ok(path) => path,
+            Err(e) => {
+                eprintln!("comfortd: cannot locate own binary: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        cfg.isolation = IsolationMode::Processes(ProcessJail::new(worker_bin));
+        let daemon = Daemon::start(cfg);
+        let id = match daemon.submit(&spec) {
+            Ok(id) => id,
+            Err(e) => {
+                eprintln!("comfortd: submit rejected ({}): {}", e.reason, e.message);
+                daemon.drain();
+                return ExitCode::FAILURE;
+            }
+        };
+        eprintln!("comfortd: fleet campaign {id} running");
+        let outcome = daemon.wait(&id, Duration::from_secs(24 * 3600));
+        let code = match outcome.map(|s| s.state) {
+            Some(comfort_service::daemon::CampaignState::Completed) => {
+                if let Some((report, checksum)) = daemon.final_report(&id) {
+                    let (submitted, verified, fixed, t262) = report.totals();
+                    println!(
+                        "fleet campaign complete: {} cases | bugs {submitted} submitted \
+                         {verified} verified {fixed} fixed {t262} test262 | checksum {checksum:016x}",
+                        report.cases_run,
+                    );
+                }
+                ExitCode::SUCCESS
+            }
+            other => {
+                eprintln!("comfortd: fleet campaign ended as {other:?}");
                 ExitCode::FAILURE
             }
         };
+        daemon.drain();
+        return code;
     }
 
     let Some(socket) = socket else {

@@ -4,9 +4,10 @@
 use std::io;
 use std::os::unix::net::UnixStream;
 use std::path::Path;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use comfort_telemetry::json::{self, JsonValue};
+use comfort_telemetry::RetryPolicy;
 
 use crate::wire::{read_frame, write_frame, Request};
 
@@ -27,17 +28,36 @@ impl Client {
         Client { stream }
     }
 
-    /// Connects, retrying until the daemon binds its socket or `timeout`
-    /// elapses (daemon startup is asynchronous).
-    pub fn connect_with_retry(socket: &Path, timeout: Duration) -> io::Result<Client> {
-        let deadline = Instant::now() + timeout;
-        loop {
-            match Client::connect(socket) {
-                Ok(client) => return Ok(client),
-                Err(e) if Instant::now() >= deadline => return Err(e),
-                Err(_) => std::thread::sleep(Duration::from_millis(25)),
-            }
+    /// Connects under an explicit [`RetryPolicy`] (the workspace-wide
+    /// transient-fault policy): up to `1 + max_retries` attempts with
+    /// exponential backoff between them. The terminal error names how
+    /// many retries were burned.
+    pub fn connect_with_policy(socket: &Path, policy: RetryPolicy) -> io::Result<Client> {
+        match policy.run(|| Client::connect(socket)) {
+            Ok((client, _)) => Ok(client),
+            Err((e, retries)) => Err(io::Error::new(
+                e.kind(),
+                format!("{} (after {} connect retries): {e}", socket.display(), retries),
+            )),
         }
+    }
+
+    /// Connects, retrying with backoff until the daemon binds its socket
+    /// (daemon startup is asynchronous). `timeout` bounds the *cumulative
+    /// backoff*: the derived policy's sleeps sum to at least `timeout`
+    /// before the attempt budget runs out, so a daemon that never appears
+    /// fails in bounded time instead of hammering the socket forever.
+    pub fn connect_with_retry(socket: &Path, timeout: Duration) -> io::Result<Client> {
+        const BASE_MILLIS: u64 = 4;
+        // Cumulative backoff of n retries at base b is b * (2^n - 1);
+        // pick the smallest n that covers the timeout (capped: ~4 min).
+        let want = timeout.as_millis() as u64;
+        let mut retries = 0u32;
+        while retries < 16 && BASE_MILLIS * ((1u64 << retries) - 1) < want {
+            retries += 1;
+        }
+        let policy = RetryPolicy { max_retries: retries, backoff_base_millis: BASE_MILLIS };
+        Client::connect_with_policy(socket, policy)
     }
 
     /// Sends one request and reads one response frame.

@@ -29,7 +29,8 @@
 //! [`MetricsSnapshot::from_events`](crate::metrics::MetricsSnapshot::from_events)).
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant, SystemTime};
@@ -47,9 +48,11 @@ use comfort_telemetry::{
     CONTROL_SHARD, SERVICE_SHARD,
 };
 
-use crate::lease::{LeaseTable, Transition};
+use crate::fleet::{ChildFate, ProcessJail, WorkerArgs, WorkerChild};
+use crate::lease::{Claim, LeaseTable, Transition};
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
 use crate::spec::CampaignSpec;
+use crate::worker::WorkerError;
 
 // The daemon shares each campaign entry between workers, the supervisor,
 // and control-plane threads; pin the Send/Sync audit at compile time.
@@ -78,6 +81,19 @@ pub struct ServiceConfig {
     pub retry_after: Duration,
     /// Service-plane telemetry sink (lease/admission/drain events).
     pub sink: SinkHandle,
+    /// Where shards execute: on pool threads, or in jailed child
+    /// processes (the hard-fault-contained worker fleet).
+    pub isolation: IsolationMode,
+}
+
+/// How the pool executes leased shards.
+#[derive(Clone)]
+pub enum IsolationMode {
+    /// On the pool's own threads (panics contained by `catch_unwind`).
+    InProcess,
+    /// In forked `comfortd --worker-once` children under resource jails
+    /// (fatal signals contained by the process boundary).
+    Processes(ProcessJail),
 }
 
 impl Default for ServiceConfig {
@@ -90,6 +106,7 @@ impl Default for ServiceConfig {
             tenant_quota: 2,
             retry_after: Duration::from_millis(250),
             sink: SinkHandle::null(),
+            isolation: IsolationMode::InProcess,
         }
     }
 }
@@ -274,6 +291,36 @@ struct CampaignEntry {
     resume: Option<(String, RecoveryReport, u64)>,
     final_report: Mutex<Option<(CampaignReport, u64)>>,
     failure: Mutex<Option<String>>,
+    /// The spec file handed to worker children (process isolation only).
+    spec_path: Option<PathBuf>,
+    /// Consecutive worker deaths per shard (the poison-quarantine fuse;
+    /// reset by a successful commit or an exoneration).
+    deaths: Vec<AtomicU64>,
+    /// Commits mid-settlement: workers that have already flipped a lease
+    /// (`complete`/`abandon`) but not yet journalled the balancing
+    /// `Released` record. Finalization waits for zero, so a campaign is
+    /// never observable as terminal with an unbalanced lease ledger.
+    settling: AtomicU64,
+}
+
+/// Marks one lease settlement window on a campaign: arm *before* the
+/// lease-table mutation, drop *after* the `Released` record (and before
+/// the follow-up `maybe_finalize`). Drop-based so a panicking commit
+/// cannot wedge finalization — the supervisor heartbeat retries
+/// `maybe_finalize` every tick, so a transient skip self-heals.
+struct SettleGuard<'a>(&'a AtomicU64);
+
+impl<'a> SettleGuard<'a> {
+    fn arm(counter: &'a AtomicU64) -> SettleGuard<'a> {
+        counter.fetch_add(1, Ordering::SeqCst);
+        SettleGuard(counter)
+    }
+}
+
+impl Drop for SettleGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 impl CampaignEntry {
@@ -311,6 +358,27 @@ impl CampaignEntry {
     }
 }
 
+/// How one babysat worker child ended, after the fault policy's
+/// bookkeeping for that ending has been applied.
+enum ChildOutcome {
+    /// Exit 0, shard record adopted, lease released.
+    Committed,
+    /// Exit 0 but the fencing sequence was superseded; result discarded.
+    Fenced,
+    /// Death by signal (the fault-policy arm runs next).
+    Died(i32),
+    /// Nonzero exit with (code, captured stderr).
+    FailedExit(i32, String),
+    /// The campaign was cancelled; the child was killed and the lease
+    /// abandoned.
+    Cancelled,
+    /// The supervisor reclaimed the lease mid-run; the child was killed.
+    LostLease,
+    /// The child never started (or its commit could not be adopted);
+    /// already reported via `fail_campaign`.
+    SpawnFailed,
+}
+
 struct DaemonShared {
     cfg: ServiceConfig,
     metrics: ServiceMetrics,
@@ -322,6 +390,17 @@ struct DaemonShared {
     shutdown: AtomicBool,
     park: Mutex<()>,
     bell: Condvar,
+    /// Worker slots allowed to lease (the crash-storm breaker halves it;
+    /// slots beyond it park). Equals the pool width when healthy.
+    effective_width: AtomicUsize,
+    /// Consecutive fleet-wide child deaths (reset by any success).
+    consecutive_deaths: AtomicU64,
+    /// Chaos-monkey budget: children the parent SIGKILLs on purpose.
+    monkey_kills: AtomicU64,
+    /// Live worker children right now.
+    workers_active: AtomicU64,
+    /// Worker children that exited on their own (any code).
+    workers_exited: AtomicU64,
 }
 
 impl DaemonShared {
@@ -428,15 +507,22 @@ impl DaemonShared {
     /// the panic-isolation boundary: whatever a chaos-faulted campaign does,
     /// the damage is contained to that campaign.
     fn execute_on(&self, entry: &Arc<CampaignEntry>, worker: &str) {
-        // Warm the executor (LM training) *before* the lease clock starts,
-        // so a cold first shard is not mistaken for a wedged worker.
-        if catch_unwind(AssertUnwindSafe(|| {
-            entry.session.executor();
-        }))
-        .is_err()
-        {
-            self.fail_campaign(entry, "panic while training the campaign generator".to_string());
-            return;
+        if matches!(self.cfg.isolation, IsolationMode::InProcess) {
+            // Warm the executor (LM training) *before* the lease clock
+            // starts, so a cold first shard is not mistaken for a wedged
+            // worker. (Process isolation skips this: children train their
+            // own generator, the parent never runs one.)
+            if catch_unwind(AssertUnwindSafe(|| {
+                entry.session.executor();
+            }))
+            .is_err()
+            {
+                self.fail_campaign(
+                    entry,
+                    "panic while training the campaign generator".to_string(),
+                );
+                return;
+            }
         }
         let snap = entry.progress.snapshot();
         let progress = move |i: usize| snap.shards.get(i).map(|s| s.cases_done).unwrap_or_default();
@@ -459,6 +545,16 @@ impl DaemonShared {
         };
         self.record_lease(entry, LeaseAction::Acquired, &transition);
 
+        match &self.cfg.isolation {
+            IsolationMode::InProcess => self.execute_inline(entry, &claim, &transition),
+            IsolationMode::Processes(jail) => {
+                self.execute_in_child(entry, worker, &claim, &transition, &jail.clone())
+            }
+        }
+    }
+
+    /// Runs one leased shard on this pool thread (thread isolation).
+    fn execute_inline(&self, entry: &Arc<CampaignEntry>, claim: &Claim, transition: &Transition) {
         let spec = entry.plan[claim.shard];
         let attempt = MemorySink::new();
         let outcome = catch_unwind(AssertUnwindSafe(|| {
@@ -467,15 +563,17 @@ impl DaemonShared {
         match outcome {
             Err(payload) => {
                 entry.leases.abandon(claim.shard, claim.lease_seq);
-                self.record_lease(entry, LeaseAction::Released, &transition);
+                self.record_lease(entry, LeaseAction::Released, transition);
                 self.fail_campaign(entry, panic_text(payload));
             }
             Ok(report) if report.interrupted => {
                 // Cancelled or past deadline mid-shard: discard the partial
                 // attempt whole (the library contract) and let finalization
                 // decide the campaign's fate.
+                let settle = SettleGuard::arm(&entry.settling);
                 entry.leases.abandon(claim.shard, claim.lease_seq);
-                self.record_lease(entry, LeaseAction::Released, &transition);
+                self.record_lease(entry, LeaseAction::Released, transition);
+                drop(settle);
                 self.maybe_finalize(entry);
             }
             Ok(report) => {
@@ -485,6 +583,7 @@ impl DaemonShared {
                 // fencing check is safe — the result is a deterministic
                 // function of the shard spec, so a fenced duplicate stages
                 // the same value the rightful holder will.
+                let settle = SettleGuard::arm(&entry.settling);
                 *entry.slots[claim.shard].lock().expect("shard slot poisoned") =
                     Some(report.clone());
                 if !entry.leases.complete(claim.shard, claim.lease_seq) {
@@ -515,11 +614,434 @@ impl DaemonShared {
                         );
                     }
                 }
-                self.record_lease(entry, LeaseAction::Released, &transition);
+                self.record_lease(entry, LeaseAction::Released, transition);
+                drop(settle);
                 entry.flush.shard_done(claim.shard, &entry.buffers, &entry.sink);
                 self.maybe_finalize(entry);
             }
         }
+    }
+
+    /// Runs one leased shard in a jailed worker child (process isolation),
+    /// applying the fault policy on the way out: forced lease expiry on
+    /// death-by-signal, poison-shard quarantine after repeated deaths, and
+    /// the crash-storm breaker across the fleet.
+    fn execute_in_child(
+        &self,
+        entry: &Arc<CampaignEntry>,
+        worker: &str,
+        claim: &Claim,
+        transition: &Transition,
+        jail: &ProcessJail,
+    ) {
+        let Some(spec_path) = entry.spec_path.clone() else {
+            entry.leases.abandon(claim.shard, claim.lease_seq);
+            self.record_lease(entry, LeaseAction::Released, transition);
+            self.fail_campaign(entry, "process isolation requires a spec file".to_string());
+            return;
+        };
+        let args = WorkerArgs {
+            spec: spec_path.clone(),
+            worker: worker.to_string(),
+            shard: claim.shard as u64,
+            lease_seq: Some(claim.lease_seq),
+            probe: false,
+            limit_cases: None,
+            jail: true,
+        };
+        // Chaos monkey: claim one of the configured storm kills for this
+        // child. Only regular jailed children are ever doomed — probes and
+        // rescues run the containment path the storm is meant to exercise.
+        let doomed = self
+            .monkey_kills
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+            .is_ok();
+        match self.babysit(entry, worker, claim, transition, jail, &args, doomed) {
+            ChildOutcome::Committed => {
+                entry.deaths[claim.shard].store(0, Ordering::SeqCst);
+                self.consecutive_deaths.store(0, Ordering::SeqCst);
+            }
+            ChildOutcome::Fenced
+            | ChildOutcome::LostLease
+            | ChildOutcome::Cancelled
+            | ChildOutcome::SpawnFailed => {}
+            ChildOutcome::Died(signal) => {
+                self.on_child_death(entry, worker, claim, signal, jail, &spec_path);
+            }
+            ChildOutcome::FailedExit(code, stderr) => {
+                entry.leases.abandon(claim.shard, claim.lease_seq);
+                self.record_lease(entry, LeaseAction::Released, transition);
+                let class = WorkerError::classify(code).unwrap_or("unknown");
+                self.fail_campaign(
+                    entry,
+                    format!("worker child failed (exit {code}, class {class}): {stderr}"),
+                );
+            }
+        }
+    }
+
+    /// The death-by-signal arm of the fault policy.
+    fn on_child_death(
+        &self,
+        entry: &Arc<CampaignEntry>,
+        worker: &str,
+        claim: &Claim,
+        signal: i32,
+        jail: &ProcessJail,
+        spec_path: &Path,
+    ) {
+        let deaths = entry.deaths[claim.shard].fetch_add(1, Ordering::SeqCst) + 1;
+        let storm = self.consecutive_deaths.fetch_add(1, Ordering::SeqCst) + 1;
+        // Forced expiry: the holder is dead, hand the shard back now
+        // instead of waiting out the TTL. The journalled Expired/Reclaimed
+        // pair keeps the lease ledger identical to a heartbeat reclaim.
+        if let Some(t) = entry.leases.expire(claim.shard, claim.lease_seq) {
+            self.record_lease(entry, LeaseAction::Expired, &t);
+            self.record_lease(entry, LeaseAction::Reclaimed, &t);
+            self.wake_workers();
+        }
+        if storm >= jail.storm_threshold {
+            self.degrade_pool(storm);
+        }
+        if deaths >= jail.poison_after {
+            self.handle_poison(entry, worker, claim.shard, deaths, signal, jail, spec_path);
+        } else {
+            // Exponential respawn backoff per consecutive death on this
+            // shard, so a hot crash loop cannot saturate the fleet.
+            let shift = (deaths - 1).min(6) as u32;
+            std::thread::sleep(Duration::from_millis(jail.backoff_base_millis << shift));
+        }
+    }
+
+    /// Spawns one worker child for `claim` and supervises it to the end:
+    /// progress heartbeats feed the lease renewals, cancellation and lease
+    /// loss kill the process group, and the exit status is classified.
+    #[allow(clippy::too_many_arguments)]
+    fn babysit(
+        &self,
+        entry: &Arc<CampaignEntry>,
+        worker: &str,
+        claim: &Claim,
+        transition: &Transition,
+        jail: &ProcessJail,
+        args: &WorkerArgs,
+        doomed: bool,
+    ) -> ChildOutcome {
+        let mut child = match WorkerChild::spawn(jail, args) {
+            Ok(child) => child,
+            Err(e) => {
+                entry.leases.abandon(claim.shard, claim.lease_seq);
+                self.record_lease(entry, LeaseAction::Released, transition);
+                self.fail_campaign(entry, format!("cannot spawn worker child: {e}"));
+                return ChildOutcome::SpawnFailed;
+            }
+        };
+        self.emit_service(EventKind::WorkerSpawned {
+            campaign: entry.id.clone(),
+            worker: worker.to_string(),
+            lease_shard: claim.shard as u64,
+            pid: child.pid as u64,
+        });
+        self.metrics.workers_spawned.fetch_add(1, Ordering::Relaxed);
+        self.workers_active.fetch_add(1, Ordering::SeqCst);
+        entry.progress.shard_started(claim.shard);
+        let kill_at = if doomed { Some(Instant::now() + jail.kill_after) } else { None };
+        let mut applied = 0u64;
+        let apply = |applied: &mut u64, reported: u64| {
+            while *applied < reported {
+                entry.progress.case_done(claim.shard);
+                *applied += 1;
+            }
+        };
+        let fate = loop {
+            match child.poll() {
+                Ok(Some(fate)) => break fate,
+                Ok(None) => {}
+                Err(_) => {}
+            }
+            // The child's stdout heartbeat drives the campaign progress
+            // handle — which is exactly what the supervisor's tick renews
+            // leases on, so a live child keeps its lease with no new
+            // renewal machinery at all.
+            apply(&mut applied, child.progress.load(Ordering::SeqCst));
+            if entry.cancel.is_cancelled() {
+                child.kill_group();
+                let _ = child.wait();
+                self.workers_active.fetch_sub(1, Ordering::SeqCst);
+                self.workers_exited.fetch_add(1, Ordering::SeqCst);
+                let settle = SettleGuard::arm(&entry.settling);
+                entry.leases.abandon(claim.shard, claim.lease_seq);
+                self.record_lease(entry, LeaseAction::Released, transition);
+                drop(settle);
+                self.maybe_finalize(entry);
+                return ChildOutcome::Cancelled;
+            }
+            if !entry.leases.holds(claim.shard, claim.lease_seq) {
+                // TTL expiry: the supervisor reclaimed the lease (and
+                // journalled the Expired/Reclaimed pair). Kill-on-expiry
+                // guarantees the stale holder stops consuming resources.
+                child.kill_group();
+                let fate = child.wait();
+                self.workers_active.fetch_sub(1, Ordering::SeqCst);
+                match fate {
+                    Ok(ChildFate::Signaled(sig)) => {
+                        self.emit_service(EventKind::WorkerDied {
+                            campaign: entry.id.clone(),
+                            worker: worker.to_string(),
+                            lease_shard: claim.shard as u64,
+                            signal: sig as u64,
+                        });
+                        self.metrics.workers_died.fetch_add(1, Ordering::Relaxed);
+                    }
+                    _ => {
+                        // Beat the kill to the exit: a completed child's
+                        // journal record is a benign duplicate (first one
+                        // wins, identical content).
+                        self.workers_exited.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+                return ChildOutcome::LostLease;
+            }
+            if let Some(t) = kill_at {
+                if Instant::now() >= t {
+                    child.kill_group();
+                }
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        };
+        child.join_readers();
+        apply(&mut applied, child.progress.load(Ordering::SeqCst));
+        match fate {
+            ChildFate::Signaled(signal) => {
+                self.emit_service(EventKind::WorkerDied {
+                    campaign: entry.id.clone(),
+                    worker: worker.to_string(),
+                    lease_shard: claim.shard as u64,
+                    signal: signal as u64,
+                });
+                self.metrics.workers_died.fetch_add(1, Ordering::Relaxed);
+                self.workers_active.fetch_sub(1, Ordering::SeqCst);
+                ChildOutcome::Died(signal)
+            }
+            ChildFate::Exited(0) => {
+                self.workers_active.fetch_sub(1, Ordering::SeqCst);
+                self.workers_exited.fetch_add(1, Ordering::SeqCst);
+                self.stage_child_commit(entry, claim, transition, applied)
+            }
+            ChildFate::Exited(code) => {
+                self.workers_active.fetch_sub(1, Ordering::SeqCst);
+                self.workers_exited.fetch_add(1, Ordering::SeqCst);
+                ChildOutcome::FailedExit(code, child.stderr_tail())
+            }
+        }
+    }
+
+    /// Adopts a committed child's journalled shard record into the
+    /// campaign: stage the report, pass the fence, replay the events into
+    /// the flush frontier — the same commit sequence as the inline path.
+    fn stage_child_commit(
+        &self,
+        entry: &Arc<CampaignEntry>,
+        claim: &Claim,
+        transition: &Transition,
+        applied: u64,
+    ) -> ChildOutcome {
+        let Some(journal) = &entry.journal else {
+            entry.leases.abandon(claim.shard, claim.lease_seq);
+            self.record_lease(entry, LeaseAction::Released, transition);
+            self.fail_campaign(entry, "process isolation lost its journal".to_string());
+            return ChildOutcome::SpawnFailed;
+        };
+        let path = journal.path().to_path_buf();
+        let record = CampaignCheckpoint::load(&path)
+            .ok()
+            .and_then(|(c, _)| c.shards.into_iter().find(|r| r.index == claim.shard as u64));
+        let Some(record) = record else {
+            entry.leases.abandon(claim.shard, claim.lease_seq);
+            self.record_lease(entry, LeaseAction::Released, transition);
+            self.fail_campaign(
+                entry,
+                format!("worker exited 0 without journalling shard {}", claim.shard),
+            );
+            return ChildOutcome::SpawnFailed;
+        };
+        // Catch the progress handle up to the committed truth (the last
+        // stdout heartbeat may predate the final cases) and mirror the
+        // executor's bug/finish bookkeeping for status parity.
+        let mut applied = applied;
+        while applied < record.report.cases_run {
+            entry.progress.case_done(claim.shard);
+            applied += 1;
+        }
+        for _ in 0..record.report.bugs.len() {
+            entry.progress.bug_found(claim.shard);
+        }
+        let settle = SettleGuard::arm(&entry.settling);
+        *entry.slots[claim.shard].lock().expect("shard slot poisoned") =
+            Some(record.report.clone());
+        if !entry.leases.complete(claim.shard, claim.lease_seq) {
+            return ChildOutcome::Fenced;
+        }
+        entry.progress.shard_finished(claim.shard);
+        for event in &record.events {
+            entry.buffers[claim.shard].emit(event);
+        }
+        entry.checkpoints_written.fetch_add(1, Ordering::Relaxed);
+        let journal_bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or_default();
+        entry.control.lock().expect("control recorder poisoned").emit(
+            EventKind::CheckpointWritten {
+                checkpointed_shard: claim.shard as u64,
+                cases_run: record.report.cases_run,
+                journal_bytes,
+            },
+        );
+        self.record_lease(entry, LeaseAction::Released, transition);
+        drop(settle);
+        entry.flush.shard_done(claim.shard, &entry.buffers, &entry.sink);
+        self.maybe_finalize(entry);
+        ChildOutcome::Committed
+    }
+
+    /// The poison-shard arm: quarantine, bisect with jailed probes to
+    /// localize the lethal case, then rescue the shard in a *contained*
+    /// (non-jailed) child so the case lands in the report as a `Crashed`
+    /// outcome — bit-identical to what an in-process run records.
+    #[allow(clippy::too_many_arguments)]
+    fn handle_poison(
+        &self,
+        entry: &Arc<CampaignEntry>,
+        worker: &str,
+        shard: usize,
+        deaths: u64,
+        last_signal: i32,
+        jail: &ProcessJail,
+        spec_path: &Path,
+    ) {
+        if !entry.leases.quarantine(shard) {
+            return; // another thread owns this shard's fault handling
+        }
+        let cases = entry.plan[shard].cases;
+        let probe = |limit: usize| -> Option<i32> {
+            let args = WorkerArgs {
+                spec: spec_path.to_path_buf(),
+                worker: format!("{worker}-probe"),
+                shard: shard as u64,
+                lease_seq: None,
+                probe: true,
+                limit_cases: Some(limit),
+                jail: true,
+            };
+            match WorkerChild::spawn(jail, &args).and_then(|c| c.wait()) {
+                Ok(ChildFate::Signaled(sig)) => Some(sig),
+                _ => None,
+            }
+        };
+        // Exoneration first: if the full prefix survives a fresh jailed
+        // run, the deaths were environmental (a chaos monkey, an OOM
+        // neighbour) — the shard itself is innocent.
+        let Some(mut fatal) = probe(cases) else {
+            entry.leases.unquarantine(shard);
+            entry.deaths[shard].store(0, Ordering::SeqCst);
+            self.wake_workers();
+            return;
+        };
+        // Binary search over prefix length: the smallest prefix that dies
+        // ends at the poison case. Generation is sequential from the shard
+        // seed, so prefixes are well-defined and deterministic.
+        let (mut lo, mut hi) = (1usize, cases);
+        while lo < hi {
+            if entry.cancel.is_cancelled() {
+                return;
+            }
+            let mid = lo + (hi - lo) / 2;
+            match probe(mid) {
+                Some(sig) => {
+                    fatal = sig;
+                    hi = mid;
+                }
+                None => lo = mid + 1,
+            }
+        }
+        let poison_case = (lo - 1) as u64;
+        let _ = last_signal; // the probe's signal is the authoritative one
+        self.emit_service(EventKind::ShardPoisoned {
+            campaign: entry.id.clone(),
+            lease_shard: shard as u64,
+            deaths,
+            poison_case,
+            signal: fatal as u64,
+        });
+        self.metrics.shards_poisoned.fetch_add(1, Ordering::Relaxed);
+        // Rescue: one more directed run, contained instead of jailed. The
+        // lethal case unwinds through the harness's panic boundary into a
+        // `Crashed` outcome, and the shard commits normally.
+        let Some(rescue) = entry.leases.claim_shard(shard, worker) else {
+            return;
+        };
+        let transition = Transition {
+            shard,
+            holder: worker.to_string(),
+            lease_seq: rescue.lease_seq,
+            ttl_millis: rescue.ttl.as_millis() as u64,
+            reclaims: 0,
+        };
+        self.record_lease(entry, LeaseAction::Acquired, &transition);
+        let args = WorkerArgs {
+            spec: spec_path.to_path_buf(),
+            worker: worker.to_string(),
+            shard: shard as u64,
+            lease_seq: Some(rescue.lease_seq),
+            probe: false,
+            limit_cases: None,
+            jail: false,
+        };
+        match self.babysit(entry, worker, &rescue, &transition, jail, &args, false) {
+            ChildOutcome::Died(signal) => {
+                if let Some(t) = entry.leases.expire(shard, rescue.lease_seq) {
+                    self.record_lease(entry, LeaseAction::Expired, &t);
+                    self.record_lease(entry, LeaseAction::Reclaimed, &t);
+                }
+                self.fail_campaign(
+                    entry,
+                    format!(
+                        "rescue worker for poisoned shard {shard} died by signal {signal} \
+                         even in containment"
+                    ),
+                );
+            }
+            ChildOutcome::FailedExit(code, stderr) => {
+                entry.leases.abandon(shard, rescue.lease_seq);
+                self.record_lease(entry, LeaseAction::Released, &transition);
+                self.fail_campaign(
+                    entry,
+                    format!(
+                        "rescue worker for poisoned shard {shard} failed (exit {code}): {stderr}"
+                    ),
+                );
+            }
+            ChildOutcome::Committed
+            | ChildOutcome::Fenced
+            | ChildOutcome::Cancelled
+            | ChildOutcome::LostLease
+            | ChildOutcome::SpawnFailed => {}
+        }
+    }
+
+    /// The crash-storm breaker: halve the schedulable pool width (floor
+    /// one) and reset the storm counter.
+    fn degrade_pool(&self, consecutive: u64) {
+        let from = self.effective_width.load(Ordering::SeqCst);
+        let to = (from / 2).max(1);
+        if to < from {
+            self.effective_width.store(to, Ordering::SeqCst);
+            self.emit_service(EventKind::PoolDegraded {
+                from_workers: from as u64,
+                to_workers: to as u64,
+                consecutive_deaths: consecutive,
+            });
+            self.metrics.pool_degradations.fetch_add(1, Ordering::Relaxed);
+        }
+        self.consecutive_deaths.store(0, Ordering::SeqCst);
     }
 
     fn fail_campaign(&self, entry: &Arc<CampaignEntry>, message: String) {
@@ -547,9 +1069,19 @@ impl DaemonShared {
     fn maybe_finalize(&self, entry: &Arc<CampaignEntry>) {
         let finished: Option<(&'static str, u64)> = {
             let mut state = entry.state.lock().expect("campaign state poisoned");
+            // Ledger barrier: read the lease table *before* the settling
+            // count. If this observer sees the state a mid-commit worker
+            // produced (Done / no longer Held), the worker's `SettleGuard`
+            // arm is visible too, so `settling > 0` and we defer — the
+            // worker re-runs finalization right after its `Released`
+            // record (and the supervisor heartbeat retries every tick).
+            // This keeps "terminal campaign" ⇒ "balanced lease ledger".
             if state.is_terminal() {
                 None
             } else if entry.leases.all_done() {
+                if entry.settling.load(Ordering::SeqCst) > 0 {
+                    return;
+                }
                 let reports: Vec<CampaignReport> = entry
                     .slots
                     .iter()
@@ -566,6 +1098,9 @@ impl DaemonShared {
                 let salvaged = entry.resume.as_ref().map(|(_, _, n)| *n).unwrap_or(0);
                 Some(("completed", entry.plan.len() as u64 - salvaged))
             } else if entry.cancel.is_cancelled() && entry.leases.counts().1 == 0 {
+                if entry.settling.load(Ordering::SeqCst) > 0 {
+                    return;
+                }
                 // Nothing in flight and nothing will be leased again: merge
                 // what completed and flag it, exactly like the library path.
                 let reports: Vec<CampaignReport> = entry
@@ -657,10 +1192,23 @@ impl DaemonShared {
         }
     }
 
-    fn worker_loop(self: &Arc<Self>, worker: String) {
+    fn worker_loop(self: &Arc<Self>, index: usize, worker: String) {
         loop {
             if self.shutdown.load(Ordering::SeqCst) {
                 return;
+            }
+            if index >= self.effective_width.load(Ordering::SeqCst) {
+                // Degraded by the crash-storm breaker: this slot parks
+                // (it still drains and shuts down normally).
+                if self.draining.load(Ordering::SeqCst) {
+                    return;
+                }
+                let guard = self.park.lock().expect("park lock poisoned");
+                let _ = self
+                    .bell
+                    .wait_timeout(guard, Duration::from_millis(10))
+                    .expect("park lock poisoned");
+                continue;
             }
             match self.next_candidate() {
                 Some(entry) => self.execute_on(&entry, &worker),
@@ -697,6 +1245,10 @@ impl Daemon {
             cfg.workers
         };
         let recorder = Mutex::new(Recorder::new(cfg.sink.clone(), SERVICE_SHARD));
+        let monkey_kills = match &cfg.isolation {
+            IsolationMode::Processes(jail) => jail.storm_kills,
+            IsolationMode::InProcess => 0,
+        };
         let shared = Arc::new(DaemonShared {
             cfg,
             metrics: ServiceMetrics::default(),
@@ -708,6 +1260,11 @@ impl Daemon {
             shutdown: AtomicBool::new(false),
             park: Mutex::new(()),
             bell: Condvar::new(),
+            effective_width: AtomicUsize::new(workers),
+            consecutive_deaths: AtomicU64::new(0),
+            monkey_kills: AtomicU64::new(monkey_kills),
+            workers_active: AtomicU64::new(0),
+            workers_exited: AtomicU64::new(0),
         });
         let mut pool = Vec::with_capacity(workers);
         for k in 0..workers {
@@ -716,7 +1273,7 @@ impl Daemon {
             pool.push(
                 std::thread::Builder::new()
                     .name(label.clone())
-                    .spawn(move || shared.worker_loop(label))
+                    .spawn(move || shared.worker_loop(k, label))
                     .expect("spawn worker"),
             );
         }
@@ -762,6 +1319,17 @@ impl Daemon {
             Ok(config) => config,
             Err(e) => return reject("invalid_spec", e, 0),
         };
+        if matches!(shared.cfg.isolation, IsolationMode::Processes(_))
+            && config.checkpoint.is_none()
+        {
+            // Worker children report results through the journal; without
+            // one there is no result channel at all.
+            return reject(
+                "invalid_spec",
+                "process isolation requires a checkpoint journal in the spec".to_string(),
+                0,
+            );
+        }
         // Admission bounds: a full queue or an exhausted tenant quota is a
         // *backpressure* outcome (retry later), not an error.
         {
@@ -893,6 +1461,24 @@ impl Daemon {
             .sum()
     }
 
+    /// Live worker children right now (the `active` term of the worker
+    /// conservation ledger; always 0 for in-process isolation).
+    pub fn fleet_workers_active(&self) -> u64 {
+        self.shared.workers_active.load(Ordering::SeqCst)
+    }
+
+    /// Worker children that exited on their own, any code (the `exited`
+    /// term of the worker conservation ledger).
+    pub fn fleet_workers_exited(&self) -> u64 {
+        self.shared.workers_exited.load(Ordering::SeqCst)
+    }
+
+    /// Worker slots currently allowed to lease (less than the configured
+    /// width once the crash-storm breaker has tripped).
+    pub fn pool_width(&self) -> usize {
+        self.shared.effective_width.load(Ordering::SeqCst)
+    }
+
     /// Non-terminal campaigns (the `active` term of the campaign ledger).
     pub fn campaigns_active(&self) -> u64 {
         self.shared
@@ -950,8 +1536,9 @@ impl Daemon {
         }
         let snap = self.metrics();
         table.text(format!(
-            "workers {} | active {} | leases held {} | acquired {} renewed {} released {} expired {} reclaimed {} | admitted {} rejected {}{}",
+            "workers {} (width {}) | active {} | leases held {} | acquired {} renewed {} released {} expired {} reclaimed {} | admitted {} rejected {} | fleet spawned {} died {} poisoned {} degraded {}{}",
             self.workers.lock().expect("worker pool poisoned").len(),
+            self.pool_width(),
             self.campaigns_active(),
             self.leases_held(),
             snap.leases_acquired,
@@ -961,6 +1548,10 @@ impl Daemon {
             snap.leases_reclaimed,
             snap.campaigns_admitted,
             snap.campaigns_rejected,
+            snap.workers_spawned,
+            snap.workers_died,
+            snap.shards_poisoned,
+            snap.pool_degradations,
             if self.is_draining() { " | DRAINING" } else { "" },
         ));
         table.render()
@@ -1003,6 +1594,17 @@ fn build_entry(
         cancel.arm_deadline(Instant::now() + deadline);
     }
     let checkpoint_path = config.checkpoint.clone();
+    // Process isolation: persist the spec next to the journal so worker
+    // children rebuild the identical campaign (same fingerprint) from it.
+    let mut spec_path = None;
+    if matches!(shared.cfg.isolation, IsolationMode::Processes(_)) {
+        if let Some(path) = &checkpoint_path {
+            let p = PathBuf::from(format!("{}.spec.json", path.display()));
+            std::fs::write(&p, spec.to_json())
+                .map_err(|e| format!("cannot write worker spec file {p:?}: {e}"))?;
+            spec_path = Some(p);
+        }
+    }
     let session = CampaignSession::new(config);
     let plan = session.plan();
     let progress = session.progress();
@@ -1109,6 +1711,7 @@ fn build_entry(
         }
     }
 
+    let shards_in_plan = plan.len();
     Ok(Arc::new(CampaignEntry {
         id: id.to_string(),
         tenant: spec.tenant.clone(),
@@ -1130,6 +1733,9 @@ fn build_entry(
         resume,
         final_report: Mutex::new(None),
         failure: Mutex::new(None),
+        spec_path,
+        deaths: (0..shards_in_plan).map(|_| AtomicU64::new(0)).collect(),
+        settling: AtomicU64::new(0),
     }))
 }
 

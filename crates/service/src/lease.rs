@@ -28,6 +28,11 @@ pub enum ShardPhase {
     Pending,
     /// Leased to a worker (or journalled as held by a dead one).
     Held,
+    /// Poison-shard quarantine: the shard killed workers repeatedly and is
+    /// withheld from the pending pool while the supervisor bisects it.
+    /// Only a targeted [`LeaseTable::claim_shard`] (the rescue run) or
+    /// [`LeaseTable::unquarantine`] (false alarm) frees it.
+    Quarantined,
     /// Committed — a shard record exists (salvaged or just written).
     Done,
 }
@@ -184,6 +189,84 @@ impl LeaseTable {
         }
     }
 
+    /// Force-expires a held lease whose holder is *known* dead (the fleet
+    /// supervisor watched the worker process die by signal). Mirrors the
+    /// heartbeat's expiry path — the shard returns to Pending with its
+    /// reclaim counter bumped — but without waiting out the TTL. Returns
+    /// the transition, or `None` when the sequence is stale (a heartbeat
+    /// already reclaimed it).
+    pub fn expire(&self, shard: usize, lease_seq: u64) -> Option<Transition> {
+        let mut shards = self.lock();
+        let lease = &mut shards[shard];
+        if lease.phase != ShardPhase::Held || lease.lease_seq != lease_seq {
+            return None;
+        }
+        lease.phase = ShardPhase::Pending;
+        lease.reclaims += 1;
+        Some(Transition {
+            shard,
+            holder: lease.holder.clone(),
+            lease_seq: lease.lease_seq,
+            ttl_millis: lease.ttl.as_millis() as u64,
+            reclaims: lease.reclaims,
+        })
+    }
+
+    /// Moves a pending shard into poison quarantine. Returns `false` when
+    /// the shard is not Pending (someone claimed or committed it first) —
+    /// exactly one caller wins, so exactly one bisection runs.
+    pub fn quarantine(&self, shard: usize) -> bool {
+        let mut shards = self.lock();
+        let lease = &mut shards[shard];
+        if lease.phase != ShardPhase::Pending {
+            return false;
+        }
+        lease.phase = ShardPhase::Quarantined;
+        true
+    }
+
+    /// Releases a quarantined shard back to the pending pool (false alarm:
+    /// the deaths were external, the shard itself is clean). Resets the
+    /// reclaim backoff so the exonerated shard is retried promptly.
+    pub fn unquarantine(&self, shard: usize) -> bool {
+        let mut shards = self.lock();
+        let lease = &mut shards[shard];
+        if lease.phase != ShardPhase::Quarantined {
+            return false;
+        }
+        lease.phase = ShardPhase::Pending;
+        lease.reclaims = 0;
+        true
+    }
+
+    /// Targeted claim of a *quarantined* shard for the contained rescue
+    /// run. Bumps the fencing sequence like any claim, so straggler
+    /// completions from the poisoned era stay fenced off.
+    pub fn claim_shard(&self, shard: usize, holder: &str) -> Option<Claim> {
+        let mut shards = self.lock();
+        let lease = &mut shards[shard];
+        if lease.phase != ShardPhase::Quarantined {
+            return None;
+        }
+        let shift = lease.reclaims.min(MAX_BACKOFF_SHIFT);
+        let ttl = self.base_ttl.saturating_mul(1u32 << shift);
+        lease.phase = ShardPhase::Held;
+        lease.holder = holder.to_string();
+        lease.lease_seq += 1;
+        lease.deadline = Instant::now() + ttl;
+        lease.ttl = ttl;
+        lease.recovered = false;
+        Some(Claim { shard, lease_seq: lease.lease_seq, ttl })
+    }
+
+    /// `true` while `lease_seq` is the current hold on `shard` — the fleet
+    /// babysitter polls this to learn its lease was reclaimed under it.
+    pub fn holds(&self, shard: usize, lease_seq: u64) -> bool {
+        let shards = self.lock();
+        let lease = &shards[shard];
+        lease.phase == ShardPhase::Held && lease.lease_seq == lease_seq
+    }
+
     /// One supervisor heartbeat at `now`: renews held leases whose shard
     /// progressed past its watermark, expires-and-reclaims the ones whose
     /// TTL lapsed without progress. `progress(i)` reads shard `i`'s
@@ -221,12 +304,14 @@ impl LeaseTable {
         beat
     }
 
-    /// `(done, held, pending)` shard counts.
+    /// `(done, held, pending)` shard counts. Quarantined shards count in
+    /// none of the three — they are withheld from scheduling entirely.
     pub fn counts(&self) -> (usize, usize, usize) {
         let shards = self.lock();
         let done = shards.iter().filter(|l| l.phase == ShardPhase::Done).count();
         let held = shards.iter().filter(|l| l.phase == ShardPhase::Held).count();
-        (done, held, shards.len() - done - held)
+        let pending = shards.iter().filter(|l| l.phase == ShardPhase::Pending).count();
+        (done, held, pending)
     }
 
     /// Total reclaims across every shard.
@@ -328,6 +413,61 @@ mod tests {
         let claim = table.claim_pending("w-0", &|_| 0).expect("reclaimed shard");
         assert_eq!(claim.shard, 1);
         assert_eq!(claim.lease_seq, 8);
+    }
+
+    #[test]
+    fn forced_expiry_mirrors_the_heartbeat_reclaim() {
+        let table = LeaseTable::new(1, TTL);
+        let claim = table.claim_pending("w-0", &|_| 0).expect("claimed");
+        let t = table.expire(claim.shard, claim.lease_seq).expect("force-expired");
+        assert_eq!(t.reclaims, 1);
+        assert_eq!(table.counts(), (0, 0, 1));
+        // Stale sequence: a second expiry attempt is a no-op.
+        assert!(table.expire(claim.shard, claim.lease_seq).is_none());
+        // The zombie's completion is fenced off after the forced expiry.
+        assert!(!table.complete(claim.shard, claim.lease_seq));
+    }
+
+    #[test]
+    fn quarantine_withholds_the_shard_until_rescue_or_exoneration() {
+        let table = LeaseTable::new(2, TTL);
+        assert!(table.quarantine(1));
+        assert!(!table.quarantine(1), "only one caller wins quarantine");
+        // Quarantined shards are invisible to the scheduler: claim_pending
+        // passes over shard 1 and counts() omits it from pending.
+        let claim = table.claim_pending("w-0", &|_| 0).expect("shard 0 still claimable");
+        assert_eq!(claim.shard, 0);
+        assert_eq!(table.counts(), (0, 1, 0));
+        // The rescue claim is the only way to lease a quarantined shard.
+        let rescue = table.claim_shard(1, "rescue").expect("targeted claim");
+        assert_eq!(rescue.shard, 1);
+        assert!(table.complete(1, rescue.lease_seq));
+        assert!(table.complete(0, claim.lease_seq));
+        assert!(table.all_done());
+    }
+
+    #[test]
+    fn exonerated_shards_return_to_pending_with_backoff_reset() {
+        let table = LeaseTable::new(1, TTL);
+        // Build up reclaim backoff, then quarantine and exonerate.
+        for _ in 0..3 {
+            let c = table.claim_pending("w", &|_| 0).expect("claimable");
+            table.expire(c.shard, c.lease_seq).expect("expired");
+        }
+        assert!(table.quarantine(0));
+        assert!(table.claim_pending("w", &|_| 0).is_none());
+        assert!(table.unquarantine(0));
+        let c = table.claim_pending("w", &|_| 0).expect("pending again");
+        assert_eq!(c.ttl, TTL, "exoneration resets the reclaim backoff");
+    }
+
+    #[test]
+    fn holds_tracks_the_current_sequence() {
+        let table = LeaseTable::new(1, TTL);
+        let claim = table.claim_pending("w-0", &|_| 0).expect("claimed");
+        assert!(table.holds(0, claim.lease_seq));
+        table.expire(0, claim.lease_seq).expect("expired");
+        assert!(!table.holds(0, claim.lease_seq));
     }
 
     #[test]

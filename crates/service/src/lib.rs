@@ -18,11 +18,14 @@
 //!   control protocol over a Unix socket;
 //! * [`metrics`] — service counters and their event-stream conservation
 //!   contract;
-//! * [`worker`] — the single-shot out-of-process shard worker used by
-//!   crash-recovery tests.
+//! * [`fleet`] — process-isolation primitives: jailed worker children,
+//!   capped capture, signal/exit classification;
+//! * [`worker`] — the single-shot out-of-process shard worker
+//!   (`comfortd --worker-once`): standalone, directed, and probe modes.
 
 pub mod client;
 pub mod daemon;
+pub mod fleet;
 pub mod lease;
 pub mod metrics;
 pub mod server;
@@ -31,10 +34,11 @@ pub mod wire;
 pub mod worker;
 
 pub use client::Client;
-pub use daemon::{CampaignState, CampaignStatus, Daemon, Rejection, ServiceConfig};
+pub use daemon::{CampaignState, CampaignStatus, Daemon, IsolationMode, Rejection, ServiceConfig};
+pub use fleet::{ChildFate, ProcessJail};
 pub use lease::{Claim, LeaseTable, ShardLease, ShardPhase};
 pub use metrics::{MetricsSnapshot, ServiceMetrics};
 pub use server::Server;
 pub use spec::{CampaignSpec, ChaosSpec};
 pub use wire::Request;
-pub use worker::{run_worker_once, WorkerOnceOptions};
+pub use worker::{run_worker_once, WorkerError, WorkerOnceOptions};

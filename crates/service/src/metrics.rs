@@ -36,6 +36,14 @@ pub struct ServiceMetrics {
     pub campaigns_failed: AtomicU64,
     /// Graceful drains initiated.
     pub drains_started: AtomicU64,
+    /// Jailed worker processes spawned by the fleet supervisor.
+    pub workers_spawned: AtomicU64,
+    /// Worker processes that died by signal.
+    pub workers_died: AtomicU64,
+    /// Shards quarantined after killing workers repeatedly.
+    pub shards_poisoned: AtomicU64,
+    /// Crash-storm breaker trips that narrowed the pool.
+    pub pool_degradations: AtomicU64,
 }
 
 impl ServiceMetrics {
@@ -53,6 +61,10 @@ impl ServiceMetrics {
             campaigns_cancelled: self.campaigns_cancelled.load(Ordering::Relaxed),
             campaigns_failed: self.campaigns_failed.load(Ordering::Relaxed),
             drains_started: self.drains_started.load(Ordering::Relaxed),
+            workers_spawned: self.workers_spawned.load(Ordering::Relaxed),
+            workers_died: self.workers_died.load(Ordering::Relaxed),
+            shards_poisoned: self.shards_poisoned.load(Ordering::Relaxed),
+            pool_degradations: self.pool_degradations.load(Ordering::Relaxed),
         }
     }
 }
@@ -82,6 +94,14 @@ pub struct MetricsSnapshot {
     pub campaigns_failed: u64,
     /// Graceful drains initiated.
     pub drains_started: u64,
+    /// Jailed worker processes spawned by the fleet supervisor.
+    pub workers_spawned: u64,
+    /// Worker processes that died by signal.
+    pub workers_died: u64,
+    /// Shards quarantined after killing workers repeatedly.
+    pub shards_poisoned: u64,
+    /// Crash-storm breaker trips that narrowed the pool.
+    pub pool_degradations: u64,
 }
 
 impl MetricsSnapshot {
@@ -104,6 +124,10 @@ impl MetricsSnapshot {
                     _ => snap.campaigns_cancelled += 1,
                 },
                 EventKind::DrainStarted { .. } => snap.drains_started += 1,
+                EventKind::WorkerSpawned { .. } => snap.workers_spawned += 1,
+                EventKind::WorkerDied { .. } => snap.workers_died += 1,
+                EventKind::ShardPoisoned { .. } => snap.shards_poisoned += 1,
+                EventKind::PoolDegraded { .. } => snap.pool_degradations += 1,
                 _ => {}
             }
         }
@@ -125,6 +149,22 @@ impl MetricsSnapshot {
             return Err(format!(
                 "{} expired leases but {} reclaimed",
                 self.leases_expired, self.leases_reclaimed
+            ));
+        }
+        Ok(())
+    }
+
+    /// Checks the worker ledger balances: every spawned worker process
+    /// must have died by signal, exited, or still be `active`. Exits are
+    /// not separately counted, so the check is `spawned == died + active +
+    /// exited` rearranged: `spawned - died` must be at least `active` and
+    /// with `exited` supplied exactly `died + exited + active`.
+    pub fn workers_conserved(&self, active: u64, exited: u64) -> Result<(), String> {
+        let closed = self.workers_died + exited + active;
+        if self.workers_spawned != closed {
+            return Err(format!(
+                "worker ledger imbalance: {} spawned vs {} died + {} exited + {} active",
+                self.workers_spawned, self.workers_died, exited, active
             ));
         }
         Ok(())
@@ -211,6 +251,49 @@ mod tests {
         assert!(err.contains("reclaimed"), "{err}");
         let snap = MetricsSnapshot { campaigns_admitted: 2, ..Default::default() };
         assert!(snap.campaigns_conserved(1).is_err());
+    }
+
+    #[test]
+    fn worker_lifecycle_counters_reconcile_and_conserve() {
+        let events = vec![
+            service_event(EventKind::WorkerSpawned {
+                campaign: "c".into(),
+                worker: "fleet-0".into(),
+                lease_shard: 0,
+                pid: 100,
+            }),
+            service_event(EventKind::WorkerSpawned {
+                campaign: "c".into(),
+                worker: "fleet-1".into(),
+                lease_shard: 1,
+                pid: 101,
+            }),
+            service_event(EventKind::WorkerDied {
+                campaign: "c".into(),
+                worker: "fleet-0".into(),
+                lease_shard: 0,
+                signal: 9,
+            }),
+            service_event(EventKind::ShardPoisoned {
+                campaign: "c".into(),
+                lease_shard: 0,
+                deaths: 3,
+                poison_case: 2,
+                signal: 6,
+            }),
+            service_event(EventKind::PoolDegraded {
+                from_workers: 4,
+                to_workers: 2,
+                consecutive_deaths: 6,
+            }),
+        ];
+        let snap = MetricsSnapshot::from_events(&events);
+        assert_eq!(snap.workers_spawned, 2);
+        assert_eq!(snap.workers_died, 1);
+        assert_eq!(snap.shards_poisoned, 1);
+        assert_eq!(snap.pool_degradations, 1);
+        snap.workers_conserved(0, 1).expect("one died, one exited cleanly");
+        assert!(snap.workers_conserved(0, 0).is_err(), "a spawned worker is unaccounted for");
     }
 
     #[test]

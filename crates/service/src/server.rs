@@ -93,6 +93,17 @@ fn handle_connection(mut stream: UnixStream, daemon: &Arc<Daemon>, stop: &Arc<At
         let frame = match read_frame(&mut stream) {
             Ok(Some(frame)) => frame,
             Ok(None) => return,
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                // Malformed framing (oversized declaration, non-UTF-8
+                // payload): answer with a typed error so the peer can tell
+                // a protocol bug from a dead daemon, then drop the
+                // connection — the stream position is unrecoverable.
+                let _ = write_frame(
+                    &mut stream,
+                    &error_response(&e.to_string(), Some("bad_frame"), None),
+                );
+                return;
+            }
             Err(_) => return,
         };
         let request = match Request::from_json_str(&frame) {

@@ -22,6 +22,10 @@ use comfort_telemetry::json::{self, JsonValue};
 pub struct ChaosSpec {
     /// Fault-plan seed (`0` derives from the campaign seed).
     pub seed: u64,
+    /// Probability a run dies by (or simulates) a fatal signal.
+    pub abort_rate: f64,
+    /// The signal an abort fault raises (6 = SIGABRT).
+    pub abort_signal: i32,
     /// Probability a run panics.
     pub panic_rate: f64,
     /// Probability a run wedges.
@@ -45,6 +49,8 @@ impl Default for ChaosSpec {
         let plan = FaultPlan::new(FaultPlan::DERIVE);
         ChaosSpec {
             seed: plan.seed,
+            abort_rate: plan.abort_rate,
+            abort_signal: plan.abort_signal,
             panic_rate: plan.panic_rate,
             hang_rate: plan.hang_rate,
             garbage_rate: plan.garbage_rate,
@@ -168,6 +174,8 @@ impl CampaignSpec {
                 "chaos",
                 JsonValue::object([
                     ("seed", JsonValue::Int(c.seed as i128)),
+                    ("abort_rate", JsonValue::Number(c.abort_rate)),
+                    ("abort_signal", JsonValue::Int(c.abort_signal as i128)),
                     ("panic_rate", JsonValue::Number(c.panic_rate)),
                     ("hang_rate", JsonValue::Number(c.hang_rate)),
                     ("garbage_rate", JsonValue::Number(c.garbage_rate)),
@@ -254,6 +262,12 @@ impl CampaignSpec {
                     }
                 };
                 spec.seed = c.get("seed").and_then(JsonValue::as_u64).unwrap_or(spec.seed);
+                spec.abort_rate = num("abort_rate", spec.abort_rate)?;
+                spec.abort_signal = c
+                    .get("abort_signal")
+                    .and_then(JsonValue::as_u64)
+                    .map(|n| n as i32)
+                    .unwrap_or(spec.abort_signal);
                 spec.panic_rate = num("panic_rate", spec.panic_rate)?;
                 spec.hang_rate = num("hang_rate", spec.hang_rate)?;
                 spec.garbage_rate = num("garbage_rate", spec.garbage_rate)?;
@@ -362,6 +376,8 @@ impl CampaignSpec {
         if let Some(c) = &self.chaos {
             let plan = FaultPlan {
                 seed: c.seed,
+                abort_rate: c.abort_rate,
+                abort_signal: c.abort_signal,
                 panic_rate: c.panic_rate,
                 hang_rate: c.hang_rate,
                 garbage_rate: c.garbage_rate,

@@ -250,10 +250,8 @@ fn daemon_resumes_a_partial_journal_bit_identically() {
     // A single-shot worker commits shard 0 and exits cleanly, leaving a
     // half-finished journal on disk.
     let summary = run_worker_once(&WorkerOnceOptions {
-        spec: spec.clone(),
-        worker: "prep".to_string(),
         ttl_millis: 1_000,
-        hold_millis: 0,
+        ..WorkerOnceOptions::standalone(spec.clone(), "prep")
     })
     .expect("worker-once commits one shard");
     assert!(summary.contains("shard 0"), "unexpected summary: {summary}");

@@ -373,6 +373,55 @@ pub enum EventKind {
         /// Campaigns still active when the drain began.
         active_campaigns: u64,
     },
+    /// The fleet supervisor spawned a jailed worker process for a pool
+    /// slot (service-plane).
+    WorkerSpawned {
+        /// The supervised campaign's id.
+        campaign: String,
+        /// The spawned worker's label.
+        worker: String,
+        /// The shard the worker was directed at.
+        lease_shard: u64,
+        /// The worker's OS process id.
+        pid: u64,
+    },
+    /// A jailed worker process died by signal instead of exiting
+    /// (service-plane). Its lease is force-expired and the shard
+    /// reclaimed.
+    WorkerDied {
+        /// The supervised campaign's id.
+        campaign: String,
+        /// The dead worker's label.
+        worker: String,
+        /// The shard the worker held when it died.
+        lease_shard: u64,
+        /// The fatal signal number (SIGKILL=9, SIGSEGV=11, SIGABRT=6, …).
+        signal: u64,
+    },
+    /// A shard killed workers K times consecutively and entered poison
+    /// quarantine; bisection localized the poison case (service-plane).
+    ShardPoisoned {
+        /// The supervised campaign's id.
+        campaign: String,
+        /// The quarantined shard's index.
+        lease_shard: u64,
+        /// Consecutive worker deaths that triggered quarantine.
+        deaths: u64,
+        /// Case index within the shard localized as the poison case.
+        poison_case: u64,
+        /// The fatal signal the poison case raises.
+        signal: u64,
+    },
+    /// The crash-storm breaker tripped: the supervisor narrowed the pool
+    /// instead of spinning through restarts (service-plane).
+    PoolDegraded {
+        /// Pool width before degradation.
+        from_workers: u64,
+        /// Pool width after degradation.
+        to_workers: u64,
+        /// Consecutive signal deaths that tripped the breaker.
+        consecutive_deaths: u64,
+    },
     /// Aggregated per-stage counters for one shard (emitted at shard end).
     StageTiming {
         /// The pipeline stage.
@@ -419,6 +468,10 @@ impl EventKind {
             EventKind::CampaignRejected { .. } => "campaign_rejected",
             EventKind::CampaignFinished { .. } => "campaign_finished",
             EventKind::DrainStarted { .. } => "drain_started",
+            EventKind::WorkerSpawned { .. } => "worker_spawned",
+            EventKind::WorkerDied { .. } => "worker_died",
+            EventKind::ShardPoisoned { .. } => "shard_poisoned",
+            EventKind::PoolDegraded { .. } => "pool_degraded",
             EventKind::StageTiming { .. } => "stage_timing",
         }
     }
@@ -638,6 +691,35 @@ impl Event {
             EventKind::DrainStarted { active_campaigns } => {
                 let _ = write!(out, ",\"active_campaigns\":{active_campaigns}");
             }
+            EventKind::WorkerSpawned { campaign, worker, lease_shard, pid } => {
+                let _ = write!(
+                    out,
+                    ",\"campaign\":{},\"worker\":{},\"lease_shard\":{lease_shard},\"pid\":{pid}",
+                    json_string(campaign),
+                    json_string(worker)
+                );
+            }
+            EventKind::WorkerDied { campaign, worker, lease_shard, signal } => {
+                let _ = write!(
+                    out,
+                    ",\"campaign\":{},\"worker\":{},\"lease_shard\":{lease_shard},\"signal\":{signal}",
+                    json_string(campaign),
+                    json_string(worker)
+                );
+            }
+            EventKind::ShardPoisoned { campaign, lease_shard, deaths, poison_case, signal } => {
+                let _ = write!(
+                    out,
+                    ",\"campaign\":{},\"lease_shard\":{lease_shard},\"deaths\":{deaths},\"poison_case\":{poison_case},\"signal\":{signal}",
+                    json_string(campaign)
+                );
+            }
+            EventKind::PoolDegraded { from_workers, to_workers, consecutive_deaths } => {
+                let _ = write!(
+                    out,
+                    ",\"from_workers\":{from_workers},\"to_workers\":{to_workers},\"consecutive_deaths\":{consecutive_deaths}"
+                );
+            }
             EventKind::StageTiming { stage, invocations, items, logical_cost, wall_nanos } => {
                 let _ = write!(
                     out,
@@ -805,6 +887,30 @@ pub fn event_from_json(v: &crate::json::JsonValue) -> Result<Event, String> {
             shards_run: num("shards_run")?,
         },
         "drain_started" => EventKind::DrainStarted { active_campaigns: num("active_campaigns")? },
+        "worker_spawned" => EventKind::WorkerSpawned {
+            campaign: string("campaign")?,
+            worker: string("worker")?,
+            lease_shard: num("lease_shard")?,
+            pid: num("pid")?,
+        },
+        "worker_died" => EventKind::WorkerDied {
+            campaign: string("campaign")?,
+            worker: string("worker")?,
+            lease_shard: num("lease_shard")?,
+            signal: num("signal")?,
+        },
+        "shard_poisoned" => EventKind::ShardPoisoned {
+            campaign: string("campaign")?,
+            lease_shard: num("lease_shard")?,
+            deaths: num("deaths")?,
+            poison_case: num("poison_case")?,
+            signal: num("signal")?,
+        },
+        "pool_degraded" => EventKind::PoolDegraded {
+            from_workers: num("from_workers")?,
+            to_workers: num("to_workers")?,
+            consecutive_deaths: num("consecutive_deaths")?,
+        },
         "stage_timing" => EventKind::StageTiming {
             stage: {
                 let label = string("stage")?;
@@ -971,6 +1077,26 @@ mod tests {
                 shards_run: 4,
             },
             EventKind::DrainStarted { active_campaigns: 2 },
+            EventKind::WorkerSpawned {
+                campaign: "c-0001".into(),
+                worker: "fleet-0".into(),
+                lease_shard: 1,
+                pid: 4242,
+            },
+            EventKind::WorkerDied {
+                campaign: "c-0001".into(),
+                worker: "fleet-0".into(),
+                lease_shard: 1,
+                signal: 9,
+            },
+            EventKind::ShardPoisoned {
+                campaign: "c-0001".into(),
+                lease_shard: 1,
+                deaths: 3,
+                poison_case: 7,
+                signal: 6,
+            },
+            EventKind::PoolDegraded { from_workers: 4, to_workers: 2, consecutive_deaths: 6 },
             EventKind::StageTiming {
                 stage: Stage::Reduction,
                 invocations: 1,
